@@ -1,0 +1,79 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md §6:
+//! cyclic vs block pattern distribution, the newPAR convergence mask, and the
+//! number of discrete Γ rate categories.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phylo_kernel::{LikelihoodKernel, SequentialKernel};
+use phylo_models::{BranchLengthMode, ModelSet};
+use phylo_parallel::{Distribution, RayonExecutor};
+use phylo_seqgen::datasets::paper_simulated;
+use std::sync::Arc;
+
+fn dataset() -> phylo_seqgen::GeneratedDataset {
+    paper_simulated(12, 1600, 200, 88).generate()
+}
+
+fn bench_distribution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_distribution");
+    let ds = dataset();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(4);
+    for (label, dist) in [("cyclic", Distribution::Cyclic), ("block", Distribution::Block)] {
+        let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+        let categories: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+        let exec = RayonExecutor::new(&ds.patterns, threads, ds.tree.node_capacity(), &categories, dist);
+        let mut kernel = LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                kernel.invalidate_all();
+                criterion::black_box(kernel.log_likelihood())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_convergence_mask(c: &mut Criterion) {
+    // The newPAR convergence mask skips already-converged partitions inside a
+    // derivative region; "masked" passes None for half the partitions,
+    // "unmasked" keeps evaluating all of them.
+    let mut group = c.benchmark_group("ablation_convergence_mask");
+    let ds = dataset();
+    let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+    let mut kernel = SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models);
+    let branch = kernel.tree().internal_branches()[0];
+    let mask = kernel.full_mask();
+    kernel.prepare_branch(branch, &mask);
+    let partitions = kernel.partition_count();
+    let all: Vec<Option<f64>> = (0..partitions).map(|_| Some(0.1)).collect();
+    let half: Vec<Option<f64>> = (0..partitions).map(|p| if p % 2 == 0 { Some(0.1) } else { None }).collect();
+    group.bench_function("without_mask_all_partitions", |b| {
+        b.iter(|| criterion::black_box(kernel.branch_derivatives(&all)))
+    });
+    group.bench_function("with_mask_half_converged", |b| {
+        b.iter(|| criterion::black_box(kernel.branch_derivatives(&half)))
+    });
+    group.finish();
+}
+
+fn bench_gamma_categories(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_gamma_categories");
+    let ds = dataset();
+    for categories in [1usize, 4] {
+        let models = ModelSet::with_categories(&ds.patterns, BranchLengthMode::Joint, categories);
+        let mut kernel = SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models);
+        group.bench_function(format!("categories_{categories}"), |b| {
+            b.iter(|| {
+                kernel.invalidate_all();
+                criterion::black_box(kernel.log_likelihood())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_distribution, bench_convergence_mask, bench_gamma_categories
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks of the kernel primitives: CLV updates, root
+//! evaluation and branch derivatives, for DNA (4-state) and protein (20-state)
+//! partitions. The DNA-vs-protein ratio substantiates the paper's ~25x
+//! per-column cost argument.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phylo_data::DataType;
+use phylo_kernel::SequentialKernel;
+use phylo_models::{BranchLengthMode, ModelSet};
+use phylo_seqgen::datasets::DatasetSpec;
+use std::sync::Arc;
+
+fn build(data_type: DataType, columns: usize) -> SequentialKernel {
+    let spec = DatasetSpec {
+        name: format!("bench_{data_type:?}"),
+        taxa: 16,
+        partition_columns: vec![columns],
+        data_type,
+        missing_taxa_fraction: 0.0,
+        seed: 99,
+    };
+    let ds = spec.generate();
+    let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::Joint);
+    SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models)
+}
+
+fn bench_full_traversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_traversal_and_evaluate");
+    for (label, data_type, columns) in [("dna_4state", DataType::Dna, 2000), ("protein_20state", DataType::Protein, 400)] {
+        let mut kernel = build(data_type, columns);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                kernel.invalidate_all();
+                criterion::black_box(kernel.log_likelihood())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_evaluate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluate_with_cached_clvs");
+    let mut kernel = build(DataType::Dna, 2000);
+    let _ = kernel.log_likelihood();
+    group.bench_function("dna_cached", |b| {
+        b.iter(|| criterion::black_box(kernel.log_likelihood()))
+    });
+    group.finish();
+}
+
+fn bench_branch_derivatives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch_derivatives");
+    for (label, data_type, columns) in [("dna", DataType::Dna, 2000), ("protein", DataType::Protein, 400)] {
+        let mut kernel = build(data_type, columns);
+        let branch = kernel.tree().internal_branches()[0];
+        let mask = kernel.full_mask();
+        kernel.prepare_branch(branch, &mask);
+        let lengths: Vec<Option<f64>> = (0..kernel.partition_count()).map(|_| Some(0.13)).collect();
+        group.bench_function(label, |b| {
+            b.iter(|| criterion::black_box(kernel.branch_derivatives(&lengths)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_full_traversal, bench_incremental_evaluate, bench_branch_derivatives
+}
+criterion_main!(benches);

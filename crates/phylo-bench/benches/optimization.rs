@@ -1,0 +1,61 @@
+//! Criterion benchmarks of the iterative optimizers under the oldPAR and
+//! newPAR schemes: this is the code path whose synchronization behaviour the
+//! paper analyses. The timings here are sequential (one worker); the relevant
+//! comparison is the relative cost and the region counts reported by the
+//! figure binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phylo_kernel::SequentialKernel;
+use phylo_models::{BranchLengthMode, ModelSet};
+use phylo_optimize::{optimize_alphas, optimize_branch, OptimizerConfig, ParallelScheme};
+use phylo_seqgen::datasets::paper_simulated;
+use std::sync::Arc;
+
+fn build() -> SequentialKernel {
+    let ds = paper_simulated(12, 1200, 100, 77).generate();
+    let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+    SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models)
+}
+
+fn bench_branch_optimization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch_length_optimization");
+    for scheme in [ParallelScheme::Old, ParallelScheme::New] {
+        group.bench_function(format!("{scheme}"), |b| {
+            b.iter_batched(
+                build,
+                |mut kernel| {
+                    let branch = kernel.tree().internal_branches()[0];
+                    let config = OptimizerConfig::new(scheme);
+                    optimize_branch(&mut kernel, branch, &config)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_alpha_optimization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alpha_optimization");
+    group.sample_size(10);
+    for scheme in [ParallelScheme::Old, ParallelScheme::New] {
+        group.bench_function(format!("{scheme}"), |b| {
+            b.iter_batched(
+                build,
+                |mut kernel| {
+                    let config = OptimizerConfig::new(scheme);
+                    optimize_alphas(&mut kernel, &config)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_branch_optimization, bench_alpha_optimization
+}
+criterion_main!(benches);

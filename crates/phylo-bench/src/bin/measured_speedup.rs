@@ -1,0 +1,63 @@
+//! Real wall-clock measurement on the reproduction host: the same model
+//! optimization workload executed with the persistent-thread executor under
+//! oldPAR and newPAR at increasing thread counts. Complements the platform
+//! model predictions with actual measurements (absolute numbers depend on this
+//! machine; the old-vs-new ordering should not).
+
+use phylo_bench::{dataset_scale, generate_scaled};
+use phylo_kernel::LikelihoodKernel;
+use phylo_models::{BranchLengthMode, ModelSet};
+use phylo_optimize::{optimize_model_parameters, OptimizerConfig, ParallelScheme};
+use phylo_parallel::{Distribution, ThreadedExecutor};
+use phylo_seqgen::datasets::paper_simulated;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let dataset = generate_scaled(&paper_simulated(50, 50_000, 1_000, 356));
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut thread_counts = vec![1usize, 2, 4, 8, 16];
+    thread_counts.retain(|&t| t <= cores);
+
+    println!(
+        "=== Measured wall-clock on this host ({cores} cores), d50_50000/p1000 at scale {} ===",
+        dataset_scale()
+    );
+    println!("{:<10} {:>12} {:>12} {:>12}", "Threads", "old [s]", "new [s]", "old/new");
+
+    let mut baseline = None;
+    for &threads in &thread_counts {
+        let mut times = Vec::new();
+        for scheme in [ParallelScheme::Old, ParallelScheme::New] {
+            let models = ModelSet::default_for(&dataset.patterns, BranchLengthMode::PerPartition);
+            let categories: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+            let executor = ThreadedExecutor::new(
+                &dataset.patterns,
+                threads,
+                dataset.tree.node_capacity(),
+                &categories,
+                Distribution::Cyclic,
+            );
+            let mut kernel = LikelihoodKernel::new(
+                Arc::clone(&dataset.patterns),
+                dataset.tree.clone(),
+                models,
+                executor,
+            );
+            let config = OptimizerConfig::new(scheme);
+            let start = Instant::now();
+            let report = optimize_model_parameters(&mut kernel, &config);
+            times.push((start.elapsed().as_secs_f64(), report.final_log_likelihood));
+        }
+        let (t_old, _) = times[0];
+        let (t_new, _) = times[1];
+        println!("{:<10} {:>12.3} {:>12.3} {:>12.2}", threads, t_old, t_new, t_old / t_new);
+        if threads == 1 {
+            baseline = Some((t_old, t_new));
+        }
+    }
+    if let Some((seq_old, seq_new)) = baseline {
+        println!();
+        println!("(sequential reference: old {seq_old:.3}s, new {seq_new:.3}s)");
+    }
+}

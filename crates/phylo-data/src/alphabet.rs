@@ -1,0 +1,287 @@
+//! Character-state alphabets for molecular sequence data.
+//!
+//! States are encoded as bitmasks so that ambiguity codes (and alignment gaps,
+//! which are treated as completely missing data) fall out naturally: the
+//! likelihood of a tip state is the sum over all states compatible with the
+//! observed character, which is exactly what a bitmask lookup table gives the
+//! kernel for free.
+//!
+//! * DNA uses 4 states (`A`, `C`, `G`, `T`) and the IUPAC ambiguity codes.
+//! * Protein data uses the 20 standard amino acids plus `B`, `Z`, `J`, `X` and
+//!   gap characters.
+
+/// An encoded character state: a bitmask over the alphabet's base states.
+///
+/// Bit `i` is set iff the observed character is compatible with base state `i`.
+/// A gap or completely unknown character has all bits set.
+pub type EncodedState = u32;
+
+/// The two molecular data types supported by the kernel.
+///
+/// The paper's evaluation uses DNA datasets (4 states) and protein datasets
+/// (20 states); the roughly `(20/4)² = 25×` higher per-column cost of protein
+/// data is what makes the load-balance problem less severe there (Section V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Nucleotide data: 4 states.
+    Dna,
+    /// Amino-acid data: 20 states.
+    Protein,
+}
+
+/// Characters of the 20 standard amino acids in the conventional order
+/// (alphabetical by one-letter code) used to index protein models.
+pub const AMINO_ACIDS: [char; 20] = [
+    'A', 'R', 'N', 'D', 'C', 'Q', 'E', 'G', 'H', 'I', 'L', 'K', 'M', 'F', 'P', 'S', 'T', 'W', 'Y',
+    'V',
+];
+
+/// Nucleotide characters in kernel order.
+pub const NUCLEOTIDES: [char; 4] = ['A', 'C', 'G', 'T'];
+
+impl DataType {
+    /// Number of base states of this data type (4 or 20).
+    pub const fn states(&self) -> usize {
+        match self {
+            DataType::Dna => 4,
+            DataType::Protein => 20,
+        }
+    }
+
+    /// Bitmask representing a completely unknown character (gap, `?`, `N`/`X`).
+    pub const fn gap_state(&self) -> EncodedState {
+        match self {
+            DataType::Dna => 0b1111,
+            DataType::Protein => 0x000F_FFFF,
+        }
+    }
+
+    /// Encodes a single character, returning `None` for characters that are
+    /// not valid in this alphabet.
+    ///
+    /// Lower-case characters are accepted. `-`, `.`, `?` and the
+    /// "fully ambiguous" codes (`N`/`O` for DNA, `X` for protein) all encode to
+    /// the gap state.
+    pub fn encode(&self, c: char) -> Option<EncodedState> {
+        let c = c.to_ascii_uppercase();
+        match self {
+            DataType::Dna => encode_dna(c),
+            DataType::Protein => encode_protein(c),
+        }
+    }
+
+    /// Decodes a bitmask back into a representative character. Unambiguous
+    /// states map to their character, the full gap state maps to `-`, and any
+    /// other ambiguity maps to the conventional IUPAC code for DNA or `X` for
+    /// protein data.
+    pub fn decode(&self, state: EncodedState) -> char {
+        match self {
+            DataType::Dna => decode_dna(state),
+            DataType::Protein => decode_protein(state),
+        }
+    }
+
+    /// Returns `true` if the bitmask corresponds to exactly one base state.
+    pub fn is_unambiguous(&self, state: EncodedState) -> bool {
+        state.count_ones() == 1 && (state & self.gap_state()) == state
+    }
+
+    /// Returns `true` if the bitmask is the completely-missing (gap) state.
+    pub fn is_gap(&self, state: EncodedState) -> bool {
+        state == self.gap_state()
+    }
+
+    /// Index of an unambiguous state (0-based), or `None` if ambiguous.
+    pub fn state_index(&self, state: EncodedState) -> Option<usize> {
+        if self.is_unambiguous(state) {
+            Some(state.trailing_zeros() as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Bitmask for the base state with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.states()`.
+    pub fn state_mask(&self, index: usize) -> EncodedState {
+        assert!(index < self.states(), "state index {index} out of range");
+        1 << index
+    }
+
+    /// The character for the base state with the given index.
+    pub fn state_char(&self, index: usize) -> char {
+        assert!(index < self.states(), "state index {index} out of range");
+        match self {
+            DataType::Dna => NUCLEOTIDES[index],
+            DataType::Protein => AMINO_ACIDS[index],
+        }
+    }
+}
+
+fn encode_dna(c: char) -> Option<EncodedState> {
+    // Bit order: A=1, C=2, G=4, T=8.
+    let m = match c {
+        'A' => 0b0001,
+        'C' => 0b0010,
+        'G' => 0b0100,
+        'T' | 'U' => 0b1000,
+        'R' => 0b0101, // A or G
+        'Y' => 0b1010, // C or T
+        'S' => 0b0110, // G or C
+        'W' => 0b1001, // A or T
+        'K' => 0b1100, // G or T
+        'M' => 0b0011, // A or C
+        'B' => 0b1110, // C, G or T
+        'D' => 0b1101, // A, G or T
+        'H' => 0b1011, // A, C or T
+        'V' => 0b0111, // A, C or G
+        'N' | 'O' | 'X' | '-' | '?' | '.' => 0b1111,
+        _ => return None,
+    };
+    Some(m)
+}
+
+fn decode_dna(state: EncodedState) -> char {
+    match state & 0b1111 {
+        0b0001 => 'A',
+        0b0010 => 'C',
+        0b0100 => 'G',
+        0b1000 => 'T',
+        0b0101 => 'R',
+        0b1010 => 'Y',
+        0b0110 => 'S',
+        0b1001 => 'W',
+        0b1100 => 'K',
+        0b0011 => 'M',
+        0b1110 => 'B',
+        0b1101 => 'D',
+        0b1011 => 'H',
+        0b0111 => 'V',
+        0b1111 => '-',
+        _ => '?',
+    }
+}
+
+fn amino_index(c: char) -> Option<usize> {
+    AMINO_ACIDS.iter().position(|&a| a == c)
+}
+
+fn encode_protein(c: char) -> Option<EncodedState> {
+    if let Some(i) = amino_index(c) {
+        return Some(1 << i);
+    }
+    let n = |ch: char| 1u32 << amino_index(ch).expect("standard amino acid");
+    let m = match c {
+        'B' => n('N') | n('D'),
+        'Z' => n('Q') | n('E'),
+        'J' => n('I') | n('L'),
+        'U' => n('C'), // selenocysteine treated as cysteine
+        'X' | '-' | '?' | '.' | '*' => DataType::Protein.gap_state(),
+        _ => return None,
+    };
+    Some(m)
+}
+
+fn decode_protein(state: EncodedState) -> char {
+    let masked = state & DataType::Protein.gap_state();
+    if masked == DataType::Protein.gap_state() {
+        return '-';
+    }
+    if masked.count_ones() == 1 {
+        return AMINO_ACIDS[masked.trailing_zeros() as usize];
+    }
+    'X'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dna_round_trip_unambiguous() {
+        for (i, &c) in NUCLEOTIDES.iter().enumerate() {
+            let e = DataType::Dna.encode(c).unwrap();
+            assert!(DataType::Dna.is_unambiguous(e));
+            assert_eq!(DataType::Dna.state_index(e), Some(i));
+            assert_eq!(DataType::Dna.decode(e), c);
+        }
+    }
+
+    #[test]
+    fn dna_lowercase_and_uracil() {
+        assert_eq!(DataType::Dna.encode('a'), DataType::Dna.encode('A'));
+        assert_eq!(DataType::Dna.encode('u'), DataType::Dna.encode('T'));
+    }
+
+    #[test]
+    fn dna_ambiguity_codes() {
+        let dt = DataType::Dna;
+        assert_eq!(dt.encode('R').unwrap(), dt.encode('A').unwrap() | dt.encode('G').unwrap());
+        assert_eq!(dt.encode('Y').unwrap(), dt.encode('C').unwrap() | dt.encode('T').unwrap());
+        assert_eq!(dt.encode('N').unwrap(), dt.gap_state());
+        assert_eq!(dt.encode('-').unwrap(), dt.gap_state());
+        assert!(dt.is_gap(dt.encode('?').unwrap()));
+    }
+
+    #[test]
+    fn dna_rejects_garbage() {
+        assert_eq!(DataType::Dna.encode('!'), None);
+        assert_eq!(DataType::Dna.encode('1'), None);
+    }
+
+    #[test]
+    fn dna_decode_ambiguity_round_trip() {
+        let dt = DataType::Dna;
+        for c in ['R', 'Y', 'S', 'W', 'K', 'M', 'B', 'D', 'H', 'V'] {
+            let e = dt.encode(c).unwrap();
+            assert_eq!(dt.decode(e), c, "round trip of {c}");
+            assert!(!dt.is_unambiguous(e));
+            assert!(!dt.is_gap(e));
+        }
+    }
+
+    #[test]
+    fn protein_round_trip_unambiguous() {
+        for (i, &c) in AMINO_ACIDS.iter().enumerate() {
+            let e = DataType::Protein.encode(c).unwrap();
+            assert!(DataType::Protein.is_unambiguous(e));
+            assert_eq!(DataType::Protein.state_index(e), Some(i));
+            assert_eq!(DataType::Protein.decode(e), c);
+            assert_eq!(DataType::Protein.state_mask(i), e);
+            assert_eq!(DataType::Protein.state_char(i), c);
+        }
+    }
+
+    #[test]
+    fn protein_ambiguity_codes() {
+        let dt = DataType::Protein;
+        let b = dt.encode('B').unwrap();
+        assert_eq!(b.count_ones(), 2);
+        assert_eq!(dt.decode(b), 'X');
+        assert!(dt.is_gap(dt.encode('X').unwrap()));
+        assert!(dt.is_gap(dt.encode('-').unwrap()));
+        assert_eq!(dt.encode('u'), dt.encode('C'));
+    }
+
+    #[test]
+    fn protein_rejects_garbage() {
+        assert_eq!(DataType::Protein.encode('8'), None);
+        assert_eq!(DataType::Protein.encode('@'), None);
+    }
+
+    #[test]
+    fn states_and_gap_masks() {
+        assert_eq!(DataType::Dna.states(), 4);
+        assert_eq!(DataType::Protein.states(), 20);
+        assert_eq!(DataType::Dna.gap_state().count_ones(), 4);
+        assert_eq!(DataType::Protein.gap_state().count_ones(), 20);
+    }
+
+    #[test]
+    #[should_panic]
+    fn state_mask_out_of_range_panics() {
+        DataType::Dna.state_mask(4);
+    }
+}

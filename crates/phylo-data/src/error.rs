@@ -1,0 +1,111 @@
+//! Error type shared by the data-handling modules.
+
+use std::fmt;
+
+/// Errors produced while reading, encoding or partitioning alignment data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A character in a sequence is not valid for the declared data type.
+    InvalidCharacter {
+        /// The offending character.
+        character: char,
+        /// Name of the sequence it occurred in.
+        sequence: String,
+        /// Zero-based column index.
+        column: usize,
+    },
+    /// Sequences in an alignment do not all have the same length.
+    UnequalSequenceLengths {
+        /// Expected length (from the first sequence).
+        expected: usize,
+        /// Observed length.
+        found: usize,
+        /// Name of the offending sequence.
+        sequence: String,
+    },
+    /// Two sequences share the same taxon name.
+    DuplicateTaxon(String),
+    /// A partition refers to columns outside of the alignment.
+    PartitionOutOfBounds {
+        /// Partition name.
+        partition: String,
+        /// Largest referenced column (one-based, as written in partition files).
+        column: usize,
+        /// Number of columns in the alignment.
+        alignment_length: usize,
+    },
+    /// Two partitions claim the same alignment column.
+    OverlappingPartitions {
+        /// One-based column index claimed twice.
+        column: usize,
+    },
+    /// Some alignment columns are not covered by any partition.
+    UncoveredColumns {
+        /// Number of uncovered columns.
+        count: usize,
+    },
+    /// A file could not be parsed; the string describes the problem.
+    Parse(String),
+    /// An alignment or partition set is structurally empty.
+    Empty(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidCharacter { character, sequence, column } => write!(
+                f,
+                "invalid character '{character}' in sequence '{sequence}' at column {column}"
+            ),
+            DataError::UnequalSequenceLengths { expected, found, sequence } => write!(
+                f,
+                "sequence '{sequence}' has length {found}, expected {expected}"
+            ),
+            DataError::DuplicateTaxon(name) => write!(f, "duplicate taxon name '{name}'"),
+            DataError::PartitionOutOfBounds { partition, column, alignment_length } => write!(
+                f,
+                "partition '{partition}' references column {column} but the alignment has only {alignment_length} columns"
+            ),
+            DataError::OverlappingPartitions { column } => {
+                write!(f, "column {column} is claimed by more than one partition")
+            }
+            DataError::UncoveredColumns { count } => {
+                write!(f, "{count} alignment columns are not covered by any partition")
+            }
+            DataError::Parse(msg) => write!(f, "parse error: {msg}"),
+            DataError::Empty(what) => write!(f, "empty {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DataError::InvalidCharacter { character: '!', sequence: "taxon1".into(), column: 7 };
+        assert!(e.to_string().contains('!'));
+        assert!(e.to_string().contains("taxon1"));
+
+        let e = DataError::UnequalSequenceLengths { expected: 10, found: 8, sequence: "t2".into() };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('8'));
+
+        let e = DataError::PartitionOutOfBounds {
+            partition: "gene3".into(),
+            column: 1200,
+            alignment_length: 1000,
+        };
+        assert!(e.to_string().contains("gene3"));
+        assert!(e.to_string().contains("1200"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error<E: std::error::Error>(_e: E) {}
+        takes_error(DataError::DuplicateTaxon("x".into()));
+    }
+}

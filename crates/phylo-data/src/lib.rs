@@ -1,0 +1,35 @@
+//! Alignment substrate for the phylogenetic likelihood kernel reproduction.
+//!
+//! This crate owns everything about the *input data* of a phylogenomic
+//! analysis:
+//!
+//! * [`alphabet`] — DNA and amino-acid state encodings with full ambiguity
+//!   code support (states are bitmasks so that partially observed characters
+//!   behave correctly in the likelihood kernel),
+//! * [`sequence`] — a named, encoded molecular sequence,
+//! * [`alignment`] — a multiple sequence alignment of `n` taxa × `m` columns,
+//!   possibly mixing DNA and protein partitions,
+//! * [`partition`] — partition definitions (gene boundaries, per-partition
+//!   data types) and the RAxML-style partition-file syntax,
+//! * [`patterns`] — site-pattern compression: the kernel operates on the `m′`
+//!   *distinct* columns of each partition, weighted by multiplicity,
+//! * [`io`] — FASTA and relaxed-PHYLIP readers/writers.
+//!
+//! The central output type is [`patterns::PartitionedPatterns`], the compiled,
+//! pattern-compressed, partitioned view of an alignment that the kernel and
+//! the parallel runtime consume.
+
+pub mod alignment;
+pub mod alphabet;
+pub mod error;
+pub mod io;
+pub mod partition;
+pub mod patterns;
+pub mod sequence;
+
+pub use alignment::Alignment;
+pub use alphabet::{DataType, EncodedState};
+pub use error::DataError;
+pub use partition::{Partition, PartitionSet};
+pub use patterns::{CompressedPartition, PartitionedPatterns};
+pub use sequence::Sequence;

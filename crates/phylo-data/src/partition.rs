@@ -1,0 +1,408 @@
+//! Partition definitions for multi-gene (phylogenomic) analyses.
+//!
+//! A partition assigns a contiguous (or scattered) set of alignment columns to
+//! one gene/model: each partition gets its own Q matrix, α shape parameter and
+//! — in the per-partition branch-length model — its own branch lengths. The
+//! syntax follows RAxML partition files:
+//!
+//! ```text
+//! DNA, gene0 = 1-1000
+//! DNA, gene1 = 1001-2000
+//! WAG, geneA = 2001-2500, 3001-3200
+//! ```
+//!
+//! Column indices in files are 1-based and inclusive, as in RAxML; internally
+//! everything is converted to 0-based half-open ranges.
+
+use crate::alphabet::DataType;
+use crate::error::DataError;
+
+/// A single partition: a named set of alignment columns with a data type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Partition (gene) name.
+    pub name: String,
+    /// Data type of the partition's columns.
+    pub data_type: DataType,
+    /// Zero-based, half-open column ranges, in ascending order.
+    pub ranges: Vec<std::ops::Range<usize>>,
+}
+
+impl Partition {
+    /// Creates a partition covering a single contiguous range of columns.
+    pub fn contiguous(name: &str, data_type: DataType, range: std::ops::Range<usize>) -> Self {
+        Self { name: name.to_string(), data_type, ranges: vec![range] }
+    }
+
+    /// Total number of columns in the partition.
+    pub fn len(&self) -> usize {
+        self.ranges.iter().map(|r| r.len()).sum()
+    }
+
+    /// Whether the partition covers no columns.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All column indices of the partition, ascending.
+    pub fn columns(&self) -> Vec<usize> {
+        let mut cols = Vec::with_capacity(self.len());
+        for r in &self.ranges {
+            cols.extend(r.clone());
+        }
+        cols
+    }
+
+    /// The largest referenced column index plus one (0 for empty partitions).
+    pub fn max_column_exclusive(&self) -> usize {
+        self.ranges.iter().map(|r| r.end).max().unwrap_or(0)
+    }
+}
+
+/// An ordered collection of partitions covering an alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionSet {
+    partitions: Vec<Partition>,
+}
+
+impl PartitionSet {
+    /// Creates a partition set from a list of partitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Empty`] if no partitions are given.
+    pub fn new(partitions: Vec<Partition>) -> Result<Self, DataError> {
+        if partitions.is_empty() {
+            return Err(DataError::Empty("partition set".into()));
+        }
+        Ok(Self { partitions })
+    }
+
+    /// A single partition spanning `0..columns` — the *unpartitioned* analysis
+    /// the paper uses as the scalability reference in Figure 6.
+    pub fn unpartitioned(data_type: DataType, columns: usize) -> Self {
+        Self {
+            partitions: vec![Partition::contiguous("ALL", data_type, 0..columns)],
+        }
+    }
+
+    /// Splits `0..columns` into consecutive chunks of `chunk_len` columns
+    /// (the paper's `p1000`, `p5000`, `p10000` schemes). The final chunk may be
+    /// shorter if `columns` is not a multiple of `chunk_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len == 0` or `columns == 0`.
+    pub fn equal_length(data_type: DataType, columns: usize, chunk_len: usize) -> Self {
+        assert!(chunk_len > 0 && columns > 0, "invalid equal-length partitioning");
+        let mut partitions = Vec::new();
+        let mut start = 0usize;
+        let mut index = 0usize;
+        while start < columns {
+            let end = (start + chunk_len).min(columns);
+            partitions.push(Partition::contiguous(
+                &format!("p{index}"),
+                data_type,
+                start..end,
+            ));
+            start = end;
+            index += 1;
+        }
+        Self { partitions }
+    }
+
+    /// Builds consecutive partitions with explicitly given lengths (used for
+    /// the variable-length real-world-like datasets such as r125_19839).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lengths` is empty or contains a zero.
+    pub fn from_lengths(data_type: DataType, lengths: &[usize]) -> Self {
+        assert!(!lengths.is_empty(), "at least one partition length required");
+        let mut partitions = Vec::with_capacity(lengths.len());
+        let mut start = 0usize;
+        for (i, &len) in lengths.iter().enumerate() {
+            assert!(len > 0, "partition lengths must be positive");
+            partitions.push(Partition::contiguous(&format!("p{i}"), data_type, start..start + len));
+            start += len;
+        }
+        Self { partitions }
+    }
+
+    /// The partitions in order.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Whether the set contains no partitions (never true for a constructed set).
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+    }
+
+    /// Total number of columns covered.
+    pub fn total_columns(&self) -> usize {
+        self.partitions.iter().map(|p| p.len()).sum()
+    }
+
+    /// Validates the set against an alignment of `alignment_columns` columns:
+    /// no partition may reference columns outside of the alignment, no column
+    /// may be claimed twice, and every column must be covered.
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::PartitionOutOfBounds`], [`DataError::OverlappingPartitions`]
+    /// or [`DataError::UncoveredColumns`] as appropriate.
+    pub fn validate(&self, alignment_columns: usize) -> Result<(), DataError> {
+        let mut claimed = vec![false; alignment_columns];
+        for p in &self.partitions {
+            if p.max_column_exclusive() > alignment_columns {
+                return Err(DataError::PartitionOutOfBounds {
+                    partition: p.name.clone(),
+                    column: p.max_column_exclusive(),
+                    alignment_length: alignment_columns,
+                });
+            }
+            for c in p.columns() {
+                if claimed[c] {
+                    return Err(DataError::OverlappingPartitions { column: c + 1 });
+                }
+                claimed[c] = true;
+            }
+        }
+        let uncovered = claimed.iter().filter(|&&x| !x).count();
+        if uncovered > 0 {
+            return Err(DataError::UncoveredColumns { count: uncovered });
+        }
+        Ok(())
+    }
+
+    /// Parses a RAxML-style partition file.
+    ///
+    /// Each non-empty line has the form `MODEL, name = range[, range...]`
+    /// where a range is `a-b` (1-based, inclusive) or a single column `a`.
+    /// The model token selects the data type: `DNA` → [`DataType::Dna`]; any
+    /// of the common protein model names (`WAG`, `LG`, `JTT`, `PROT*`, `AA`) →
+    /// [`DataType::Protein`].
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::Parse`] describes malformed lines; [`DataError::Empty`] is
+    /// returned if the file contains no partitions.
+    pub fn parse(text: &str) -> Result<Self, DataError> {
+        let mut partitions = Vec::new();
+        for (lineno, raw_line) in text.lines().enumerate() {
+            let line = raw_line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (model_part, rest) = line.split_once(',').ok_or_else(|| {
+                DataError::Parse(format!("line {}: expected 'MODEL, name = ranges'", lineno + 1))
+            })?;
+            let data_type = parse_model_token(model_part.trim()).ok_or_else(|| {
+                DataError::Parse(format!(
+                    "line {}: unknown model token '{}'",
+                    lineno + 1,
+                    model_part.trim()
+                ))
+            })?;
+            let (name_part, ranges_part) = rest.split_once('=').ok_or_else(|| {
+                DataError::Parse(format!("line {}: missing '=' separator", lineno + 1))
+            })?;
+            let name = name_part.trim();
+            if name.is_empty() {
+                return Err(DataError::Parse(format!("line {}: empty partition name", lineno + 1)));
+            }
+            let mut ranges = Vec::new();
+            for token in ranges_part.split(',') {
+                let token = token.trim();
+                if token.is_empty() {
+                    continue;
+                }
+                // Ignore RAxML codon-stride suffixes like "1-1000\3".
+                let token = token.split('\\').next().unwrap_or(token).trim();
+                let (a, b) = match token.split_once('-') {
+                    Some((a, b)) => (a.trim(), b.trim()),
+                    None => (token, token),
+                };
+                let start: usize = a.parse().map_err(|_| {
+                    DataError::Parse(format!("line {}: bad range start '{a}'", lineno + 1))
+                })?;
+                let end: usize = b.parse().map_err(|_| {
+                    DataError::Parse(format!("line {}: bad range end '{b}'", lineno + 1))
+                })?;
+                if start == 0 || end < start {
+                    return Err(DataError::Parse(format!(
+                        "line {}: invalid range {start}-{end} (1-based, ascending)",
+                        lineno + 1
+                    )));
+                }
+                ranges.push((start - 1)..end);
+            }
+            if ranges.is_empty() {
+                return Err(DataError::Parse(format!("line {}: no column ranges", lineno + 1)));
+            }
+            partitions.push(Partition { name: name.to_string(), data_type, ranges });
+        }
+        PartitionSet::new(partitions)
+    }
+
+    /// Serializes the set back into the RAxML partition-file syntax.
+    pub fn to_file_string(&self) -> String {
+        let mut out = String::new();
+        for p in &self.partitions {
+            let model = match p.data_type {
+                DataType::Dna => "DNA",
+                DataType::Protein => "WAG",
+            };
+            let ranges: Vec<String> = p
+                .ranges
+                .iter()
+                .map(|r| format!("{}-{}", r.start + 1, r.end))
+                .collect();
+            out.push_str(&format!("{model}, {} = {}\n", p.name, ranges.join(", ")));
+        }
+        out
+    }
+}
+
+fn parse_model_token(token: &str) -> Option<DataType> {
+    let t = token.to_ascii_uppercase();
+    if t == "DNA" || t == "NUC" || t == "GTR" {
+        Some(DataType::Dna)
+    } else if t == "AA"
+        || t == "PROT"
+        || t.starts_with("PROT")
+        || ["WAG", "LG", "JTT", "DAYHOFF", "BLOSUM62", "MTREV"].contains(&t.as_str())
+    {
+        Some(DataType::Protein)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_partition_basics() {
+        let p = Partition::contiguous("g0", DataType::Dna, 0..1000);
+        assert_eq!(p.len(), 1000);
+        assert!(!p.is_empty());
+        assert_eq!(p.max_column_exclusive(), 1000);
+        assert_eq!(p.columns()[0], 0);
+        assert_eq!(*p.columns().last().unwrap(), 999);
+    }
+
+    #[test]
+    fn equal_length_partitioning() {
+        let ps = PartitionSet::equal_length(DataType::Dna, 50_000, 1_000);
+        assert_eq!(ps.len(), 50);
+        assert_eq!(ps.total_columns(), 50_000);
+        assert!(ps.validate(50_000).is_ok());
+
+        // Non-divisible case: final partition is shorter.
+        let ps = PartitionSet::equal_length(DataType::Dna, 5_500, 1_000);
+        assert_eq!(ps.len(), 6);
+        assert_eq!(ps.partitions()[5].len(), 500);
+        assert!(ps.validate(5_500).is_ok());
+    }
+
+    #[test]
+    fn from_lengths_matches_requested_sizes() {
+        let lengths = [148usize, 2705, 300];
+        let ps = PartitionSet::from_lengths(DataType::Dna, &lengths);
+        assert_eq!(ps.len(), 3);
+        for (p, &l) in ps.partitions().iter().zip(lengths.iter()) {
+            assert_eq!(p.len(), l);
+        }
+        assert!(ps.validate(148 + 2705 + 300).is_ok());
+    }
+
+    #[test]
+    fn unpartitioned_covers_everything() {
+        let ps = PartitionSet::unpartitioned(DataType::Dna, 1234);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps.total_columns(), 1234);
+        assert!(ps.validate(1234).is_ok());
+    }
+
+    #[test]
+    fn validate_detects_out_of_bounds() {
+        let ps = PartitionSet::new(vec![Partition::contiguous("g", DataType::Dna, 0..100)]).unwrap();
+        assert!(matches!(
+            ps.validate(50),
+            Err(DataError::PartitionOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_detects_overlap_and_gaps() {
+        let overlapping = PartitionSet::new(vec![
+            Partition::contiguous("a", DataType::Dna, 0..10),
+            Partition::contiguous("b", DataType::Dna, 5..15),
+        ])
+        .unwrap();
+        assert!(matches!(
+            overlapping.validate(15),
+            Err(DataError::OverlappingPartitions { .. })
+        ));
+
+        let gappy = PartitionSet::new(vec![
+            Partition::contiguous("a", DataType::Dna, 0..10),
+            Partition::contiguous("b", DataType::Dna, 12..15),
+        ])
+        .unwrap();
+        assert!(matches!(gappy.validate(15), Err(DataError::UncoveredColumns { count: 2 })));
+    }
+
+    #[test]
+    fn parse_raxml_style_file() {
+        let text = "\
+# a comment
+DNA, gene0 = 1-1000
+DNA, gene1 = 1001-2000
+WAG, prot1 = 2001-2500, 2601-2700
+";
+        let ps = PartitionSet::parse(text).unwrap();
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps.partitions()[0].ranges, vec![0..1000]);
+        assert_eq!(ps.partitions()[1].ranges, vec![1000..2000]);
+        assert_eq!(ps.partitions()[2].data_type, DataType::Protein);
+        assert_eq!(ps.partitions()[2].ranges, vec![2000..2500, 2600..2700]);
+    }
+
+    #[test]
+    fn parse_single_column_and_stride_suffix() {
+        let ps = PartitionSet::parse("DNA, g = 5\nDNA, h = 10-20\\3\nDNA, rest = 1-4, 6-9, 21-30").unwrap();
+        assert_eq!(ps.partitions()[0].ranges, vec![4..5]);
+        assert_eq!(ps.partitions()[1].ranges, vec![9..20]);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(PartitionSet::parse("DNA gene0 = 1-100").is_err());
+        assert!(PartitionSet::parse("DNA, gene0 1-100").is_err());
+        assert!(PartitionSet::parse("FOO, gene0 = 1-100").is_err());
+        assert!(PartitionSet::parse("DNA, gene0 = 100-1").is_err());
+        assert!(PartitionSet::parse("DNA, gene0 = 0-10").is_err());
+        assert!(PartitionSet::parse("").is_err());
+    }
+
+    #[test]
+    fn round_trip_through_file_format() {
+        let ps = PartitionSet::equal_length(DataType::Dna, 3000, 1000);
+        let text = ps.to_file_string();
+        let reparsed = PartitionSet::parse(&text).unwrap();
+        assert_eq!(reparsed.len(), ps.len());
+        for (a, b) in reparsed.partitions().iter().zip(ps.partitions()) {
+            assert_eq!(a.ranges, b.ranges);
+            assert_eq!(a.data_type, b.data_type);
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Site-pattern compression and the compiled, partitioned view of an
+//! alignment.
+//!
+//! The likelihood of an alignment column depends only on the column's
+//! character pattern, so identical columns are collapsed into a single
+//! *pattern* with an integer weight. Everything downstream — the kernel, the
+//! parallel runtime, the optimizers — operates on [`PartitionedPatterns`]: the
+//! list of per-partition compressed pattern blocks laid out in one global
+//! pattern index space `0..m′`. That global index space is what gets
+//! distributed cyclically over threads.
+
+use std::collections::HashMap;
+
+use crate::alignment::Alignment;
+use crate::alphabet::{DataType, EncodedState};
+use crate::error::DataError;
+use crate::partition::PartitionSet;
+
+/// One partition after pattern compression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedPartition {
+    /// Partition (gene) name.
+    pub name: String,
+    /// Data type of the partition.
+    pub data_type: DataType,
+    /// Number of taxa (rows); identical across partitions of one dataset.
+    pub n_taxa: usize,
+    /// Tip states, pattern-major: the state of taxon `t` in pattern `p` is
+    /// `tip_states[p * n_taxa + t]`.
+    pub tip_states: Vec<EncodedState>,
+    /// Multiplicity of each pattern (how many alignment columns collapse onto it).
+    pub weights: Vec<f64>,
+    /// For each original column of the partition (in partition-local order),
+    /// the index of the pattern it collapsed onto.
+    pub site_to_pattern: Vec<usize>,
+}
+
+impl CompressedPartition {
+    /// Number of distinct patterns `m′` in this partition.
+    pub fn pattern_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of original alignment columns in this partition.
+    pub fn site_count(&self) -> usize {
+        self.site_to_pattern.len()
+    }
+
+    /// Sum of pattern weights (equals [`Self::site_count`]).
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Tip state of `taxon` in `pattern`.
+    #[inline]
+    pub fn tip_state(&self, pattern: usize, taxon: usize) -> EncodedState {
+        self.tip_states[pattern * self.n_taxa + taxon]
+    }
+
+    /// All tip states of one pattern (length `n_taxa`).
+    #[inline]
+    pub fn pattern_states(&self, pattern: usize) -> &[EncodedState] {
+        &self.tip_states[pattern * self.n_taxa..(pattern + 1) * self.n_taxa]
+    }
+
+    /// Number of states of the partition's data type (4 or 20).
+    pub fn states(&self) -> usize {
+        self.data_type.states()
+    }
+
+    /// Builds a compressed partition from per-column encoded states.
+    ///
+    /// `columns[c]` holds the encoded states of all taxa for the c-th column of
+    /// the partition.
+    pub fn from_columns(
+        name: &str,
+        data_type: DataType,
+        n_taxa: usize,
+        columns: &[Vec<EncodedState>],
+    ) -> Self {
+        let mut index: HashMap<&[EncodedState], usize> = HashMap::with_capacity(columns.len());
+        let mut tip_states: Vec<EncodedState> = Vec::new();
+        let mut weights: Vec<f64> = Vec::new();
+        let mut site_to_pattern = Vec::with_capacity(columns.len());
+
+        for col in columns {
+            debug_assert_eq!(col.len(), n_taxa);
+            if let Some(&p) = index.get(col.as_slice()) {
+                weights[p] += 1.0;
+                site_to_pattern.push(p);
+            } else {
+                let p = weights.len();
+                tip_states.extend_from_slice(col);
+                weights.push(1.0);
+                site_to_pattern.push(p);
+                // Safety of the borrow: we only read from `columns`, which
+                // outlives the map; keying on the input slice avoids an extra
+                // allocation per distinct pattern.
+                index.insert(col.as_slice(), p);
+            }
+        }
+
+        Self {
+            name: name.to_string(),
+            data_type,
+            n_taxa,
+            tip_states,
+            weights,
+            site_to_pattern,
+        }
+    }
+}
+
+/// The compiled, pattern-compressed, partitioned view of an alignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionedPatterns {
+    /// Taxon names, shared by all partitions (row order of the alignment).
+    pub taxa: Vec<String>,
+    /// The compressed partitions in their original order.
+    pub partitions: Vec<CompressedPartition>,
+    /// Start of each partition in the global pattern index space.
+    offsets: Vec<usize>,
+    total_patterns: usize,
+}
+
+impl PartitionedPatterns {
+    /// Compiles an alignment and a partition set into the kernel's input form.
+    ///
+    /// # Errors
+    ///
+    /// Any validation error from [`PartitionSet::validate`] plus
+    /// [`DataError::InvalidCharacter`] if a column cannot be encoded under its
+    /// partition's data type.
+    pub fn compile(alignment: &Alignment, partitions: &PartitionSet) -> Result<Self, DataError> {
+        partitions.validate(alignment.columns())?;
+        let n_taxa = alignment.taxa_count();
+
+        let mut compressed = Vec::with_capacity(partitions.len());
+        for part in partitions.partitions() {
+            let cols = part.columns();
+            // Encode column-major: for each column, the states of all taxa.
+            let mut encoded_columns: Vec<Vec<EncodedState>> = vec![Vec::with_capacity(n_taxa); cols.len()];
+            for taxon in 0..n_taxa {
+                let row = alignment.encode_columns(taxon, &cols, part.data_type)?;
+                for (ci, state) in row.into_iter().enumerate() {
+                    encoded_columns[ci].push(state);
+                }
+            }
+            compressed.push(CompressedPartition::from_columns(
+                &part.name,
+                part.data_type,
+                n_taxa,
+                &encoded_columns,
+            ));
+        }
+
+        Ok(Self::from_parts(alignment.taxa().to_vec(), compressed))
+    }
+
+    /// Assembles a partitioned pattern set from already compressed partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partitions disagree on the number of taxa or the list is
+    /// empty.
+    pub fn from_parts(taxa: Vec<String>, partitions: Vec<CompressedPartition>) -> Self {
+        assert!(!partitions.is_empty(), "at least one partition required");
+        let n_taxa = taxa.len();
+        for p in &partitions {
+            assert_eq!(p.n_taxa, n_taxa, "partition {:?} has inconsistent taxon count", p.name);
+        }
+        let mut offsets = Vec::with_capacity(partitions.len());
+        let mut total = 0usize;
+        for p in &partitions {
+            offsets.push(total);
+            total += p.pattern_count();
+        }
+        Self { taxa, partitions, offsets, total_patterns: total }
+    }
+
+    /// Number of taxa.
+    pub fn taxa_count(&self) -> usize {
+        self.taxa.len()
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total number of distinct patterns across all partitions (`m′`).
+    pub fn total_patterns(&self) -> usize {
+        self.total_patterns
+    }
+
+    /// Total number of original alignment columns across all partitions.
+    pub fn total_sites(&self) -> usize {
+        self.partitions.iter().map(|p| p.site_count()).sum()
+    }
+
+    /// Start of partition `i` in the global pattern index space.
+    pub fn global_offset(&self, partition: usize) -> usize {
+        self.offsets[partition]
+    }
+
+    /// Global pattern index range of partition `i`.
+    pub fn global_range(&self, partition: usize) -> std::ops::Range<usize> {
+        let start = self.offsets[partition];
+        start..start + self.partitions[partition].pattern_count()
+    }
+
+    /// Maps a global pattern index back to `(partition, local pattern index)`.
+    pub fn locate(&self, global_pattern: usize) -> (usize, usize) {
+        assert!(global_pattern < self.total_patterns, "global pattern index out of range");
+        // Partitions are few (tens); a linear scan is fine and branch-predictable.
+        let mut part = 0;
+        for (i, &off) in self.offsets.iter().enumerate() {
+            if global_pattern >= off {
+                part = i;
+            } else {
+                break;
+            }
+        }
+        (part, global_pattern - self.offsets[part])
+    }
+
+    /// Smallest and largest per-partition pattern counts; the paper reports
+    /// these for its real-world datasets (e.g. 148 and 2,705 for r125_19839).
+    pub fn min_max_partition_patterns(&self) -> (usize, usize) {
+        let mut min = usize::MAX;
+        let mut max = 0;
+        for p in &self.partitions {
+            min = min.min(p.pattern_count());
+            max = max.max(p.pattern_count());
+        }
+        (min, max)
+    }
+
+    /// Collapses all partitions into a single unpartitioned pattern set with
+    /// the same global pattern order (used for the unpartitioned reference
+    /// runs in Figure 6). All partitions must share one data type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partitions mix data types.
+    pub fn merge_unpartitioned(&self) -> Self {
+        let data_type = self.partitions[0].data_type;
+        assert!(
+            self.partitions.iter().all(|p| p.data_type == data_type),
+            "cannot merge partitions of mixed data types"
+        );
+        let n_taxa = self.taxa.len();
+        let mut tip_states = Vec::with_capacity(self.total_patterns * n_taxa);
+        let mut weights = Vec::with_capacity(self.total_patterns);
+        let mut site_to_pattern = Vec::new();
+        let mut pattern_base = 0usize;
+        for p in &self.partitions {
+            tip_states.extend_from_slice(&p.tip_states);
+            weights.extend_from_slice(&p.weights);
+            site_to_pattern.extend(p.site_to_pattern.iter().map(|&s| s + pattern_base));
+            pattern_base += p.pattern_count();
+        }
+        let merged = CompressedPartition {
+            name: "ALL".to_string(),
+            data_type,
+            n_taxa,
+            tip_states,
+            weights,
+            site_to_pattern,
+        };
+        Self::from_parts(self.taxa.clone(), vec![merged])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{Partition, PartitionSet};
+
+    fn toy_alignment() -> Alignment {
+        Alignment::new(vec![
+            ("t1".into(), "AACCGGTTAA".into()),
+            ("t2".into(), "AACCGGTTAC".into()),
+            ("t3".into(), "AAGCGGTAAC".into()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn compression_collapses_identical_columns() {
+        let aln = toy_alignment();
+        let ps = PartitionSet::unpartitioned(DataType::Dna, 10);
+        let pp = PartitionedPatterns::compile(&aln, &ps).unwrap();
+        assert_eq!(pp.partition_count(), 1);
+        let p = &pp.partitions[0];
+        // Columns: AAA AAA CCG CCC GGG GGG TTT TTA AAA ACC
+        // Distinct: AAA, CCG, CCC, GGG, TTT, TTA, ACC → 7 patterns.
+        assert_eq!(p.pattern_count(), 7);
+        assert_eq!(p.site_count(), 10);
+        assert!((p.total_weight() - 10.0).abs() < 1e-12);
+        // The first pattern (AAA) appears in columns 0, 1 and 8.
+        assert_eq!(p.weights[0], 3.0);
+        assert_eq!(p.site_to_pattern[0], p.site_to_pattern[1]);
+        assert_eq!(p.site_to_pattern[0], p.site_to_pattern[8]);
+    }
+
+    #[test]
+    fn partitioned_compilation_keeps_partitions_separate() {
+        let aln = toy_alignment();
+        let ps = PartitionSet::new(vec![
+            Partition::contiguous("g0", DataType::Dna, 0..5),
+            Partition::contiguous("g1", DataType::Dna, 5..10),
+        ])
+        .unwrap();
+        let pp = PartitionedPatterns::compile(&aln, &ps).unwrap();
+        assert_eq!(pp.partition_count(), 2);
+        assert_eq!(pp.total_sites(), 10);
+        assert_eq!(pp.global_offset(0), 0);
+        assert_eq!(pp.global_offset(1), pp.partitions[0].pattern_count());
+        let total = pp.partitions[0].pattern_count() + pp.partitions[1].pattern_count();
+        assert_eq!(pp.total_patterns(), total);
+    }
+
+    #[test]
+    fn locate_round_trips() {
+        let aln = toy_alignment();
+        let ps = PartitionSet::new(vec![
+            Partition::contiguous("g0", DataType::Dna, 0..5),
+            Partition::contiguous("g1", DataType::Dna, 5..10),
+        ])
+        .unwrap();
+        let pp = PartitionedPatterns::compile(&aln, &ps).unwrap();
+        for g in 0..pp.total_patterns() {
+            let (part, local) = pp.locate(g);
+            assert_eq!(pp.global_offset(part) + local, g);
+            assert!(local < pp.partitions[part].pattern_count());
+        }
+    }
+
+    #[test]
+    fn tip_states_match_alignment() {
+        let aln = toy_alignment();
+        let ps = PartitionSet::unpartitioned(DataType::Dna, 10);
+        let pp = PartitionedPatterns::compile(&aln, &ps).unwrap();
+        let p = &pp.partitions[0];
+        // Column 2 is "CCG": taxon 2 has G.
+        let pat = p.site_to_pattern[2];
+        assert_eq!(p.tip_state(pat, 0), DataType::Dna.encode('C').unwrap());
+        assert_eq!(p.tip_state(pat, 2), DataType::Dna.encode('G').unwrap());
+        assert_eq!(p.pattern_states(pat).len(), 3);
+    }
+
+    #[test]
+    fn merge_unpartitioned_preserves_total_weight() {
+        let aln = toy_alignment();
+        let ps = PartitionSet::equal_length(DataType::Dna, 10, 3);
+        let pp = PartitionedPatterns::compile(&aln, &ps).unwrap();
+        let merged = pp.merge_unpartitioned();
+        assert_eq!(merged.partition_count(), 1);
+        assert_eq!(merged.total_sites(), pp.total_sites());
+        assert!((merged.partitions[0].total_weight() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_partition_patterns() {
+        let aln = toy_alignment();
+        let ps = PartitionSet::new(vec![
+            Partition::contiguous("small", DataType::Dna, 0..2),
+            Partition::contiguous("large", DataType::Dna, 2..10),
+        ])
+        .unwrap();
+        let pp = PartitionedPatterns::compile(&aln, &ps).unwrap();
+        let (min, max) = pp.min_max_partition_patterns();
+        assert!(min <= max);
+        assert_eq!(min, pp.partitions[0].pattern_count());
+        assert_eq!(max, pp.partitions[1].pattern_count());
+    }
+
+    #[test]
+    fn compile_validates_partitions() {
+        let aln = toy_alignment();
+        let ps = PartitionSet::new(vec![Partition::contiguous("g", DataType::Dna, 0..20)]).unwrap();
+        assert!(PartitionedPatterns::compile(&aln, &ps).is_err());
+    }
+
+    #[test]
+    fn gap_only_taxon_in_partition_is_encoded_as_gap() {
+        let aln = Alignment::new(vec![
+            ("t1".into(), "ACGT----".into()),
+            ("t2".into(), "ACGTACGT".into()),
+            ("t3".into(), "ACCTACGA".into()),
+        ])
+        .unwrap();
+        let ps = PartitionSet::equal_length(DataType::Dna, 8, 4);
+        let pp = PartitionedPatterns::compile(&aln, &ps).unwrap();
+        let second = &pp.partitions[1];
+        for p in 0..second.pattern_count() {
+            assert!(second.data_type.is_gap(second.tip_state(p, 0)));
+        }
+    }
+}

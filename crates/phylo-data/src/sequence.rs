@@ -1,0 +1,135 @@
+//! A named, encoded molecular sequence.
+
+use crate::alphabet::{DataType, EncodedState};
+use crate::error::DataError;
+
+/// A single aligned sequence: a taxon name plus its encoded character states.
+///
+/// The characters are stored in their bitmask encoding (see
+/// [`crate::alphabet`]), which is what the likelihood kernel consumes directly
+/// as tip states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sequence {
+    /// Taxon name.
+    pub name: String,
+    /// Data type the characters were encoded under.
+    pub data_type: DataType,
+    /// Encoded character states, one per alignment column.
+    pub states: Vec<EncodedState>,
+}
+
+impl Sequence {
+    /// Encodes a raw character string under `data_type`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidCharacter`] if a character is not valid for
+    /// the data type. Whitespace characters are skipped silently so that
+    /// interleaved/wrapped file formats are easy to handle upstream.
+    pub fn from_str(name: &str, data_type: DataType, raw: &str) -> Result<Self, DataError> {
+        let mut states = Vec::with_capacity(raw.len());
+        for (column, c) in raw.chars().filter(|c| !c.is_whitespace()).enumerate() {
+            match data_type.encode(c) {
+                Some(s) => states.push(s),
+                None => {
+                    return Err(DataError::InvalidCharacter {
+                        character: c,
+                        sequence: name.to_string(),
+                        column,
+                    })
+                }
+            }
+        }
+        Ok(Self { name: name.to_string(), data_type, states })
+    }
+
+    /// Builds a sequence directly from already encoded states.
+    pub fn from_states(name: &str, data_type: DataType, states: Vec<EncodedState>) -> Self {
+        Self { name: name.to_string(), data_type, states }
+    }
+
+    /// Number of alignment columns.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the sequence has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Decodes back into a character string (ambiguities are canonicalized).
+    pub fn to_characters(&self) -> String {
+        self.states.iter().map(|&s| self.data_type.decode(s)).collect()
+    }
+
+    /// Fraction of columns that are completely missing (gap state).
+    pub fn gap_fraction(&self) -> f64 {
+        if self.states.is_empty() {
+            return 0.0;
+        }
+        let gaps = self.states.iter().filter(|&&s| self.data_type.is_gap(s)).count();
+        gaps as f64 / self.states.len() as f64
+    }
+
+    /// Returns `true` if every column in `range` is a gap, i.e. the taxon has
+    /// no data in that region (a "data hole" in a gappy phylogenomic
+    /// alignment).
+    pub fn is_missing_in(&self, range: std::ops::Range<usize>) -> bool {
+        self.states[range].iter().all(|&s| self.data_type.is_gap(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_and_decode_dna() {
+        let s = Sequence::from_str("t1", DataType::Dna, "ACGT-N").unwrap();
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.to_characters(), "ACGT--");
+        assert_eq!(s.gap_fraction(), 2.0 / 6.0);
+    }
+
+    #[test]
+    fn whitespace_is_skipped() {
+        let s = Sequence::from_str("t1", DataType::Dna, "AC GT\nAC").unwrap();
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn invalid_character_is_reported_with_position() {
+        let err = Sequence::from_str("taxonZ", DataType::Dna, "ACZT").unwrap_err();
+        match err {
+            DataError::InvalidCharacter { character, sequence, column } => {
+                assert_eq!(character, 'Z');
+                assert_eq!(sequence, "taxonZ");
+                assert_eq!(column, 2);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn protein_sequence() {
+        let s = Sequence::from_str("p1", DataType::Protein, "ARNDX-").unwrap();
+        assert_eq!(s.len(), 6);
+        assert!(s.data_type.is_gap(s.states[4]));
+        assert!(s.data_type.is_gap(s.states[5]));
+    }
+
+    #[test]
+    fn missing_region_detection() {
+        let s = Sequence::from_str("t1", DataType::Dna, "AC----GT").unwrap();
+        assert!(s.is_missing_in(2..6));
+        assert!(!s.is_missing_in(0..4));
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let s = Sequence::from_str("t", DataType::Dna, "").unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.gap_fraction(), 0.0);
+    }
+}

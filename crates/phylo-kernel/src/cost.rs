@@ -1,0 +1,231 @@
+//! Analytic floating-point cost model of the kernel primitives.
+//!
+//! The instrumented (virtual) executor and the platform performance model need
+//! to know how much arithmetic each kernel command performs per alignment
+//! pattern. These formulas count the multiply–add operations of the inner
+//! loops in [`crate::ops`]; absolute constants do not matter for the
+//! load-balance analysis (they cancel in speedups), but the *ratios* between
+//! data types do: a 20-state protein column costs roughly
+//! `(20/4)² = 25×` more than a DNA column in `newview`, which is exactly the
+//! argument the paper makes for why the protein datasets suffer less from the
+//! load imbalance.
+
+/// Floating-point operations for one `newview` pattern: for every rate
+/// category and target state, two inner products of length `states` plus one
+/// multiply.
+pub fn newview_flops(states: usize, categories: usize) -> f64 {
+    (categories * states * (4 * states + 1)) as f64
+}
+
+/// Floating-point operations for one `evaluate` pattern at the virtual root.
+pub fn evaluate_flops(states: usize, categories: usize) -> f64 {
+    (categories * states * (2 * states + 3)) as f64
+}
+
+/// Floating-point operations for building one sum-table pattern.
+pub fn sumtable_flops(states: usize, categories: usize) -> f64 {
+    (categories * states * (4 * states + 1)) as f64
+}
+
+/// Floating-point operations for one Newton–Raphson derivative pattern (the
+/// per-iteration cost once the sum table exists).
+pub fn derivative_flops(states: usize, categories: usize) -> f64 {
+    (categories * states * 6 + 8) as f64
+}
+
+/// Per-pattern cost of computing the transition matrices for one branch
+/// (independent of the pattern count; amortized over a parallel region).
+pub fn pmatrix_flops(states: usize, categories: usize) -> f64 {
+    (categories * states * states * (2 * states + 1)) as f64
+}
+
+/// Approximate bytes of likelihood-array traffic per `newview` pattern
+/// (reading two child CLVs, writing one), used by the memory-bandwidth term of
+/// the platform model. RAxML is memory bound, so this term matters for
+/// absolute run-time shapes.
+pub fn newview_bytes(states: usize, categories: usize) -> f64 {
+    (3 * categories * states * std::mem::size_of::<f64>()) as f64
+}
+
+/// The kind of kernel command, used to label work records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// CLV updates along a traversal list.
+    Newview,
+    /// Log-likelihood reduction at the virtual root.
+    Evaluate,
+    /// Branch sum-table construction.
+    Sumtable,
+    /// Newton–Raphson derivative evaluation.
+    Derivatives,
+}
+
+/// Work performed by every (virtual) worker inside one parallel region,
+/// bracketed by one synchronization event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionRecord {
+    /// What the region computed.
+    pub kind: OpKind,
+    /// FLOPs each worker performed in the region.
+    pub flops_per_worker: Vec<f64>,
+    /// Likelihood-array bytes each worker touched in the region.
+    pub bytes_per_worker: Vec<f64>,
+}
+
+impl RegionRecord {
+    /// New empty record for `workers` workers.
+    pub fn new(kind: OpKind, workers: usize) -> Self {
+        Self {
+            kind,
+            flops_per_worker: vec![0.0; workers],
+            bytes_per_worker: vec![0.0; workers],
+        }
+    }
+
+    /// The most loaded worker's FLOPs — the quantity that determines the
+    /// region's critical path.
+    pub fn max_flops(&self) -> f64 {
+        self.flops_per_worker.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Total FLOPs across workers.
+    pub fn total_flops(&self) -> f64 {
+        self.flops_per_worker.iter().sum()
+    }
+
+    /// Parallel efficiency of the region: average work divided by maximum
+    /// work (1.0 = perfectly balanced, → 0 when threads idle).
+    pub fn balance(&self) -> f64 {
+        let max = self.max_flops();
+        if max == 0.0 {
+            return 1.0;
+        }
+        self.total_flops() / (self.flops_per_worker.len() as f64 * max)
+    }
+}
+
+/// A full execution trace: one record per parallel region / synchronization
+/// event. This is what the platform performance model consumes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkTrace {
+    /// Records in execution order.
+    pub regions: Vec<RegionRecord>,
+    /// Number of workers the trace was recorded for.
+    pub workers: usize,
+}
+
+impl WorkTrace {
+    /// Creates an empty trace for `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        Self { regions: Vec::new(), workers }
+    }
+
+    /// Number of synchronization events (== number of parallel regions).
+    pub fn sync_events(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Total FLOPs across all regions and workers.
+    pub fn total_flops(&self) -> f64 {
+        self.regions.iter().map(|r| r.total_flops()).sum()
+    }
+
+    /// Sum over regions of the most-loaded worker's FLOPs: the critical path
+    /// of the computation under the barrier-per-region execution model.
+    pub fn critical_path_flops(&self) -> f64 {
+        self.regions.iter().map(|r| r.max_flops()).sum()
+    }
+
+    /// Total likelihood-array bytes across all regions and workers.
+    pub fn total_bytes(&self) -> f64 {
+        self.regions.iter().map(|r| r.bytes_per_worker.iter().sum::<f64>()).sum()
+    }
+
+    /// Overall load balance: total work divided by (workers × critical path).
+    pub fn overall_balance(&self) -> f64 {
+        let cp = self.critical_path_flops();
+        if cp == 0.0 {
+            return 1.0;
+        }
+        self.total_flops() / (self.workers as f64 * cp)
+    }
+
+    /// Appends another trace (e.g. from a later phase of the same run).
+    pub fn extend(&mut self, other: &WorkTrace) {
+        debug_assert_eq!(self.workers, other.workers);
+        self.regions.extend(other.regions.iter().cloned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protein_newview_is_about_25x_dna() {
+        let dna = newview_flops(4, 4);
+        let protein = newview_flops(20, 4);
+        let ratio = protein / dna;
+        assert!(
+            (20.0..30.0).contains(&ratio),
+            "protein/DNA newview cost ratio {ratio} should be ≈25"
+        );
+    }
+
+    #[test]
+    fn derivative_iterations_are_much_cheaper_than_newview() {
+        assert!(derivative_flops(4, 4) < newview_flops(4, 4) / 2.0);
+        assert!(derivative_flops(20, 4) < newview_flops(20, 4) / 2.0);
+    }
+
+    #[test]
+    fn costs_scale_with_categories() {
+        assert!((newview_flops(4, 8) / newview_flops(4, 4) - 2.0).abs() < 1e-12);
+        assert!((evaluate_flops(4, 1) * 4.0 - evaluate_flops(4, 4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn region_record_balance() {
+        let mut r = RegionRecord::new(OpKind::Newview, 4);
+        r.flops_per_worker = vec![100.0, 100.0, 100.0, 100.0];
+        assert!((r.balance() - 1.0).abs() < 1e-12);
+        r.flops_per_worker = vec![400.0, 0.0, 0.0, 0.0];
+        assert!((r.balance() - 0.25).abs() < 1e-12);
+        assert_eq!(r.max_flops(), 400.0);
+        assert_eq!(r.total_flops(), 400.0);
+    }
+
+    #[test]
+    fn trace_critical_path_and_balance() {
+        let mut t = WorkTrace::new(2);
+        let mut a = RegionRecord::new(OpKind::Newview, 2);
+        a.flops_per_worker = vec![10.0, 10.0];
+        let mut b = RegionRecord::new(OpKind::Derivatives, 2);
+        b.flops_per_worker = vec![20.0, 0.0];
+        t.regions.push(a);
+        t.regions.push(b);
+        assert_eq!(t.sync_events(), 2);
+        assert_eq!(t.total_flops(), 40.0);
+        assert_eq!(t.critical_path_flops(), 30.0);
+        assert!((t.overall_balance() - 40.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_neutral() {
+        let t = WorkTrace::new(8);
+        assert_eq!(t.sync_events(), 0);
+        assert_eq!(t.total_flops(), 0.0);
+        assert!((t.overall_balance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_extend_concatenates() {
+        let mut a = WorkTrace::new(2);
+        a.regions.push(RegionRecord::new(OpKind::Evaluate, 2));
+        let mut b = WorkTrace::new(2);
+        b.regions.push(RegionRecord::new(OpKind::Newview, 2));
+        b.regions.push(RegionRecord::new(OpKind::Sumtable, 2));
+        a.extend(&b);
+        assert_eq!(a.sync_events(), 3);
+    }
+}

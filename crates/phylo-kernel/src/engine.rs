@@ -1,0 +1,642 @@
+//! The high-level likelihood engine.
+//!
+//! [`LikelihoodKernel`] plays the role of the *master thread* in the paper's
+//! parallelization: it owns the tree, the per-partition models, the branch
+//! lengths and the CLV validity cache, and it drives an [`Executor`] by
+//! issuing kernel commands (traversal lists, evaluations, sum tables,
+//! derivative evaluations). Everything the optimizers and the tree search do
+//! goes through this type, so the *number of commands issued* — the
+//! synchronization count that distinguishes oldPAR from newPAR — is visible in
+//! one place.
+
+use std::sync::Arc;
+
+use phylo_data::PartitionedPatterns;
+use phylo_models::{BranchLengthMode, ModelSet};
+use phylo_tree::spr::{self, SprMove, SprUndo};
+use phylo_tree::{BranchId, NodeId, TraversalPlan, Tree, TreeError};
+
+use crate::branch_lengths::BranchLengths;
+use crate::executor::{ExecContext, Executor, KernelOp, PartitionMask, SequentialExecutor};
+use crate::ops::EdgeDerivatives;
+use crate::validity::ClvValidity;
+
+/// Counters describing how much work the engine has issued.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Total CLV updates issued (traversal steps × active partitions).
+    pub newview_node_updates: u64,
+    /// Number of evaluate commands issued.
+    pub evaluations: u64,
+    /// Number of sum-table commands issued.
+    pub sumtable_builds: u64,
+    /// Number of derivative commands issued.
+    pub derivative_calls: u64,
+    /// Number of SPR moves applied.
+    pub spr_moves: u64,
+}
+
+/// Scope of a branch-length update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchScope {
+    /// Update the length for a single partition (per-partition mode).
+    Partition(usize),
+    /// Update the length for all partitions (joint mode or a global reset).
+    All,
+}
+
+/// Undo record for an SPR applied through the engine (topology + per-partition
+/// branch lengths).
+#[derive(Debug, Clone)]
+pub struct SprApplication {
+    /// The topological undo record.
+    pub undo: SprUndo,
+    saved_lengths: Vec<(BranchId, Vec<f64>)>,
+}
+
+/// The master-side state of an analysis.
+#[derive(Debug, Clone)]
+pub struct MasterData {
+    patterns: Arc<PartitionedPatterns>,
+    tree: Tree,
+    models: ModelSet,
+    branch_lengths: BranchLengths,
+    validity: ClvValidity,
+}
+
+/// The likelihood engine: master state plus an execution backend.
+#[derive(Debug)]
+pub struct LikelihoodKernel<E: Executor> {
+    data: MasterData,
+    executor: E,
+    stats: KernelStats,
+}
+
+/// The sequential engine used for correctness tests and the single-threaded
+/// baseline measurements.
+pub type SequentialKernel = LikelihoodKernel<SequentialExecutor>;
+
+impl SequentialKernel {
+    /// Builds a sequential engine for the dataset.
+    pub fn build(patterns: Arc<PartitionedPatterns>, tree: Tree, models: ModelSet) -> Self {
+        let categories: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+        let executor = SequentialExecutor::new(&patterns, tree.node_capacity(), &categories);
+        LikelihoodKernel::new(patterns, tree, models, executor)
+    }
+}
+
+impl<E: Executor> LikelihoodKernel<E> {
+    /// Creates an engine from its parts. The executor must have been built for
+    /// the same dataset (same partitions and category counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree's taxa do not match the dataset's taxa or the model
+    /// count does not match the partition count.
+    pub fn new(
+        patterns: Arc<PartitionedPatterns>,
+        tree: Tree,
+        models: ModelSet,
+        executor: E,
+    ) -> Self {
+        assert_eq!(
+            tree.taxa(),
+            &patterns.taxa[..],
+            "tree taxa must match alignment taxa (same order)"
+        );
+        assert_eq!(
+            models.len(),
+            patterns.partition_count(),
+            "one model per partition required"
+        );
+        assert!(tree.is_complete(), "the tree must be fully resolved");
+        let branch_lengths = BranchLengths::from_tree(&tree, models.len(), models.branch_mode());
+        let validity = ClvValidity::new(models.len(), tree.node_capacity());
+        Self {
+            data: MasterData { patterns, tree, models, branch_lengths, validity },
+            executor,
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// The compiled pattern data.
+    pub fn patterns(&self) -> &Arc<PartitionedPatterns> {
+        &self.data.patterns
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.data.patterns.partition_count()
+    }
+
+    /// Current tree topology.
+    pub fn tree(&self) -> &Tree {
+        &self.data.tree
+    }
+
+    /// Current per-partition models.
+    pub fn models(&self) -> &ModelSet {
+        &self.data.models
+    }
+
+    /// Current branch lengths.
+    pub fn branch_lengths(&self) -> &BranchLengths {
+        &self.data.branch_lengths
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Synchronization events issued to the executor so far.
+    pub fn sync_events(&self) -> u64 {
+        self.executor.sync_events()
+    }
+
+    /// Access to the execution backend (e.g. to pull a work trace).
+    pub fn executor_mut(&mut self) -> &mut E {
+        &mut self.executor
+    }
+
+    /// Consumes the engine and returns the backend.
+    pub fn into_executor(self) -> E {
+        self.executor
+    }
+
+    /// A mask with every partition active.
+    pub fn full_mask(&self) -> PartitionMask {
+        vec![true; self.partition_count()]
+    }
+
+    /// A mask with exactly one partition active (the oldPAR access pattern).
+    pub fn single_mask(&self, partition: usize) -> PartitionMask {
+        let mut m = vec![false; self.partition_count()];
+        m[partition] = true;
+        m
+    }
+
+    /// A reasonable default virtual-root branch: the pendant branch of leaf 0.
+    pub fn default_root_branch(&self) -> BranchId {
+        self.data.tree.neighbors(0)[0].1
+    }
+
+    /// Brings the CLVs needed for an evaluation rooted on `root_branch` up to
+    /// date for the masked partitions. Returns the number of CLV updates that
+    /// were necessary (0 when everything was already valid — the partial
+    /// traversal machinery at work).
+    pub fn update_clvs(&mut self, root_branch: BranchId, mask: &PartitionMask) -> u64 {
+        let mut plans: Vec<Option<TraversalPlan>> = vec![None; self.partition_count()];
+        let mut updates = 0u64;
+        for (pi, active) in mask.iter().enumerate() {
+            if !*active {
+                continue;
+            }
+            let validity = &self.data.validity;
+            let plan = TraversalPlan::partial(&self.data.tree, root_branch, |node, towards| {
+                validity.is_valid(pi, node, towards)
+            });
+            if !plan.is_empty() {
+                updates += plan.len() as u64;
+                plans[pi] = Some(plan);
+            }
+        }
+        if updates == 0 {
+            return 0;
+        }
+        let op = KernelOp::Newview { plans: plans.clone() };
+        let ctx = ExecContext {
+            tree: &self.data.tree,
+            models: &self.data.models,
+            branch_lengths: &self.data.branch_lengths,
+        };
+        self.executor.execute(&op, &ctx);
+        // Record the new orientations in the validity cache.
+        for (pi, plan) in plans.iter().enumerate() {
+            if let Some(plan) = plan {
+                for step in &plan.steps {
+                    self.data.validity.mark_valid(pi, step.node, step.towards);
+                }
+            }
+        }
+        self.stats.newview_node_updates += updates;
+        updates
+    }
+
+    /// Per-partition log likelihoods for an evaluation rooted on
+    /// `root_branch`; inactive partitions report 0.0.
+    pub fn log_likelihood_partitions(
+        &mut self,
+        root_branch: BranchId,
+        mask: &PartitionMask,
+    ) -> Vec<f64> {
+        self.update_clvs(root_branch, mask);
+        self.stats.evaluations += 1;
+        let op = KernelOp::Evaluate { root_branch, mask: mask.clone() };
+        let ctx = ExecContext {
+            tree: &self.data.tree,
+            models: &self.data.models,
+            branch_lengths: &self.data.branch_lengths,
+        };
+        self.executor.execute(&op, &ctx).into_log_likelihoods()
+    }
+
+    /// Total log likelihood over all partitions, evaluated at `root_branch`.
+    pub fn log_likelihood_at(&mut self, root_branch: BranchId) -> f64 {
+        let mask = self.full_mask();
+        self.log_likelihood_partitions(root_branch, &mask).iter().sum()
+    }
+
+    /// Total log likelihood at the default root branch.
+    pub fn log_likelihood(&mut self) -> f64 {
+        self.log_likelihood_at(self.default_root_branch())
+    }
+
+    /// Sets a branch length and invalidates exactly the CLVs whose subtrees
+    /// contain the branch.
+    pub fn set_branch_length(&mut self, scope: BranchScope, branch: BranchId, value: f64) {
+        match (scope, self.data.models.branch_mode()) {
+            (BranchScope::Partition(p), BranchLengthMode::PerPartition) => {
+                self.data.branch_lengths.set(p, branch, value);
+                self.data.validity.branch_length_changed(&self.data.tree, p, branch);
+            }
+            _ => {
+                self.data.branch_lengths.set_all(branch, value);
+                for p in 0..self.partition_count() {
+                    self.data.validity.branch_length_changed(&self.data.tree, p, branch);
+                }
+            }
+        }
+    }
+
+    /// Current branch length as seen by a partition.
+    pub fn branch_length(&self, partition: usize, branch: BranchId) -> f64 {
+        self.data.branch_lengths.get(partition, branch)
+    }
+
+    /// Sets the Γ shape parameter of one partition; every CLV of that
+    /// partition becomes invalid.
+    pub fn set_alpha(&mut self, partition: usize, alpha: f64) {
+        self.data.models.model_mut(partition).set_alpha(alpha);
+        self.data.validity.invalidate_partition(partition);
+    }
+
+    /// Current α of a partition.
+    pub fn alpha(&self, partition: usize) -> f64 {
+        self.data.models.model(partition).alpha()
+    }
+
+    /// Replaces one exchangeability of a partition's substitution model;
+    /// every CLV of that partition becomes invalid.
+    pub fn set_exchangeability(&mut self, partition: usize, index: usize, value: f64) {
+        let updated = self
+            .data
+            .models
+            .model(partition)
+            .substitution()
+            .with_exchangeability(index, value);
+        self.data.models.model_mut(partition).set_substitution(updated);
+        self.data.validity.invalidate_partition(partition);
+    }
+
+    /// Current exchangeability `index` of a partition.
+    pub fn exchangeability(&self, partition: usize, index: usize) -> f64 {
+        self.data.models.model(partition).substitution().exchangeabilities()[index]
+    }
+
+    /// Prepares Newton–Raphson optimization of `branch` for the masked
+    /// partitions: updates the CLVs at both ends and builds the sum tables.
+    pub fn prepare_branch(&mut self, branch: BranchId, mask: &PartitionMask) {
+        self.update_clvs(branch, mask);
+        self.stats.sumtable_builds += 1;
+        let op = KernelOp::Sumtable { branch, mask: mask.clone() };
+        let ctx = ExecContext {
+            tree: &self.data.tree,
+            models: &self.data.models,
+            branch_lengths: &self.data.branch_lengths,
+        };
+        self.executor.execute(&op, &ctx);
+    }
+
+    /// Evaluates the log-likelihood derivatives of the prepared branch at
+    /// per-partition candidate lengths (`None` = skip partition, e.g. already
+    /// converged).
+    pub fn branch_derivatives(&mut self, lengths: &[Option<f64>]) -> Vec<Option<EdgeDerivatives>> {
+        assert_eq!(lengths.len(), self.partition_count());
+        self.stats.derivative_calls += 1;
+        let op = KernelOp::Derivatives { lengths: lengths.to_vec() };
+        let ctx = ExecContext {
+            tree: &self.data.tree,
+            models: &self.data.models,
+            branch_lengths: &self.data.branch_lengths,
+        };
+        self.executor.execute(&op, &ctx).into_derivatives()
+    }
+
+    /// Applies an SPR move: topology, per-partition branch lengths and CLV
+    /// validity are all updated consistently. The returned record undoes the
+    /// move exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TreeError`] for invalid moves; the engine state is
+    /// untouched in that case.
+    pub fn apply_spr(&mut self, mv: SprMove) -> Result<SprApplication, TreeError> {
+        let undo = spr::apply(&mut self.data.tree, mv)?;
+        // Branches whose lengths the move touched: the three branches around
+        // the re-inserted node plus the merged branch at the old pruning site.
+        let mut snapshot_branches: Vec<BranchId> = undo.inserted_branches.to_vec();
+        snapshot_branches.push(undo.merged_branch());
+        snapshot_branches.sort_unstable();
+        snapshot_branches.dedup();
+        let saved_lengths = self.data.branch_lengths.snapshot(&snapshot_branches);
+
+        // Mirror the tree-side length changes in the per-partition storage:
+        // the two branches around the pruned node merge, the target branch is
+        // split in half — applied row by row so per-partition lengths stay
+        // consistent with the topology change.
+        self.data.branch_lengths.apply_spr(
+            undo.merged_branch(),
+            undo.inserted_branches[1],
+            undo.inserted_branches[0],
+        );
+
+        self.data
+            .validity
+            .topology_changed(&self.data.tree, &undo.affected_nodes, mv.target_branch);
+        self.stats.spr_moves += 1;
+        Ok(SprApplication { undo, saved_lengths })
+    }
+
+    /// Reverses an SPR previously applied through the engine.
+    pub fn undo_spr(&mut self, application: &SprApplication) {
+        spr::undo(&mut self.data.tree, &application.undo);
+        self.data.branch_lengths.restore(&application.saved_lengths);
+        // After undoing, the affected path is stale again. The validity proof
+        // requires the retained CLVs to be oriented towards the branch where
+        // the subtree was just (re-)attached — after the undo that is the
+        // merged branch at the original pruning site, which now connects the
+        // pruned node to its old neighbor again.
+        self.data.validity.topology_changed(
+            &self.data.tree,
+            &application.undo.affected_nodes,
+            application.undo.merged_branch(),
+        );
+    }
+
+    /// The three branches incident to the insertion point of an applied SPR
+    /// (useful for local branch-length re-optimization).
+    pub fn inserted_branches(application: &SprApplication) -> [BranchId; 3] {
+        application.undo.inserted_branches
+    }
+
+    /// Invalidates every cached CLV (used by tests and after wholesale model
+    /// replacement).
+    pub fn invalidate_all(&mut self) {
+        self.data.validity.invalidate_all();
+    }
+
+    /// Number of currently valid CLVs of a partition (diagnostics).
+    pub fn valid_clvs(&self, partition: usize) -> usize {
+        self.data.validity.valid_count(partition)
+    }
+
+    /// Nodes adjacent to a branch (helper for local optimization).
+    pub fn branch_endpoints(&self, branch: BranchId) -> (NodeId, NodeId) {
+        self.data.tree.branch_endpoints(branch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_data::{Alignment, DataType, PartitionSet};
+    use phylo_models::BranchLengthMode;
+    use phylo_tree::random::random_tree;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_dataset(
+        taxa: usize,
+        columns: usize,
+        partition_len: usize,
+        seed: u64,
+    ) -> (Arc<PartitionedPatterns>, Tree) {
+        // Build a random alignment directly (the real simulator lives in
+        // phylo-seqgen, which depends on this crate's siblings, so tests here
+        // use simple random columns).
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        use rand::Rng;
+        let names: Vec<String> = (0..taxa).map(|i| format!("t{i}")).collect();
+        let rows: Vec<(String, String)> = names
+            .iter()
+            .map(|n| {
+                let seq: String = (0..columns)
+                    .map(|_| ['A', 'C', 'G', 'T'][rng.gen_range(0..4)])
+                    .collect();
+                (n.clone(), seq)
+            })
+            .collect();
+        let aln = Alignment::new(rows).unwrap();
+        let ps = PartitionSet::equal_length(DataType::Dna, columns, partition_len);
+        let pp = Arc::new(PartitionedPatterns::compile(&aln, &ps).unwrap());
+        let tree = random_tree(&names, &mut rng);
+        (pp, tree)
+    }
+
+    fn engine(
+        taxa: usize,
+        columns: usize,
+        partition_len: usize,
+        mode: BranchLengthMode,
+        seed: u64,
+    ) -> SequentialKernel {
+        let (pp, tree) = small_dataset(taxa, columns, partition_len, seed);
+        let models = ModelSet::default_for(&pp, mode);
+        SequentialKernel::build(pp, tree, models)
+    }
+
+    #[test]
+    fn log_likelihood_is_negative_and_finite() {
+        let mut k = engine(8, 60, 20, BranchLengthMode::Joint, 1);
+        let lnl = k.log_likelihood();
+        assert!(lnl.is_finite());
+        assert!(lnl < 0.0);
+    }
+
+    #[test]
+    fn log_likelihood_invariant_to_root_branch() {
+        let mut k = engine(7, 40, 10, BranchLengthMode::PerPartition, 2);
+        let branches: Vec<_> = k.tree().branches().collect();
+        let reference = k.log_likelihood_at(branches[0]);
+        for &b in &branches[1..] {
+            let v = k.log_likelihood_at(b);
+            assert!(
+                (v - reference).abs() < 1e-8,
+                "branch {b}: {v} vs {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn second_evaluation_reuses_clvs() {
+        let mut k = engine(10, 80, 20, BranchLengthMode::Joint, 3);
+        let root = k.default_root_branch();
+        let first = k.update_clvs(root, &k.full_mask());
+        assert!(first > 0);
+        let second = k.update_clvs(root, &k.full_mask());
+        assert_eq!(second, 0, "no CLV updates needed when nothing changed");
+    }
+
+    #[test]
+    fn branch_length_change_invalidates_selectively_and_changes_lnl() {
+        let mut k = engine(9, 50, 25, BranchLengthMode::Joint, 4);
+        let root = k.default_root_branch();
+        let before = k.log_likelihood_at(root);
+        // Changing a branch far from the root invalidates some CLVs but not
+        // all of them.
+        let victim = *k.tree().internal_branches().last().unwrap();
+        k.set_branch_length(BranchScope::All, victim, 1.5);
+        let updates = k.update_clvs(root, &k.full_mask());
+        assert!(updates > 0, "changing a branch must force some recomputation");
+        assert!(
+            updates < k.tree().internal_count() as u64 * k.partition_count() as u64,
+            "but not a full retraversal of every partition"
+        );
+        let after = k.log_likelihood_at(root);
+        assert!((after - before).abs() > 1e-6, "lnL must respond to branch lengths");
+    }
+
+    #[test]
+    fn per_partition_branch_lengths_only_affect_their_partition() {
+        let mut k = engine(6, 40, 20, BranchLengthMode::PerPartition, 5);
+        let root = k.default_root_branch();
+        let mask = k.full_mask();
+        let before = k.log_likelihood_partitions(root, &mask);
+        let victim = k.tree().internal_branches()[0];
+        k.set_branch_length(BranchScope::Partition(1), victim, 2.0);
+        let after = k.log_likelihood_partitions(root, &mask);
+        assert!((after[0] - before[0]).abs() < 1e-12, "partition 0 must be unaffected");
+        assert!((after[1] - before[1]).abs() > 1e-9, "partition 1 must change");
+    }
+
+    #[test]
+    fn alpha_change_invalidates_only_its_partition() {
+        let mut k = engine(6, 40, 20, BranchLengthMode::Joint, 6);
+        let root = k.default_root_branch();
+        let _ = k.log_likelihood_at(root);
+        k.set_alpha(0, 0.3);
+        assert_eq!(k.valid_clvs(0), 0);
+        assert!(k.valid_clvs(1) > 0);
+        let mask = k.full_mask();
+        let lnls = k.log_likelihood_partitions(root, &mask);
+        assert!(lnls.iter().all(|l| l.is_finite() && *l < 0.0));
+    }
+
+    #[test]
+    fn exchangeability_change_moves_likelihood() {
+        let mut k = engine(5, 30, 30, BranchLengthMode::Joint, 7);
+        let before = k.log_likelihood();
+        k.set_exchangeability(0, 1, 4.0);
+        assert!((k.exchangeability(0, 1) - 4.0).abs() < 1e-12);
+        let after = k.log_likelihood();
+        assert!((after - before).abs() > 1e-9);
+    }
+
+    #[test]
+    fn derivatives_agree_with_finite_differences_through_engine() {
+        let mut k = engine(8, 60, 30, BranchLengthMode::PerPartition, 8);
+        let branch = k.tree().internal_branches()[0];
+        let mask = k.full_mask();
+        k.prepare_branch(branch, &mask);
+        let t0 = k.branch_length(0, branch);
+        let lengths: Vec<Option<f64>> = (0..k.partition_count()).map(|_| Some(t0)).collect();
+        let ders = k.branch_derivatives(&lengths);
+
+        // Finite-difference check against direct evaluation for partition 0.
+        let h = 1e-6;
+        let lnl = |t: f64, k: &mut SequentialKernel| {
+            k.set_branch_length(BranchScope::Partition(0), branch, t);
+            let mask = k.single_mask(0);
+            k.log_likelihood_partitions(branch, &mask)[0]
+        };
+        let up = lnl(t0 + h, &mut k);
+        let down = lnl(t0 - h, &mut k);
+        let fd1 = (up - down) / (2.0 * h);
+        let d = ders[0].unwrap();
+        assert!(
+            (d.first - fd1).abs() < 1e-3 * (1.0 + fd1.abs()),
+            "analytic {} vs finite difference {fd1}",
+            d.first
+        );
+    }
+
+    #[test]
+    fn spr_apply_and_undo_restore_likelihood() {
+        let mut k = engine(10, 60, 30, BranchLengthMode::PerPartition, 9);
+        let before = k.log_likelihood();
+        let tree = k.tree().clone();
+        // Find a valid move.
+        let mut chosen = None;
+        'outer: for p in tree.internal_nodes() {
+            for &(s, _) in tree.neighbors(p) {
+                let moves = spr::candidate_moves(&tree, p, s, 5);
+                if let Some(&mv) = moves.first() {
+                    chosen = Some(mv);
+                    break 'outer;
+                }
+            }
+        }
+        let mv = chosen.expect("a valid SPR move exists");
+        let app = k.apply_spr(mv).unwrap();
+        let during = k.log_likelihood();
+        assert!(during.is_finite());
+        k.undo_spr(&app);
+        let after = k.log_likelihood();
+        assert!(
+            (after - before).abs() < 1e-6,
+            "undo must restore the likelihood: {before} vs {after}"
+        );
+        assert_eq!(k.stats().spr_moves, 1);
+    }
+
+    #[test]
+    fn spr_changes_likelihood_on_informative_data() {
+        let mut k = engine(12, 80, 40, BranchLengthMode::Joint, 10);
+        let before = k.log_likelihood();
+        let tree = k.tree().clone();
+        let mut any_changed = false;
+        for p in tree.internal_nodes() {
+            let (s, _) = tree.neighbors(p)[0];
+            for mv in spr::candidate_moves(&tree, p, s, 3).into_iter().take(3) {
+                let app = k.apply_spr(mv).unwrap();
+                let lnl = k.log_likelihood();
+                if (lnl - before).abs() > 1e-6 {
+                    any_changed = true;
+                }
+                k.undo_spr(&app);
+            }
+            if any_changed {
+                break;
+            }
+        }
+        assert!(any_changed, "at least one SPR move must change the likelihood");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut k = engine(6, 40, 20, BranchLengthMode::Joint, 11);
+        let _ = k.log_likelihood();
+        let branch = k.tree().internal_branches()[0];
+        let mask = k.full_mask();
+        k.prepare_branch(branch, &mask);
+        let lengths: Vec<Option<f64>> = (0..k.partition_count()).map(|_| Some(0.1)).collect();
+        let _ = k.branch_derivatives(&lengths);
+        let stats = k.stats();
+        assert!(stats.newview_node_updates > 0);
+        assert_eq!(stats.evaluations, 1);
+        assert_eq!(stats.sumtable_builds, 1);
+        assert_eq!(stats.derivative_calls, 1);
+        assert!(k.sync_events() >= 3);
+    }
+}

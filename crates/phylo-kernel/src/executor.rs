@@ -1,0 +1,347 @@
+//! The executor abstraction: the master/worker command protocol.
+//!
+//! The Pthreads parallelization of the PLK works by having the master thread
+//! broadcast *commands* (update these CLVs, evaluate at this branch, compute
+//! these derivatives) that every worker executes on its own share of the
+//! alignment patterns, followed by a barrier and a reduction. The
+//! [`Executor`] trait captures exactly that protocol; each call to
+//! [`Executor::execute`] corresponds to one parallel region and therefore one
+//! synchronization event.
+//!
+//! Three implementations exist:
+//!
+//! * [`SequentialExecutor`] (here) — a single worker owning all patterns; the
+//!   reference for correctness and the sequential baseline of the paper's
+//!   figures,
+//! * `ThreadedExecutor` (in `phylo-parallel`) — real worker threads,
+//! * `TracingExecutor` (in `phylo-parallel`) — virtual workers that execute
+//!   the commands sequentially while recording the per-worker work of every
+//!   region, which feeds the platform performance model.
+
+use phylo_models::ModelSet;
+use phylo_tree::{BranchId, TraversalPlan, Tree};
+
+use crate::branch_lengths::BranchLengths;
+use crate::ops::{self, EdgeDerivatives};
+use crate::slice::WorkerSlices;
+
+/// Which partitions participate in a command. `mask[p] == true` means
+/// partition `p` is active. The `newPAR` scheme keeps many partitions active
+/// per command; the `oldPAR` scheme activates exactly one at a time.
+pub type PartitionMask = Vec<bool>;
+
+/// A command broadcast by the master to all workers.
+#[derive(Debug, Clone)]
+pub enum KernelOp {
+    /// Recompute CLVs following a per-partition traversal plan (`None` means
+    /// the partition has nothing to update in this region).
+    Newview {
+        /// One optional plan per partition.
+        plans: Vec<Option<TraversalPlan>>,
+    },
+    /// Evaluate the per-partition log likelihood at a virtual root branch.
+    Evaluate {
+        /// Branch carrying the virtual root.
+        root_branch: BranchId,
+        /// Active partitions.
+        mask: PartitionMask,
+    },
+    /// Build the branch sum tables used by Newton–Raphson.
+    Sumtable {
+        /// The branch being optimized.
+        branch: BranchId,
+        /// Active partitions.
+        mask: PartitionMask,
+    },
+    /// Evaluate log-likelihood derivatives at per-partition candidate branch
+    /// lengths (`None` = partition does not participate, e.g. it has already
+    /// converged — this is the `newPAR` convergence mask in action).
+    Derivatives {
+        /// Candidate branch length per partition.
+        lengths: Vec<Option<f64>>,
+    },
+}
+
+impl KernelOp {
+    /// Human-readable label of the op kind (diagnostics, traces).
+    pub fn kind(&self) -> crate::cost::OpKind {
+        match self {
+            KernelOp::Newview { .. } => crate::cost::OpKind::Newview,
+            KernelOp::Evaluate { .. } => crate::cost::OpKind::Evaluate,
+            KernelOp::Sumtable { .. } => crate::cost::OpKind::Sumtable,
+            KernelOp::Derivatives { .. } => crate::cost::OpKind::Derivatives,
+        }
+    }
+}
+
+/// Read-only view of the master state a command is executed against.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecContext<'a> {
+    /// Current tree topology.
+    pub tree: &'a Tree,
+    /// Per-partition models.
+    pub models: &'a ModelSet,
+    /// Joint or per-partition branch lengths.
+    pub branch_lengths: &'a BranchLengths,
+}
+
+/// Reduced result of a command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpOutput {
+    /// Commands without a reduction (newview, sumtable).
+    None,
+    /// Per-partition log likelihoods (0.0 for inactive partitions).
+    LogLikelihoods(Vec<f64>),
+    /// Per-partition derivative bundles (`None` for inactive partitions).
+    Derivatives(Vec<Option<EdgeDerivatives>>),
+}
+
+impl OpOutput {
+    /// Unwraps per-partition log likelihoods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output is of a different kind.
+    pub fn into_log_likelihoods(self) -> Vec<f64> {
+        match self {
+            OpOutput::LogLikelihoods(v) => v,
+            other => panic!("expected log likelihoods, got {other:?}"),
+        }
+    }
+
+    /// Unwraps per-partition derivatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output is of a different kind.
+    pub fn into_derivatives(self) -> Vec<Option<EdgeDerivatives>> {
+        match self {
+            OpOutput::Derivatives(v) => v,
+            other => panic!("expected derivatives, got {other:?}"),
+        }
+    }
+}
+
+/// The master/worker execution backend.
+pub trait Executor {
+    /// Number of workers the patterns are distributed over.
+    fn worker_count(&self) -> usize;
+
+    /// Executes one command (one parallel region, one synchronization event)
+    /// and returns the reduced result.
+    fn execute(&mut self, op: &KernelOp, ctx: &ExecContext<'_>) -> OpOutput;
+
+    /// Number of synchronization events executed so far.
+    fn sync_events(&self) -> u64;
+}
+
+/// Executes one command against a single worker's slices. This is the shared
+/// building block: the sequential executor calls it once, the threaded and
+/// tracing executors call it per worker.
+pub fn execute_on_worker(
+    worker: &mut WorkerSlices,
+    op: &KernelOp,
+    ctx: &ExecContext<'_>,
+) -> OpOutput {
+    let partitions = worker.slices.len();
+    match op {
+        KernelOp::Newview { plans } => {
+            for (pi, plan) in plans.iter().enumerate() {
+                let Some(plan) = plan else { continue };
+                let slice = &worker.slices[pi];
+                if slice.pattern_count() == 0 {
+                    continue;
+                }
+                let model = ctx.models.model(pi);
+                for step in &plan.steps {
+                    let left_len = ctx.branch_lengths.get(pi, step.left_branch);
+                    let right_len = ctx.branch_lengths.get(pi, step.right_branch);
+                    ops::newview_step(slice, &mut worker.buffers[pi], model, step, left_len, right_len);
+                }
+            }
+            OpOutput::None
+        }
+        KernelOp::Evaluate { root_branch, mask } => {
+            let (left, right) = ctx.tree.branch_endpoints(*root_branch);
+            let mut out = vec![0.0; partitions];
+            for pi in 0..partitions {
+                if !mask[pi] || worker.slices[pi].pattern_count() == 0 {
+                    continue;
+                }
+                let model = ctx.models.model(pi);
+                let len = ctx.branch_lengths.get(pi, *root_branch);
+                out[pi] = ops::evaluate_edge(
+                    &worker.slices[pi],
+                    &worker.buffers[pi],
+                    model,
+                    left,
+                    right,
+                    len,
+                );
+            }
+            OpOutput::LogLikelihoods(out)
+        }
+        KernelOp::Sumtable { branch, mask } => {
+            let (left, right) = ctx.tree.branch_endpoints(*branch);
+            for pi in 0..partitions {
+                if !mask[pi] || worker.slices[pi].pattern_count() == 0 {
+                    continue;
+                }
+                let model = ctx.models.model(pi);
+                ops::build_sumtable(&worker.slices[pi], &mut worker.buffers[pi], model, left, right);
+            }
+            OpOutput::None
+        }
+        KernelOp::Derivatives { lengths } => {
+            let mut out = vec![None; partitions];
+            for pi in 0..partitions {
+                let Some(t) = lengths[pi] else { continue };
+                if worker.slices[pi].pattern_count() == 0 {
+                    // An idle worker still reports a zero contribution so the
+                    // reduction shape stays uniform.
+                    out[pi] = Some(EdgeDerivatives::default());
+                    continue;
+                }
+                let model = ctx.models.model(pi);
+                out[pi] = Some(ops::derivatives_from_sumtable(
+                    &worker.slices[pi],
+                    &worker.buffers[pi],
+                    model,
+                    t,
+                ));
+            }
+            OpOutput::Derivatives(out)
+        }
+    }
+}
+
+/// Sums two per-partition outputs of the same shape (the reduction step).
+pub fn reduce_outputs(a: OpOutput, b: OpOutput) -> OpOutput {
+    match (a, b) {
+        (OpOutput::None, OpOutput::None) => OpOutput::None,
+        (OpOutput::LogLikelihoods(mut x), OpOutput::LogLikelihoods(y)) => {
+            for (xi, yi) in x.iter_mut().zip(y) {
+                *xi += yi;
+            }
+            OpOutput::LogLikelihoods(x)
+        }
+        (OpOutput::Derivatives(mut x), OpOutput::Derivatives(y)) => {
+            for (xi, yi) in x.iter_mut().zip(y) {
+                match (xi.as_mut(), yi) {
+                    (Some(a), Some(b)) => {
+                        a.log_likelihood += b.log_likelihood;
+                        a.first += b.first;
+                        a.second += b.second;
+                    }
+                    (None, Some(b)) => *xi = Some(b),
+                    _ => {}
+                }
+            }
+            OpOutput::Derivatives(x)
+        }
+        (a, b) => panic!("cannot reduce outputs of different kinds: {a:?} vs {b:?}"),
+    }
+}
+
+/// A single worker owning every pattern: the sequential reference backend.
+#[derive(Debug)]
+pub struct SequentialExecutor {
+    worker: WorkerSlices,
+    sync_events: u64,
+}
+
+impl SequentialExecutor {
+    /// Creates the sequential executor for a dataset.
+    pub fn new(
+        patterns: &phylo_data::PartitionedPatterns,
+        node_capacity: usize,
+        categories: &[usize],
+    ) -> Self {
+        Self {
+            worker: WorkerSlices::cyclic(patterns, 0, 1, node_capacity, categories),
+            sync_events: 0,
+        }
+    }
+
+    /// Read access to the worker (tests / diagnostics).
+    pub fn worker(&self) -> &WorkerSlices {
+        &self.worker
+    }
+}
+
+impl Executor for SequentialExecutor {
+    fn worker_count(&self) -> usize {
+        1
+    }
+
+    fn execute(&mut self, op: &KernelOp, ctx: &ExecContext<'_>) -> OpOutput {
+        self.sync_events += 1;
+        execute_on_worker(&mut self.worker, op, ctx)
+    }
+
+    fn sync_events(&self) -> u64 {
+        self.sync_events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::EdgeDerivatives;
+
+    #[test]
+    fn reduce_log_likelihoods_sums_per_partition() {
+        let a = OpOutput::LogLikelihoods(vec![-1.0, -2.0]);
+        let b = OpOutput::LogLikelihoods(vec![-3.0, -4.0]);
+        match reduce_outputs(a, b) {
+            OpOutput::LogLikelihoods(v) => assert_eq!(v, vec![-4.0, -6.0]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reduce_derivatives_sums_fields() {
+        let a = OpOutput::Derivatives(vec![
+            Some(EdgeDerivatives { log_likelihood: -1.0, first: 2.0, second: -3.0 }),
+            None,
+        ]);
+        let b = OpOutput::Derivatives(vec![
+            Some(EdgeDerivatives { log_likelihood: -1.5, first: 1.0, second: -1.0 }),
+            Some(EdgeDerivatives { log_likelihood: -9.0, first: 0.5, second: -0.5 }),
+        ]);
+        match reduce_outputs(a, b) {
+            OpOutput::Derivatives(v) => {
+                let first = v[0].unwrap();
+                assert!((first.log_likelihood + 2.5).abs() < 1e-12);
+                assert!((first.first - 3.0).abs() < 1e-12);
+                assert!((first.second + 4.0).abs() < 1e-12);
+                assert!(v[1].is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn reduce_mismatched_outputs_panics() {
+        reduce_outputs(OpOutput::None, OpOutput::LogLikelihoods(vec![0.0]));
+    }
+
+    #[test]
+    fn op_output_unwrap_helpers() {
+        assert_eq!(
+            OpOutput::LogLikelihoods(vec![1.0]).into_log_likelihoods(),
+            vec![1.0]
+        );
+        assert_eq!(OpOutput::Derivatives(vec![None]).into_derivatives(), vec![None]);
+    }
+
+    #[test]
+    fn kernel_op_kind_labels() {
+        use crate::cost::OpKind;
+        let op = KernelOp::Evaluate { root_branch: 0, mask: vec![true] };
+        assert_eq!(op.kind(), OpKind::Evaluate);
+        let op = KernelOp::Derivatives { lengths: vec![Some(0.1)] };
+        assert_eq!(op.kind(), OpKind::Derivatives);
+    }
+}

@@ -1,0 +1,55 @@
+//! The Phylogenetic Likelihood Kernel (PLK).
+//!
+//! This crate is the paper's primary subject: the computation of the
+//! likelihood of a partitioned multiple sequence alignment on a fixed unrooted
+//! binary tree, organized so that the `m′` alignment patterns can be
+//! distributed over worker threads and so that the iterative optimizers can be
+//! run either per partition (the *oldPAR* scheme) or simultaneously over all
+//! partitions (the *newPAR* scheme).
+//!
+//! The crate is layered:
+//!
+//! * [`slice`] — the per-worker view of a partition's patterns (cyclic
+//!   distribution) and the conditional likelihood vector (CLV) buffers that
+//!   belong to it,
+//! * [`ops`] — the numerical core: `newview` (CLV update), `evaluate`
+//!   (log-likelihood at the virtual root), the branch sum table and the
+//!   analytic first/second derivatives with respect to a branch length,
+//! * [`branch_lengths`] — joint vs per-partition branch-length storage,
+//! * [`validity`] — the master-side cache that tracks which CLVs are still
+//!   valid (and in which orientation) so that partial traversals can be used,
+//! * [`cost`] — an analytic floating-point cost model of the kernel
+//!   primitives, used by the instrumented executor and the platform model,
+//! * [`executor`] — the [`Executor`](executor::Executor) abstraction: a
+//!   synchronous "command" interface exactly like the master/worker protocol
+//!   of the Pthreads RAxML, plus the sequential reference implementation,
+//! * [`engine`] — [`LikelihoodKernel`](engine::LikelihoodKernel), the
+//!   high-level object that owns tree, models and branch lengths and exposes
+//!   likelihood evaluation, CLV management and derivative computation to the
+//!   optimizers and the tree search,
+//! * [`naive`] — an intentionally simple reference implementation used by the
+//!   test-suite to cross-validate the optimized kernel.
+
+pub mod branch_lengths;
+pub mod cost;
+pub mod engine;
+pub mod executor;
+pub mod naive;
+pub mod ops;
+pub mod slice;
+pub mod validity;
+
+pub use branch_lengths::BranchLengths;
+pub use engine::{KernelStats, LikelihoodKernel, SequentialKernel};
+pub use executor::{ExecContext, Executor, KernelOp, OpOutput, PartitionMask, SequentialExecutor};
+pub use slice::{PartitionSlice, SliceBuffers, WorkerSlices};
+pub use validity::ClvValidity;
+
+/// Numerical scaling threshold: when every CLV entry of a pattern drops below
+/// this value the pattern is rescaled to avoid underflow.
+pub const SCALE_THRESHOLD: f64 = 1.0e-100;
+/// Multiplier applied when rescaling (the inverse of [`SCALE_THRESHOLD`]).
+pub const SCALE_FACTOR: f64 = 1.0e100;
+/// Natural logarithm of [`SCALE_FACTOR`]; subtracted once per scaling event
+/// when assembling per-site log likelihoods.
+pub const LOG_SCALE_FACTOR: f64 = 230.25850929940457;

@@ -1,0 +1,697 @@
+//! The numerical core of the likelihood kernel.
+//!
+//! All functions here operate on a *slice* (one worker's patterns of one
+//! partition) and are completely independent of threading: the sequential
+//! executor calls them on a single slice covering everything, the threaded
+//! executor calls them concurrently on disjoint slices, and the instrumented
+//! executor calls them per virtual worker while recording the work.
+//!
+//! * [`newview_step`] — recompute the conditional likelihood vector (CLV) of
+//!   one internal node from its two children (Felsenstein pruning step),
+//! * [`evaluate_edge`] — per-site log likelihoods summed over the slice for a
+//!   virtual root placed on a branch,
+//! * [`build_sumtable`] / [`derivatives_from_sumtable`] — the RAxML
+//!   `makenewz` decomposition: a branch-specific sum table that makes every
+//!   Newton–Raphson iteration on that branch a cheap per-pattern loop with
+//!   analytic first and second derivatives.
+
+use phylo_data::EncodedState;
+use phylo_models::PartitionModel;
+use phylo_tree::{NodeId, TraversalStep};
+
+use crate::slice::{PartitionSlice, SliceBuffers};
+use crate::{LOG_SCALE_FACTOR, SCALE_FACTOR, SCALE_THRESHOLD};
+
+/// Floor applied to per-site likelihoods before taking logarithms, so that a
+/// fully impossible site (numerically zero) produces a very bad but finite
+/// log likelihood instead of `-inf`.
+const SITE_LIKELIHOOD_FLOOR: f64 = 1.0e-300;
+
+/// Resolved child data used inside the inner loops.
+enum ChildData<'a> {
+    /// The child is a leaf; per-pattern tip states come from the slice.
+    Tip(NodeId),
+    /// The child is an internal node with a computed CLV and scale counters.
+    Internal { clv: &'a [f64], scale: &'a [i32] },
+}
+
+fn child_data<'a>(
+    slice: &PartitionSlice,
+    buffers: &'a SliceBuffers,
+    node: NodeId,
+) -> ChildData<'a> {
+    if node < slice.n_taxa {
+        ChildData::Tip(node)
+    } else {
+        let clv = buffers
+            .clv(node)
+            .unwrap_or_else(|| panic!("CLV of internal node {node} has not been computed"));
+        let scale = buffers
+            .scale(node)
+            .unwrap_or_else(|| panic!("scale counters of node {node} missing"));
+        ChildData::Internal { clv, scale }
+    }
+}
+
+/// Sum of transition probabilities from state `s` into the states compatible
+/// with the tip bitmask: `Σ_{a ∈ mask} P[s][a]`.
+#[inline]
+fn tip_sum(pmat_row: &[f64], mask: EncodedState) -> f64 {
+    let mut sum = 0.0;
+    let mut m = mask;
+    while m != 0 {
+        let a = m.trailing_zeros() as usize;
+        sum += pmat_row[a];
+        m &= m - 1;
+    }
+    sum
+}
+
+/// Per-category transition matrices for one branch.
+fn category_pmats(model: &PartitionModel, branch_length: f64) -> Vec<Vec<f64>> {
+    let states = model.states();
+    model
+        .gamma_rates()
+        .iter()
+        .map(|&rate| {
+            let mut buf = vec![0.0; states * states];
+            model
+                .substitution()
+                .eigen()
+                .transition_matrix_into(branch_length * rate, &mut buf);
+            buf
+        })
+        .collect()
+}
+
+/// Recomputes the CLV of `step.node` for every local pattern of the slice.
+///
+/// `left_length` / `right_length` are the branch lengths towards the two
+/// children *as seen by this partition* (per-partition branch lengths differ
+/// between partitions).
+pub fn newview_step(
+    slice: &PartitionSlice,
+    buffers: &mut SliceBuffers,
+    model: &PartitionModel,
+    step: &TraversalStep,
+    left_length: f64,
+    right_length: f64,
+) {
+    let states = slice.states();
+    let categories = model.categories();
+    let patterns = slice.pattern_count();
+    debug_assert_eq!(buffers.states(), states);
+    debug_assert_eq!(buffers.categories(), categories);
+
+    let left_pmats = category_pmats(model, left_length);
+    let right_pmats = category_pmats(model, right_length);
+
+    let (mut clv, mut scale) = buffers.take_node(step.node);
+    clv.resize(patterns * categories * states, 0.0);
+    scale.resize(patterns, 0);
+
+    {
+        let left = child_data(slice, buffers, step.left);
+        let right = child_data(slice, buffers, step.right);
+
+        for p in 0..patterns {
+            let mut max_entry = 0.0f64;
+            for c in 0..categories {
+                let lp = &left_pmats[c];
+                let rp = &right_pmats[c];
+                let base = (p * categories + c) * states;
+                for s in 0..states {
+                    let row = s * states;
+                    let left_sum = match &left {
+                        ChildData::Tip(t) => tip_sum(&lp[row..row + states], slice.tip_state(p, *t)),
+                        ChildData::Internal { clv: child, .. } => {
+                            let cbase = (p * categories + c) * states;
+                            let mut acc = 0.0;
+                            for a in 0..states {
+                                acc += lp[row + a] * child[cbase + a];
+                            }
+                            acc
+                        }
+                    };
+                    let right_sum = match &right {
+                        ChildData::Tip(t) => tip_sum(&rp[row..row + states], slice.tip_state(p, *t)),
+                        ChildData::Internal { clv: child, .. } => {
+                            let cbase = (p * categories + c) * states;
+                            let mut acc = 0.0;
+                            for a in 0..states {
+                                acc += rp[row + a] * child[cbase + a];
+                            }
+                            acc
+                        }
+                    };
+                    let value = left_sum * right_sum;
+                    clv[base + s] = value;
+                    if value > max_entry {
+                        max_entry = value;
+                    }
+                }
+            }
+
+            // Inherit scaling events from the children and rescale if the
+            // pattern is about to underflow.
+            let mut events = 0;
+            if let ChildData::Internal { scale: s, .. } = &left {
+                events += s[p];
+            }
+            if let ChildData::Internal { scale: s, .. } = &right {
+                events += s[p];
+            }
+            if max_entry < SCALE_THRESHOLD && max_entry > 0.0 {
+                let base = p * categories * states;
+                for v in &mut clv[base..base + categories * states] {
+                    *v *= SCALE_FACTOR;
+                }
+                events += 1;
+            }
+            scale[p] = events;
+        }
+    }
+
+    buffers.put_back(step.node, clv, scale);
+}
+
+/// Evaluates the weighted log likelihood of the slice for a virtual root
+/// placed on the branch between `left` and `right` with length
+/// `branch_length`, using the partition's stationary frequencies.
+///
+/// Returns the sum over the local patterns of `weight × ln L(pattern)`.
+pub fn evaluate_edge(
+    slice: &PartitionSlice,
+    buffers: &SliceBuffers,
+    model: &PartitionModel,
+    left: NodeId,
+    right: NodeId,
+    branch_length: f64,
+) -> f64 {
+    let states = slice.states();
+    let categories = model.categories();
+    let patterns = slice.pattern_count();
+    let freqs = model.substitution().frequencies();
+    let pmats = category_pmats(model, branch_length);
+    let inv_categories = 1.0 / categories as f64;
+
+    let left_data = child_data(slice, buffers, left);
+    let right_data = child_data(slice, buffers, right);
+
+    let mut total = 0.0;
+    for p in 0..patterns {
+        let mut site = 0.0;
+        for c in 0..categories {
+            let pm = &pmats[c];
+            let base = (p * categories + c) * states;
+            let mut cat_sum = 0.0;
+            for s in 0..states {
+                let l_val = match &left_data {
+                    ChildData::Tip(t) => {
+                        if slice.tip_state(p, *t) & (1 << s) != 0 {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    ChildData::Internal { clv, .. } => clv[base + s],
+                };
+                if l_val == 0.0 {
+                    continue;
+                }
+                let row = s * states;
+                let inner = match &right_data {
+                    ChildData::Tip(t) => tip_sum(&pm[row..row + states], slice.tip_state(p, *t)),
+                    ChildData::Internal { clv, .. } => {
+                        let mut acc = 0.0;
+                        for a in 0..states {
+                            acc += pm[row + a] * clv[base + a];
+                        }
+                        acc
+                    }
+                };
+                cat_sum += freqs[s] * l_val * inner;
+            }
+            site += cat_sum * inv_categories;
+        }
+        let mut events = 0;
+        if let ChildData::Internal { scale, .. } = &left_data {
+            events += scale[p];
+        }
+        if let ChildData::Internal { scale, .. } = &right_data {
+            events += scale[p];
+        }
+        let ln_site = site.max(SITE_LIKELIHOOD_FLOOR).ln() - events as f64 * LOG_SCALE_FACTOR;
+        total += slice.weights[p] * ln_site;
+    }
+    total
+}
+
+/// Builds the branch sum table for the branch between `left` and `right`.
+///
+/// For every local pattern `p` and rate category `c` the table stores
+/// `s_k = (Wᵀ l)_k · (Wᵀ r)_k`, where `W = diag(√π)·V` comes from the model's
+/// eigendecomposition. With the table in place the likelihood of the branch as
+/// a function of its length `t` is `Σ_k s_k · e^{λ_k r_c t}` per category, so
+/// each Newton–Raphson iteration only needs [`derivatives_from_sumtable`] and
+/// never touches the CLVs again.
+pub fn build_sumtable(
+    slice: &PartitionSlice,
+    buffers: &mut SliceBuffers,
+    model: &PartitionModel,
+    left: NodeId,
+    right: NodeId,
+) {
+    let states = slice.states();
+    let categories = model.categories();
+    let patterns = slice.pattern_count();
+    let w = &model.substitution().eigen().w;
+
+    let (mut table, mut table_scale) = {
+        let (t, s) = buffers.sumtable_mut();
+        (std::mem::take(t), std::mem::take(s))
+    };
+    table.clear();
+    table.resize(patterns * categories * states, 0.0);
+    table_scale.clear();
+    table_scale.resize(patterns, 0);
+
+    {
+        let left_data = child_data(slice, buffers, left);
+        let right_data = child_data(slice, buffers, right);
+        let mut l_vec = vec![0.0; states];
+        let mut r_vec = vec![0.0; states];
+
+        for p in 0..patterns {
+            for c in 0..categories {
+                let base = (p * categories + c) * states;
+                for s in 0..states {
+                    l_vec[s] = match &left_data {
+                        ChildData::Tip(t) => {
+                            if slice.tip_state(p, *t) & (1 << s) != 0 {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        }
+                        ChildData::Internal { clv, .. } => clv[base + s],
+                    };
+                    r_vec[s] = match &right_data {
+                        ChildData::Tip(t) => {
+                            if slice.tip_state(p, *t) & (1 << s) != 0 {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        }
+                        ChildData::Internal { clv, .. } => clv[base + s],
+                    };
+                }
+                for k in 0..states {
+                    let mut a = 0.0;
+                    let mut b = 0.0;
+                    for s in 0..states {
+                        let wsk = w[(s, k)];
+                        a += wsk * l_vec[s];
+                        b += wsk * r_vec[s];
+                    }
+                    table[base + k] = a * b;
+                }
+            }
+            let mut events = 0;
+            if let ChildData::Internal { scale, .. } = &left_data {
+                events += scale[p];
+            }
+            if let ChildData::Internal { scale, .. } = &right_data {
+                events += scale[p];
+            }
+            table_scale[p] = events;
+        }
+    }
+
+    let (t, s) = buffers.sumtable_mut();
+    *t = table;
+    *s = table_scale;
+}
+
+/// Result of one derivative evaluation over a slice.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EdgeDerivatives {
+    /// Weighted log likelihood of the slice at the evaluated branch length.
+    pub log_likelihood: f64,
+    /// First derivative of the weighted log likelihood w.r.t. the branch length.
+    pub first: f64,
+    /// Second derivative of the weighted log likelihood w.r.t. the branch length.
+    pub second: f64,
+}
+
+/// Evaluates the log likelihood and its first two derivatives with respect to
+/// the branch length `t`, using the sum table previously built for this branch
+/// by [`build_sumtable`].
+pub fn derivatives_from_sumtable(
+    slice: &PartitionSlice,
+    buffers: &SliceBuffers,
+    model: &PartitionModel,
+    t: f64,
+) -> EdgeDerivatives {
+    let states = slice.states();
+    let categories = model.categories();
+    let patterns = slice.pattern_count();
+    let table = buffers.sumtable();
+    let table_scale = buffers.sumtable_scale();
+    debug_assert_eq!(table.len(), patterns * categories * states);
+    let eigenvalues = &model.substitution().eigen().values;
+    let rates = model.gamma_rates();
+    let inv_categories = 1.0 / categories as f64;
+
+    // Pre-compute e^{λ_k r_c t}, λ_k r_c and (λ_k r_c)² for every (c, k).
+    let mut exps = vec![0.0; categories * states];
+    let mut lam1 = vec![0.0; categories * states];
+    for c in 0..categories {
+        for k in 0..states {
+            let lr = eigenvalues[k] * rates[c];
+            exps[c * states + k] = (lr * t).exp();
+            lam1[c * states + k] = lr;
+        }
+    }
+
+    let mut out = EdgeDerivatives::default();
+    for p in 0..patterns {
+        let mut f = 0.0;
+        let mut f1 = 0.0;
+        let mut f2 = 0.0;
+        for c in 0..categories {
+            let base = (p * categories + c) * states;
+            let ebase = c * states;
+            for k in 0..states {
+                let x = table[base + k] * exps[ebase + k];
+                let lr = lam1[ebase + k];
+                f += x;
+                f1 += lr * x;
+                f2 += lr * lr * x;
+            }
+        }
+        f *= inv_categories;
+        f1 *= inv_categories;
+        f2 *= inv_categories;
+
+        let w = slice.weights[p];
+        let site = f.max(SITE_LIKELIHOOD_FLOOR);
+        let ratio1 = f1 / site;
+        let ratio2 = f2 / site;
+        out.log_likelihood += w * (site.ln() - table_scale[p] as f64 * LOG_SCALE_FACTOR);
+        out.first += w * ratio1;
+        out.second += w * (ratio2 - ratio1 * ratio1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_data::{Alignment, DataType, PartitionSet, PartitionedPatterns};
+    use phylo_models::{BranchLengthMode, ModelSet};
+    use phylo_tree::{Tree, TraversalPlan};
+
+    use crate::slice::WorkerSlices;
+
+    /// Three-taxon fixture: one internal node, three branches.
+    fn three_taxon() -> (PartitionedPatterns, Tree) {
+        let aln = Alignment::new(vec![
+            ("t0".into(), "ACGTTA".into()),
+            ("t1".into(), "ACGTCA".into()),
+            ("t2".into(), "ACGATA".into()),
+        ])
+        .unwrap();
+        let ps = PartitionSet::unpartitioned(DataType::Dna, 6);
+        let pp = PartitionedPatterns::compile(&aln, &ps).unwrap();
+        let tree = Tree::initial_triplet(pp.taxa.clone(), [0, 1, 2]);
+        (pp, tree)
+    }
+
+    fn setup(
+        pp: &PartitionedPatterns,
+        tree: &Tree,
+        categories: usize,
+    ) -> (WorkerSlices, ModelSet) {
+        let models = ModelSet::with_categories(pp, BranchLengthMode::Joint, categories);
+        let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+        let ws = WorkerSlices::cyclic(pp, 0, 1, tree.node_capacity(), &cats);
+        (ws, models)
+    }
+
+    /// Direct (brute force) likelihood of the 3-taxon tree summing over the
+    /// internal node's states, used as an independent reference.
+    fn brute_force_three_taxon(
+        pp: &PartitionedPatterns,
+        tree: &Tree,
+        models: &ModelSet,
+    ) -> f64 {
+        let part = &pp.partitions[0];
+        let model = models.model(0);
+        let freqs = model.substitution().frequencies();
+        let states = 4usize;
+        let center = 3usize;
+        let mut total = 0.0;
+        for p in 0..part.pattern_count() {
+            let mut site = 0.0;
+            for (ci, &rate) in model.gamma_rates().iter().enumerate() {
+                let _ = ci;
+                let mut cat = 0.0;
+                // P matrices per pendant branch for this category.
+                let pmats: Vec<_> = (0..3)
+                    .map(|leaf| {
+                        let b = tree.branch_between(center, leaf).unwrap();
+                        model
+                            .substitution()
+                            .transition_matrix(tree.branch_length(b) * rate)
+                    })
+                    .collect();
+                for x in 0..states {
+                    let mut prod = freqs[x];
+                    for (leaf, pm) in pmats.iter().enumerate() {
+                        let mask = part.tip_state(p, leaf);
+                        let mut s = 0.0;
+                        for a in 0..states {
+                            if mask & (1 << a) != 0 {
+                                s += pm[(x, a)];
+                            }
+                        }
+                        prod *= s;
+                    }
+                    cat += prod;
+                }
+                site += cat / model.categories() as f64;
+            }
+            total += part.weights[p] * site.ln();
+        }
+        total
+    }
+
+    fn full_newview(
+        ws: &mut WorkerSlices,
+        tree: &Tree,
+        models: &ModelSet,
+        root_branch: usize,
+    ) {
+        let plan = TraversalPlan::full(tree, root_branch);
+        for step in &plan.steps {
+            let slice = &ws.slices[0];
+            let model = models.model(0);
+            newview_step(
+                slice,
+                &mut ws.buffers[0],
+                model,
+                step,
+                tree.branch_length(step.left_branch),
+                tree.branch_length(step.right_branch),
+            );
+        }
+    }
+
+    #[test]
+    fn scale_constant_is_consistent() {
+        assert!((SCALE_FACTOR.ln() - LOG_SCALE_FACTOR).abs() < 1e-12);
+        assert!((SCALE_THRESHOLD * SCALE_FACTOR - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_taxon_likelihood_matches_brute_force_single_category() {
+        let (pp, tree) = three_taxon();
+        let (mut ws, models) = setup(&pp, &tree, 1);
+        // Root on the pendant branch of leaf 0.
+        let root_branch = tree.branch_between(0, 3).unwrap();
+        full_newview(&mut ws, &tree, &models, root_branch);
+        let lnl = evaluate_edge(
+            &ws.slices[0],
+            &ws.buffers[0],
+            models.model(0),
+            0,
+            3,
+            tree.branch_length(root_branch),
+        );
+        let reference = brute_force_three_taxon(&pp, &tree, &models);
+        assert!(
+            (lnl - reference).abs() < 1e-9,
+            "kernel {lnl} vs brute force {reference}"
+        );
+        assert!(lnl < 0.0, "log likelihood must be negative");
+    }
+
+    #[test]
+    fn three_taxon_likelihood_matches_brute_force_gamma() {
+        let (pp, tree) = three_taxon();
+        let (mut ws, models) = setup(&pp, &tree, 4);
+        let root_branch = tree.branch_between(1, 3).unwrap();
+        full_newview(&mut ws, &tree, &models, root_branch);
+        let lnl = evaluate_edge(
+            &ws.slices[0],
+            &ws.buffers[0],
+            models.model(0),
+            1,
+            3,
+            tree.branch_length(root_branch),
+        );
+        let reference = brute_force_three_taxon(&pp, &tree, &models);
+        assert!((lnl - reference).abs() < 1e-9, "kernel {lnl} vs reference {reference}");
+    }
+
+    #[test]
+    fn likelihood_is_invariant_to_root_placement() {
+        let (pp, tree) = three_taxon();
+        let (mut ws, models) = setup(&pp, &tree, 4);
+        let mut values = Vec::new();
+        for root_branch in tree.branches() {
+            full_newview(&mut ws, &tree, &models, root_branch);
+            let (a, b) = tree.branch_endpoints(root_branch);
+            let lnl = evaluate_edge(
+                &ws.slices[0],
+                &ws.buffers[0],
+                models.model(0),
+                a,
+                b,
+                tree.branch_length(root_branch),
+            );
+            values.push(lnl);
+        }
+        for v in &values[1..] {
+            assert!((v - values[0]).abs() < 1e-9, "root invariance violated: {values:?}");
+        }
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let (pp, tree) = three_taxon();
+        let (mut ws, models) = setup(&pp, &tree, 4);
+        let root_branch = tree.branch_between(2, 3).unwrap();
+        full_newview(&mut ws, &tree, &models, root_branch);
+        build_sumtable(&ws.slices[0], &mut ws.buffers[0], models.model(0), 2, 3);
+
+        let f = |t: f64| {
+            evaluate_edge(&ws.slices[0], &ws.buffers[0], models.model(0), 2, 3, t)
+        };
+        for &t in &[0.02, 0.1, 0.3, 0.8] {
+            let d = derivatives_from_sumtable(&ws.slices[0], &ws.buffers[0], models.model(0), t);
+            // The sum-table log likelihood must agree with evaluate_edge.
+            assert!((d.log_likelihood - f(t)).abs() < 1e-8, "lnL mismatch at t={t}");
+            let h = 1e-6;
+            let fd1 = (f(t + h) - f(t - h)) / (2.0 * h);
+            let fd2 = (f(t + h) - 2.0 * f(t) + f(t - h)) / (h * h);
+            assert!(
+                (d.first - fd1).abs() < 1e-4 * (1.0 + fd1.abs()),
+                "first derivative at t={t}: analytic {} vs fd {fd1}",
+                d.first
+            );
+            assert!(
+                (d.second - fd2).abs() < 1e-2 * (1.0 + fd2.abs()),
+                "second derivative at t={t}: analytic {} vs fd {fd2}",
+                d.second
+            );
+        }
+    }
+
+    #[test]
+    fn gap_only_columns_have_zero_information() {
+        // A pattern of all gaps has likelihood 1 (ln L = 0 contribution).
+        let aln = Alignment::new(vec![
+            ("t0".into(), "A-".into()),
+            ("t1".into(), "A-".into()),
+            ("t2".into(), "A-".into()),
+        ])
+        .unwrap();
+        let ps = PartitionSet::unpartitioned(DataType::Dna, 2);
+        let pp = PartitionedPatterns::compile(&aln, &ps).unwrap();
+        let tree = Tree::initial_triplet(pp.taxa.clone(), [0, 1, 2]);
+        let (mut ws, models) = setup(&pp, &tree, 4);
+        let root_branch = tree.branch_between(0, 3).unwrap();
+        full_newview(&mut ws, &tree, &models, root_branch);
+
+        // Evaluate only the gap pattern by zeroing the other weight.
+        let mut slice = ws.slices[0].clone();
+        for (i, &g) in slice.global_indices.iter().enumerate() {
+            let (_, local) = pp.locate(g);
+            let is_gap_pattern = pp.partitions[0]
+                .pattern_states(local)
+                .iter()
+                .all(|&s| DataType::Dna.is_gap(s));
+            if !is_gap_pattern {
+                slice.weights[i] = 0.0;
+            }
+        }
+        let lnl = evaluate_edge(
+            &slice,
+            &ws.buffers[0],
+            models.model(0),
+            0,
+            3,
+            tree.branch_length(root_branch),
+        );
+        assert!(lnl.abs() < 1e-9, "all-gap pattern must contribute ln 1 = 0, got {lnl}");
+    }
+
+    #[test]
+    fn scaling_keeps_likelihood_finite_on_long_branches() {
+        // A deep caterpillar tree with long branches underflows the naive
+        // product of per-level sums long before 64-bit floats run out of
+        // exponent; the per-pattern scaling must keep the result finite and
+        // must actually fire.
+        let n = 260usize;
+        let names: Vec<String> = (0..n).map(|i| format!("t{i}")).collect();
+        let rows: Vec<(String, String)> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), if i % 2 == 0 { "ACGT".to_string() } else { "TGCA".to_string() }))
+            .collect();
+        let aln = Alignment::new(rows).unwrap();
+        let ps = PartitionSet::unpartitioned(DataType::Dna, 4);
+        let pp = PartitionedPatterns::compile(&aln, &ps).unwrap();
+        let order: Vec<usize> = (0..n).collect();
+        // Insert every new taxon on the most recent pendant branch: a chain of
+        // depth ≈ n, the worst case for underflow.
+        let mut tree = Tree::stepwise(names, &order, |b| b - 1);
+        for b in tree.branches().collect::<Vec<_>>() {
+            tree.set_branch_length(b, 5.0);
+        }
+        let (mut ws, models) = setup(&pp, &tree, 4);
+        let root_branch = 0;
+        full_newview(&mut ws, &tree, &models, root_branch);
+        let (a, b) = tree.branch_endpoints(root_branch);
+        let lnl = evaluate_edge(
+            &ws.slices[0],
+            &ws.buffers[0],
+            models.model(0),
+            a,
+            b,
+            tree.branch_length(root_branch),
+        );
+        assert!(lnl.is_finite());
+        assert!(lnl < -100.0, "a 150-taxon saturated alignment must have a very poor lnL, got {lnl}");
+        let any_scaled = (0..tree.node_capacity()).any(|node| {
+            ws.buffers[0]
+                .scale(node)
+                .map(|s| s.iter().any(|&x| x > 0))
+                .unwrap_or(false)
+        });
+        assert!(any_scaled, "expected scaling events on a deep tree with long branches");
+    }
+}

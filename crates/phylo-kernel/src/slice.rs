@@ -1,0 +1,396 @@
+//! Per-worker pattern slices and likelihood-vector buffers.
+//!
+//! The paper's parallelization assigns the `m′` distinct alignment patterns to
+//! worker threads cyclically (pattern `g` goes to thread `g mod T`), which
+//! balances mixed DNA/protein inputs. Each worker owns, for every partition,
+//! the tip states and weights of *its* patterns and the conditional likelihood
+//! vectors (CLVs) over those patterns. Nothing is shared between workers
+//! except through reductions, which is exactly the Pthreads layout of RAxML
+//! and what makes the scheme data-race free by construction.
+
+use phylo_data::{DataType, EncodedState, PartitionedPatterns};
+
+/// One worker's view of one partition: the locally owned patterns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionSlice {
+    /// Index of the partition in the dataset.
+    pub partition: usize,
+    /// Data type (4 or 20 states).
+    pub data_type: DataType,
+    /// Number of taxa.
+    pub n_taxa: usize,
+    /// Tip states of the local patterns, pattern-major
+    /// (`tip_states[p * n_taxa + t]`).
+    pub tip_states: Vec<EncodedState>,
+    /// Pattern weights of the local patterns.
+    pub weights: Vec<f64>,
+    /// Global pattern indices of the local patterns (diagnostics only).
+    pub global_indices: Vec<usize>,
+}
+
+impl PartitionSlice {
+    /// Number of locally owned patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of character states.
+    pub fn states(&self) -> usize {
+        self.data_type.states()
+    }
+
+    /// Tip state of `taxon` at local pattern `pattern`.
+    #[inline]
+    pub fn tip_state(&self, pattern: usize, taxon: usize) -> EncodedState {
+        self.tip_states[pattern * self.n_taxa + taxon]
+    }
+}
+
+/// The CLV and scaling buffers a worker owns for one partition.
+#[derive(Debug, Clone)]
+pub struct SliceBuffers {
+    patterns: usize,
+    states: usize,
+    categories: usize,
+    node_capacity: usize,
+    /// CLVs per internal node (lazily allocated); length
+    /// `patterns × categories × states`, layout `[pattern][category][state]`.
+    clvs: Vec<Option<Vec<f64>>>,
+    /// Per-node, per-pattern scaling event counters.
+    scales: Vec<Option<Vec<i32>>>,
+    /// Sum table for the branch currently being optimized; length
+    /// `patterns × categories × states`.
+    sumtable: Vec<f64>,
+    /// Scaling counter total for the branch the sum table was built for.
+    sumtable_scale: Vec<i32>,
+}
+
+impl SliceBuffers {
+    /// Allocates buffers for a slice with `patterns` local patterns on a tree
+    /// with `node_capacity` node slots and a model with `categories` rate
+    /// categories.
+    pub fn new(patterns: usize, states: usize, categories: usize, node_capacity: usize) -> Self {
+        Self {
+            patterns,
+            states,
+            categories,
+            node_capacity,
+            clvs: vec![None; node_capacity],
+            scales: vec![None; node_capacity],
+            sumtable: Vec::new(),
+            sumtable_scale: Vec::new(),
+        }
+    }
+
+    /// Number of local patterns.
+    pub fn patterns(&self) -> usize {
+        self.patterns
+    }
+
+    /// Number of states.
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// Number of rate categories.
+    pub fn categories(&self) -> usize {
+        self.categories
+    }
+
+    /// Length of one CLV (`patterns × categories × states`).
+    pub fn clv_len(&self) -> usize {
+        self.patterns * self.categories * self.states
+    }
+
+    /// Returns the CLV of `node`, allocating it zero-filled on first use.
+    pub fn clv_mut(&mut self, node: usize) -> &mut Vec<f64> {
+        let len = self.clv_len();
+        self.clvs[node].get_or_insert_with(|| vec![0.0; len])
+    }
+
+    /// Returns the CLV of `node` if it has been computed before.
+    pub fn clv(&self, node: usize) -> Option<&Vec<f64>> {
+        self.clvs[node].as_ref()
+    }
+
+    /// Returns the scaling counters of `node`, allocating on first use.
+    pub fn scale_mut(&mut self, node: usize) -> &mut Vec<i32> {
+        let len = self.patterns;
+        self.scales[node].get_or_insert_with(|| vec![0; len])
+    }
+
+    /// Returns the scaling counters of `node` if present.
+    pub fn scale(&self, node: usize) -> Option<&Vec<i32>> {
+        self.scales[node].as_ref()
+    }
+
+    /// Takes the CLV and scale buffers of `node` out of the store, so that a
+    /// new CLV can be computed into them while the children's CLVs are still
+    /// borrowed immutably. [`SliceBuffers::put_back`] returns them.
+    pub fn take_node(&mut self, node: usize) -> (Vec<f64>, Vec<i32>) {
+        let len = self.clv_len();
+        let clv = self.clvs[node].take().unwrap_or_else(|| vec![0.0; len]);
+        let scale = self.scales[node].take().unwrap_or_else(|| vec![0; self.patterns]);
+        (clv, scale)
+    }
+
+    /// Returns buffers previously removed with [`SliceBuffers::take_node`].
+    pub fn put_back(&mut self, node: usize, clv: Vec<f64>, scale: Vec<i32>) {
+        debug_assert_eq!(clv.len(), self.clv_len());
+        debug_assert_eq!(scale.len(), self.patterns);
+        self.clvs[node] = Some(clv);
+        self.scales[node] = Some(scale);
+    }
+
+    /// The branch sum table (empty until
+    /// [`crate::ops::build_sumtable`] fills it).
+    pub fn sumtable(&self) -> &[f64] {
+        &self.sumtable
+    }
+
+    /// Scaling counters accompanying the sum table.
+    pub fn sumtable_scale(&self) -> &[i32] {
+        &self.sumtable_scale
+    }
+
+    /// Mutable access for the sum-table builder.
+    pub fn sumtable_mut(&mut self) -> (&mut Vec<f64>, &mut Vec<i32>) {
+        (&mut self.sumtable, &mut self.sumtable_scale)
+    }
+
+    /// Total number of bytes currently allocated for CLVs (diagnostics).
+    pub fn allocated_bytes(&self) -> usize {
+        self.clvs
+            .iter()
+            .flatten()
+            .map(|v| v.len() * std::mem::size_of::<f64>())
+            .sum()
+    }
+
+    /// Node capacity the buffers were sized for.
+    pub fn node_capacity(&self) -> usize {
+        self.node_capacity
+    }
+}
+
+/// Everything one worker owns: a slice and a buffer per partition.
+#[derive(Debug, Clone)]
+pub struct WorkerSlices {
+    /// Worker index in `0..worker_count`.
+    pub worker: usize,
+    /// Total number of workers the patterns were distributed over.
+    pub worker_count: usize,
+    /// One slice per partition (same order as the dataset's partitions).
+    pub slices: Vec<PartitionSlice>,
+    /// One buffer per partition.
+    pub buffers: Vec<SliceBuffers>,
+}
+
+impl WorkerSlices {
+    /// Builds worker `worker` of `worker_count` from the compiled patterns,
+    /// assigning global pattern `g` to worker `g mod worker_count` (the
+    /// paper's cyclic distribution) and sizing the CLV buffers for a tree with
+    /// `node_capacity` node slots and models with `categories` rate
+    /// categories per partition.
+    pub fn cyclic(
+        patterns: &PartitionedPatterns,
+        worker: usize,
+        worker_count: usize,
+        node_capacity: usize,
+        categories: &[usize],
+    ) -> Self {
+        Self::with_assignment(patterns, worker, worker_count, node_capacity, categories, |g| {
+            g % worker_count
+        })
+    }
+
+    /// Builds worker `worker` with a *block* distribution: the global pattern
+    /// index space is cut into `worker_count` contiguous chunks. This is the
+    /// alternative the paper argues against for mixed DNA/protein inputs; the
+    /// ablation benches compare the two.
+    pub fn block(
+        patterns: &PartitionedPatterns,
+        worker: usize,
+        worker_count: usize,
+        node_capacity: usize,
+        categories: &[usize],
+    ) -> Self {
+        let total = patterns.total_patterns();
+        let chunk = total.div_ceil(worker_count).max(1);
+        Self::with_assignment(patterns, worker, worker_count, node_capacity, categories, |g| {
+            (g / chunk).min(worker_count - 1)
+        })
+    }
+
+    /// Builds worker `worker` of `worker_count` with an arbitrary assignment
+    /// function from global pattern index to owning worker.
+    pub fn with_assignment<F: Fn(usize) -> usize>(
+        patterns: &PartitionedPatterns,
+        worker: usize,
+        worker_count: usize,
+        node_capacity: usize,
+        categories: &[usize],
+        assign: F,
+    ) -> Self {
+        assert!(worker < worker_count, "worker index out of range");
+        assert_eq!(categories.len(), patterns.partition_count());
+        let mut slices = Vec::with_capacity(patterns.partition_count());
+        let mut buffers = Vec::with_capacity(patterns.partition_count());
+        for (pi, part) in patterns.partitions.iter().enumerate() {
+            let offset = patterns.global_offset(pi);
+            let n_taxa = part.n_taxa;
+            let mut tip_states = Vec::new();
+            let mut weights = Vec::new();
+            let mut global_indices = Vec::new();
+            for local in 0..part.pattern_count() {
+                let global = offset + local;
+                if assign(global) != worker {
+                    continue;
+                }
+                tip_states.extend_from_slice(part.pattern_states(local));
+                weights.push(part.weights[local]);
+                global_indices.push(global);
+            }
+            let slice = PartitionSlice {
+                partition: pi,
+                data_type: part.data_type,
+                n_taxa,
+                tip_states,
+                weights,
+                global_indices,
+            };
+            let buffer = SliceBuffers::new(
+                slice.pattern_count(),
+                part.data_type.states(),
+                categories[pi],
+                node_capacity,
+            );
+            slices.push(slice);
+            buffers.push(buffer);
+        }
+        Self { worker, worker_count, slices, buffers }
+    }
+
+    /// Total number of local patterns across all partitions.
+    pub fn total_patterns(&self) -> usize {
+        self.slices.iter().map(|s| s.pattern_count()).sum()
+    }
+
+    /// Local pattern count of one partition.
+    pub fn partition_patterns(&self, partition: usize) -> usize {
+        self.slices[partition].pattern_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_data::{Alignment, DataType, PartitionSet, PartitionedPatterns};
+
+    fn patterns() -> PartitionedPatterns {
+        let aln = Alignment::new(vec![
+            ("t1".into(), "ACGTACGTACGTACGTAAGG".into()),
+            ("t2".into(), "ACGTACGAACGTACGAAAGC".into()),
+            ("t3".into(), "ACCTACGAACCTACGAATGC".into()),
+        ])
+        .unwrap();
+        let ps = PartitionSet::equal_length(DataType::Dna, 20, 5);
+        PartitionedPatterns::compile(&aln, &ps).unwrap()
+    }
+
+    #[test]
+    fn cyclic_distribution_covers_every_pattern_once() {
+        let pp = patterns();
+        let categories = vec![4; pp.partition_count()];
+        let workers: Vec<WorkerSlices> = (0..3)
+            .map(|w| WorkerSlices::cyclic(&pp, w, 3, 8, &categories))
+            .collect();
+        let total: usize = workers.iter().map(|w| w.total_patterns()).sum();
+        assert_eq!(total, pp.total_patterns());
+        // Global indices across workers are disjoint and complete.
+        let mut all: Vec<usize> = workers
+            .iter()
+            .flat_map(|w| w.slices.iter().flat_map(|s| s.global_indices.clone()))
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..pp.total_patterns()).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn cyclic_distribution_is_balanced() {
+        let pp = patterns();
+        let categories = vec![4; pp.partition_count()];
+        let counts: Vec<usize> = (0..4)
+            .map(|w| WorkerSlices::cyclic(&pp, w, 4, 8, &categories).total_patterns())
+            .collect();
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max - min <= 1, "cyclic distribution must be balanced: {counts:?}");
+    }
+
+    #[test]
+    fn single_worker_owns_everything() {
+        let pp = patterns();
+        let categories = vec![4; pp.partition_count()];
+        let w = WorkerSlices::cyclic(&pp, 0, 1, 8, &categories);
+        assert_eq!(w.total_patterns(), pp.total_patterns());
+        for (slice, part) in w.slices.iter().zip(pp.partitions.iter()) {
+            assert_eq!(slice.pattern_count(), part.pattern_count());
+            assert_eq!(slice.tip_states, part.tip_states);
+        }
+    }
+
+    #[test]
+    fn more_workers_than_patterns_leaves_some_empty() {
+        // This is exactly the situation the paper describes: short partitions
+        // and many threads mean some threads have no pattern of a partition.
+        let pp = patterns();
+        let categories = vec![4; pp.partition_count()];
+        let workers: Vec<WorkerSlices> = (0..16)
+            .map(|w| WorkerSlices::cyclic(&pp, w, 16, 8, &categories))
+            .collect();
+        let empty_slices = workers
+            .iter()
+            .flat_map(|w| w.slices.iter())
+            .filter(|s| s.pattern_count() == 0)
+            .count();
+        assert!(empty_slices > 0, "expected idle (empty) slices with 16 workers");
+    }
+
+    #[test]
+    fn buffers_allocate_lazily_and_round_trip() {
+        let pp = patterns();
+        let categories = vec![4; pp.partition_count()];
+        let mut w = WorkerSlices::cyclic(&pp, 0, 2, 8, &categories);
+        let buf = &mut w.buffers[0];
+        assert_eq!(buf.allocated_bytes(), 0);
+        assert!(buf.clv(5).is_none());
+        buf.clv_mut(5)[0] = 1.25;
+        assert_eq!(buf.clv(5).unwrap()[0], 1.25);
+        assert!(buf.allocated_bytes() > 0);
+
+        let (mut clv, mut scale) = buf.take_node(5);
+        clv[1] = 2.5;
+        scale[0] = 3;
+        buf.put_back(5, clv, scale);
+        assert_eq!(buf.clv(5).unwrap()[1], 2.5);
+        assert_eq!(buf.scale(5).unwrap()[0], 3);
+    }
+
+    #[test]
+    fn tip_state_accessor_matches_source() {
+        let pp = patterns();
+        let categories = vec![4; pp.partition_count()];
+        let w = WorkerSlices::cyclic(&pp, 1, 2, 8, &categories);
+        for slice in &w.slices {
+            let part = &pp.partitions[slice.partition];
+            for (local, &global) in slice.global_indices.iter().enumerate() {
+                let local_in_part = global - pp.global_offset(slice.partition);
+                for t in 0..slice.n_taxa {
+                    assert_eq!(slice.tip_state(local, t), part.tip_state(local_in_part, t));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Cyclic Jacobi eigensolver for small symmetric matrices.
+//!
+//! Reversible substitution models are diagonalized by symmetrizing the rate
+//! matrix with the stationary frequencies and computing the eigensystem of the
+//! symmetric result. State spaces are tiny (4 or 20), so the classic Jacobi
+//! rotation method is simple, robust and plenty fast.
+
+use crate::matrix::SquareMatrix;
+
+/// Eigendecomposition of a symmetric matrix: `A = V · diag(values) · Vᵀ`.
+///
+/// `vectors` stores the eigenvectors as *columns*, i.e. `vectors[(i, k)]` is
+/// the i-th component of the k-th eigenvector. Eigenpairs are sorted by
+/// ascending eigenvalue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors stored column-wise.
+    pub vectors: SquareMatrix,
+}
+
+/// Maximum number of Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 100;
+
+/// Computes the eigendecomposition of a symmetric matrix with the cyclic
+/// Jacobi method.
+///
+/// # Panics
+///
+/// Panics if the matrix is not symmetric (up to `1e-9` absolute tolerance) or
+/// if the iteration fails to converge, which cannot happen for well-formed
+/// finite symmetric input.
+pub fn symmetric_eigen(a: &SquareMatrix) -> SymmetricEigen {
+    assert!(
+        a.is_symmetric(1e-9),
+        "symmetric_eigen requires a symmetric matrix"
+    );
+    let n = a.dim();
+    let mut a = a.clone();
+    let mut v = SquareMatrix::identity(n);
+
+    for _sweep in 0..MAX_SWEEPS {
+        // Sum of absolute off-diagonal elements: convergence criterion.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a[(i, j)].abs();
+            }
+        }
+        if off < 1e-300 || off < 1e-15 * frobenius(&a).max(1.0) {
+            break;
+        }
+
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = a[(p, p)];
+                let aqq = a[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                // tan of rotation angle, choosing the smaller rotation.
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                let tau = s / (1.0 + c);
+
+                // Update A = Jᵀ A J.
+                a[(p, p)] = app - t * apq;
+                a[(q, q)] = aqq + t * apq;
+                a[(p, q)] = 0.0;
+                a[(q, p)] = 0.0;
+                for i in 0..n {
+                    if i != p && i != q {
+                        let aip = a[(i, p)];
+                        let aiq = a[(i, q)];
+                        a[(i, p)] = aip - s * (aiq + tau * aip);
+                        a[(p, i)] = a[(i, p)];
+                        a[(i, q)] = aiq + s * (aip - tau * aiq);
+                        a[(q, i)] = a[(i, q)];
+                    }
+                }
+                // Accumulate eigenvectors: V = V J.
+                for i in 0..n {
+                    let vip = v[(i, p)];
+                    let viq = v[(i, q)];
+                    v[(i, p)] = vip - s * (viq + tau * vip);
+                    v[(i, q)] = viq + s * (vip - tau * viq);
+                }
+            }
+        }
+    }
+
+    // Extract eigenvalues and sort ascending together with their vectors.
+    let mut order: Vec<usize> = (0..n).collect();
+    let values: Vec<f64> = (0..n).map(|i| a[(i, i)]).collect();
+    order.sort_by(|&x, &y| values[x].partial_cmp(&values[y]).expect("finite eigenvalues"));
+
+    let mut sorted_values = Vec::with_capacity(n);
+    let mut sorted_vectors = SquareMatrix::zeros(n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        sorted_values.push(values[old_col]);
+        for i in 0..n {
+            sorted_vectors[(i, new_col)] = v[(i, old_col)];
+        }
+    }
+
+    SymmetricEigen {
+        values: sorted_values,
+        vectors: sorted_vectors,
+    }
+}
+
+fn frobenius(a: &SquareMatrix) -> f64 {
+    a.as_slice().iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+impl SymmetricEigen {
+    /// Reconstructs `V · diag(values) · Vᵀ`; useful for testing.
+    pub fn reconstruct(&self) -> SquareMatrix {
+        let n = self.values.len();
+        let mut scaled = self.vectors.clone();
+        // scale columns by eigenvalues
+        for k in 0..n {
+            for i in 0..n {
+                scaled[(i, k)] = self.vectors[(i, k)] * self.values[k];
+            }
+        }
+        scaled.matmul(&self.vectors.transpose())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn check_decomposition(a: &SquareMatrix) {
+        let eig = symmetric_eigen(a);
+        let rec = eig.reconstruct();
+        assert!(
+            rec.max_abs_diff(a) < 1e-9,
+            "reconstruction error {} too large",
+            rec.max_abs_diff(a)
+        );
+        // Eigenvectors must be orthonormal.
+        let vtv = eig.vectors.transpose().matmul(&eig.vectors);
+        let id = SquareMatrix::identity(a.dim());
+        assert!(vtv.max_abs_diff(&id) < 1e-9, "eigenvectors not orthonormal");
+        // Eigenvalues ascending.
+        for w in eig.values.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = SquareMatrix::from_rows(3, &[3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let eig = symmetric_eigen(&a);
+        assert!(approx_eq(eig.values[0], 1.0, 1e-12));
+        assert!(approx_eq(eig.values[1], 2.0, 1e-12));
+        assert!(approx_eq(eig.values[2], 3.0, 1e-12));
+        check_decomposition(&a);
+    }
+
+    #[test]
+    fn two_by_two_known() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let a = SquareMatrix::from_rows(2, &[2.0, 1.0, 1.0, 2.0]);
+        let eig = symmetric_eigen(&a);
+        assert!(approx_eq(eig.values[0], 1.0, 1e-12));
+        assert!(approx_eq(eig.values[1], 3.0, 1e-12));
+        check_decomposition(&a);
+    }
+
+    #[test]
+    fn four_by_four_random_symmetric() {
+        // Deterministic "random" symmetric matrix.
+        let mut a = SquareMatrix::zeros(4);
+        let mut seed = 1u64;
+        for i in 0..4 {
+            for j in i..4 {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let x = ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5;
+                a[(i, j)] = x;
+                a[(j, i)] = x;
+            }
+        }
+        check_decomposition(&a);
+    }
+
+    #[test]
+    fn twenty_by_twenty_structured() {
+        // A symmetric tridiagonal-ish 20x20 matrix, similar in size to a
+        // protein model.
+        let n = 20;
+        let mut a = SquareMatrix::zeros(n);
+        for i in 0..n {
+            a[(i, i)] = 2.0 + i as f64 * 0.1;
+            if i + 1 < n {
+                a[(i, i + 1)] = -1.0;
+                a[(i + 1, i)] = -1.0;
+            }
+        }
+        check_decomposition(&a);
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let a = SquareMatrix::from_rows(3, &[4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 5.0]);
+        let eig = symmetric_eigen(&a);
+        let trace: f64 = (0..3).map(|i| a[(i, i)]).sum();
+        let eig_sum: f64 = eig.values.iter().sum();
+        assert!(approx_eq(trace, eig_sum, 1e-10));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_asymmetric_input() {
+        let a = SquareMatrix::from_rows(2, &[1.0, 2.0, 3.0, 4.0]);
+        symmetric_eigen(&a);
+    }
+}

@@ -1,0 +1,200 @@
+//! Discrete Γ model of among-site rate heterogeneity (Yang, 1994).
+//!
+//! The Γ model assumes that the evolutionary rate of each alignment column is
+//! drawn from a gamma distribution with shape `α` and mean 1 (rate `β = α`).
+//! Because integrating over the continuous distribution is too expensive, the
+//! distribution is discretized into `k` equal-probability categories and each
+//! category is represented by its mean rate. The likelihood of a site is then
+//! the average of its likelihoods under the `k` category rates.
+//!
+//! This module computes those category rates. The paper's kernel uses the
+//! standard `k = 4` categories.
+
+use crate::special::{gamma_quantile, incomplete_gamma_p};
+
+/// Default number of discrete Γ rate categories used by the kernel.
+pub const DEFAULT_CATEGORIES: usize = 4;
+
+/// Lower bound enforced on the α shape parameter during optimization.
+pub const MIN_ALPHA: f64 = 0.02;
+/// Upper bound enforced on the α shape parameter during optimization.
+pub const MAX_ALPHA: f64 = 1000.0;
+
+/// Computes the mean rates of `categories` equal-probability categories of a
+/// Γ(α, β=α) distribution (mean-1 gamma), following Yang (1994).
+///
+/// The returned vector has length `categories`, is strictly increasing, and its
+/// arithmetic mean is 1 (up to floating-point error), so multiplying branch
+/// lengths by a category rate never changes the expected number of
+/// substitutions averaged over categories.
+///
+/// # Panics
+///
+/// Panics if `categories == 0` or `alpha` is not strictly positive.
+pub fn discrete_gamma_rates(alpha: f64, categories: usize) -> Vec<f64> {
+    assert!(categories > 0, "at least one rate category is required");
+    assert!(
+        alpha.is_finite() && alpha > 0.0,
+        "alpha must be positive and finite, got {alpha}"
+    );
+
+    if categories == 1 {
+        return vec![1.0];
+    }
+
+    let k = categories as f64;
+    let beta = alpha;
+
+    // Category boundaries: quantiles of the Γ(α, β) distribution at i/k.
+    let mut cutpoints = Vec::with_capacity(categories + 1);
+    cutpoints.push(0.0);
+    for i in 1..categories {
+        cutpoints.push(gamma_quantile(i as f64 / k, alpha, beta));
+    }
+    cutpoints.push(f64::INFINITY);
+
+    // Mean of the distribution restricted to [b_i, b_{i+1}]:
+    //   E[X | b_i <= X < b_{i+1}] * (1/k)
+    // = (α/β) [P(α+1, β b_{i+1}) - P(α+1, β b_i)]
+    // so the category mean rate is k times that.
+    let mut rates = Vec::with_capacity(categories);
+    for i in 0..categories {
+        let upper = if cutpoints[i + 1].is_finite() {
+            incomplete_gamma_p(alpha + 1.0, beta * cutpoints[i + 1])
+        } else {
+            1.0
+        };
+        let lower = if cutpoints[i] > 0.0 {
+            incomplete_gamma_p(alpha + 1.0, beta * cutpoints[i])
+        } else {
+            0.0
+        };
+        let mean = (alpha / beta) * (upper - lower) * k;
+        rates.push(mean.max(0.0));
+    }
+
+    // Normalize exactly to mean 1 to absorb the small numerical error; this is
+    // what RAxML/PAML effectively do as well.
+    let sum: f64 = rates.iter().sum();
+    if sum > 0.0 {
+        let norm = k / sum;
+        for r in &mut rates {
+            *r *= norm;
+        }
+    }
+    rates
+}
+
+/// Per-category rates together with their (uniform) probabilities.
+///
+/// A convenience wrapper that most model code uses; the probabilities are all
+/// `1 / categories` in the equal-probability discretization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteGamma {
+    /// Shape parameter α the rates were computed for.
+    pub alpha: f64,
+    /// Mean rate of each category, strictly increasing, averaging to 1.
+    pub rates: Vec<f64>,
+}
+
+impl DiscreteGamma {
+    /// Builds the discretization for shape `alpha` with `categories` categories.
+    pub fn new(alpha: f64, categories: usize) -> Self {
+        Self {
+            alpha,
+            rates: discrete_gamma_rates(alpha, categories),
+        }
+    }
+
+    /// Number of categories.
+    pub fn categories(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Probability of each category (uniform discretization).
+    pub fn category_probability(&self) -> f64 {
+        1.0 / self.rates.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn single_category_is_rate_one() {
+        assert_eq!(discrete_gamma_rates(0.5, 1), vec![1.0]);
+        assert_eq!(discrete_gamma_rates(10.0, 1), vec![1.0]);
+    }
+
+    #[test]
+    fn rates_average_to_one() {
+        for &alpha in &[0.05, 0.1, 0.3, 0.5, 1.0, 2.0, 10.0, 100.0] {
+            for &k in &[2usize, 4, 8] {
+                let rates = discrete_gamma_rates(alpha, k);
+                let mean = rates.iter().sum::<f64>() / k as f64;
+                assert!(approx_eq(mean, 1.0, 1e-9), "alpha={alpha} k={k} mean={mean}");
+            }
+        }
+    }
+
+    #[test]
+    fn rates_are_strictly_increasing() {
+        for &alpha in &[0.1, 0.5, 1.0, 5.0] {
+            let rates = discrete_gamma_rates(alpha, 4);
+            for w in rates.windows(2) {
+                assert!(w[0] < w[1], "rates must increase: {rates:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn large_alpha_approaches_uniform_rates() {
+        // As α → ∞ the gamma distribution concentrates at 1, so all category
+        // rates approach 1.
+        let rates = discrete_gamma_rates(500.0, 4);
+        for r in rates {
+            assert!((r - 1.0).abs() < 0.1, "rate {r} should be close to 1");
+        }
+    }
+
+    #[test]
+    fn small_alpha_is_strongly_skewed() {
+        // Small α means most sites are nearly invariant and a few are fast.
+        let rates = discrete_gamma_rates(0.1, 4);
+        assert!(rates[0] < 0.01, "slowest category should be ~0, got {}", rates[0]);
+        assert!(rates[3] > 2.0, "fastest category should be large, got {}", rates[3]);
+    }
+
+    #[test]
+    fn matches_paml_reference_alpha_half() {
+        // Reference category rates for α = 0.5, k = 4 (mean-of-category
+        // discretization), as produced by PAML/RAxML: approximately
+        // 0.0334, 0.2519, 0.8203, 2.8944.
+        let rates = discrete_gamma_rates(0.5, 4);
+        let expected = [0.033_388, 0.251_916, 0.820_268, 2.894_428];
+        for (r, e) in rates.iter().zip(expected.iter()) {
+            assert!((r - e).abs() < 5e-4, "rate {r} vs reference {e}");
+        }
+    }
+
+    #[test]
+    fn matches_paml_reference_alpha_one() {
+        // Reference category rates for α = 1.0, k = 4: approximately
+        // 0.1369, 0.4768, 1.0000, 2.3863.
+        let rates = discrete_gamma_rates(1.0, 4);
+        let expected = [0.136_954, 0.476_625, 1.000_151, 2.386_270];
+        for (r, e) in rates.iter().zip(expected.iter()) {
+            assert!((r - e).abs() < 5e-3, "rate {r} vs reference {e}");
+        }
+    }
+
+    #[test]
+    fn discrete_gamma_wrapper() {
+        let dg = DiscreteGamma::new(0.7, 4);
+        assert_eq!(dg.categories(), 4);
+        assert!(approx_eq(dg.category_probability(), 0.25, 1e-15));
+        assert_eq!(dg.rates, discrete_gamma_rates(0.7, 4));
+    }
+}

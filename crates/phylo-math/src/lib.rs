@@ -1,0 +1,91 @@
+//! Numerical substrate for the phylogenetic likelihood kernel reproduction.
+//!
+//! This crate provides the small set of numerical building blocks the rest of
+//! the workspace relies on:
+//!
+//! * [`special`] — log-gamma, regularized incomplete gamma, normal and
+//!   chi-square quantiles,
+//! * [`gamma_rates`] — the discrete Γ model of among-site rate heterogeneity
+//!   (Yang 1994),
+//! * [`eigen`] — a cyclic Jacobi eigensolver for small symmetric matrices,
+//!   used to diagonalize reversible substitution models,
+//! * [`brent`] — Brent's derivative-free one-dimensional minimizer, used for
+//!   the Q-matrix and α-shape parameter estimates,
+//! * [`newton`] — a safeguarded one-dimensional Newton–Raphson iteration, used
+//!   for branch-length optimization,
+//! * [`matrix`] — tiny dense row-major matrix helpers for state-space sized
+//!   (4×4 / 20×20) matrices.
+//!
+//! Everything here is deterministic, allocation-light and independent of the
+//! rest of the workspace so that it can be tested in isolation.
+
+pub mod brent;
+pub mod eigen;
+pub mod gamma_rates;
+pub mod matrix;
+pub mod newton;
+pub mod special;
+
+/// Default relative tolerance used by equality helpers in tests.
+pub const DEFAULT_REL_TOL: f64 = 1e-9;
+
+/// Returns `true` if `a` and `b` are equal up to a combined absolute and
+/// relative tolerance `tol`.
+///
+/// This is the comparison used throughout the workspace's tests; it treats two
+/// non-finite values of the same kind (both `+inf`, both `-inf`, both NaN) as
+/// equal so that degenerate likelihoods can be compared meaningfully.
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    if a.is_nan() && b.is_nan() {
+        return true;
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return false;
+    }
+    let diff = (a - b).abs();
+    let scale = a.abs().max(b.abs()).max(1.0);
+    diff <= tol * scale
+}
+
+/// Clamps `x` into the closed interval `[lo, hi]`.
+///
+/// Panics in debug builds if `lo > hi`.
+#[inline]
+pub fn clamp(x: f64, lo: f64, hi: f64) -> f64 {
+    debug_assert!(lo <= hi, "clamp called with inverted bounds");
+    x.max(lo).min(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_exact() {
+        assert!(approx_eq(1.0, 1.0, 0.0));
+        assert!(approx_eq(0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn approx_eq_relative() {
+        assert!(approx_eq(1_000_000.0, 1_000_000.001, 1e-8));
+        assert!(!approx_eq(1.0, 1.1, 1e-8));
+    }
+
+    #[test]
+    fn approx_eq_nan_and_inf() {
+        assert!(approx_eq(f64::NAN, f64::NAN, 1e-9));
+        assert!(!approx_eq(f64::INFINITY, 1.0, 1e-9));
+        assert!(approx_eq(f64::INFINITY, f64::INFINITY, 1e-9));
+    }
+
+    #[test]
+    fn clamp_basic() {
+        assert_eq!(clamp(5.0, 0.0, 1.0), 1.0);
+        assert_eq!(clamp(-5.0, 0.0, 1.0), 0.0);
+        assert_eq!(clamp(0.5, 0.0, 1.0), 0.5);
+    }
+}

@@ -1,0 +1,208 @@
+//! Tiny dense, row-major square matrices sized for substitution models.
+//!
+//! Substitution models operate on 4×4 (nucleotide) or 20×20 (amino acid)
+//! matrices. These are small enough that a simple heap-allocated row-major
+//! representation with straightforward loops is both clear and fast; there is
+//! no need for a general linear-algebra dependency.
+
+/// A dense, row-major `n × n` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SquareMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SquareMatrix {
+    /// Creates an `n × n` matrix filled with zeros.
+    pub fn zeros(n: usize) -> Self {
+        assert!(n > 0, "matrix dimension must be positive");
+        Self { n, data: vec![0.0; n * n] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major slice of length `n * n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n * n`.
+    pub fn from_rows(n: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), n * n, "row-major data must have n*n entries");
+        Self { n, data: data.to_vec() }
+    }
+
+    /// Matrix dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Borrow the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Returns row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn matmul(&self, other: &SquareMatrix) -> SquareMatrix {
+        assert_eq!(self.n, other.n, "dimension mismatch in matmul");
+        let n = self.n;
+        let mut out = SquareMatrix::zeros(n);
+        for i in 0..n {
+            for k in 0..n {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.n, "dimension mismatch in matvec");
+        let mut out = vec![0.0; self.n];
+        for i in 0..self.n {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for j in 0..self.n {
+                acc += row[j] * v[j];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Transpose of the matrix.
+    pub fn transpose(&self) -> SquareMatrix {
+        let n = self.n;
+        let mut out = SquareMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute difference between two matrices.
+    pub fn max_abs_diff(&self, other: &SquareMatrix) -> f64 {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Checks symmetry up to tolerance `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for SquareMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.n + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for SquareMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.n + j]
+    }
+}
+
+/// Dot product of two equally sized slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn identity_times_anything() {
+        let id = SquareMatrix::identity(3);
+        let m = SquareMatrix::from_rows(3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+        assert_eq!(id.matmul(&m), m);
+        assert_eq!(m.matmul(&id), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = SquareMatrix::from_rows(2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = SquareMatrix::from_rows(2, &[5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let a = SquareMatrix::from_rows(2, &[1.0, 2.0, 3.0, 4.0]);
+        let v = a.matvec(&[1.0, 1.0]);
+        assert_eq!(v, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = SquareMatrix::from_rows(3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let sym = SquareMatrix::from_rows(2, &[1.0, 2.0, 2.0, 3.0]);
+        let asym = SquareMatrix::from_rows(2, &[1.0, 2.0, 2.5, 3.0]);
+        assert!(sym.is_symmetric(1e-12));
+        assert!(!asym.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn dot_product() {
+        assert!(approx_eq(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_rows_rejects_bad_length() {
+        SquareMatrix::from_rows(2, &[1.0, 2.0, 3.0]);
+    }
+}

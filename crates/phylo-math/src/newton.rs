@@ -1,0 +1,273 @@
+//! Safeguarded one-dimensional Newton–Raphson iteration.
+//!
+//! Branch lengths in the likelihood kernel are optimized with Newton–Raphson
+//! on the log-likelihood as a function of a single branch length, using the
+//! analytic first and second derivatives produced by the kernel (the RAxML
+//! `makenewz` routine). As with [`crate::brent`], the algorithm is exposed in
+//! two forms:
+//!
+//! * [`newton_maximize`] — a plain sequential driver, and
+//! * [`NewtonState`] — a resumable propose/update state machine so that the
+//!   `newPAR` scheme can advance the Newton iterations of *all* partitions in
+//!   lock-step within one parallel region per iteration.
+
+/// Outcome of a Newton–Raphson maximization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonResult {
+    /// Located maximizer.
+    pub xmax: f64,
+    /// Number of derivative evaluations performed.
+    pub evaluations: usize,
+    /// Whether the step-size tolerance was met before the iteration cap.
+    pub converged: bool,
+}
+
+/// Step request from the resumable Newton state machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NewtonStep {
+    /// Evaluate the first and second derivative of the objective here.
+    Evaluate(f64),
+    /// The iteration has converged; `NewtonState::current` is the maximizer.
+    Converged,
+}
+
+/// Resumable state of a safeguarded Newton–Raphson iteration for maximizing a
+/// one-dimensional, typically concave, objective on a bounded interval.
+///
+/// The safeguards mirror what RAxML's branch-length optimization does:
+///
+/// * iterates are clamped to `[lower, upper]`,
+/// * if the second derivative is not negative (the objective is locally not
+///   concave), the iterate is pushed towards the boundary indicated by the
+///   gradient sign rather than taking the raw Newton step,
+/// * steps are damped to at most a factor-of-four change per iteration to
+///   avoid overshooting on nearly flat likelihood surfaces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonState {
+    lower: f64,
+    upper: f64,
+    /// Current iterate.
+    pub current: f64,
+    previous: f64,
+    tol: f64,
+    iterations: usize,
+    max_iter: usize,
+    converged: bool,
+}
+
+impl NewtonState {
+    /// Creates a new iteration starting from `start` on `[lower, upper]`.
+    ///
+    /// `tol` is the absolute step-size tolerance, `max_iter` caps the number of
+    /// derivative evaluations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is empty, the start lies outside it, or `tol` is
+    /// not positive.
+    pub fn new(start: f64, lower: f64, upper: f64, tol: f64, max_iter: usize) -> Self {
+        assert!(lower < upper, "invalid interval [{lower}, {upper}]");
+        assert!(tol > 0.0, "tolerance must be positive");
+        assert!(
+            start >= lower && start <= upper,
+            "start {start} outside [{lower}, {upper}]"
+        );
+        Self {
+            lower,
+            upper,
+            current: start,
+            previous: f64::NAN,
+            tol,
+            iterations: 0,
+            max_iter,
+            converged: false,
+        }
+    }
+
+    /// Whether the iteration has converged.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Number of derivative evaluations consumed so far.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Proposes the abscissa at which the derivatives should be evaluated next,
+    /// or reports convergence (either because the last step was smaller than
+    /// the tolerance or because the iteration cap was reached).
+    pub fn propose(&self) -> NewtonStep {
+        if self.converged || self.iterations >= self.max_iter {
+            NewtonStep::Converged
+        } else {
+            NewtonStep::Evaluate(self.current)
+        }
+    }
+
+    /// Incorporates the first (`d1`) and second (`d2`) derivative of the
+    /// objective at the previously proposed point and computes the next
+    /// iterate.
+    pub fn update(&mut self, d1: f64, d2: f64) {
+        self.iterations += 1;
+        self.previous = self.current;
+
+        let x = self.current;
+        let mut next = if d2 < 0.0 && d1.is_finite() && d2.is_finite() {
+            // Standard Newton step for a maximum.
+            x - d1 / d2
+        } else if d1 > 0.0 {
+            // Not locally concave but the objective still increases: move up.
+            x * 4.0
+        } else {
+            // Objective decreases: move down.
+            x / 4.0
+        };
+
+        // Damping: never move by more than a factor of four relative to a
+        // positive iterate; for iterates near zero fall back to absolute steps.
+        if x > 0.0 && next > 0.0 {
+            if next > 4.0 * x {
+                next = 4.0 * x;
+            } else if next < x / 4.0 {
+                next = x / 4.0;
+            }
+        }
+        if !next.is_finite() {
+            next = x;
+        }
+        next = next.max(self.lower).min(self.upper);
+
+        let step = (next - x).abs();
+        self.current = next;
+        if step <= self.tol {
+            self.converged = true;
+        }
+        if self.iterations >= self.max_iter {
+            self.converged = true;
+        }
+    }
+}
+
+/// Maximizes an objective with analytic derivatives on `[lower, upper]`.
+///
+/// `derivatives(x)` must return `(f'(x), f''(x))`. Returns the located
+/// maximizer together with bookkeeping information. The function value itself
+/// is never needed, matching how branch-length optimization works in the
+/// kernel (only the derivatives are computed from the sum table).
+pub fn newton_maximize<F: FnMut(f64) -> (f64, f64)>(
+    mut derivatives: F,
+    start: f64,
+    lower: f64,
+    upper: f64,
+    tol: f64,
+    max_iter: usize,
+) -> NewtonResult {
+    let mut state = NewtonState::new(start, lower, upper, tol, max_iter);
+    let mut evaluations = 0usize;
+    loop {
+        match state.propose() {
+            NewtonStep::Converged => break,
+            NewtonStep::Evaluate(x) => {
+                let (d1, d2) = derivatives(x);
+                evaluations += 1;
+                state.update(d1, d2);
+            }
+        }
+    }
+    NewtonResult {
+        xmax: state.current,
+        evaluations,
+        converged: state.converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn concave_quadratic() {
+        // f(x) = -(x - 3)^2, maximum at 3.
+        let res = newton_maximize(|x| (-2.0 * (x - 3.0), -2.0), 0.5, 1e-8, 10.0, 1e-10, 50);
+        assert!(res.converged);
+        assert!(approx_eq(res.xmax, 3.0, 1e-8), "xmax = {}", res.xmax);
+        // A quadratic converges in very few Newton steps.
+        assert!(res.evaluations <= 6);
+    }
+
+    #[test]
+    fn log_like_objective() {
+        // f(x) = ln(x) - x, maximum at x = 1.
+        let res = newton_maximize(
+            |x| (1.0 / x - 1.0, -1.0 / (x * x)),
+            0.1,
+            1e-8,
+            50.0,
+            1e-12,
+            100,
+        );
+        assert!(res.converged);
+        assert!(approx_eq(res.xmax, 1.0, 1e-6), "xmax = {}", res.xmax);
+    }
+
+    #[test]
+    fn respects_upper_bound() {
+        // Monotone increasing objective: maximum at the upper bound.
+        let res = newton_maximize(|_x| (1.0, -1e-9), 0.5, 1e-8, 2.0, 1e-10, 200);
+        assert!(res.xmax <= 2.0);
+        assert!(res.xmax > 1.9, "xmax = {}", res.xmax);
+    }
+
+    #[test]
+    fn respects_lower_bound() {
+        // Monotone decreasing objective: maximum at the lower bound.
+        let res = newton_maximize(|_x| (-1.0, -1e-9), 0.5, 1e-3, 2.0, 1e-10, 200);
+        assert!(res.xmax >= 1e-3);
+        assert!(res.xmax < 0.01, "xmax = {}", res.xmax);
+    }
+
+    #[test]
+    fn handles_non_concave_region() {
+        // f(x) = x^3 on [0.01, 1.5] has positive second derivative everywhere;
+        // the safeguard should still walk towards the upper bound because the
+        // gradient is positive.
+        let res = newton_maximize(|x| (3.0 * x * x, 6.0 * x), 0.02, 0.01, 1.5, 1e-10, 200);
+        assert!(res.xmax > 1.0, "xmax = {}", res.xmax);
+    }
+
+    #[test]
+    fn iteration_cap_reports_convergence_flag() {
+        let res = newton_maximize(|x| (1.0 / x - 1.0, -1.0 / (x * x)), 40.0, 1e-8, 50.0, 1e-14, 2);
+        // Only two iterations allowed; state machine flags completion anyway.
+        assert!(res.evaluations <= 2);
+        assert!(res.converged);
+    }
+
+    #[test]
+    fn stepwise_state_matches_driver() {
+        let f = |x: f64| (1.0 / x - 0.5, -1.0 / (x * x));
+        let reference = newton_maximize(f, 0.3, 1e-8, 20.0, 1e-12, 100);
+
+        let mut state = NewtonState::new(0.3, 1e-8, 20.0, 1e-12, 100);
+        loop {
+            match state.propose() {
+                NewtonStep::Converged => break,
+                NewtonStep::Evaluate(x) => {
+                    let (d1, d2) = f(x);
+                    state.update(d1, d2);
+                }
+            }
+        }
+        assert!(approx_eq(state.current, reference.xmax, 1e-10));
+        // maximum of ln(x) - 0.5x is at x = 2.
+        assert!(approx_eq(state.current, 2.0, 1e-6));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_start_outside_interval() {
+        NewtonState::new(5.0, 0.0, 1.0, 1e-8, 10);
+    }
+}

@@ -1,0 +1,23 @@
+//! Statistical models of sequence evolution.
+//!
+//! A partitioned phylogenomic analysis estimates, for every partition, its own
+//! instantaneous substitution matrix `Q` (4×4 for DNA, 20×20 for protein
+//! data), its own Γ shape parameter α for among-site rate heterogeneity, and —
+//! in the per-partition branch-length model — its own branch lengths. This
+//! crate provides:
+//!
+//! * [`qmatrix`] — construction and eigendecomposition of reversible rate
+//!   matrices and the transition probability matrices `P(t) = e^{Qt}`,
+//! * [`substitution`] — the concrete models (JC69, HKY85, GTR, Poisson and a
+//!   synthetic empirical protein model),
+//! * [`partition_model`] — the per-partition parameter bundles
+//!   ([`PartitionModel`]) and the whole-dataset collection ([`ModelSet`])
+//!   that the kernel and the optimizers operate on.
+
+pub mod partition_model;
+pub mod qmatrix;
+pub mod substitution;
+
+pub use partition_model::{BranchLengthMode, ModelSet, PartitionModel};
+pub use qmatrix::Eigensystem;
+pub use substitution::SubstitutionModel;

@@ -1,0 +1,138 @@
+//! The outer model-optimization loop.
+//!
+//! RAxML-style searches alternate between tree-search phases and model
+//! optimization phases; the latter (and the stand-alone "optimize model
+//! parameters on a fixed tree" experiment of the paper) repeatedly cycle
+//! through α, the Q-matrix rates and a branch-length smoothing pass until the
+//! log likelihood stops improving.
+
+use phylo_kernel::{Executor, LikelihoodKernel};
+
+use crate::branches::{optimize_all_branches, BranchOptimizationStats};
+use crate::config::OptimizerConfig;
+use crate::model::{optimize_alphas, optimize_exchangeabilities, ModelOptimizationStats};
+
+/// Summary of a full model-parameter optimization run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizationReport {
+    /// Log likelihood before any optimization.
+    pub initial_log_likelihood: f64,
+    /// Log likelihood after the final round.
+    pub final_log_likelihood: f64,
+    /// Number of outer rounds executed.
+    pub rounds: usize,
+    /// Branch-length work counters.
+    pub branch_stats: BranchOptimizationStats,
+    /// Model-parameter work counters.
+    pub model_stats: ModelOptimizationStats,
+    /// Synchronization events issued to the executor over the whole run.
+    pub sync_events: u64,
+}
+
+/// Optimizes all model parameters (α, rates, branch lengths) on the fixed
+/// current topology, alternating until the improvement per round drops below
+/// `config.likelihood_epsilon` or `config.max_rounds` is reached.
+pub fn optimize_model_parameters<E: Executor>(
+    kernel: &mut LikelihoodKernel<E>,
+    config: &OptimizerConfig,
+) -> OptimizationReport {
+    let sync_before = kernel.sync_events();
+    let initial = kernel.log_likelihood();
+    let mut current = initial;
+    let mut branch_stats = BranchOptimizationStats::default();
+    let mut model_stats = ModelOptimizationStats::default();
+    let mut rounds = 0;
+
+    for _ in 0..config.max_rounds.max(1) {
+        rounds += 1;
+        model_stats.merge(optimize_alphas(kernel, config));
+        if config.optimize_rates {
+            model_stats.merge(optimize_exchangeabilities(kernel, config));
+        }
+        let (lnl, bstats) = optimize_all_branches(kernel, None, config);
+        branch_stats.merge(bstats);
+
+        let improvement = lnl - current;
+        current = lnl;
+        if improvement.abs() < config.likelihood_epsilon {
+            break;
+        }
+    }
+
+    OptimizationReport {
+        initial_log_likelihood: initial,
+        final_log_likelihood: current,
+        rounds,
+        branch_stats,
+        model_stats,
+        sync_events: kernel.sync_events() - sync_before,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ParallelScheme;
+    use phylo_kernel::SequentialKernel;
+    use phylo_models::{BranchLengthMode, ModelSet};
+    use phylo_seqgen::datasets::paper_simulated;
+    use std::sync::Arc;
+
+    fn kernel(mode: BranchLengthMode, seed: u64) -> SequentialKernel {
+        let ds = paper_simulated(8, 240, 60, seed).generate();
+        let models = ModelSet::default_for(&ds.patterns, mode);
+        SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models)
+    }
+
+    #[test]
+    fn full_optimization_improves_likelihood_monotonically() {
+        let mut k = kernel(BranchLengthMode::PerPartition, 1);
+        let config = OptimizerConfig::new(ParallelScheme::New);
+        let report = optimize_model_parameters(&mut k, &config);
+        assert!(report.final_log_likelihood > report.initial_log_likelihood + 5.0);
+        assert!(report.rounds >= 1);
+        assert!(report.sync_events > 0);
+        assert!(report.branch_stats.newton_iterations > 0);
+        assert!(report.model_stats.brent_evaluations > 0);
+    }
+
+    #[test]
+    fn schemes_agree_on_final_likelihood_but_not_on_sync_counts() {
+        let mut k_old = kernel(BranchLengthMode::PerPartition, 2);
+        let mut k_new = kernel(BranchLengthMode::PerPartition, 2);
+        let report_old =
+            optimize_model_parameters(&mut k_old, &OptimizerConfig::new(ParallelScheme::Old));
+        let report_new =
+            optimize_model_parameters(&mut k_new, &OptimizerConfig::new(ParallelScheme::New));
+        let rel = (report_old.final_log_likelihood - report_new.final_log_likelihood).abs()
+            / report_old.final_log_likelihood.abs();
+        assert!(
+            rel < 1e-3,
+            "final lnL must agree: {} vs {}",
+            report_old.final_log_likelihood,
+            report_new.final_log_likelihood
+        );
+        assert!(
+            report_old.sync_events > report_new.sync_events,
+            "oldPAR must synchronize more often ({} vs {})",
+            report_old.sync_events,
+            report_new.sync_events
+        );
+    }
+
+    #[test]
+    fn joint_mode_also_converges() {
+        let mut k = kernel(BranchLengthMode::Joint, 3);
+        let config = OptimizerConfig::new(ParallelScheme::New);
+        let report = optimize_model_parameters(&mut k, &config);
+        assert!(report.final_log_likelihood > report.initial_log_likelihood);
+    }
+
+    #[test]
+    fn rates_can_be_disabled() {
+        let mut k = kernel(BranchLengthMode::Joint, 4);
+        let config = OptimizerConfig { optimize_rates: false, max_rounds: 1, ..OptimizerConfig::default() };
+        let report = optimize_model_parameters(&mut k, &config);
+        assert!(report.final_log_likelihood >= report.initial_log_likelihood);
+    }
+}

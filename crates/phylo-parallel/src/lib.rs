@@ -1,0 +1,111 @@
+//! Parallel execution backends for the likelihood kernel.
+//!
+//! The Pthreads-based RAxML the paper builds on uses a master/worker scheme:
+//! worker threads are created once, the alignment patterns are distributed
+//! over them cyclically, and the master broadcasts commands (traversal lists,
+//! evaluations, derivative computations) that every worker executes on its
+//! local patterns before a barrier + reduction. This crate implements that
+//! protocol on top of the [`Executor`](phylo_kernel::Executor) abstraction:
+//!
+//! * [`threaded::ThreadedExecutor`] — persistent `std::thread` workers with a
+//!   channel-based broadcast, the real-parallel backend used for wall-clock
+//!   measurements on the reproduction host,
+//! * [`rayon_exec::RayonExecutor`] — an alternative backend on the rayon
+//!   thread pool, included for comparison (the guides for this domain
+//!   recommend rayon for data parallelism),
+//! * [`tracing::TracingExecutor`] — *virtual* workers executed sequentially
+//!   while recording, for every parallel region, how much work each virtual
+//!   worker would have performed. This makes the load balance of 8- or
+//!   16-thread runs measurable on any host and feeds the platform model in
+//!   `phylo-perfmodel`, which regenerates the paper's per-machine figures.
+//!
+//! The distribution of patterns to workers (cyclic vs block) is selectable via
+//! [`Distribution`]; the paper argues for cyclic distribution to balance mixed
+//! DNA/protein partitions, and the ablation bench quantifies that choice.
+
+pub mod rayon_exec;
+pub mod threaded;
+pub mod tracing;
+
+pub use rayon_exec::RayonExecutor;
+pub use threaded::ThreadedExecutor;
+pub use tracing::TracingExecutor;
+
+use phylo_data::PartitionedPatterns;
+use phylo_kernel::WorkerSlices;
+
+/// How patterns are assigned to workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Pattern `g` goes to worker `g mod T` (the paper's scheme).
+    Cyclic,
+    /// The global pattern space is cut into `T` contiguous blocks.
+    Block,
+}
+
+/// Builds the per-worker slices for all workers under a distribution.
+pub fn build_workers(
+    patterns: &PartitionedPatterns,
+    worker_count: usize,
+    node_capacity: usize,
+    categories: &[usize],
+    distribution: Distribution,
+) -> Vec<WorkerSlices> {
+    assert!(worker_count > 0, "at least one worker required");
+    (0..worker_count)
+        .map(|w| match distribution {
+            Distribution::Cyclic => {
+                WorkerSlices::cyclic(patterns, w, worker_count, node_capacity, categories)
+            }
+            Distribution::Block => {
+                WorkerSlices::block(patterns, w, worker_count, node_capacity, categories)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_data::{Alignment, DataType, PartitionSet};
+
+    fn patterns() -> PartitionedPatterns {
+        let aln = Alignment::new(vec![
+            ("t1".into(), "ACGTACGTACGTACGTAAGGCCTT".into()),
+            ("t2".into(), "ACGTACGAACGTACGAAAGCCCTA".into()),
+            ("t3".into(), "ACCTACGAACCTACGAATGCCCTA".into()),
+        ])
+        .unwrap();
+        let ps = PartitionSet::equal_length(DataType::Dna, 24, 6);
+        PartitionedPatterns::compile(&aln, &ps).unwrap()
+    }
+
+    #[test]
+    fn both_distributions_cover_all_patterns() {
+        let pp = patterns();
+        let cats = vec![4; pp.partition_count()];
+        for dist in [Distribution::Cyclic, Distribution::Block] {
+            let workers = build_workers(&pp, 3, 8, &cats, dist);
+            let total: usize = workers.iter().map(|w| w.total_patterns()).sum();
+            assert_eq!(total, pp.total_patterns(), "{dist:?}");
+        }
+    }
+
+    #[test]
+    fn block_distribution_is_contiguous_per_worker() {
+        let pp = patterns();
+        let cats = vec![4; pp.partition_count()];
+        let workers = build_workers(&pp, 3, 8, &cats, Distribution::Block);
+        for w in &workers {
+            let mut indices: Vec<usize> = w
+                .slices
+                .iter()
+                .flat_map(|s| s.global_indices.iter().copied())
+                .collect();
+            indices.sort_unstable();
+            if indices.len() > 1 {
+                assert_eq!(indices.last().unwrap() - indices[0] + 1, indices.len());
+            }
+        }
+    }
+}

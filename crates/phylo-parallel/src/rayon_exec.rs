@@ -1,0 +1,127 @@
+//! A rayon-based execution backend.
+//!
+//! Included as an alternative to the hand-rolled master/worker pool: rayon's
+//! work-stealing pool executes the same per-worker command function
+//! ([`execute_on_worker`]) on the same disjoint slices, so results are
+//! identical; only the scheduling machinery differs. The comparison bench uses
+//! it to show that the load-balance phenomenon is a property of the *work
+//! partitioning per synchronization event*, not of the thread runtime.
+
+use phylo_data::PartitionedPatterns;
+use phylo_kernel::executor::{execute_on_worker, reduce_outputs};
+use phylo_kernel::{ExecContext, Executor, KernelOp, OpOutput, WorkerSlices};
+use rayon::prelude::*;
+
+use crate::Distribution;
+
+/// Executes commands by fanning the per-worker slices out onto a dedicated
+/// rayon thread pool.
+pub struct RayonExecutor {
+    workers: Vec<WorkerSlices>,
+    pool: rayon::ThreadPool,
+    sync_events: u64,
+}
+
+impl std::fmt::Debug for RayonExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RayonExecutor")
+            .field("worker_count", &self.workers.len())
+            .field("sync_events", &self.sync_events)
+            .finish()
+    }
+}
+
+impl RayonExecutor {
+    /// Builds a rayon executor with `worker_count` logical workers on a
+    /// dedicated pool with the same number of threads.
+    pub fn new(
+        patterns: &PartitionedPatterns,
+        worker_count: usize,
+        node_capacity: usize,
+        categories: &[usize],
+        distribution: Distribution,
+    ) -> Self {
+        let workers = crate::build_workers(patterns, worker_count, node_capacity, categories, distribution);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(worker_count)
+            .thread_name(|i| format!("plk-rayon-{i}"))
+            .build()
+            .expect("failed to build rayon pool");
+        Self { workers, pool, sync_events: 0 }
+    }
+}
+
+impl Executor for RayonExecutor {
+    fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn execute(&mut self, op: &KernelOp, ctx: &ExecContext<'_>) -> OpOutput {
+        self.sync_events += 1;
+        let workers = &mut self.workers;
+        self.pool.install(|| {
+            workers
+                .par_iter_mut()
+                .map(|w| execute_on_worker(w, op, ctx))
+                .reduce_with(reduce_outputs)
+                .unwrap_or(OpOutput::None)
+        })
+    }
+
+    fn sync_events(&self) -> u64 {
+        self.sync_events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_kernel::{LikelihoodKernel, SequentialKernel};
+    use phylo_models::{BranchLengthMode, ModelSet};
+    use phylo_seqgen::datasets::paper_simulated;
+    use std::sync::Arc;
+
+    #[test]
+    fn rayon_likelihood_matches_sequential() {
+        let ds = paper_simulated(9, 200, 50, 31).generate();
+        let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+        let mut seq =
+            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
+        let reference = seq.log_likelihood();
+
+        let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+        let exec = RayonExecutor::new(
+            &ds.patterns,
+            4,
+            ds.tree.node_capacity(),
+            &cats,
+            Distribution::Cyclic,
+        );
+        let mut k =
+            LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+        let lnl = k.log_likelihood();
+        assert!((lnl - reference).abs() < 1e-8, "{lnl} vs {reference}");
+    }
+
+    #[test]
+    fn rayon_block_distribution_also_matches() {
+        let ds = paper_simulated(7, 120, 30, 37).generate();
+        let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::Joint);
+        let mut seq =
+            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
+        let reference = seq.log_likelihood();
+
+        let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+        let exec = RayonExecutor::new(
+            &ds.patterns,
+            3,
+            ds.tree.node_capacity(),
+            &cats,
+            Distribution::Block,
+        );
+        let mut k =
+            LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+        let lnl = k.log_likelihood();
+        assert!((lnl - reference).abs() < 1e-8);
+    }
+}

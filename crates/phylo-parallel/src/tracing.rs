@@ -1,0 +1,272 @@
+//! The instrumented (virtual-worker) executor.
+//!
+//! The paper's figures compare 8- and 16-thread runs on four machines we do
+//! not have. The load imbalance itself, however, is a purely combinatorial
+//! property of the algorithm: which partitions are active in each parallel
+//! region and how many of each partition's patterns fall to each worker under
+//! the cyclic distribution. [`TracingExecutor`] therefore executes every
+//! command *correctly* (sequentially over its virtual workers, so all
+//! likelihood results are exact) while recording, per region, the analytic
+//! amount of floating-point work each of its `T` virtual workers receives.
+//! The resulting [`WorkTrace`] is converted into per-platform run-time
+//! predictions by `phylo-perfmodel`.
+
+use phylo_data::PartitionedPatterns;
+use phylo_kernel::cost::{
+    derivative_flops, evaluate_flops, newview_bytes, newview_flops, sumtable_flops, OpKind,
+    RegionRecord, WorkTrace,
+};
+use phylo_kernel::{
+    executor::{execute_on_worker, reduce_outputs},
+    ExecContext, Executor, KernelOp, OpOutput, WorkerSlices,
+};
+
+use crate::Distribution;
+
+/// Executes commands on `T` virtual workers and records the per-region work.
+#[derive(Debug)]
+pub struct TracingExecutor {
+    workers: Vec<WorkerSlices>,
+    trace: WorkTrace,
+    sync_events: u64,
+}
+
+impl TracingExecutor {
+    /// Builds a tracing executor with `worker_count` virtual workers.
+    pub fn new(
+        patterns: &PartitionedPatterns,
+        worker_count: usize,
+        node_capacity: usize,
+        categories: &[usize],
+        distribution: Distribution,
+    ) -> Self {
+        let workers =
+            crate::build_workers(patterns, worker_count, node_capacity, categories, distribution);
+        Self { workers, trace: WorkTrace::new(worker_count), sync_events: 0 }
+    }
+
+    /// The accumulated work trace.
+    pub fn trace(&self) -> &WorkTrace {
+        &self.trace
+    }
+
+    /// Takes the accumulated trace, leaving an empty one behind.
+    pub fn take_trace(&mut self) -> WorkTrace {
+        std::mem::replace(&mut self.trace, WorkTrace::new(self.workers.len()))
+    }
+
+    /// Per-worker pattern counts of one partition (diagnostics).
+    pub fn partition_pattern_counts(&self, partition: usize) -> Vec<usize> {
+        self.workers.iter().map(|w| w.partition_patterns(partition)).collect()
+    }
+
+    fn record_region(&mut self, op: &KernelOp, ctx: &ExecContext<'_>) {
+        let workers = self.workers.len();
+        let mut record = RegionRecord::new(op.kind(), workers);
+        for (wi, worker) in self.workers.iter().enumerate() {
+            let mut flops = 0.0;
+            let mut bytes = 0.0;
+            match op {
+                KernelOp::Newview { plans } => {
+                    for (pi, plan) in plans.iter().enumerate() {
+                        let Some(plan) = plan else { continue };
+                        let slice = &worker.slices[pi];
+                        let model = ctx.models.model(pi);
+                        let per_pattern = newview_flops(slice.states(), model.categories());
+                        let per_pattern_bytes = newview_bytes(slice.states(), model.categories());
+                        let n = slice.pattern_count() as f64 * plan.len() as f64;
+                        flops += n * per_pattern;
+                        bytes += n * per_pattern_bytes;
+                    }
+                }
+                KernelOp::Evaluate { mask, .. } => {
+                    for (pi, active) in mask.iter().enumerate() {
+                        if !*active {
+                            continue;
+                        }
+                        let slice = &worker.slices[pi];
+                        let model = ctx.models.model(pi);
+                        flops += slice.pattern_count() as f64
+                            * evaluate_flops(slice.states(), model.categories());
+                    }
+                }
+                KernelOp::Sumtable { mask, .. } => {
+                    for (pi, active) in mask.iter().enumerate() {
+                        if !*active {
+                            continue;
+                        }
+                        let slice = &worker.slices[pi];
+                        let model = ctx.models.model(pi);
+                        flops += slice.pattern_count() as f64
+                            * sumtable_flops(slice.states(), model.categories());
+                    }
+                }
+                KernelOp::Derivatives { lengths } => {
+                    for (pi, length) in lengths.iter().enumerate() {
+                        if length.is_none() {
+                            continue;
+                        }
+                        let slice = &worker.slices[pi];
+                        let model = ctx.models.model(pi);
+                        flops += slice.pattern_count() as f64
+                            * derivative_flops(slice.states(), model.categories());
+                    }
+                }
+            }
+            record.flops_per_worker[wi] = flops;
+            record.bytes_per_worker[wi] = bytes;
+        }
+        self.trace.regions.push(record);
+    }
+}
+
+impl Executor for TracingExecutor {
+    fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn execute(&mut self, op: &KernelOp, ctx: &ExecContext<'_>) -> OpOutput {
+        self.sync_events += 1;
+        self.record_region(op, ctx);
+        let mut result: Option<OpOutput> = None;
+        for worker in &mut self.workers {
+            let out = execute_on_worker(worker, op, ctx);
+            result = Some(match result {
+                None => out,
+                Some(acc) => reduce_outputs(acc, out),
+            });
+        }
+        result.unwrap_or(OpOutput::None)
+    }
+
+    fn sync_events(&self) -> u64 {
+        self.sync_events
+    }
+}
+
+/// Convenience: how many of the trace's regions are of each kind.
+pub fn region_kind_histogram(trace: &WorkTrace) -> Vec<(OpKind, usize)> {
+    let kinds = [OpKind::Newview, OpKind::Evaluate, OpKind::Sumtable, OpKind::Derivatives];
+    kinds
+        .iter()
+        .map(|&k| (k, trace.regions.iter().filter(|r| r.kind == k).count()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_kernel::{LikelihoodKernel, SequentialKernel};
+    use phylo_models::{BranchLengthMode, ModelSet};
+    use phylo_seqgen::datasets::paper_simulated;
+    use std::sync::Arc;
+
+    fn dataset() -> phylo_seqgen::GeneratedDataset {
+        paper_simulated(8, 240, 40, 3).generate()
+    }
+
+    fn build_tracing(
+        ds: &phylo_seqgen::GeneratedDataset,
+        workers: usize,
+    ) -> LikelihoodKernel<TracingExecutor> {
+        let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+        let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+        let exec = TracingExecutor::new(
+            &ds.patterns,
+            workers,
+            ds.tree.node_capacity(),
+            &cats,
+            Distribution::Cyclic,
+        );
+        LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec)
+    }
+
+    #[test]
+    fn tracing_matches_sequential_likelihood() {
+        let ds = dataset();
+        let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+        let mut seq =
+            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models);
+        let reference = seq.log_likelihood();
+
+        for workers in [1usize, 4, 16] {
+            let mut traced = build_tracing(&ds, workers);
+            let lnl = traced.log_likelihood();
+            assert!(
+                (lnl - reference).abs() < 1e-8,
+                "{workers} virtual workers: {lnl} vs {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_records_one_region_per_command() {
+        let ds = dataset();
+        let mut k = build_tracing(&ds, 8);
+        let _ = k.log_likelihood();
+        let branch = k.tree().internal_branches()[0];
+        let mask = k.full_mask();
+        k.prepare_branch(branch, &mask);
+        let lengths: Vec<Option<f64>> = (0..k.partition_count()).map(|_| Some(0.1)).collect();
+        let _ = k.branch_derivatives(&lengths);
+        let sync = k.sync_events();
+        let trace = k.executor_mut().take_trace();
+        assert_eq!(trace.sync_events() as u64, sync);
+        let hist = region_kind_histogram(&trace);
+        assert!(hist.iter().all(|&(_, c)| c > 0), "all op kinds must appear: {hist:?}");
+    }
+
+    #[test]
+    fn balanced_dataset_has_high_balance_for_full_mask_ops() {
+        let ds = dataset();
+        let mut k = build_tracing(&ds, 4);
+        let _ = k.log_likelihood();
+        let trace = k.executor_mut().take_trace();
+        assert!(
+            trace.overall_balance() > 0.9,
+            "full-width operations should balance well, got {}",
+            trace.overall_balance()
+        );
+    }
+
+    #[test]
+    fn single_partition_ops_are_imbalanced_with_many_workers() {
+        // This is the paper's core observation: when only one short partition
+        // is active per region (oldPAR), many workers idle.
+        let ds = dataset();
+        let mut k = build_tracing(&ds, 16);
+        // Evaluate only partition 0 repeatedly.
+        let mask = k.single_mask(0);
+        let root = k.default_root_branch();
+        let _ = k.log_likelihood_partitions(root, &mask);
+        let trace = k.executor_mut().take_trace();
+        // Partition 0 has ~40 patterns over 16 workers; the balance of the
+        // evaluate region is bounded by the pattern distribution, and the
+        // newview region only covers partition 0 as well.
+        assert!(
+            trace.overall_balance() < 0.95,
+            "single-partition regions should show imbalance, got {}",
+            trace.overall_balance()
+        );
+    }
+
+    #[test]
+    fn more_workers_than_patterns_leaves_workers_idle() {
+        let ds = paper_simulated(6, 64, 8, 5).generate();
+        let mut k = build_tracing(&ds, 16);
+        let mask = k.single_mask(0);
+        let root = k.default_root_branch();
+        let _ = k.log_likelihood_partitions(root, &mask);
+        let trace = k.executor_mut().take_trace();
+        let idle_workers = trace
+            .regions
+            .iter()
+            .map(|r| r.flops_per_worker.iter().filter(|&&f| f == 0.0).count())
+            .max()
+            .unwrap_or(0);
+        assert!(
+            idle_workers > 0,
+            "with 16 workers and a ≤8-pattern partition some workers must idle"
+        );
+    }
+}

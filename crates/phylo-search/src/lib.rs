@@ -1,0 +1,248 @@
+//! Maximum-likelihood tree search.
+//!
+//! The paper's "full ML tree search" experiments run RAxML's hill-climbing
+//! search, which alternates between a tree-search phase (SPR moves with local
+//! branch-length optimization, touching only 3–4 conditional likelihood
+//! vectors per evaluated move) and a model-optimization phase (full traversals
+//! while α, the Q matrices and all branch lengths are re-estimated). This
+//! crate implements that loop on top of the likelihood engine and the
+//! oldPAR/newPAR optimizers; which scheme is used is part of the
+//! [`SearchConfig`], so the same search can be timed under both schemes.
+
+use phylo_kernel::{Executor, LikelihoodKernel};
+use phylo_optimize::{
+    optimize_all_branches, optimize_model_parameters, OptimizerConfig, ParallelScheme,
+};
+use phylo_tree::spr::{candidate_moves, SprMove};
+
+/// Configuration of the SPR hill-climbing search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchConfig {
+    /// Maximum number of branches between the pruning point and a regraft
+    /// target (RAxML's "rearrangement radius").
+    pub spr_radius: usize,
+    /// Maximum number of search rounds (each round tries moves at every
+    /// internal node).
+    pub max_rounds: usize,
+    /// Minimum log-likelihood gain for accepting a move.
+    pub acceptance_epsilon: f64,
+    /// Optimizer settings used for the local branch-length optimization inside
+    /// the search phase.
+    pub search_optimizer: OptimizerConfig,
+    /// Optimizer settings used for the model-optimization phase between search
+    /// rounds.
+    pub model_optimizer: OptimizerConfig,
+    /// Whether to run the model-optimization phase between rounds.
+    pub optimize_model_between_rounds: bool,
+}
+
+impl SearchConfig {
+    /// Default search configuration for a parallelization scheme.
+    pub fn new(scheme: ParallelScheme) -> Self {
+        Self {
+            spr_radius: 5,
+            max_rounds: 3,
+            acceptance_epsilon: 1e-3,
+            search_optimizer: OptimizerConfig::search_phase(scheme),
+            model_optimizer: OptimizerConfig::new(scheme),
+            optimize_model_between_rounds: true,
+        }
+    }
+
+    /// The scheme both optimizer configurations use.
+    pub fn scheme(&self) -> ParallelScheme {
+        self.search_optimizer.scheme
+    }
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self::new(ParallelScheme::New)
+    }
+}
+
+/// Outcome of a tree search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchResult {
+    /// Log likelihood of the starting tree (after initial branch smoothing).
+    pub initial_log_likelihood: f64,
+    /// Log likelihood of the final tree.
+    pub final_log_likelihood: f64,
+    /// Number of candidate moves whose likelihood was evaluated.
+    pub evaluated_moves: u64,
+    /// Number of accepted (improving) moves.
+    pub accepted_moves: u64,
+    /// Number of completed search rounds.
+    pub rounds: usize,
+    /// Synchronization events issued over the whole search.
+    pub sync_events: u64,
+}
+
+/// Runs the SPR hill-climbing search on the engine's current tree.
+pub fn tree_search<E: Executor>(
+    kernel: &mut LikelihoodKernel<E>,
+    config: &SearchConfig,
+) -> SearchResult {
+    let sync_before = kernel.sync_events();
+
+    // Initial smoothing of the starting tree, as RAxML does before searching.
+    let (mut best_lnl, _) = optimize_all_branches(kernel, None, &config.search_optimizer);
+    let initial = best_lnl;
+
+    let mut evaluated = 0u64;
+    let mut accepted = 0u64;
+    let mut rounds = 0usize;
+
+    for _round in 0..config.max_rounds {
+        rounds += 1;
+        let mut improved_this_round = false;
+
+        let internal_nodes: Vec<_> = kernel.tree().internal_nodes().collect();
+        for node in internal_nodes {
+            // Try pruning each of the node's three subtrees in turn.
+            let neighbor_list: Vec<_> =
+                kernel.tree().neighbors(node).iter().map(|&(n, _)| n).collect();
+            for subtree in neighbor_list {
+                let moves: Vec<SprMove> =
+                    candidate_moves(kernel.tree(), node, subtree, config.spr_radius);
+                for mv in moves {
+                    let Ok(application) = kernel.apply_spr(mv) else { continue };
+                    // Local branch-length optimization around the insertion
+                    // point (3 branches), as in lazy SPR.
+                    let local = LikelihoodKernel::<E>::inserted_branches(&application);
+                    let (lnl, _) =
+                        optimize_all_branches(kernel, Some(&local), &config.search_optimizer);
+                    evaluated += 1;
+                    if lnl > best_lnl + config.acceptance_epsilon {
+                        best_lnl = lnl;
+                        accepted += 1;
+                        improved_this_round = true;
+                        // Keep the move; continue searching from the new tree.
+                        break;
+                    } else {
+                        kernel.undo_spr(&application);
+                    }
+                }
+            }
+        }
+
+        if config.optimize_model_between_rounds {
+            let report = optimize_model_parameters(kernel, &config.model_optimizer);
+            best_lnl = report.final_log_likelihood;
+        }
+
+        if !improved_this_round {
+            break;
+        }
+    }
+
+    SearchResult {
+        initial_log_likelihood: initial,
+        final_log_likelihood: best_lnl,
+        evaluated_moves: evaluated,
+        accepted_moves: accepted,
+        rounds,
+        sync_events: kernel.sync_events() - sync_before,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_kernel::SequentialKernel;
+    use phylo_models::{BranchLengthMode, ModelSet};
+    use phylo_seqgen::datasets::paper_simulated;
+    use phylo_tree::random::random_tree;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::sync::Arc;
+
+    /// Builds an engine whose starting tree is a *random* topology, unrelated
+    /// to the tree the data were simulated on.
+    fn kernel_with_random_start(seed: u64) -> (SequentialKernel, phylo_tree::Tree) {
+        let ds = paper_simulated(8, 400, 100, seed).generate();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(1000));
+        let start = random_tree(&ds.patterns.taxa.clone(), &mut rng);
+        let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+        let k = SequentialKernel::build(Arc::clone(&ds.patterns), start, models);
+        (k, ds.tree)
+    }
+
+    fn shared_bipartitions(a: &phylo_tree::Tree, b: &phylo_tree::Tree) -> usize {
+        let ba = a.bipartitions();
+        b.bipartitions().iter().filter(|s| ba.contains(s)).count()
+    }
+
+    #[test]
+    fn search_improves_the_likelihood() {
+        let (mut k, _true_tree) = kernel_with_random_start(1);
+        let mut config = SearchConfig::new(ParallelScheme::New);
+        config.max_rounds = 2;
+        config.spr_radius = 3;
+        config.optimize_model_between_rounds = false;
+        let result = tree_search(&mut k, &config);
+        assert!(
+            result.final_log_likelihood > result.initial_log_likelihood,
+            "search must improve lnL: {} -> {}",
+            result.initial_log_likelihood,
+            result.final_log_likelihood
+        );
+        assert!(result.evaluated_moves > 0);
+        assert!(result.sync_events > 0);
+    }
+
+    #[test]
+    fn search_recovers_most_of_the_true_topology() {
+        let (mut k, true_tree) = kernel_with_random_start(2);
+        let start_shared = shared_bipartitions(k.tree(), &true_tree);
+        let mut config = SearchConfig::new(ParallelScheme::New);
+        config.max_rounds = 3;
+        config.spr_radius = 6;
+        config.optimize_model_between_rounds = false;
+        let result = tree_search(&mut k, &config);
+        let end_shared = shared_bipartitions(k.tree(), &true_tree);
+        assert!(
+            end_shared >= start_shared,
+            "search must not move away from the generating topology ({start_shared} -> {end_shared})"
+        );
+        assert!(result.accepted_moves > 0, "expected at least one accepted move");
+        // With 400 informative columns on 8 taxa a tree close to the
+        // generating topology should be found (first-improvement hill climbing
+        // may stop in a nearby local optimum, so we require three quarters of
+        // the bipartitions rather than all of them).
+        let total = true_tree.bipartitions().len();
+        assert!(
+            end_shared as f64 >= 0.75 * total as f64,
+            "recovered only {end_shared}/{total} bipartitions"
+        );
+    }
+
+    #[test]
+    fn schemes_produce_comparable_final_trees() {
+        let (mut k_old, _) = kernel_with_random_start(3);
+        let (mut k_new, _) = kernel_with_random_start(3);
+        let mut cfg_old = SearchConfig::new(ParallelScheme::Old);
+        let mut cfg_new = SearchConfig::new(ParallelScheme::New);
+        for cfg in [&mut cfg_old, &mut cfg_new] {
+            cfg.max_rounds = 1;
+            cfg.spr_radius = 3;
+            cfg.optimize_model_between_rounds = false;
+        }
+        let r_old = tree_search(&mut k_old, &cfg_old);
+        let r_new = tree_search(&mut k_new, &cfg_new);
+        let rel = (r_old.final_log_likelihood - r_new.final_log_likelihood).abs()
+            / r_old.final_log_likelihood.abs();
+        assert!(
+            rel < 5e-3,
+            "schemes should find similar trees: {} vs {}",
+            r_old.final_log_likelihood,
+            r_new.final_log_likelihood
+        );
+        assert!(
+            r_old.sync_events > r_new.sync_events,
+            "oldPAR search must synchronize more: {} vs {}",
+            r_old.sync_events,
+            r_new.sync_events
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Unrooted binary phylogenetic trees.
+//!
+//! The likelihood kernel works on unrooted, strictly binary trees: the `n`
+//! taxa sit at the leaves, the `n − 2` inner nodes represent extinct common
+//! ancestors, and the `2n − 3` branches carry the expected number of
+//! substitutions between the nodes they connect. A *virtual root* can be
+//! placed on any branch to evaluate the likelihood; under time-reversible
+//! models the score does not depend on that placement.
+//!
+//! Modules:
+//!
+//! * [`topology`] — the arena-based tree structure, leaf/internal bookkeeping,
+//!   branch indexing and stepwise leaf insertion,
+//! * [`traversal`] — rooted post-order traversal plans (the "traversal lists"
+//!   the master thread builds in the paper's Section IV),
+//! * [`spr`] — subtree pruning and regrafting moves with undo information,
+//!   the topological move used by the tree-search phase,
+//! * [`newick`] — Newick parsing and serialization,
+//! * [`random`] — deterministic random topologies and branch lengths.
+
+pub mod newick;
+pub mod random;
+pub mod spr;
+pub mod topology;
+pub mod traversal;
+
+pub use topology::{BranchId, NodeId, Tree};
+pub use traversal::{orientation_toward_branch, TraversalPlan, TraversalStep};
+
+/// Errors produced while building or manipulating trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The Newick string could not be parsed; the payload describes why.
+    Parse(String),
+    /// A tree operation was attempted on a malformed or incomplete tree.
+    Invalid(String),
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::Parse(msg) => write!(f, "newick parse error: {msg}"),
+            TreeError::Invalid(msg) => write!(f, "invalid tree operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}

@@ -1,0 +1,393 @@
+//! Newick tree serialization and parsing.
+//!
+//! Unrooted binary trees are written rooted at an internal node with a
+//! trifurcation, e.g. `(A:0.1,B:0.2,(C:0.3,D:0.4):0.5);`. The parser also
+//! accepts rooted (bifurcating-root) files and unroots them by merging the two
+//! root branches, which is how most phylogenetics software treats such input.
+
+use crate::topology::{NodeId, Tree, DEFAULT_BRANCH_LENGTH};
+use crate::TreeError;
+
+/// Serializes the tree as a Newick string with branch lengths.
+///
+/// The output is rooted at the internal node adjacent to leaf 0, which yields
+/// a canonical trifurcating representation of the unrooted tree.
+pub fn to_newick(tree: &Tree) -> String {
+    let anchor = tree.neighbors(0)[0].0;
+    let mut out = String::from("(");
+    let neighbors: Vec<(NodeId, usize)> = tree.neighbors(anchor).to_vec();
+    for (i, &(child, branch)) in neighbors.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_subtree(tree, child, anchor, &mut out);
+        out.push_str(&format!(":{}", format_length(tree.branch_length(branch))));
+    }
+    out.push_str(");");
+    out
+}
+
+fn write_subtree(tree: &Tree, node: NodeId, parent: NodeId, out: &mut String) {
+    if tree.is_leaf(node) {
+        out.push_str(tree.taxon_name(node));
+        return;
+    }
+    out.push('(');
+    let children: Vec<(NodeId, usize)> = tree
+        .neighbors(node)
+        .iter()
+        .copied()
+        .filter(|&(n, _)| n != parent)
+        .collect();
+    for (i, &(child, branch)) in children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_subtree(tree, child, node, out);
+        out.push_str(&format!(":{}", format_length(tree.branch_length(branch))));
+    }
+    out.push(')');
+}
+
+fn format_length(len: f64) -> String {
+    format!("{len:.8}")
+}
+
+/// Parses a Newick string into an unrooted binary [`Tree`].
+///
+/// Taxon leaf ids are assigned in order of appearance in the string. Missing
+/// branch lengths default to [`DEFAULT_BRANCH_LENGTH`]; internal node labels
+/// (support values) are ignored.
+///
+/// # Errors
+///
+/// Returns [`TreeError::Parse`] for syntax errors and [`TreeError::Invalid`]
+/// if the described tree is not strictly binary after unrooting.
+pub fn parse_newick(text: &str) -> Result<Tree, TreeError> {
+    let mut parser = Parser { chars: text.trim().chars().collect(), pos: 0 };
+    let root = parser.parse_clade()?;
+    parser.skip_whitespace();
+    if parser.peek() == Some(':') {
+        // A root branch length; read and discard.
+        parser.pos += 1;
+        parser.parse_number()?;
+    }
+    parser.skip_whitespace();
+    if parser.peek() == Some(';') {
+        parser.pos += 1;
+    }
+    parser.skip_whitespace();
+    if parser.pos != parser.chars.len() {
+        return Err(TreeError::Parse(format!(
+            "trailing characters after position {}",
+            parser.pos
+        )));
+    }
+    build_tree(root)
+}
+
+/// Intermediate recursive structure produced by the parser.
+#[derive(Debug)]
+struct Clade {
+    name: Option<String>,
+    length: Option<f64>,
+    children: Vec<Clade>,
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_clade(&mut self) -> Result<Clade, TreeError> {
+        self.skip_whitespace();
+        let mut clade = Clade { name: None, length: None, children: Vec::new() };
+        if self.peek() == Some('(') {
+            self.pos += 1;
+            loop {
+                let child = self.parse_clade()?;
+                clade.children.push(child);
+                self.skip_whitespace();
+                match self.peek() {
+                    Some(',') => {
+                        self.pos += 1;
+                    }
+                    Some(')') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    other => {
+                        return Err(TreeError::Parse(format!(
+                            "expected ',' or ')' at position {}, found {other:?}",
+                            self.pos
+                        )))
+                    }
+                }
+            }
+        }
+        // Optional label (taxon name for leaves, support value for inner nodes).
+        self.skip_whitespace();
+        let label = self.parse_label();
+        if !label.is_empty() {
+            clade.name = Some(label);
+        }
+        // Optional branch length.
+        self.skip_whitespace();
+        if self.peek() == Some(':') {
+            self.pos += 1;
+            clade.length = Some(self.parse_number()?);
+        }
+        if clade.children.is_empty() && clade.name.is_none() {
+            return Err(TreeError::Parse(format!("unnamed leaf at position {}", self.pos)));
+        }
+        Ok(clade)
+    }
+
+    fn parse_label(&mut self) -> String {
+        let mut label = String::new();
+        while let Some(c) = self.peek() {
+            if c == ':' || c == ',' || c == ')' || c == '(' || c == ';' || c.is_whitespace() {
+                break;
+            }
+            label.push(c);
+            self.pos += 1;
+        }
+        label
+    }
+
+    fn parse_number(&mut self) -> Result<f64, TreeError> {
+        self.skip_whitespace();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<f64>()
+            .map_err(|_| TreeError::Parse(format!("invalid branch length '{text}' at position {start}")))
+    }
+}
+
+fn build_tree(mut root: Clade) -> Result<Tree, TreeError> {
+    // Unroot a bifurcating root by merging its two child branches.
+    if root.children.len() == 2 {
+        let second = root.children.pop().expect("two children");
+        let merged_len = second.length.unwrap_or(DEFAULT_BRANCH_LENGTH)
+            + root.children[0].length.unwrap_or(DEFAULT_BRANCH_LENGTH);
+        if second.children.is_empty() {
+            // The second child is a leaf: graft it under the first child's clade
+            // is not possible without creating a degree-2 node, so instead make
+            // the *first* child the new root if it is internal.
+            let first = root.children.pop().expect("one child");
+            if first.children.is_empty() {
+                return Err(TreeError::Invalid(
+                    "cannot unroot a two-leaf tree; at least 3 taxa are required".into(),
+                ));
+            }
+            let mut new_root = first;
+            new_root.children.push(Clade { length: Some(merged_len), ..second });
+            new_root.length = None;
+            root = new_root;
+        } else {
+            let mut new_second = second;
+            new_second.length = Some(merged_len);
+            // If the first child is a leaf, re-root at the (internal) second
+            // child and hang the leaf off it with the merged branch length;
+            // otherwise re-root at the first child and hang the second child
+            // off it.
+            if root.children[0].children.is_empty() {
+                // First child is a leaf: root the tree at the second child.
+                let leaf = root.children.pop().expect("leaf child");
+                let mut new_root = new_second;
+                new_root.children.push(Clade { length: Some(merged_len), ..leaf });
+                new_root.length = None;
+                root = new_root;
+            } else {
+                // Both children internal: merge by making the second child a
+                // child of the first with the combined branch length.
+                let mut new_root = root.children.pop().expect("first child");
+                new_root.children.push(new_second);
+                new_root.length = None;
+                root = new_root;
+            }
+        }
+    }
+    if root.children.len() < 3 {
+        return Err(TreeError::Invalid(format!(
+            "root must have at least 3 children after unrooting, found {}",
+            root.children.len()
+        )));
+    }
+
+    // First pass: collect taxa in order of appearance and check binarity.
+    let mut taxa = Vec::new();
+    collect_taxa(&root, &mut taxa, true)?;
+    let n_taxa = taxa.len();
+    if n_taxa < 3 {
+        return Err(TreeError::Invalid("fewer than 3 taxa".into()));
+    }
+
+    // Second pass: assign node ids and emit edges.
+    let mut edges: Vec<(NodeId, NodeId, f64)> = Vec::with_capacity(2 * n_taxa - 3);
+    let mut next_internal = n_taxa;
+    let mut leaf_cursor = 0usize;
+    let root_id = next_internal;
+    next_internal += 1;
+    for child in &root.children {
+        emit_edges(child, root_id, &mut leaf_cursor, &mut next_internal, &mut edges)?;
+    }
+    Tree::from_edges(taxa, &edges)
+}
+
+fn collect_taxa(clade: &Clade, taxa: &mut Vec<String>, is_root: bool) -> Result<(), TreeError> {
+    if clade.children.is_empty() {
+        let name = clade
+            .name
+            .clone()
+            .ok_or_else(|| TreeError::Parse("leaf without a name".into()))?;
+        if taxa.contains(&name) {
+            return Err(TreeError::Parse(format!("duplicate taxon name '{name}'")));
+        }
+        taxa.push(name);
+        return Ok(());
+    }
+    let expected = if is_root { 3 } else { 2 };
+    if clade.children.len() != expected {
+        return Err(TreeError::Invalid(format!(
+            "node with {} children found; the tree must be strictly binary (multifurcations are not supported)",
+            clade.children.len()
+        )));
+    }
+    for c in &clade.children {
+        collect_taxa(c, taxa, false)?;
+    }
+    Ok(())
+}
+
+fn emit_edges(
+    clade: &Clade,
+    parent: NodeId,
+    leaf_cursor: &mut usize,
+    next_internal: &mut NodeId,
+    edges: &mut Vec<(NodeId, NodeId, f64)>,
+) -> Result<(), TreeError> {
+    let length = clade.length.unwrap_or(DEFAULT_BRANCH_LENGTH);
+    if clade.children.is_empty() {
+        let id = *leaf_cursor;
+        *leaf_cursor += 1;
+        edges.push((parent, id, length));
+        return Ok(());
+    }
+    let id = *next_internal;
+    *next_internal += 1;
+    edges.push((parent, id, length));
+    for c in &clade.children {
+        emit_edges(c, id, leaf_cursor, next_internal, edges)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::random_tree;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn parse_simple_trifurcating() {
+        let t = parse_newick("(A:0.1,B:0.2,(C:0.3,D:0.4):0.5);").unwrap();
+        assert_eq!(t.n_taxa(), 4);
+        assert!(t.validate().is_ok());
+        assert_eq!(t.taxa(), &["A", "B", "C", "D"]);
+        // Pendant branch of A has length 0.1.
+        let a = t.leaf_by_name("A").unwrap();
+        let (_, b) = t.neighbors(a)[0];
+        assert!((t.branch_length(b) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_rooted_bifurcating_is_unrooted() {
+        // Rooted version of the same 4-taxon tree.
+        let t = parse_newick("((A:0.1,B:0.2):0.25,(C:0.3,D:0.4):0.25);").unwrap();
+        assert_eq!(t.n_taxa(), 4);
+        assert!(t.validate().is_ok());
+        assert_eq!(t.branch_count(), 5);
+        // The two root branches merge into one of length 0.5.
+        let reference = parse_newick("(A:0.1,B:0.2,(C:0.3,D:0.4):0.5);").unwrap();
+        assert_eq!(t.bipartitions(), reference.bipartitions());
+    }
+
+    #[test]
+    fn parse_missing_lengths_get_default() {
+        let t = parse_newick("(A,B,(C,D));").unwrap();
+        for b in t.branches() {
+            assert!((t.branch_length(b) - DEFAULT_BRANCH_LENGTH).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_topology_and_lengths() {
+        for seed in 0..5u64 {
+            let names: Vec<String> = (0..20).map(|i| format!("taxon_{i}")).collect();
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let t = random_tree(&names, &mut rng);
+            let text = to_newick(&t);
+            let back = parse_newick(&text).unwrap();
+            assert_eq!(back.n_taxa(), t.n_taxa());
+            assert_eq!(back.bipartitions(), t.bipartitions(), "seed {seed}");
+            // Total tree length is preserved.
+            let len_a: f64 = t.branch_lengths().iter().sum();
+            let len_b: f64 = back.branch_lengths().iter().sum();
+            assert!((len_a - len_b).abs() < 1e-5, "seed {seed}: {len_a} vs {len_b}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(parse_newick("").is_err());
+        assert!(parse_newick("(A:0.1,B:0.2").is_err());
+        assert!(parse_newick("(A:0.1,B:0.2,C:0.x);").is_err());
+        assert!(parse_newick("(A,B);").is_err());
+        assert!(parse_newick("(A,A,B);").is_err());
+        assert!(parse_newick("(A,B,C,D);").is_err());
+        assert!(parse_newick("(A:0.1,B:0.2,(C:0.3,D:0.4):0.5); trailing").is_err());
+    }
+
+    #[test]
+    fn parse_scientific_notation_lengths() {
+        let t = parse_newick("(A:1e-3,B:2.5E-2,(C:1.0e0,D:0.4):5e-1);").unwrap();
+        let a = t.leaf_by_name("A").unwrap();
+        let (_, b) = t.neighbors(a)[0];
+        assert!((t.branch_length(b) - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn internal_labels_are_ignored() {
+        let t = parse_newick("(A:0.1,B:0.2,(C:0.3,D:0.4)95:0.5);").unwrap();
+        assert_eq!(t.n_taxa(), 4);
+    }
+
+    #[test]
+    fn large_round_trip() {
+        let names: Vec<String> = (0..100).map(|i| format!("sp{i}")).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let t = random_tree(&names, &mut rng);
+        let back = parse_newick(&to_newick(&t)).unwrap();
+        assert_eq!(back.bipartitions(), t.bipartitions());
+    }
+}

@@ -1,0 +1,123 @@
+//! Deterministic random tree generation.
+//!
+//! The paper's simulated datasets are generated on seed trees "from real-world
+//! analyses"; we do not have those trees, so the dataset generator draws
+//! random topologies by stepwise addition (every unrooted topology is
+//! reachable) and random branch lengths. All randomness flows through the
+//! caller-supplied RNG so datasets are exactly reproducible from a seed.
+
+use rand::Rng;
+
+use crate::topology::Tree;
+
+/// Default mean branch length for randomly generated trees, in expected
+/// substitutions per site. 0.1 is a typical value for empirical phylogenies.
+pub const DEFAULT_MEAN_BRANCH_LENGTH: f64 = 0.1;
+
+/// Generates a random unrooted binary topology over `names` by random-order
+/// stepwise addition, with exponentially distributed branch lengths of mean
+/// [`DEFAULT_MEAN_BRANCH_LENGTH`].
+pub fn random_tree<R: Rng>(names: &[String], rng: &mut R) -> Tree {
+    random_tree_with_lengths(names, DEFAULT_MEAN_BRANCH_LENGTH, rng)
+}
+
+/// Generates a random unrooted binary topology with exponentially distributed
+/// branch lengths of the given mean.
+///
+/// # Panics
+///
+/// Panics if fewer than three names are supplied or `mean_branch_length` is
+/// not positive.
+pub fn random_tree_with_lengths<R: Rng>(
+    names: &[String],
+    mean_branch_length: f64,
+    rng: &mut R,
+) -> Tree {
+    assert!(names.len() >= 3, "need at least three taxa");
+    assert!(mean_branch_length > 0.0, "mean branch length must be positive");
+
+    // Random insertion order.
+    let mut order: Vec<usize> = (0..names.len()).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+
+    let mut tree = Tree::initial_triplet(names.to_vec(), [order[0], order[1], order[2]]);
+    for &leaf in &order[3..] {
+        let branch = rng.gen_range(0..tree.branch_count());
+        tree.insert_leaf(leaf, branch, exponential(mean_branch_length, rng));
+    }
+
+    // Redraw every branch length so the early branches are not biased by the
+    // repeated halving that stepwise insertion performs.
+    for b in 0..tree.branch_count() {
+        tree.set_branch_length(b, exponential(mean_branch_length, rng));
+    }
+    debug_assert!(tree.validate().is_ok());
+    tree
+}
+
+/// Draws an exponentially distributed value with the given mean, clamped away
+/// from zero so it is always a usable branch length.
+fn exponential<R: Rng>(mean: f64, rng: &mut R) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    (-u.ln() * mean).max(1e-6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("t{i}")).collect()
+    }
+
+    #[test]
+    fn generated_trees_are_valid() {
+        for n in [3usize, 4, 5, 10, 50, 125] {
+            let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+            let t = random_tree(&names(n), &mut rng);
+            assert!(t.validate().is_ok(), "n = {n}");
+            assert_eq!(t.branch_count(), 2 * n - 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut rng1 = ChaCha8Rng::seed_from_u64(42);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(42);
+        let a = random_tree(&names(20), &mut rng1);
+        let b = random_tree(&names(20), &mut rng2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_topologies() {
+        let mut rng1 = ChaCha8Rng::seed_from_u64(1);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(2);
+        let a = random_tree(&names(20), &mut rng1);
+        let b = random_tree(&names(20), &mut rng2);
+        assert_ne!(a.bipartitions(), b.bipartitions());
+    }
+
+    #[test]
+    fn branch_lengths_are_positive_and_reasonable() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let t = random_tree_with_lengths(&names(30), 0.05, &mut rng);
+        let mean: f64 = t.branch_lengths().iter().sum::<f64>() / t.branch_count() as f64;
+        for &l in t.branch_lengths() {
+            assert!(l > 0.0);
+        }
+        assert!(mean > 0.01 && mean < 0.2, "mean branch length {mean} implausible");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_too_few_taxa() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        random_tree(&names(2), &mut rng);
+    }
+}

@@ -1,0 +1,626 @@
+//! Arena-based unrooted binary tree topology.
+//!
+//! Leaves have node ids `0..n_taxa` (the id doubles as the taxon index into
+//! the alignment); internal nodes get the ids `n_taxa..2·n_taxa − 2`. Branches
+//! have stable integer ids `0..2·n_taxa − 3`, which is what the kernel uses to
+//! index per-branch (and per-partition) branch-length vectors.
+
+use crate::TreeError;
+
+/// Identifier of a tree node (leaf or internal).
+pub type NodeId = usize;
+/// Identifier of a branch (edge).
+pub type BranchId = usize;
+
+/// Default branch length used when nothing better is known (RAxML uses 0.1 as
+/// its starting branch length as well).
+pub const DEFAULT_BRANCH_LENGTH: f64 = 0.1;
+
+/// Smallest branch length the optimizers are allowed to produce.
+pub const MIN_BRANCH_LENGTH: f64 = 1.0e-8;
+/// Largest branch length the optimizers are allowed to produce.
+pub const MAX_BRANCH_LENGTH: f64 = 10.0;
+
+/// An unrooted, strictly binary phylogenetic tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tree {
+    taxa: Vec<String>,
+    /// Per-node adjacency: `(neighbor, connecting branch)`. Leaves have one
+    /// entry, fully connected internal nodes have three.
+    adjacency: Vec<Vec<(NodeId, BranchId)>>,
+    /// Branch endpoints, indexed by branch id.
+    branch_ends: Vec<(NodeId, NodeId)>,
+    /// Branch lengths, indexed by branch id. These are the "joint" lengths;
+    /// per-partition branch length vectors live in the kernel and are
+    /// initialized from these values.
+    branch_lengths: Vec<f64>,
+    n_taxa: usize,
+    next_internal: NodeId,
+}
+
+impl Tree {
+    /// Creates the initial three-taxon star: taxa `t0`, `t1`, `t2` joined at
+    /// one internal node, with all other leaves allocated but not yet
+    /// connected (they are attached later with [`Tree::insert_leaf`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than three taxa are supplied, the three seed indices
+    /// are not distinct, or any seed index is out of range.
+    pub fn initial_triplet(taxa: Vec<String>, seed: [usize; 3]) -> Self {
+        let n_taxa = taxa.len();
+        assert!(n_taxa >= 3, "an unrooted binary tree needs at least 3 taxa");
+        assert!(seed[0] != seed[1] && seed[1] != seed[2] && seed[0] != seed[2]);
+        assert!(seed.iter().all(|&s| s < n_taxa), "seed taxon index out of range");
+
+        let node_capacity = 2 * n_taxa - 2;
+        let mut tree = Self {
+            taxa,
+            adjacency: vec![Vec::new(); node_capacity],
+            branch_ends: Vec::with_capacity(2 * n_taxa - 3),
+            branch_lengths: Vec::with_capacity(2 * n_taxa - 3),
+            n_taxa,
+            next_internal: n_taxa,
+        };
+        let center = tree.allocate_internal();
+        for &leaf in &seed {
+            tree.connect(center, leaf, DEFAULT_BRANCH_LENGTH);
+        }
+        tree
+    }
+
+    /// Builds a fully resolved tree by inserting the taxa in the order given
+    /// by `insertion_order` (the first three become the seed triplet, each
+    /// further taxon is attached to the branch selected by `pick_branch`,
+    /// which receives the current number of branches and must return a valid
+    /// branch id).
+    pub fn stepwise<F: FnMut(usize) -> BranchId>(
+        taxa: Vec<String>,
+        insertion_order: &[usize],
+        mut pick_branch: F,
+    ) -> Self {
+        assert_eq!(insertion_order.len(), taxa.len(), "insertion order must cover all taxa");
+        let seed = [insertion_order[0], insertion_order[1], insertion_order[2]];
+        let mut tree = Tree::initial_triplet(taxa, seed);
+        for &leaf in &insertion_order[3..] {
+            let branch = pick_branch(tree.branch_count());
+            tree.insert_leaf(leaf, branch, DEFAULT_BRANCH_LENGTH);
+        }
+        tree
+    }
+
+    fn allocate_internal(&mut self) -> NodeId {
+        let id = self.next_internal;
+        assert!(id < 2 * self.n_taxa - 2, "internal node arena exhausted");
+        self.next_internal += 1;
+        id
+    }
+
+    fn connect(&mut self, a: NodeId, b: NodeId, length: f64) -> BranchId {
+        let id = self.branch_ends.len();
+        self.branch_ends.push((a, b));
+        self.branch_lengths.push(length);
+        self.adjacency[a].push((b, id));
+        self.adjacency[b].push((a, id));
+        id
+    }
+
+    /// Attaches the (so far unconnected) leaf `leaf` to `branch`, splitting it
+    /// with a fresh internal node. The original branch keeps its id for the
+    /// half adjacent to its first endpoint; the other half and the new
+    /// pendant branch get fresh ids. Returns the id of the new pendant branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf` is not an unconnected leaf or `branch` is invalid.
+    pub fn insert_leaf(&mut self, leaf: NodeId, branch: BranchId, pendant_length: f64) -> BranchId {
+        assert!(leaf < self.n_taxa, "only leaves can be inserted");
+        assert!(self.adjacency[leaf].is_empty(), "leaf {leaf} is already connected");
+        assert!(branch < self.branch_ends.len(), "branch {branch} out of range");
+
+        let (x, y) = self.branch_ends[branch];
+        let old_len = self.branch_lengths[branch];
+        let v = self.allocate_internal();
+
+        // Re-point the existing branch from (x, y) to (x, v).
+        self.detach_adjacency(y, branch);
+        self.branch_ends[branch] = (x, v);
+        self.branch_lengths[branch] = old_len * 0.5;
+        self.adjacency[v].push((x, branch));
+        self.replace_neighbor(x, branch, v);
+
+        // New branch (v, y) for the other half.
+        self.connect(v, y, old_len * 0.5);
+        // Pendant branch (v, leaf).
+        self.connect(v, leaf, pendant_length)
+    }
+
+    fn detach_adjacency(&mut self, node: NodeId, branch: BranchId) {
+        let pos = self.adjacency[node]
+            .iter()
+            .position(|&(_, b)| b == branch)
+            .expect("branch must be incident to node");
+        self.adjacency[node].swap_remove(pos);
+    }
+
+    fn replace_neighbor(&mut self, node: NodeId, branch: BranchId, new_neighbor: NodeId) {
+        for entry in &mut self.adjacency[node] {
+            if entry.1 == branch {
+                entry.0 = new_neighbor;
+                return;
+            }
+        }
+        panic!("branch {branch} not incident to node {node}");
+    }
+
+    /// Number of taxa (leaves).
+    pub fn n_taxa(&self) -> usize {
+        self.n_taxa
+    }
+
+    /// Taxon names; the index is the leaf's node id.
+    pub fn taxa(&self) -> &[String] {
+        &self.taxa
+    }
+
+    /// Name of the taxon at leaf `leaf`.
+    pub fn taxon_name(&self, leaf: NodeId) -> &str {
+        &self.taxa[leaf]
+    }
+
+    /// Node id of the taxon with the given name.
+    pub fn leaf_by_name(&self, name: &str) -> Option<NodeId> {
+        self.taxa.iter().position(|t| t == name)
+    }
+
+    /// Total number of allocated node slots (`2·n_taxa − 2`).
+    pub fn node_capacity(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of branches currently present.
+    pub fn branch_count(&self) -> usize {
+        self.branch_ends.len()
+    }
+
+    /// Number of internal nodes currently connected.
+    pub fn internal_count(&self) -> usize {
+        self.next_internal - self.n_taxa
+    }
+
+    /// Whether every taxon has been attached (`2·n_taxa − 3` branches).
+    pub fn is_complete(&self) -> bool {
+        self.branch_count() == 2 * self.n_taxa - 3
+            && (0..self.n_taxa).all(|l| !self.adjacency[l].is_empty())
+    }
+
+    /// Is `node` a leaf?
+    #[inline]
+    pub fn is_leaf(&self, node: NodeId) -> bool {
+        node < self.n_taxa
+    }
+
+    /// The `(neighbor, branch)` pairs incident to `node`.
+    #[inline]
+    pub fn neighbors(&self, node: NodeId) -> &[(NodeId, BranchId)] {
+        &self.adjacency[node]
+    }
+
+    /// Endpoints of `branch`.
+    #[inline]
+    pub fn branch_endpoints(&self, branch: BranchId) -> (NodeId, NodeId) {
+        self.branch_ends[branch]
+    }
+
+    /// The endpoint of `branch` that is not `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an endpoint of `branch`.
+    pub fn other_end(&self, branch: BranchId, node: NodeId) -> NodeId {
+        let (a, b) = self.branch_ends[branch];
+        if a == node {
+            b
+        } else if b == node {
+            a
+        } else {
+            panic!("node {node} is not an endpoint of branch {branch}");
+        }
+    }
+
+    /// Length of `branch`.
+    #[inline]
+    pub fn branch_length(&self, branch: BranchId) -> f64 {
+        self.branch_lengths[branch]
+    }
+
+    /// Sets the length of `branch`, clamping into the supported range.
+    pub fn set_branch_length(&mut self, branch: BranchId, length: f64) {
+        self.branch_lengths[branch] = length.max(MIN_BRANCH_LENGTH).min(MAX_BRANCH_LENGTH);
+    }
+
+    /// All branch lengths, indexed by branch id.
+    pub fn branch_lengths(&self) -> &[f64] {
+        &self.branch_lengths
+    }
+
+    /// The branch connecting `a` and `b`, if any.
+    pub fn branch_between(&self, a: NodeId, b: NodeId) -> Option<BranchId> {
+        self.adjacency[a]
+            .iter()
+            .find(|&&(n, _)| n == b)
+            .map(|&(_, br)| br)
+    }
+
+    /// Ids of the connected internal nodes.
+    pub fn internal_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (self.n_taxa..self.next_internal).filter(move |&n| !self.adjacency[n].is_empty())
+    }
+
+    /// Ids of all branches.
+    pub fn branches(&self) -> impl Iterator<Item = BranchId> {
+        0..self.branch_count()
+    }
+
+    /// Branches whose both endpoints are internal nodes.
+    pub fn internal_branches(&self) -> Vec<BranchId> {
+        self.branches()
+            .filter(|&b| {
+                let (x, y) = self.branch_ends[b];
+                !self.is_leaf(x) && !self.is_leaf(y)
+            })
+            .collect()
+    }
+
+    /// Structural validation: correct node degrees, consistent adjacency and
+    /// branch tables, connectedness and the expected branch count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::Invalid`] describing the first violated invariant.
+    pub fn validate(&self) -> Result<(), TreeError> {
+        if !self.is_complete() {
+            return Err(TreeError::Invalid(format!(
+                "tree is incomplete: {} branches for {} taxa",
+                self.branch_count(),
+                self.n_taxa
+            )));
+        }
+        for node in 0..self.node_capacity() {
+            let deg = self.adjacency[node].len();
+            let expected = if self.is_leaf(node) { 1 } else { 3 };
+            if node < self.next_internal || self.is_leaf(node) {
+                if deg != expected {
+                    return Err(TreeError::Invalid(format!(
+                        "node {node} has degree {deg}, expected {expected}"
+                    )));
+                }
+            }
+            for &(neighbor, branch) in &self.adjacency[node] {
+                let (a, b) = self.branch_ends[branch];
+                if !(a == node && b == neighbor) && !(b == node && a == neighbor) {
+                    return Err(TreeError::Invalid(format!(
+                        "adjacency of node {node} disagrees with branch {branch} endpoints"
+                    )));
+                }
+            }
+        }
+        // Connectedness via BFS over branches.
+        let mut seen = vec![false; self.node_capacity()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1usize;
+        while let Some(node) = stack.pop() {
+            for &(next, _) in &self.adjacency[node] {
+                if !seen[next] {
+                    seen[next] = true;
+                    count += 1;
+                    stack.push(next);
+                }
+            }
+        }
+        let expected_nodes = self.n_taxa + self.internal_count();
+        if count != expected_nodes {
+            return Err(TreeError::Invalid(format!(
+                "tree is disconnected: reached {count} of {expected_nodes} nodes"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Collects the branches reachable within `radius` edges of `start`
+    /// (excluding `start` itself). Used to bound the regrafting region of
+    /// lazy SPR moves.
+    pub fn branches_within_radius(&self, start: BranchId, radius: usize) -> Vec<BranchId> {
+        use std::collections::VecDeque;
+        let mut dist: Vec<Option<usize>> = vec![None; self.branch_count()];
+        dist[start] = Some(0);
+        let mut queue = VecDeque::new();
+        queue.push_back(start);
+        let mut out = Vec::new();
+        while let Some(b) = queue.pop_front() {
+            let d = dist[b].unwrap();
+            if d >= radius {
+                continue;
+            }
+            let (x, y) = self.branch_ends[b];
+            for node in [x, y] {
+                for &(_, nb) in &self.adjacency[node] {
+                    if dist[nb].is_none() {
+                        dist[nb] = Some(d + 1);
+                        out.push(nb);
+                        queue.push_back(nb);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the set of nodes on the side of `branch` that contains `node`
+    /// (including `node` itself, excluding the other endpoint's side).
+    pub fn nodes_on_side(&self, branch: BranchId, node: NodeId) -> Vec<NodeId> {
+        let (a, b) = self.branch_ends[branch];
+        assert!(node == a || node == b, "node must be an endpoint of branch");
+        let mut seen = vec![false; self.node_capacity()];
+        let mut stack = vec![node];
+        seen[node] = true;
+        let mut out = Vec::new();
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            for &(next, br) in &self.adjacency[n] {
+                if br == branch || seen[next] {
+                    continue;
+                }
+                seen[next] = true;
+                stack.push(next);
+            }
+        }
+        out
+    }
+
+    /// Splits the leaf set according to `branch`: the names on the side of the
+    /// first endpoint, sorted. Used to compare topologies irrespective of node
+    /// numbering (two trees are equal iff their bipartition sets are equal).
+    pub fn bipartitions(&self) -> Vec<Vec<String>> {
+        let mut splits = Vec::new();
+        for b in self.branches() {
+            let (x, _) = self.branch_endpoints(b);
+            let side: Vec<String> = self
+                .nodes_on_side(b, x)
+                .into_iter()
+                .filter(|&n| self.is_leaf(n))
+                .map(|n| self.taxa[n].clone())
+                .collect();
+            let mut side = side;
+            side.sort();
+            // Canonicalize: always store the side that contains the first taxon.
+            let all: Vec<String> = {
+                let mut t = self.taxa.clone();
+                t.sort();
+                t
+            };
+            let complement: Vec<String> =
+                all.iter().filter(|t| !side.contains(t)).cloned().collect();
+            // Canonical side: the one containing the lexicographically smallest
+            // taxon name, so the result is independent of leaf numbering.
+            let canonical = if side.contains(&all[0]) { side } else { complement };
+            splits.push(canonical);
+        }
+        splits.sort();
+        splits.dedup();
+        splits
+    }
+
+    /// Builds a tree directly from an edge list.
+    ///
+    /// Leaves must use node ids `0..taxa.len()` and internal nodes the ids
+    /// `taxa.len()..2·taxa.len() − 2`; each edge is `(a, b, length)`. This is
+    /// the constructor used by the Newick parser.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::Invalid`] if the resulting structure is not a
+    /// valid unrooted binary tree.
+    pub fn from_edges(taxa: Vec<String>, edges: &[(NodeId, NodeId, f64)]) -> Result<Self, TreeError> {
+        let n_taxa = taxa.len();
+        if n_taxa < 3 {
+            return Err(TreeError::Invalid("an unrooted binary tree needs at least 3 taxa".into()));
+        }
+        let node_capacity = 2 * n_taxa - 2;
+        if edges.len() != 2 * n_taxa - 3 {
+            return Err(TreeError::Invalid(format!(
+                "expected {} edges for {} taxa, got {}",
+                2 * n_taxa - 3,
+                n_taxa,
+                edges.len()
+            )));
+        }
+        let mut tree = Self {
+            taxa,
+            adjacency: vec![Vec::new(); node_capacity],
+            branch_ends: Vec::with_capacity(edges.len()),
+            branch_lengths: Vec::with_capacity(edges.len()),
+            n_taxa,
+            next_internal: node_capacity,
+        };
+        for &(a, b, len) in edges {
+            if a >= node_capacity || b >= node_capacity || a == b {
+                return Err(TreeError::Invalid(format!("edge ({a}, {b}) references invalid nodes")));
+            }
+            tree.connect(a, b, len.max(MIN_BRANCH_LENGTH).min(MAX_BRANCH_LENGTH));
+        }
+        tree.validate()?;
+        Ok(tree)
+    }
+
+    /// Mutable access used by the SPR module; not part of the public API
+    /// surface for ordinary users.
+    pub(crate) fn adjacency_mut(&mut self) -> &mut Vec<Vec<(NodeId, BranchId)>> {
+        &mut self.adjacency
+    }
+
+    pub(crate) fn branch_ends_mut(&mut self) -> &mut Vec<(NodeId, NodeId)> {
+        &mut self.branch_ends
+    }
+
+    pub(crate) fn branch_lengths_mut(&mut self) -> &mut Vec<f64> {
+        &mut self.branch_lengths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("t{i}")).collect()
+    }
+
+    #[test]
+    fn triplet_structure() {
+        let t = Tree::initial_triplet(names(3), [0, 1, 2]);
+        assert_eq!(t.n_taxa(), 3);
+        assert_eq!(t.branch_count(), 3);
+        assert!(t.is_complete());
+        assert!(t.validate().is_ok());
+        assert_eq!(t.internal_count(), 1);
+        let center = 3;
+        assert_eq!(t.neighbors(center).len(), 3);
+        for leaf in 0..3 {
+            assert_eq!(t.neighbors(leaf).len(), 1);
+            assert_eq!(t.neighbors(leaf)[0].0, center);
+        }
+    }
+
+    #[test]
+    fn insert_leaf_grows_tree_correctly() {
+        let mut t = Tree::initial_triplet(names(5), [0, 1, 2]);
+        assert!(!t.is_complete());
+        t.insert_leaf(3, 0, 0.2);
+        t.insert_leaf(4, 2, 0.3);
+        assert!(t.is_complete());
+        assert!(t.validate().is_ok());
+        assert_eq!(t.branch_count(), 2 * 5 - 3);
+        assert_eq!(t.internal_count(), 3);
+        // Every leaf has exactly one neighbor, every internal node three.
+        for leaf in 0..5 {
+            assert_eq!(t.neighbors(leaf).len(), 1);
+        }
+        for internal in t.internal_nodes() {
+            assert_eq!(t.neighbors(internal).len(), 3);
+        }
+    }
+
+    #[test]
+    fn insert_leaf_splits_branch_length() {
+        let mut t = Tree::initial_triplet(names(4), [0, 1, 2]);
+        let original = t.branch_length(0);
+        t.insert_leaf(3, 0, 0.42);
+        // The two halves of the split branch sum to the original length; the
+        // second half is the first newly created branch (id 3).
+        let halves: f64 = t.branch_length(0) + t.branch_length(3);
+        assert!((halves - original).abs() < 1e-12);
+        // The pendant branch got the requested length.
+        let pendant = t.branch_between(3, t.neighbors(3)[0].0).unwrap();
+        assert!((t.branch_length(pendant) - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stepwise_builds_complete_tree() {
+        let order: Vec<usize> = (0..10).collect();
+        let mut counter = 0usize;
+        let t = Tree::stepwise(names(10), &order, |branches| {
+            counter = (counter + 7) % branches;
+            counter
+        });
+        assert!(t.is_complete());
+        assert!(t.validate().is_ok());
+        assert_eq!(t.branch_count(), 17);
+    }
+
+    #[test]
+    fn other_end_and_branch_between() {
+        let t = Tree::initial_triplet(names(3), [0, 1, 2]);
+        let b = t.branch_between(0, 3).unwrap();
+        assert_eq!(t.other_end(b, 0), 3);
+        assert_eq!(t.other_end(b, 3), 0);
+        assert_eq!(t.branch_between(0, 1), None);
+    }
+
+    #[test]
+    fn branch_length_clamping() {
+        let mut t = Tree::initial_triplet(names(3), [0, 1, 2]);
+        t.set_branch_length(0, 1e-20);
+        assert!(t.branch_length(0) >= MIN_BRANCH_LENGTH);
+        t.set_branch_length(0, 1e9);
+        assert!(t.branch_length(0) <= MAX_BRANCH_LENGTH);
+    }
+
+    #[test]
+    fn nodes_on_side_partitions_the_tree() {
+        let mut t = Tree::initial_triplet(names(5), [0, 1, 2]);
+        t.insert_leaf(3, 0, 0.1);
+        t.insert_leaf(4, 1, 0.1);
+        for b in t.branches() {
+            let (x, y) = t.branch_endpoints(b);
+            let left = t.nodes_on_side(b, x);
+            let right = t.nodes_on_side(b, y);
+            assert_eq!(left.len() + right.len(), t.n_taxa() + t.internal_count());
+            assert!(left.iter().all(|n| !right.contains(n)));
+        }
+    }
+
+    #[test]
+    fn radius_search_covers_whole_tree_with_large_radius() {
+        let order: Vec<usize> = (0..8).collect();
+        let t = Tree::stepwise(names(8), &order, |branches| branches / 2);
+        let all = t.branches_within_radius(0, 100);
+        assert_eq!(all.len(), t.branch_count() - 1);
+        let near = t.branches_within_radius(0, 1);
+        assert!(near.len() < all.len());
+    }
+
+    #[test]
+    fn internal_branches_have_no_leaf_endpoints() {
+        let order: Vec<usize> = (0..6).collect();
+        let t = Tree::stepwise(names(6), &order, |branches| branches - 1);
+        for b in t.internal_branches() {
+            let (x, y) = t.branch_endpoints(b);
+            assert!(!t.is_leaf(x) && !t.is_leaf(y));
+        }
+        // An unrooted binary tree with n leaves has n-3 internal branches.
+        assert_eq!(t.internal_branches().len(), 3);
+    }
+
+    #[test]
+    fn bipartitions_are_invariant_to_insertion_details() {
+        // Two different construction orders of the same 4-taxon topology
+        // (there is only one unrooted topology for 4 taxa modulo the central
+        // branch) must give the same bipartition set when the quartet is the
+        // same.
+        let mut a = Tree::initial_triplet(names(4), [0, 1, 2]);
+        let b02 = a.branch_between(2, 4).unwrap_or(2);
+        a.insert_leaf(3, b02, 0.1);
+
+        let mut b = Tree::initial_triplet(names(4), [0, 1, 3]);
+        let center = 4;
+        let b_branch = b.branch_between(3, center).unwrap();
+        b.insert_leaf(2, b_branch, 0.1);
+
+        assert_eq!(a.bipartitions(), b.bipartitions());
+    }
+
+    #[test]
+    #[should_panic]
+    fn cannot_insert_connected_leaf_twice() {
+        let mut t = Tree::initial_triplet(names(4), [0, 1, 2]);
+        t.insert_leaf(0, 1, 0.1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn requires_three_taxa() {
+        Tree::initial_triplet(names(2), [0, 1, 1]);
+    }
+}

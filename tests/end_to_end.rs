@@ -1,0 +1,151 @@
+//! Cross-crate integration tests: the full pipeline from dataset generation
+//! through the kernel, the parallel executors, the optimizers and the tree
+//! search, checking that every configuration agrees on the likelihood.
+
+use plf_loadbalance::prelude::*;
+use std::sync::Arc;
+
+fn dataset(seed: u64) -> plf_loadbalance::seqgen::GeneratedDataset {
+    paper_simulated(10, 400, 80, seed).generate()
+}
+
+#[test]
+fn all_executors_agree_on_the_likelihood() {
+    let ds = dataset(1);
+    let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+    let categories: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+
+    let mut sequential =
+        SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
+    let reference = sequential.log_likelihood();
+
+    let threaded = ThreadedExecutor::new(
+        &ds.patterns,
+        4,
+        ds.tree.node_capacity(),
+        &categories,
+        Distribution::Cyclic,
+    );
+    let mut threaded_kernel =
+        LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone(), threaded);
+
+    let rayon = RayonExecutor::new(
+        &ds.patterns,
+        4,
+        ds.tree.node_capacity(),
+        &categories,
+        Distribution::Block,
+    );
+    let mut rayon_kernel =
+        LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone(), rayon);
+
+    let tracing = TracingExecutor::new(
+        &ds.patterns,
+        16,
+        ds.tree.node_capacity(),
+        &categories,
+        Distribution::Cyclic,
+    );
+    let mut tracing_kernel =
+        LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, tracing);
+
+    for (name, lnl) in [
+        ("threaded", threaded_kernel.log_likelihood()),
+        ("rayon", rayon_kernel.log_likelihood()),
+        ("tracing-16", tracing_kernel.log_likelihood()),
+    ] {
+        assert!(
+            (lnl - reference).abs() < 1e-8,
+            "{name} executor disagrees: {lnl} vs {reference}"
+        );
+    }
+}
+
+#[test]
+fn kernel_agrees_with_naive_reference_on_generated_data() {
+    use plf_loadbalance::kernel::naive::naive_log_likelihood;
+    use plf_loadbalance::kernel::BranchLengths;
+
+    let ds = dataset(2);
+    let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::Joint);
+    let mut kernel =
+        SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
+    let fast = kernel.log_likelihood();
+    let bl = BranchLengths::from_tree(&ds.tree, ds.patterns.partition_count(), BranchLengthMode::Joint);
+    let slow = naive_log_likelihood(&ds.patterns, &ds.tree, &models, &bl);
+    assert!((fast - slow).abs() < 1e-7, "kernel {fast} vs naive {slow}");
+}
+
+#[test]
+fn old_and_new_schemes_reach_the_same_model_estimate() {
+    let ds = dataset(3);
+    let run = |scheme| {
+        let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+        let mut kernel =
+            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models);
+        let report = optimize_model_parameters(&mut kernel, &OptimizerConfig::new(scheme));
+        (report, kernel)
+    };
+    let (report_old, kernel_old) = run(ParallelScheme::Old);
+    let (report_new, kernel_new) = run(ParallelScheme::New);
+
+    let rel = (report_old.final_log_likelihood - report_new.final_log_likelihood).abs()
+        / report_old.final_log_likelihood.abs();
+    assert!(rel < 1e-3, "{} vs {}", report_old.final_log_likelihood, report_new.final_log_likelihood);
+    assert!(report_old.sync_events > report_new.sync_events);
+
+    for p in 0..kernel_old.partition_count() {
+        let a = kernel_old.alpha(p);
+        let b = kernel_new.alpha(p);
+        assert!((a.ln() - b.ln()).abs() < 0.1, "partition {p}: alpha {a} vs {b}");
+    }
+}
+
+#[test]
+fn search_with_threads_improves_and_stays_consistent() {
+    let ds = dataset(4);
+    let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+    let categories: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+    let executor = ThreadedExecutor::new(
+        &ds.patterns,
+        2,
+        ds.tree.node_capacity(),
+        &categories,
+        Distribution::Cyclic,
+    );
+    // Start from a random tree so the search has something to do.
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+    let start = plf_loadbalance::tree::random::random_tree(&ds.patterns.taxa, &mut rng);
+    let mut kernel = LikelihoodKernel::new(Arc::clone(&ds.patterns), start, models, executor);
+
+    let mut config = SearchConfig::new(ParallelScheme::New);
+    config.max_rounds = 1;
+    config.spr_radius = 3;
+    config.optimize_model_between_rounds = false;
+    let result = tree_search(&mut kernel, &config);
+    assert!(result.final_log_likelihood >= result.initial_log_likelihood);
+    assert!(kernel.tree().validate().is_ok());
+}
+
+#[test]
+fn dataset_io_round_trip_through_files() {
+    use plf_loadbalance::data::io;
+
+    let ds = dataset(5);
+    let dir = std::env::temp_dir();
+    let fasta_path = dir.join("plf_integration_roundtrip.fasta");
+    let partition_path = dir.join("plf_integration_roundtrip.part");
+
+    std::fs::write(&fasta_path, io::write_fasta(&ds.alignment, 80)).unwrap();
+    std::fs::write(&partition_path, ds.partition_set.to_file_string()).unwrap();
+
+    let alignment = io::read_fasta_file(&fasta_path).unwrap();
+    let partitions = PartitionSet::parse(&std::fs::read_to_string(&partition_path).unwrap()).unwrap();
+    let recompiled = PartitionedPatterns::compile(&alignment, &partitions).unwrap();
+    assert_eq!(recompiled.total_patterns(), ds.patterns.total_patterns());
+    assert_eq!(recompiled.partition_count(), ds.patterns.partition_count());
+
+    std::fs::remove_file(&fasta_path).ok();
+    std::fs::remove_file(&partition_path).ok();
+}

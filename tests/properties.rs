@@ -1,0 +1,108 @@
+//! Property-based integration tests over randomly generated datasets and
+//! trees: invariants of the likelihood kernel that must hold regardless of
+//! the input.
+
+use plf_loadbalance::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn build_kernel(
+    taxa: usize,
+    columns: usize,
+    partition_len: usize,
+    seed: u64,
+    mode: BranchLengthMode,
+) -> (SequentialKernel, plf_loadbalance::seqgen::GeneratedDataset) {
+    let ds = paper_simulated(taxa, columns, partition_len, seed).generate();
+    let models = ModelSet::default_for(&ds.patterns, mode);
+    let k = SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models);
+    (k, ds)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// The likelihood must not depend on where the virtual root is placed.
+    #[test]
+    fn likelihood_is_root_invariant(seed in 0u64..500, taxa in 4usize..9) {
+        let (mut kernel, _) = build_kernel(taxa, 120, 40, seed, BranchLengthMode::PerPartition);
+        let branches: Vec<_> = kernel.tree().branches().collect();
+        let reference = kernel.log_likelihood_at(branches[0]);
+        for &b in branches.iter().skip(1).step_by(2) {
+            let lnl = kernel.log_likelihood_at(b);
+            prop_assert!((lnl - reference).abs() < 1e-7, "branch {}: {} vs {}", b, lnl, reference);
+        }
+    }
+
+    /// Applying and undoing a random SPR move restores the likelihood exactly.
+    #[test]
+    fn spr_apply_undo_is_lossless(seed in 0u64..500) {
+        let (mut kernel, _) = build_kernel(8, 160, 40, seed, BranchLengthMode::PerPartition);
+        let before = kernel.log_likelihood();
+        let tree = kernel.tree().clone();
+        let node = tree.internal_nodes().next().unwrap();
+        let (subtree, _) = tree.neighbors(node)[0];
+        let moves = plf_loadbalance::tree::spr::candidate_moves(&tree, node, subtree, 4);
+        if let Some(&mv) = moves.first() {
+            let app = kernel.apply_spr(mv).unwrap();
+            let _ = kernel.log_likelihood();
+            kernel.undo_spr(&app);
+            let after = kernel.log_likelihood();
+            prop_assert!((after - before).abs() < 1e-6, "{} vs {}", before, after);
+        }
+    }
+
+    /// Branch-length optimization never decreases the log likelihood, under
+    /// either scheme and either branch-length mode.
+    #[test]
+    fn optimization_is_monotone(seed in 0u64..200, new_scheme in proptest::bool::ANY, per_partition in proptest::bool::ANY) {
+        let mode = if per_partition { BranchLengthMode::PerPartition } else { BranchLengthMode::Joint };
+        let scheme = if new_scheme { ParallelScheme::New } else { ParallelScheme::Old };
+        let (mut kernel, _) = build_kernel(6, 120, 60, seed, mode);
+        let before = kernel.log_likelihood();
+        let (after, _) = optimize_all_branches(&mut kernel, None, &OptimizerConfig::new(scheme));
+        prop_assert!(after >= before - 1e-6, "lnL decreased: {} -> {}", before, after);
+    }
+
+    /// The cyclic distribution never differs by more than one pattern between
+    /// workers, for any worker count.
+    #[test]
+    fn cyclic_distribution_is_always_balanced(seed in 0u64..200, workers in 2usize..24) {
+        let ds = paper_simulated(6, 180, 60, seed).generate();
+        let categories = vec![4; ds.patterns.partition_count()];
+        let counts: Vec<usize> = (0..workers)
+            .map(|w| {
+                plf_loadbalance::kernel::WorkerSlices::cyclic(
+                    &ds.patterns, w, workers, ds.tree.node_capacity(), &categories,
+                ).total_patterns()
+            })
+            .collect();
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        prop_assert!(max - min <= ds.patterns.partition_count(), "unbalanced: {:?}", counts);
+        prop_assert_eq!(counts.iter().sum::<usize>(), ds.patterns.total_patterns());
+    }
+
+    /// Newick serialization round-trips the topology of random trees.
+    #[test]
+    fn newick_round_trip(seed in 0u64..500, taxa in 4usize..40) {
+        use rand::SeedableRng;
+        let names: Vec<String> = (0..taxa).map(|i| format!("t{i}")).collect();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let tree = plf_loadbalance::tree::random::random_tree(&names, &mut rng);
+        let text = newick::to_newick(&tree);
+        let back = newick::parse_newick(&text).unwrap();
+        prop_assert_eq!(back.bipartitions(), tree.bipartitions());
+    }
+
+    /// Discrete Γ rates always average to one and increase with the category.
+    #[test]
+    fn gamma_rates_are_well_formed(alpha in 0.05f64..50.0, categories in 2usize..9) {
+        let rates = plf_loadbalance::math::gamma_rates::discrete_gamma_rates(alpha, categories);
+        let mean: f64 = rates.iter().sum::<f64>() / categories as f64;
+        prop_assert!((mean - 1.0).abs() < 1e-8);
+        for w in rates.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+}
