@@ -1,27 +1,103 @@
 //! Ablation benchmarks for the design choices called out in DESIGN.md §6:
-//! cyclic vs block pattern distribution, the newPAR convergence mask, and the
-//! number of discrete Γ rate categories.
+//! scheduling strategy (cyclic / block / weighted-LPT / trace-adaptive) ×
+//! worker count on a mixed DNA/protein dataset, the newPAR convergence mask,
+//! and the number of discrete Γ rate categories.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use phylo_bench::scheduling::{adaptive_assignment, default_categories};
+use phylo_bench::Workload;
 use phylo_kernel::{LikelihoodKernel, SequentialKernel};
 use phylo_models::{BranchLengthMode, ModelSet};
-use phylo_parallel::{Distribution, RayonExecutor};
-use phylo_seqgen::datasets::paper_simulated;
+use phylo_parallel::{schedule, Block, Cyclic, RayonExecutor, ScheduleStrategy, WeightedLpt};
+use phylo_seqgen::datasets::{mixed_dna_protein, paper_simulated};
 use std::sync::Arc;
 
 fn dataset() -> phylo_seqgen::GeneratedDataset {
     paper_simulated(12, 1600, 200, 88).generate()
 }
 
+/// The scheduler's target workload: skewed per-pattern costs from a protein
+/// tail behind a string of DNA genes.
+fn mixed_dataset() -> phylo_seqgen::GeneratedDataset {
+    mixed_dna_protein(10, 9, 3, 120, 88).generate()
+}
+
+fn bench_scheduling_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_scheduling");
+    let ds = mixed_dataset();
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let strategies: Vec<(&str, Box<dyn ScheduleStrategy>)> = vec![
+        ("cyclic", Box::new(Cyclic)),
+        ("block", Box::new(Block)),
+        ("weighted_lpt", Box::new(WeightedLpt)),
+    ];
+    for workers in [2usize, 4] {
+        if workers > max_threads {
+            continue;
+        }
+        let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+        let categories = default_categories(&ds);
+        let mut assignments: Vec<(String, phylo_parallel::Assignment)> = strategies
+            .iter()
+            .map(|(label, strategy)| {
+                let a = schedule(&ds.patterns, &categories, workers, strategy.as_ref()).unwrap();
+                (format!("{label}_w{workers}"), a)
+            })
+            .collect();
+        assignments.push((
+            format!("trace_adaptive_w{workers}"),
+            adaptive_assignment(&ds, workers, Workload::ModelOptimization).unwrap(),
+        ));
+        for (label, assignment) in assignments {
+            let exec = RayonExecutor::from_assignment(
+                &ds.patterns,
+                &assignment,
+                ds.tree.node_capacity(),
+                &categories,
+            )
+            .unwrap();
+            let mut kernel = LikelihoodKernel::new(
+                Arc::clone(&ds.patterns),
+                ds.tree.clone(),
+                models.clone(),
+                exec,
+            );
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    kernel.invalidate_all();
+                    criterion::black_box(kernel.log_likelihood())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_distribution(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_distribution");
     let ds = dataset();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(4);
-    for (label, dist) in [("cyclic", Distribution::Cyclic), ("block", Distribution::Block)] {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(4);
+    for (label, strategy) in [
+        ("cyclic", &Cyclic as &dyn ScheduleStrategy),
+        ("block", &Block as &dyn ScheduleStrategy),
+    ] {
         let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
         let categories: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
-        let exec = RayonExecutor::new(&ds.patterns, threads, ds.tree.node_capacity(), &categories, dist);
-        let mut kernel = LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+        let assignment = schedule(&ds.patterns, &categories, threads, strategy).unwrap();
+        let exec = RayonExecutor::from_assignment(
+            &ds.patterns,
+            &assignment,
+            ds.tree.node_capacity(),
+            &categories,
+        )
+        .unwrap();
+        let mut kernel =
+            LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
         group.bench_function(label, |b| {
             b.iter(|| {
                 kernel.invalidate_all();
@@ -45,7 +121,9 @@ fn bench_convergence_mask(c: &mut Criterion) {
     kernel.prepare_branch(branch, &mask);
     let partitions = kernel.partition_count();
     let all: Vec<Option<f64>> = (0..partitions).map(|_| Some(0.1)).collect();
-    let half: Vec<Option<f64>> = (0..partitions).map(|p| if p % 2 == 0 { Some(0.1) } else { None }).collect();
+    let half: Vec<Option<f64>> = (0..partitions)
+        .map(|p| if p % 2 == 0 { Some(0.1) } else { None })
+        .collect();
     group.bench_function("without_mask_all_partitions", |b| {
         b.iter(|| criterion::black_box(kernel.branch_derivatives(&all)))
     });
@@ -74,6 +152,6 @@ fn bench_gamma_categories(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_distribution, bench_convergence_mask, bench_gamma_categories
+    targets = bench_scheduling_strategies, bench_distribution, bench_convergence_mask, bench_gamma_categories
 }
 criterion_main!(benches);

@@ -16,6 +16,7 @@ fn build(data_type: DataType, columns: usize) -> SequentialKernel {
         taxa: 16,
         partition_columns: vec![columns],
         data_type,
+        protein_partitions: Vec::new(),
         missing_taxa_fraction: 0.0,
         seed: 99,
     };
@@ -26,7 +27,10 @@ fn build(data_type: DataType, columns: usize) -> SequentialKernel {
 
 fn bench_full_traversal(c: &mut Criterion) {
     let mut group = c.benchmark_group("full_traversal_and_evaluate");
-    for (label, data_type, columns) in [("dna_4state", DataType::Dna, 2000), ("protein_20state", DataType::Protein, 400)] {
+    for (label, data_type, columns) in [
+        ("dna_4state", DataType::Dna, 2000),
+        ("protein_20state", DataType::Protein, 400),
+    ] {
         let mut kernel = build(data_type, columns);
         group.bench_function(label, |b| {
             b.iter(|| {
@@ -50,7 +54,10 @@ fn bench_incremental_evaluate(c: &mut Criterion) {
 
 fn bench_branch_derivatives(c: &mut Criterion) {
     let mut group = c.benchmark_group("branch_derivatives");
-    for (label, data_type, columns) in [("dna", DataType::Dna, 2000), ("protein", DataType::Protein, 400)] {
+    for (label, data_type, columns) in [
+        ("dna", DataType::Dna, 2000),
+        ("protein", DataType::Protein, 400),
+    ] {
         let mut kernel = build(data_type, columns);
         let branch = kernel.tree().internal_branches()[0];
         let mask = kernel.full_mask();

@@ -9,7 +9,11 @@ use phylo_seqgen::datasets::{paper_real_world, RealWorldKind};
 fn main() {
     let spec = paper_real_world(RealWorldKind::Mammal125);
     let dataset = generate_scaled(&spec);
-    let traces = run_figure_traces(&dataset, BranchLengthMode::PerPartition, Workload::TreeSearch);
+    let traces = run_figure_traces(
+        &dataset,
+        BranchLengthMode::PerPartition,
+        Workload::TreeSearch,
+    );
     print_figure(
         "Figure 5: full ML tree search, real-world-like mammalian dataset r125_19839 (34 variable-length partitions)",
         &dataset,

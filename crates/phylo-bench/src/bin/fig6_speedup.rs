@@ -19,16 +19,52 @@ fn main() {
 
     let platform = Platform::nehalem();
     let workload = Workload::TreeSearch;
-    println!("=== Figure 6: speedup on the Nehalem, d50_50000 / p1000 (scale {}) ===", dataset_scale());
-    println!("{:<10} {:>14} {:>14} {:>14}", "Threads", "Unpartitioned", "New", "Old");
+    println!(
+        "=== Figure 6: speedup on the Nehalem, d50_50000 / p1000 (scale {}) ===",
+        dataset_scale()
+    );
+    println!(
+        "{:<10} {:>14} {:>14} {:>14}",
+        "Threads", "Unpartitioned", "New", "Old"
+    );
 
-    let (seq_unpart, _) = run_traced(&unpartitioned, 1, ParallelScheme::New, BranchLengthMode::PerPartition, workload);
-    let (seq_part, _) = run_traced(&dataset, 1, ParallelScheme::New, BranchLengthMode::PerPartition, workload);
+    let (seq_unpart, _) = run_traced(
+        &unpartitioned,
+        1,
+        ParallelScheme::New,
+        BranchLengthMode::PerPartition,
+        workload,
+    );
+    let (seq_part, _) = run_traced(
+        &dataset,
+        1,
+        ParallelScheme::New,
+        BranchLengthMode::PerPartition,
+        workload,
+    );
 
     for threads in [2usize, 4, 8] {
-        let (unpart, _) = run_traced(&unpartitioned, threads, ParallelScheme::New, BranchLengthMode::PerPartition, workload);
-        let (new_part, _) = run_traced(&dataset, threads, ParallelScheme::New, BranchLengthMode::PerPartition, workload);
-        let (old_part, _) = run_traced(&dataset, threads, ParallelScheme::Old, BranchLengthMode::PerPartition, workload);
+        let (unpart, _) = run_traced(
+            &unpartitioned,
+            threads,
+            ParallelScheme::New,
+            BranchLengthMode::PerPartition,
+            workload,
+        );
+        let (new_part, _) = run_traced(
+            &dataset,
+            threads,
+            ParallelScheme::New,
+            BranchLengthMode::PerPartition,
+            workload,
+        );
+        let (old_part, _) = run_traced(
+            &dataset,
+            threads,
+            ParallelScheme::Old,
+            BranchLengthMode::PerPartition,
+            workload,
+        );
         println!(
             "{:<10} {:>14.2} {:>14.2} {:>14.2}",
             threads,

@@ -8,14 +8,16 @@ use phylo_bench::{dataset_scale, generate_scaled};
 use phylo_kernel::LikelihoodKernel;
 use phylo_models::{BranchLengthMode, ModelSet};
 use phylo_optimize::{optimize_model_parameters, OptimizerConfig, ParallelScheme};
-use phylo_parallel::{Distribution, ThreadedExecutor};
+use phylo_parallel::{schedule, Cyclic, ThreadedExecutor};
 use phylo_seqgen::datasets::paper_simulated;
 use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
     let dataset = generate_scaled(&paper_simulated(50, 50_000, 1_000, 356));
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let mut thread_counts = vec![1usize, 2, 4, 8, 16];
     thread_counts.retain(|&t| t <= cores);
 
@@ -23,7 +25,10 @@ fn main() {
         "=== Measured wall-clock on this host ({cores} cores), d50_50000/p1000 at scale {} ===",
         dataset_scale()
     );
-    println!("{:<10} {:>12} {:>12} {:>12}", "Threads", "old [s]", "new [s]", "old/new");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "Threads", "old [s]", "new [s]", "old/new"
+    );
 
     let mut baseline = None;
     for &threads in &thread_counts {
@@ -31,13 +36,15 @@ fn main() {
         for scheme in [ParallelScheme::Old, ParallelScheme::New] {
             let models = ModelSet::default_for(&dataset.patterns, BranchLengthMode::PerPartition);
             let categories: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
-            let executor = ThreadedExecutor::new(
+            let assignment = schedule(&dataset.patterns, &categories, threads, &Cyclic)
+                .expect("thread counts in this experiment are positive");
+            let executor = ThreadedExecutor::from_assignment(
                 &dataset.patterns,
-                threads,
+                &assignment,
                 dataset.tree.node_capacity(),
                 &categories,
-                Distribution::Cyclic,
-            );
+            )
+            .expect("assignment was built for this dataset");
             let mut kernel = LikelihoodKernel::new(
                 Arc::clone(&dataset.patterns),
                 dataset.tree.clone(),
@@ -51,7 +58,13 @@ fn main() {
         }
         let (t_old, _) = times[0];
         let (t_new, _) = times[1];
-        println!("{:<10} {:>12.3} {:>12.3} {:>12.2}", threads, t_old, t_new, t_old / t_new);
+        println!(
+            "{:<10} {:>12.3} {:>12.3} {:>12.2}",
+            threads,
+            t_old,
+            t_new,
+            t_old / t_new
+        );
         if threads == 1 {
             baseline = Some((t_old, t_new));
         }

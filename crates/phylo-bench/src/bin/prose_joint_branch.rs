@@ -11,8 +11,20 @@ use phylo_seqgen::datasets::paper_simulated;
 fn main() {
     let dataset = generate_scaled(&paper_simulated(50, 50_000, 1_000, 353));
     println!("=== Prose A: joint branch-length estimate, oldPAR vs newPAR ===");
-    let (old_trace, lnl_old) = run_traced(&dataset, 8, ParallelScheme::Old, BranchLengthMode::Joint, Workload::ModelOptimization);
-    let (new_trace, lnl_new) = run_traced(&dataset, 8, ParallelScheme::New, BranchLengthMode::Joint, Workload::ModelOptimization);
+    let (old_trace, lnl_old) = run_traced(
+        &dataset,
+        8,
+        ParallelScheme::Old,
+        BranchLengthMode::Joint,
+        Workload::ModelOptimization,
+    );
+    let (new_trace, lnl_new) = run_traced(
+        &dataset,
+        8,
+        ParallelScheme::New,
+        BranchLengthMode::Joint,
+        Workload::ModelOptimization,
+    );
     trace_summary("oldPAR (8 threads, joint)", &old_trace);
     trace_summary("newPAR (8 threads, joint)", &new_trace);
     println!("  final lnL: old {lnl_old:.3}, new {lnl_new:.3}");

@@ -12,8 +12,20 @@ use phylo_seqgen::datasets::paper_simulated;
 fn main() {
     let dataset = generate_scaled(&paper_simulated(50, 50_000, 1_000, 354));
     println!("=== Prose B: model parameter optimization on a fixed tree, per-partition branch lengths ===");
-    let (old_trace, _) = run_traced(&dataset, 8, ParallelScheme::Old, BranchLengthMode::PerPartition, Workload::ModelOptimization);
-    let (new_trace, _) = run_traced(&dataset, 8, ParallelScheme::New, BranchLengthMode::PerPartition, Workload::ModelOptimization);
+    let (old_trace, _) = run_traced(
+        &dataset,
+        8,
+        ParallelScheme::Old,
+        BranchLengthMode::PerPartition,
+        Workload::ModelOptimization,
+    );
+    let (new_trace, _) = run_traced(
+        &dataset,
+        8,
+        ParallelScheme::New,
+        BranchLengthMode::PerPartition,
+        Workload::ModelOptimization,
+    );
     trace_summary("oldPAR (8 threads)", &old_trace);
     trace_summary("newPAR (8 threads)", &new_trace);
     for platform in Platform::paper_platforms() {

@@ -13,19 +13,52 @@ fn main() {
     let platform = Platform::barcelona();
 
     let protein = generate_scaled(&paper_real_world(RealWorldKind::Viral26));
-    let (p_old, _) = run_traced(&protein, 8, ParallelScheme::Old, BranchLengthMode::PerPartition, Workload::TreeSearch);
-    let (p_new, _) = run_traced(&protein, 8, ParallelScheme::New, BranchLengthMode::PerPartition, Workload::TreeSearch);
+    let (p_old, _) = run_traced(
+        &protein,
+        8,
+        ParallelScheme::Old,
+        BranchLengthMode::PerPartition,
+        Workload::TreeSearch,
+    );
+    let (p_new, _) = run_traced(
+        &protein,
+        8,
+        ParallelScheme::New,
+        BranchLengthMode::PerPartition,
+        Workload::TreeSearch,
+    );
     let protein_gain = platform.predict_runtime(&p_old) / platform.predict_runtime(&p_new);
 
     let dna = generate_scaled(&paper_simulated(26, 21_000, 1_000, 355));
-    let (d_old, _) = run_traced(&dna, 8, ParallelScheme::Old, BranchLengthMode::PerPartition, Workload::TreeSearch);
-    let (d_new, _) = run_traced(&dna, 8, ParallelScheme::New, BranchLengthMode::PerPartition, Workload::TreeSearch);
+    let (d_old, _) = run_traced(
+        &dna,
+        8,
+        ParallelScheme::Old,
+        BranchLengthMode::PerPartition,
+        Workload::TreeSearch,
+    );
+    let (d_new, _) = run_traced(
+        &dna,
+        8,
+        ParallelScheme::New,
+        BranchLengthMode::PerPartition,
+        Workload::TreeSearch,
+    );
     let dna_gain = platform.predict_runtime(&d_old) / platform.predict_runtime(&d_new);
 
-    println!("  protein dataset (r26_21451-like): newPAR/oldPAR improvement {:.2}x", protein_gain);
-    println!("  comparable DNA dataset:           newPAR/oldPAR improvement {:.2}x", dna_gain);
+    println!(
+        "  protein dataset (r26_21451-like): newPAR/oldPAR improvement {:.2}x",
+        protein_gain
+    );
+    println!(
+        "  comparable DNA dataset:           newPAR/oldPAR improvement {:.2}x",
+        dna_gain
+    );
     println!();
     println!("Expected shape (paper): the protein improvement is much smaller than the DNA");
     println!("improvement because each amino-acid column carries ~25x more work.");
-    assert!(dna_gain > protein_gain, "DNA should benefit more than protein data");
+    assert!(
+        dna_gain > protein_gain,
+        "DNA should benefit more than protein data"
+    );
 }

@@ -17,13 +17,15 @@
 //! sizes (slow), or leave the default small scale for a quick check of the
 //! qualitative result.
 
+pub mod scheduling;
+
 use std::sync::Arc;
 
 use phylo_kernel::cost::WorkTrace;
 use phylo_kernel::LikelihoodKernel;
 use phylo_models::{BranchLengthMode, ModelSet};
 use phylo_optimize::{optimize_model_parameters, OptimizerConfig, ParallelScheme};
-use phylo_parallel::{Distribution, TracingExecutor};
+use phylo_parallel::{schedule, Assignment, Cyclic, TracingExecutor};
 use phylo_perfmodel::{FigureRow, Platform};
 use phylo_search::{tree_search, SearchConfig};
 use phylo_seqgen::datasets::{DatasetSpec, GeneratedDataset};
@@ -58,24 +60,25 @@ pub fn generate_scaled(spec: &DatasetSpec) -> GeneratedDataset {
     }
 }
 
-/// Runs one workload configuration on `workers` virtual workers and returns
-/// the recorded work trace together with the final log likelihood.
-pub fn run_traced(
+/// Runs one workload configuration on the virtual workers of `assignment`
+/// and returns the recorded work trace together with the final log
+/// likelihood.
+pub fn run_traced_assignment(
     dataset: &GeneratedDataset,
-    workers: usize,
+    assignment: &Assignment,
     scheme: ParallelScheme,
     branch_mode: BranchLengthMode,
     workload: Workload,
 ) -> (WorkTrace, f64) {
     let models = ModelSet::default_for(&dataset.patterns, branch_mode);
     let categories: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
-    let executor = TracingExecutor::new(
+    let executor = TracingExecutor::from_assignment(
         &dataset.patterns,
-        workers,
+        assignment,
         dataset.tree.node_capacity(),
         &categories,
-        Distribution::Cyclic,
-    );
+    )
+    .expect("assignment was built for this dataset");
     let mut kernel = LikelihoodKernel::new(
         Arc::clone(&dataset.patterns),
         dataset.tree.clone(),
@@ -101,6 +104,21 @@ pub fn run_traced(
 
     let trace = kernel.executor_mut().take_trace();
     (trace, final_lnl)
+}
+
+/// Runs one workload configuration on `workers` virtual workers under the
+/// paper's cyclic distribution (the historical default of every figure).
+pub fn run_traced(
+    dataset: &GeneratedDataset,
+    workers: usize,
+    scheme: ParallelScheme,
+    branch_mode: BranchLengthMode,
+    workload: Workload,
+) -> (WorkTrace, f64) {
+    let categories = scheduling::default_categories(dataset);
+    let assignment = schedule(&dataset.patterns, &categories, workers, &Cyclic)
+        .expect("figure configurations always use at least one worker");
+    run_traced_assignment(dataset, &assignment, scheme, branch_mode, workload)
 }
 
 /// The complete set of traces one figure needs.
@@ -187,7 +205,10 @@ pub fn print_figure(title: &str, dataset: &GeneratedDataset, traces: &Experiment
     println!();
     for row in &rows {
         let improve_8 = row.old_8 / row.new_8;
-        print!("{}: newPAR improves 8-thread run time by {:.2}x", row.platform, improve_8);
+        print!(
+            "{}: newPAR improves 8-thread run time by {:.2}x",
+            row.platform, improve_8
+        );
         if let (Some(o16), Some(n16)) = (row.old_16, row.new_16) {
             print!(", 16-thread by {:.2}x", o16 / n16);
         }
@@ -218,7 +239,11 @@ mod tests {
     #[test]
     fn all_configurations_agree_on_the_likelihood() {
         let ds = tiny_dataset();
-        let traces = run_figure_traces(&ds, BranchLengthMode::PerPartition, Workload::ModelOptimization);
+        let traces = run_figure_traces(
+            &ds,
+            BranchLengthMode::PerPartition,
+            Workload::ModelOptimization,
+        );
         let reference = traces.final_lnls[0];
         for l in &traces.final_lnls {
             assert!(
@@ -232,7 +257,11 @@ mod tests {
     #[test]
     fn new_scheme_has_fewer_sync_events_and_better_balance() {
         let ds = tiny_dataset();
-        let traces = run_figure_traces(&ds, BranchLengthMode::PerPartition, Workload::ModelOptimization);
+        let traces = run_figure_traces(
+            &ds,
+            BranchLengthMode::PerPartition,
+            Workload::ModelOptimization,
+        );
         assert!(traces.old_8.sync_events() > traces.new_8.sync_events());
         assert!(traces.new_16.overall_balance() > traces.old_16.overall_balance());
     }
@@ -240,7 +269,11 @@ mod tests {
     #[test]
     fn figure_rows_predict_new_faster_than_old() {
         let ds = tiny_dataset();
-        let traces = run_figure_traces(&ds, BranchLengthMode::PerPartition, Workload::ModelOptimization);
+        let traces = run_figure_traces(
+            &ds,
+            BranchLengthMode::PerPartition,
+            Workload::ModelOptimization,
+        );
         for row in figure_rows(&traces) {
             assert!(row.new_8 < row.old_8, "{row:?}");
             if let (Some(o), Some(n)) = (row.old_16, row.new_16) {

@@ -55,7 +55,11 @@ impl Alignment {
             taxa.push(name);
             data.push(bytes);
         }
-        Ok(Self { taxa, rows: data, columns })
+        Ok(Self {
+            taxa,
+            rows: data,
+            columns,
+        })
     }
 
     /// Builds an alignment directly from raw byte rows (used by the sequence
@@ -164,7 +168,11 @@ impl Alignment {
         let gaps: usize = self
             .rows
             .iter()
-            .map(|r| r.iter().filter(|&&b| b == b'-' || b == b'?' || b == b'.').count())
+            .map(|r| {
+                r.iter()
+                    .filter(|&&b| b == b'-' || b == b'?' || b == b'.')
+                    .count()
+            })
             .sum();
         gaps as f64 / total as f64
     }
@@ -227,8 +235,13 @@ mod tests {
     #[test]
     fn encode_reports_invalid_characters() {
         let a = Alignment::new(vec![("t1".into(), "AC1T".into())]).unwrap();
-        let err = a.encode_columns(0, &[0, 1, 2, 3], DataType::Dna).unwrap_err();
-        assert!(matches!(err, DataError::InvalidCharacter { character: '1', .. }));
+        let err = a
+            .encode_columns(0, &[0, 1, 2, 3], DataType::Dna)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DataError::InvalidCharacter { character: '1', .. }
+        ));
     }
 
     #[test]
@@ -260,8 +273,11 @@ mod tests {
 
     #[test]
     fn whitespace_in_input_is_ignored() {
-        let a = Alignment::new(vec![("t1".into(), "AC GT".into()), ("t2".into(), "ACGT".into())])
-            .unwrap();
+        let a = Alignment::new(vec![
+            ("t1".into(), "AC GT".into()),
+            ("t2".into(), "ACGT".into()),
+        ])
+        .unwrap();
         assert_eq!(a.columns(), 4);
     }
 }

@@ -218,8 +218,14 @@ mod tests {
     #[test]
     fn dna_ambiguity_codes() {
         let dt = DataType::Dna;
-        assert_eq!(dt.encode('R').unwrap(), dt.encode('A').unwrap() | dt.encode('G').unwrap());
-        assert_eq!(dt.encode('Y').unwrap(), dt.encode('C').unwrap() | dt.encode('T').unwrap());
+        assert_eq!(
+            dt.encode('R').unwrap(),
+            dt.encode('A').unwrap() | dt.encode('G').unwrap()
+        );
+        assert_eq!(
+            dt.encode('Y').unwrap(),
+            dt.encode('C').unwrap() | dt.encode('T').unwrap()
+        );
         assert_eq!(dt.encode('N').unwrap(), dt.gap_state());
         assert_eq!(dt.encode('-').unwrap(), dt.gap_state());
         assert!(dt.is_gap(dt.encode('?').unwrap()));

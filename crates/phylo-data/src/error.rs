@@ -86,11 +86,19 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = DataError::InvalidCharacter { character: '!', sequence: "taxon1".into(), column: 7 };
+        let e = DataError::InvalidCharacter {
+            character: '!',
+            sequence: "taxon1".into(),
+            column: 7,
+        };
         assert!(e.to_string().contains('!'));
         assert!(e.to_string().contains("taxon1"));
 
-        let e = DataError::UnequalSequenceLengths { expected: 10, found: 8, sequence: "t2".into() };
+        let e = DataError::UnequalSequenceLengths {
+            expected: 10,
+            found: 8,
+            sequence: "t2".into(),
+        };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains('8'));
 

@@ -32,7 +32,10 @@ pub fn parse_fasta(text: &str) -> Result<Alignment, DataError> {
             }
             let name = header.split_whitespace().next().unwrap_or("").to_string();
             if name.is_empty() {
-                return Err(DataError::Parse(format!("line {}: empty FASTA header", lineno + 1)));
+                return Err(DataError::Parse(format!(
+                    "line {}: empty FASTA header",
+                    lineno + 1
+                )));
             }
             current = Some((name, String::new()));
         } else {
@@ -118,10 +121,7 @@ pub fn parse_phylip(text: &str) -> Result<Alignment, DataError> {
             .next()
             .ok_or_else(|| DataError::Parse("missing taxon name in PHYLIP record".into()))?
             .to_string();
-        let seq: String = tokens
-            .next()
-            .unwrap_or("")
-            .replace(char::is_whitespace, "");
+        let seq: String = tokens.next().unwrap_or("").replace(char::is_whitespace, "");
         if seq.chars().count() >= n_cols {
             rows.push((name, seq));
         } else {

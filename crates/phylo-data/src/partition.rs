@@ -31,7 +31,11 @@ pub struct Partition {
 impl Partition {
     /// Creates a partition covering a single contiguous range of columns.
     pub fn contiguous(name: &str, data_type: DataType, range: std::ops::Range<usize>) -> Self {
-        Self { name: name.to_string(), data_type, ranges: vec![range] }
+        Self {
+            name: name.to_string(),
+            data_type,
+            ranges: vec![range],
+        }
     }
 
     /// Total number of columns in the partition.
@@ -94,7 +98,10 @@ impl PartitionSet {
     ///
     /// Panics if `chunk_len == 0` or `columns == 0`.
     pub fn equal_length(data_type: DataType, columns: usize, chunk_len: usize) -> Self {
-        assert!(chunk_len > 0 && columns > 0, "invalid equal-length partitioning");
+        assert!(
+            chunk_len > 0 && columns > 0,
+            "invalid equal-length partitioning"
+        );
         let mut partitions = Vec::new();
         let mut start = 0usize;
         let mut index = 0usize;
@@ -118,12 +125,19 @@ impl PartitionSet {
     ///
     /// Panics if `lengths` is empty or contains a zero.
     pub fn from_lengths(data_type: DataType, lengths: &[usize]) -> Self {
-        assert!(!lengths.is_empty(), "at least one partition length required");
+        assert!(
+            !lengths.is_empty(),
+            "at least one partition length required"
+        );
         let mut partitions = Vec::with_capacity(lengths.len());
         let mut start = 0usize;
         for (i, &len) in lengths.iter().enumerate() {
             assert!(len > 0, "partition lengths must be positive");
-            partitions.push(Partition::contiguous(&format!("p{i}"), data_type, start..start + len));
+            partitions.push(Partition::contiguous(
+                &format!("p{i}"),
+                data_type,
+                start..start + len,
+            ));
             start += len;
         }
         Self { partitions }
@@ -201,7 +215,10 @@ impl PartitionSet {
                 continue;
             }
             let (model_part, rest) = line.split_once(',').ok_or_else(|| {
-                DataError::Parse(format!("line {}: expected 'MODEL, name = ranges'", lineno + 1))
+                DataError::Parse(format!(
+                    "line {}: expected 'MODEL, name = ranges'",
+                    lineno + 1
+                ))
             })?;
             let data_type = parse_model_token(model_part.trim()).ok_or_else(|| {
                 DataError::Parse(format!(
@@ -215,7 +232,10 @@ impl PartitionSet {
             })?;
             let name = name_part.trim();
             if name.is_empty() {
-                return Err(DataError::Parse(format!("line {}: empty partition name", lineno + 1)));
+                return Err(DataError::Parse(format!(
+                    "line {}: empty partition name",
+                    lineno + 1
+                )));
             }
             let mut ranges = Vec::new();
             for token in ranges_part.split(',') {
@@ -244,9 +264,16 @@ impl PartitionSet {
                 ranges.push((start - 1)..end);
             }
             if ranges.is_empty() {
-                return Err(DataError::Parse(format!("line {}: no column ranges", lineno + 1)));
+                return Err(DataError::Parse(format!(
+                    "line {}: no column ranges",
+                    lineno + 1
+                )));
             }
-            partitions.push(Partition { name: name.to_string(), data_type, ranges });
+            partitions.push(Partition {
+                name: name.to_string(),
+                data_type,
+                ranges,
+            });
         }
         PartitionSet::new(partitions)
     }
@@ -334,7 +361,8 @@ mod tests {
 
     #[test]
     fn validate_detects_out_of_bounds() {
-        let ps = PartitionSet::new(vec![Partition::contiguous("g", DataType::Dna, 0..100)]).unwrap();
+        let ps =
+            PartitionSet::new(vec![Partition::contiguous("g", DataType::Dna, 0..100)]).unwrap();
         assert!(matches!(
             ps.validate(50),
             Err(DataError::PartitionOutOfBounds { .. })
@@ -358,7 +386,10 @@ mod tests {
             Partition::contiguous("b", DataType::Dna, 12..15),
         ])
         .unwrap();
-        assert!(matches!(gappy.validate(15), Err(DataError::UncoveredColumns { count: 2 })));
+        assert!(matches!(
+            gappy.validate(15),
+            Err(DataError::UncoveredColumns { count: 2 })
+        ));
     }
 
     #[test]
@@ -379,7 +410,8 @@ WAG, prot1 = 2001-2500, 2601-2700
 
     #[test]
     fn parse_single_column_and_stride_suffix() {
-        let ps = PartitionSet::parse("DNA, g = 5\nDNA, h = 10-20\\3\nDNA, rest = 1-4, 6-9, 21-30").unwrap();
+        let ps = PartitionSet::parse("DNA, g = 5\nDNA, h = 10-20\\3\nDNA, rest = 1-4, 6-9, 21-30")
+            .unwrap();
         assert_eq!(ps.partitions()[0].ranges, vec![4..5]);
         assert_eq!(ps.partitions()[1].ranges, vec![9..20]);
     }

@@ -139,7 +139,8 @@ impl PartitionedPatterns {
         for part in partitions.partitions() {
             let cols = part.columns();
             // Encode column-major: for each column, the states of all taxa.
-            let mut encoded_columns: Vec<Vec<EncodedState>> = vec![Vec::with_capacity(n_taxa); cols.len()];
+            let mut encoded_columns: Vec<Vec<EncodedState>> =
+                vec![Vec::with_capacity(n_taxa); cols.len()];
             for taxon in 0..n_taxa {
                 let row = alignment.encode_columns(taxon, &cols, part.data_type)?;
                 for (ci, state) in row.into_iter().enumerate() {
@@ -167,7 +168,11 @@ impl PartitionedPatterns {
         assert!(!partitions.is_empty(), "at least one partition required");
         let n_taxa = taxa.len();
         for p in &partitions {
-            assert_eq!(p.n_taxa, n_taxa, "partition {:?} has inconsistent taxon count", p.name);
+            assert_eq!(
+                p.n_taxa, n_taxa,
+                "partition {:?} has inconsistent taxon count",
+                p.name
+            );
         }
         let mut offsets = Vec::with_capacity(partitions.len());
         let mut total = 0usize;
@@ -175,7 +180,12 @@ impl PartitionedPatterns {
             offsets.push(total);
             total += p.pattern_count();
         }
-        Self { taxa, partitions, offsets, total_patterns: total }
+        Self {
+            taxa,
+            partitions,
+            offsets,
+            total_patterns: total,
+        }
     }
 
     /// Number of taxa.
@@ -211,7 +221,10 @@ impl PartitionedPatterns {
 
     /// Maps a global pattern index back to `(partition, local pattern index)`.
     pub fn locate(&self, global_pattern: usize) -> (usize, usize) {
-        assert!(global_pattern < self.total_patterns, "global pattern index out of range");
+        assert!(
+            global_pattern < self.total_patterns,
+            "global pattern index out of range"
+        );
         // Partitions are few (tens); a linear scan is fine and branch-predictable.
         let mut part = 0;
         for (i, &off) in self.offsets.iter().enumerate() {

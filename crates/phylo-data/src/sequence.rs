@@ -40,12 +40,20 @@ impl Sequence {
                 }
             }
         }
-        Ok(Self { name: name.to_string(), data_type, states })
+        Ok(Self {
+            name: name.to_string(),
+            data_type,
+            states,
+        })
     }
 
     /// Builds a sequence directly from already encoded states.
     pub fn from_states(name: &str, data_type: DataType, states: Vec<EncodedState>) -> Self {
-        Self { name: name.to_string(), data_type, states }
+        Self {
+            name: name.to_string(),
+            data_type,
+            states,
+        }
     }
 
     /// Number of alignment columns.
@@ -60,7 +68,10 @@ impl Sequence {
 
     /// Decodes back into a character string (ambiguities are canonicalized).
     pub fn to_characters(&self) -> String {
-        self.states.iter().map(|&s| self.data_type.decode(s)).collect()
+        self.states
+            .iter()
+            .map(|&s| self.data_type.decode(s))
+            .collect()
     }
 
     /// Fraction of columns that are completely missing (gap state).
@@ -68,7 +79,11 @@ impl Sequence {
         if self.states.is_empty() {
             return 0.0;
         }
-        let gaps = self.states.iter().filter(|&&s| self.data_type.is_gap(s)).count();
+        let gaps = self
+            .states
+            .iter()
+            .filter(|&&s| self.data_type.is_gap(s))
+            .count();
         gaps as f64 / self.states.len() as f64
     }
 
@@ -102,7 +117,11 @@ mod tests {
     fn invalid_character_is_reported_with_position() {
         let err = Sequence::from_str("taxonZ", DataType::Dna, "ACZT").unwrap_err();
         match err {
-            DataError::InvalidCharacter { character, sequence, column } => {
+            DataError::InvalidCharacter {
+                character,
+                sequence,
+                column,
+            } => {
                 assert_eq!(character, 'Z');
                 assert_eq!(sequence, "taxonZ");
                 assert_eq!(column, 2);

@@ -29,7 +29,11 @@ impl BranchLengths {
             BranchLengthMode::Joint => 1,
             BranchLengthMode::PerPartition => partitions,
         };
-        Self { mode, lengths: vec![base; rows], partitions }
+        Self {
+            mode,
+            lengths: vec![base; rows],
+            partitions,
+        }
     }
 
     /// The sharing mode.
@@ -64,12 +68,12 @@ impl BranchLengths {
     /// in joint mode), clamped to the supported range.
     pub fn set(&mut self, partition: usize, branch: BranchId, value: f64) {
         let row = self.row(partition);
-        self.lengths[row][branch] = value.max(MIN_BRANCH_LENGTH).min(MAX_BRANCH_LENGTH);
+        self.lengths[row][branch] = value.clamp(MIN_BRANCH_LENGTH, MAX_BRANCH_LENGTH);
     }
 
     /// Sets the length of `branch` for *all* partitions.
     pub fn set_all(&mut self, branch: BranchId, value: f64) {
-        let clamped = value.max(MIN_BRANCH_LENGTH).min(MAX_BRANCH_LENGTH);
+        let clamped = value.clamp(MIN_BRANCH_LENGTH, MAX_BRANCH_LENGTH);
         for row in &mut self.lengths {
             row[branch] = clamped;
         }
@@ -85,7 +89,10 @@ impl BranchLengths {
     /// kept for completeness and defensive callers).
     pub fn resize_branches(&mut self, branch_count: usize, default: f64) {
         for row in &mut self.lengths {
-            row.resize(branch_count, default.max(MIN_BRANCH_LENGTH).min(MAX_BRANCH_LENGTH));
+            row.resize(
+                branch_count,
+                default.clamp(MIN_BRANCH_LENGTH, MAX_BRANCH_LENGTH),
+            );
         }
     }
 
@@ -157,7 +164,10 @@ mod tests {
         assert_eq!(bl.branch_count(), t.branch_count());
         bl.set(3, 0, 0.7);
         for p in 0..5 {
-            assert!((bl.get(p, 0) - 0.7).abs() < 1e-15, "joint mode must share lengths");
+            assert!(
+                (bl.get(p, 0) - 0.7).abs() < 1e-15,
+                "joint mode must share lengths"
+            );
         }
     }
 

@@ -117,7 +117,10 @@ pub struct WorkTrace {
 impl WorkTrace {
     /// Creates an empty trace for `workers` workers.
     pub fn new(workers: usize) -> Self {
-        Self { regions: Vec::new(), workers }
+        Self {
+            regions: Vec::new(),
+            workers,
+        }
     }
 
     /// Number of synchronization events (== number of parallel regions).
@@ -138,7 +141,10 @@ impl WorkTrace {
 
     /// Total likelihood-array bytes across all regions and workers.
     pub fn total_bytes(&self) -> f64 {
-        self.regions.iter().map(|r| r.bytes_per_worker.iter().sum::<f64>()).sum()
+        self.regions
+            .iter()
+            .map(|r| r.bytes_per_worker.iter().sum::<f64>())
+            .sum()
     }
 
     /// Overall load balance: total work divided by (workers × critical path).
@@ -148,6 +154,17 @@ impl WorkTrace {
             return 1.0;
         }
         self.total_flops() / (self.workers as f64 * cp)
+    }
+
+    /// Total FLOPs each worker performed, summed over all regions.
+    pub fn flops_per_worker_total(&self) -> Vec<f64> {
+        let mut totals = vec![0.0; self.workers];
+        for region in &self.regions {
+            for (w, &flops) in region.flops_per_worker.iter().enumerate() {
+                totals[w] += flops;
+            }
+        }
+        totals
     }
 
     /// Appends another trace (e.g. from a later phase of the same run).
@@ -216,6 +233,19 @@ mod tests {
         assert_eq!(t.sync_events(), 0);
         assert_eq!(t.total_flops(), 0.0);
         assert!((t.overall_balance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_worker_totals_sum_over_regions() {
+        let mut t = WorkTrace::new(2);
+        let mut a = RegionRecord::new(OpKind::Newview, 2);
+        a.flops_per_worker = vec![10.0, 20.0];
+        let mut b = RegionRecord::new(OpKind::Evaluate, 2);
+        b.flops_per_worker = vec![1.0, 2.0];
+        t.regions.push(a);
+        t.regions.push(b);
+        assert_eq!(t.flops_per_worker_total(), vec![11.0, 22.0]);
+        assert_eq!(WorkTrace::new(3).flops_per_worker_total(), vec![0.0; 3]);
     }
 
     #[test]

@@ -113,7 +113,13 @@ impl<E: Executor> LikelihoodKernel<E> {
         let branch_lengths = BranchLengths::from_tree(&tree, models.len(), models.branch_mode());
         let validity = ClvValidity::new(models.len(), tree.node_capacity());
         Self {
-            data: MasterData { patterns, tree, models, branch_lengths, validity },
+            data: MasterData {
+                patterns,
+                tree,
+                models,
+                branch_lengths,
+                validity,
+            },
             executor,
             stats: KernelStats::default(),
         }
@@ -204,7 +210,9 @@ impl<E: Executor> LikelihoodKernel<E> {
         if updates == 0 {
             return 0;
         }
-        let op = KernelOp::Newview { plans: plans.clone() };
+        let op = KernelOp::Newview {
+            plans: plans.clone(),
+        };
         let ctx = ExecContext {
             tree: &self.data.tree,
             models: &self.data.models,
@@ -232,7 +240,10 @@ impl<E: Executor> LikelihoodKernel<E> {
     ) -> Vec<f64> {
         self.update_clvs(root_branch, mask);
         self.stats.evaluations += 1;
-        let op = KernelOp::Evaluate { root_branch, mask: mask.clone() };
+        let op = KernelOp::Evaluate {
+            root_branch,
+            mask: mask.clone(),
+        };
         let ctx = ExecContext {
             tree: &self.data.tree,
             models: &self.data.models,
@@ -244,7 +255,9 @@ impl<E: Executor> LikelihoodKernel<E> {
     /// Total log likelihood over all partitions, evaluated at `root_branch`.
     pub fn log_likelihood_at(&mut self, root_branch: BranchId) -> f64 {
         let mask = self.full_mask();
-        self.log_likelihood_partitions(root_branch, &mask).iter().sum()
+        self.log_likelihood_partitions(root_branch, &mask)
+            .iter()
+            .sum()
     }
 
     /// Total log likelihood at the default root branch.
@@ -258,12 +271,16 @@ impl<E: Executor> LikelihoodKernel<E> {
         match (scope, self.data.models.branch_mode()) {
             (BranchScope::Partition(p), BranchLengthMode::PerPartition) => {
                 self.data.branch_lengths.set(p, branch, value);
-                self.data.validity.branch_length_changed(&self.data.tree, p, branch);
+                self.data
+                    .validity
+                    .branch_length_changed(&self.data.tree, p, branch);
             }
             _ => {
                 self.data.branch_lengths.set_all(branch, value);
                 for p in 0..self.partition_count() {
-                    self.data.validity.branch_length_changed(&self.data.tree, p, branch);
+                    self.data
+                        .validity
+                        .branch_length_changed(&self.data.tree, p, branch);
                 }
             }
         }
@@ -295,13 +312,20 @@ impl<E: Executor> LikelihoodKernel<E> {
             .model(partition)
             .substitution()
             .with_exchangeability(index, value);
-        self.data.models.model_mut(partition).set_substitution(updated);
+        self.data
+            .models
+            .model_mut(partition)
+            .set_substitution(updated);
         self.data.validity.invalidate_partition(partition);
     }
 
     /// Current exchangeability `index` of a partition.
     pub fn exchangeability(&self, partition: usize, index: usize) -> f64 {
-        self.data.models.model(partition).substitution().exchangeabilities()[index]
+        self.data
+            .models
+            .model(partition)
+            .substitution()
+            .exchangeabilities()[index]
     }
 
     /// Prepares Newton–Raphson optimization of `branch` for the masked
@@ -309,7 +333,10 @@ impl<E: Executor> LikelihoodKernel<E> {
     pub fn prepare_branch(&mut self, branch: BranchId, mask: &PartitionMask) {
         self.update_clvs(branch, mask);
         self.stats.sumtable_builds += 1;
-        let op = KernelOp::Sumtable { branch, mask: mask.clone() };
+        let op = KernelOp::Sumtable {
+            branch,
+            mask: mask.clone(),
+        };
         let ctx = ExecContext {
             tree: &self.data.tree,
             models: &self.data.models,
@@ -324,7 +351,9 @@ impl<E: Executor> LikelihoodKernel<E> {
     pub fn branch_derivatives(&mut self, lengths: &[Option<f64>]) -> Vec<Option<EdgeDerivatives>> {
         assert_eq!(lengths.len(), self.partition_count());
         self.stats.derivative_calls += 1;
-        let op = KernelOp::Derivatives { lengths: lengths.to_vec() };
+        let op = KernelOp::Derivatives {
+            lengths: lengths.to_vec(),
+        };
         let ctx = ExecContext {
             tree: &self.data.tree,
             models: &self.data.models,
@@ -361,11 +390,16 @@ impl<E: Executor> LikelihoodKernel<E> {
             undo.inserted_branches[0],
         );
 
-        self.data
-            .validity
-            .topology_changed(&self.data.tree, &undo.affected_nodes, mv.target_branch);
+        self.data.validity.topology_changed(
+            &self.data.tree,
+            &undo.affected_nodes,
+            mv.target_branch,
+        );
         self.stats.spr_moves += 1;
-        Ok(SprApplication { undo, saved_lengths })
+        Ok(SprApplication {
+            undo,
+            saved_lengths,
+        })
     }
 
     /// Reverses an SPR previously applied through the engine.
@@ -432,7 +466,7 @@ mod tests {
             .iter()
             .map(|n| {
                 let seq: String = (0..columns)
-                    .map(|_| ['A', 'C', 'G', 'T'][rng.gen_range(0..4)])
+                    .map(|_| ['A', 'C', 'G', 'T'][rng.gen_range(0..4usize)])
                     .collect();
                 (n.clone(), seq)
             })
@@ -498,13 +532,19 @@ mod tests {
         let victim = *k.tree().internal_branches().last().unwrap();
         k.set_branch_length(BranchScope::All, victim, 1.5);
         let updates = k.update_clvs(root, &k.full_mask());
-        assert!(updates > 0, "changing a branch must force some recomputation");
+        assert!(
+            updates > 0,
+            "changing a branch must force some recomputation"
+        );
         assert!(
             updates < k.tree().internal_count() as u64 * k.partition_count() as u64,
             "but not a full retraversal of every partition"
         );
         let after = k.log_likelihood_at(root);
-        assert!((after - before).abs() > 1e-6, "lnL must respond to branch lengths");
+        assert!(
+            (after - before).abs() > 1e-6,
+            "lnL must respond to branch lengths"
+        );
     }
 
     #[test]
@@ -516,8 +556,14 @@ mod tests {
         let victim = k.tree().internal_branches()[0];
         k.set_branch_length(BranchScope::Partition(1), victim, 2.0);
         let after = k.log_likelihood_partitions(root, &mask);
-        assert!((after[0] - before[0]).abs() < 1e-12, "partition 0 must be unaffected");
-        assert!((after[1] - before[1]).abs() > 1e-9, "partition 1 must change");
+        assert!(
+            (after[0] - before[0]).abs() < 1e-12,
+            "partition 0 must be unaffected"
+        );
+        assert!(
+            (after[1] - before[1]).abs() > 1e-9,
+            "partition 1 must change"
+        );
     }
 
     #[test]
@@ -620,7 +666,10 @@ mod tests {
                 break;
             }
         }
-        assert!(any_changed, "at least one SPR move must change the likelihood");
+        assert!(
+            any_changed,
+            "at least one SPR move must change the likelihood"
+        );
     }
 
     #[test]

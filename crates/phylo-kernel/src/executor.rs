@@ -156,7 +156,14 @@ pub fn execute_on_worker(
                 for step in &plan.steps {
                     let left_len = ctx.branch_lengths.get(pi, step.left_branch);
                     let right_len = ctx.branch_lengths.get(pi, step.right_branch);
-                    ops::newview_step(slice, &mut worker.buffers[pi], model, step, left_len, right_len);
+                    ops::newview_step(
+                        slice,
+                        &mut worker.buffers[pi],
+                        model,
+                        step,
+                        left_len,
+                        right_len,
+                    );
                 }
             }
             OpOutput::None
@@ -183,12 +190,18 @@ pub fn execute_on_worker(
         }
         KernelOp::Sumtable { branch, mask } => {
             let (left, right) = ctx.tree.branch_endpoints(*branch);
-            for pi in 0..partitions {
-                if !mask[pi] || worker.slices[pi].pattern_count() == 0 {
+            for (pi, &active) in mask.iter().enumerate() {
+                if !active || worker.slices[pi].pattern_count() == 0 {
                     continue;
                 }
                 let model = ctx.models.model(pi);
-                ops::build_sumtable(&worker.slices[pi], &mut worker.buffers[pi], model, left, right);
+                ops::build_sumtable(
+                    &worker.slices[pi],
+                    &mut worker.buffers[pi],
+                    model,
+                    left,
+                    right,
+                );
             }
             OpOutput::None
         }
@@ -302,12 +315,24 @@ mod tests {
     #[test]
     fn reduce_derivatives_sums_fields() {
         let a = OpOutput::Derivatives(vec![
-            Some(EdgeDerivatives { log_likelihood: -1.0, first: 2.0, second: -3.0 }),
+            Some(EdgeDerivatives {
+                log_likelihood: -1.0,
+                first: 2.0,
+                second: -3.0,
+            }),
             None,
         ]);
         let b = OpOutput::Derivatives(vec![
-            Some(EdgeDerivatives { log_likelihood: -1.5, first: 1.0, second: -1.0 }),
-            Some(EdgeDerivatives { log_likelihood: -9.0, first: 0.5, second: -0.5 }),
+            Some(EdgeDerivatives {
+                log_likelihood: -1.5,
+                first: 1.0,
+                second: -1.0,
+            }),
+            Some(EdgeDerivatives {
+                log_likelihood: -9.0,
+                first: 0.5,
+                second: -0.5,
+            }),
         ]);
         match reduce_outputs(a, b) {
             OpOutput::Derivatives(v) => {
@@ -333,15 +358,23 @@ mod tests {
             OpOutput::LogLikelihoods(vec![1.0]).into_log_likelihoods(),
             vec![1.0]
         );
-        assert_eq!(OpOutput::Derivatives(vec![None]).into_derivatives(), vec![None]);
+        assert_eq!(
+            OpOutput::Derivatives(vec![None]).into_derivatives(),
+            vec![None]
+        );
     }
 
     #[test]
     fn kernel_op_kind_labels() {
         use crate::cost::OpKind;
-        let op = KernelOp::Evaluate { root_branch: 0, mask: vec![true] };
+        let op = KernelOp::Evaluate {
+            root_branch: 0,
+            mask: vec![true],
+        };
         assert_eq!(op.kind(), OpKind::Evaluate);
-        let op = KernelOp::Derivatives { lengths: vec![Some(0.1)] };
+        let op = KernelOp::Derivatives {
+            lengths: vec![Some(0.1)],
+        };
         assert_eq!(op.kind(), OpKind::Derivatives);
     }
 }

@@ -36,7 +36,9 @@ pub fn naive_log_likelihood(
     models: &ModelSet,
     branch_lengths: &BranchLengths,
 ) -> f64 {
-    naive_log_likelihoods(patterns, tree, models, branch_lengths).iter().sum()
+    naive_log_likelihoods(patterns, tree, models, branch_lengths)
+        .iter()
+        .sum()
 }
 
 fn naive_partition(
@@ -76,9 +78,7 @@ fn naive_partition(
                 root_leaf,
             );
             // Combine across the root branch.
-            let pmat = model
-                .substitution()
-                .transition_matrix(root_length * rate);
+            let pmat = model.substitution().transition_matrix(root_length * rate);
             let mask = part.tip_state(p, root_leaf);
             let mut cat = 0.0;
             for s in 0..states {
@@ -199,13 +199,14 @@ mod tests {
                 let root = kernel.default_root_branch();
                 kernel.log_likelihood_partitions(root, &mask)
             };
-            let bl = BranchLengths::from_tree(&tree, pp.partition_count(), BranchLengthMode::PerPartition);
+            let bl = BranchLengths::from_tree(
+                &tree,
+                pp.partition_count(),
+                BranchLengthMode::PerPartition,
+            );
             let naive_lnls = naive_log_likelihoods(&pp, &tree, &models, &bl);
             for (a, b) in kernel_lnls.iter().zip(naive_lnls.iter()) {
-                assert!(
-                    (a - b).abs() < 1e-8,
-                    "seed {seed}: kernel {a} vs naive {b}"
-                );
+                assert!((a - b).abs() < 1e-8, "seed {seed}: kernel {a} vs naive {b}");
             }
         }
     }
@@ -234,7 +235,8 @@ mod tests {
         kernel.set_branch_length(crate::engine::BranchScope::Partition(1), victim, 0.73);
         let kernel_total = kernel.log_likelihood();
 
-        let mut bl = BranchLengths::from_tree(&tree, pp.partition_count(), BranchLengthMode::PerPartition);
+        let mut bl =
+            BranchLengths::from_tree(&tree, pp.partition_count(), BranchLengthMode::PerPartition);
         bl.set(1, victim, 0.73);
         let naive_total = naive_log_likelihood(&pp, &tree, &models, &bl);
         assert!(

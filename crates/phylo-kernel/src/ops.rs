@@ -123,7 +123,9 @@ pub fn newview_step(
                 for s in 0..states {
                     let row = s * states;
                     let left_sum = match &left {
-                        ChildData::Tip(t) => tip_sum(&lp[row..row + states], slice.tip_state(p, *t)),
+                        ChildData::Tip(t) => {
+                            tip_sum(&lp[row..row + states], slice.tip_state(p, *t))
+                        }
                         ChildData::Internal { clv: child, .. } => {
                             let cbase = (p * categories + c) * states;
                             let mut acc = 0.0;
@@ -134,7 +136,9 @@ pub fn newview_step(
                         }
                     };
                     let right_sum = match &right {
-                        ChildData::Tip(t) => tip_sum(&rp[row..row + states], slice.tip_state(p, *t)),
+                        ChildData::Tip(t) => {
+                            tip_sum(&rp[row..row + states], slice.tip_state(p, *t))
+                        }
                         ChildData::Internal { clv: child, .. } => {
                             let cbase = (p * categories + c) * states;
                             let mut acc = 0.0;
@@ -201,8 +205,7 @@ pub fn evaluate_edge(
     let mut total = 0.0;
     for p in 0..patterns {
         let mut site = 0.0;
-        for c in 0..categories {
-            let pm = &pmats[c];
+        for (c, pm) in pmats.iter().enumerate() {
             let base = (p * categories + c) * states;
             let mut cat_sum = 0.0;
             for s in 0..states {
@@ -375,8 +378,13 @@ pub fn derivatives_from_sumtable(
         }
     }
 
+    assert_eq!(
+        table_scale.len(),
+        patterns,
+        "sum table must be built (build_sumtable) before computing derivatives"
+    );
     let mut out = EdgeDerivatives::default();
-    for p in 0..patterns {
+    for (p, &scale_events) in table_scale.iter().enumerate().take(patterns) {
         let mut f = 0.0;
         let mut f1 = 0.0;
         let mut f2 = 0.0;
@@ -399,7 +407,7 @@ pub fn derivatives_from_sumtable(
         let site = f.max(SITE_LIKELIHOOD_FLOOR);
         let ratio1 = f1 / site;
         let ratio2 = f2 / site;
-        out.log_likelihood += w * (site.ln() - table_scale[p] as f64 * LOG_SCALE_FACTOR);
+        out.log_likelihood += w * (site.ln() - scale_events as f64 * LOG_SCALE_FACTOR);
         out.first += w * ratio1;
         out.second += w * (ratio2 - ratio1 * ratio1);
     }
@@ -411,7 +419,7 @@ mod tests {
     use super::*;
     use phylo_data::{Alignment, DataType, PartitionSet, PartitionedPatterns};
     use phylo_models::{BranchLengthMode, ModelSet};
-    use phylo_tree::{Tree, TraversalPlan};
+    use phylo_tree::{TraversalPlan, Tree};
 
     use crate::slice::WorkerSlices;
 
@@ -429,11 +437,7 @@ mod tests {
         (pp, tree)
     }
 
-    fn setup(
-        pp: &PartitionedPatterns,
-        tree: &Tree,
-        categories: usize,
-    ) -> (WorkerSlices, ModelSet) {
+    fn setup(pp: &PartitionedPatterns, tree: &Tree, categories: usize) -> (WorkerSlices, ModelSet) {
         let models = ModelSet::with_categories(pp, BranchLengthMode::Joint, categories);
         let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
         let ws = WorkerSlices::cyclic(pp, 0, 1, tree.node_capacity(), &cats);
@@ -442,11 +446,7 @@ mod tests {
 
     /// Direct (brute force) likelihood of the 3-taxon tree summing over the
     /// internal node's states, used as an independent reference.
-    fn brute_force_three_taxon(
-        pp: &PartitionedPatterns,
-        tree: &Tree,
-        models: &ModelSet,
-    ) -> f64 {
+    fn brute_force_three_taxon(pp: &PartitionedPatterns, tree: &Tree, models: &ModelSet) -> f64 {
         let part = &pp.partitions[0];
         let model = models.model(0);
         let freqs = model.substitution().frequencies();
@@ -488,12 +488,7 @@ mod tests {
         total
     }
 
-    fn full_newview(
-        ws: &mut WorkerSlices,
-        tree: &Tree,
-        models: &ModelSet,
-        root_branch: usize,
-    ) {
+    fn full_newview(ws: &mut WorkerSlices, tree: &Tree, models: &ModelSet, root_branch: usize) {
         let plan = TraversalPlan::full(tree, root_branch);
         for step in &plan.steps {
             let slice = &ws.slices[0];
@@ -553,7 +548,10 @@ mod tests {
             tree.branch_length(root_branch),
         );
         let reference = brute_force_three_taxon(&pp, &tree, &models);
-        assert!((lnl - reference).abs() < 1e-9, "kernel {lnl} vs reference {reference}");
+        assert!(
+            (lnl - reference).abs() < 1e-9,
+            "kernel {lnl} vs reference {reference}"
+        );
     }
 
     #[test]
@@ -575,7 +573,10 @@ mod tests {
             values.push(lnl);
         }
         for v in &values[1..] {
-            assert!((v - values[0]).abs() < 1e-9, "root invariance violated: {values:?}");
+            assert!(
+                (v - values[0]).abs() < 1e-9,
+                "root invariance violated: {values:?}"
+            );
         }
     }
 
@@ -587,13 +588,14 @@ mod tests {
         full_newview(&mut ws, &tree, &models, root_branch);
         build_sumtable(&ws.slices[0], &mut ws.buffers[0], models.model(0), 2, 3);
 
-        let f = |t: f64| {
-            evaluate_edge(&ws.slices[0], &ws.buffers[0], models.model(0), 2, 3, t)
-        };
+        let f = |t: f64| evaluate_edge(&ws.slices[0], &ws.buffers[0], models.model(0), 2, 3, t);
         for &t in &[0.02, 0.1, 0.3, 0.8] {
             let d = derivatives_from_sumtable(&ws.slices[0], &ws.buffers[0], models.model(0), t);
             // The sum-table log likelihood must agree with evaluate_edge.
-            assert!((d.log_likelihood - f(t)).abs() < 1e-8, "lnL mismatch at t={t}");
+            assert!(
+                (d.log_likelihood - f(t)).abs() < 1e-8,
+                "lnL mismatch at t={t}"
+            );
             let h = 1e-6;
             let fd1 = (f(t + h) - f(t - h)) / (2.0 * h);
             let fd2 = (f(t + h) - 2.0 * f(t) + f(t - h)) / (h * h);
@@ -646,7 +648,10 @@ mod tests {
             3,
             tree.branch_length(root_branch),
         );
-        assert!(lnl.abs() < 1e-9, "all-gap pattern must contribute ln 1 = 0, got {lnl}");
+        assert!(
+            lnl.abs() < 1e-9,
+            "all-gap pattern must contribute ln 1 = 0, got {lnl}"
+        );
     }
 
     #[test]
@@ -660,7 +665,16 @@ mod tests {
         let rows: Vec<(String, String)> = names
             .iter()
             .enumerate()
-            .map(|(i, n)| (n.clone(), if i % 2 == 0 { "ACGT".to_string() } else { "TGCA".to_string() }))
+            .map(|(i, n)| {
+                (
+                    n.clone(),
+                    if i % 2 == 0 {
+                        "ACGT".to_string()
+                    } else {
+                        "TGCA".to_string()
+                    },
+                )
+            })
             .collect();
         let aln = Alignment::new(rows).unwrap();
         let ps = PartitionSet::unpartitioned(DataType::Dna, 4);
@@ -685,13 +699,19 @@ mod tests {
             tree.branch_length(root_branch),
         );
         assert!(lnl.is_finite());
-        assert!(lnl < -100.0, "a 150-taxon saturated alignment must have a very poor lnL, got {lnl}");
+        assert!(
+            lnl < -100.0,
+            "a 150-taxon saturated alignment must have a very poor lnL, got {lnl}"
+        );
         let any_scaled = (0..tree.node_capacity()).any(|node| {
             ws.buffers[0]
                 .scale(node)
                 .map(|s| s.iter().any(|&x| x > 0))
                 .unwrap_or(false)
         });
-        assert!(any_scaled, "expected scaling events on a deep tree with long branches");
+        assert!(
+            any_scaled,
+            "expected scaling events on a deep tree with long branches"
+        );
     }
 }

@@ -7,6 +7,15 @@
 //! vectors (CLVs) over those patterns. Nothing is shared between workers
 //! except through reductions, which is exactly the Pthreads layout of RAxML
 //! and what makes the scheme data-race free by construction.
+//!
+//! Which worker owns which pattern is decided *outside* this module: the
+//! `phylo-sched` crate produces an explicit owner map (its `Assignment` type)
+//! from a pluggable scheduling strategy, and
+//! [`WorkerSlices::from_assignment`] materializes one worker's view of it.
+//! The [`WorkerSlices::cyclic`] and [`WorkerSlices::block`] constructors
+//! remain as the two fixed schemes of the paper (and as the reference
+//! implementations the scheduler's strategies are tested against); arbitrary
+//! assignment functions go through [`WorkerSlices::with_assignment`].
 
 use phylo_data::{DataType, EncodedState, PartitionedPatterns};
 
@@ -130,7 +139,9 @@ impl SliceBuffers {
     pub fn take_node(&mut self, node: usize) -> (Vec<f64>, Vec<i32>) {
         let len = self.clv_len();
         let clv = self.clvs[node].take().unwrap_or_else(|| vec![0.0; len]);
-        let scale = self.scales[node].take().unwrap_or_else(|| vec![0; self.patterns]);
+        let scale = self.scales[node]
+            .take()
+            .unwrap_or_else(|| vec![0; self.patterns]);
         (clv, scale)
     }
 
@@ -199,9 +210,14 @@ impl WorkerSlices {
         node_capacity: usize,
         categories: &[usize],
     ) -> Self {
-        Self::with_assignment(patterns, worker, worker_count, node_capacity, categories, |g| {
-            g % worker_count
-        })
+        Self::with_assignment(
+            patterns,
+            worker,
+            worker_count,
+            node_capacity,
+            categories,
+            |g| g % worker_count,
+        )
     }
 
     /// Builds worker `worker` with a *block* distribution: the global pattern
@@ -217,9 +233,50 @@ impl WorkerSlices {
     ) -> Self {
         let total = patterns.total_patterns();
         let chunk = total.div_ceil(worker_count).max(1);
-        Self::with_assignment(patterns, worker, worker_count, node_capacity, categories, |g| {
-            (g / chunk).min(worker_count - 1)
-        })
+        Self::with_assignment(
+            patterns,
+            worker,
+            worker_count,
+            node_capacity,
+            categories,
+            |g| (g / chunk).min(worker_count - 1),
+        )
+    }
+
+    /// Builds worker `worker` from an explicit owner map: `owners[g]` is the
+    /// worker owning global pattern `g`, as produced by a `phylo-sched`
+    /// scheduling strategy (`Assignment::owner()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owners` does not cover exactly the dataset's patterns, if
+    /// `worker >= worker_count`, or if `categories` does not match the
+    /// partition count.
+    pub fn from_assignment(
+        patterns: &PartitionedPatterns,
+        worker: usize,
+        worker_count: usize,
+        node_capacity: usize,
+        categories: &[usize],
+        owners: &[usize],
+    ) -> Self {
+        assert_eq!(
+            owners.len(),
+            patterns.total_patterns(),
+            "owner map must cover every global pattern"
+        );
+        assert!(
+            owners.iter().all(|&w| w < worker_count),
+            "owner map names a worker outside 0..{worker_count}"
+        );
+        Self::with_assignment(
+            patterns,
+            worker,
+            worker_count,
+            node_capacity,
+            categories,
+            |g| owners[g],
+        )
     }
 
     /// Builds worker `worker` of `worker_count` with an arbitrary assignment
@@ -268,7 +325,12 @@ impl WorkerSlices {
             slices.push(slice);
             buffers.push(buffer);
         }
-        Self { worker, worker_count, slices, buffers }
+        Self {
+            worker,
+            worker_count,
+            slices,
+            buffers,
+        }
     }
 
     /// Total number of local patterns across all partitions.
@@ -326,7 +388,10 @@ mod tests {
             .collect();
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().min().unwrap();
-        assert!(max - min <= 1, "cyclic distribution must be balanced: {counts:?}");
+        assert!(
+            max - min <= 1,
+            "cyclic distribution must be balanced: {counts:?}"
+        );
     }
 
     #[test]
@@ -355,7 +420,40 @@ mod tests {
             .flat_map(|w| w.slices.iter())
             .filter(|s| s.pattern_count() == 0)
             .count();
-        assert!(empty_slices > 0, "expected idle (empty) slices with 16 workers");
+        assert!(
+            empty_slices > 0,
+            "expected idle (empty) slices with 16 workers"
+        );
+    }
+
+    #[test]
+    fn from_assignment_matches_cyclic_owner_map() {
+        let pp = patterns();
+        let categories = vec![4; pp.partition_count()];
+        let owners: Vec<usize> = (0..pp.total_patterns()).map(|g| g % 3).collect();
+        for w in 0..3 {
+            let via_map = WorkerSlices::from_assignment(&pp, w, 3, 8, &categories, &owners);
+            let via_cyclic = WorkerSlices::cyclic(&pp, w, 3, 8, &categories);
+            assert_eq!(via_map.slices, via_cyclic.slices);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "owner map names a worker outside")]
+    fn from_assignment_rejects_out_of_range_owners() {
+        let pp = patterns();
+        let categories = vec![4; pp.partition_count()];
+        let owners: Vec<usize> = (0..pp.total_patterns()).map(|g| g % 3).collect();
+        let _ = WorkerSlices::from_assignment(&pp, 0, 2, 8, &categories, &owners);
+    }
+
+    #[test]
+    #[should_panic(expected = "owner map must cover every global pattern")]
+    fn from_assignment_rejects_short_owner_maps() {
+        let pp = patterns();
+        let categories = vec![4; pp.partition_count()];
+        let owners = vec![0; pp.total_patterns() - 1];
+        let _ = WorkerSlices::from_assignment(&pp, 0, 2, 8, &categories, &owners);
     }
 
     #[test]

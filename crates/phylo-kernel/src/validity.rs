@@ -22,7 +22,9 @@ impl ClvValidity {
     /// Creates an all-invalid cache for `partitions` partitions on a tree with
     /// `node_capacity` node slots.
     pub fn new(partitions: usize, node_capacity: usize) -> Self {
-        Self { stored: vec![vec![None; node_capacity]; partitions] }
+        Self {
+            stored: vec![vec![None; node_capacity]; partitions],
+        }
     }
 
     /// Number of partitions tracked.
@@ -87,8 +89,8 @@ impl ClvValidity {
     pub fn topology_changed(&mut self, tree: &Tree, affected: &[NodeId], root_branch: BranchId) {
         let toward = orientation_toward_branch(tree, root_branch);
         for part in &mut self.stored {
-            for node in 0..part.len() {
-                let keep = match part[node] {
+            for (node, slot) in part.iter_mut().enumerate() {
+                let keep = match *slot {
                     Some(stored_towards) => {
                         !affected.contains(&node)
                             && toward.get(node).copied().flatten() == Some(stored_towards)
@@ -96,7 +98,7 @@ impl ClvValidity {
                     None => false,
                 };
                 if !keep {
-                    part[node] = None;
+                    *slot = None;
                 }
             }
         }
@@ -104,7 +106,10 @@ impl ClvValidity {
 
     /// Number of currently valid CLVs in one partition (diagnostics).
     pub fn valid_count(&self, partition: usize) -> usize {
-        self.stored[partition].iter().filter(|s| s.is_some()).count()
+        self.stored[partition]
+            .iter()
+            .filter(|s| s.is_some())
+            .count()
     }
 }
 
@@ -169,9 +174,7 @@ mod tests {
         }
         let victim = t
             .internal_nodes()
-            .find(|&n| {
-                t.neighbors(n).iter().any(|&(nb, _)| Some(nb) != toward[n])
-            })
+            .find(|&n| t.neighbors(n).iter().any(|&(nb, _)| Some(nb) != toward[n]))
             .unwrap();
         let wrong = t
             .neighbors(victim)

@@ -149,7 +149,10 @@ impl BrentState {
     ///
     /// Panics if called before [`BrentState::set_initial_value`].
     pub fn propose(&mut self, tol: f64) -> BrentStep {
-        assert!(self.initialized, "BrentState::set_initial_value must be called first");
+        assert!(
+            self.initialized,
+            "BrentState::set_initial_value must be called first"
+        );
         let xm = 0.5 * (self.a + self.b);
         let tol1 = tol * self.x.abs() + ZEPS;
         let tol2 = 2.0 * tol1;
@@ -170,7 +173,10 @@ impl BrentState {
             }
             q = q.abs();
             let etemp = self.e;
-            if p.abs() < (0.5 * q * etemp).abs() && p > q * (self.a - self.x) && p < q * (self.b - self.x) {
+            if p.abs() < (0.5 * q * etemp).abs()
+                && p > q * (self.a - self.x)
+                && p < q * (self.b - self.x)
+            {
                 // Parabolic step accepted.
                 self.e = self.d;
                 self.d = p / q;
@@ -182,7 +188,11 @@ impl BrentState {
             }
         }
         if use_golden {
-            self.e = if self.x >= xm { self.a - self.x } else { self.b - self.x };
+            self.e = if self.x >= xm {
+                self.a - self.x
+            } else {
+                self.b - self.x
+            };
             self.d = CGOLD * self.e;
         }
 

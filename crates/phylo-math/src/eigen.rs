@@ -100,7 +100,11 @@ pub fn symmetric_eigen(a: &SquareMatrix) -> SymmetricEigen {
     // Extract eigenvalues and sort ascending together with their vectors.
     let mut order: Vec<usize> = (0..n).collect();
     let values: Vec<f64> = (0..n).map(|i| a[(i, i)]).collect();
-    order.sort_by(|&x, &y| values[x].partial_cmp(&values[y]).expect("finite eigenvalues"));
+    order.sort_by(|&x, &y| {
+        values[x]
+            .partial_cmp(&values[y])
+            .expect("finite eigenvalues")
+    });
 
     let mut sorted_values = Vec::with_capacity(n);
     let mut sorted_vectors = SquareMatrix::zeros(n);
@@ -186,7 +190,9 @@ mod tests {
         let mut seed = 1u64;
         for i in 0..4 {
             for j in i..4 {
-                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let x = ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5;
                 a[(i, j)] = x;
                 a[(j, i)] = x;

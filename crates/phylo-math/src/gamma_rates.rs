@@ -134,7 +134,10 @@ mod tests {
             for &k in &[2usize, 4, 8] {
                 let rates = discrete_gamma_rates(alpha, k);
                 let mean = rates.iter().sum::<f64>() / k as f64;
-                assert!(approx_eq(mean, 1.0, 1e-9), "alpha={alpha} k={k} mean={mean}");
+                assert!(
+                    approx_eq(mean, 1.0, 1e-9),
+                    "alpha={alpha} k={k} mean={mean}"
+                );
             }
         }
     }
@@ -163,8 +166,16 @@ mod tests {
     fn small_alpha_is_strongly_skewed() {
         // Small α means most sites are nearly invariant and a few are fast.
         let rates = discrete_gamma_rates(0.1, 4);
-        assert!(rates[0] < 0.01, "slowest category should be ~0, got {}", rates[0]);
-        assert!(rates[3] > 2.0, "fastest category should be large, got {}", rates[3]);
+        assert!(
+            rates[0] < 0.01,
+            "slowest category should be ~0, got {}",
+            rates[0]
+        );
+        assert!(
+            rates[3] > 2.0,
+            "fastest category should be large, got {}",
+            rates[3]
+        );
     }
 
     #[test]

@@ -16,7 +16,10 @@ impl SquareMatrix {
     /// Creates an `n × n` matrix filled with zeros.
     pub fn zeros(n: usize) -> Self {
         assert!(n > 0, "matrix dimension must be positive");
-        Self { n, data: vec![0.0; n * n] }
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -35,7 +38,10 @@ impl SquareMatrix {
     /// Panics if `data.len() != n * n`.
     pub fn from_rows(n: usize, data: &[f64]) -> Self {
         assert_eq!(data.len(), n * n, "row-major data must have n*n entries");
-        Self { n, data: data.to_vec() }
+        Self {
+            n,
+            data: data.to_vec(),
+        }
     }
 
     /// Matrix dimension `n`.
@@ -85,13 +91,13 @@ impl SquareMatrix {
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.n, "dimension mismatch in matvec");
         let mut out = vec![0.0; self.n];
-        for i in 0..self.n {
+        for (i, out_i) in out.iter_mut().enumerate() {
             let row = self.row(i);
             let mut acc = 0.0;
             for j in 0..self.n {
                 acc += row[j] * v[j];
             }
-            out[i] = acc;
+            *out_i = acc;
         }
         out
     }
@@ -197,7 +203,11 @@ mod tests {
 
     #[test]
     fn dot_product() {
-        assert!(approx_eq(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0, 0.0));
+        assert!(approx_eq(
+            dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]),
+            32.0,
+            0.0
+        ));
     }
 
     #[test]

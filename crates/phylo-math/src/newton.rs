@@ -239,7 +239,14 @@ mod tests {
 
     #[test]
     fn iteration_cap_reports_convergence_flag() {
-        let res = newton_maximize(|x| (1.0 / x - 1.0, -1.0 / (x * x)), 40.0, 1e-8, 50.0, 1e-14, 2);
+        let res = newton_maximize(
+            |x| (1.0 / x - 1.0, -1.0 / (x * x)),
+            40.0,
+            1e-8,
+            50.0,
+            1e-14,
+            2,
+        );
         // Only two iterations allowed; state machine flags completion anyway.
         assert!(res.evaluations <= 2);
         assert!(res.converged);

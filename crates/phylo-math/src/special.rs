@@ -20,14 +20,14 @@ pub fn ln_gamma(x: f64) -> f64 {
     // Lanczos coefficients for g = 7.
     const G: f64 = 7.0;
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
-        -1259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
+        9.984_369_578_019_572e-6,
         1.505_632_735_149_311_6e-7,
     ];
 
@@ -133,7 +133,10 @@ fn gamma_continued_fraction(a: f64, x: f64) -> f64 {
 ///
 /// Panics if `p <= 0` or `p >= 1`.
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "normal_quantile requires 0 < p < 1, got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "normal_quantile requires 0 < p < 1, got {p}"
+    );
 
     // Coefficients for Acklam's approximation.
     const A: [f64; 6] = [
@@ -207,7 +210,10 @@ fn erfc_scalar(x: f64) -> f64 {
 ///
 /// Panics if `p` is outside `(0, 1)` or `nu <= 0`.
 pub fn chi_square_quantile(p: f64, nu: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "chi_square_quantile requires 0 < p < 1, got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "chi_square_quantile requires 0 < p < 1, got {p}"
+    );
     assert!(nu > 0.0, "chi_square_quantile requires nu > 0, got {nu}");
 
     let a = nu / 2.0;
@@ -260,7 +266,10 @@ pub fn chi_square_quantile(p: f64, nu: f64) -> f64 {
 ///
 /// Panics if `p` is outside `(0, 1)`, or `alpha`/`beta` are not positive.
 pub fn gamma_quantile(p: f64, alpha: f64, beta: f64) -> f64 {
-    assert!(alpha > 0.0 && beta > 0.0, "gamma_quantile requires positive shape and rate");
+    assert!(
+        alpha > 0.0 && beta > 0.0,
+        "gamma_quantile requires positive shape and rate"
+    );
     chi_square_quantile(p, 2.0 * alpha) / (2.0 * beta)
 }
 
@@ -287,7 +296,11 @@ mod tests {
     #[test]
     fn ln_gamma_half() {
         // Γ(1/2) = sqrt(pi)
-        assert!(approx_eq(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-12));
+        assert!(approx_eq(
+            ln_gamma(0.5),
+            std::f64::consts::PI.sqrt().ln(),
+            1e-12
+        ));
         // Γ(3/2) = sqrt(pi)/2
         assert!(approx_eq(
             ln_gamma(1.5),
@@ -311,8 +324,8 @@ mod tests {
     #[test]
     fn incomplete_gamma_exponential_case() {
         // For a = 1 the gamma distribution is exponential: P(1, x) = 1 - e^{-x}.
-        for &x in &[0.1, 0.5, 1.0, 2.0, 5.0, 10.0] {
-            let expected = 1.0 - (-x as f64).exp();
+        for &x in &[0.1f64, 0.5, 1.0, 2.0, 5.0, 10.0] {
+            let expected = 1.0 - (-x).exp();
             assert!(
                 approx_eq(incomplete_gamma_p(1.0, x), expected, 1e-12),
                 "P(1, {x})"
@@ -323,10 +336,26 @@ mod tests {
     #[test]
     fn incomplete_gamma_known_values() {
         // Reference values computed with scipy.special.gammainc.
-        assert!(approx_eq(incomplete_gamma_p(0.5, 0.5), 0.682_689_492_137_085_9, 1e-10));
-        assert!(approx_eq(incomplete_gamma_p(2.0, 2.0), 0.593_994_150_290_161_9, 1e-10));
-        assert!(approx_eq(incomplete_gamma_p(5.0, 1.0), 0.003_659_846_827_343_713, 1e-9));
-        assert!(approx_eq(incomplete_gamma_p(0.3, 4.0), 0.997_977_489_354_389_2, 1e-9));
+        assert!(approx_eq(
+            incomplete_gamma_p(0.5, 0.5),
+            0.682_689_492_137_085_9,
+            1e-10
+        ));
+        assert!(approx_eq(
+            incomplete_gamma_p(2.0, 2.0),
+            0.593_994_150_290_161_9,
+            1e-10
+        ));
+        assert!(approx_eq(
+            incomplete_gamma_p(5.0, 1.0),
+            0.003_659_846_827_343_713,
+            1e-9
+        ));
+        assert!(approx_eq(
+            incomplete_gamma_p(0.3, 4.0),
+            0.997_977_489_354_389_2,
+            1e-9
+        ));
     }
 
     #[test]
@@ -343,15 +372,27 @@ mod tests {
     fn normal_quantile_symmetry_and_median() {
         assert!(approx_eq(normal_quantile(0.5), 0.0, 1e-12));
         for &p in &[0.01, 0.1, 0.25, 0.4] {
-            assert!(approx_eq(normal_quantile(p), -normal_quantile(1.0 - p), 1e-9));
+            assert!(approx_eq(
+                normal_quantile(p),
+                -normal_quantile(1.0 - p),
+                1e-9
+            ));
         }
     }
 
     #[test]
     fn normal_quantile_known_values() {
         // Reference values from scipy.stats.norm.ppf.
-        assert!(approx_eq(normal_quantile(0.975), 1.959_963_984_540_054, 1e-8));
-        assert!(approx_eq(normal_quantile(0.025), -1.959_963_984_540_054, 1e-8));
+        assert!(approx_eq(
+            normal_quantile(0.975),
+            1.959_963_984_540_054,
+            1e-8
+        ));
+        assert!(approx_eq(
+            normal_quantile(0.025),
+            -1.959_963_984_540_054,
+            1e-8
+        ));
         assert!(approx_eq(normal_quantile(0.841_344_746_068_543), 1.0, 1e-7));
     }
 
@@ -361,10 +402,7 @@ mod tests {
             for &p in &[0.05, 0.25, 0.5, 0.75, 0.95] {
                 let x = chi_square_quantile(p, nu);
                 let back = incomplete_gamma_p(nu / 2.0, x / 2.0);
-                assert!(
-                    approx_eq(back, p, 1e-7),
-                    "nu={nu} p={p} x={x} back={back}"
-                );
+                assert!(approx_eq(back, p, 1e-7), "nu={nu} p={p} x={x} back={back}");
             }
         }
     }
@@ -372,16 +410,32 @@ mod tests {
     #[test]
     fn chi_square_quantile_known_values() {
         // Reference values from scipy.stats.chi2.ppf.
-        assert!(approx_eq(chi_square_quantile(0.95, 1.0), 3.841_458_820_694_124, 1e-6));
-        assert!(approx_eq(chi_square_quantile(0.95, 10.0), 18.307_038_053_275_146, 1e-6));
-        assert!(approx_eq(chi_square_quantile(0.5, 2.0), 1.386_294_361_119_890_6, 1e-8));
+        assert!(approx_eq(
+            chi_square_quantile(0.95, 1.0),
+            3.841_458_820_694_124,
+            1e-6
+        ));
+        assert!(approx_eq(
+            chi_square_quantile(0.95, 10.0),
+            18.307_038_053_275_146,
+            1e-6
+        ));
+        assert!(approx_eq(
+            chi_square_quantile(0.5, 2.0),
+            1.386_294_361_119_890_6,
+            1e-8
+        ));
     }
 
     #[test]
     fn gamma_quantile_exponential_case() {
         // Exponential with rate 1: quantile(p) = -ln(1-p).
         for &p in &[0.1, 0.5, 0.9] {
-            assert!(approx_eq(gamma_quantile(p, 1.0, 1.0), -(1.0 - p).ln(), 1e-7));
+            assert!(approx_eq(
+                gamma_quantile(p, 1.0, 1.0),
+                -(1.0 - p).ln(),
+                1e-7
+            ));
         }
     }
 

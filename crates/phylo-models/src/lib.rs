@@ -19,5 +19,6 @@ pub mod qmatrix;
 pub mod substitution;
 
 pub use partition_model::{BranchLengthMode, ModelSet, PartitionModel};
+pub use phylo_math::gamma_rates::DEFAULT_CATEGORIES;
 pub use qmatrix::Eigensystem;
 pub use substitution::SubstitutionModel;

@@ -47,12 +47,20 @@ impl PartitionModel {
             "alpha {alpha} outside supported range"
         );
         let gamma_rates = discrete_gamma_rates(alpha, categories);
-        Self { substitution, alpha, gamma_rates }
+        Self {
+            substitution,
+            alpha,
+            gamma_rates,
+        }
     }
 
     /// Default model for a data type: 4 Γ categories, α = 1.
     pub fn default_for(data_type: DataType) -> Self {
-        Self::new(SubstitutionModel::default_for(data_type), 1.0, DEFAULT_CATEGORIES)
+        Self::new(
+            SubstitutionModel::default_for(data_type),
+            1.0,
+            DEFAULT_CATEGORIES,
+        )
     }
 
     /// The substitution model.
@@ -137,7 +145,10 @@ impl ModelSet {
                 PartitionModel::new(substitution, 1.0, categories)
             })
             .collect();
-        Self { models, branch_mode }
+        Self {
+            models,
+            branch_mode,
+        }
     }
 
     /// Builds a model set from explicit per-partition models.
@@ -146,8 +157,14 @@ impl ModelSet {
     ///
     /// Panics if `models` is empty.
     pub fn from_models(models: Vec<PartitionModel>, branch_mode: BranchLengthMode) -> Self {
-        assert!(!models.is_empty(), "a model set needs at least one partition model");
-        Self { models, branch_mode }
+        assert!(
+            !models.is_empty(),
+            "a model set needs at least one partition model"
+        );
+        Self {
+            models,
+            branch_mode,
+        }
     }
 
     /// The per-partition models.

@@ -124,7 +124,12 @@ pub fn decompose(q: &SquareMatrix, frequencies: &[f64]) -> Eigensystem {
             u_inv[(k, i)] = eig.vectors[(i, k)] * sqrt_pi[i];
         }
     }
-    Eigensystem { values: eig.values, u, u_inv, w }
+    Eigensystem {
+        values: eig.values,
+        u,
+        u_inv,
+        w,
+    }
 }
 
 impl Eigensystem {
@@ -143,8 +148,8 @@ impl Eigensystem {
         for i in 0..n {
             for j in 0..n {
                 let mut acc = 0.0;
-                for k in 0..n {
-                    acc += self.u[(i, k)] * exp_lambda[k] * self.u_inv[(k, j)];
+                for (k, &el) in exp_lambda.iter().enumerate() {
+                    acc += self.u[(i, k)] * el * self.u_inv[(k, j)];
                 }
                 p[(i, j)] = if acc < 0.0 && acc > -1e-12 { 0.0 } else { acc };
             }
@@ -161,8 +166,8 @@ impl Eigensystem {
         for i in 0..n {
             for j in 0..n {
                 let mut acc = 0.0;
-                for k in 0..n {
-                    acc += self.u[(i, k)] * exp_lambda[k] * self.u_inv[(k, j)];
+                for (k, &el) in exp_lambda.iter().enumerate() {
+                    acc += self.u[(i, k)] * el * self.u_inv[(k, j)];
                 }
                 out[i * n + j] = if acc < 0.0 && acc > -1e-12 { 0.0 } else { acc };
             }
@@ -271,7 +276,11 @@ mod tests {
         let p = eig.transition_matrix(500.0);
         for i in 0..4 {
             for j in 0..4 {
-                assert!((p[(i, j)] - fr[j]).abs() < 1e-8, "P[{i}][{j}] = {}", p[(i, j)]);
+                assert!(
+                    (p[(i, j)] - fr[j]).abs() < 1e-8,
+                    "P[{i}][{j}] = {}",
+                    p[(i, j)]
+                );
             }
         }
     }

@@ -38,10 +38,19 @@ impl SubstitutionModel {
         exchangeabilities: Vec<f64>,
         frequencies: Vec<f64>,
     ) -> Self {
-        assert_eq!(frequencies.len(), data_type.states(), "frequency count mismatch");
+        assert_eq!(
+            frequencies.len(),
+            data_type.states(),
+            "frequency count mismatch"
+        );
         let q = build_rate_matrix(&exchangeabilities, &frequencies);
         let eigen = decompose(&q, &frequencies);
-        Self { data_type, exchangeabilities, frequencies, eigen }
+        Self {
+            data_type,
+            exchangeabilities,
+            frequencies,
+            eigen,
+        }
     }
 
     /// Jukes–Cantor 1969: equal rates, equal frequencies.
@@ -68,7 +77,11 @@ impl SubstitutionModel {
     /// frequencies.
     pub fn poisson_protein() -> Self {
         let n = DataType::Protein.states();
-        Self::from_parameters(DataType::Protein, vec![1.0; n * (n - 1) / 2], vec![1.0 / n as f64; n])
+        Self::from_parameters(
+            DataType::Protein,
+            vec![1.0; n * (n - 1) / 2],
+            vec![1.0 / n as f64; n],
+        )
     }
 
     /// A deterministic synthetic "empirical-like" protein model: heterogeneous
@@ -151,8 +164,14 @@ impl SubstitutionModel {
     ///
     /// Panics if `index` is out of range or `value` is not positive.
     pub fn with_exchangeability(&self, index: usize, value: f64) -> Self {
-        assert!(index < self.exchangeabilities.len(), "exchangeability index out of range");
-        assert!(value > 0.0 && value.is_finite(), "exchangeability must be positive");
+        assert!(
+            index < self.exchangeabilities.len(),
+            "exchangeability index out of range"
+        );
+        assert!(
+            value > 0.0 && value.is_finite(),
+            "exchangeability must be positive"
+        );
         let mut ex = self.exchangeabilities.clone();
         ex[index] = value;
         Self::from_parameters(self.data_type, ex, self.frequencies.clone())
@@ -260,7 +279,11 @@ mod tests {
         let a = SubstitutionModel::synthetic_empirical_protein();
         let b = SubstitutionModel::synthetic_empirical_protein();
         assert_eq!(a, b);
-        let min = a.exchangeabilities().iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = a
+            .exchangeabilities()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         let max = a.exchangeabilities().iter().cloned().fold(0.0f64, f64::max);
         assert!(max / min > 5.0, "exchangeabilities should be heterogeneous");
         // Frequencies differ from uniform.
@@ -274,7 +297,10 @@ mod tests {
         assert!((bumped.exchangeabilities()[1] - 4.0).abs() < 1e-15);
         let p_base = base.transition_matrix(0.2);
         let p_bumped = bumped.transition_matrix(0.2);
-        assert!(p_base.max_abs_diff(&p_bumped) > 1e-4, "transition matrix must change");
+        assert!(
+            p_base.max_abs_diff(&p_bumped) > 1e-4,
+            "transition matrix must change"
+        );
         // Rows still sum to one.
         for i in 0..4 {
             let sum: f64 = (0..4).map(|j| p_bumped[(i, j)]).sum();
@@ -291,7 +317,8 @@ mod tests {
             ("t3".into(), "AAAAAAGC".into()),
         ])
         .unwrap();
-        let pp = PartitionedPatterns::compile(&aln, &PartitionSet::unpartitioned(DataType::Dna, 8)).unwrap();
+        let pp = PartitionedPatterns::compile(&aln, &PartitionSet::unpartitioned(DataType::Dna, 8))
+            .unwrap();
         let freqs = empirical_frequencies(&pp.partitions[0]);
         assert_eq!(freqs.len(), 4);
         assert!((freqs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
@@ -303,7 +330,10 @@ mod tests {
     #[test]
     fn default_for_matches_data_type() {
         assert_eq!(SubstitutionModel::default_for(DataType::Dna).states(), 4);
-        assert_eq!(SubstitutionModel::default_for(DataType::Protein).states(), 20);
+        assert_eq!(
+            SubstitutionModel::default_for(DataType::Protein).states(),
+            20
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub fn optimize_branch<E: Executor>(
     branch: BranchId,
     config: &OptimizerConfig,
 ) -> BranchOptimizationStats {
-    let mut stats = BranchOptimizationStats { branches_optimized: 1, ..Default::default() };
+    let mut stats = BranchOptimizationStats {
+        branches_optimized: 1,
+        ..Default::default()
+    };
     match kernel.models().branch_mode() {
         BranchLengthMode::Joint => optimize_branch_joint(kernel, branch, config, &mut stats),
         BranchLengthMode::PerPartition => match config.scheme {
@@ -233,7 +236,10 @@ mod tests {
                 "{mode:?}: lnL must improve substantially ({before} -> {after})"
             );
             assert!(stats.newton_iterations > 0);
-            assert_eq!(stats.branches_optimized as usize % k.tree().branch_count(), 0);
+            assert_eq!(
+                stats.branches_optimized as usize % k.tree().branch_count(),
+                0
+            );
         }
     }
 
@@ -283,7 +289,10 @@ mod tests {
         assert!(stats_new.derivative_regions <= config_new.branch_max_iter as u64);
         // Total NR iterations are similar (same per-partition optimizations).
         let ratio = stats_old.newton_iterations as f64 / stats_new.newton_iterations as f64;
-        assert!((0.5..2.0).contains(&ratio), "iteration totals should be comparable: {ratio}");
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "iteration totals should be comparable: {ratio}"
+        );
     }
 
     #[test]

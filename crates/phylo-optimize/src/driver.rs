@@ -131,7 +131,11 @@ mod tests {
     #[test]
     fn rates_can_be_disabled() {
         let mut k = kernel(BranchLengthMode::Joint, 4);
-        let config = OptimizerConfig { optimize_rates: false, max_rounds: 1, ..OptimizerConfig::default() };
+        let config = OptimizerConfig {
+            optimize_rates: false,
+            max_rounds: 1,
+            ..OptimizerConfig::default()
+        };
         let report = optimize_model_parameters(&mut k, &config);
         assert!(report.final_log_likelihood >= report.initial_log_likelihood);
     }

@@ -111,10 +111,7 @@ fn optimize_parameter<E: Executor>(
 /// Evaluates the masked partitions at the current parameter values and returns
 /// their (negated) log likelihoods. One call = one newview + one evaluate
 /// region.
-fn evaluate_masked<E: Executor>(
-    kernel: &mut LikelihoodKernel<E>,
-    mask: &[bool],
-) -> Vec<f64> {
+fn evaluate_masked<E: Executor>(kernel: &mut LikelihoodKernel<E>, mask: &[bool]) -> Vec<f64> {
     let root = kernel.default_root_branch();
     kernel.log_likelihood_partitions(root, &mask.to_vec())
 }
@@ -258,7 +255,11 @@ pub fn optimize_exchangeabilities<E: Executor>(
 ) -> ModelOptimizationStats {
     let mut stats = ModelOptimizationStats::default();
     for rate in 0..GTR_RATE_COUNT - 1 {
-        stats.merge(optimize_parameter(kernel, ModelParameter::Exchangeability(rate), config));
+        stats.merge(optimize_parameter(
+            kernel,
+            ModelParameter::Exchangeability(rate),
+            config,
+        ));
     }
     stats
 }
@@ -284,15 +285,24 @@ mod tests {
         let config = OptimizerConfig::new(ParallelScheme::New);
         let stats = optimize_alphas(&mut k, &config);
         let after = k.log_likelihood();
-        assert!(after >= before - 1e-9, "lnL must not get worse: {before} -> {after}");
-        assert!(after > before + 0.5, "expected a real improvement: {before} -> {after}");
+        assert!(
+            after >= before - 1e-9,
+            "lnL must not get worse: {before} -> {after}"
+        );
+        assert!(
+            after > before + 0.5,
+            "expected a real improvement: {before} -> {after}"
+        );
         assert!(stats.brent_evaluations > 0);
         // The optimized alphas should differ between partitions (each gene was
         // simulated with its own shape).
         let alphas: Vec<f64> = (0..k.partition_count()).map(|p| k.alpha(p)).collect();
         let min = alphas.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = alphas.iter().cloned().fold(0.0f64, f64::max);
-        assert!(max - min > 0.05, "per-partition alphas should differ: {alphas:?}");
+        assert!(
+            max - min > 0.05,
+            "per-partition alphas should differ: {alphas:?}"
+        );
     }
 
     #[test]
@@ -327,7 +337,10 @@ mod tests {
         let before = k.log_likelihood();
         let stats = optimize_exchangeabilities(&mut k, &config);
         let after = k.log_likelihood();
-        assert!(after > before, "rate optimization must improve lnL: {before} -> {after}");
+        assert!(
+            after > before,
+            "rate optimization must improve lnL: {before} -> {after}"
+        );
         assert!(stats.evaluation_rounds > 0);
     }
 
@@ -339,6 +352,7 @@ mod tests {
             taxa: 6,
             partition_columns: vec![40, 40],
             data_type: phylo_data::DataType::Protein,
+            protein_partitions: Vec::new(),
             missing_taxa_fraction: 0.0,
             seed: 4,
         };
@@ -348,7 +362,10 @@ mod tests {
         let before_exch: Vec<f64> = (0..2).map(|p| k.exchangeability(p, 0)).collect();
         let config = OptimizerConfig::new(ParallelScheme::New);
         let stats = optimize_exchangeabilities(&mut k, &config);
-        assert_eq!(stats.brent_evaluations, 0, "no free rates on protein partitions");
+        assert_eq!(
+            stats.brent_evaluations, 0,
+            "no free rates on protein partitions"
+        );
         for (p, &before) in before_exch.iter().enumerate() {
             assert!((k.exchangeability(p, 0) - before).abs() < 1e-15);
         }

@@ -19,9 +19,30 @@
 //!   16-thread runs measurable on any host and feeds the platform model in
 //!   `phylo-perfmodel`, which regenerates the paper's per-machine figures.
 //!
-//! The distribution of patterns to workers (cyclic vs block) is selectable via
-//! [`Distribution`]; the paper argues for cyclic distribution to balance mixed
-//! DNA/protein partitions, and the ablation bench quantifies that choice.
+//! # Assignment flow
+//!
+//! Which patterns land on which worker is decided by the pluggable scheduling
+//! subsystem in [`phylo_sched`]: a [`ScheduleStrategy`] turns a
+//! [`PatternCosts`] workload description into an explicit [`Assignment`]
+//! (pattern→worker map plus per-worker predicted cost), and every executor is
+//! built *from* such an assignment:
+//!
+//! ```text
+//! PartitionedPatterns ──PatternCosts::analytic──▶ PatternCosts
+//!                                                     │ ScheduleStrategy::assign
+//!                                                     ▼
+//! build_workers(patterns, …, &Assignment) ──▶ Vec<WorkerSlices> ──▶ executor
+//! ```
+//!
+//! [`schedule`] bundles the first two arrows; the strategies themselves —
+//! [`Cyclic`] and [`Block`] (the paper's two fixed schemes), [`WeightedLpt`]
+//! (cost-weighted bin-packing, so a 20-state protein pattern counts ≈25× a
+//! DNA pattern) and [`TraceAdaptive`] (rebalancing from a measured
+//! [`WorkTrace`](phylo_kernel::cost::WorkTrace)) — live in `phylo-sched`.
+//! The legacy [`Distribution`] enum and the `*_with_distribution`
+//! constructors remain as thin deprecated shims over the cyclic and block
+//! strategies and reproduce the paper's original pattern placement
+//! bit-for-bit.
 
 pub mod rayon_exec;
 pub mod threaded;
@@ -31,10 +52,19 @@ pub use rayon_exec::RayonExecutor;
 pub use threaded::ThreadedExecutor;
 pub use tracing::TracingExecutor;
 
+pub use phylo_sched::{
+    Assignment, Block, Cyclic, PatternCosts, SchedError, ScheduleStrategy, TraceAdaptive,
+    WeightedLpt,
+};
+
 use phylo_data::PartitionedPatterns;
 use phylo_kernel::WorkerSlices;
 
-/// How patterns are assigned to workers.
+/// How patterns are assigned to workers (legacy interface).
+#[deprecated(
+    since = "0.1.0",
+    note = "use a `phylo_sched::ScheduleStrategy` (e.g. `Cyclic`, `WeightedLpt`) and `build_workers`"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Distribution {
     /// Pattern `g` goes to worker `g mod T` (the paper's scheme).
@@ -43,25 +73,94 @@ pub enum Distribution {
     Block,
 }
 
-/// Builds the per-worker slices for all workers under a distribution.
+#[allow(deprecated)]
+impl Distribution {
+    /// The equivalent pluggable strategy; its assignment reproduces this
+    /// distribution's pattern placement bit-for-bit.
+    pub fn strategy(self) -> Box<dyn ScheduleStrategy> {
+        match self {
+            Distribution::Cyclic => Box::new(Cyclic),
+            Distribution::Block => Box::new(Block),
+        }
+    }
+}
+
+/// Builds an [`Assignment`] for a dataset with the analytic cost model:
+/// derives [`PatternCosts`] from the partitions' state and category counts,
+/// then runs `strategy` over them.
+///
+/// # Errors
+///
+/// Whatever the strategy reports — at minimum [`SchedError::NoWorkers`] for
+/// `worker_count == 0` and [`SchedError::EmptyWorkload`] for a dataset
+/// without patterns.
+pub fn schedule(
+    patterns: &PartitionedPatterns,
+    categories: &[usize],
+    worker_count: usize,
+    strategy: &dyn ScheduleStrategy,
+) -> Result<Assignment, SchedError> {
+    let costs = PatternCosts::analytic(patterns, categories);
+    strategy.assign(&costs, worker_count)
+}
+
+/// Builds the per-worker slices for all workers of an [`Assignment`].
+///
+/// # Errors
+///
+/// [`SchedError::PatternCountMismatch`] if the assignment was built for a
+/// different pattern count than `patterns` contains.
 pub fn build_workers(
+    patterns: &PartitionedPatterns,
+    node_capacity: usize,
+    categories: &[usize],
+    assignment: &Assignment,
+) -> Result<Vec<WorkerSlices>, SchedError> {
+    if assignment.pattern_count() != patterns.total_patterns() {
+        return Err(SchedError::PatternCountMismatch {
+            expected: patterns.total_patterns(),
+            got: assignment.pattern_count(),
+        });
+    }
+    Ok((0..assignment.worker_count())
+        .map(|w| {
+            WorkerSlices::from_assignment(
+                patterns,
+                w,
+                assignment.worker_count(),
+                node_capacity,
+                categories,
+                assignment.owner(),
+            )
+        })
+        .collect())
+}
+
+/// Legacy entry point: builds the per-worker slices under a [`Distribution`].
+///
+/// # Panics
+///
+/// Panics if `worker_count == 0` (the historical behaviour); the replacement
+/// path ([`schedule`] + [`build_workers`]) reports [`SchedError::NoWorkers`]
+/// instead.
+#[deprecated(since = "0.1.0", note = "use `schedule` + `build_workers`")]
+#[allow(deprecated)]
+pub fn build_workers_with_distribution(
     patterns: &PartitionedPatterns,
     worker_count: usize,
     node_capacity: usize,
     categories: &[usize],
     distribution: Distribution,
 ) -> Vec<WorkerSlices> {
-    assert!(worker_count > 0, "at least one worker required");
-    (0..worker_count)
-        .map(|w| match distribution {
-            Distribution::Cyclic => {
-                WorkerSlices::cyclic(patterns, w, worker_count, node_capacity, categories)
-            }
-            Distribution::Block => {
-                WorkerSlices::block(patterns, w, worker_count, node_capacity, categories)
-            }
-        })
-        .collect()
+    let assignment = schedule(
+        patterns,
+        categories,
+        worker_count,
+        distribution.strategy().as_ref(),
+    )
+    .expect("at least one worker required");
+    build_workers(patterns, node_capacity, categories, &assignment)
+        .expect("assignment was built for these patterns")
 }
 
 #[cfg(test)]
@@ -81,21 +180,25 @@ mod tests {
     }
 
     #[test]
-    fn both_distributions_cover_all_patterns() {
+    fn all_strategies_cover_all_patterns() {
         let pp = patterns();
         let cats = vec![4; pp.partition_count()];
-        for dist in [Distribution::Cyclic, Distribution::Block] {
-            let workers = build_workers(&pp, 3, 8, &cats, dist);
+        let strategies: Vec<Box<dyn ScheduleStrategy>> =
+            vec![Box::new(Cyclic), Box::new(Block), Box::new(WeightedLpt)];
+        for strategy in &strategies {
+            let assignment = schedule(&pp, &cats, 3, strategy.as_ref()).unwrap();
+            let workers = build_workers(&pp, 8, &cats, &assignment).unwrap();
             let total: usize = workers.iter().map(|w| w.total_patterns()).sum();
-            assert_eq!(total, pp.total_patterns(), "{dist:?}");
+            assert_eq!(total, pp.total_patterns(), "{}", strategy.name());
         }
     }
 
     #[test]
-    fn block_distribution_is_contiguous_per_worker() {
+    fn block_strategy_is_contiguous_per_worker() {
         let pp = patterns();
         let cats = vec![4; pp.partition_count()];
-        let workers = build_workers(&pp, 3, 8, &cats, Distribution::Block);
+        let assignment = schedule(&pp, &cats, 3, &Block).unwrap();
+        let workers = build_workers(&pp, 8, &cats, &assignment).unwrap();
         for w in &workers {
             let mut indices: Vec<usize> = w
                 .slices
@@ -105,6 +208,67 @@ mod tests {
             indices.sort_unstable();
             if indices.len() > 1 {
                 assert_eq!(indices.last().unwrap() - indices[0] + 1, indices.len());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_workers_is_an_error_not_a_panic() {
+        let pp = patterns();
+        let cats = vec![4; pp.partition_count()];
+        assert_eq!(
+            schedule(&pp, &cats, 0, &Cyclic).unwrap_err(),
+            SchedError::NoWorkers
+        );
+    }
+
+    #[test]
+    fn mismatched_assignment_is_rejected() {
+        let pp = patterns();
+        let cats = vec![4; pp.partition_count()];
+        let foreign = Cyclic
+            .assign(&PatternCosts::uniform(pp.total_patterns() + 5), 2)
+            .unwrap();
+        assert!(matches!(
+            build_workers(&pp, 8, &cats, &foreign).unwrap_err(),
+            SchedError::PatternCountMismatch { .. }
+        ));
+    }
+
+    /// The acceptance bar for the refactor: the legacy `Distribution` path
+    /// and the new strategy path place every pattern identically.
+    #[test]
+    #[allow(deprecated)]
+    fn new_interface_reproduces_distribution_bit_for_bit() {
+        let pp = patterns();
+        let cats = vec![4; pp.partition_count()];
+        for (dist, strategy) in [
+            (Distribution::Cyclic, &Cyclic as &dyn ScheduleStrategy),
+            (Distribution::Block, &Block as &dyn ScheduleStrategy),
+        ] {
+            for worker_count in [1usize, 2, 3, 5, 16] {
+                let legacy = build_workers_with_distribution(&pp, worker_count, 8, &cats, dist);
+                let assignment = schedule(&pp, &cats, worker_count, strategy).unwrap();
+                let modern = build_workers(&pp, 8, &cats, &assignment).unwrap();
+                // The paper's original constructors are the ground truth.
+                let original: Vec<WorkerSlices> = (0..worker_count)
+                    .map(|w| match dist {
+                        Distribution::Cyclic => {
+                            WorkerSlices::cyclic(&pp, w, worker_count, 8, &cats)
+                        }
+                        Distribution::Block => WorkerSlices::block(&pp, w, worker_count, 8, &cats),
+                    })
+                    .collect();
+                assert_eq!(legacy.len(), modern.len());
+                for ((a, b), c) in legacy.iter().zip(modern.iter()).zip(original.iter()) {
+                    assert_eq!(a.worker, b.worker);
+                    assert_eq!(a.worker_count, b.worker_count);
+                    assert_eq!(a.slices, b.slices, "{dist:?} × {worker_count} workers");
+                    assert_eq!(
+                        b.slices, c.slices,
+                        "{dist:?} × {worker_count} workers vs original"
+                    );
+                }
             }
         }
     }

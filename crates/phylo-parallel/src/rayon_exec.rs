@@ -10,9 +10,8 @@
 use phylo_data::PartitionedPatterns;
 use phylo_kernel::executor::{execute_on_worker, reduce_outputs};
 use phylo_kernel::{ExecContext, Executor, KernelOp, OpOutput, WorkerSlices};
+use phylo_sched::{Assignment, SchedError};
 use rayon::prelude::*;
-
-use crate::Distribution;
 
 /// Executes commands by fanning the per-worker slices out onto a dedicated
 /// rayon thread pool.
@@ -32,22 +31,60 @@ impl std::fmt::Debug for RayonExecutor {
 }
 
 impl RayonExecutor {
-    /// Builds a rayon executor with `worker_count` logical workers on a
-    /// dedicated pool with the same number of threads.
+    /// Builds a rayon executor for `assignment`, on a dedicated pool with one
+    /// thread per worker.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::PatternCountMismatch`] if the assignment was built for a
+    /// different dataset.
+    pub fn from_assignment(
+        patterns: &PartitionedPatterns,
+        assignment: &Assignment,
+        node_capacity: usize,
+        categories: &[usize],
+    ) -> Result<Self, SchedError> {
+        let workers = crate::build_workers(patterns, node_capacity, categories, assignment)?;
+        Ok(Self::with_workers(workers))
+    }
+
+    /// Legacy constructor: builds the executor under a [`Distribution`].
+    ///
+    /// [`Distribution`]: crate::Distribution
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker_count == 0` (the historical behaviour).
+    #[deprecated(since = "0.1.0", note = "use `RayonExecutor::from_assignment`")]
+    #[allow(deprecated)]
     pub fn new(
         patterns: &PartitionedPatterns,
         worker_count: usize,
         node_capacity: usize,
         categories: &[usize],
-        distribution: Distribution,
+        distribution: crate::Distribution,
     ) -> Self {
-        let workers = crate::build_workers(patterns, worker_count, node_capacity, categories, distribution);
+        let workers = crate::build_workers_with_distribution(
+            patterns,
+            worker_count,
+            node_capacity,
+            categories,
+            distribution,
+        );
+        Self::with_workers(workers)
+    }
+
+    fn with_workers(workers: Vec<WorkerSlices>) -> Self {
         let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(worker_count)
+            .num_threads(workers.len())
             .thread_name(|i| format!("plk-rayon-{i}"))
             .build()
             .expect("failed to build rayon pool");
-        Self { workers, pool, sync_events: 0 }
+        Self {
+            workers,
+            pool,
+            sync_events: 0,
+        }
     }
 }
 
@@ -76,8 +113,10 @@ impl Executor for RayonExecutor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::schedule;
     use phylo_kernel::{LikelihoodKernel, SequentialKernel};
     use phylo_models::{BranchLengthMode, ModelSet};
+    use phylo_sched::{Block, Cyclic};
     use phylo_seqgen::datasets::paper_simulated;
     use std::sync::Arc;
 
@@ -90,21 +129,21 @@ mod tests {
         let reference = seq.log_likelihood();
 
         let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
-        let exec = RayonExecutor::new(
+        let assignment = schedule(&ds.patterns, &cats, 4, &Cyclic).unwrap();
+        let exec = RayonExecutor::from_assignment(
             &ds.patterns,
-            4,
+            &assignment,
             ds.tree.node_capacity(),
             &cats,
-            Distribution::Cyclic,
-        );
-        let mut k =
-            LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+        )
+        .unwrap();
+        let mut k = LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
         let lnl = k.log_likelihood();
         assert!((lnl - reference).abs() < 1e-8, "{lnl} vs {reference}");
     }
 
     #[test]
-    fn rayon_block_distribution_also_matches() {
+    fn rayon_block_strategy_also_matches() {
         let ds = paper_simulated(7, 120, 30, 37).generate();
         let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::Joint);
         let mut seq =
@@ -112,15 +151,15 @@ mod tests {
         let reference = seq.log_likelihood();
 
         let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
-        let exec = RayonExecutor::new(
+        let assignment = schedule(&ds.patterns, &cats, 3, &Block).unwrap();
+        let exec = RayonExecutor::from_assignment(
             &ds.patterns,
-            3,
+            &assignment,
             ds.tree.node_capacity(),
             &cats,
-            Distribution::Block,
-        );
-        let mut k =
-            LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+        )
+        .unwrap();
+        let mut k = LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
         let lnl = k.log_likelihood();
         assert!((lnl - reference).abs() < 1e-8);
     }

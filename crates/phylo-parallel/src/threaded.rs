@@ -18,11 +18,10 @@ use std::thread::JoinHandle;
 
 use phylo_data::PartitionedPatterns;
 use phylo_kernel::executor::{execute_on_worker, reduce_outputs};
-use phylo_kernel::{BranchLengths, ExecContext, Executor, KernelOp, OpOutput};
+use phylo_kernel::{BranchLengths, ExecContext, Executor, KernelOp, OpOutput, WorkerSlices};
 use phylo_models::ModelSet;
+use phylo_sched::{Assignment, SchedError};
 use phylo_tree::Tree;
-
-use crate::Distribution;
 
 /// One broadcast command: the op plus a snapshot of the master state.
 struct Command {
@@ -55,16 +54,50 @@ impl std::fmt::Debug for ThreadedExecutor {
 }
 
 impl ThreadedExecutor {
-    /// Spawns `worker_count` persistent worker threads for the dataset.
+    /// Spawns one persistent worker thread per worker of `assignment`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::PatternCountMismatch`] if the assignment was built for a
+    /// different dataset.
+    pub fn from_assignment(
+        patterns: &PartitionedPatterns,
+        assignment: &Assignment,
+        node_capacity: usize,
+        categories: &[usize],
+    ) -> Result<Self, SchedError> {
+        let workers = crate::build_workers(patterns, node_capacity, categories, assignment)?;
+        Ok(Self::spawn(workers))
+    }
+
+    /// Legacy constructor: spawns workers under a [`Distribution`].
+    ///
+    /// [`Distribution`]: crate::Distribution
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker_count == 0` (the historical behaviour).
+    #[deprecated(since = "0.1.0", note = "use `ThreadedExecutor::from_assignment`")]
+    #[allow(deprecated)]
     pub fn new(
         patterns: &PartitionedPatterns,
         worker_count: usize,
         node_capacity: usize,
         categories: &[usize],
-        distribution: Distribution,
+        distribution: crate::Distribution,
     ) -> Self {
-        assert!(worker_count > 0, "at least one worker required");
-        let workers = crate::build_workers(patterns, worker_count, node_capacity, categories, distribution);
+        let workers = crate::build_workers_with_distribution(
+            patterns,
+            worker_count,
+            node_capacity,
+            categories,
+            distribution,
+        );
+        Self::spawn(workers)
+    }
+
+    fn spawn(workers: Vec<WorkerSlices>) -> Self {
+        let worker_count = workers.len();
         let handles = workers
             .into_iter()
             .map(|mut slices| {
@@ -86,10 +119,18 @@ impl ThreadedExecutor {
                         }
                     })
                     .expect("failed to spawn worker thread");
-                WorkerHandle { sender: cmd_tx, results: res_rx, join: Some(join) }
+                WorkerHandle {
+                    sender: cmd_tx,
+                    results: res_rx,
+                    join: Some(join),
+                }
             })
             .collect();
-        Self { handles, sync_events: 0, worker_count }
+        Self {
+            handles,
+            sync_events: 0,
+            worker_count,
+        }
     }
 }
 
@@ -114,7 +155,10 @@ impl Executor for ThreadedExecutor {
         }
         let mut result: Option<OpOutput> = None;
         for handle in &self.handles {
-            let out = handle.results.recv().expect("worker thread terminated unexpectedly");
+            let out = handle
+                .results
+                .recv()
+                .expect("worker thread terminated unexpectedly");
             result = Some(match result {
                 None => out,
                 Some(acc) => reduce_outputs(acc, out),
@@ -144,26 +188,30 @@ impl Drop for ThreadedExecutor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::schedule;
     use phylo_kernel::{LikelihoodKernel, SequentialKernel};
     use phylo_models::BranchLengthMode;
+    use phylo_sched::{Cyclic, WeightedLpt};
     use phylo_seqgen::datasets::paper_simulated;
 
     #[test]
     fn threaded_likelihood_matches_sequential() {
         let ds = paper_simulated(10, 300, 50, 17).generate();
         let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
-        let mut seq = SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
+        let mut seq =
+            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
         let reference = seq.log_likelihood();
 
         for workers in [2usize, 4] {
             let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
-            let exec = ThreadedExecutor::new(
+            let assignment = schedule(&ds.patterns, &cats, workers, &Cyclic).unwrap();
+            let exec = ThreadedExecutor::from_assignment(
                 &ds.patterns,
-                workers,
+                &assignment,
                 ds.tree.node_capacity(),
                 &cats,
-                Distribution::Cyclic,
-            );
+            )
+            .unwrap();
             let mut k = LikelihoodKernel::new(
                 Arc::clone(&ds.patterns),
                 ds.tree.clone(),
@@ -185,21 +233,26 @@ mod tests {
         let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
         let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
 
-        let mut seq = SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
+        let mut seq =
+            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
         let branch = seq.tree().internal_branches()[0];
         let mask = seq.full_mask();
         seq.prepare_branch(branch, &mask);
         let lengths: Vec<Option<f64>> = (0..seq.partition_count()).map(|_| Some(0.2)).collect();
         let expected = seq.branch_derivatives(&lengths);
 
-        let exec = ThreadedExecutor::new(
+        // The cost-aware strategy must produce the same likelihood as any
+        // other placement — results are placement-invariant by construction.
+        let assignment = schedule(&ds.patterns, &cats, 3, &WeightedLpt).unwrap();
+        let exec = ThreadedExecutor::from_assignment(
             &ds.patterns,
-            3,
+            &assignment,
             ds.tree.node_capacity(),
             &cats,
-            Distribution::Cyclic,
-        );
-        let mut par = LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+        )
+        .unwrap();
+        let mut par =
+            LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
         par.prepare_branch(branch, &mask);
         let got = par.branch_derivatives(&lengths);
         for (a, b) in expected.iter().zip(got.iter()) {
@@ -215,13 +268,30 @@ mod tests {
         let ds = paper_simulated(6, 64, 16, 29).generate();
         let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::Joint);
         let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
-        let exec = ThreadedExecutor::new(
+        let assignment = schedule(&ds.patterns, &cats, 4, &Cyclic).unwrap();
+        let exec = ThreadedExecutor::from_assignment(
             &ds.patterns,
-            4,
+            &assignment,
             ds.tree.node_capacity(),
             &cats,
-            Distribution::Cyclic,
-        );
+        )
+        .unwrap();
         drop(exec);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_still_works() {
+        let ds = paper_simulated(6, 64, 16, 29).generate();
+        let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::Joint);
+        let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+        let exec = ThreadedExecutor::new(
+            &ds.patterns,
+            2,
+            ds.tree.node_capacity(),
+            &cats,
+            crate::Distribution::Cyclic,
+        );
+        assert_eq!(exec.worker_count(), 2);
     }
 }

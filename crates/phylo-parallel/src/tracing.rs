@@ -20,29 +20,73 @@ use phylo_kernel::{
     executor::{execute_on_worker, reduce_outputs},
     ExecContext, Executor, KernelOp, OpOutput, WorkerSlices,
 };
-
-use crate::Distribution;
+use phylo_sched::{Assignment, SchedError};
 
 /// Executes commands on `T` virtual workers and records the per-region work.
 #[derive(Debug)]
 pub struct TracingExecutor {
     workers: Vec<WorkerSlices>,
+    assignment: Assignment,
     trace: WorkTrace,
     sync_events: u64,
 }
 
 impl TracingExecutor {
-    /// Builds a tracing executor with `worker_count` virtual workers.
+    /// Builds a tracing executor over the virtual workers of `assignment`.
+    ///
+    /// The assignment is retained (see [`TracingExecutor::assignment`]) so
+    /// that its predicted per-worker costs can be compared against the
+    /// measured trace, e.g. by `phylo_perfmodel::imbalance_report`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::PatternCountMismatch`] if the assignment was built for a
+    /// different dataset.
+    pub fn from_assignment(
+        patterns: &PartitionedPatterns,
+        assignment: &Assignment,
+        node_capacity: usize,
+        categories: &[usize],
+    ) -> Result<Self, SchedError> {
+        let workers = crate::build_workers(patterns, node_capacity, categories, assignment)?;
+        Ok(Self {
+            workers,
+            assignment: assignment.clone(),
+            trace: WorkTrace::new(assignment.worker_count()),
+            sync_events: 0,
+        })
+    }
+
+    /// Legacy constructor: builds the executor under a [`Distribution`].
+    ///
+    /// [`Distribution`]: crate::Distribution
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker_count == 0` (the historical behaviour).
+    #[deprecated(since = "0.1.0", note = "use `TracingExecutor::from_assignment`")]
+    #[allow(deprecated)]
     pub fn new(
         patterns: &PartitionedPatterns,
         worker_count: usize,
         node_capacity: usize,
         categories: &[usize],
-        distribution: Distribution,
+        distribution: crate::Distribution,
     ) -> Self {
-        let workers =
-            crate::build_workers(patterns, worker_count, node_capacity, categories, distribution);
-        Self { workers, trace: WorkTrace::new(worker_count), sync_events: 0 }
+        let assignment = crate::schedule(
+            patterns,
+            categories,
+            worker_count,
+            distribution.strategy().as_ref(),
+        )
+        .expect("at least one worker required");
+        Self::from_assignment(patterns, &assignment, node_capacity, categories)
+            .expect("assignment was built for these patterns")
+    }
+
+    /// The assignment the virtual workers were built from.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
     }
 
     /// The accumulated work trace.
@@ -57,7 +101,10 @@ impl TracingExecutor {
 
     /// Per-worker pattern counts of one partition (diagnostics).
     pub fn partition_pattern_counts(&self, partition: usize) -> Vec<usize> {
-        self.workers.iter().map(|w| w.partition_patterns(partition)).collect()
+        self.workers
+            .iter()
+            .map(|w| w.partition_patterns(partition))
+            .collect()
     }
 
     fn record_region(&mut self, op: &KernelOp, ctx: &ExecContext<'_>) {
@@ -146,7 +193,12 @@ impl Executor for TracingExecutor {
 
 /// Convenience: how many of the trace's regions are of each kind.
 pub fn region_kind_histogram(trace: &WorkTrace) -> Vec<(OpKind, usize)> {
-    let kinds = [OpKind::Newview, OpKind::Evaluate, OpKind::Sumtable, OpKind::Derivatives];
+    let kinds = [
+        OpKind::Newview,
+        OpKind::Evaluate,
+        OpKind::Sumtable,
+        OpKind::Derivatives,
+    ];
     kinds
         .iter()
         .map(|&k| (k, trace.regions.iter().filter(|r| r.kind == k).count()))
@@ -171,13 +223,15 @@ mod tests {
     ) -> LikelihoodKernel<TracingExecutor> {
         let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
         let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
-        let exec = TracingExecutor::new(
+        let assignment =
+            crate::schedule(&ds.patterns, &cats, workers, &phylo_sched::Cyclic).unwrap();
+        let exec = TracingExecutor::from_assignment(
             &ds.patterns,
-            workers,
+            &assignment,
             ds.tree.node_capacity(),
             &cats,
-            Distribution::Cyclic,
-        );
+        )
+        .unwrap();
         LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec)
     }
 
@@ -185,8 +239,7 @@ mod tests {
     fn tracing_matches_sequential_likelihood() {
         let ds = dataset();
         let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
-        let mut seq =
-            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models);
+        let mut seq = SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models);
         let reference = seq.log_likelihood();
 
         for workers in [1usize, 4, 16] {
@@ -213,7 +266,10 @@ mod tests {
         let trace = k.executor_mut().take_trace();
         assert_eq!(trace.sync_events() as u64, sync);
         let hist = region_kind_histogram(&trace);
-        assert!(hist.iter().all(|&(_, c)| c > 0), "all op kinds must appear: {hist:?}");
+        assert!(
+            hist.iter().all(|&(_, c)| c > 0),
+            "all op kinds must appear: {hist:?}"
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! of Figures 3–6 — comes from the measured trace, not from these constants.
 
 use phylo_kernel::cost::WorkTrace;
+use phylo_sched::Assignment;
 
 /// Hardware description of one evaluation platform.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,7 +90,12 @@ impl Platform {
 
     /// The four platforms of the paper's evaluation, in figure order.
     pub fn paper_platforms() -> Vec<Platform> {
-        vec![Self::nehalem(), Self::clovertown(), Self::barcelona(), Self::x4600()]
+        vec![
+            Self::nehalem(),
+            Self::clovertown(),
+            Self::barcelona(),
+            Self::x4600(),
+        ]
     }
 
     /// Synchronization latency for `threads` participating threads.
@@ -142,6 +148,97 @@ impl Platform {
             return 1.0;
         }
         seq / par
+    }
+}
+
+/// Predicted-vs-measured imbalance of one scheduled run: what the scheduler
+/// *thought* the per-worker load would be (from the [`Assignment`]'s cost
+/// model) against what the instrumented executor *measured* (from the
+/// [`WorkTrace`]). A large gap means the cost model mis-ranks patterns and a
+/// trace-adaptive re-schedule will pay off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImbalanceReport {
+    /// Name of the strategy that produced the assignment.
+    pub strategy: String,
+    /// Worker count of the schedule.
+    pub workers: usize,
+    /// Predicted cost of the most loaded worker.
+    pub predicted_max: f64,
+    /// Mean predicted cost per worker.
+    pub predicted_mean: f64,
+    /// Predicted imbalance (max/mean; 1.0 = perfect).
+    pub predicted_imbalance: f64,
+    /// Measured FLOPs of the most loaded worker, summed over all regions.
+    pub measured_max: f64,
+    /// Mean measured FLOPs per worker.
+    pub measured_mean: f64,
+    /// Measured imbalance (max/mean over the aggregated trace).
+    pub measured_imbalance: f64,
+    /// Region-weighted measured balance (`WorkTrace::overall_balance`): the
+    /// mean/max efficiency accounting for one barrier per region.
+    pub measured_region_balance: f64,
+}
+
+impl ImbalanceReport {
+    /// Relative error of the predicted imbalance against the measured one.
+    pub fn model_error(&self) -> f64 {
+        if self.measured_imbalance == 0.0 {
+            return 0.0;
+        }
+        (self.predicted_imbalance - self.measured_imbalance).abs() / self.measured_imbalance
+    }
+
+    /// Fixed-width table row.
+    pub fn format(&self) -> String {
+        format!(
+            "{:<16} {:>3} {:>12.3} {:>12.3} {:>14.3} {:>14.3} {:>10.3}",
+            self.strategy,
+            self.workers,
+            self.predicted_imbalance,
+            self.measured_imbalance,
+            self.predicted_max,
+            self.measured_max,
+            self.measured_region_balance,
+        )
+    }
+
+    /// Header matching [`ImbalanceReport::format`].
+    pub fn header() -> String {
+        format!(
+            "{:<16} {:>3} {:>12} {:>12} {:>14} {:>14} {:>10}",
+            "strategy", "T", "pred imbal", "meas imbal", "pred max", "meas max", "region bal"
+        )
+    }
+}
+
+/// Compares an assignment's predicted per-worker costs against the measured
+/// per-worker FLOPs of a trace recorded under that assignment.
+///
+/// # Panics
+///
+/// Panics if the trace was recorded for a different worker count than the
+/// assignment distributes over.
+pub fn imbalance_report(assignment: &Assignment, trace: &WorkTrace) -> ImbalanceReport {
+    assert_eq!(
+        trace.workers,
+        assignment.worker_count(),
+        "trace and assignment must describe the same worker count"
+    );
+    let workers = assignment.worker_count();
+    let measured = trace.flops_per_worker_total();
+    let measured_max = measured.iter().cloned().fold(0.0, f64::max);
+    let measured_mean = measured.iter().sum::<f64>() / workers as f64;
+    let measured_imbalance = phylo_sched::assignment::worker_imbalance(&measured);
+    ImbalanceReport {
+        strategy: assignment.strategy().to_string(),
+        workers,
+        predicted_max: assignment.max_cost(),
+        predicted_mean: assignment.mean_cost(),
+        predicted_imbalance: assignment.imbalance(),
+        measured_max,
+        measured_mean,
+        measured_imbalance,
+        measured_region_balance: trace.overall_balance(),
     }
 }
 
@@ -234,7 +331,10 @@ mod tests {
             .iter()
             .map(|p| p.predict_runtime(&seq))
             .collect();
-        assert!(times[0] < times[1], "Nehalem must beat Clovertown sequentially");
+        assert!(
+            times[0] < times[1],
+            "Nehalem must beat Clovertown sequentially"
+        );
         assert!(times[0] < times[2] && times[0] < times[3]);
         // Paper: sequential Nehalem run time ≈ 40% lower than Clovertown.
         let reduction = 1.0 - times[0] / times[1];
@@ -304,6 +404,42 @@ mod tests {
         let p = Platform::nehalem();
         let t = balanced_trace(16, 1, 1e6);
         p.predict_runtime(&t);
+    }
+
+    #[test]
+    fn imbalance_report_compares_predicted_and_measured() {
+        use phylo_sched::{PatternCosts, ScheduleStrategy};
+
+        let costs = PatternCosts::uniform(8);
+        let assignment = phylo_sched::Cyclic.assign(&costs, 2).unwrap();
+        assert_eq!(assignment.imbalance(), 1.0);
+
+        // The measured trace disagrees: worker 0 did 3× the work.
+        let mut trace = WorkTrace::new(2);
+        let mut r = RegionRecord::new(OpKind::Newview, 2);
+        r.flops_per_worker = vec![300.0, 100.0];
+        trace.regions.push(r);
+
+        let report = imbalance_report(&assignment, &trace);
+        assert_eq!(report.strategy, "cyclic");
+        assert_eq!(report.workers, 2);
+        assert!((report.predicted_imbalance - 1.0).abs() < 1e-12);
+        assert!((report.measured_imbalance - 1.5).abs() < 1e-12);
+        assert_eq!(report.measured_max, 300.0);
+        assert!((report.model_error() - 0.5 / 1.5).abs() < 1e-12);
+        assert!(report.format().contains("cyclic"));
+        assert!(ImbalanceReport::header().contains("pred imbal"));
+    }
+
+    #[test]
+    #[should_panic(expected = "same worker count")]
+    fn imbalance_report_rejects_mismatched_trace() {
+        use phylo_sched::ScheduleStrategy;
+        let assignment = phylo_sched::Cyclic
+            .assign(&phylo_sched::PatternCosts::uniform(4), 2)
+            .unwrap();
+        let trace = WorkTrace::new(3);
+        let _ = imbalance_report(&assignment, &trace);
     }
 
     #[test]

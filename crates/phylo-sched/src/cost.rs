@@ -1,0 +1,136 @@
+//! Per-pattern cost vectors.
+//!
+//! A scheduling strategy only needs one thing from the workload: how expensive
+//! each global pattern is relative to the others. [`PatternCosts::analytic`]
+//! derives that from the kernel's analytic cost model — `newview` dominates
+//! every likelihood workload (it is the only primitive executed once per
+//! traversal node rather than once per region), so its per-pattern FLOP count
+//! is the natural weight. The absolute scale cancels in every balance metric;
+//! only the ratios matter, and those are exactly the paper's argument: a
+//! 20-state protein pattern weighs ≈25× a 4-state DNA pattern.
+
+use phylo_data::PartitionedPatterns;
+use phylo_kernel::cost::newview_flops;
+
+/// The scheduler's view of a workload: one relative cost per global pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternCosts {
+    costs: Vec<f64>,
+}
+
+impl PatternCosts {
+    /// Analytic costs for a compiled dataset: pattern `g` of a partition with
+    /// `s` states and `c` rate categories weighs `newview_flops(s, c)`.
+    ///
+    /// `categories` gives the number of Γ rate categories per partition (same
+    /// order as the dataset's partitions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `categories.len()` differs from the partition count.
+    pub fn analytic(patterns: &PartitionedPatterns, categories: &[usize]) -> Self {
+        assert_eq!(
+            categories.len(),
+            patterns.partition_count(),
+            "one category count per partition required"
+        );
+        let mut costs = Vec::with_capacity(patterns.total_patterns());
+        for (pi, part) in patterns.partitions.iter().enumerate() {
+            let per_pattern = newview_flops(part.states(), categories[pi]);
+            costs.extend(std::iter::repeat_n(per_pattern, part.pattern_count()));
+        }
+        Self { costs }
+    }
+
+    /// Uniform costs (every pattern weighs 1): what the paper's original
+    /// count-based schemes implicitly assume.
+    pub fn uniform(pattern_count: usize) -> Self {
+        Self {
+            costs: vec![1.0; pattern_count],
+        }
+    }
+
+    /// Explicit per-pattern costs (used by [`TraceAdaptive`] and by tests).
+    ///
+    /// [`TraceAdaptive`]: crate::strategy::TraceAdaptive
+    pub fn from_costs(costs: Vec<f64>) -> Self {
+        Self { costs }
+    }
+
+    /// Number of patterns in the workload.
+    pub fn pattern_count(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Cost of global pattern `g`.
+    #[inline]
+    pub fn cost(&self, g: usize) -> f64 {
+        self.costs[g]
+    }
+
+    /// All costs, indexed by global pattern.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.costs
+    }
+
+    /// Sum of all pattern costs.
+    pub fn total(&self) -> f64 {
+        self.costs.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_data::{Alignment, DataType, Partition, PartitionSet, PartitionedPatterns};
+
+    fn mixed_patterns() -> PartitionedPatterns {
+        // DNA characters are valid amino-acid codes, so one alignment can
+        // carry both partition types.
+        let aln = Alignment::new(vec![
+            ("t1".into(), "ACGTACGTACGTACGT".into()),
+            ("t2".into(), "ACGAACGAACGAACGA".into()),
+            ("t3".into(), "ACCTACGAACCTACGA".into()),
+        ])
+        .unwrap();
+        let ps = PartitionSet::new(vec![
+            Partition::contiguous("dna", DataType::Dna, 0..8),
+            Partition::contiguous("prot", DataType::Protein, 8..16),
+        ])
+        .unwrap();
+        PartitionedPatterns::compile(&aln, &ps).unwrap()
+    }
+
+    #[test]
+    fn analytic_costs_weigh_protein_about_25x_dna() {
+        let pp = mixed_patterns();
+        let costs = PatternCosts::analytic(&pp, &[4, 4]);
+        assert_eq!(costs.pattern_count(), pp.total_patterns());
+        let dna = costs.cost(0);
+        let protein = costs.cost(pp.global_offset(1));
+        let ratio = protein / dna;
+        assert!(
+            (20.0..30.0).contains(&ratio),
+            "protein/DNA ratio {ratio} should be ≈25"
+        );
+    }
+
+    #[test]
+    fn analytic_costs_scale_with_categories() {
+        let pp = mixed_patterns();
+        let four = PatternCosts::analytic(&pp, &[4, 4]);
+        let eight = PatternCosts::analytic(&pp, &[8, 4]);
+        assert!((eight.cost(0) / four.cost(0) - 2.0).abs() < 1e-12);
+        // Protein partition categories unchanged.
+        let g = pp.global_offset(1);
+        assert_eq!(four.cost(g), eight.cost(g));
+    }
+
+    #[test]
+    fn uniform_costs_are_flat() {
+        let costs = PatternCosts::uniform(5);
+        assert_eq!(costs.pattern_count(), 5);
+        assert_eq!(costs.total(), 5.0);
+        assert!(costs.as_slice().iter().all(|&c| c == 1.0));
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for the scheduling subsystem.
+//!
+//! The pre-subsystem code path panicked on degenerate inputs (a bare
+//! `assert!(worker_count > 0)` in `build_workers`); every such condition is
+//! now a documented, recoverable error.
+
+/// Why a schedule could not be produced or applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// A schedule for zero workers was requested.
+    NoWorkers,
+    /// The workload has no patterns to distribute.
+    EmptyWorkload,
+    /// An owner map's length does not match the workload's pattern count.
+    PatternCountMismatch {
+        /// Patterns in the workload.
+        expected: usize,
+        /// Entries in the owner map.
+        got: usize,
+    },
+    /// An owner map names a worker outside `0..worker_count`.
+    WorkerOutOfRange {
+        /// Global pattern index with the bad owner.
+        pattern: usize,
+        /// The out-of-range worker index.
+        worker: usize,
+        /// Number of workers the assignment was built for.
+        worker_count: usize,
+    },
+    /// A measured trace was recorded for a different worker count than the
+    /// assignment it is supposed to correct.
+    TraceWorkerMismatch {
+        /// Workers in the measured trace.
+        trace_workers: usize,
+        /// Workers in the prior assignment.
+        assignment_workers: usize,
+    },
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoWorkers => write!(f, "at least one worker is required"),
+            Self::EmptyWorkload => write!(f, "the workload contains no patterns"),
+            Self::PatternCountMismatch { expected, got } => {
+                write!(f, "owner map covers {got} patterns but the workload has {expected}")
+            }
+            Self::WorkerOutOfRange { pattern, worker, worker_count } => write!(
+                f,
+                "pattern {pattern} is assigned to worker {worker}, outside 0..{worker_count}"
+            ),
+            Self::TraceWorkerMismatch { trace_workers, assignment_workers } => write!(
+                f,
+                "trace was recorded for {trace_workers} workers but the assignment has {assignment_workers}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_parameters() {
+        let text = SchedError::PatternCountMismatch {
+            expected: 10,
+            got: 7,
+        }
+        .to_string();
+        assert!(text.contains("10") && text.contains('7'), "{text}");
+        let text = SchedError::WorkerOutOfRange {
+            pattern: 3,
+            worker: 9,
+            worker_count: 4,
+        }
+        .to_string();
+        assert!(
+            text.contains("pattern 3") && text.contains("0..4"),
+            "{text}"
+        );
+        assert!(!SchedError::NoWorkers.to_string().is_empty());
+        assert!(!SchedError::EmptyWorkload.to_string().is_empty());
+    }
+}

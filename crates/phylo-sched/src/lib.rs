@@ -1,0 +1,55 @@
+//! `phylo-sched` — pluggable, cost-aware scheduling of alignment patterns
+//! onto workers.
+//!
+//! The paper's parallelization distributes the `m′` global alignment patterns
+//! over `T` worker threads and pays one barrier per parallel region, so the
+//! region's wall-clock time is set by the *most loaded* worker. Which patterns
+//! land on which worker is therefore the load-balance lever, and this crate
+//! turns that decision into a first-class, pluggable subsystem:
+//!
+//! * [`PatternCosts`] — a per-pattern cost vector. [`PatternCosts::analytic`]
+//!   derives it from the kernel's analytic cost model
+//!   ([`phylo_kernel::cost`]): a 20-state protein pattern costs ≈25× a DNA
+//!   pattern in `newview`, which is exactly why pattern *counts* alone are a
+//!   poor balance proxy for mixed DNA/protein inputs.
+//! * [`Assignment`] — an explicit pattern→worker map with the per-worker
+//!   predicted cost, plus the imbalance metrics
+//!   ([`Assignment::imbalance`], [`Assignment::max_cost`],
+//!   [`Assignment::mean_cost`]) that `phylo-perfmodel` and `phylo-bench`
+//!   consume.
+//! * [`ScheduleStrategy`] — the strategy trait, with four implementations:
+//!   [`Cyclic`] and [`Block`] (the paper's two schemes, reproduced bit-for-bit
+//!   through the new interface), [`WeightedLpt`] (longest-processing-time
+//!   greedy bin-packing over the analytic costs) and [`TraceAdaptive`]
+//!   (rebalances from a measured [`WorkTrace`](phylo_kernel::cost::WorkTrace)
+//!   after a warm-up run).
+//!
+//! The parallel backends in `phylo-parallel` consume an [`Assignment`] when
+//! building their per-worker slices; see `phylo_parallel::build_workers`.
+//!
+//! ```
+//! use phylo_data::{Alignment, DataType, PartitionSet, PartitionedPatterns};
+//! use phylo_sched::{Cyclic, PatternCosts, ScheduleStrategy, WeightedLpt};
+//!
+//! let aln = Alignment::new(vec![
+//!     ("t1".into(), "ACGTACGTAC".into()),
+//!     ("t2".into(), "ACGAACGAAC".into()),
+//! ]).unwrap();
+//! let ps = PartitionSet::equal_length(DataType::Dna, 10, 5);
+//! let patterns = PartitionedPatterns::compile(&aln, &ps).unwrap();
+//! let costs = PatternCosts::analytic(&patterns, &[4, 4]);
+//!
+//! let cyclic = Cyclic.assign(&costs, 2).unwrap();
+//! let lpt = WeightedLpt.assign(&costs, 2).unwrap();
+//! assert!(lpt.max_cost() <= cyclic.max_cost() + 1e-9);
+//! ```
+
+pub mod assignment;
+pub mod cost;
+pub mod error;
+pub mod strategy;
+
+pub use assignment::{worker_imbalance, Assignment};
+pub use cost::PatternCosts;
+pub use error::SchedError;
+pub use strategy::{Block, Cyclic, ScheduleStrategy, TraceAdaptive, WeightedLpt};

@@ -1,0 +1,463 @@
+//! Scheduling strategies: from the paper's two fixed schemes to cost-aware
+//! and measurement-driven assignment.
+
+use crate::assignment::Assignment;
+use crate::cost::PatternCosts;
+use crate::error::SchedError;
+use phylo_kernel::cost::WorkTrace;
+
+/// Produces a pattern→worker [`Assignment`] for a costed workload.
+///
+/// Implementations must be deterministic: the same costs and worker count
+/// always yield the same assignment, so that parallel runs are reproducible
+/// and their traces comparable.
+pub trait ScheduleStrategy {
+    /// Human-readable strategy name (used in reports and diagnostics).
+    fn name(&self) -> &str;
+
+    /// Builds the assignment.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::NoWorkers`] for `worker_count == 0` and
+    /// [`SchedError::EmptyWorkload`] for a workload without patterns;
+    /// strategies with extra inputs may add their own conditions.
+    fn assign(&self, costs: &PatternCosts, worker_count: usize) -> Result<Assignment, SchedError>;
+}
+
+fn check_inputs(costs: &PatternCosts, worker_count: usize) -> Result<(), SchedError> {
+    if worker_count == 0 {
+        return Err(SchedError::NoWorkers);
+    }
+    if costs.pattern_count() == 0 {
+        return Err(SchedError::EmptyWorkload);
+    }
+    Ok(())
+}
+
+/// The paper's scheme: global pattern `g` goes to worker `g mod T`.
+///
+/// Cost-oblivious, but mixes patterns of all partitions onto every worker,
+/// which already balances mixed DNA/protein inputs well when partitions are
+/// long relative to the worker count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cyclic;
+
+impl ScheduleStrategy for Cyclic {
+    fn name(&self) -> &str {
+        "cyclic"
+    }
+
+    fn assign(&self, costs: &PatternCosts, worker_count: usize) -> Result<Assignment, SchedError> {
+        check_inputs(costs, worker_count)?;
+        let owner: Vec<usize> = (0..costs.pattern_count())
+            .map(|g| g % worker_count)
+            .collect();
+        Assignment::new(self.name(), owner, worker_count, costs)
+    }
+}
+
+/// The contiguous alternative the paper argues against: the global pattern
+/// index space is cut into `T` equal-length blocks.
+///
+/// Keeps each worker's patterns contiguous (cache-friendly), but a block can
+/// land entirely inside one expensive partition — the pathological case for
+/// mixed DNA/protein inputs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Block;
+
+impl ScheduleStrategy for Block {
+    fn name(&self) -> &str {
+        "block"
+    }
+
+    fn assign(&self, costs: &PatternCosts, worker_count: usize) -> Result<Assignment, SchedError> {
+        check_inputs(costs, worker_count)?;
+        let total = costs.pattern_count();
+        let chunk = total.div_ceil(worker_count).max(1);
+        let owner: Vec<usize> = (0..total)
+            .map(|g| (g / chunk).min(worker_count - 1))
+            .collect();
+        Assignment::new(self.name(), owner, worker_count, costs)
+    }
+}
+
+/// Longest-processing-time greedy bin-packing over the per-pattern costs.
+///
+/// Patterns are placed in order of decreasing cost, each onto the currently
+/// least-loaded worker. With the analytic cost model this makes a 20-state
+/// protein pattern count ≈25× a DNA pattern, so mixed workloads balance by
+/// predicted *work*, not by pattern count. LPT's classical guarantee bounds
+/// the makespan within 4/3 of optimal; on phylogenomic inputs (many patterns
+/// per worker) it is near-perfect.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WeightedLpt;
+
+/// Shared LPT core: deterministic (cost-descending, index-ascending order;
+/// ties between workers go to the lowest index).
+fn lpt_assign(
+    name: &str,
+    costs: &PatternCosts,
+    worker_count: usize,
+) -> Result<Assignment, SchedError> {
+    check_inputs(costs, worker_count)?;
+    let mut order: Vec<usize> = (0..costs.pattern_count()).collect();
+    order.sort_by(|&a, &b| {
+        costs
+            .cost(b)
+            .partial_cmp(&costs.cost(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut load = vec![0.0f64; worker_count];
+    let mut owner = vec![0usize; costs.pattern_count()];
+    for g in order {
+        let mut best = 0usize;
+        for w in 1..worker_count {
+            if load[w] < load[best] {
+                best = w;
+            }
+        }
+        owner[g] = best;
+        load[best] += costs.cost(g);
+    }
+    Assignment::new(name, owner, worker_count, costs)
+}
+
+impl ScheduleStrategy for WeightedLpt {
+    fn name(&self) -> &str {
+        "weighted-lpt"
+    }
+
+    fn assign(&self, costs: &PatternCosts, worker_count: usize) -> Result<Assignment, SchedError> {
+        lpt_assign(self.name(), costs, worker_count)
+    }
+}
+
+/// Measurement-driven rebalancing: corrects the cost model with a measured
+/// [`WorkTrace`] from a warm-up run under a prior assignment, then re-packs
+/// with LPT.
+///
+/// The analytic model captures the state-count and category ratios but not
+/// platform effects (cache behaviour, SIMD width, scaling-event frequency).
+/// After a warm-up run, the per-worker ratio `measured / predicted` is a
+/// direct observation of how much the model under- or over-estimates the
+/// patterns that worker owns; scaling each pattern's cost by its owner's
+/// ratio and re-packing moves work off the workers that measured hot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceAdaptive {
+    prior: Assignment,
+    measured: Vec<f64>,
+}
+
+impl TraceAdaptive {
+    /// Builds the strategy from the warm-up run's assignment and its measured
+    /// trace.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::TraceWorkerMismatch`] if the trace was recorded for a
+    /// different worker count than `prior` distributes over.
+    pub fn new(prior: Assignment, trace: &WorkTrace) -> Result<Self, SchedError> {
+        if trace.workers != prior.worker_count() {
+            return Err(SchedError::TraceWorkerMismatch {
+                trace_workers: trace.workers,
+                assignment_workers: prior.worker_count(),
+            });
+        }
+        Ok(Self {
+            prior,
+            measured: trace.flops_per_worker_total(),
+        })
+    }
+
+    /// The prior (warm-up) assignment.
+    pub fn prior(&self) -> &Assignment {
+        &self.prior
+    }
+
+    /// Total measured cost per worker of the warm-up run.
+    pub fn measured(&self) -> &[f64] {
+        &self.measured
+    }
+
+    /// Measured imbalance (max over mean worker cost) of the warm-up run —
+    /// the baseline a rebalanced schedule has to beat.
+    pub fn measured_imbalance(&self) -> f64 {
+        crate::assignment::worker_imbalance(&self.measured)
+    }
+
+    /// Per-pattern costs corrected by the measured trace: pattern `g`'s base
+    /// cost is scaled by `measured[w] / predicted[w]` of its prior owner `w`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::PatternCountMismatch`] if `base` covers a different
+    /// number of patterns than the prior assignment.
+    pub fn corrected_costs(&self, base: &PatternCosts) -> Result<PatternCosts, SchedError> {
+        if base.pattern_count() != self.prior.pattern_count() {
+            return Err(SchedError::PatternCountMismatch {
+                expected: self.prior.pattern_count(),
+                got: base.pattern_count(),
+            });
+        }
+        // Predicted per-worker cost of the prior owner map under `base`.
+        let mut predicted = vec![0.0f64; self.prior.worker_count()];
+        for (g, &w) in self.prior.owner().iter().enumerate() {
+            predicted[w] += base.cost(g);
+        }
+        let factor: Vec<f64> = self
+            .measured
+            .iter()
+            .zip(&predicted)
+            .map(|(&m, &p)| if p > 0.0 && m > 0.0 { m / p } else { 1.0 })
+            .collect();
+        let corrected: Vec<f64> = base
+            .as_slice()
+            .iter()
+            .enumerate()
+            .map(|(g, &c)| c * factor[self.prior.worker_of(g)])
+            .collect();
+        Ok(PatternCosts::from_costs(corrected))
+    }
+}
+
+impl ScheduleStrategy for TraceAdaptive {
+    fn name(&self) -> &str {
+        "trace-adaptive"
+    }
+
+    fn assign(&self, costs: &PatternCosts, worker_count: usize) -> Result<Assignment, SchedError> {
+        let corrected = self.corrected_costs(costs)?;
+        lpt_assign(self.name(), &corrected, worker_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_data::{Alignment, DataType, Partition, PartitionSet, PartitionedPatterns};
+    use phylo_kernel::cost::{OpKind, RegionRecord};
+
+    /// A mixed DNA/protein workload: DNA characters double as amino-acid
+    /// codes, so one alignment carries both partition types. The protein
+    /// partition's patterns weigh ≈25× the DNA ones under the analytic model.
+    fn mixed_fixture() -> (PartitionedPatterns, PatternCosts) {
+        let make_row = |stride: usize| -> String {
+            (0..60)
+                .map(|i| ['A', 'C', 'G', 'T'][(i / stride.max(1)) % 4])
+                .collect()
+        };
+        let aln = Alignment::new(vec![
+            ("t1".into(), make_row(1)),
+            ("t2".into(), make_row(2)),
+            ("t3".into(), make_row(3)),
+            ("t4".into(), make_row(5)),
+        ])
+        .unwrap();
+        let ps = PartitionSet::new(vec![
+            Partition::contiguous("dna0", DataType::Dna, 0..20),
+            Partition::contiguous("dna1", DataType::Dna, 20..40),
+            Partition::contiguous("prot", DataType::Protein, 40..60),
+        ])
+        .unwrap();
+        let pp = PartitionedPatterns::compile(&aln, &ps).unwrap();
+        let costs = PatternCosts::analytic(&pp, &[4, 4, 4]);
+        (pp, costs)
+    }
+
+    fn all_strategies() -> Vec<Box<dyn ScheduleStrategy>> {
+        let (_, costs) = mixed_fixture();
+        let prior = Cyclic.assign(&costs, 3).unwrap();
+        let mut trace = WorkTrace::new(3);
+        let mut region = RegionRecord::new(OpKind::Newview, 3);
+        region.flops_per_worker = prior.predicted_cost().to_vec();
+        trace.regions.push(region);
+        vec![
+            Box::new(Cyclic),
+            Box::new(Block),
+            Box::new(WeightedLpt),
+            Box::new(TraceAdaptive::new(prior, &trace).unwrap()),
+        ]
+    }
+
+    #[test]
+    fn every_strategy_covers_each_pattern_exactly_once() {
+        let (pp, costs) = mixed_fixture();
+        for strategy in all_strategies() {
+            for workers in [1usize, 2, 3, 7] {
+                let a = strategy.assign(&costs, workers).unwrap();
+                assert_eq!(
+                    a.pattern_count(),
+                    pp.total_patterns(),
+                    "{}",
+                    strategy.name()
+                );
+                assert_eq!(a.worker_count(), workers);
+                // The owner map covers each pattern exactly once by
+                // construction; check the per-worker views partition it.
+                let mut seen: Vec<usize> = (0..workers).flat_map(|w| a.patterns_of(w)).collect();
+                seen.sort_unstable();
+                let expected: Vec<usize> = (0..pp.total_patterns()).collect();
+                assert_eq!(
+                    seen,
+                    expected,
+                    "{} with {} workers",
+                    strategy.name(),
+                    workers
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_strategy_is_deterministic() {
+        let (_, costs) = mixed_fixture();
+        for strategy in all_strategies() {
+            let a = strategy.assign(&costs, 3).unwrap();
+            let b = strategy.assign(&costs, 3).unwrap();
+            assert_eq!(a, b, "{} must be deterministic", strategy.name());
+        }
+    }
+
+    #[test]
+    fn every_strategy_rejects_degenerate_inputs() {
+        let (_, costs) = mixed_fixture();
+        for strategy in all_strategies() {
+            assert_eq!(
+                strategy.assign(&costs, 0).unwrap_err(),
+                SchedError::NoWorkers,
+                "{}",
+                strategy.name()
+            );
+        }
+        // Strategies without a prior reject empty workloads outright.
+        let empty = PatternCosts::uniform(0);
+        assert_eq!(
+            Cyclic.assign(&empty, 2).unwrap_err(),
+            SchedError::EmptyWorkload
+        );
+        assert_eq!(
+            Block.assign(&empty, 2).unwrap_err(),
+            SchedError::EmptyWorkload
+        );
+        assert_eq!(
+            WeightedLpt.assign(&empty, 2).unwrap_err(),
+            SchedError::EmptyWorkload
+        );
+    }
+
+    #[test]
+    fn cyclic_and_block_match_the_papers_owner_maps() {
+        let (pp, costs) = mixed_fixture();
+        let n = pp.total_patterns();
+        for workers in [1usize, 2, 3, 5] {
+            let cyclic = Cyclic.assign(&costs, workers).unwrap();
+            for g in 0..n {
+                assert_eq!(cyclic.worker_of(g), g % workers);
+            }
+            let block = Block.assign(&costs, workers).unwrap();
+            let chunk = n.div_ceil(workers).max(1);
+            for g in 0..n {
+                assert_eq!(block.worker_of(g), (g / chunk).min(workers - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_lpt_beats_count_based_schemes_on_mixed_input() {
+        let (_, costs) = mixed_fixture();
+        for workers in [2usize, 3, 4] {
+            let lpt = WeightedLpt.assign(&costs, workers).unwrap();
+            let cyclic = Cyclic.assign(&costs, workers).unwrap();
+            let block = Block.assign(&costs, workers).unwrap();
+            assert!(
+                lpt.max_cost() <= cyclic.max_cost() + 1e-9,
+                "{workers} workers: LPT max {} vs cyclic max {}",
+                lpt.max_cost(),
+                cyclic.max_cost()
+            );
+            assert!(
+                lpt.max_cost() < block.max_cost(),
+                "{workers} workers: LPT max {} vs block max {}",
+                lpt.max_cost(),
+                block.max_cost()
+            );
+        }
+    }
+
+    #[test]
+    fn lpt_is_near_perfect_on_uniform_costs() {
+        let costs = PatternCosts::uniform(100);
+        let a = WeightedLpt.assign(&costs, 8).unwrap();
+        // 100 uniform patterns over 8 workers: 12 or 13 each.
+        let counts = a.patterns_per_worker();
+        assert!(counts.iter().all(|&c| c == 12 || c == 13), "{counts:?}");
+    }
+
+    #[test]
+    fn trace_adaptive_strictly_reduces_measured_imbalance() {
+        // Uniform analytic costs, but the measured trace says worker 0 is 4×
+        // slower than predicted (e.g. its patterns trigger scaling events the
+        // analytic model cannot see).
+        let costs = PatternCosts::uniform(64);
+        let prior = Cyclic.assign(&costs, 4).unwrap();
+        let mut trace = WorkTrace::new(4);
+        let mut region = RegionRecord::new(OpKind::Newview, 4);
+        region.flops_per_worker = vec![64.0, 16.0, 16.0, 16.0];
+        trace.regions.push(region);
+
+        let adaptive = TraceAdaptive::new(prior, &trace).unwrap();
+        let before = adaptive.measured_imbalance();
+        let rebalanced = adaptive.assign(&costs, 4).unwrap();
+        // The rebalanced schedule is evaluated under the corrected (measured)
+        // cost model, which is the cost the next run will actually see.
+        let after = rebalanced.imbalance();
+        assert!(
+            after < before,
+            "rebalancing must strictly reduce measured imbalance: {after} vs {before}"
+        );
+        assert!(
+            after < 1.3,
+            "skew of 4x over 4 workers should pack well, got {after}"
+        );
+    }
+
+    #[test]
+    fn trace_adaptive_validates_its_inputs() {
+        let costs = PatternCosts::uniform(8);
+        let prior = Cyclic.assign(&costs, 2).unwrap();
+        let trace = WorkTrace::new(3);
+        assert_eq!(
+            TraceAdaptive::new(prior.clone(), &trace).unwrap_err(),
+            SchedError::TraceWorkerMismatch {
+                trace_workers: 3,
+                assignment_workers: 2
+            }
+        );
+        let adaptive = TraceAdaptive::new(prior, &WorkTrace::new(2)).unwrap();
+        assert_eq!(
+            adaptive.assign(&PatternCosts::uniform(9), 2).unwrap_err(),
+            SchedError::PatternCountMismatch {
+                expected: 8,
+                got: 9
+            }
+        );
+    }
+
+    #[test]
+    fn trace_adaptive_with_faithful_trace_matches_lpt() {
+        // If the measurement confirms the analytic model exactly, the
+        // correction is a no-op and TraceAdaptive degenerates to LPT.
+        let (_, costs) = mixed_fixture();
+        let prior = Cyclic.assign(&costs, 3).unwrap();
+        let mut trace = WorkTrace::new(3);
+        let mut region = RegionRecord::new(OpKind::Newview, 3);
+        region.flops_per_worker = prior.predicted_cost().to_vec();
+        trace.regions.push(region);
+        let adaptive = TraceAdaptive::new(prior, &trace).unwrap();
+        let a = adaptive.assign(&costs, 3).unwrap();
+        let lpt = WeightedLpt.assign(&costs, 3).unwrap();
+        assert_eq!(a.owner(), lpt.owner());
+    }
+}

@@ -100,13 +100,19 @@ pub fn tree_search<E: Executor>(
         let internal_nodes: Vec<_> = kernel.tree().internal_nodes().collect();
         for node in internal_nodes {
             // Try pruning each of the node's three subtrees in turn.
-            let neighbor_list: Vec<_> =
-                kernel.tree().neighbors(node).iter().map(|&(n, _)| n).collect();
+            let neighbor_list: Vec<_> = kernel
+                .tree()
+                .neighbors(node)
+                .iter()
+                .map(|&(n, _)| n)
+                .collect();
             for subtree in neighbor_list {
                 let moves: Vec<SprMove> =
                     candidate_moves(kernel.tree(), node, subtree, config.spr_radius);
                 for mv in moves {
-                    let Ok(application) = kernel.apply_spr(mv) else { continue };
+                    let Ok(application) = kernel.apply_spr(mv) else {
+                        continue;
+                    };
                     // Local branch-length optimization around the insertion
                     // point (3 branches), as in lazy SPR.
                     let local = LikelihoodKernel::<E>::inserted_branches(&application);
@@ -205,7 +211,10 @@ mod tests {
             end_shared >= start_shared,
             "search must not move away from the generating topology ({start_shared} -> {end_shared})"
         );
-        assert!(result.accepted_moves > 0, "expected at least one accepted move");
+        assert!(
+            result.accepted_moves > 0,
+            "expected at least one accepted move"
+        );
         // With 400 informative columns on 8 taxa a tree close to the
         // generating topology should be found (first-improvement hill climbing
         // may stop in a nearby local optimum, so we require three quarters of

@@ -20,7 +20,7 @@ use std::sync::Arc;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use phylo_data::{Alignment, DataType, PartitionSet, PartitionedPatterns};
+use phylo_data::{Alignment, DataType, Partition, PartitionSet, PartitionedPatterns};
 use phylo_models::{PartitionModel, SubstitutionModel};
 use phylo_tree::random::random_tree_with_lengths;
 use phylo_tree::Tree;
@@ -37,8 +37,13 @@ pub struct DatasetSpec {
     pub taxa: usize,
     /// Per-partition column counts; the total column count is their sum.
     pub partition_columns: Vec<usize>,
-    /// Data type of all partitions.
+    /// Default data type of the partitions.
     pub data_type: DataType,
+    /// Partition indices simulated (and compiled) as 20-state protein data
+    /// regardless of [`DatasetSpec::data_type`] — the mixed DNA/protein
+    /// workloads whose per-pattern cost skew (protein ≈25× DNA in `newview`)
+    /// drives the cost-aware scheduling strategies.
+    pub protein_partitions: Vec<usize>,
     /// Fraction of taxa missing (all-gap) per partition — the "data holes" of
     /// gappy phylogenomic alignments.
     pub missing_taxa_fraction: f64,
@@ -75,8 +80,16 @@ pub struct GeneratedDataset {
 
 /// Builds the spec of a simulated dataset `d{taxa}_{columns}` partitioned into
 /// consecutive genes of `partition_len` columns (the paper's pZZZZ schemes).
-pub fn paper_simulated(taxa: usize, columns: usize, partition_len: usize, seed: u64) -> DatasetSpec {
-    assert!(partition_len > 0 && columns >= partition_len, "invalid partition scheme");
+pub fn paper_simulated(
+    taxa: usize,
+    columns: usize,
+    partition_len: usize,
+    seed: u64,
+) -> DatasetSpec {
+    assert!(
+        partition_len > 0 && columns >= partition_len,
+        "invalid partition scheme"
+    );
     let mut partition_columns = Vec::new();
     let mut remaining = columns;
     while remaining > 0 {
@@ -89,6 +102,36 @@ pub fn paper_simulated(taxa: usize, columns: usize, partition_len: usize, seed: 
         taxa,
         partition_columns,
         data_type: DataType::Dna,
+        protein_partitions: Vec::new(),
+        missing_taxa_fraction: 0.0,
+        seed,
+    }
+}
+
+/// Builds the spec of a mixed DNA/protein dataset: `dna_partitions` DNA genes
+/// followed by `protein_partitions` protein genes, each `partition_len`
+/// columns wide. The protein block at the end makes the layout maximally
+/// hostile to contiguous (block) pattern distribution while the ≈25× per
+/// pattern cost skew defeats any count-based scheme — the workload the
+/// cost-aware scheduler exists for.
+pub fn mixed_dna_protein(
+    taxa: usize,
+    dna_partitions: usize,
+    protein_partitions: usize,
+    partition_len: usize,
+    seed: u64,
+) -> DatasetSpec {
+    assert!(
+        dna_partitions > 0 && protein_partitions > 0 && partition_len > 0,
+        "a mixed dataset needs both data types and non-empty partitions"
+    );
+    let total = dna_partitions + protein_partitions;
+    DatasetSpec {
+        name: format!("mixed_d{dna_partitions}_p{protein_partitions}_{partition_len}"),
+        taxa,
+        partition_columns: vec![partition_len; total],
+        data_type: DataType::Dna,
+        protein_partitions: (dna_partitions..total).collect(),
         missing_taxa_fraction: 0.0,
         seed,
     }
@@ -107,6 +150,7 @@ pub fn paper_real_world(kind: RealWorldKind) -> DatasetSpec {
             taxa: 125,
             partition_columns: partition_lengths(19_839, 34, 148, 2_705, &mut rng),
             data_type: DataType::Dna,
+            protein_partitions: Vec::new(),
             missing_taxa_fraction: 0.25,
             seed: 125,
         },
@@ -115,6 +159,7 @@ pub fn paper_real_world(kind: RealWorldKind) -> DatasetSpec {
             taxa: 26,
             partition_columns: partition_lengths(21_451, 26, 173, 2_695, &mut rng),
             data_type: DataType::Protein,
+            protein_partitions: Vec::new(),
             missing_taxa_fraction: 0.2,
             seed: 26,
         },
@@ -123,6 +168,7 @@ pub fn paper_real_world(kind: RealWorldKind) -> DatasetSpec {
             taxa: 24,
             partition_columns: partition_lengths(16_916, 20, 173, 2_695, &mut rng),
             data_type: DataType::Protein,
+            protein_partitions: Vec::new(),
             missing_taxa_fraction: 0.2,
             seed: 24,
         },
@@ -141,7 +187,10 @@ pub fn partition_lengths<R: Rng>(
     rng: &mut R,
 ) -> Vec<usize> {
     assert!(count >= 2, "need at least two partitions");
-    assert!(min * count <= total && total <= max * count, "infeasible length constraints");
+    assert!(
+        min * count <= total && total <= max * count,
+        "infeasible length constraints"
+    );
     let mut lengths = vec![min; count];
     // Pin the extremes.
     lengths[1] = max;
@@ -152,7 +201,10 @@ pub fn partition_lengths<R: Rng>(
     let mut guard = 0;
     while remaining > 0 {
         guard += 1;
-        assert!(guard < 10_000, "partition length distribution failed to converge");
+        assert!(
+            guard < 10_000,
+            "partition length distribution failed to converge"
+        );
         // Partition 0 stays pinned at the minimum and partition 1 at the
         // maximum, so the reported extremes always match the spec.
         let weights: Vec<f64> = (0..count)
@@ -181,12 +233,12 @@ pub fn partition_lengths<R: Rng>(
         }
         // Guarantee progress for tiny residuals.
         if remaining > 0 {
-            for i in 2..count {
+            for len in lengths.iter_mut().skip(2) {
                 if remaining == 0 {
                     break;
                 }
-                if lengths[i] < max {
-                    lengths[i] += 1;
+                if *len < max {
+                    *len += 1;
                     remaining -= 1;
                 }
             }
@@ -207,12 +259,24 @@ impl DatasetSpec {
         self.partition_columns.len()
     }
 
+    /// Data type of partition `pi` (honours the protein overrides).
+    pub fn partition_data_type(&self, pi: usize) -> DataType {
+        if self.protein_partitions.contains(&pi) {
+            DataType::Protein
+        } else {
+            self.data_type
+        }
+    }
+
     /// Returns a proportionally scaled-down copy of the spec (same number of
     /// partitions, same taxa, `factor` times the columns — at least 8 columns
     /// per partition). Used by tests and by the default bench configuration so
     /// the paper's workload *shape* is preserved at laptop scale.
     pub fn scaled(&self, factor: f64) -> DatasetSpec {
-        assert!(factor > 0.0 && factor <= 1.0, "scale factor must be in (0, 1]");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "scale factor must be in (0, 1]"
+        );
         let partition_columns: Vec<usize> = self
             .partition_columns
             .iter()
@@ -236,9 +300,10 @@ impl DatasetSpec {
         let tree = random_tree_with_lengths(&names, 0.08, &mut rng);
 
         // Simulate each partition with its own parameters.
-        let mut rows: Vec<(String, String)> = names.iter().map(|n| (n.clone(), String::new())).collect();
+        let mut rows: Vec<(String, String)> =
+            names.iter().map(|n| (n.clone(), String::new())).collect();
         for (pi, &cols) in self.partition_columns.iter().enumerate() {
-            let model = self.partition_simulation_model(pi, &mut rng);
+            let model = simulation_model(self.partition_data_type(pi), &mut rng);
             let config = SimulationConfig {
                 columns: cols,
                 missing_taxa_fraction: self.missing_taxa_fraction,
@@ -246,11 +311,22 @@ impl DatasetSpec {
             };
             let part_aln = simulate_alignment(&tree, &model, &config, &mut rng);
             for (taxon, row) in rows.iter_mut().enumerate() {
-                row.1.push_str(&String::from_utf8_lossy(part_aln.row(taxon)));
+                row.1
+                    .push_str(&String::from_utf8_lossy(part_aln.row(taxon)));
             }
         }
         let alignment = Alignment::new(rows).expect("simulated alignment is rectangular");
-        let partition_set = PartitionSet::from_lengths(self.data_type, &self.partition_columns);
+        let mut parts = Vec::with_capacity(self.partition_count());
+        let mut start = 0usize;
+        for (pi, &len) in self.partition_columns.iter().enumerate() {
+            parts.push(Partition::contiguous(
+                &format!("p{pi}"),
+                self.partition_data_type(pi),
+                start..start + len,
+            ));
+            start += len;
+        }
+        let partition_set = PartitionSet::new(parts).expect("spec has at least one partition");
         let patterns = Arc::new(
             PartitionedPatterns::compile(&alignment, &partition_set)
                 .expect("generated partitions always cover the alignment"),
@@ -263,36 +339,38 @@ impl DatasetSpec {
             patterns,
         }
     }
+}
 
-    /// The simulation model of partition `pi`: heterogeneous across partitions
-    /// so that per-partition parameter estimates genuinely differ.
-    fn partition_simulation_model<R: Rng>(&self, _pi: usize, rng: &mut R) -> PartitionModel {
-        let alpha = rng.gen_range(0.3..1.6);
-        match self.data_type {
-            DataType::Dna => {
-                let rates = [
-                    rng.gen_range(0.5..2.0),
-                    rng.gen_range(1.5..4.0),
-                    rng.gen_range(0.5..2.0),
-                    rng.gen_range(0.5..2.0),
-                    rng.gen_range(1.5..4.0),
-                    1.0,
-                ];
-                let mut freqs = [
-                    rng.gen_range(0.15..0.35),
-                    rng.gen_range(0.15..0.35),
-                    rng.gen_range(0.15..0.35),
-                    rng.gen_range(0.15..0.35),
-                ];
-                let sum: f64 = freqs.iter().sum();
-                for f in &mut freqs {
-                    *f /= sum;
-                }
-                PartitionModel::new(SubstitutionModel::gtr(rates, freqs), alpha, 4)
+/// The simulation model for one partition of `data_type`: parameters are
+/// drawn per partition, so per-partition estimates genuinely differ (which is
+/// what makes the per-partition optimizers converge after *different* numbers
+/// of iterations — the root cause of the load-balance problem).
+fn simulation_model<R: Rng>(data_type: DataType, rng: &mut R) -> PartitionModel {
+    let alpha = rng.gen_range(0.3..1.6);
+    match data_type {
+        DataType::Dna => {
+            let rates = [
+                rng.gen_range(0.5..2.0),
+                rng.gen_range(1.5..4.0),
+                rng.gen_range(0.5..2.0),
+                rng.gen_range(0.5..2.0),
+                rng.gen_range(1.5..4.0),
+                1.0,
+            ];
+            let mut freqs = [
+                rng.gen_range(0.15..0.35),
+                rng.gen_range(0.15..0.35),
+                rng.gen_range(0.15..0.35),
+                rng.gen_range(0.15..0.35),
+            ];
+            let sum: f64 = freqs.iter().sum();
+            for f in &mut freqs {
+                *f /= sum;
             }
-            DataType::Protein => {
-                PartitionModel::new(SubstitutionModel::synthetic_empirical_protein(), alpha, 4)
-            }
+            PartitionModel::new(SubstitutionModel::gtr(rates, freqs), alpha, 4)
+        }
+        DataType::Protein => {
+            PartitionModel::new(SubstitutionModel::synthetic_empirical_protein(), alpha, 4)
         }
     }
 }
@@ -350,8 +428,8 @@ mod tests {
             assert_eq!(lengths.len(), 12);
             assert_eq!(lengths.iter().sum::<usize>(), 10_000);
             assert!(lengths.iter().all(|&l| (100..=3_000).contains(&l)));
-            assert!(lengths.iter().any(|&l| l == 100));
-            assert!(lengths.iter().any(|&l| l == 3_000));
+            assert!(lengths.contains(&100));
+            assert!(lengths.contains(&3_000));
         }
     }
 
@@ -392,6 +470,7 @@ mod tests {
             taxa: 20,
             partition_columns: vec![40, 60, 30],
             data_type: DataType::Dna,
+            protein_partitions: Vec::new(),
             missing_taxa_fraction: 0.3,
             seed: 9,
         };
@@ -402,12 +481,29 @@ mod tests {
     }
 
     #[test]
+    fn mixed_dataset_has_both_data_types() {
+        let spec = mixed_dna_protein(6, 3, 2, 40, 11);
+        assert_eq!(spec.partition_count(), 5);
+        assert_eq!(spec.partition_data_type(0), DataType::Dna);
+        assert_eq!(spec.partition_data_type(3), DataType::Protein);
+        let ds = spec.generate();
+        assert_eq!(ds.patterns.partition_count(), 5);
+        assert_eq!(ds.patterns.partitions[2].data_type, DataType::Dna);
+        assert_eq!(ds.patterns.partitions[4].data_type, DataType::Protein);
+        assert_eq!(ds.patterns.partitions[4].states(), 20);
+        // Deterministic like every other spec.
+        let again = mixed_dna_protein(6, 3, 2, 40, 11).generate();
+        assert_eq!(ds.alignment, again.alignment);
+    }
+
+    #[test]
     fn protein_dataset_generates() {
         let spec = DatasetSpec {
             name: "mini_protein".into(),
             taxa: 6,
             partition_columns: vec![30, 20],
             data_type: DataType::Protein,
+            protein_partitions: Vec::new(),
             missing_taxa_fraction: 0.0,
             seed: 5,
         };

@@ -18,5 +18,7 @@
 pub mod datasets;
 pub mod simulate;
 
-pub use datasets::{paper_real_world, paper_simulated, DatasetSpec, GeneratedDataset, RealWorldKind};
+pub use datasets::{
+    paper_real_world, paper_simulated, DatasetSpec, GeneratedDataset, RealWorldKind,
+};
 pub use simulate::{simulate_alignment, SimulationConfig};

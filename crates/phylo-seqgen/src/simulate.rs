@@ -28,7 +28,11 @@ pub struct SimulationConfig {
 
 impl Default for SimulationConfig {
     fn default() -> Self {
-        Self { columns: 1000, missing_taxa_fraction: 0.0, enforce_unique_columns: false }
+        Self {
+            columns: 1000,
+            missing_taxa_fraction: 0.0,
+            enforce_unique_columns: false,
+        }
     }
 }
 
@@ -60,7 +64,11 @@ pub fn simulate_alignment<R: Rng>(
         .collect();
     // Never blank out everything: keep at least two taxa with data.
     let present = missing.iter().filter(|&&m| !m).count();
-    let missing = if present < 2 { vec![false; n_taxa] } else { missing };
+    let missing = if present < 2 {
+        vec![false; n_taxa]
+    } else {
+        missing
+    };
 
     let mut columns: Vec<Vec<u8>> = Vec::with_capacity(config.columns);
     let mut seen = std::collections::HashSet::new();
@@ -69,10 +77,9 @@ pub fn simulate_alignment<R: Rng>(
     while columns.len() < config.columns {
         attempts += 1;
         let column = simulate_column(tree, model, states, rng);
-        if config.enforce_unique_columns && attempts < max_attempts {
-            if !seen.insert(column.clone()) {
-                continue;
-            }
+        if config.enforce_unique_columns && attempts < max_attempts && !seen.insert(column.clone())
+        {
+            continue;
         }
         columns.push(column);
     }
@@ -179,7 +186,10 @@ mod tests {
     fn dimensions_and_determinism() {
         let t = tree(10, 0.1, 1);
         let model = PartitionModel::default_for(DataType::Dna);
-        let cfg = SimulationConfig { columns: 200, ..Default::default() };
+        let cfg = SimulationConfig {
+            columns: 200,
+            ..Default::default()
+        };
         let mut rng1 = ChaCha8Rng::seed_from_u64(7);
         let mut rng2 = ChaCha8Rng::seed_from_u64(7);
         let a = simulate_alignment(&t, &model, &cfg, &mut rng1);
@@ -193,7 +203,10 @@ mod tests {
     fn short_branches_give_conserved_columns() {
         let t = tree(8, 0.001, 2);
         let model = PartitionModel::default_for(DataType::Dna);
-        let cfg = SimulationConfig { columns: 300, ..Default::default() };
+        let cfg = SimulationConfig {
+            columns: 300,
+            ..Default::default()
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let aln = simulate_alignment(&t, &model, &cfg, &mut rng);
         // With nearly zero branch lengths almost every column is constant.
@@ -214,7 +227,10 @@ mod tests {
     fn long_branches_give_divergent_columns() {
         let t = tree(8, 2.0, 4);
         let model = PartitionModel::default_for(DataType::Dna);
-        let cfg = SimulationConfig { columns: 300, ..Default::default() };
+        let cfg = SimulationConfig {
+            columns: 300,
+            ..Default::default()
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let aln = simulate_alignment(&t, &model, &cfg, &mut rng);
         let constant = (0..aln.columns())
@@ -234,7 +250,10 @@ mod tests {
     fn base_composition_roughly_matches_stationary_frequencies() {
         let t = tree(20, 0.2, 6);
         let model = PartitionModel::default_for(DataType::Dna);
-        let cfg = SimulationConfig { columns: 2000, ..Default::default() };
+        let cfg = SimulationConfig {
+            columns: 2000,
+            ..Default::default()
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(8);
         let aln = simulate_alignment(&t, &model, &cfg, &mut rng);
         let mut counts = [0usize; 4];
@@ -271,7 +290,10 @@ mod tests {
         };
         let mut rng = ChaCha8Rng::seed_from_u64(10);
         let aln = simulate_alignment(&t, &model, &cfg, &mut rng);
-        assert!(aln.all_columns_unique(), "columns must be unique when requested");
+        assert!(
+            aln.all_columns_unique(),
+            "columns must be unique when requested"
+        );
     }
 
     #[test]
@@ -297,7 +319,10 @@ mod tests {
     fn protein_simulation_uses_amino_acid_alphabet() {
         let t = tree(6, 0.2, 13);
         let model = PartitionModel::default_for(DataType::Protein);
-        let cfg = SimulationConfig { columns: 50, ..Default::default() };
+        let cfg = SimulationConfig {
+            columns: 50,
+            ..Default::default()
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(14);
         let aln = simulate_alignment(&t, &model, &cfg, &mut rng);
         for taxon in 0..aln.taxa_count() {

@@ -64,7 +64,10 @@ fn format_length(len: f64) -> String {
 /// Returns [`TreeError::Parse`] for syntax errors and [`TreeError::Invalid`]
 /// if the described tree is not strictly binary after unrooting.
 pub fn parse_newick(text: &str) -> Result<Tree, TreeError> {
-    let mut parser = Parser { chars: text.trim().chars().collect(), pos: 0 };
+    let mut parser = Parser {
+        chars: text.trim().chars().collect(),
+        pos: 0,
+    };
     let root = parser.parse_clade()?;
     parser.skip_whitespace();
     if parser.peek() == Some(':') {
@@ -112,7 +115,11 @@ impl Parser {
 
     fn parse_clade(&mut self) -> Result<Clade, TreeError> {
         self.skip_whitespace();
-        let mut clade = Clade { name: None, length: None, children: Vec::new() };
+        let mut clade = Clade {
+            name: None,
+            length: None,
+            children: Vec::new(),
+        };
         if self.peek() == Some('(') {
             self.pos += 1;
             loop {
@@ -149,7 +156,10 @@ impl Parser {
             clade.length = Some(self.parse_number()?);
         }
         if clade.children.is_empty() && clade.name.is_none() {
-            return Err(TreeError::Parse(format!("unnamed leaf at position {}", self.pos)));
+            return Err(TreeError::Parse(format!(
+                "unnamed leaf at position {}",
+                self.pos
+            )));
         }
         Ok(clade)
     }
@@ -177,8 +187,11 @@ impl Parser {
             }
         }
         let text: String = self.chars[start..self.pos].iter().collect();
-        text.parse::<f64>()
-            .map_err(|_| TreeError::Parse(format!("invalid branch length '{text}' at position {start}")))
+        text.parse::<f64>().map_err(|_| {
+            TreeError::Parse(format!(
+                "invalid branch length '{text}' at position {start}"
+            ))
+        })
     }
 }
 
@@ -199,7 +212,10 @@ fn build_tree(mut root: Clade) -> Result<Tree, TreeError> {
                 ));
             }
             let mut new_root = first;
-            new_root.children.push(Clade { length: Some(merged_len), ..second });
+            new_root.children.push(Clade {
+                length: Some(merged_len),
+                ..second
+            });
             new_root.length = None;
             root = new_root;
         } else {
@@ -213,7 +229,10 @@ fn build_tree(mut root: Clade) -> Result<Tree, TreeError> {
                 // First child is a leaf: root the tree at the second child.
                 let leaf = root.children.pop().expect("leaf child");
                 let mut new_root = new_second;
-                new_root.children.push(Clade { length: Some(merged_len), ..leaf });
+                new_root.children.push(Clade {
+                    length: Some(merged_len),
+                    ..leaf
+                });
                 new_root.length = None;
                 root = new_root;
             } else {
@@ -248,7 +267,13 @@ fn build_tree(mut root: Clade) -> Result<Tree, TreeError> {
     let root_id = next_internal;
     next_internal += 1;
     for child in &root.children {
-        emit_edges(child, root_id, &mut leaf_cursor, &mut next_internal, &mut edges)?;
+        emit_edges(
+            child,
+            root_id,
+            &mut leaf_cursor,
+            &mut next_internal,
+            &mut edges,
+        )?;
     }
     Tree::from_edges(taxa, &edges)
 }
@@ -353,7 +378,10 @@ mod tests {
             // Total tree length is preserved.
             let len_a: f64 = t.branch_lengths().iter().sum();
             let len_b: f64 = back.branch_lengths().iter().sum();
-            assert!((len_a - len_b).abs() < 1e-5, "seed {seed}: {len_a} vs {len_b}");
+            assert!(
+                (len_a - len_b).abs() < 1e-5,
+                "seed {seed}: {len_a} vs {len_b}"
+            );
         }
     }
 

@@ -34,7 +34,10 @@ pub fn random_tree_with_lengths<R: Rng>(
     rng: &mut R,
 ) -> Tree {
     assert!(names.len() >= 3, "need at least three taxa");
-    assert!(mean_branch_length > 0.0, "mean branch length must be positive");
+    assert!(
+        mean_branch_length > 0.0,
+        "mean branch length must be positive"
+    );
 
     // Random insertion order.
     let mut order: Vec<usize> = (0..names.len()).collect();
@@ -111,7 +114,10 @@ mod tests {
         for &l in t.branch_lengths() {
             assert!(l > 0.0);
         }
-        assert!(mean > 0.01 && mean < 0.2, "mean branch length {mean} implausible");
+        assert!(
+            mean > 0.01 && mean < 0.2,
+            "mean branch length {mean} implausible"
+        );
     }
 
     #[test]

@@ -76,7 +76,9 @@ pub fn apply(tree: &mut Tree, mv: SprMove) -> Result<SprUndo, TreeError> {
     }
     let neighbors: Vec<(NodeId, BranchId)> = tree.neighbors(p).to_vec();
     if neighbors.len() != 3 {
-        return Err(TreeError::Invalid(format!("node {p} does not have three neighbors")));
+        return Err(TreeError::Invalid(format!(
+            "node {p} does not have three neighbors"
+        )));
     }
     let subtree_entry = neighbors
         .iter()
@@ -98,12 +100,16 @@ pub fn apply(tree: &mut Tree, mv: SprMove) -> Result<SprUndo, TreeError> {
     // The target branch must not be incident to p and must not lie inside the
     // pruned subtree (the side of `subtree_neighbor`).
     if mv.target_branch == bq || mv.target_branch == br || mv.target_branch == subtree_entry.1 {
-        return Err(TreeError::Invalid("target branch is incident to the pruned node".into()));
+        return Err(TreeError::Invalid(
+            "target branch is incident to the pruned node".into(),
+        ));
     }
     let pruned_side = tree.nodes_on_side(subtree_entry.1, mv.subtree_neighbor);
     let (tx, ty) = tree.branch_endpoints(mv.target_branch);
     if pruned_side.contains(&tx) || pruned_side.contains(&ty) {
-        return Err(TreeError::Invalid("target branch lies inside the pruned subtree".into()));
+        return Err(TreeError::Invalid(
+            "target branch lies inside the pruned subtree".into(),
+        ));
     }
 
     let kept_length = tree.branch_length(bq);
@@ -126,7 +132,8 @@ pub fn apply(tree: &mut Tree, mv: SprMove) -> Result<SprUndo, TreeError> {
         adjacency[r].push((q, bq));
     }
     tree.branch_ends_mut()[bq] = (q, r);
-    tree.branch_lengths_mut()[bq] = (kept_length + freed_length).min(crate::topology::MAX_BRANCH_LENGTH);
+    tree.branch_lengths_mut()[bq] =
+        (kept_length + freed_length).min(crate::topology::MAX_BRANCH_LENGTH);
 
     // --- Regraft: split the target branch (x, y) into (x, p) and (p, y). ---
     let (x, y) = tree.branch_endpoints(mv.target_branch);
@@ -269,7 +276,11 @@ pub fn candidate_moves(
     }
     targets
         .into_iter()
-        .map(|target_branch| SprMove { pruned_node, subtree_neighbor, target_branch })
+        .map(|target_branch| SprMove {
+            pruned_node,
+            subtree_neighbor,
+            target_branch,
+        })
         .collect()
 }
 
@@ -402,14 +413,22 @@ mod tests {
     fn rejects_invalid_moves() {
         let mut tree = test_tree(8, 2);
         // Pruning a leaf is invalid.
-        let leaf_move = SprMove { pruned_node: 0, subtree_neighbor: 1, target_branch: 0 };
+        let leaf_move = SprMove {
+            pruned_node: 0,
+            subtree_neighbor: 1,
+            target_branch: 0,
+        };
         assert!(apply(&mut tree, leaf_move).is_err());
 
         // Target incident to the pruned node is invalid.
         let p = tree.internal_nodes().next().unwrap();
         let (s, _) = tree.neighbors(p)[0];
         let (_, incident_branch) = tree.neighbors(p)[1];
-        let bad = SprMove { pruned_node: p, subtree_neighbor: s, target_branch: incident_branch };
+        let bad = SprMove {
+            pruned_node: p,
+            subtree_neighbor: s,
+            target_branch: incident_branch,
+        };
         assert!(apply(&mut tree, bad).is_err());
     }
 

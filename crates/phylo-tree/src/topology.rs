@@ -51,7 +51,10 @@ impl Tree {
         let n_taxa = taxa.len();
         assert!(n_taxa >= 3, "an unrooted binary tree needs at least 3 taxa");
         assert!(seed[0] != seed[1] && seed[1] != seed[2] && seed[0] != seed[2]);
-        assert!(seed.iter().all(|&s| s < n_taxa), "seed taxon index out of range");
+        assert!(
+            seed.iter().all(|&s| s < n_taxa),
+            "seed taxon index out of range"
+        );
 
         let node_capacity = 2 * n_taxa - 2;
         let mut tree = Self {
@@ -79,7 +82,11 @@ impl Tree {
         insertion_order: &[usize],
         mut pick_branch: F,
     ) -> Self {
-        assert_eq!(insertion_order.len(), taxa.len(), "insertion order must cover all taxa");
+        assert_eq!(
+            insertion_order.len(),
+            taxa.len(),
+            "insertion order must cover all taxa"
+        );
         let seed = [insertion_order[0], insertion_order[1], insertion_order[2]];
         let mut tree = Tree::initial_triplet(taxa, seed);
         for &leaf in &insertion_order[3..] {
@@ -115,8 +122,14 @@ impl Tree {
     /// Panics if `leaf` is not an unconnected leaf or `branch` is invalid.
     pub fn insert_leaf(&mut self, leaf: NodeId, branch: BranchId, pendant_length: f64) -> BranchId {
         assert!(leaf < self.n_taxa, "only leaves can be inserted");
-        assert!(self.adjacency[leaf].is_empty(), "leaf {leaf} is already connected");
-        assert!(branch < self.branch_ends.len(), "branch {branch} out of range");
+        assert!(
+            self.adjacency[leaf].is_empty(),
+            "leaf {leaf} is already connected"
+        );
+        assert!(
+            branch < self.branch_ends.len(),
+            "branch {branch} out of range"
+        );
 
         let (x, y) = self.branch_ends[branch];
         let old_len = self.branch_lengths[branch];
@@ -236,7 +249,7 @@ impl Tree {
 
     /// Sets the length of `branch`, clamping into the supported range.
     pub fn set_branch_length(&mut self, branch: BranchId, length: f64) {
-        self.branch_lengths[branch] = length.max(MIN_BRANCH_LENGTH).min(MAX_BRANCH_LENGTH);
+        self.branch_lengths[branch] = length.clamp(MIN_BRANCH_LENGTH, MAX_BRANCH_LENGTH);
     }
 
     /// All branch lengths, indexed by branch id.
@@ -289,16 +302,14 @@ impl Tree {
         for node in 0..self.node_capacity() {
             let deg = self.adjacency[node].len();
             let expected = if self.is_leaf(node) { 1 } else { 3 };
-            if node < self.next_internal || self.is_leaf(node) {
-                if deg != expected {
-                    return Err(TreeError::Invalid(format!(
-                        "node {node} has degree {deg}, expected {expected}"
-                    )));
-                }
+            if (node < self.next_internal || self.is_leaf(node)) && deg != expected {
+                return Err(TreeError::Invalid(format!(
+                    "node {node} has degree {deg}, expected {expected}"
+                )));
             }
             for &(neighbor, branch) in &self.adjacency[node] {
                 let (a, b) = self.branch_ends[branch];
-                if !(a == node && b == neighbor) && !(b == node && a == neighbor) {
+                if !(a == node && b == neighbor || b == node && a == neighbor) {
                     return Err(TreeError::Invalid(format!(
                         "adjacency of node {node} disagrees with branch {branch} endpoints"
                     )));
@@ -404,7 +415,11 @@ impl Tree {
                 all.iter().filter(|t| !side.contains(t)).cloned().collect();
             // Canonical side: the one containing the lexicographically smallest
             // taxon name, so the result is independent of leaf numbering.
-            let canonical = if side.contains(&all[0]) { side } else { complement };
+            let canonical = if side.contains(&all[0]) {
+                side
+            } else {
+                complement
+            };
             splits.push(canonical);
         }
         splits.sort();
@@ -422,10 +437,15 @@ impl Tree {
     ///
     /// Returns [`TreeError::Invalid`] if the resulting structure is not a
     /// valid unrooted binary tree.
-    pub fn from_edges(taxa: Vec<String>, edges: &[(NodeId, NodeId, f64)]) -> Result<Self, TreeError> {
+    pub fn from_edges(
+        taxa: Vec<String>,
+        edges: &[(NodeId, NodeId, f64)],
+    ) -> Result<Self, TreeError> {
         let n_taxa = taxa.len();
         if n_taxa < 3 {
-            return Err(TreeError::Invalid("an unrooted binary tree needs at least 3 taxa".into()));
+            return Err(TreeError::Invalid(
+                "an unrooted binary tree needs at least 3 taxa".into(),
+            ));
         }
         let node_capacity = 2 * n_taxa - 2;
         if edges.len() != 2 * n_taxa - 3 {
@@ -446,9 +466,11 @@ impl Tree {
         };
         for &(a, b, len) in edges {
             if a >= node_capacity || b >= node_capacity || a == b {
-                return Err(TreeError::Invalid(format!("edge ({a}, {b}) references invalid nodes")));
+                return Err(TreeError::Invalid(format!(
+                    "edge ({a}, {b}) references invalid nodes"
+                )));
             }
-            tree.connect(a, b, len.max(MIN_BRANCH_LENGTH).min(MAX_BRANCH_LENGTH));
+            tree.connect(a, b, len.clamp(MIN_BRANCH_LENGTH, MAX_BRANCH_LENGTH));
         }
         tree.validate()?;
         Ok(tree)

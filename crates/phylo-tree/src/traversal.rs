@@ -73,7 +73,12 @@ impl TraversalPlan {
         for (start, parent) in [(root_left, root_right), (root_right, root_left)] {
             collect_side(tree, start, parent, &is_valid, &mut steps);
         }
-        Self { root_branch, root_left, root_right, steps }
+        Self {
+            root_branch,
+            root_left,
+            root_right,
+            steps,
+        }
     }
 
     /// Number of CLV updates the plan performs.
@@ -184,7 +189,11 @@ mod tests {
             let mut nodes: Vec<_> = plan.steps.iter().map(|s| s.node).collect();
             nodes.sort_unstable();
             nodes.dedup();
-            assert_eq!(nodes.len(), t.internal_count(), "each internal node exactly once");
+            assert_eq!(
+                nodes.len(),
+                t.internal_count(),
+                "each internal node exactly once"
+            );
         }
     }
 
@@ -218,7 +227,10 @@ mod tests {
                 Some(step.right_branch)
             );
             // `towards` is the third neighbor.
-            assert!(t.neighbors(step.node).iter().any(|&(n, _)| n == step.towards));
+            assert!(t
+                .neighbors(step.node)
+                .iter()
+                .any(|&(n, _)| n == step.towards));
         }
     }
 

@@ -15,13 +15,15 @@ fn run(
 ) -> plf_loadbalance::kernel::cost::WorkTrace {
     let models = ModelSet::default_for(&dataset.patterns, BranchLengthMode::PerPartition);
     let categories: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
-    let executor = TracingExecutor::new(
+    let assignment = schedule(&dataset.patterns, &categories, workers, &Cyclic)
+        .expect("worker counts in this example are positive");
+    let executor = TracingExecutor::from_assignment(
         &dataset.patterns,
-        workers,
+        &assignment,
         dataset.tree.node_capacity(),
         &categories,
-        Distribution::Cyclic,
-    );
+    )
+    .expect("assignment was built for this dataset");
     let mut kernel = LikelihoodKernel::new(
         Arc::clone(&dataset.patterns),
         dataset.tree.clone(),

@@ -17,6 +17,7 @@ fn main() {
         taxa: 16,
         partition_columns: vec![120, 80, 200, 60, 140],
         data_type: DataType::Dna,
+        protein_partitions: Vec::new(),
         missing_taxa_fraction: 0.2,
         seed: 7,
     };
@@ -35,22 +36,23 @@ fn main() {
 
     // Real worker threads (the Pthreads-style pool) with the cyclic pattern
     // distribution.
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(4);
     let models = ModelSet::default_for(&dataset.patterns, BranchLengthMode::PerPartition);
     let categories: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
-    let executor = ThreadedExecutor::new(
+    let assignment = schedule(&dataset.patterns, &categories, threads, &Cyclic)
+        .expect("available_parallelism is at least one");
+    let executor = ThreadedExecutor::from_assignment(
         &dataset.patterns,
-        threads,
+        &assignment,
         start_tree.node_capacity(),
         &categories,
-        Distribution::Cyclic,
-    );
-    let mut kernel = LikelihoodKernel::new(
-        Arc::clone(&dataset.patterns),
-        start_tree,
-        models,
-        executor,
-    );
+    )
+    .expect("assignment was built for this dataset");
+    let mut kernel =
+        LikelihoodKernel::new(Arc::clone(&dataset.patterns), start_tree, models, executor);
 
     let mut config = SearchConfig::new(ParallelScheme::New);
     config.max_rounds = 2;
@@ -68,6 +70,9 @@ fn main() {
     let truth = dataset.tree.bipartitions();
     let found = kernel.tree().bipartitions();
     let shared = truth.iter().filter(|s| found.contains(s)).count();
-    println!("recovered {shared}/{} bipartitions of the generating tree", truth.len());
+    println!(
+        "recovered {shared}/{} bipartitions of the generating tree",
+        truth.len()
+    );
     println!("final tree: {}", newick::to_newick(kernel.tree()));
 }

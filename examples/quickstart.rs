@@ -22,11 +22,8 @@ fn main() {
     // 2. Build the likelihood engine: per-partition GTR+Γ models with
     //    per-partition branch lengths (the model the paper argues for).
     let models = ModelSet::default_for(&dataset.patterns, BranchLengthMode::PerPartition);
-    let mut kernel = SequentialKernel::build(
-        Arc::clone(&dataset.patterns),
-        dataset.tree.clone(),
-        models,
-    );
+    let mut kernel =
+        SequentialKernel::build(Arc::clone(&dataset.patterns), dataset.tree.clone(), models);
     println!("initial log likelihood: {:.3}", kernel.log_likelihood());
 
     // 3. Optimize model parameters and branch lengths with the newPAR scheme.
@@ -39,11 +36,8 @@ fn main() {
     // 4. The same optimization under the old per-partition scheme issues far
     //    more synchronization events for the same result.
     let models = ModelSet::default_for(&dataset.patterns, BranchLengthMode::PerPartition);
-    let mut old_kernel = SequentialKernel::build(
-        Arc::clone(&dataset.patterns),
-        dataset.tree.clone(),
-        models,
-    );
+    let mut old_kernel =
+        SequentialKernel::build(Arc::clone(&dataset.patterns), dataset.tree.clone(), models);
     let old_report =
         optimize_model_parameters(&mut old_kernel, &OptimizerConfig::new(ParallelScheme::Old));
     println!(

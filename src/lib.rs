@@ -36,6 +36,7 @@ pub use phylo_models as models;
 pub use phylo_optimize as optimize;
 pub use phylo_parallel as parallel;
 pub use phylo_perfmodel as perfmodel;
+pub use phylo_sched as sched;
 pub use phylo_search as search;
 pub use phylo_seqgen as seqgen;
 pub use phylo_tree as tree;
@@ -48,10 +49,20 @@ pub mod prelude {
     pub use phylo_optimize::{
         optimize_all_branches, optimize_model_parameters, OptimizerConfig, ParallelScheme,
     };
-    pub use phylo_parallel::{Distribution, RayonExecutor, ThreadedExecutor, TracingExecutor};
-    pub use phylo_perfmodel::Platform;
+    #[allow(deprecated)]
+    pub use phylo_parallel::Distribution;
+    pub use phylo_parallel::{
+        build_workers, schedule, RayonExecutor, ThreadedExecutor, TracingExecutor,
+    };
+    pub use phylo_perfmodel::{imbalance_report, ImbalanceReport, Platform};
+    pub use phylo_sched::{
+        Assignment, Block, Cyclic, PatternCosts, SchedError, ScheduleStrategy, TraceAdaptive,
+        WeightedLpt,
+    };
     pub use phylo_search::{tree_search, SearchConfig};
-    pub use phylo_seqgen::datasets::{paper_real_world, paper_simulated, DatasetSpec, RealWorldKind};
+    pub use phylo_seqgen::datasets::{
+        mixed_dna_protein, paper_real_world, paper_simulated, DatasetSpec, RealWorldKind,
+    };
     pub use phylo_tree::{newick, Tree};
 }
 

@@ -19,33 +19,41 @@ fn all_executors_agree_on_the_likelihood() {
         SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
     let reference = sequential.log_likelihood();
 
-    let threaded = ThreadedExecutor::new(
+    let threaded = ThreadedExecutor::from_assignment(
         &ds.patterns,
-        4,
+        &schedule(&ds.patterns, &categories, 4, &Cyclic).unwrap(),
         ds.tree.node_capacity(),
         &categories,
-        Distribution::Cyclic,
+    )
+    .unwrap();
+    let mut threaded_kernel = LikelihoodKernel::new(
+        Arc::clone(&ds.patterns),
+        ds.tree.clone(),
+        models.clone(),
+        threaded,
     );
-    let mut threaded_kernel =
-        LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone(), threaded);
 
-    let rayon = RayonExecutor::new(
+    let rayon = RayonExecutor::from_assignment(
         &ds.patterns,
-        4,
+        &schedule(&ds.patterns, &categories, 4, &Block).unwrap(),
         ds.tree.node_capacity(),
         &categories,
-        Distribution::Block,
+    )
+    .unwrap();
+    let mut rayon_kernel = LikelihoodKernel::new(
+        Arc::clone(&ds.patterns),
+        ds.tree.clone(),
+        models.clone(),
+        rayon,
     );
-    let mut rayon_kernel =
-        LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone(), rayon);
 
-    let tracing = TracingExecutor::new(
+    let tracing = TracingExecutor::from_assignment(
         &ds.patterns,
-        16,
+        &schedule(&ds.patterns, &categories, 16, &WeightedLpt).unwrap(),
         ds.tree.node_capacity(),
         &categories,
-        Distribution::Cyclic,
-    );
+    )
+    .unwrap();
     let mut tracing_kernel =
         LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, tracing);
 
@@ -71,7 +79,11 @@ fn kernel_agrees_with_naive_reference_on_generated_data() {
     let mut kernel =
         SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
     let fast = kernel.log_likelihood();
-    let bl = BranchLengths::from_tree(&ds.tree, ds.patterns.partition_count(), BranchLengthMode::Joint);
+    let bl = BranchLengths::from_tree(
+        &ds.tree,
+        ds.patterns.partition_count(),
+        BranchLengthMode::Joint,
+    );
     let slow = naive_log_likelihood(&ds.patterns, &ds.tree, &models, &bl);
     assert!((fast - slow).abs() < 1e-7, "kernel {fast} vs naive {slow}");
 }
@@ -81,8 +93,7 @@ fn old_and_new_schemes_reach_the_same_model_estimate() {
     let ds = dataset(3);
     let run = |scheme| {
         let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
-        let mut kernel =
-            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models);
+        let mut kernel = SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models);
         let report = optimize_model_parameters(&mut kernel, &OptimizerConfig::new(scheme));
         (report, kernel)
     };
@@ -91,13 +102,21 @@ fn old_and_new_schemes_reach_the_same_model_estimate() {
 
     let rel = (report_old.final_log_likelihood - report_new.final_log_likelihood).abs()
         / report_old.final_log_likelihood.abs();
-    assert!(rel < 1e-3, "{} vs {}", report_old.final_log_likelihood, report_new.final_log_likelihood);
+    assert!(
+        rel < 1e-3,
+        "{} vs {}",
+        report_old.final_log_likelihood,
+        report_new.final_log_likelihood
+    );
     assert!(report_old.sync_events > report_new.sync_events);
 
     for p in 0..kernel_old.partition_count() {
         let a = kernel_old.alpha(p);
         let b = kernel_new.alpha(p);
-        assert!((a.ln() - b.ln()).abs() < 0.1, "partition {p}: alpha {a} vs {b}");
+        assert!(
+            (a.ln() - b.ln()).abs() < 0.1,
+            "partition {p}: alpha {a} vs {b}"
+        );
     }
 }
 
@@ -106,13 +125,13 @@ fn search_with_threads_improves_and_stays_consistent() {
     let ds = dataset(4);
     let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
     let categories: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
-    let executor = ThreadedExecutor::new(
+    let executor = ThreadedExecutor::from_assignment(
         &ds.patterns,
-        2,
+        &schedule(&ds.patterns, &categories, 2, &Cyclic).unwrap(),
         ds.tree.node_capacity(),
         &categories,
-        Distribution::Cyclic,
-    );
+    )
+    .unwrap();
     // Start from a random tree so the search has something to do.
     use rand::SeedableRng;
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
@@ -141,7 +160,8 @@ fn dataset_io_round_trip_through_files() {
     std::fs::write(&partition_path, ds.partition_set.to_file_string()).unwrap();
 
     let alignment = io::read_fasta_file(&fasta_path).unwrap();
-    let partitions = PartitionSet::parse(&std::fs::read_to_string(&partition_path).unwrap()).unwrap();
+    let partitions =
+        PartitionSet::parse(&std::fs::read_to_string(&partition_path).unwrap()).unwrap();
     let recompiled = PartitionedPatterns::compile(&alignment, &partitions).unwrap();
     assert_eq!(recompiled.total_patterns(), ds.patterns.total_patterns());
     assert_eq!(recompiled.partition_count(), ds.patterns.partition_count());

@@ -1,0 +1,206 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the subset the workspace benches use: `Criterion::default()`,
+//! `sample_size`, `benchmark_group`, `bench_function`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros. Each
+//! benchmark runs its closure `sample_size` times after one warm-up call and
+//! prints mean/min wall-clock times — no statistics, no HTML reports, but the
+//! same source-level API, so the real criterion can be dropped back in when
+//! the build environment regains network access.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value wrapper.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("[bench group] {name}");
+        BenchmarkGroup {
+            criterion: self,
+            _name: name,
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into(), self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    _name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(&id.into(), samples, &mut f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Input-size hint for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; batches are always of size one here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Passed to each benchmark closure; `iter` times the measured routine.
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, untimed
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.timings.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding the setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up, untimed
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.timings.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        samples,
+        timings: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.timings.is_empty() {
+        eprintln!("  {id:<40} (no timed iterations)");
+        return;
+    }
+    let total: Duration = bencher.timings.iter().sum();
+    let mean = total / bencher.timings.len() as u32;
+    let min = bencher.timings.iter().min().copied().unwrap_or_default();
+    eprintln!(
+        "  {id:<40} mean {:>12.3?}  min {:>12.3?}  ({} samples)",
+        mean,
+        min,
+        bencher.timings.len()
+    );
+}
+
+/// Mirrors `criterion::criterion_group!` (both the plain and the
+/// `name/config/targets` forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_sample_size_plus_warmup_times() {
+        let mut calls = 0usize;
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("counting", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 6); // 1 warm-up + 5 samples
+    }
+
+    #[test]
+    fn group_sample_size_overrides_default() {
+        let mut calls = 0usize;
+        let mut c = Criterion::default().sample_size(50);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("x", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 4);
+    }
+}

@@ -1,0 +1,216 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro with an optional `#![proptest_config(..)]` header,
+//! range strategies over integers and floats, `proptest::bool::ANY`, and the
+//! `prop_assert!`/`prop_assert_eq!` macros. Cases are sampled deterministically
+//! (seeded from the test name and case index); there is no shrinking — a
+//! failing case panics with its arguments so it can be reproduced directly.
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+pub mod config {
+    /// Mirror of `proptest::test_runner::Config` for the fields we use.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of sampled cases per property.
+        pub cases: u32,
+        /// Accepted for API compatibility; this stand-in never shrinks.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self {
+                cases: 32,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use rand::{Rng, Xoshiro256StarStar};
+    use std::ops::Range;
+
+    /// The deterministic RNG handed to strategies.
+    pub type TestRng = Xoshiro256StarStar;
+
+    /// Something that can produce values for a property test.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value: std::fmt::Debug;
+        /// Samples one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u64, u32, i32, i64, f64);
+
+    /// Strategy yielding both booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// Boolean strategies, addressed as `proptest::bool::ANY`.
+pub mod bool {
+    /// Uniformly random boolean.
+    pub const ANY: crate::strategy::AnyBool = crate::strategy::AnyBool;
+}
+
+/// The case-loop driver used by the expanded [`proptest!`] macro.
+pub mod test_runner {
+    use crate::config::ProptestConfig;
+    use crate::strategy::TestRng;
+    use rand::SeedableRng;
+
+    fn fnv1a(text: &str) -> u64 {
+        let mut hash: u64 = 0xcbf29ce484222325;
+        for b in text.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        hash
+    }
+
+    /// Runs `property` for `config.cases` deterministic cases; panics on the
+    /// first failure, reporting the case index.
+    pub fn run<F>(name: &str, config: ProptestConfig, mut property: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), String>,
+    {
+        for case in 0..config.cases {
+            let seed = fnv1a(name) ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            let mut rng = TestRng::seed_from_u64(seed);
+            if let Err(message) = property(&mut rng) {
+                panic!(
+                    "property '{name}' failed at case {case}/{}: {message}",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Mirror of `proptest::proptest!` for `arg in strategy` style properties.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), $config, |__proptest_rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strategy), __proptest_rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::config::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// Mirror of `proptest::prop_assert!`: fails the current case, not the process.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Mirror of `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// Sampled values respect their range strategy.
+        #[test]
+        fn ranges_are_respected(x in 3usize..10, y in 0.5f64..1.5, flip in crate::bool::ANY) {
+            prop_assert!((3..10).contains(&x), "x out of range: {}", x);
+            prop_assert!((0.5..1.5).contains(&y));
+            let encoded = if flip { 1u8 } else { 0u8 };
+            prop_assert!(encoded <= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_number() {
+        crate::test_runner::run(
+            "always_fails",
+            ProptestConfig {
+                cases: 4,
+                ..ProptestConfig::default()
+            },
+            |_| Err("nope".to_string()),
+        );
+    }
+}

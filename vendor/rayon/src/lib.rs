@@ -1,0 +1,236 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the tiny subset this workspace uses — `par_iter_mut().map(..)
+//! .reduce_with(..)` over a slice, plus `ThreadPoolBuilder`/`ThreadPool::
+//! install` — with *real* parallelism: each item of a parallel map runs on its
+//! own scoped `std::thread`. That is a sensible strategy here because the
+//! likelihood executors fan out over at most a few dozen per-worker slices,
+//! each carrying substantial work; there is no work-stealing and no global
+//! pool, so this is not a general rayon replacement.
+
+use std::marker::PhantomData;
+
+/// Mirrors `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type for pool construction (construction cannot fail here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// New builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requested logical thread count (advisory; threads are scoped per call).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Thread naming hook (accepted for API compatibility, unused).
+    pub fn thread_name<F: Fn(usize) -> String>(self, _f: F) -> Self {
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.max(1),
+        })
+    }
+}
+
+/// Mirrors `rayon::ThreadPool`: a handle parallel operations run "inside".
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool as the ambient pool. Parallelism happens in
+    /// the parallel iterators themselves (scoped threads), so this simply
+    /// invokes the closure.
+    pub fn install<R, F: FnOnce() -> R>(&self, op: F) -> R {
+        op()
+    }
+
+    /// The configured logical thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// A borrowed parallel iterator over `&mut [T]`.
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+/// A mapped parallel iterator.
+pub struct ParMap<'a, T, F> {
+    items: &'a mut [T],
+    f: F,
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Applies `f` to every item (in parallel at reduction time).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&mut T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<'a, T: Send, F> ParMap<'a, T, F> {
+    /// Runs the map on scoped threads (one per item) and folds the results in
+    /// item order with `reduce`. Returns `None` for an empty input.
+    pub fn reduce_with<R, G>(self, reduce: G) -> Option<R>
+    where
+        F: Fn(&mut T) -> R + Sync,
+        R: Send,
+        G: Fn(R, R) -> R,
+    {
+        let f = &self.f;
+        let outputs: Vec<R> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .iter_mut()
+                .map(|item| scope.spawn(move || f(item)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel map task panicked"))
+                .collect()
+        });
+        outputs.into_iter().reduce(reduce)
+    }
+
+    /// Collects the mapped results in item order, running on scoped threads.
+    pub fn collect<C: FromParallelIterator<R>, R>(self) -> C
+    where
+        F: Fn(&mut T) -> R + Sync,
+        T: Send,
+        R: Send,
+    {
+        let f = &self.f;
+        let outputs: Vec<R> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .iter_mut()
+                .map(|item| scope.spawn(move || f(item)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel map task panicked"))
+                .collect()
+        });
+        C::from_par_vec(outputs)
+    }
+}
+
+/// Collection target for [`ParMap::collect`].
+pub trait FromParallelIterator<R> {
+    /// Builds the collection from the already-joined outputs.
+    fn from_par_vec(items: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelIterator<R> for Vec<R> {
+    fn from_par_vec(items: Vec<R>) -> Self {
+        items
+    }
+}
+
+/// Extension trait providing `par_iter_mut`, mirroring rayon's prelude.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type of the parallel iterator.
+    type Item: Send;
+    /// Borrowing parallel iterator over mutable references.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut {
+            items: self.as_mut_slice(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// Rayon-style prelude.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelRefMutIterator, ParIterMut, ParMap};
+}
+
+/// Marker kept for signature compatibility with rayon adapters.
+pub struct PhantomParallel<T>(PhantomData<T>);
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_reduce_runs_every_item_once() {
+        let mut xs: Vec<u64> = (1..=10).collect();
+        let sum = xs.par_iter_mut().map(|x| *x * 2).reduce_with(|a, b| a + b);
+        assert_eq!(sum, Some(110));
+    }
+
+    #[test]
+    fn reduce_with_empty_is_none() {
+        let mut xs: Vec<u64> = Vec::new();
+        assert_eq!(
+            xs.par_iter_mut().map(|x| *x).reduce_with(|a, b| a + b),
+            None
+        );
+    }
+
+    #[test]
+    fn map_mutates_in_place_in_parallel() {
+        let mut xs: Vec<usize> = vec![0; 8];
+        let ids: Vec<usize> = std::thread::scope(|_| {
+            xs.par_iter_mut()
+                .map(|x| {
+                    *x += 1;
+                    *x
+                })
+                .collect::<Vec<usize>, _>()
+        });
+        assert_eq!(ids, vec![1; 8]);
+        assert_eq!(xs, vec![1; 8]);
+    }
+
+    #[test]
+    fn pool_install_passes_through() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        assert_eq!(pool.install(|| 7), 7);
+    }
+}
