@@ -2,6 +2,10 @@
 //! imbalance plus predicted run time for cyclic, block, weighted-LPT and
 //! trace-adaptive scheduling on the default mixed DNA/protein dataset.
 //!
+//! This binary doubles as the CI regression yardstick: it exits non-zero if
+//! weighted-LPT's maximum predicted per-worker cost exceeds cyclic's, or
+//! fails to beat block's, on the mixed dataset.
+//!
 //! Run with `cargo run --release -p phylo-bench --bin strategy_report`.
 //! Set `PLF_SCALE` (0, 1] to change the dataset size.
 
@@ -21,12 +25,45 @@ fn main() {
     // Platform must have at least as many cores as virtual workers: the
     // 8-thread rows use the paper's 8-core Nehalem, the 16-thread rows its
     // 16-core Barcelona.
+    let mut violations = 0usize;
     for (workers, platform) in [(8usize, Platform::nehalem()), (16, Platform::barcelona())] {
         let comparison =
             compare_strategies(&dataset, workers, Workload::ModelOptimization, &platform)
                 .expect("strategies succeed on a non-empty dataset");
         print_comparison(&comparison);
+
+        // Regression gate: look rows up by strategy name so reordering or
+        // inserting rows cannot silently degrade the check.
+        let predicted_max = |name: &str| {
+            comparison
+                .rows
+                .iter()
+                .find(|r| r.assignment.strategy() == name)
+                .unwrap_or_else(|| panic!("comparison is missing the {name} row"))
+                .report
+                .predicted_max
+        };
+        let cyclic = predicted_max("cyclic");
+        let block = predicted_max("block");
+        let lpt = predicted_max("weighted-lpt");
+        if lpt > cyclic + 1e-9 {
+            eprintln!(
+                "REGRESSION ({workers} workers): weighted-lpt max predicted cost {lpt:.3} \
+                 exceeds cyclic {cyclic:.3}"
+            );
+            violations += 1;
+        }
+        if lpt >= block {
+            eprintln!(
+                "REGRESSION ({workers} workers): weighted-lpt max predicted cost {lpt:.3} \
+                 does not beat block {block:.3}"
+            );
+            violations += 1;
+        }
     }
     println!("weighted-lpt packs by predicted cost (protein ≈25x DNA); trace-adaptive");
     println!("additionally corrects the cost model with a measured warm-up trace.");
+    if violations > 0 {
+        std::process::exit(1);
+    }
 }

@@ -16,13 +16,17 @@
 //! scheduler are expected to keep `weighted-lpt`'s max predicted cost at or
 //! below `cyclic`'s and strictly below `block`'s on that dataset.
 
-use phylo_models::BranchLengthMode;
-use phylo_optimize::ParallelScheme;
+use std::sync::Arc;
+
+use phylo_kernel::{cost::TraceUnit, LikelihoodKernel};
+use phylo_models::{BranchLengthMode, ModelSet};
+use phylo_optimize::{optimize_model_parameters_adaptive, OptimizerConfig, ParallelScheme};
 use phylo_parallel::{
-    Assignment, Block, Cyclic, PatternCosts, SchedError, ScheduleStrategy, TraceAdaptive,
-    WeightedLpt,
+    Assignment, Block, Cyclic, ExecutorOptions, PatternCosts, ReschedulePolicy, Rescheduler,
+    SchedError, ScheduleStrategy, ThreadedExecutor, TraceAdaptive, WeightedLpt, WorkerSkew,
 };
 use phylo_perfmodel::{imbalance_report, ImbalanceReport, Platform};
+use phylo_sched::worker_imbalance;
 use phylo_seqgen::datasets::{mixed_dna_protein, GeneratedDataset};
 
 use crate::{run_traced_assignment, Workload};
@@ -149,6 +153,160 @@ pub fn default_mixed_dataset() -> GeneratedDataset {
     mixed_dna_protein(12, 12, 4, columns, 2009).generate()
 }
 
+/// Outcome of the adaptive-rescheduling experiment: measured wall-clock
+/// imbalance (max/mean per-worker seconds under a standardized probe
+/// workload) of the static schedules against a run that rescheduled
+/// mid-flight from its own measurements, with one artificially skewed
+/// worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveComparison {
+    /// Dataset name.
+    pub dataset: String,
+    /// Worker count of every run.
+    pub workers: usize,
+    /// The artificial skew applied to one worker in every run.
+    pub skew: WorkerSkew,
+    /// Measured imbalance of the static cyclic schedule.
+    pub cyclic_imbalance: f64,
+    /// Measured imbalance of the static weighted-LPT schedule.
+    pub lpt_imbalance: f64,
+    /// Measured imbalance after the mid-run reschedule (of the post-
+    /// migration ownership, same probe workload).
+    pub adaptive_imbalance: f64,
+    /// The live measured imbalance that triggered the reschedule (0.0 if
+    /// the policy never fired).
+    pub trigger_imbalance: f64,
+    /// Number of mid-run reschedules that happened.
+    pub reschedules: usize,
+    /// Largest |Δ log likelihood| across the migrations (must be ≤ 1e-8).
+    pub max_lnl_drift: f64,
+}
+
+fn timed_skewed_kernel(
+    dataset: &GeneratedDataset,
+    assignment: &Assignment,
+    skew: WorkerSkew,
+) -> LikelihoodKernel<ThreadedExecutor> {
+    let models = ModelSet::default_for(&dataset.patterns, BranchLengthMode::PerPartition);
+    let categories: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+    let executor = ThreadedExecutor::with_options(
+        &dataset.patterns,
+        assignment,
+        dataset.tree.node_capacity(),
+        &categories,
+        ExecutorOptions {
+            timed: true,
+            skew: Some(skew),
+        },
+    )
+    .expect("assignment was built for this dataset");
+    LikelihoodKernel::new(
+        Arc::clone(&dataset.patterns),
+        dataset.tree.clone(),
+        models,
+        executor,
+    )
+}
+
+/// Measures the wall-clock imbalance of the kernel's *current* ownership
+/// with a standardized probe workload (`repeats` full likelihood
+/// recomputations), so static and rescheduled runs are compared on the same
+/// footing. Discards whatever trace had accumulated before.
+pub fn probe_wall_clock_imbalance(
+    kernel: &mut LikelihoodKernel<ThreadedExecutor>,
+    repeats: usize,
+) -> f64 {
+    let _ = kernel.executor_mut().take_trace();
+    for _ in 0..repeats.max(1) {
+        kernel.invalidate_all();
+        let _ = kernel.log_likelihood();
+    }
+    let trace = kernel.executor_mut().take_trace();
+    worker_imbalance(&trace.per_worker_total_in(TraceUnit::Seconds))
+}
+
+/// Runs the adaptive-rescheduling experiment: static cyclic and LPT
+/// baselines against a cyclic-started run whose [`Rescheduler`] watches the
+/// real wall clock, all with `skew.worker` artificially slowed. Every run's
+/// imbalance is measured with the same probe workload.
+///
+/// # Errors
+///
+/// Propagates any [`SchedError`] from the underlying strategies.
+pub fn compare_adaptive_resched(
+    dataset: &GeneratedDataset,
+    workers: usize,
+    skew: WorkerSkew,
+    probe_repeats: usize,
+) -> Result<AdaptiveComparison, SchedError> {
+    let categories = default_categories(dataset);
+    let costs = PatternCosts::analytic(&dataset.patterns, &categories);
+    let cyclic = Cyclic.assign(&costs, workers)?;
+    let lpt = WeightedLpt.assign(&costs, workers)?;
+
+    let mut cyclic_kernel = timed_skewed_kernel(dataset, &cyclic, skew);
+    let cyclic_imbalance = probe_wall_clock_imbalance(&mut cyclic_kernel, probe_repeats);
+    drop(cyclic_kernel);
+
+    let mut lpt_kernel = timed_skewed_kernel(dataset, &lpt, skew);
+    let lpt_imbalance = probe_wall_clock_imbalance(&mut lpt_kernel, probe_repeats);
+    drop(lpt_kernel);
+
+    // The adaptive run starts from the same cyclic schedule; one optimizer
+    // round accumulates the live wall-clock trace, then the rescheduler
+    // migrates ownership and the probe measures the new placement.
+    let mut kernel = timed_skewed_kernel(dataset, &cyclic, skew);
+    let mut rescheduler = Rescheduler::new(ReschedulePolicy {
+        imbalance_threshold: 1.25,
+        min_regions: 16,
+        unit: TraceUnit::Seconds,
+        max_reschedules: 1,
+    });
+    let config = OptimizerConfig::search_phase(ParallelScheme::New);
+    let adaptive =
+        optimize_model_parameters_adaptive(&mut kernel, &config, &mut rescheduler, &costs)?;
+    let adaptive_imbalance = probe_wall_clock_imbalance(&mut kernel, probe_repeats);
+
+    Ok(AdaptiveComparison {
+        dataset: dataset.spec.name.clone(),
+        workers,
+        skew,
+        cyclic_imbalance,
+        lpt_imbalance,
+        adaptive_imbalance,
+        trigger_imbalance: adaptive
+            .events
+            .first()
+            .map_or(0.0, |e| e.measured_imbalance),
+        reschedules: adaptive.events.len(),
+        // total_cmp ranks NaN above +inf, so a NaN drift propagates into the
+        // gate instead of being masked by f64::max(0.0, NaN) == 0.0.
+        max_lnl_drift: adaptive
+            .events
+            .iter()
+            .map(|e| e.log_likelihood_drift())
+            .max_by(f64::total_cmp)
+            .unwrap_or(0.0),
+    })
+}
+
+/// Prints the adaptive-rescheduling experiment as a small table.
+pub fn print_adaptive_comparison(c: &AdaptiveComparison) {
+    println!(
+        "=== adaptive rescheduling on {} ({} workers, worker {} skewed by {} ns/pattern) ===",
+        c.dataset, c.workers, c.skew.worker, c.skew.nanos_per_pattern
+    );
+    println!("{:<24} {:>22}", "schedule", "measured imbalance");
+    println!("{:<24} {:>22.3}", "static cyclic", c.cyclic_imbalance);
+    println!("{:<24} {:>22.3}", "static weighted-lpt", c.lpt_imbalance);
+    println!("{:<24} {:>22.3}", "adaptive-resched", c.adaptive_imbalance);
+    println!(
+        "reschedules: {} (trigger imbalance {:.3}); max lnL drift across migrations: {:.2e}",
+        c.reschedules, c.trigger_imbalance, c.max_lnl_drift
+    );
+    println!();
+}
+
 /// Prints one comparison as a fixed-width table.
 pub fn print_comparison(comparison: &StrategyComparison) {
     println!(
@@ -232,5 +390,23 @@ mod tests {
         assert_eq!(assignment.pattern_count(), ds.patterns.total_patterns());
         assert_eq!(assignment.worker_count(), 3);
         assert_eq!(assignment.strategy(), "trace-adaptive");
+    }
+
+    #[test]
+    fn adaptive_resched_comparison_produces_consistent_fields() {
+        let ds = tiny_mixed();
+        let skew = WorkerSkew {
+            worker: 0,
+            nanos_per_pattern: 5_000,
+        };
+        let c = compare_adaptive_resched(&ds, 3, skew, 2).unwrap();
+        assert_eq!(c.workers, 3);
+        assert_eq!(c.skew, skew);
+        // Imbalances are max/mean ratios and therefore ≥ 1 by definition.
+        assert!(c.cyclic_imbalance >= 1.0 - 1e-9);
+        assert!(c.lpt_imbalance >= 1.0 - 1e-9);
+        assert!(c.adaptive_imbalance >= 1.0 - 1e-9);
+        // Whatever the timing noise, migrations must never move the lnL.
+        assert!(c.max_lnl_drift <= 1e-8, "drift {}", c.max_lnl_drift);
     }
 }

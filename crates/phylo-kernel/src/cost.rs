@@ -47,6 +47,50 @@ pub fn newview_bytes(states: usize, categories: usize) -> f64 {
     (3 * categories * states * std::mem::size_of::<f64>()) as f64
 }
 
+/// Which per-worker measurement a trace consumer reads.
+///
+/// Every [`RegionRecord`] carries two parallel measurements: the *analytic*
+/// FLOP count (filled by the virtual tracing executor) and the *measured*
+/// wall-clock seconds (filled by any measuring executor — the timed
+/// real-thread backend, or the sequential tracing backend, whose per-worker
+/// brackets run contention-free on one core). Balance metrics, per-worker
+/// totals and the critical path are defined identically over both, so
+/// schedulers and reports can consume either unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TraceUnit {
+    /// Analytic floating-point operations from the cost model.
+    #[default]
+    Flops,
+    /// Measured wall-clock seconds from a timed executor.
+    Seconds,
+}
+
+/// Why two traces could not be combined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The traces were recorded for different worker counts; concatenating
+    /// them would silently mis-attribute per-worker totals.
+    WorkerMismatch {
+        /// Workers of the trace being extended.
+        expected: usize,
+        /// Workers of the trace being appended.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::WorkerMismatch { expected, got } => write!(
+                f,
+                "cannot extend a {expected}-worker trace with a {got}-worker trace"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
 /// The kind of kernel command, used to label work records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
@@ -70,6 +114,9 @@ pub struct RegionRecord {
     pub flops_per_worker: Vec<f64>,
     /// Likelihood-array bytes each worker touched in the region.
     pub bytes_per_worker: Vec<f64>,
+    /// Measured wall-clock seconds each worker spent in the region (all
+    /// zeros unless the region was recorded by a timed executor).
+    pub seconds_per_worker: Vec<f64>,
 }
 
 impl RegionRecord {
@@ -79,28 +126,54 @@ impl RegionRecord {
             kind,
             flops_per_worker: vec![0.0; workers],
             bytes_per_worker: vec![0.0; workers],
+            seconds_per_worker: vec![0.0; workers],
         }
     }
 
-    /// The most loaded worker's FLOPs — the quantity that determines the
-    /// region's critical path.
+    /// The per-worker measurements in the requested unit.
+    pub fn per_worker(&self, unit: TraceUnit) -> &[f64] {
+        match unit {
+            TraceUnit::Flops => &self.flops_per_worker,
+            TraceUnit::Seconds => &self.seconds_per_worker,
+        }
+    }
+
+    /// The most loaded worker in the requested unit — the quantity that
+    /// determines the region's critical path.
+    pub fn max_in(&self, unit: TraceUnit) -> f64 {
+        self.per_worker(unit).iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Total work across workers in the requested unit.
+    pub fn total_in(&self, unit: TraceUnit) -> f64 {
+        self.per_worker(unit).iter().sum()
+    }
+
+    /// Parallel efficiency of the region in the requested unit: average work
+    /// divided by maximum work (1.0 = perfectly balanced, → 0 when threads
+    /// idle).
+    pub fn balance_in(&self, unit: TraceUnit) -> f64 {
+        let max = self.max_in(unit);
+        if max == 0.0 {
+            return 1.0;
+        }
+        self.total_in(unit) / (self.per_worker(unit).len() as f64 * max)
+    }
+
+    /// The most loaded worker's FLOPs ([`RegionRecord::max_in`] for
+    /// [`TraceUnit::Flops`]).
     pub fn max_flops(&self) -> f64 {
-        self.flops_per_worker.iter().cloned().fold(0.0, f64::max)
+        self.max_in(TraceUnit::Flops)
     }
 
     /// Total FLOPs across workers.
     pub fn total_flops(&self) -> f64 {
-        self.flops_per_worker.iter().sum()
+        self.total_in(TraceUnit::Flops)
     }
 
-    /// Parallel efficiency of the region: average work divided by maximum
-    /// work (1.0 = perfectly balanced, → 0 when threads idle).
+    /// Parallel efficiency of the region over FLOPs.
     pub fn balance(&self) -> f64 {
-        let max = self.max_flops();
-        if max == 0.0 {
-            return 1.0;
-        }
-        self.total_flops() / (self.flops_per_worker.len() as f64 * max)
+        self.balance_in(TraceUnit::Flops)
     }
 }
 
@@ -128,15 +201,63 @@ impl WorkTrace {
         self.regions.len()
     }
 
-    /// Total FLOPs across all regions and workers.
-    pub fn total_flops(&self) -> f64 {
-        self.regions.iter().map(|r| r.total_flops()).sum()
+    /// Total work across all regions and workers in the requested unit.
+    pub fn total_in(&self, unit: TraceUnit) -> f64 {
+        self.regions.iter().map(|r| r.total_in(unit)).sum()
     }
 
-    /// Sum over regions of the most-loaded worker's FLOPs: the critical path
-    /// of the computation under the barrier-per-region execution model.
+    /// Sum over regions of the most-loaded worker's work in the requested
+    /// unit: the critical path of the computation under the
+    /// barrier-per-region execution model.
+    pub fn critical_path_in(&self, unit: TraceUnit) -> f64 {
+        self.regions.iter().map(|r| r.max_in(unit)).sum()
+    }
+
+    /// Overall load balance in the requested unit: total work divided by
+    /// (workers × critical path).
+    pub fn overall_balance_in(&self, unit: TraceUnit) -> f64 {
+        let cp = self.critical_path_in(unit);
+        if cp == 0.0 {
+            return 1.0;
+        }
+        self.total_in(unit) / (self.workers as f64 * cp)
+    }
+
+    /// Total work each worker performed in the requested unit, summed over
+    /// all regions.
+    pub fn per_worker_total_in(&self, unit: TraceUnit) -> Vec<f64> {
+        let mut totals = vec![0.0; self.workers];
+        for region in &self.regions {
+            for (w, &v) in region.per_worker(unit).iter().enumerate() {
+                totals[w] += v;
+            }
+        }
+        totals
+    }
+
+    /// Whether any region carries a non-zero wall-clock measurement. Both
+    /// the timed real-thread executor and the sequential tracing executor
+    /// fill seconds; only the former's relative per-worker times reflect
+    /// genuine parallel-worker speed.
+    pub fn has_seconds(&self) -> bool {
+        self.regions
+            .iter()
+            .any(|r| r.seconds_per_worker.iter().any(|&s| s > 0.0))
+    }
+
+    /// Total FLOPs across all regions and workers.
+    pub fn total_flops(&self) -> f64 {
+        self.total_in(TraceUnit::Flops)
+    }
+
+    /// Total measured seconds across all regions and workers.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_in(TraceUnit::Seconds)
+    }
+
+    /// Critical path over FLOPs ([`WorkTrace::critical_path_in`]).
     pub fn critical_path_flops(&self) -> f64 {
-        self.regions.iter().map(|r| r.max_flops()).sum()
+        self.critical_path_in(TraceUnit::Flops)
     }
 
     /// Total likelihood-array bytes across all regions and workers.
@@ -147,30 +268,33 @@ impl WorkTrace {
             .sum()
     }
 
-    /// Overall load balance: total work divided by (workers × critical path).
+    /// Overall load balance over FLOPs.
     pub fn overall_balance(&self) -> f64 {
-        let cp = self.critical_path_flops();
-        if cp == 0.0 {
-            return 1.0;
-        }
-        self.total_flops() / (self.workers as f64 * cp)
+        self.overall_balance_in(TraceUnit::Flops)
     }
 
     /// Total FLOPs each worker performed, summed over all regions.
     pub fn flops_per_worker_total(&self) -> Vec<f64> {
-        let mut totals = vec![0.0; self.workers];
-        for region in &self.regions {
-            for (w, &flops) in region.flops_per_worker.iter().enumerate() {
-                totals[w] += flops;
-            }
-        }
-        totals
+        self.per_worker_total_in(TraceUnit::Flops)
     }
 
     /// Appends another trace (e.g. from a later phase of the same run).
-    pub fn extend(&mut self, other: &WorkTrace) {
-        debug_assert_eq!(self.workers, other.workers);
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::WorkerMismatch`] if the traces were recorded for
+    /// different worker counts. (This used to be a `debug_assert!`, which
+    /// let release builds silently concatenate misaligned traces and
+    /// mis-sum — or panic in — the per-worker totals later.)
+    pub fn extend(&mut self, other: &WorkTrace) -> Result<(), TraceError> {
+        if self.workers != other.workers {
+            return Err(TraceError::WorkerMismatch {
+                expected: self.workers,
+                got: other.workers,
+            });
+        }
         self.regions.extend(other.regions.iter().cloned());
+        Ok(())
     }
 }
 
@@ -255,7 +379,59 @@ mod tests {
         let mut b = WorkTrace::new(2);
         b.regions.push(RegionRecord::new(OpKind::Newview, 2));
         b.regions.push(RegionRecord::new(OpKind::Sumtable, 2));
-        a.extend(&b);
+        a.extend(&b).unwrap();
         assert_eq!(a.sync_events(), 3);
+    }
+
+    #[test]
+    fn trace_extend_rejects_mismatched_worker_counts() {
+        let mut a = WorkTrace::new(2);
+        a.regions.push(RegionRecord::new(OpKind::Evaluate, 2));
+        let mut b = WorkTrace::new(3);
+        b.regions.push(RegionRecord::new(OpKind::Newview, 3));
+        assert_eq!(
+            a.extend(&b),
+            Err(TraceError::WorkerMismatch {
+                expected: 2,
+                got: 3
+            })
+        );
+        // The failed extend must leave the trace untouched.
+        assert_eq!(a.sync_events(), 1);
+        assert!(!TraceError::WorkerMismatch {
+            expected: 2,
+            got: 3
+        }
+        .to_string()
+        .is_empty());
+    }
+
+    #[test]
+    fn seconds_metrics_mirror_flops_metrics() {
+        let mut t = WorkTrace::new(2);
+        let mut a = RegionRecord::new(OpKind::Newview, 2);
+        a.seconds_per_worker = vec![0.3, 0.1];
+        let mut b = RegionRecord::new(OpKind::Evaluate, 2);
+        b.seconds_per_worker = vec![0.1, 0.1];
+        t.regions.push(a);
+        t.regions.push(b);
+        assert!(t.has_seconds());
+        assert!((t.total_seconds() - 0.6).abs() < 1e-12);
+        assert!((t.critical_path_in(TraceUnit::Seconds) - 0.4).abs() < 1e-12);
+        assert!((t.overall_balance_in(TraceUnit::Seconds) - 0.6 / 0.8).abs() < 1e-12);
+        assert_eq!(t.per_worker_total_in(TraceUnit::Seconds), vec![0.4, 0.2]);
+        // The flops view of the same trace is empty and therefore neutral.
+        assert_eq!(t.total_flops(), 0.0);
+        assert!((t.overall_balance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn region_balance_per_unit() {
+        let mut r = RegionRecord::new(OpKind::Derivatives, 4);
+        r.seconds_per_worker = vec![0.4, 0.0, 0.0, 0.0];
+        assert!((r.balance_in(TraceUnit::Seconds) - 0.25).abs() < 1e-12);
+        assert!((r.balance_in(TraceUnit::Flops) - 1.0).abs() < 1e-12);
+        assert_eq!(r.max_in(TraceUnit::Seconds), 0.4);
+        assert_eq!(r.total_in(TraceUnit::Seconds), 0.4);
     }
 }

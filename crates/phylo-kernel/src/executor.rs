@@ -122,6 +122,44 @@ impl OpOutput {
     }
 }
 
+/// Why a parallel execution backend could not complete a command.
+///
+/// The historical behaviour was an opaque
+/// `expect("worker thread terminated unexpectedly")` that killed the master
+/// thread; backends now surface the failure as a value so callers can tear
+/// down cleanly (or rebuild the workers via reassignment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A worker thread panicked (or its channel disconnected) while executing
+    /// the current command.
+    WorkerDied {
+        /// Index of the dead worker.
+        worker: usize,
+    },
+    /// The executor was poisoned by an earlier worker death; no further
+    /// commands are accepted until the workers are rebuilt.
+    Poisoned {
+        /// Index of the worker whose death poisoned the executor.
+        worker: usize,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::WorkerDied { worker } => {
+                write!(f, "worker thread {worker} died while executing a command")
+            }
+            Self::Poisoned { worker } => write!(
+                f,
+                "executor is poisoned by the earlier death of worker {worker}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
 /// The master/worker execution backend.
 pub trait Executor {
     /// Number of workers the patterns are distributed over.

@@ -40,8 +40,11 @@ pub mod slice;
 pub mod validity;
 
 pub use branch_lengths::BranchLengths;
+pub use cost::{TraceError, TraceUnit, WorkTrace};
 pub use engine::{KernelStats, LikelihoodKernel, SequentialKernel};
-pub use executor::{ExecContext, Executor, KernelOp, OpOutput, PartitionMask, SequentialExecutor};
+pub use executor::{
+    ExecContext, ExecError, Executor, KernelOp, OpOutput, PartitionMask, SequentialExecutor,
+};
 pub use slice::{PartitionSlice, SliceBuffers, WorkerSlices};
 pub use validity::ClvValidity;
 

@@ -1,0 +1,331 @@
+//! Measured-time feedback into the running optimizer.
+//!
+//! This is the end of the measurement loop the paper motivates: the analytic
+//! cost model decides the *initial* schedule, a timed executor measures what
+//! each worker actually costs per region, and the [`Rescheduler`] migrates
+//! pattern→worker ownership mid-run when the measurement says the schedule
+//! is wrong (a throttled core, a mis-ranked pattern class). Migration
+//! rebuilds the executor's worker slices from the new [`Assignment`] and
+//! invalidates the master-side CLV cache; the likelihood is
+//! placement-invariant, so log likelihoods before and after a migration
+//! agree to ≤ 1e-8 (only the reduction's summation order changes).
+//!
+//! [`Assignment`]: phylo_sched::Assignment
+
+use std::sync::Arc;
+
+use phylo_kernel::{Executor, LikelihoodKernel};
+use phylo_sched::{PatternCosts, Reassignable, Rescheduler, SchedError};
+
+use crate::config::OptimizerConfig;
+use crate::driver::{optimize_model_parameters_with_hook, OptimizationReport};
+
+/// One mid-run ownership migration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RescheduleEvent {
+    /// Outer optimization round after which the migration happened
+    /// (1-based).
+    pub round: usize,
+    /// Measured per-worker imbalance (max/mean) that triggered it.
+    pub measured_imbalance: f64,
+    /// Predicted imbalance of the new assignment under the base cost model.
+    pub predicted_imbalance: f64,
+    /// Estimated per-worker speeds the new schedule packs against.
+    pub speeds: Vec<f64>,
+    /// Log likelihood evaluated immediately before the migration.
+    pub log_likelihood_before: f64,
+    /// Log likelihood evaluated immediately after (must agree to ≤ 1e-8).
+    pub log_likelihood_after: f64,
+}
+
+impl RescheduleEvent {
+    /// Absolute log-likelihood drift across the migration.
+    pub fn log_likelihood_drift(&self) -> f64 {
+        (self.log_likelihood_after - self.log_likelihood_before).abs()
+    }
+}
+
+/// [`OptimizationReport`] plus the migrations that happened along the way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveOptimizationReport {
+    /// The ordinary optimization outcome.
+    pub report: OptimizationReport,
+    /// Mid-run migrations, in execution order (empty if the policy never
+    /// triggered).
+    pub events: Vec<RescheduleEvent>,
+}
+
+/// Entry guard shared by the adaptive drivers (model optimization here,
+/// `tree_search_adaptive` in `phylo-search`): `base_costs` must describe the
+/// kernel's dataset.
+///
+/// # Errors
+///
+/// [`SchedError::PatternCountMismatch`] on disagreement.
+pub fn validate_base_costs<E: Executor>(
+    kernel: &LikelihoodKernel<E>,
+    base_costs: &PatternCosts,
+) -> Result<(), SchedError> {
+    if base_costs.pattern_count() != kernel.patterns().total_patterns() {
+        return Err(SchedError::PatternCountMismatch {
+            expected: kernel.patterns().total_patterns(),
+            got: base_costs.pattern_count(),
+        });
+    }
+    Ok(())
+}
+
+/// Exit guard shared by the adaptive drivers: a reassign resets the trace,
+/// so "no events and an empty trace after a full run" can only mean the
+/// executor records nothing at all — the measurement path is not enabled
+/// and rescheduling could never have triggered.
+///
+/// # Errors
+///
+/// [`SchedError::NoMeasurements`] in that case.
+pub fn ensure_measurements_happened<E>(
+    kernel: &mut LikelihoodKernel<E>,
+    events: &[RescheduleEvent],
+) -> Result<(), SchedError>
+where
+    E: Executor + Reassignable,
+{
+    if events.is_empty() && kernel.executor_mut().live_trace().sync_events() == 0 {
+        return Err(SchedError::NoMeasurements);
+    }
+    Ok(())
+}
+
+/// Checks, between rounds of any driver loop, whether the live trace
+/// justifies an ownership migration — and performs it if so.
+///
+/// Returns `None` when the rescheduler stays put. On migration the executor
+/// is rebuilt from the new assignment, the master-side CLV cache is
+/// invalidated, and the likelihood is evaluated on both sides of the move
+/// for the returned event.
+///
+/// The caller must have validated `base_costs` against the kernel's dataset
+/// (see [`optimize_model_parameters_adaptive`]); shape mismatches are
+/// programming errors here.
+///
+/// # Panics
+///
+/// Panics if `base_costs` covers a different pattern count than the
+/// executor's assignment (the entry points validate this).
+pub fn reschedule_if_needed<E>(
+    kernel: &mut LikelihoodKernel<E>,
+    rescheduler: &mut Rescheduler,
+    base_costs: &PatternCosts,
+    round: usize,
+) -> Option<RescheduleEvent>
+where
+    E: Executor + Reassignable,
+{
+    let exec = kernel.executor_mut();
+    let decision = rescheduler
+        .consider(exec.assignment(), exec.live_trace(), base_costs)
+        .expect("trace, assignment and base costs describe the same run")?;
+
+    let log_likelihood_before = kernel.log_likelihood();
+    let patterns = Arc::clone(kernel.patterns());
+    let node_capacity = kernel.tree().node_capacity();
+    let categories: Vec<usize> = kernel
+        .models()
+        .models()
+        .iter()
+        .map(|m| m.categories())
+        .collect();
+    kernel
+        .executor_mut()
+        .reassign(&patterns, &decision.assignment, node_capacity, &categories)
+        .expect("the new assignment covers the same dataset");
+    // The migrated workers own fresh, empty CLV buffers.
+    kernel.invalidate_all();
+    let log_likelihood_after = kernel.log_likelihood();
+
+    Some(RescheduleEvent {
+        round,
+        measured_imbalance: decision.measured_imbalance,
+        predicted_imbalance: decision.assignment.imbalance(),
+        speeds: decision.speeds,
+        log_likelihood_before,
+        log_likelihood_after,
+    })
+}
+
+/// [`optimize_model_parameters`] with mid-run rescheduling: after every
+/// outer round the live trace is shown to the rescheduler, and a triggered
+/// decision migrates pattern→worker ownership before the next round.
+///
+/// [`optimize_model_parameters`]: crate::driver::optimize_model_parameters
+///
+/// The rescheduler is consulted after *every* round, including the last one:
+/// a migration triggered at the very end still pays off because the executor
+/// stays migrated for whatever the caller runs next (the warm-up pattern —
+/// one short optimizer call to measure, then the real workload on the
+/// corrected placement).
+///
+/// # Errors
+///
+/// [`SchedError::PatternCountMismatch`] if `base_costs` covers a different
+/// number of patterns than the kernel's dataset;
+/// [`SchedError::NoMeasurements`] if the run finished without the executor
+/// recording a single trace region (the measurement path is not enabled, so
+/// rescheduling could never have triggered).
+pub fn optimize_model_parameters_adaptive<E>(
+    kernel: &mut LikelihoodKernel<E>,
+    config: &OptimizerConfig,
+    rescheduler: &mut Rescheduler,
+    base_costs: &PatternCosts,
+) -> Result<AdaptiveOptimizationReport, SchedError>
+where
+    E: Executor + Reassignable,
+{
+    validate_base_costs(kernel, base_costs)?;
+    let mut events = Vec::new();
+    let report = optimize_model_parameters_with_hook(kernel, config, |kernel, round| {
+        if let Some(event) = reschedule_if_needed(kernel, rescheduler, base_costs, round) {
+            events.push(event);
+        }
+    });
+    ensure_measurements_happened(kernel, &events)?;
+    Ok(AdaptiveOptimizationReport { report, events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ParallelScheme;
+    use phylo_kernel::cost::TraceUnit;
+    use phylo_models::{BranchLengthMode, ModelSet};
+    use phylo_parallel::{schedule, Cyclic, TracingExecutor};
+    use phylo_sched::ReschedulePolicy;
+    use phylo_seqgen::datasets::mixed_dna_protein;
+
+    fn tracing_kernel(
+        ds: &phylo_seqgen::GeneratedDataset,
+        workers: usize,
+    ) -> (LikelihoodKernel<TracingExecutor>, PatternCosts) {
+        let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+        let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+        let costs = PatternCosts::analytic(&ds.patterns, &cats);
+        let assignment = schedule(&ds.patterns, &cats, workers, &Cyclic).unwrap();
+        let exec = TracingExecutor::from_assignment(
+            &ds.patterns,
+            &assignment,
+            ds.tree.node_capacity(),
+            &cats,
+        )
+        .unwrap();
+        (
+            LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec),
+            costs,
+        )
+    }
+
+    #[test]
+    fn adaptive_run_matches_plain_run_when_policy_never_triggers() {
+        let ds = mixed_dna_protein(6, 4, 2, 40, 71).generate();
+        let (mut plain, _) = tracing_kernel(&ds, 3);
+        let config = OptimizerConfig::new(ParallelScheme::New);
+        let expected = crate::driver::optimize_model_parameters(&mut plain, &config);
+
+        let (mut kernel, costs) = tracing_kernel(&ds, 3);
+        // An unreachable threshold: the rescheduler must never act.
+        let mut rescheduler = Rescheduler::new(ReschedulePolicy {
+            imbalance_threshold: f64::MAX,
+            min_regions: 1,
+            unit: TraceUnit::Flops,
+            max_reschedules: 8,
+        });
+        let adaptive =
+            optimize_model_parameters_adaptive(&mut kernel, &config, &mut rescheduler, &costs)
+                .unwrap();
+        assert!(adaptive.events.is_empty());
+        assert!(
+            (adaptive.report.final_log_likelihood - expected.final_log_likelihood).abs() < 1e-8
+        );
+    }
+
+    #[test]
+    fn triggered_migration_preserves_the_likelihood() {
+        // 7 virtual workers over 80-pattern partitions: the cyclic shares
+        // are uneven (80 = 7·11 + 3), so the measured FLOP imbalance is
+        // real and a low threshold triggers an actual migration.
+        let ds = mixed_dna_protein(6, 4, 2, 80, 73).generate();
+        let (mut kernel, costs) = tracing_kernel(&ds, 7);
+        let config = OptimizerConfig {
+            scheme: ParallelScheme::Old,
+            max_rounds: 2,
+            likelihood_epsilon: 1e-9,
+            ..OptimizerConfig::default()
+        };
+        let mut rescheduler = Rescheduler::new(ReschedulePolicy {
+            imbalance_threshold: 1.0001,
+            min_regions: 8,
+            unit: TraceUnit::Flops,
+            max_reschedules: 1,
+        });
+        let adaptive =
+            optimize_model_parameters_adaptive(&mut kernel, &config, &mut rescheduler, &costs)
+                .unwrap();
+        assert_eq!(adaptive.events.len(), 1, "policy must trigger once");
+        let event = &adaptive.events[0];
+        assert!(
+            event.log_likelihood_drift() < 1e-8,
+            "migration changed the likelihood by {}",
+            event.log_likelihood_drift()
+        );
+        assert!(event.measured_imbalance > 1.0001);
+        assert_eq!(kernel.executor_mut().assignment().strategy(), "speed-lpt");
+    }
+
+    #[test]
+    fn an_untimed_executor_is_rejected_instead_of_silently_not_adapting() {
+        use phylo_parallel::ThreadedExecutor;
+
+        let ds = mixed_dna_protein(6, 4, 2, 40, 83).generate();
+        let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+        let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+        let costs = PatternCosts::analytic(&ds.patterns, &cats);
+        let assignment = schedule(&ds.patterns, &cats, 2, &Cyclic).unwrap();
+        // Default options: timed == false, so the executor records nothing.
+        let exec = ThreadedExecutor::from_assignment(
+            &ds.patterns,
+            &assignment,
+            ds.tree.node_capacity(),
+            &cats,
+        )
+        .unwrap();
+        let mut kernel =
+            LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+        let mut rescheduler = Rescheduler::new(ReschedulePolicy::default());
+        let config = OptimizerConfig {
+            max_rounds: 1,
+            ..OptimizerConfig::default()
+        };
+        assert_eq!(
+            optimize_model_parameters_adaptive(&mut kernel, &config, &mut rescheduler, &costs)
+                .unwrap_err(),
+            SchedError::NoMeasurements
+        );
+    }
+
+    #[test]
+    fn mismatched_base_costs_are_rejected() {
+        let ds = mixed_dna_protein(6, 4, 2, 40, 79).generate();
+        let (mut kernel, _) = tracing_kernel(&ds, 3);
+        let mut rescheduler = Rescheduler::new(ReschedulePolicy::default());
+        let bad = PatternCosts::uniform(3);
+        assert!(matches!(
+            optimize_model_parameters_adaptive(
+                &mut kernel,
+                &OptimizerConfig::default(),
+                &mut rescheduler,
+                &bad
+            )
+            .unwrap_err(),
+            SchedError::PatternCountMismatch { .. }
+        ));
+    }
+}

@@ -36,6 +36,24 @@ pub fn optimize_model_parameters<E: Executor>(
     kernel: &mut LikelihoodKernel<E>,
     config: &OptimizerConfig,
 ) -> OptimizationReport {
+    optimize_model_parameters_with_hook(kernel, config, |_, _| {})
+}
+
+/// The same outer loop with a caller-supplied hook invoked after every round
+/// — deliberately *before* the convergence check, so the hook also runs
+/// after the final round (a migration triggered there still benefits
+/// whatever the caller runs next on the same kernel). The adaptive driver
+/// uses the hook to migrate pattern→worker ownership mid-run; the hook may
+/// mutate the kernel as long as it preserves the likelihood.
+pub(crate) fn optimize_model_parameters_with_hook<E, F>(
+    kernel: &mut LikelihoodKernel<E>,
+    config: &OptimizerConfig,
+    mut after_round: F,
+) -> OptimizationReport
+where
+    E: Executor,
+    F: FnMut(&mut LikelihoodKernel<E>, usize),
+{
     let sync_before = kernel.sync_events();
     let initial = kernel.log_likelihood();
     let mut current = initial;
@@ -54,6 +72,7 @@ pub fn optimize_model_parameters<E: Executor>(
 
         let improvement = lnl - current;
         current = lnl;
+        after_round(kernel, rounds);
         if improvement.abs() < config.likelihood_epsilon {
             break;
         }

@@ -23,11 +23,16 @@
 //! candidate points per partition); only the batching differs — which is
 //! exactly why the paper's speedups are "free" accuracy-wise.
 
+pub mod adaptive;
 pub mod branches;
 pub mod config;
 pub mod driver;
 pub mod model;
 
+pub use adaptive::{
+    optimize_model_parameters_adaptive, reschedule_if_needed, AdaptiveOptimizationReport,
+    RescheduleEvent,
+};
 pub use branches::{optimize_all_branches, optimize_branch, BranchOptimizationStats};
 pub use config::{OptimizerConfig, ParallelScheme};
 pub use driver::{optimize_model_parameters, OptimizationReport};

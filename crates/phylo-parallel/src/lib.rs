@@ -49,16 +49,68 @@ pub mod threaded;
 pub mod tracing;
 
 pub use rayon_exec::RayonExecutor;
-pub use threaded::ThreadedExecutor;
+pub use threaded::{ExecutorOptions, ThreadedExecutor, WorkerSkew};
 pub use tracing::TracingExecutor;
 
 pub use phylo_sched::{
-    Assignment, Block, Cyclic, PatternCosts, SchedError, ScheduleStrategy, TraceAdaptive,
-    WeightedLpt,
+    Assignment, Block, Cyclic, PatternCosts, Reassignable, RescheduleDecision, ReschedulePolicy,
+    Rescheduler, SchedError, ScheduleStrategy, SpeedAwareLpt, TraceAdaptive, WeightedLpt,
 };
 
 use phylo_data::PartitionedPatterns;
+use phylo_kernel::cost::WorkTrace;
 use phylo_kernel::WorkerSlices;
+
+/// The timed real-thread executor can migrate ownership mid-run.
+impl Reassignable for ThreadedExecutor {
+    fn assignment(&self) -> &Assignment {
+        ThreadedExecutor::assignment(self)
+    }
+
+    fn live_trace(&self) -> &WorkTrace {
+        self.trace()
+    }
+
+    fn take_trace(&mut self) -> WorkTrace {
+        ThreadedExecutor::take_trace(self)
+    }
+
+    fn reassign(
+        &mut self,
+        patterns: &PartitionedPatterns,
+        assignment: &Assignment,
+        node_capacity: usize,
+        categories: &[usize],
+    ) -> Result<(), SchedError> {
+        ThreadedExecutor::reassign(self, patterns, assignment, node_capacity, categories)
+    }
+}
+
+/// The virtual tracing executor supports the same migration protocol, so
+/// mid-run rescheduling can be tested deterministically from FLOP traces.
+impl Reassignable for TracingExecutor {
+    fn assignment(&self) -> &Assignment {
+        TracingExecutor::assignment(self)
+    }
+
+    fn live_trace(&self) -> &WorkTrace {
+        self.trace()
+    }
+
+    fn take_trace(&mut self) -> WorkTrace {
+        TracingExecutor::take_trace(self)
+    }
+
+    fn reassign(
+        &mut self,
+        patterns: &PartitionedPatterns,
+        assignment: &Assignment,
+        node_capacity: usize,
+        categories: &[usize],
+    ) -> Result<(), SchedError> {
+        TracingExecutor::reassign(self, patterns, assignment, node_capacity, categories)
+    }
+}
 
 /// How patterns are assigned to workers (legacy interface).
 #[deprecated(

@@ -11,14 +11,33 @@
 //! structures are small (the tree has `2n` nodes, the models a handful of
 //! 4×4/20×20 matrices per partition), so the per-command cost is dominated by
 //! the channel round trip — a realistic stand-in for a barrier.
+//!
+//! # Hardening and measurement
+//!
+//! Each worker brackets [`execute_on_worker`] with [`Instant`] and ships the
+//! wall-clock duration back with its result; when the executor is built with
+//! [`ExecutorOptions::timed`], the master accumulates those durations into a
+//! real [`WorkTrace`] (retrievable via [`ThreadedExecutor::take_trace`]) —
+//! the measured counterpart of the virtual FLOP traces, and the input to
+//! mid-run rescheduling. Worker panics are caught with
+//! `std::panic::catch_unwind` and surfaced as
+//! [`ExecError::WorkerDied`] through [`ThreadedExecutor::try_execute`]; the
+//! executor is then *poisoned* (every further command fails fast with
+//! [`ExecError::Poisoned`]) until [`ThreadedExecutor::reassign`] rebuilds the
+//! workers.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use phylo_data::PartitionedPatterns;
+use phylo_kernel::cost::{RegionRecord, WorkTrace};
 use phylo_kernel::executor::{execute_on_worker, reduce_outputs};
-use phylo_kernel::{BranchLengths, ExecContext, Executor, KernelOp, OpOutput, WorkerSlices};
+use phylo_kernel::{
+    BranchLengths, ExecContext, ExecError, Executor, KernelOp, OpOutput, WorkerSlices,
+};
 use phylo_models::ModelSet;
 use phylo_sched::{Assignment, SchedError};
 use phylo_tree::Tree;
@@ -31,9 +50,78 @@ struct Command {
     branch_lengths: BranchLengths,
 }
 
+/// What a worker sends back for one command.
+enum Reply {
+    /// The reduced-ready output plus the worker's wall-clock time for the
+    /// region (including any configured skew sleep).
+    Output(OpOutput, Duration),
+    /// The worker panicked; the payload is the panic message.
+    Panicked(String),
+}
+
+/// An artificial per-worker slowdown for load-balance experiments: the
+/// designated worker sleeps `nanos_per_pattern` nanoseconds per active local
+/// pattern in every region, emulating a proportionally slower core. Sleeps
+/// (unlike busy loops) keep the emulation meaningful even on an
+/// oversubscribed host, because a sleeping thread yields the CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSkew {
+    /// Index of the artificially slowed worker.
+    pub worker: usize,
+    /// Slowdown per active local pattern, in nanoseconds.
+    pub nanos_per_pattern: u64,
+}
+
+/// Construction options beyond the assignment itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorOptions {
+    /// Accumulate per-region wall-clock measurements into a [`WorkTrace`].
+    pub timed: bool,
+    /// Optional artificial slowdown of one worker (benchmarks and tests).
+    pub skew: Option<WorkerSkew>,
+}
+
+/// Number of local patterns a worker actually touches in one region,
+/// weighted by traversal length for `newview` — the same proportionality the
+/// analytic cost model uses, so skew sleeps scale like real work.
+fn active_local_patterns(worker: &WorkerSlices, op: &KernelOp) -> usize {
+    match op {
+        KernelOp::Newview { plans } => plans
+            .iter()
+            .enumerate()
+            .filter_map(|(pi, plan)| {
+                plan.as_ref()
+                    .map(|p| worker.slices[pi].pattern_count() * p.len())
+            })
+            .sum(),
+        KernelOp::Evaluate { mask, .. } | KernelOp::Sumtable { mask, .. } => mask
+            .iter()
+            .enumerate()
+            .filter(|&(_, active)| *active)
+            .map(|(pi, _)| worker.slices[pi].pattern_count())
+            .sum(),
+        KernelOp::Derivatives { lengths } => lengths
+            .iter()
+            .enumerate()
+            .filter(|&(_, l)| l.is_some())
+            .map(|(pi, _)| worker.slices[pi].pattern_count())
+            .sum(),
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
 struct WorkerHandle {
     sender: Sender<Option<Arc<Command>>>,
-    results: Receiver<OpOutput>,
+    results: Receiver<Reply>,
     join: Option<JoinHandle<()>>,
 }
 
@@ -42,6 +130,11 @@ pub struct ThreadedExecutor {
     handles: Vec<WorkerHandle>,
     sync_events: u64,
     worker_count: usize,
+    assignment: Assignment,
+    options: ExecutorOptions,
+    trace: WorkTrace,
+    poisoned: Option<usize>,
+    last_panic: Option<String>,
 }
 
 impl std::fmt::Debug for ThreadedExecutor {
@@ -49,6 +142,8 @@ impl std::fmt::Debug for ThreadedExecutor {
         f.debug_struct("ThreadedExecutor")
             .field("worker_count", &self.worker_count)
             .field("sync_events", &self.sync_events)
+            .field("timed", &self.options.timed)
+            .field("poisoned", &self.poisoned)
             .finish()
     }
 }
@@ -66,8 +161,44 @@ impl ThreadedExecutor {
         node_capacity: usize,
         categories: &[usize],
     ) -> Result<Self, SchedError> {
+        Self::with_options(
+            patterns,
+            assignment,
+            node_capacity,
+            categories,
+            ExecutorOptions::default(),
+        )
+    }
+
+    /// Spawns the workers with explicit [`ExecutorOptions`] (timed trace
+    /// accumulation, artificial skew).
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::PatternCountMismatch`] if the assignment was built for a
+    /// different dataset, [`SchedError::SkewWorkerOutOfRange`] if the
+    /// configured skew names a worker the assignment does not have (a
+    /// silently unskewed experiment would be worse than an error).
+    pub fn with_options(
+        patterns: &PartitionedPatterns,
+        assignment: &Assignment,
+        node_capacity: usize,
+        categories: &[usize],
+        options: ExecutorOptions,
+    ) -> Result<Self, SchedError> {
+        Self::check_skew(&options, assignment.worker_count())?;
         let workers = crate::build_workers(patterns, node_capacity, categories, assignment)?;
-        Ok(Self::spawn(workers))
+        let worker_count = workers.len();
+        Ok(Self {
+            handles: Self::spawn_handles(workers, &options),
+            sync_events: 0,
+            worker_count,
+            assignment: assignment.clone(),
+            options,
+            trace: WorkTrace::new(worker_count),
+            poisoned: None,
+            last_panic: None,
+        })
     }
 
     /// Legacy constructor: spawns workers under a [`Distribution`].
@@ -86,35 +217,67 @@ impl ThreadedExecutor {
         categories: &[usize],
         distribution: crate::Distribution,
     ) -> Self {
-        let workers = crate::build_workers_with_distribution(
+        let assignment = crate::schedule(
             patterns,
-            worker_count,
-            node_capacity,
             categories,
-            distribution,
-        );
-        Self::spawn(workers)
+            worker_count,
+            distribution.strategy().as_ref(),
+        )
+        .expect("at least one worker required");
+        Self::from_assignment(patterns, &assignment, node_capacity, categories)
+            .expect("assignment was built for these patterns")
     }
 
-    fn spawn(workers: Vec<WorkerSlices>) -> Self {
-        let worker_count = workers.len();
-        let handles = workers
+    fn check_skew(options: &ExecutorOptions, worker_count: usize) -> Result<(), SchedError> {
+        match options.skew {
+            Some(skew) if skew.worker >= worker_count => Err(SchedError::SkewWorkerOutOfRange {
+                worker: skew.worker,
+                worker_count,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    fn spawn_handles(workers: Vec<WorkerSlices>, options: &ExecutorOptions) -> Vec<WorkerHandle> {
+        workers
             .into_iter()
             .map(|mut slices| {
+                let skew_ns = options
+                    .skew
+                    .filter(|s| s.worker == slices.worker)
+                    .map(|s| s.nanos_per_pattern);
                 let (cmd_tx, cmd_rx) = channel::<Option<Arc<Command>>>();
-                let (res_tx, res_rx) = channel::<OpOutput>();
+                let (res_tx, res_rx) = channel::<Reply>();
                 let join = std::thread::Builder::new()
                     .name(format!("plk-worker-{}", slices.worker))
                     .spawn(move || {
                         while let Ok(Some(cmd)) = cmd_rx.recv() {
-                            let ctx = ExecContext {
-                                tree: &cmd.tree,
-                                models: &cmd.models,
-                                branch_lengths: &cmd.branch_lengths,
-                            };
-                            let out = execute_on_worker(&mut slices, &cmd.op, &ctx);
-                            if res_tx.send(out).is_err() {
-                                break;
+                            let start = Instant::now();
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                let ctx = ExecContext {
+                                    tree: &cmd.tree,
+                                    models: &cmd.models,
+                                    branch_lengths: &cmd.branch_lengths,
+                                };
+                                let out = execute_on_worker(&mut slices, &cmd.op, &ctx);
+                                if let Some(ns) = skew_ns {
+                                    let active = active_local_patterns(&slices, &cmd.op) as u64;
+                                    std::thread::sleep(Duration::from_nanos(ns * active));
+                                }
+                                out
+                            }));
+                            match outcome {
+                                Ok(out) => {
+                                    if res_tx.send(Reply::Output(out, start.elapsed())).is_err() {
+                                        break;
+                                    }
+                                }
+                                Err(payload) => {
+                                    // The slices may be half-updated; report
+                                    // the panic and retire this worker.
+                                    let _ = res_tx.send(Reply::Panicked(panic_message(payload)));
+                                    break;
+                                }
                             }
                         }
                     })
@@ -125,12 +288,150 @@ impl ThreadedExecutor {
                     join: Some(join),
                 }
             })
-            .collect();
-        Self {
-            handles,
-            sync_events: 0,
-            worker_count,
+            .collect()
+    }
+
+    fn shutdown_workers(&mut self) {
+        for handle in &self.handles {
+            let _ = handle.sender.send(None);
         }
+        for handle in &mut self.handles {
+            if let Some(join) = handle.join.take() {
+                let _ = join.join();
+            }
+        }
+        self.handles.clear();
+    }
+
+    /// The assignment the current workers were built from.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// The options the executor was built with.
+    pub fn options(&self) -> &ExecutorOptions {
+        &self.options
+    }
+
+    /// The wall-clock trace accumulated so far (empty unless
+    /// [`ExecutorOptions::timed`] was set).
+    pub fn trace(&self) -> &WorkTrace {
+        &self.trace
+    }
+
+    /// Takes the accumulated trace, leaving an empty one behind.
+    pub fn take_trace(&mut self) -> WorkTrace {
+        std::mem::replace(&mut self.trace, WorkTrace::new(self.worker_count))
+    }
+
+    /// The worker whose death poisoned the executor, if any.
+    pub fn poisoned_by(&self) -> Option<usize> {
+        self.poisoned
+    }
+
+    /// The panic message of the most recent worker panic, if one was caught.
+    pub fn last_panic_message(&self) -> Option<&str> {
+        self.last_panic.as_deref()
+    }
+
+    /// Executes one command, surfacing worker failures as values instead of
+    /// killing the master thread.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::WorkerDied`] when a worker panics (or its channel
+    /// disconnects) during this command; the executor is poisoned
+    /// afterwards. [`ExecError::Poisoned`] for every command issued to a
+    /// poisoned executor; [`ThreadedExecutor::reassign`] clears the state by
+    /// rebuilding the workers.
+    pub fn try_execute(
+        &mut self,
+        op: &KernelOp,
+        ctx: &ExecContext<'_>,
+    ) -> Result<OpOutput, ExecError> {
+        if let Some(worker) = self.poisoned {
+            return Err(ExecError::Poisoned { worker });
+        }
+        self.sync_events += 1;
+        let command = Arc::new(Command {
+            op: op.clone(),
+            tree: ctx.tree.clone(),
+            models: ctx.models.clone(),
+            branch_lengths: ctx.branch_lengths.clone(),
+        });
+        for (worker, handle) in self.handles.iter().enumerate() {
+            if handle.sender.send(Some(Arc::clone(&command))).is_err() {
+                self.poisoned = Some(worker);
+                return Err(ExecError::WorkerDied { worker });
+            }
+        }
+        // Only allocate the per-region record when the measurements are
+        // actually kept — the untimed master loop stays allocation-free.
+        let mut record = self
+            .options
+            .timed
+            .then(|| RegionRecord::new(op.kind(), self.worker_count));
+        let mut result: Option<OpOutput> = None;
+        for (worker, handle) in self.handles.iter().enumerate() {
+            match handle.results.recv() {
+                Ok(Reply::Output(out, duration)) => {
+                    if let Some(record) = record.as_mut() {
+                        record.seconds_per_worker[worker] = duration.as_secs_f64();
+                    }
+                    result = Some(match result {
+                        None => out,
+                        Some(acc) => reduce_outputs(acc, out),
+                    });
+                }
+                Ok(Reply::Panicked(message)) => {
+                    self.poisoned = Some(worker);
+                    self.last_panic = Some(message);
+                    return Err(ExecError::WorkerDied { worker });
+                }
+                Err(_) => {
+                    self.poisoned = Some(worker);
+                    return Err(ExecError::WorkerDied { worker });
+                }
+            }
+        }
+        if let Some(record) = record {
+            self.trace.regions.push(record);
+        }
+        Ok(result.unwrap_or(OpOutput::None))
+    }
+
+    /// Migrates pattern→worker ownership to a new assignment: the old
+    /// workers are shut down, fresh ones are spawned from the new owner map,
+    /// the trace epoch restarts, and any poisoned state is cleared (the
+    /// broken workers are gone).
+    ///
+    /// The new workers own *empty* CLV buffers, so the caller must
+    /// invalidate the master-side CLV validity cache before the next
+    /// likelihood evaluation (`LikelihoodKernel::invalidate_all`).
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::PatternCountMismatch`] if the assignment was built for
+    /// a different dataset, [`SchedError::SkewWorkerOutOfRange`] if the
+    /// executor's skew would fall outside the new worker range; the executor
+    /// is left untouched in either case.
+    pub fn reassign(
+        &mut self,
+        patterns: &PartitionedPatterns,
+        assignment: &Assignment,
+        node_capacity: usize,
+        categories: &[usize],
+    ) -> Result<(), SchedError> {
+        Self::check_skew(&self.options, assignment.worker_count())?;
+        let workers = crate::build_workers(patterns, node_capacity, categories, assignment)?;
+        self.shutdown_workers();
+        self.worker_count = workers.len();
+        self.handles = Self::spawn_handles(workers, &self.options);
+        self.assignment = assignment.clone();
+        self.trace = WorkTrace::new(self.worker_count);
+        self.poisoned = None;
+        self.last_panic = None;
+        Ok(())
     }
 }
 
@@ -139,32 +440,16 @@ impl Executor for ThreadedExecutor {
         self.worker_count
     }
 
+    /// # Panics
+    ///
+    /// Panics with the [`ExecError`] message if a worker dies; use
+    /// [`ThreadedExecutor::try_execute`] to handle worker failures as
+    /// values.
     fn execute(&mut self, op: &KernelOp, ctx: &ExecContext<'_>) -> OpOutput {
-        self.sync_events += 1;
-        let command = Arc::new(Command {
-            op: op.clone(),
-            tree: ctx.tree.clone(),
-            models: ctx.models.clone(),
-            branch_lengths: ctx.branch_lengths.clone(),
-        });
-        for handle in &self.handles {
-            handle
-                .sender
-                .send(Some(Arc::clone(&command)))
-                .expect("worker thread terminated unexpectedly");
+        match self.try_execute(op, ctx) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
         }
-        let mut result: Option<OpOutput> = None;
-        for handle in &self.handles {
-            let out = handle
-                .results
-                .recv()
-                .expect("worker thread terminated unexpectedly");
-            result = Some(match result {
-                None => out,
-                Some(acc) => reduce_outputs(acc, out),
-            });
-        }
-        result.unwrap_or(OpOutput::None)
     }
 
     fn sync_events(&self) -> u64 {
@@ -174,14 +459,7 @@ impl Executor for ThreadedExecutor {
 
 impl Drop for ThreadedExecutor {
     fn drop(&mut self) {
-        for handle in &self.handles {
-            let _ = handle.sender.send(None);
-        }
-        for handle in &mut self.handles {
-            if let Some(join) = handle.join.take() {
-                let _ = join.join();
-            }
-        }
+        self.shutdown_workers();
     }
 }
 
@@ -191,7 +469,7 @@ mod tests {
     use crate::schedule;
     use phylo_kernel::{LikelihoodKernel, SequentialKernel};
     use phylo_models::BranchLengthMode;
-    use phylo_sched::{Cyclic, WeightedLpt};
+    use phylo_sched::{Block, Cyclic, ScheduleStrategy, WeightedLpt};
     use phylo_seqgen::datasets::paper_simulated;
 
     #[test]
@@ -293,5 +571,252 @@ mod tests {
             crate::Distribution::Cyclic,
         );
         assert_eq!(exec.worker_count(), 2);
+    }
+
+    #[test]
+    fn timed_executor_accumulates_a_wall_clock_trace() {
+        let ds = paper_simulated(8, 160, 40, 31).generate();
+        let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+        let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+        let assignment = schedule(&ds.patterns, &cats, 3, &Cyclic).unwrap();
+        let exec = ThreadedExecutor::with_options(
+            &ds.patterns,
+            &assignment,
+            ds.tree.node_capacity(),
+            &cats,
+            ExecutorOptions {
+                timed: true,
+                skew: None,
+            },
+        )
+        .unwrap();
+        let mut k = LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+        let _ = k.log_likelihood();
+        let sync = k.sync_events();
+        let trace = k.executor_mut().take_trace();
+        assert_eq!(trace.sync_events() as u64, sync);
+        assert_eq!(trace.workers, 3);
+        assert!(trace.has_seconds(), "timed regions must carry durations");
+        // After take_trace the accumulator restarts empty.
+        assert_eq!(k.executor_mut().trace().sync_events(), 0);
+    }
+
+    #[test]
+    fn untimed_executor_keeps_no_trace() {
+        let ds = paper_simulated(6, 64, 16, 37).generate();
+        let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::Joint);
+        let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+        let assignment = schedule(&ds.patterns, &cats, 2, &Cyclic).unwrap();
+        let exec = ThreadedExecutor::from_assignment(
+            &ds.patterns,
+            &assignment,
+            ds.tree.node_capacity(),
+            &cats,
+        )
+        .unwrap();
+        let mut k = LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+        let _ = k.log_likelihood();
+        assert_eq!(k.executor_mut().trace().sync_events(), 0);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_exec_error_and_poisons() {
+        let ds = paper_simulated(6, 64, 16, 41).generate();
+        let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::Joint);
+        let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+        let assignment = schedule(&ds.patterns, &cats, 3, &Cyclic).unwrap();
+        let mut exec = ThreadedExecutor::from_assignment(
+            &ds.patterns,
+            &assignment,
+            ds.tree.node_capacity(),
+            &cats,
+        )
+        .unwrap();
+        let bl = BranchLengths::from_tree(
+            &ds.tree,
+            ds.patterns.partition_count(),
+            models.branch_mode(),
+        );
+        let ctx = ExecContext {
+            tree: &ds.tree,
+            models: &models,
+            branch_lengths: &bl,
+        };
+        // An empty partition mask makes every worker index out of bounds —
+        // the injected panicking op.
+        let bad = KernelOp::Evaluate {
+            root_branch: 0,
+            mask: vec![],
+        };
+        let err = exec.try_execute(&bad, &ctx).unwrap_err();
+        assert!(matches!(err, ExecError::WorkerDied { .. }), "{err:?}");
+        assert!(exec.poisoned_by().is_some());
+        assert!(
+            exec.last_panic_message().is_some(),
+            "the caught panic message must be retained for diagnostics"
+        );
+        // Every further command fails fast with the poisoned state.
+        let good = KernelOp::Evaluate {
+            root_branch: 0,
+            mask: vec![true; ds.patterns.partition_count()],
+        };
+        let err = exec.try_execute(&good, &ctx).unwrap_err();
+        assert!(matches!(err, ExecError::Poisoned { .. }), "{err:?}");
+        assert!(!err.to_string().is_empty());
+        // Dropping a poisoned executor must not hang or panic.
+        drop(exec);
+    }
+
+    #[test]
+    fn reassign_recovers_a_poisoned_executor() {
+        let ds = paper_simulated(6, 64, 16, 43).generate();
+        let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::Joint);
+        let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+        let assignment = schedule(&ds.patterns, &cats, 2, &Cyclic).unwrap();
+        let mut exec = ThreadedExecutor::from_assignment(
+            &ds.patterns,
+            &assignment,
+            ds.tree.node_capacity(),
+            &cats,
+        )
+        .unwrap();
+        let bl = BranchLengths::from_tree(
+            &ds.tree,
+            ds.patterns.partition_count(),
+            models.branch_mode(),
+        );
+        let ctx = ExecContext {
+            tree: &ds.tree,
+            models: &models,
+            branch_lengths: &bl,
+        };
+        let bad = KernelOp::Evaluate {
+            root_branch: 0,
+            mask: vec![],
+        };
+        assert!(exec.try_execute(&bad, &ctx).is_err());
+        assert!(exec.poisoned_by().is_some());
+
+        let fresh = schedule(&ds.patterns, &cats, 2, &Block).unwrap();
+        exec.reassign(&ds.patterns, &fresh, ds.tree.node_capacity(), &cats)
+            .unwrap();
+        assert_eq!(exec.poisoned_by(), None);
+        // A fresh executor owns empty CLV buffers, so the recovery probe is
+        // a no-op newview (what the engine would issue after invalidation).
+        let good = KernelOp::Newview {
+            plans: vec![None; ds.patterns.partition_count()],
+        };
+        assert!(exec.try_execute(&good, &ctx).is_ok());
+    }
+
+    #[test]
+    fn reassign_migrates_ownership_with_identical_likelihood() {
+        let ds = paper_simulated(8, 200, 40, 47).generate();
+        let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+        let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+        let cyclic = schedule(&ds.patterns, &cats, 3, &Cyclic).unwrap();
+        let exec = ThreadedExecutor::from_assignment(
+            &ds.patterns,
+            &cyclic,
+            ds.tree.node_capacity(),
+            &cats,
+        )
+        .unwrap();
+        let mut k = LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+        let before = k.log_likelihood();
+
+        let lpt = schedule(&ds.patterns, &cats, 3, &WeightedLpt).unwrap();
+        let patterns = Arc::clone(k.patterns());
+        let node_capacity = k.tree().node_capacity();
+        k.executor_mut()
+            .reassign(&patterns, &lpt, node_capacity, &cats)
+            .unwrap();
+        // The migrated workers own fresh CLV buffers.
+        k.invalidate_all();
+        let after = k.log_likelihood();
+        assert!(
+            (after - before).abs() < 1e-8,
+            "migration must preserve the likelihood: {before} vs {after}"
+        );
+        assert_eq!(k.executor_mut().assignment().strategy(), "weighted-lpt");
+    }
+
+    #[test]
+    fn degenerate_schedules_with_more_workers_than_patterns() {
+        // Block and LPT both produce empty workers when T > m'; the full
+        // master/worker protocol must still reduce to the sequential answer.
+        let ds = paper_simulated(6, 24, 12, 53).generate();
+        let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+        let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+        let mut seq =
+            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
+        let reference = seq.log_likelihood();
+
+        let patterns = ds.patterns.total_patterns();
+        let workers = patterns + 5;
+        for strategy in [&Block as &dyn ScheduleStrategy, &WeightedLpt] {
+            let assignment = schedule(&ds.patterns, &cats, workers, strategy).unwrap();
+            assert!(
+                assignment.patterns_per_worker().contains(&0),
+                "{}: with {workers} workers and {patterns} patterns some must idle",
+                strategy.name()
+            );
+            let exec = ThreadedExecutor::from_assignment(
+                &ds.patterns,
+                &assignment,
+                ds.tree.node_capacity(),
+                &cats,
+            )
+            .unwrap();
+            let mut k = LikelihoodKernel::new(
+                Arc::clone(&ds.patterns),
+                ds.tree.clone(),
+                models.clone(),
+                exec,
+            );
+            let lnl = k.log_likelihood();
+            assert!(
+                (lnl - reference).abs() < 1e-8,
+                "{} with empty workers: {lnl} vs {reference}",
+                strategy.name()
+            );
+            // Derivatives also cross the empty workers' uniform-shape path.
+            let branch = k.tree().internal_branches()[0];
+            let mask = k.full_mask();
+            k.prepare_branch(branch, &mask);
+            let lengths: Vec<Option<f64>> = (0..k.partition_count()).map(|_| Some(0.15)).collect();
+            let ders = k.branch_derivatives(&lengths);
+            assert!(ders.iter().all(|d| d.is_some()));
+        }
+    }
+
+    #[test]
+    fn skewed_worker_measures_slower() {
+        let ds = paper_simulated(6, 120, 30, 59).generate();
+        let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+        let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+        let assignment = schedule(&ds.patterns, &cats, 3, &Cyclic).unwrap();
+        let exec = ThreadedExecutor::with_options(
+            &ds.patterns,
+            &assignment,
+            ds.tree.node_capacity(),
+            &cats,
+            ExecutorOptions {
+                timed: true,
+                skew: Some(WorkerSkew {
+                    worker: 1,
+                    nanos_per_pattern: 30_000,
+                }),
+            },
+        )
+        .unwrap();
+        let mut k = LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+        let _ = k.log_likelihood();
+        let trace = k.executor_mut().take_trace();
+        let totals = trace.per_worker_total_in(phylo_kernel::TraceUnit::Seconds);
+        assert!(
+            totals[1] > totals[0] && totals[1] > totals[2],
+            "skewed worker must dominate the wall clock: {totals:?}"
+        );
     }
 }

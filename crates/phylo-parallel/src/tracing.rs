@@ -107,7 +107,29 @@ impl TracingExecutor {
             .collect()
     }
 
-    fn record_region(&mut self, op: &KernelOp, ctx: &ExecContext<'_>) {
+    /// Migrates the virtual workers to a new assignment and restarts the
+    /// trace epoch (the old trace measured the old ownership). The caller
+    /// must invalidate the master-side CLV validity cache afterwards, since
+    /// the rebuilt workers own empty CLV buffers.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::PatternCountMismatch`] if the assignment was built for
+    /// a different dataset; the executor is left untouched in that case.
+    pub fn reassign(
+        &mut self,
+        patterns: &PartitionedPatterns,
+        assignment: &Assignment,
+        node_capacity: usize,
+        categories: &[usize],
+    ) -> Result<(), SchedError> {
+        self.workers = crate::build_workers(patterns, node_capacity, categories, assignment)?;
+        self.assignment = assignment.clone();
+        self.trace = WorkTrace::new(assignment.worker_count());
+        Ok(())
+    }
+
+    fn region_record(&self, op: &KernelOp, ctx: &ExecContext<'_>) -> RegionRecord {
         let workers = self.workers.len();
         let mut record = RegionRecord::new(op.kind(), workers);
         for (wi, worker) in self.workers.iter().enumerate() {
@@ -163,7 +185,7 @@ impl TracingExecutor {
             record.flops_per_worker[wi] = flops;
             record.bytes_per_worker[wi] = bytes;
         }
-        self.trace.regions.push(record);
+        record
     }
 }
 
@@ -174,15 +196,21 @@ impl Executor for TracingExecutor {
 
     fn execute(&mut self, op: &KernelOp, ctx: &ExecContext<'_>) -> OpOutput {
         self.sync_events += 1;
-        self.record_region(op, ctx);
+        let mut record = self.region_record(op, ctx);
         let mut result: Option<OpOutput> = None;
-        for worker in &mut self.workers {
+        for (wi, worker) in self.workers.iter_mut().enumerate() {
+            // The virtual workers run sequentially, so each bracket measures
+            // one worker's work free of contention — wall-clock seconds on
+            // top of the analytic FLOP counts.
+            let start = std::time::Instant::now();
             let out = execute_on_worker(worker, op, ctx);
+            record.seconds_per_worker[wi] = start.elapsed().as_secs_f64();
             result = Some(match result {
                 None => out,
                 Some(acc) => reduce_outputs(acc, out),
             });
         }
+        self.trace.regions.push(record);
         result.unwrap_or(OpOutput::None)
     }
 

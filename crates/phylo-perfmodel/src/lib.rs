@@ -23,7 +23,7 @@
 //! but *who wins, by what factor, and where the scaling collapses* — the shape
 //! of Figures 3–6 — comes from the measured trace, not from these constants.
 
-use phylo_kernel::cost::WorkTrace;
+use phylo_kernel::cost::{TraceUnit, WorkTrace};
 use phylo_sched::Assignment;
 
 /// Hardware description of one evaluation platform.
@@ -212,20 +212,40 @@ impl ImbalanceReport {
 }
 
 /// Compares an assignment's predicted per-worker costs against the measured
-/// per-worker FLOPs of a trace recorded under that assignment.
+/// per-worker FLOPs of a trace recorded under that assignment
+/// ([`imbalance_report_in`] with [`TraceUnit::Flops`]).
 ///
 /// # Panics
 ///
 /// Panics if the trace was recorded for a different worker count than the
 /// assignment distributes over.
 pub fn imbalance_report(assignment: &Assignment, trace: &WorkTrace) -> ImbalanceReport {
+    imbalance_report_in(assignment, trace, TraceUnit::Flops)
+}
+
+/// Compares an assignment's predicted per-worker costs against the measured
+/// per-worker totals of a trace in an explicit unit. With
+/// [`TraceUnit::Seconds`] the measured side is the real wall clock of a
+/// timed `ThreadedExecutor` run; the imbalance columns stay directly
+/// comparable because max/mean ratios are unitless (the absolute `max`
+/// columns are then in different units, of course).
+///
+/// # Panics
+///
+/// Panics if the trace was recorded for a different worker count than the
+/// assignment distributes over.
+pub fn imbalance_report_in(
+    assignment: &Assignment,
+    trace: &WorkTrace,
+    unit: TraceUnit,
+) -> ImbalanceReport {
     assert_eq!(
         trace.workers,
         assignment.worker_count(),
         "trace and assignment must describe the same worker count"
     );
     let workers = assignment.worker_count();
-    let measured = trace.flops_per_worker_total();
+    let measured = trace.per_worker_total_in(unit);
     let measured_max = measured.iter().cloned().fold(0.0, f64::max);
     let measured_mean = measured.iter().sum::<f64>() / workers as f64;
     let measured_imbalance = phylo_sched::assignment::worker_imbalance(&measured);
@@ -238,7 +258,7 @@ pub fn imbalance_report(assignment: &Assignment, trace: &WorkTrace) -> Imbalance
         measured_max,
         measured_mean,
         measured_imbalance,
-        measured_region_balance: trace.overall_balance(),
+        measured_region_balance: trace.overall_balance_in(unit),
     }
 }
 
@@ -429,6 +449,26 @@ mod tests {
         assert!((report.model_error() - 0.5 / 1.5).abs() < 1e-12);
         assert!(report.format().contains("cyclic"));
         assert!(ImbalanceReport::header().contains("pred imbal"));
+    }
+
+    #[test]
+    fn imbalance_report_reads_wall_clock_seconds() {
+        use phylo_sched::{PatternCosts, ScheduleStrategy};
+
+        let costs = PatternCosts::uniform(8);
+        let assignment = phylo_sched::Cyclic.assign(&costs, 2).unwrap();
+        let mut trace = WorkTrace::new(2);
+        let mut r = RegionRecord::new(OpKind::Newview, 2);
+        r.seconds_per_worker = vec![0.9, 0.3];
+        trace.regions.push(r);
+
+        let report = imbalance_report_in(&assignment, &trace, TraceUnit::Seconds);
+        assert!((report.measured_imbalance - 1.5).abs() < 1e-12);
+        assert_eq!(report.measured_max, 0.9);
+        assert!((report.measured_region_balance - 0.6 / 0.9).abs() < 1e-12);
+        // The flops view of the same trace is empty.
+        let flops = imbalance_report(&assignment, &trace);
+        assert_eq!(flops.measured_max, 0.0);
     }
 
     #[test]

@@ -189,7 +189,7 @@ mod tests {
 
     #[test]
     fn per_worker_costs_and_metrics() {
-        let costs = PatternCosts::from_costs(vec![1.0, 2.0, 3.0, 4.0]);
+        let costs = PatternCosts::from_costs(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let a = Assignment::new("manual", vec![0, 0, 1, 1], 2, &costs).unwrap();
         assert_eq!(a.predicted_cost(), &[3.0, 7.0]);
         assert_eq!(a.max_cost(), 7.0);

@@ -9,6 +9,7 @@
 //! only the ratios matter, and those are exactly the paper's argument: a
 //! 20-state protein pattern weighs ≈25× a 4-state DNA pattern.
 
+use crate::error::SchedError;
 use phylo_data::PartitionedPatterns;
 use phylo_kernel::cost::newview_flops;
 
@@ -53,8 +54,20 @@ impl PatternCosts {
     /// Explicit per-pattern costs (used by [`TraceAdaptive`] and by tests).
     ///
     /// [`TraceAdaptive`]: crate::strategy::TraceAdaptive
-    pub fn from_costs(costs: Vec<f64>) -> Self {
-        Self { costs }
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::InvalidCost`] if any cost is NaN, infinite or negative.
+    /// (Such costs used to be accepted and then made the greedy pack order
+    /// of the LPT strategies effectively arbitrary — comparisons with NaN
+    /// are unordered.)
+    pub fn from_costs(costs: Vec<f64>) -> Result<Self, SchedError> {
+        for (pattern, &value) in costs.iter().enumerate() {
+            if !value.is_finite() || value < 0.0 {
+                return Err(SchedError::InvalidCost { pattern, value });
+            }
+        }
+        Ok(Self { costs })
     }
 
     /// Number of patterns in the workload.
@@ -132,5 +145,27 @@ mod tests {
         assert_eq!(costs.pattern_count(), 5);
         assert_eq!(costs.total(), 5.0);
         assert!(costs.as_slice().iter().all(|&c| c == 1.0));
+    }
+
+    #[test]
+    fn from_costs_rejects_nan_negative_and_infinite() {
+        assert!(matches!(
+            PatternCosts::from_costs(vec![1.0, f64::NAN]),
+            Err(SchedError::InvalidCost { pattern: 1, .. })
+        ));
+        assert!(matches!(
+            PatternCosts::from_costs(vec![-0.5]),
+            Err(SchedError::InvalidCost {
+                pattern: 0,
+                value: v
+            }) if v == -0.5
+        ));
+        assert!(matches!(
+            PatternCosts::from_costs(vec![f64::INFINITY, 1.0]),
+            Err(SchedError::InvalidCost { pattern: 0, .. })
+        ));
+        // Zero is a legal cost (an all-gap pattern has no work).
+        let ok = PatternCosts::from_costs(vec![0.0, 2.0]).unwrap();
+        assert_eq!(ok.total(), 2.0);
     }
 }

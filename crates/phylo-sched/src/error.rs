@@ -5,8 +5,24 @@
 //! now a documented, recoverable error.
 
 /// Why a schedule could not be produced or applied.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SchedError {
+    /// A per-pattern cost is NaN, infinite or negative. Such costs would make
+    /// the greedy pack order arbitrary (comparisons with NaN are
+    /// unordered), so they are rejected at construction.
+    InvalidCost {
+        /// Global pattern index carrying the bad cost.
+        pattern: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A measured per-worker speed is NaN, infinite or non-positive.
+    InvalidSpeed {
+        /// Worker index carrying the bad speed.
+        worker: usize,
+        /// The offending value.
+        value: f64,
+    },
     /// A schedule for zero workers was requested.
     NoWorkers,
     /// The workload has no patterns to distribute.
@@ -27,6 +43,19 @@ pub enum SchedError {
         /// Number of workers the assignment was built for.
         worker_count: usize,
     },
+    /// An artificial worker skew names a worker outside the executor's
+    /// range; a silently unskewed experiment would be worse than an error.
+    SkewWorkerOutOfRange {
+        /// The configured skew's worker index.
+        worker: usize,
+        /// Number of workers the executor actually has.
+        worker_count: usize,
+    },
+    /// An adaptive driver ran to completion without the executor recording a
+    /// single trace region — the measurement path is not enabled (e.g. a
+    /// `ThreadedExecutor` built without `ExecutorOptions { timed: true }`),
+    /// so mid-run rescheduling silently could never trigger.
+    NoMeasurements,
     /// A measured trace was recorded for a different worker count than the
     /// assignment it is supposed to correct.
     TraceWorkerMismatch {
@@ -40,7 +69,27 @@ pub enum SchedError {
 impl std::fmt::Display for SchedError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            Self::InvalidCost { pattern, value } => write!(
+                f,
+                "pattern {pattern} has invalid cost {value}; costs must be finite and non-negative"
+            ),
+            Self::InvalidSpeed { worker, value } => write!(
+                f,
+                "worker {worker} has invalid speed {value}; speeds must be finite and positive"
+            ),
             Self::NoWorkers => write!(f, "at least one worker is required"),
+            Self::SkewWorkerOutOfRange {
+                worker,
+                worker_count,
+            } => write!(
+                f,
+                "worker skew targets worker {worker}, outside 0..{worker_count}"
+            ),
+            Self::NoMeasurements => write!(
+                f,
+                "the executor recorded no trace regions; build it with timing enabled \
+                 (e.g. ExecutorOptions {{ timed: true }}) to drive adaptive rescheduling"
+            ),
             Self::EmptyWorkload => write!(f, "the workload contains no patterns"),
             Self::PatternCountMismatch { expected, got } => {
                 write!(f, "owner map covers {got} patterns but the workload has {expected}")
@@ -83,5 +132,17 @@ mod tests {
         );
         assert!(!SchedError::NoWorkers.to_string().is_empty());
         assert!(!SchedError::EmptyWorkload.to_string().is_empty());
+        let text = SchedError::InvalidCost {
+            pattern: 5,
+            value: f64::NAN,
+        }
+        .to_string();
+        assert!(text.contains("pattern 5") && text.contains("NaN"), "{text}");
+        let text = SchedError::InvalidSpeed {
+            worker: 2,
+            value: -1.0,
+        }
+        .to_string();
+        assert!(text.contains("worker 2") && text.contains("-1"), "{text}");
     }
 }

@@ -47,9 +47,11 @@
 pub mod assignment;
 pub mod cost;
 pub mod error;
+pub mod reschedule;
 pub mod strategy;
 
 pub use assignment::{worker_imbalance, Assignment};
 pub use cost::PatternCosts;
 pub use error::SchedError;
-pub use strategy::{Block, Cyclic, ScheduleStrategy, TraceAdaptive, WeightedLpt};
+pub use reschedule::{Reassignable, RescheduleDecision, ReschedulePolicy, Rescheduler};
+pub use strategy::{Block, Cyclic, ScheduleStrategy, SpeedAwareLpt, TraceAdaptive, WeightedLpt};

@@ -1,0 +1,268 @@
+//! Mid-run rescheduling from live measurements.
+//!
+//! A schedule built up front — even a cost-aware one — cannot know how fast
+//! each worker actually runs: cores get throttled, co-scheduled or NUMA-
+//! penalized, and the analytic cost model mis-ranks some patterns. The
+//! [`Rescheduler`] closes the loop: it watches the *live* [`WorkTrace`] a
+//! timed executor accumulates, and once the measured per-worker imbalance
+//! crosses a threshold (and enough regions have been observed to trust the
+//! measurement), it produces a fresh [`Assignment`] via the speed-aware LPT
+//! strategy. The driver then migrates pattern→worker ownership by rebuilding
+//! the executor's worker slices — the [`Reassignable`] capability — and the
+//! run continues with bit-identical likelihood semantics (only summation
+//! order changes, so log likelihoods agree to ≤ 1e-8).
+
+use crate::assignment::{worker_imbalance, Assignment};
+use crate::cost::PatternCosts;
+use crate::error::SchedError;
+use crate::strategy::{ScheduleStrategy, SpeedAwareLpt};
+use phylo_data::PartitionedPatterns;
+use phylo_kernel::cost::{TraceUnit, WorkTrace};
+
+/// An execution backend whose pattern→worker ownership can be migrated
+/// mid-run.
+///
+/// Implemented by the timed `ThreadedExecutor` and the virtual
+/// `TracingExecutor` in `phylo-parallel`. After [`Reassignable::reassign`]
+/// the workers own fresh (empty) CLV buffers, so the caller **must**
+/// invalidate the master-side CLV validity cache before the next likelihood
+/// evaluation.
+pub trait Reassignable {
+    /// The assignment the current workers were built from.
+    fn assignment(&self) -> &Assignment;
+
+    /// The live trace accumulated since construction or the last
+    /// [`Reassignable::take_trace`]/[`Reassignable::reassign`].
+    fn live_trace(&self) -> &WorkTrace;
+
+    /// Takes the accumulated trace, leaving an empty one behind.
+    fn take_trace(&mut self) -> WorkTrace;
+
+    /// Rebuilds the worker slices under a new assignment and resets the
+    /// trace (the old epoch measured the old ownership).
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::PatternCountMismatch`] if the assignment was built for
+    /// a different dataset.
+    fn reassign(
+        &mut self,
+        patterns: &PartitionedPatterns,
+        assignment: &Assignment,
+        node_capacity: usize,
+        categories: &[usize],
+    ) -> Result<(), SchedError>;
+}
+
+/// When the [`Rescheduler`] acts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReschedulePolicy {
+    /// Minimum measured imbalance (max/mean per-worker total, 1.0 = perfect)
+    /// before a reschedule is considered worthwhile.
+    pub imbalance_threshold: f64,
+    /// Minimum number of recorded regions before the measurement is trusted
+    /// (and between consecutive decisions, since a reschedule resets the
+    /// trace epoch).
+    pub min_regions: usize,
+    /// Which per-worker measurement drives the decision. Real runs use
+    /// [`TraceUnit::Seconds`]; virtual (tracing) runs use
+    /// [`TraceUnit::Flops`].
+    pub unit: TraceUnit,
+    /// Upper bound on the number of reschedules per run (each one pays a
+    /// full CLV recomputation).
+    pub max_reschedules: usize,
+}
+
+impl Default for ReschedulePolicy {
+    fn default() -> Self {
+        Self {
+            imbalance_threshold: 1.15,
+            min_regions: 32,
+            unit: TraceUnit::Seconds,
+            max_reschedules: 2,
+        }
+    }
+}
+
+/// A positive decision: the new assignment plus the measurement that
+/// justified it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RescheduleDecision {
+    /// The fresh assignment to migrate to.
+    pub assignment: Assignment,
+    /// Measured per-worker totals (in the policy's unit) that triggered the
+    /// decision.
+    pub measured: Vec<f64>,
+    /// Measured imbalance (max/mean) of those totals.
+    pub measured_imbalance: f64,
+    /// Estimated per-worker speeds the new assignment packs against.
+    pub speeds: Vec<f64>,
+}
+
+/// Decides, from a live trace, whether to migrate pattern ownership — and to
+/// what.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rescheduler {
+    policy: ReschedulePolicy,
+    decisions: usize,
+}
+
+impl Rescheduler {
+    /// A rescheduler with the given policy.
+    pub fn new(policy: ReschedulePolicy) -> Self {
+        Self {
+            policy,
+            decisions: 0,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &ReschedulePolicy {
+        &self.policy
+    }
+
+    /// Number of positive decisions made so far.
+    pub fn decisions(&self) -> usize {
+        self.decisions
+    }
+
+    /// Considers the live trace of a run under `current`. Returns
+    /// `Ok(None)` when the policy says to stay put (too few regions,
+    /// imbalance under threshold, decision budget exhausted, or the
+    /// re-pack reproduces the current owner map).
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::TraceWorkerMismatch`] if the trace and `current`
+    /// disagree on the worker count,
+    /// [`SchedError::PatternCountMismatch`] if `base` covers a different
+    /// number of patterns than `current`.
+    pub fn consider(
+        &mut self,
+        current: &Assignment,
+        trace: &WorkTrace,
+        base: &PatternCosts,
+    ) -> Result<Option<RescheduleDecision>, SchedError> {
+        if self.decisions >= self.policy.max_reschedules {
+            return Ok(None);
+        }
+        if trace.sync_events() < self.policy.min_regions {
+            return Ok(None);
+        }
+        let measured = trace.per_worker_total_in(self.policy.unit);
+        let measured_imbalance = worker_imbalance(&measured);
+        if measured_imbalance <= self.policy.imbalance_threshold {
+            return Ok(None);
+        }
+        let strategy = SpeedAwareLpt::from_trace(current, trace, self.policy.unit, base)?;
+        let assignment = strategy.assign(base, current.worker_count())?;
+        if assignment.owner() == current.owner() {
+            return Ok(None);
+        }
+        self.decisions += 1;
+        Ok(Some(RescheduleDecision {
+            assignment,
+            measured,
+            measured_imbalance,
+            speeds: strategy.speeds().to_vec(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Cyclic;
+    use phylo_kernel::cost::{OpKind, RegionRecord};
+
+    fn skewed_trace(workers: usize, regions: usize, skew: f64) -> WorkTrace {
+        let mut t = WorkTrace::new(workers);
+        for _ in 0..regions {
+            let mut r = RegionRecord::new(OpKind::Newview, workers);
+            r.seconds_per_worker = vec![1.0; workers];
+            r.seconds_per_worker[0] = skew;
+            t.regions.push(r);
+        }
+        t
+    }
+
+    fn policy() -> ReschedulePolicy {
+        ReschedulePolicy {
+            imbalance_threshold: 1.2,
+            min_regions: 4,
+            unit: TraceUnit::Seconds,
+            max_reschedules: 1,
+        }
+    }
+
+    #[test]
+    fn too_few_regions_means_no_decision() {
+        let costs = PatternCosts::uniform(40);
+        let prior = Cyclic.assign(&costs, 4).unwrap();
+        let mut r = Rescheduler::new(policy());
+        let trace = skewed_trace(4, 2, 5.0);
+        assert_eq!(r.consider(&prior, &trace, &costs).unwrap(), None);
+        assert_eq!(r.decisions(), 0);
+    }
+
+    #[test]
+    fn balanced_trace_means_no_decision() {
+        let costs = PatternCosts::uniform(40);
+        let prior = Cyclic.assign(&costs, 4).unwrap();
+        let mut r = Rescheduler::new(policy());
+        let trace = skewed_trace(4, 10, 1.0);
+        assert_eq!(r.consider(&prior, &trace, &costs).unwrap(), None);
+    }
+
+    #[test]
+    fn skewed_trace_triggers_a_speed_aware_repack() {
+        let costs = PatternCosts::uniform(40);
+        let prior = Cyclic.assign(&costs, 4).unwrap();
+        let mut r = Rescheduler::new(policy());
+        let trace = skewed_trace(4, 10, 4.0);
+        let decision = r.consider(&prior, &trace, &costs).unwrap().unwrap();
+        assert!(decision.measured_imbalance > 2.0);
+        let counts = decision.assignment.patterns_per_worker();
+        assert!(
+            counts[0] < counts[1],
+            "slow worker must shed patterns: {counts:?}"
+        );
+        assert_eq!(r.decisions(), 1);
+        // The budget (max_reschedules = 1) is now exhausted.
+        assert_eq!(r.consider(&prior, &trace, &costs).unwrap(), None);
+    }
+
+    #[test]
+    fn mismatched_shapes_are_errors() {
+        let costs = PatternCosts::uniform(40);
+        let prior = Cyclic.assign(&costs, 4).unwrap();
+        let mut r = Rescheduler::new(policy());
+        let trace = skewed_trace(3, 10, 4.0);
+        assert!(matches!(
+            r.consider(&prior, &trace, &costs).unwrap_err(),
+            SchedError::TraceWorkerMismatch { .. }
+        ));
+        let short = PatternCosts::uniform(7);
+        assert!(matches!(
+            r.consider(&prior, &skewed_trace(4, 10, 4.0), &short)
+                .unwrap_err(),
+            SchedError::PatternCountMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn an_untimed_trace_never_triggers() {
+        // A trace with only FLOP data has zero second totals → imbalance is
+        // 1.0 by convention → no decision under the seconds unit.
+        let costs = PatternCosts::uniform(40);
+        let prior = Cyclic.assign(&costs, 4).unwrap();
+        let mut trace = WorkTrace::new(4);
+        for _ in 0..10 {
+            let mut reg = RegionRecord::new(OpKind::Newview, 4);
+            reg.flops_per_worker = vec![40.0, 10.0, 10.0, 10.0];
+            trace.regions.push(reg);
+        }
+        let mut r = Rescheduler::new(policy());
+        assert_eq!(r.consider(&prior, &trace, &costs).unwrap(), None);
+    }
+}

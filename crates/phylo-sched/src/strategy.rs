@@ -4,7 +4,7 @@
 use crate::assignment::Assignment;
 use crate::cost::PatternCosts;
 use crate::error::SchedError;
-use phylo_kernel::cost::WorkTrace;
+use phylo_kernel::cost::{TraceUnit, WorkTrace};
 
 /// Produces a pattern→worker [`Assignment`] for a costed workload.
 ///
@@ -93,35 +93,47 @@ impl ScheduleStrategy for Block {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WeightedLpt;
 
-/// Shared LPT core: deterministic (cost-descending, index-ascending order;
-/// ties between workers go to the lowest index).
+/// Shared LPT core over workers with (possibly unequal) speeds:
+/// deterministic (cost-descending, index-ascending order; ties between
+/// workers go to the lowest index). Each pattern is placed on the worker
+/// whose *completion time* `(load + cost) / speed` is smallest; with
+/// uniform speeds this is exactly classical least-loaded LPT (the constant
+/// `cost / speed` term cancels in the argmin).
+///
+/// The caller has already run [`check_inputs`] and guarantees
+/// `speeds.len() == worker_count` with finite positive entries.
+fn lpt_pack(name: &str, costs: &PatternCosts, speeds: &[f64]) -> Result<Assignment, SchedError> {
+    let worker_count = speeds.len();
+    let mut order: Vec<usize> = (0..costs.pattern_count()).collect();
+    // Costs are validated finite at construction, so `total_cmp` is a plain
+    // numeric descending order here (no NaN caveats).
+    order.sort_by(|&a, &b| costs.cost(b).total_cmp(&costs.cost(a)).then(a.cmp(&b)));
+    let mut time = vec![0.0f64; worker_count];
+    let mut owner = vec![0usize; costs.pattern_count()];
+    for g in order {
+        let mut best = 0usize;
+        let mut best_finish = time[0] + costs.cost(g) / speeds[0];
+        for (w, &t) in time.iter().enumerate().skip(1) {
+            let finish = t + costs.cost(g) / speeds[w];
+            if finish < best_finish {
+                best = w;
+                best_finish = finish;
+            }
+        }
+        owner[g] = best;
+        time[best] = best_finish;
+    }
+    Assignment::new(name, owner, worker_count, costs)
+}
+
+/// Classical LPT: [`lpt_pack`] with uniform speeds.
 fn lpt_assign(
     name: &str,
     costs: &PatternCosts,
     worker_count: usize,
 ) -> Result<Assignment, SchedError> {
     check_inputs(costs, worker_count)?;
-    let mut order: Vec<usize> = (0..costs.pattern_count()).collect();
-    order.sort_by(|&a, &b| {
-        costs
-            .cost(b)
-            .partial_cmp(&costs.cost(a))
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
-    let mut load = vec![0.0f64; worker_count];
-    let mut owner = vec![0usize; costs.pattern_count()];
-    for g in order {
-        let mut best = 0usize;
-        for w in 1..worker_count {
-            if load[w] < load[best] {
-                best = w;
-            }
-        }
-        owner[g] = best;
-        load[best] += costs.cost(g);
-    }
-    Assignment::new(name, owner, worker_count, costs)
+    lpt_pack(name, costs, &vec![1.0; worker_count])
 }
 
 impl ScheduleStrategy for WeightedLpt {
@@ -152,13 +164,30 @@ pub struct TraceAdaptive {
 
 impl TraceAdaptive {
     /// Builds the strategy from the warm-up run's assignment and its measured
-    /// trace.
+    /// trace, reading the trace's analytic FLOP counts (the virtual-executor
+    /// measurement path).
     ///
     /// # Errors
     ///
     /// [`SchedError::TraceWorkerMismatch`] if the trace was recorded for a
     /// different worker count than `prior` distributes over.
     pub fn new(prior: Assignment, trace: &WorkTrace) -> Result<Self, SchedError> {
+        Self::with_unit(prior, trace, TraceUnit::Flops)
+    }
+
+    /// Builds the strategy from a trace in an explicit unit.
+    /// [`TraceUnit::Seconds`] is the real measurement path: per-worker
+    /// wall-clock totals recorded by a timed `ThreadedExecutor`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::TraceWorkerMismatch`] if the trace was recorded for a
+    /// different worker count than `prior` distributes over.
+    pub fn with_unit(
+        prior: Assignment,
+        trace: &WorkTrace,
+        unit: TraceUnit,
+    ) -> Result<Self, SchedError> {
         if trace.workers != prior.worker_count() {
             return Err(SchedError::TraceWorkerMismatch {
                 trace_workers: trace.workers,
@@ -167,7 +196,7 @@ impl TraceAdaptive {
         }
         Ok(Self {
             prior,
-            measured: trace.flops_per_worker_total(),
+            measured: trace.per_worker_total_in(unit),
         })
     }
 
@@ -218,7 +247,7 @@ impl TraceAdaptive {
             .enumerate()
             .map(|(g, &c)| c * factor[self.prior.worker_of(g)])
             .collect();
-        Ok(PatternCosts::from_costs(corrected))
+        PatternCosts::from_costs(corrected)
     }
 }
 
@@ -230,6 +259,123 @@ impl ScheduleStrategy for TraceAdaptive {
     fn assign(&self, costs: &PatternCosts, worker_count: usize) -> Result<Assignment, SchedError> {
         let corrected = self.corrected_costs(costs)?;
         lpt_assign(self.name(), &corrected, worker_count)
+    }
+}
+
+/// LPT onto workers of *unequal measured speed* (the classical "related
+/// machines" makespan heuristic).
+///
+/// [`TraceAdaptive`] attributes a measured slowdown to the *patterns* a
+/// worker owns — correct when the slowdown travels with the data (scaling
+/// events, cache-hostile columns). A *slow worker* (an oversubscribed or
+/// throttled core) is the opposite case: its patterns are cheap anywhere
+/// else, so inflating their cost and re-packing mis-places them. This
+/// strategy instead estimates a per-worker speed from the trace
+/// (`predicted work / measured time`) and packs each pattern, in
+/// cost-descending order, onto the worker whose *completion time*
+/// `(load + cost) / speed` is smallest. With equal speeds it degenerates to
+/// plain [`WeightedLpt`]. This is what the mid-run [`Rescheduler`] uses.
+///
+/// [`Rescheduler`]: crate::reschedule::Rescheduler
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedAwareLpt {
+    speeds: Vec<f64>,
+}
+
+impl SpeedAwareLpt {
+    /// Builds the strategy from explicit per-worker speeds (work per second;
+    /// only ratios matter).
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::NoWorkers`] for an empty speed vector and
+    /// [`SchedError::InvalidSpeed`] for a NaN, infinite or non-positive
+    /// speed.
+    pub fn from_speeds(speeds: Vec<f64>) -> Result<Self, SchedError> {
+        if speeds.is_empty() {
+            return Err(SchedError::NoWorkers);
+        }
+        for (worker, &value) in speeds.iter().enumerate() {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(SchedError::InvalidSpeed { worker, value });
+            }
+        }
+        Ok(Self { speeds })
+    }
+
+    /// Estimates per-worker speeds from a measured trace: worker `w`'s speed
+    /// is `predicted_w / measured_w`, where `predicted_w` is the base cost of
+    /// the patterns `prior` gave it and `measured_w` its per-worker total in
+    /// `unit`. Workers without a measurement (idle, or a zero-cost share)
+    /// are assumed to run at the mean speed of the measured ones.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::TraceWorkerMismatch`] if the trace and `prior` disagree
+    /// on the worker count, [`SchedError::PatternCountMismatch`] if `base`
+    /// covers a different number of patterns than `prior`.
+    pub fn from_trace(
+        prior: &Assignment,
+        trace: &WorkTrace,
+        unit: TraceUnit,
+        base: &PatternCosts,
+    ) -> Result<Self, SchedError> {
+        if trace.workers != prior.worker_count() {
+            return Err(SchedError::TraceWorkerMismatch {
+                trace_workers: trace.workers,
+                assignment_workers: prior.worker_count(),
+            });
+        }
+        if base.pattern_count() != prior.pattern_count() {
+            return Err(SchedError::PatternCountMismatch {
+                expected: prior.pattern_count(),
+                got: base.pattern_count(),
+            });
+        }
+        let mut predicted = vec![0.0f64; prior.worker_count()];
+        for (g, &w) in prior.owner().iter().enumerate() {
+            predicted[w] += base.cost(g);
+        }
+        let measured = trace.per_worker_total_in(unit);
+        let observed: Vec<Option<f64>> = predicted
+            .iter()
+            .zip(&measured)
+            .map(|(&p, &m)| (p > 0.0 && m > 0.0).then(|| p / m))
+            .collect();
+        let known: Vec<f64> = observed.iter().filter_map(|s| *s).collect();
+        let fallback = if known.is_empty() {
+            1.0
+        } else {
+            known.iter().sum::<f64>() / known.len() as f64
+        };
+        Self::from_speeds(
+            observed
+                .into_iter()
+                .map(|s| s.unwrap_or(fallback))
+                .collect(),
+        )
+    }
+
+    /// The per-worker speeds the strategy packs against.
+    pub fn speeds(&self) -> &[f64] {
+        &self.speeds
+    }
+}
+
+impl ScheduleStrategy for SpeedAwareLpt {
+    fn name(&self) -> &str {
+        "speed-lpt"
+    }
+
+    fn assign(&self, costs: &PatternCosts, worker_count: usize) -> Result<Assignment, SchedError> {
+        check_inputs(costs, worker_count)?;
+        if worker_count != self.speeds.len() {
+            return Err(SchedError::TraceWorkerMismatch {
+                trace_workers: self.speeds.len(),
+                assignment_workers: worker_count,
+            });
+        }
+        lpt_pack(self.name(), costs, &self.speeds)
     }
 }
 
@@ -441,6 +587,100 @@ mod tests {
             SchedError::PatternCountMismatch {
                 expected: 8,
                 got: 9
+            }
+        );
+    }
+
+    #[test]
+    fn trace_adaptive_reads_wall_clock_seconds() {
+        // A trace whose FLOP channel is empty but whose seconds channel says
+        // worker 0 took 3× as long: the seconds-fed strategy must rebalance,
+        // while the flops-fed one sees nothing to correct.
+        let costs = PatternCosts::uniform(32);
+        let prior = Cyclic.assign(&costs, 4).unwrap();
+        let mut trace = WorkTrace::new(4);
+        let mut region = RegionRecord::new(OpKind::Newview, 4);
+        region.seconds_per_worker = vec![3.0, 1.0, 1.0, 1.0];
+        trace.regions.push(region);
+
+        let seconds = TraceAdaptive::with_unit(prior.clone(), &trace, TraceUnit::Seconds).unwrap();
+        assert!(seconds.measured_imbalance() > 1.5);
+        let rebalanced = seconds.assign(&costs, 4).unwrap();
+        assert!(rebalanced.imbalance() < seconds.measured_imbalance());
+
+        let flops = TraceAdaptive::new(prior, &trace).unwrap();
+        assert_eq!(flops.measured(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn speed_aware_lpt_with_equal_speeds_matches_weighted_lpt() {
+        let (_, costs) = mixed_fixture();
+        let speedy = SpeedAwareLpt::from_speeds(vec![2.0; 3]).unwrap();
+        let a = speedy.assign(&costs, 3).unwrap();
+        let lpt = WeightedLpt.assign(&costs, 3).unwrap();
+        assert_eq!(a.owner(), lpt.owner());
+    }
+
+    #[test]
+    fn speed_aware_lpt_starves_the_slow_worker() {
+        // Worker 0 measured 4× slower: it must receive roughly a quarter of
+        // the work the others get, so that all workers *finish* together.
+        let costs = PatternCosts::uniform(90);
+        let speedy = SpeedAwareLpt::from_speeds(vec![0.25, 1.0, 1.0]).unwrap();
+        let a = speedy.assign(&costs, 3).unwrap();
+        let counts = a.patterns_per_worker();
+        assert!(
+            counts[0] < counts[1] && counts[0] < counts[2],
+            "slow worker must own the fewest patterns: {counts:?}"
+        );
+        // Completion times (count / speed) ought to be near-equal.
+        let finish: Vec<f64> = counts
+            .iter()
+            .zip(speedy.speeds())
+            .map(|(&c, &s)| c as f64 / s)
+            .collect();
+        let max = finish.iter().cloned().fold(0.0, f64::max);
+        let min = finish.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min < 1.2, "finish times {finish:?}");
+    }
+
+    #[test]
+    fn speed_aware_lpt_from_trace_estimates_speeds() {
+        let costs = PatternCosts::uniform(40);
+        let prior = Cyclic.assign(&costs, 4).unwrap();
+        let mut trace = WorkTrace::new(4);
+        let mut region = RegionRecord::new(OpKind::Newview, 4);
+        // Worker 0 took 4× the wall-clock of the others for the same share.
+        region.seconds_per_worker = vec![4.0, 1.0, 1.0, 1.0];
+        trace.regions.push(region);
+        let speedy = SpeedAwareLpt::from_trace(&prior, &trace, TraceUnit::Seconds, &costs).unwrap();
+        let s = speedy.speeds();
+        assert!(s[0] < s[1] / 3.0, "speeds {s:?}");
+        let a = speedy.assign(&costs, 4).unwrap();
+        let counts = a.patterns_per_worker();
+        assert!(counts[0] < counts[1], "{counts:?}");
+    }
+
+    #[test]
+    fn speed_aware_lpt_validates_inputs() {
+        assert_eq!(
+            SpeedAwareLpt::from_speeds(vec![]).unwrap_err(),
+            SchedError::NoWorkers
+        );
+        assert!(matches!(
+            SpeedAwareLpt::from_speeds(vec![1.0, 0.0]).unwrap_err(),
+            SchedError::InvalidSpeed { worker: 1, .. }
+        ));
+        assert!(matches!(
+            SpeedAwareLpt::from_speeds(vec![f64::NAN]).unwrap_err(),
+            SchedError::InvalidSpeed { worker: 0, .. }
+        ));
+        let speedy = SpeedAwareLpt::from_speeds(vec![1.0, 1.0]).unwrap();
+        assert_eq!(
+            speedy.assign(&PatternCosts::uniform(4), 3).unwrap_err(),
+            SchedError::TraceWorkerMismatch {
+                trace_workers: 2,
+                assignment_workers: 3
             }
         );
     }

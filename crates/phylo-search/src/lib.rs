@@ -10,9 +10,12 @@
 //! [`SearchConfig`], so the same search can be timed under both schemes.
 
 use phylo_kernel::{Executor, LikelihoodKernel};
+use phylo_optimize::adaptive::{ensure_measurements_happened, validate_base_costs};
 use phylo_optimize::{
-    optimize_all_branches, optimize_model_parameters, OptimizerConfig, ParallelScheme,
+    optimize_all_branches, optimize_model_parameters, reschedule_if_needed, OptimizerConfig,
+    ParallelScheme, RescheduleEvent,
 };
+use phylo_sched::{PatternCosts, Reassignable, Rescheduler, SchedError};
 use phylo_tree::spr::{candidate_moves, SprMove};
 
 /// Configuration of the SPR hill-climbing search.
@@ -83,6 +86,66 @@ pub fn tree_search<E: Executor>(
     kernel: &mut LikelihoodKernel<E>,
     config: &SearchConfig,
 ) -> SearchResult {
+    tree_search_with_hook(kernel, config, |_, _| {})
+}
+
+/// [`SearchResult`] plus the mid-search ownership migrations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveSearchResult {
+    /// The ordinary search outcome.
+    pub result: SearchResult,
+    /// Migrations performed between search rounds, in execution order.
+    pub events: Vec<RescheduleEvent>,
+}
+
+/// [`tree_search`] with mid-run rescheduling: after every search round the
+/// executor's live trace is shown to the rescheduler, and a triggered
+/// decision migrates pattern→worker ownership before the next round — the
+/// search continues on the same tree with bit-identical likelihood
+/// semantics.
+///
+/// The rescheduler is consulted after *every* round, including the last one
+/// (see `optimize_model_parameters_adaptive` for why that is deliberate).
+///
+/// # Errors
+///
+/// [`SchedError::PatternCountMismatch`] if `base_costs` covers a different
+/// number of patterns than the kernel's dataset;
+/// [`SchedError::NoMeasurements`] if the search finished without the
+/// executor recording a single trace region (the measurement path is not
+/// enabled, so rescheduling could never have triggered).
+pub fn tree_search_adaptive<E>(
+    kernel: &mut LikelihoodKernel<E>,
+    config: &SearchConfig,
+    rescheduler: &mut Rescheduler,
+    base_costs: &PatternCosts,
+) -> Result<AdaptiveSearchResult, SchedError>
+where
+    E: Executor + Reassignable,
+{
+    validate_base_costs(kernel, base_costs)?;
+    let mut events = Vec::new();
+    let result = tree_search_with_hook(kernel, config, |kernel, round| {
+        if let Some(event) = reschedule_if_needed(kernel, rescheduler, base_costs, round) {
+            events.push(event);
+        }
+    });
+    ensure_measurements_happened(kernel, &events)?;
+    Ok(AdaptiveSearchResult { result, events })
+}
+
+/// The search loop with a caller-supplied hook invoked after every round
+/// (before the no-improvement break). The hook may mutate the kernel as
+/// long as it preserves the likelihood.
+fn tree_search_with_hook<E, F>(
+    kernel: &mut LikelihoodKernel<E>,
+    config: &SearchConfig,
+    mut after_round: F,
+) -> SearchResult
+where
+    E: Executor,
+    F: FnMut(&mut LikelihoodKernel<E>, usize),
+{
     let sync_before = kernel.sync_events();
 
     // Initial smoothing of the starting tree, as RAxML does before searching.
@@ -137,6 +200,7 @@ pub fn tree_search<E: Executor>(
             best_lnl = report.final_log_likelihood;
         }
 
+        after_round(kernel, rounds);
         if !improved_this_round {
             break;
         }
@@ -224,6 +288,56 @@ mod tests {
             end_shared as f64 >= 0.75 * total as f64,
             "recovered only {end_shared}/{total} bipartitions"
         );
+    }
+
+    #[test]
+    fn adaptive_search_migrates_ownership_and_preserves_the_likelihood() {
+        use phylo_kernel::cost::TraceUnit;
+        use phylo_parallel::{schedule, Cyclic, TracingExecutor};
+        use phylo_sched::ReschedulePolicy;
+
+        // 7 workers over 64-pattern partitions: uneven cyclic shares give a
+        // real measured FLOP imbalance for the policy to act on.
+        let ds = phylo_seqgen::datasets::mixed_dna_protein(6, 3, 2, 64, 91).generate();
+        let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+        let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+        let costs = PatternCosts::analytic(&ds.patterns, &cats);
+        let assignment = schedule(&ds.patterns, &cats, 7, &Cyclic).unwrap();
+        let exec = TracingExecutor::from_assignment(
+            &ds.patterns,
+            &assignment,
+            ds.tree.node_capacity(),
+            &cats,
+        )
+        .unwrap();
+        let mut kernel =
+            LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+
+        let mut config = SearchConfig::new(ParallelScheme::New);
+        config.max_rounds = 2;
+        config.spr_radius = 2;
+        config.optimize_model_between_rounds = false;
+        let mut rescheduler = Rescheduler::new(ReschedulePolicy {
+            imbalance_threshold: 1.0001,
+            min_regions: 8,
+            unit: TraceUnit::Flops,
+            max_reschedules: 1,
+        });
+        let adaptive =
+            tree_search_adaptive(&mut kernel, &config, &mut rescheduler, &costs).unwrap();
+        assert!(
+            !adaptive.events.is_empty(),
+            "the low threshold must trigger a mid-search migration"
+        );
+        for event in &adaptive.events {
+            assert!(
+                event.log_likelihood_drift() < 1e-8,
+                "migration drifted the likelihood by {}",
+                event.log_likelihood_drift()
+            );
+        }
+        assert!(adaptive.result.final_log_likelihood >= adaptive.result.initial_log_likelihood);
+        assert_eq!(kernel.executor_mut().assignment().strategy(), "speed-lpt");
     }
 
     #[test]

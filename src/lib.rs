@@ -44,22 +44,26 @@ pub use phylo_tree as tree;
 /// The most commonly used types and functions in one import.
 pub mod prelude {
     pub use phylo_data::{Alignment, DataType, Partition, PartitionSet, PartitionedPatterns};
-    pub use phylo_kernel::{engine::BranchScope, LikelihoodKernel, SequentialKernel};
+    pub use phylo_kernel::{
+        engine::BranchScope, ExecError, LikelihoodKernel, SequentialKernel, TraceUnit, WorkTrace,
+    };
     pub use phylo_models::{BranchLengthMode, ModelSet, PartitionModel, SubstitutionModel};
     pub use phylo_optimize::{
-        optimize_all_branches, optimize_model_parameters, OptimizerConfig, ParallelScheme,
+        optimize_all_branches, optimize_model_parameters, optimize_model_parameters_adaptive,
+        AdaptiveOptimizationReport, OptimizerConfig, ParallelScheme, RescheduleEvent,
     };
     #[allow(deprecated)]
     pub use phylo_parallel::Distribution;
     pub use phylo_parallel::{
-        build_workers, schedule, RayonExecutor, ThreadedExecutor, TracingExecutor,
+        build_workers, schedule, ExecutorOptions, RayonExecutor, ThreadedExecutor, TracingExecutor,
+        WorkerSkew,
     };
-    pub use phylo_perfmodel::{imbalance_report, ImbalanceReport, Platform};
+    pub use phylo_perfmodel::{imbalance_report, imbalance_report_in, ImbalanceReport, Platform};
     pub use phylo_sched::{
-        Assignment, Block, Cyclic, PatternCosts, SchedError, ScheduleStrategy, TraceAdaptive,
-        WeightedLpt,
+        worker_imbalance, Assignment, Block, Cyclic, PatternCosts, Reassignable, ReschedulePolicy,
+        Rescheduler, SchedError, ScheduleStrategy, SpeedAwareLpt, TraceAdaptive, WeightedLpt,
     };
-    pub use phylo_search::{tree_search, SearchConfig};
+    pub use phylo_search::{tree_search, tree_search_adaptive, SearchConfig};
     pub use phylo_seqgen::datasets::{
         mixed_dna_protein, paper_real_world, paper_simulated, DatasetSpec, RealWorldKind,
     };

@@ -169,3 +169,99 @@ fn dataset_io_round_trip_through_files() {
     std::fs::remove_file(&fasta_path).ok();
     std::fs::remove_file(&partition_path).ok();
 }
+
+// The shared probe from the bench crate keeps this acceptance test and the
+// `adaptive_resched` report measuring imbalance the same way.
+use phylo_bench::scheduling::probe_wall_clock_imbalance;
+
+/// The PR's acceptance criterion: on a mixed DNA/protein dataset with one
+/// artificially skewed worker, a single mid-run reschedule driven by real
+/// wall-clock measurements lands strictly below the static cyclic baseline,
+/// and the migration does not move the log likelihood.
+#[test]
+fn mid_run_rescheduling_beats_static_cyclic_on_a_skewed_worker() {
+    let ds = mixed_dna_protein(6, 4, 2, 40, 4242).generate();
+    let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+    let categories: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+    let costs = PatternCosts::analytic(&ds.patterns, &categories);
+    let cyclic = schedule(&ds.patterns, &categories, 4, &Cyclic).unwrap();
+
+    let mut sequential =
+        SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
+    let reference = sequential.log_likelihood();
+
+    // Worker 0 sleeps 100 µs per active pattern in every region — an
+    // emulated throttled core whose slowdown is proportional to its
+    // assigned work, dominating any build-profile compute noise.
+    let skew = WorkerSkew {
+        worker: 0,
+        nanos_per_pattern: 100_000,
+    };
+    let timed_kernel = |assignment: &Assignment| {
+        let executor = ThreadedExecutor::with_options(
+            &ds.patterns,
+            assignment,
+            ds.tree.node_capacity(),
+            &categories,
+            ExecutorOptions {
+                timed: true,
+                skew: Some(skew),
+            },
+        )
+        .unwrap();
+        LikelihoodKernel::new(
+            Arc::clone(&ds.patterns),
+            ds.tree.clone(),
+            models.clone(),
+            executor,
+        )
+    };
+
+    let mut static_kernel = timed_kernel(&cyclic);
+    let cyclic_imbalance = probe_wall_clock_imbalance(&mut static_kernel, 3);
+    drop(static_kernel);
+
+    let mut kernel = timed_kernel(&cyclic);
+    let mut rescheduler = Rescheduler::new(ReschedulePolicy {
+        imbalance_threshold: 1.25,
+        min_regions: 16,
+        unit: TraceUnit::Seconds,
+        max_reschedules: 1,
+    });
+    let config = OptimizerConfig::search_phase(ParallelScheme::New);
+    let adaptive =
+        optimize_model_parameters_adaptive(&mut kernel, &config, &mut rescheduler, &costs).unwrap();
+    assert_eq!(
+        adaptive.events.len(),
+        1,
+        "a 100 µs/pattern skew on one of four workers must trigger the policy"
+    );
+    let event = &adaptive.events[0];
+    assert!(
+        event.log_likelihood_drift() <= 1e-8,
+        "migration drifted the log likelihood by {}",
+        event.log_likelihood_drift()
+    );
+    assert!(event.measured_imbalance > 1.25);
+
+    let adaptive_imbalance = probe_wall_clock_imbalance(&mut kernel, 3);
+    assert!(
+        adaptive_imbalance < cyclic_imbalance,
+        "measured imbalance after one mid-run reschedule ({adaptive_imbalance:.3}) must be \
+         strictly below the static cyclic baseline ({cyclic_imbalance:.3})"
+    );
+
+    // The optimizer improved on the starting likelihood, and the migrated
+    // executor still evaluates a finite, optimized likelihood (the exact
+    // placement-invariance across the migration is the 1e-8 event check
+    // above; `reference` is the unoptimized starting point).
+    assert!(adaptive.report.final_log_likelihood > reference);
+    kernel.invalidate_all();
+    let recomputed = kernel.log_likelihood();
+    assert!(
+        (recomputed - adaptive.report.final_log_likelihood).abs() < 1e-8,
+        "full recomputation on the migrated workers must reproduce the \
+         optimizer's final likelihood: {recomputed} vs {}",
+        adaptive.report.final_log_likelihood
+    );
+}
