@@ -67,7 +67,7 @@ fn bench_scheduling_strategies(c: &mut Criterion) {
             group.bench_function(label, |b| {
                 b.iter(|| {
                     kernel.invalidate_all();
-                    criterion::black_box(kernel.log_likelihood())
+                    criterion::black_box(kernel.try_log_likelihood().unwrap())
                 })
             });
         }
@@ -101,7 +101,7 @@ fn bench_distribution(c: &mut Criterion) {
         group.bench_function(label, |b| {
             b.iter(|| {
                 kernel.invalidate_all();
-                criterion::black_box(kernel.log_likelihood())
+                criterion::black_box(kernel.try_log_likelihood().unwrap())
             })
         });
     }
@@ -118,17 +118,17 @@ fn bench_convergence_mask(c: &mut Criterion) {
     let mut kernel = SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models);
     let branch = kernel.tree().internal_branches()[0];
     let mask = kernel.full_mask();
-    kernel.prepare_branch(branch, &mask);
+    kernel.try_prepare_branch(branch, &mask).unwrap();
     let partitions = kernel.partition_count();
     let all: Vec<Option<f64>> = (0..partitions).map(|_| Some(0.1)).collect();
     let half: Vec<Option<f64>> = (0..partitions)
         .map(|p| if p % 2 == 0 { Some(0.1) } else { None })
         .collect();
     group.bench_function("without_mask_all_partitions", |b| {
-        b.iter(|| criterion::black_box(kernel.branch_derivatives(&all)))
+        b.iter(|| criterion::black_box(kernel.try_branch_derivatives(&all).unwrap()))
     });
     group.bench_function("with_mask_half_converged", |b| {
-        b.iter(|| criterion::black_box(kernel.branch_derivatives(&half)))
+        b.iter(|| criterion::black_box(kernel.try_branch_derivatives(&half).unwrap()))
     });
     group.finish();
 }
@@ -142,7 +142,7 @@ fn bench_gamma_categories(c: &mut Criterion) {
         group.bench_function(format!("categories_{categories}"), |b| {
             b.iter(|| {
                 kernel.invalidate_all();
-                criterion::black_box(kernel.log_likelihood())
+                criterion::black_box(kernel.try_log_likelihood().unwrap())
             })
         });
     }

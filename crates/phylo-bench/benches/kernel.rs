@@ -35,7 +35,7 @@ fn bench_full_traversal(c: &mut Criterion) {
         group.bench_function(label, |b| {
             b.iter(|| {
                 kernel.invalidate_all();
-                criterion::black_box(kernel.log_likelihood())
+                criterion::black_box(kernel.try_log_likelihood().unwrap())
             })
         });
     }
@@ -45,9 +45,9 @@ fn bench_full_traversal(c: &mut Criterion) {
 fn bench_incremental_evaluate(c: &mut Criterion) {
     let mut group = c.benchmark_group("evaluate_with_cached_clvs");
     let mut kernel = build(DataType::Dna, 2000);
-    let _ = kernel.log_likelihood();
+    let _ = kernel.try_log_likelihood().unwrap();
     group.bench_function("dna_cached", |b| {
-        b.iter(|| criterion::black_box(kernel.log_likelihood()))
+        b.iter(|| criterion::black_box(kernel.try_log_likelihood().unwrap()))
     });
     group.finish();
 }
@@ -61,10 +61,10 @@ fn bench_branch_derivatives(c: &mut Criterion) {
         let mut kernel = build(data_type, columns);
         let branch = kernel.tree().internal_branches()[0];
         let mask = kernel.full_mask();
-        kernel.prepare_branch(branch, &mask);
+        kernel.try_prepare_branch(branch, &mask).unwrap();
         let lengths: Vec<Option<f64>> = (0..kernel.partition_count()).map(|_| Some(0.13)).collect();
         group.bench_function(label, |b| {
-            b.iter(|| criterion::black_box(kernel.branch_derivatives(&lengths)))
+            b.iter(|| criterion::black_box(kernel.try_branch_derivatives(&lengths).unwrap()))
         });
     }
     group.finish();

@@ -53,7 +53,8 @@ fn main() {
             );
             let config = OptimizerConfig::new(scheme);
             let start = Instant::now();
-            let report = optimize_model_parameters(&mut kernel, &config);
+            let report = optimize_model_parameters(&mut kernel, &config)
+                .expect("measurement run must not lose workers");
             times.push((start.elapsed().as_secs_f64(), report.final_log_likelihood));
         }
         let (t_old, _) = times[0];

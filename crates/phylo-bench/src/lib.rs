@@ -89,7 +89,9 @@ pub fn run_traced_assignment(
     let final_lnl = match workload {
         Workload::ModelOptimization => {
             let config = OptimizerConfig::new(scheme);
-            optimize_model_parameters(&mut kernel, &config).final_log_likelihood
+            optimize_model_parameters(&mut kernel, &config)
+                .expect("virtual executors cannot lose workers")
+                .final_log_likelihood
         }
         Workload::TreeSearch => {
             let mut config = SearchConfig::new(scheme);
@@ -98,7 +100,9 @@ pub fn run_traced_assignment(
             // balance) without an open-ended runtime.
             config.max_rounds = 1;
             config.spr_radius = 2;
-            tree_search(&mut kernel, &config).final_log_likelihood
+            tree_search(&mut kernel, &config)
+                .expect("virtual executors cannot lose workers")
+                .final_log_likelihood
         }
     };
 

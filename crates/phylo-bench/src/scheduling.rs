@@ -20,7 +20,9 @@ use std::sync::Arc;
 
 use phylo_kernel::{cost::TraceUnit, LikelihoodKernel};
 use phylo_models::{BranchLengthMode, ModelSet};
-use phylo_optimize::{optimize_model_parameters_adaptive, OptimizerConfig, ParallelScheme};
+use phylo_optimize::{
+    optimize_model_parameters_adaptive, OptimizeError, OptimizerConfig, ParallelScheme,
+};
 use phylo_parallel::{
     Assignment, Block, Cyclic, ExecutorOptions, PatternCosts, ReschedulePolicy, Rescheduler,
     SchedError, ScheduleStrategy, ThreadedExecutor, TraceAdaptive, WeightedLpt, WorkerSkew,
@@ -219,7 +221,9 @@ pub fn probe_wall_clock_imbalance(
     let _ = kernel.executor_mut().take_trace();
     for _ in 0..repeats.max(1) {
         kernel.invalidate_all();
-        let _ = kernel.log_likelihood();
+        let _ = kernel
+            .try_log_likelihood()
+            .expect("probe workload runs on healthy workers");
     }
     let trace = kernel.executor_mut().take_trace();
     worker_imbalance(&trace.per_worker_total_in(TraceUnit::Seconds))
@@ -232,17 +236,22 @@ pub fn probe_wall_clock_imbalance(
 ///
 /// # Errors
 ///
-/// Propagates any [`SchedError`] from the underlying strategies.
+/// Propagates any [`SchedError`] from the underlying strategies and any
+/// [`OptimizeError`] from the adaptive driver.
 pub fn compare_adaptive_resched(
     dataset: &GeneratedDataset,
     workers: usize,
     skew: WorkerSkew,
     probe_repeats: usize,
-) -> Result<AdaptiveComparison, SchedError> {
+) -> Result<AdaptiveComparison, OptimizeError> {
     let categories = default_categories(dataset);
     let costs = PatternCosts::analytic(&dataset.patterns, &categories);
-    let cyclic = Cyclic.assign(&costs, workers)?;
-    let lpt = WeightedLpt.assign(&costs, workers)?;
+    let cyclic = Cyclic
+        .assign(&costs, workers)
+        .map_err(OptimizeError::Sched)?;
+    let lpt = WeightedLpt
+        .assign(&costs, workers)
+        .map_err(OptimizeError::Sched)?;
 
     let mut cyclic_kernel = timed_skewed_kernel(dataset, &cyclic, skew);
     let cyclic_imbalance = probe_wall_clock_imbalance(&mut cyclic_kernel, probe_repeats);

@@ -8,6 +8,24 @@
 //! goes through this type, so the *number of commands issued* — the
 //! synchronization count that distinguishes oldPAR from newPAR — is visible in
 //! one place.
+//!
+//! # Fallible vs deprecated panicking API
+//!
+//! The engine's likelihood-facing methods come in two flavours:
+//!
+//! * the **`try_*` family** — [`LikelihoodKernel::try_update_clvs`],
+//!   [`LikelihoodKernel::try_log_likelihood`] (and `_at` /
+//!   `_partitions`), [`LikelihoodKernel::try_prepare_branch`],
+//!   [`LikelihoodKernel::try_branch_derivatives`], plus the fallible
+//!   constructor [`LikelihoodKernel::try_new`] — which return
+//!   [`KernelError`]. A worker death in a parallel backend surfaces as
+//!   `KernelError::Exec(ExecError::WorkerDied { .. })`, and drivers that hold
+//!   a `Reassignable` executor can *recover* by rebuilding the workers and
+//!   resuming. This is the API every driver and all internal code use.
+//! * the **deprecated panicking wrappers** — `update_clvs`,
+//!   `log_likelihood*`, `prepare_branch`, `branch_derivatives` — thin
+//!   `#[deprecated]` shims over the `try_*` methods that panic on error,
+//!   kept for one release so downstream code migrates at its own pace.
 
 use std::sync::Arc;
 
@@ -17,6 +35,7 @@ use phylo_tree::spr::{self, SprMove, SprUndo};
 use phylo_tree::{BranchId, NodeId, TraversalPlan, Tree, TreeError};
 
 use crate::branch_lengths::BranchLengths;
+use crate::error::KernelError;
 use crate::executor::{ExecContext, Executor, KernelOp, PartitionMask, SequentialExecutor};
 use crate::ops::EdgeDerivatives;
 use crate::validity::ClvValidity;
@@ -89,30 +108,34 @@ impl<E: Executor> LikelihoodKernel<E> {
     /// Creates an engine from its parts. The executor must have been built for
     /// the same dataset (same partitions and category counts).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the tree's taxa do not match the dataset's taxa or the model
-    /// count does not match the partition count.
-    pub fn new(
+    /// [`KernelError::TaxaMismatch`] if the tree's taxa do not match the
+    /// dataset's taxa (same names, same order),
+    /// [`KernelError::ModelCountMismatch`] if the model count does not match
+    /// the partition count, [`KernelError::IncompleteTree`] if the tree is
+    /// not fully resolved.
+    pub fn try_new(
         patterns: Arc<PartitionedPatterns>,
         tree: Tree,
         models: ModelSet,
         executor: E,
-    ) -> Self {
-        assert_eq!(
-            tree.taxa(),
-            &patterns.taxa[..],
-            "tree taxa must match alignment taxa (same order)"
-        );
-        assert_eq!(
-            models.len(),
-            patterns.partition_count(),
-            "one model per partition required"
-        );
-        assert!(tree.is_complete(), "the tree must be fully resolved");
+    ) -> Result<Self, KernelError> {
+        if tree.taxa() != &patterns.taxa[..] {
+            return Err(KernelError::TaxaMismatch);
+        }
+        if models.len() != patterns.partition_count() {
+            return Err(KernelError::ModelCountMismatch {
+                models: models.len(),
+                partitions: patterns.partition_count(),
+            });
+        }
+        if !tree.is_complete() {
+            return Err(KernelError::IncompleteTree);
+        }
         let branch_lengths = BranchLengths::from_tree(&tree, models.len(), models.branch_mode());
         let validity = ClvValidity::new(models.len(), tree.node_capacity());
-        Self {
+        Ok(Self {
             data: MasterData {
                 patterns,
                 tree,
@@ -122,6 +145,25 @@ impl<E: Executor> LikelihoodKernel<E> {
             },
             executor,
             stats: KernelStats::default(),
+        })
+    }
+
+    /// Creates an engine from its parts, panicking on mismatched parts; see
+    /// [`LikelihoodKernel::try_new`] for the fallible constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree's taxa do not match the dataset's taxa, the model
+    /// count does not match the partition count, or the tree is incomplete.
+    pub fn new(
+        patterns: Arc<PartitionedPatterns>,
+        tree: Tree,
+        models: ModelSet,
+        executor: E,
+    ) -> Self {
+        match Self::try_new(patterns, tree, models, executor) {
+            Ok(engine) => engine,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -160,6 +202,11 @@ impl<E: Executor> LikelihoodKernel<E> {
         self.executor.sync_events()
     }
 
+    /// Read access to the execution backend (e.g. to inspect a live trace).
+    pub fn executor(&self) -> &E {
+        &self.executor
+    }
+
     /// Access to the execution backend (e.g. to pull a work trace).
     pub fn executor_mut(&mut self) -> &mut E {
         &mut self.executor
@@ -191,7 +238,17 @@ impl<E: Executor> LikelihoodKernel<E> {
     /// date for the masked partitions. Returns the number of CLV updates that
     /// were necessary (0 when everything was already valid — the partial
     /// traversal machinery at work).
-    pub fn update_clvs(&mut self, root_branch: BranchId, mask: &PartitionMask) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::Exec`] when the execution backend fails; the validity
+    /// cache is left untouched in that case, so a recovered executor simply
+    /// recomputes.
+    pub fn try_update_clvs(
+        &mut self,
+        root_branch: BranchId,
+        mask: &PartitionMask,
+    ) -> Result<u64, KernelError> {
         let mut plans: Vec<Option<TraversalPlan>> = vec![None; self.partition_count()];
         let mut updates = 0u64;
         for (pi, active) in mask.iter().enumerate() {
@@ -208,7 +265,7 @@ impl<E: Executor> LikelihoodKernel<E> {
             }
         }
         if updates == 0 {
-            return 0;
+            return Ok(0);
         }
         let op = KernelOp::Newview {
             plans: plans.clone(),
@@ -218,8 +275,9 @@ impl<E: Executor> LikelihoodKernel<E> {
             models: &self.data.models,
             branch_lengths: &self.data.branch_lengths,
         };
-        self.executor.execute(&op, &ctx);
-        // Record the new orientations in the validity cache.
+        self.executor.execute(&op, &ctx)?;
+        // Record the new orientations in the validity cache — only after the
+        // backend actually performed the updates.
         for (pi, plan) in plans.iter().enumerate() {
             if let Some(plan) = plan {
                 for step in &plan.steps {
@@ -228,18 +286,21 @@ impl<E: Executor> LikelihoodKernel<E> {
             }
         }
         self.stats.newview_node_updates += updates;
-        updates
+        Ok(updates)
     }
 
     /// Per-partition log likelihoods for an evaluation rooted on
     /// `root_branch`; inactive partitions report 0.0.
-    pub fn log_likelihood_partitions(
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::Exec`] when the execution backend fails.
+    pub fn try_log_likelihood_partitions(
         &mut self,
         root_branch: BranchId,
         mask: &PartitionMask,
-    ) -> Vec<f64> {
-        self.update_clvs(root_branch, mask);
-        self.stats.evaluations += 1;
+    ) -> Result<Vec<f64>, KernelError> {
+        self.try_update_clvs(root_branch, mask)?;
         let op = KernelOp::Evaluate {
             root_branch,
             mask: mask.clone(),
@@ -249,20 +310,93 @@ impl<E: Executor> LikelihoodKernel<E> {
             models: &self.data.models,
             branch_lengths: &self.data.branch_lengths,
         };
-        self.executor.execute(&op, &ctx).into_log_likelihoods()
+        let out = self.executor.execute(&op, &ctx)?;
+        // Count the evaluation only once the backend actually performed it,
+        // so the work counters stay truthful across failures and retries.
+        self.stats.evaluations += 1;
+        out.try_into_log_likelihoods()
     }
 
     /// Total log likelihood over all partitions, evaluated at `root_branch`.
-    pub fn log_likelihood_at(&mut self, root_branch: BranchId) -> f64 {
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::Exec`] when the execution backend fails.
+    pub fn try_log_likelihood_at(&mut self, root_branch: BranchId) -> Result<f64, KernelError> {
         let mask = self.full_mask();
-        self.log_likelihood_partitions(root_branch, &mask)
+        Ok(self
+            .try_log_likelihood_partitions(root_branch, &mask)?
             .iter()
-            .sum()
+            .sum())
     }
 
     /// Total log likelihood at the default root branch.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::Exec`] when the execution backend fails.
+    pub fn try_log_likelihood(&mut self) -> Result<f64, KernelError> {
+        self.try_log_likelihood_at(self.default_root_branch())
+    }
+
+    /// Deprecated panicking wrapper over
+    /// [`LikelihoodKernel::try_update_clvs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the execution backend fails.
+    #[deprecated(since = "0.1.0", note = "use `try_update_clvs`")]
+    pub fn update_clvs(&mut self, root_branch: BranchId, mask: &PartitionMask) -> u64 {
+        match self.try_update_clvs(root_branch, mask) {
+            Ok(updates) => updates,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Deprecated panicking wrapper over
+    /// [`LikelihoodKernel::try_log_likelihood_partitions`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the execution backend fails.
+    #[deprecated(since = "0.1.0", note = "use `try_log_likelihood_partitions`")]
+    pub fn log_likelihood_partitions(
+        &mut self,
+        root_branch: BranchId,
+        mask: &PartitionMask,
+    ) -> Vec<f64> {
+        match self.try_log_likelihood_partitions(root_branch, mask) {
+            Ok(lnls) => lnls,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Deprecated panicking wrapper over
+    /// [`LikelihoodKernel::try_log_likelihood_at`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the execution backend fails.
+    #[deprecated(since = "0.1.0", note = "use `try_log_likelihood_at`")]
+    pub fn log_likelihood_at(&mut self, root_branch: BranchId) -> f64 {
+        match self.try_log_likelihood_at(root_branch) {
+            Ok(lnl) => lnl,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Deprecated panicking wrapper over
+    /// [`LikelihoodKernel::try_log_likelihood`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the execution backend fails.
+    #[deprecated(since = "0.1.0", note = "use `try_log_likelihood`")]
     pub fn log_likelihood(&mut self) -> f64 {
-        self.log_likelihood_at(self.default_root_branch())
+        match self.try_log_likelihood() {
+            Ok(lnl) => lnl,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Sets a branch length and invalidates exactly the CLVs whose subtrees
@@ -330,9 +464,16 @@ impl<E: Executor> LikelihoodKernel<E> {
 
     /// Prepares Newton–Raphson optimization of `branch` for the masked
     /// partitions: updates the CLVs at both ends and builds the sum tables.
-    pub fn prepare_branch(&mut self, branch: BranchId, mask: &PartitionMask) {
-        self.update_clvs(branch, mask);
-        self.stats.sumtable_builds += 1;
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::Exec`] when the execution backend fails.
+    pub fn try_prepare_branch(
+        &mut self,
+        branch: BranchId,
+        mask: &PartitionMask,
+    ) -> Result<(), KernelError> {
+        self.try_update_clvs(branch, mask)?;
         let op = KernelOp::Sumtable {
             branch,
             mask: mask.clone(),
@@ -342,15 +483,30 @@ impl<E: Executor> LikelihoodKernel<E> {
             models: &self.data.models,
             branch_lengths: &self.data.branch_lengths,
         };
-        self.executor.execute(&op, &ctx);
+        self.executor.execute(&op, &ctx)?;
+        self.stats.sumtable_builds += 1;
+        Ok(())
     }
 
     /// Evaluates the log-likelihood derivatives of the prepared branch at
     /// per-partition candidate lengths (`None` = skip partition, e.g. already
     /// converged).
-    pub fn branch_derivatives(&mut self, lengths: &[Option<f64>]) -> Vec<Option<EdgeDerivatives>> {
-        assert_eq!(lengths.len(), self.partition_count());
-        self.stats.derivative_calls += 1;
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::PartitionCountMismatch`] when `lengths` does not cover
+    /// every partition, [`KernelError::Exec`] when the execution backend
+    /// fails.
+    pub fn try_branch_derivatives(
+        &mut self,
+        lengths: &[Option<f64>],
+    ) -> Result<Vec<Option<EdgeDerivatives>>, KernelError> {
+        if lengths.len() != self.partition_count() {
+            return Err(KernelError::PartitionCountMismatch {
+                expected: self.partition_count(),
+                got: lengths.len(),
+            });
+        }
         let op = KernelOp::Derivatives {
             lengths: lengths.to_vec(),
         };
@@ -359,7 +515,37 @@ impl<E: Executor> LikelihoodKernel<E> {
             models: &self.data.models,
             branch_lengths: &self.data.branch_lengths,
         };
-        self.executor.execute(&op, &ctx).into_derivatives()
+        let out = self.executor.execute(&op, &ctx)?;
+        self.stats.derivative_calls += 1;
+        out.try_into_derivatives()
+    }
+
+    /// Deprecated panicking wrapper over
+    /// [`LikelihoodKernel::try_prepare_branch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the execution backend fails.
+    #[deprecated(since = "0.1.0", note = "use `try_prepare_branch`")]
+    pub fn prepare_branch(&mut self, branch: BranchId, mask: &PartitionMask) {
+        if let Err(e) = self.try_prepare_branch(branch, mask) {
+            panic!("{e}");
+        }
+    }
+
+    /// Deprecated panicking wrapper over
+    /// [`LikelihoodKernel::try_branch_derivatives`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lengths` has the wrong length or the execution backend
+    /// fails.
+    #[deprecated(since = "0.1.0", note = "use `try_branch_derivatives`")]
+    pub fn branch_derivatives(&mut self, lengths: &[Option<f64>]) -> Vec<Option<EdgeDerivatives>> {
+        match self.try_branch_derivatives(lengths) {
+            Ok(ders) => ders,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Applies an SPR move: topology, per-partition branch lengths and CLV
@@ -493,7 +679,7 @@ mod tests {
     #[test]
     fn log_likelihood_is_negative_and_finite() {
         let mut k = engine(8, 60, 20, BranchLengthMode::Joint, 1);
-        let lnl = k.log_likelihood();
+        let lnl = k.try_log_likelihood().unwrap();
         assert!(lnl.is_finite());
         assert!(lnl < 0.0);
     }
@@ -502,9 +688,9 @@ mod tests {
     fn log_likelihood_invariant_to_root_branch() {
         let mut k = engine(7, 40, 10, BranchLengthMode::PerPartition, 2);
         let branches: Vec<_> = k.tree().branches().collect();
-        let reference = k.log_likelihood_at(branches[0]);
+        let reference = k.try_log_likelihood_at(branches[0]).unwrap();
         for &b in &branches[1..] {
-            let v = k.log_likelihood_at(b);
+            let v = k.try_log_likelihood_at(b).unwrap();
             assert!(
                 (v - reference).abs() < 1e-8,
                 "branch {b}: {v} vs {reference}"
@@ -516,9 +702,9 @@ mod tests {
     fn second_evaluation_reuses_clvs() {
         let mut k = engine(10, 80, 20, BranchLengthMode::Joint, 3);
         let root = k.default_root_branch();
-        let first = k.update_clvs(root, &k.full_mask());
+        let first = k.try_update_clvs(root, &k.full_mask()).unwrap();
         assert!(first > 0);
-        let second = k.update_clvs(root, &k.full_mask());
+        let second = k.try_update_clvs(root, &k.full_mask()).unwrap();
         assert_eq!(second, 0, "no CLV updates needed when nothing changed");
     }
 
@@ -526,12 +712,12 @@ mod tests {
     fn branch_length_change_invalidates_selectively_and_changes_lnl() {
         let mut k = engine(9, 50, 25, BranchLengthMode::Joint, 4);
         let root = k.default_root_branch();
-        let before = k.log_likelihood_at(root);
+        let before = k.try_log_likelihood_at(root).unwrap();
         // Changing a branch far from the root invalidates some CLVs but not
         // all of them.
         let victim = *k.tree().internal_branches().last().unwrap();
         k.set_branch_length(BranchScope::All, victim, 1.5);
-        let updates = k.update_clvs(root, &k.full_mask());
+        let updates = k.try_update_clvs(root, &k.full_mask()).unwrap();
         assert!(
             updates > 0,
             "changing a branch must force some recomputation"
@@ -540,7 +726,7 @@ mod tests {
             updates < k.tree().internal_count() as u64 * k.partition_count() as u64,
             "but not a full retraversal of every partition"
         );
-        let after = k.log_likelihood_at(root);
+        let after = k.try_log_likelihood_at(root).unwrap();
         assert!(
             (after - before).abs() > 1e-6,
             "lnL must respond to branch lengths"
@@ -552,10 +738,10 @@ mod tests {
         let mut k = engine(6, 40, 20, BranchLengthMode::PerPartition, 5);
         let root = k.default_root_branch();
         let mask = k.full_mask();
-        let before = k.log_likelihood_partitions(root, &mask);
+        let before = k.try_log_likelihood_partitions(root, &mask).unwrap();
         let victim = k.tree().internal_branches()[0];
         k.set_branch_length(BranchScope::Partition(1), victim, 2.0);
-        let after = k.log_likelihood_partitions(root, &mask);
+        let after = k.try_log_likelihood_partitions(root, &mask).unwrap();
         assert!(
             (after[0] - before[0]).abs() < 1e-12,
             "partition 0 must be unaffected"
@@ -570,22 +756,22 @@ mod tests {
     fn alpha_change_invalidates_only_its_partition() {
         let mut k = engine(6, 40, 20, BranchLengthMode::Joint, 6);
         let root = k.default_root_branch();
-        let _ = k.log_likelihood_at(root);
+        let _ = k.try_log_likelihood_at(root).unwrap();
         k.set_alpha(0, 0.3);
         assert_eq!(k.valid_clvs(0), 0);
         assert!(k.valid_clvs(1) > 0);
         let mask = k.full_mask();
-        let lnls = k.log_likelihood_partitions(root, &mask);
+        let lnls = k.try_log_likelihood_partitions(root, &mask).unwrap();
         assert!(lnls.iter().all(|l| l.is_finite() && *l < 0.0));
     }
 
     #[test]
     fn exchangeability_change_moves_likelihood() {
         let mut k = engine(5, 30, 30, BranchLengthMode::Joint, 7);
-        let before = k.log_likelihood();
+        let before = k.try_log_likelihood().unwrap();
         k.set_exchangeability(0, 1, 4.0);
         assert!((k.exchangeability(0, 1) - 4.0).abs() < 1e-12);
-        let after = k.log_likelihood();
+        let after = k.try_log_likelihood().unwrap();
         assert!((after - before).abs() > 1e-9);
     }
 
@@ -594,17 +780,17 @@ mod tests {
         let mut k = engine(8, 60, 30, BranchLengthMode::PerPartition, 8);
         let branch = k.tree().internal_branches()[0];
         let mask = k.full_mask();
-        k.prepare_branch(branch, &mask);
+        k.try_prepare_branch(branch, &mask).unwrap();
         let t0 = k.branch_length(0, branch);
         let lengths: Vec<Option<f64>> = (0..k.partition_count()).map(|_| Some(t0)).collect();
-        let ders = k.branch_derivatives(&lengths);
+        let ders = k.try_branch_derivatives(&lengths).unwrap();
 
         // Finite-difference check against direct evaluation for partition 0.
         let h = 1e-6;
         let lnl = |t: f64, k: &mut SequentialKernel| {
             k.set_branch_length(BranchScope::Partition(0), branch, t);
             let mask = k.single_mask(0);
-            k.log_likelihood_partitions(branch, &mask)[0]
+            k.try_log_likelihood_partitions(branch, &mask).unwrap()[0]
         };
         let up = lnl(t0 + h, &mut k);
         let down = lnl(t0 - h, &mut k);
@@ -620,7 +806,7 @@ mod tests {
     #[test]
     fn spr_apply_and_undo_restore_likelihood() {
         let mut k = engine(10, 60, 30, BranchLengthMode::PerPartition, 9);
-        let before = k.log_likelihood();
+        let before = k.try_log_likelihood().unwrap();
         let tree = k.tree().clone();
         // Find a valid move.
         let mut chosen = None;
@@ -635,10 +821,10 @@ mod tests {
         }
         let mv = chosen.expect("a valid SPR move exists");
         let app = k.apply_spr(mv).unwrap();
-        let during = k.log_likelihood();
+        let during = k.try_log_likelihood().unwrap();
         assert!(during.is_finite());
         k.undo_spr(&app);
-        let after = k.log_likelihood();
+        let after = k.try_log_likelihood().unwrap();
         assert!(
             (after - before).abs() < 1e-6,
             "undo must restore the likelihood: {before} vs {after}"
@@ -649,14 +835,14 @@ mod tests {
     #[test]
     fn spr_changes_likelihood_on_informative_data() {
         let mut k = engine(12, 80, 40, BranchLengthMode::Joint, 10);
-        let before = k.log_likelihood();
+        let before = k.try_log_likelihood().unwrap();
         let tree = k.tree().clone();
         let mut any_changed = false;
         for p in tree.internal_nodes() {
             let (s, _) = tree.neighbors(p)[0];
             for mv in spr::candidate_moves(&tree, p, s, 3).into_iter().take(3) {
                 let app = k.apply_spr(mv).unwrap();
-                let lnl = k.log_likelihood();
+                let lnl = k.try_log_likelihood().unwrap();
                 if (lnl - before).abs() > 1e-6 {
                     any_changed = true;
                 }
@@ -675,12 +861,12 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let mut k = engine(6, 40, 20, BranchLengthMode::Joint, 11);
-        let _ = k.log_likelihood();
+        let _ = k.try_log_likelihood().unwrap();
         let branch = k.tree().internal_branches()[0];
         let mask = k.full_mask();
-        k.prepare_branch(branch, &mask);
+        k.try_prepare_branch(branch, &mask).unwrap();
         let lengths: Vec<Option<f64>> = (0..k.partition_count()).map(|_| Some(0.1)).collect();
-        let _ = k.branch_derivatives(&lengths);
+        let _ = k.try_branch_derivatives(&lengths).unwrap();
         let stats = k.stats();
         assert!(stats.newview_node_updates > 0);
         assert_eq!(stats.evaluations, 1);

@@ -1,0 +1,149 @@
+//! The unified error type of the likelihood engine.
+//!
+//! Everything the engine can fail on — a parallel backend losing a worker, a
+//! malformed tree operation, a reduction of mismatched output shapes, or an
+//! engine assembled from parts that do not describe the same dataset — is a
+//! [`KernelError`]. Drivers propagate it as a value instead of aborting the
+//! analysis, which is what lets them *recover* from a worker death via the
+//! reassignment path (see `phylo_sched::Reassignable`).
+
+use phylo_tree::TreeError;
+
+use crate::executor::ExecError;
+
+/// Why a likelihood-engine operation could not complete.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelError {
+    /// The execution backend failed (a worker died, or the executor is
+    /// poisoned by an earlier death).
+    Exec(ExecError),
+    /// A tree operation failed (invalid SPR move, malformed topology).
+    Tree(TreeError),
+    /// A command's reduced output was not of the kind the caller expected —
+    /// an executor-implementation bug surfaced as a value.
+    OutputMismatch {
+        /// The output kind the caller asked for.
+        expected: &'static str,
+        /// The output kind the executor actually produced.
+        got: &'static str,
+    },
+    /// The tree's taxa do not match the dataset's taxa (same names, same
+    /// order required).
+    TaxaMismatch,
+    /// The model set covers a different number of partitions than the
+    /// dataset.
+    ModelCountMismatch {
+        /// Models supplied.
+        models: usize,
+        /// Partitions in the dataset.
+        partitions: usize,
+    },
+    /// The tree is not a fully resolved unrooted binary tree.
+    IncompleteTree,
+    /// A per-partition argument vector has the wrong length.
+    PartitionCountMismatch {
+        /// Partitions in the dataset.
+        expected: usize,
+        /// Entries supplied.
+        got: usize,
+    },
+}
+
+impl KernelError {
+    /// The worker index involved when the error is a backend failure
+    /// ([`ExecError::WorkerDied`] or [`ExecError::Poisoned`]); `None` for
+    /// every other error. Drivers use this to decide whether a failed round
+    /// is recoverable by rebuilding the workers.
+    pub fn failed_worker(&self) -> Option<usize> {
+        match self {
+            KernelError::Exec(ExecError::WorkerDied { worker })
+            | KernelError::Exec(ExecError::Poisoned { worker }) => Some(*worker),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExecError> for KernelError {
+    fn from(e: ExecError) -> Self {
+        KernelError::Exec(e)
+    }
+}
+
+impl From<TreeError> for KernelError {
+    fn from(e: TreeError) -> Self {
+        KernelError::Tree(e)
+    }
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Exec(e) => write!(f, "execution backend failed: {e}"),
+            Self::Tree(e) => write!(f, "tree operation failed: {e}"),
+            Self::OutputMismatch { expected, got } => {
+                write!(f, "expected a {expected} output, got {got}")
+            }
+            Self::TaxaMismatch => {
+                write!(f, "tree taxa must match alignment taxa (same order)")
+            }
+            Self::ModelCountMismatch { models, partitions } => write!(
+                f,
+                "one model per partition required: {models} models for {partitions} partitions"
+            ),
+            Self::IncompleteTree => write!(f, "the tree must be fully resolved"),
+            Self::PartitionCountMismatch { expected, got } => write!(
+                f,
+                "per-partition argument covers {got} partitions but the dataset has {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Exec(e) => Some(e),
+            Self::Tree(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_parameters() {
+        let e = KernelError::from(ExecError::WorkerDied { worker: 3 });
+        assert!(e.to_string().contains('3'), "{e}");
+        assert_eq!(e.failed_worker(), Some(3));
+        let e = KernelError::from(ExecError::Poisoned { worker: 1 });
+        assert_eq!(e.failed_worker(), Some(1));
+        let e = KernelError::OutputMismatch {
+            expected: "log-likelihood",
+            got: "derivative",
+        };
+        assert!(e.to_string().contains("log-likelihood"), "{e}");
+        assert_eq!(e.failed_worker(), None);
+        let e = KernelError::ModelCountMismatch {
+            models: 2,
+            partitions: 5,
+        };
+        assert!(e.to_string().contains('2') && e.to_string().contains('5'));
+        assert!(!KernelError::TaxaMismatch.to_string().is_empty());
+        assert!(!KernelError::IncompleteTree.to_string().is_empty());
+        let e = KernelError::PartitionCountMismatch {
+            expected: 4,
+            got: 2,
+        };
+        assert!(e.to_string().contains('4'), "{e}");
+    }
+
+    #[test]
+    fn tree_errors_convert() {
+        let e = KernelError::from(TreeError::Invalid("bad".into()));
+        assert!(matches!(e, KernelError::Tree(_)));
+        assert!(e.to_string().contains("bad"));
+    }
+}

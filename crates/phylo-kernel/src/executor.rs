@@ -22,6 +22,7 @@ use phylo_models::ModelSet;
 use phylo_tree::{BranchId, TraversalPlan, Tree};
 
 use crate::branch_lengths::BranchLengths;
+use crate::error::KernelError;
 use crate::ops::{self, EdgeDerivatives};
 use crate::slice::WorkerSlices;
 
@@ -97,15 +98,57 @@ pub enum OpOutput {
 }
 
 impl OpOutput {
+    /// Short label of the output kind (diagnostics, error messages).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            OpOutput::None => "empty",
+            OpOutput::LogLikelihoods(_) => "log-likelihood",
+            OpOutput::Derivatives(_) => "derivative",
+        }
+    }
+
+    /// Unwraps per-partition log likelihoods.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::OutputMismatch`] if the output is of a different kind
+    /// (an executor-implementation bug, reported as a value instead of a
+    /// panic).
+    pub fn try_into_log_likelihoods(self) -> Result<Vec<f64>, KernelError> {
+        match self {
+            OpOutput::LogLikelihoods(v) => Ok(v),
+            other => Err(KernelError::OutputMismatch {
+                expected: "log-likelihood",
+                got: other.kind_name(),
+            }),
+        }
+    }
+
+    /// Unwraps per-partition derivatives.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::OutputMismatch`] if the output is of a different kind.
+    pub fn try_into_derivatives(self) -> Result<Vec<Option<EdgeDerivatives>>, KernelError> {
+        match self {
+            OpOutput::Derivatives(v) => Ok(v),
+            other => Err(KernelError::OutputMismatch {
+                expected: "derivative",
+                got: other.kind_name(),
+            }),
+        }
+    }
+
     /// Unwraps per-partition log likelihoods.
     ///
     /// # Panics
     ///
     /// Panics if the output is of a different kind.
+    #[deprecated(since = "0.1.0", note = "use `OpOutput::try_into_log_likelihoods`")]
     pub fn into_log_likelihoods(self) -> Vec<f64> {
-        match self {
-            OpOutput::LogLikelihoods(v) => v,
-            other => panic!("expected log likelihoods, got {other:?}"),
+        match self.try_into_log_likelihoods() {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -114,10 +157,11 @@ impl OpOutput {
     /// # Panics
     ///
     /// Panics if the output is of a different kind.
+    #[deprecated(since = "0.1.0", note = "use `OpOutput::try_into_derivatives`")]
     pub fn into_derivatives(self) -> Vec<Option<EdgeDerivatives>> {
-        match self {
-            OpOutput::Derivatives(v) => v,
-            other => panic!("expected derivatives, got {other:?}"),
+        match self.try_into_derivatives() {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
         }
     }
 }
@@ -161,13 +205,25 @@ impl std::fmt::Display for ExecError {
 impl std::error::Error for ExecError {}
 
 /// The master/worker execution backend.
+///
+/// `execute` is fallible by design: a parallel backend can lose a worker
+/// mid-command, and the master must survive its workers. Backends without a
+/// failure mode (the sequential and virtual executors) simply always return
+/// `Ok`.
 pub trait Executor {
     /// Number of workers the patterns are distributed over.
     fn worker_count(&self) -> usize;
 
     /// Executes one command (one parallel region, one synchronization event)
     /// and returns the reduced result.
-    fn execute(&mut self, op: &KernelOp, ctx: &ExecContext<'_>) -> OpOutput;
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::WorkerDied`] when a worker fails during this command;
+    /// [`ExecError::Poisoned`] when the executor refuses further commands
+    /// after an earlier death (rebuild the workers — e.g. via
+    /// `phylo_sched::Reassignable::reassign` — to recover).
+    fn execute(&mut self, op: &KernelOp, ctx: &ExecContext<'_>) -> Result<OpOutput, ExecError>;
 
     /// Number of synchronization events executed so far.
     fn sync_events(&self) -> u64;
@@ -325,9 +381,9 @@ impl Executor for SequentialExecutor {
         1
     }
 
-    fn execute(&mut self, op: &KernelOp, ctx: &ExecContext<'_>) -> OpOutput {
+    fn execute(&mut self, op: &KernelOp, ctx: &ExecContext<'_>) -> Result<OpOutput, ExecError> {
         self.sync_events += 1;
-        execute_on_worker(&mut self.worker, op, ctx)
+        Ok(execute_on_worker(&mut self.worker, op, ctx))
     }
 
     fn sync_events(&self) -> u64 {
@@ -393,13 +449,52 @@ mod tests {
     #[test]
     fn op_output_unwrap_helpers() {
         assert_eq!(
-            OpOutput::LogLikelihoods(vec![1.0]).into_log_likelihoods(),
+            OpOutput::LogLikelihoods(vec![1.0])
+                .try_into_log_likelihoods()
+                .unwrap(),
             vec![1.0]
+        );
+        assert_eq!(
+            OpOutput::Derivatives(vec![None])
+                .try_into_derivatives()
+                .unwrap(),
+            vec![None]
+        );
+        assert!(matches!(
+            OpOutput::None.try_into_log_likelihoods().unwrap_err(),
+            KernelError::OutputMismatch {
+                expected: "log-likelihood",
+                got: "empty"
+            }
+        ));
+        assert!(matches!(
+            OpOutput::LogLikelihoods(vec![])
+                .try_into_derivatives()
+                .unwrap_err(),
+            KernelError::OutputMismatch { .. }
+        ));
+    }
+
+    /// The deprecated panicking shims stay behaviour-compatible for one
+    /// release.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_unwrap_shims_still_work() {
+        assert_eq!(
+            OpOutput::LogLikelihoods(vec![2.0]).into_log_likelihoods(),
+            vec![2.0]
         );
         assert_eq!(
             OpOutput::Derivatives(vec![None]).into_derivatives(),
             vec![None]
         );
+    }
+
+    #[test]
+    #[should_panic]
+    #[allow(deprecated)]
+    fn deprecated_unwrap_shim_panics_on_mismatch() {
+        let _ = OpOutput::None.into_derivatives();
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!
 //! The crate is layered:
 //!
-//! * [`slice`] — the per-worker view of a partition's patterns (cyclic
+//! * [`slice`](mod@slice) — the per-worker view of a partition's patterns (cyclic
 //!   distribution) and the conditional likelihood vector (CLV) buffers that
 //!   belong to it,
 //! * [`ops`] — the numerical core: `newview` (CLV update), `evaluate`
@@ -20,10 +20,14 @@
 //!   valid (and in which orientation) so that partial traversals can be used,
 //! * [`cost`] — an analytic floating-point cost model of the kernel
 //!   primitives, used by the instrumented executor and the platform model,
-//! * [`executor`] — the [`Executor`](executor::Executor) abstraction: a
+//! * [`executor`] — the [`Executor`] abstraction: a
 //!   synchronous "command" interface exactly like the master/worker protocol
-//!   of the Pthreads RAxML, plus the sequential reference implementation,
-//! * [`engine`] — [`LikelihoodKernel`](engine::LikelihoodKernel), the
+//!   of the Pthreads RAxML, plus the sequential reference implementation;
+//!   `execute` is fallible so a lost worker surfaces as a value,
+//! * [`error`] — [`KernelError`], the unified error the
+//!   engine's `try_*` methods return (the deprecated panicking wrappers are
+//!   documented in [`engine`]),
+//! * [`engine`] — [`LikelihoodKernel`], the
 //!   high-level object that owns tree, models and branch lengths and exposes
 //!   likelihood evaluation, CLV management and derivative computation to the
 //!   optimizers and the tree search,
@@ -33,6 +37,7 @@
 pub mod branch_lengths;
 pub mod cost;
 pub mod engine;
+pub mod error;
 pub mod executor;
 pub mod naive;
 pub mod ops;
@@ -42,6 +47,7 @@ pub mod validity;
 pub use branch_lengths::BranchLengths;
 pub use cost::{TraceError, TraceUnit, WorkTrace};
 pub use engine::{KernelStats, LikelihoodKernel, SequentialKernel};
+pub use error::KernelError;
 pub use executor::{
     ExecContext, ExecError, Executor, KernelOp, OpOutput, PartitionMask, SequentialExecutor,
 };

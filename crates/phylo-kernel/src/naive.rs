@@ -197,7 +197,7 @@ mod tests {
             let kernel_lnls = {
                 let mask = kernel.full_mask();
                 let root = kernel.default_root_branch();
-                kernel.log_likelihood_partitions(root, &mask)
+                kernel.try_log_likelihood_partitions(root, &mask).unwrap()
             };
             let bl = BranchLengths::from_tree(
                 &tree,
@@ -216,7 +216,7 @@ mod tests {
         let (pp, tree) = random_dataset(5, 12, 6, DataType::Protein, 7);
         let models = ModelSet::default_for(&pp, BranchLengthMode::Joint);
         let mut kernel = SequentialKernel::build(pp.clone(), tree.clone(), models.clone());
-        let kernel_total = kernel.log_likelihood();
+        let kernel_total = kernel.try_log_likelihood().unwrap();
         let bl = BranchLengths::from_tree(&tree, pp.partition_count(), BranchLengthMode::Joint);
         let naive_total = naive_log_likelihood(&pp, &tree, &models, &bl);
         assert!(
@@ -230,10 +230,10 @@ mod tests {
         let (pp, tree) = random_dataset(6, 24, 8, DataType::Dna, 11);
         let models = ModelSet::default_for(&pp, BranchLengthMode::PerPartition);
         let mut kernel = SequentialKernel::build(pp.clone(), tree.clone(), models.clone());
-        let _ = kernel.log_likelihood();
+        let _ = kernel.try_log_likelihood().unwrap();
         let victim = kernel.tree().internal_branches()[0];
         kernel.set_branch_length(crate::engine::BranchScope::Partition(1), victim, 0.73);
-        let kernel_total = kernel.log_likelihood();
+        let kernel_total = kernel.try_log_likelihood().unwrap();
 
         let mut bl =
             BranchLengths::from_tree(&tree, pp.partition_count(), BranchLengthMode::PerPartition);

@@ -15,7 +15,7 @@ use crate::substitution::{empirical_frequencies, SubstitutionModel};
 /// How branch lengths are shared between partitions.
 ///
 /// The paper argues for per-partition estimates (they enable the fast
-/// gappy-alignment algorithm of reference [32]) and shows that this is exactly
+/// gappy-alignment algorithm of reference \[32\]) and shows that this is exactly
 /// the case where the old parallelization's load imbalance hurts most.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BranchLengthMode {

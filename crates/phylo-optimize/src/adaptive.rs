@@ -14,11 +14,12 @@
 
 use std::sync::Arc;
 
-use phylo_kernel::{Executor, LikelihoodKernel};
+use phylo_kernel::{Executor, KernelError, LikelihoodKernel};
 use phylo_sched::{PatternCosts, Reassignable, Rescheduler, SchedError};
 
 use crate::config::OptimizerConfig;
 use crate::driver::{optimize_model_parameters_with_hook, OptimizationReport};
+use crate::error::OptimizeError;
 
 /// One mid-run ownership migration.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +46,18 @@ impl RescheduleEvent {
     }
 }
 
+/// One absorbed worker death: the driver rebuilt the workers from the
+/// current assignment, invalidated the master-side CLV cache and resumed.
+/// All parameter updates committed before the death live in the master
+/// state, so nothing optimized so far is lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerRecovery {
+    /// The worker whose death was absorbed.
+    pub worker: usize,
+    /// 1-based recovery attempt within the run.
+    pub attempt: usize,
+}
+
 /// [`OptimizationReport`] plus the migrations that happened along the way.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AdaptiveOptimizationReport {
@@ -53,6 +66,11 @@ pub struct AdaptiveOptimizationReport {
     /// Mid-run migrations, in execution order (empty if the policy never
     /// triggered).
     pub events: Vec<RescheduleEvent>,
+    /// Worker deaths absorbed by rebuilding the workers mid-run (empty in a
+    /// healthy run). When non-empty, `report` describes the final resumed
+    /// attempt: its initial log likelihood and work counters start at the
+    /// last recovery point, not at the original call.
+    pub recoveries: Vec<WorkerRecovery>,
 }
 
 /// Entry guard shared by the adaptive drivers (model optimization here,
@@ -99,14 +117,18 @@ where
 /// Checks, between rounds of any driver loop, whether the live trace
 /// justifies an ownership migration — and performs it if so.
 ///
-/// Returns `None` when the rescheduler stays put. On migration the executor
-/// is rebuilt from the new assignment, the master-side CLV cache is
+/// Returns `Ok(None)` when the rescheduler stays put. On migration the
+/// executor is rebuilt from the new assignment, the master-side CLV cache is
 /// invalidated, and the likelihood is evaluated on both sides of the move
 /// for the returned event.
 ///
 /// The caller must have validated `base_costs` against the kernel's dataset
 /// (see [`optimize_model_parameters_adaptive`]); shape mismatches are
 /// programming errors here.
+///
+/// # Errors
+///
+/// Propagates [`KernelError`] from the boundary likelihood evaluations.
 ///
 /// # Panics
 ///
@@ -117,16 +139,59 @@ pub fn reschedule_if_needed<E>(
     rescheduler: &mut Rescheduler,
     base_costs: &PatternCosts,
     round: usize,
-) -> Option<RescheduleEvent>
+) -> Result<Option<RescheduleEvent>, KernelError>
 where
     E: Executor + Reassignable,
 {
     let exec = kernel.executor_mut();
-    let decision = rescheduler
+    let Some(decision) = rescheduler
         .consider(exec.assignment(), exec.live_trace(), base_costs)
-        .expect("trace, assignment and base costs describe the same run")?;
+        .expect("trace, assignment and base costs describe the same run")
+    else {
+        return Ok(None);
+    };
 
-    let log_likelihood_before = kernel.log_likelihood();
+    let log_likelihood_before = kernel.try_log_likelihood()?;
+    rebuild_workers(kernel, &decision.assignment)
+        .expect("the new assignment covers the same dataset");
+    let log_likelihood_after = kernel.try_log_likelihood()?;
+
+    Ok(Some(RescheduleEvent {
+        round,
+        measured_imbalance: decision.measured_imbalance,
+        predicted_imbalance: decision.assignment.imbalance(),
+        speeds: decision.speeds,
+        log_likelihood_before,
+        log_likelihood_after,
+    }))
+}
+
+/// Rebuilds a failed executor's workers from its *current* assignment and
+/// invalidates the master-side CLV cache — the recovery half of the
+/// worker-death story (the detection half is `KernelError::failed_worker`).
+///
+/// # Errors
+///
+/// Propagates [`SchedError`] if the executor rejects the rebuild (which for
+/// its own current assignment indicates a programming error upstream).
+pub fn recover_worker_death<E>(kernel: &mut LikelihoodKernel<E>) -> Result<(), SchedError>
+where
+    E: Executor + Reassignable,
+{
+    let assignment = kernel.executor_mut().assignment().clone();
+    rebuild_workers(kernel, &assignment)
+}
+
+/// The one rebuild sequence both migration and recovery go through: respawn
+/// the executor's workers under `assignment` and invalidate the master-side
+/// CLV cache (the rebuilt workers own fresh, empty CLV buffers).
+fn rebuild_workers<E>(
+    kernel: &mut LikelihoodKernel<E>,
+    assignment: &phylo_sched::Assignment,
+) -> Result<(), SchedError>
+where
+    E: Executor + Reassignable,
+{
     let patterns = Arc::clone(kernel.patterns());
     let node_capacity = kernel.tree().node_capacity();
     let categories: Vec<usize> = kernel
@@ -137,20 +202,85 @@ where
         .collect();
     kernel
         .executor_mut()
-        .reassign(&patterns, &decision.assignment, node_capacity, &categories)
-        .expect("the new assignment covers the same dataset");
-    // The migrated workers own fresh, empty CLV buffers.
+        .reassign(&patterns, assignment, node_capacity, &categories)?;
     kernel.invalidate_all();
-    let log_likelihood_after = kernel.log_likelihood();
+    Ok(())
+}
 
-    Some(RescheduleEvent {
-        round,
-        measured_imbalance: decision.measured_imbalance,
-        predicted_imbalance: decision.assignment.imbalance(),
-        speeds: decision.speeds,
-        log_likelihood_before,
-        log_likelihood_after,
-    })
+/// Runs `body` against the kernel, absorbing up to `max_recoveries` worker
+/// deaths: on `KernelError::Exec(WorkerDied | Poisoned)` the workers are
+/// rebuilt via [`recover_worker_death`] and `body` is invoked again. Because
+/// every parameter update the optimizers commit lives in the master state,
+/// re-entering the driver loop continues from the current parameters rather
+/// than from the original starting point — though the loop structure itself
+/// restarts, so in-flight work of the interrupted round is re-executed and
+/// the *returned report describes the final attempt only*: its
+/// `initial_log_likelihood`, round and sync-event counters start at the
+/// re-entry, not at the original call (the pre-death commands are simply
+/// not attributed). Shared by the adaptive drivers here and in
+/// `phylo-search`.
+///
+/// # Errors
+///
+/// The first non-recoverable error from `body`, the first worker death past
+/// the budget, or [`OptimizeError::Sched`] if a rebuild itself fails.
+pub fn with_worker_recovery<E, T, F>(
+    kernel: &mut LikelihoodKernel<E>,
+    max_recoveries: usize,
+    recoveries: &mut Vec<WorkerRecovery>,
+    mut body: F,
+) -> Result<T, OptimizeError>
+where
+    E: Executor + Reassignable,
+    F: FnMut(&mut LikelihoodKernel<E>) -> Result<T, KernelError>,
+{
+    loop {
+        match body(kernel) {
+            Ok(value) => return Ok(value),
+            Err(error) => {
+                let Some(worker) = error.failed_worker() else {
+                    return Err(error.into());
+                };
+                if recoveries.len() >= max_recoveries {
+                    return Err(error.into());
+                }
+                recover_worker_death(kernel)?;
+                recoveries.push(WorkerRecovery {
+                    worker,
+                    attempt: recoveries.len() + 1,
+                });
+            }
+        }
+    }
+}
+
+/// [`optimize_model_parameters`] with worker-death recovery but without
+/// mid-run rescheduling: up to `config.max_worker_recoveries` worker deaths
+/// are absorbed by rebuilding the workers and resuming. Unlike the adaptive
+/// driver this places no requirement on the executor's measurement path.
+///
+/// [`optimize_model_parameters`]: crate::driver::optimize_model_parameters
+///
+/// # Errors
+///
+/// [`OptimizeError::Kernel`] when the engine fails beyond the recovery
+/// budget (or for a non-recoverable error), [`OptimizeError::Sched`] if a
+/// recovery rebuild itself fails.
+pub fn optimize_model_parameters_resilient<E>(
+    kernel: &mut LikelihoodKernel<E>,
+    config: &OptimizerConfig,
+) -> Result<(OptimizationReport, Vec<WorkerRecovery>), OptimizeError>
+where
+    E: Executor + Reassignable,
+{
+    let mut recoveries = Vec::new();
+    let report = with_worker_recovery(
+        kernel,
+        config.max_worker_recoveries,
+        &mut recoveries,
+        |kernel| optimize_model_parameters_with_hook(kernel, config, |_, _| Ok(())),
+    )?;
+    Ok((report, recoveries))
 }
 
 /// [`optimize_model_parameters`] with mid-run rescheduling: after every
@@ -165,31 +295,53 @@ where
 /// one short optimizer call to measure, then the real workload on the
 /// corrected placement).
 ///
+/// The driver also *recovers from worker deaths*: when the engine reports
+/// `KernelError::Exec(WorkerDied | Poisoned)` and the recovery budget
+/// (`config.max_worker_recoveries`) is not exhausted, the workers are
+/// rebuilt from the current assignment, the CLV cache is invalidated, and
+/// the driver loop re-enters — resuming with every parameter update
+/// committed before the death.
+///
 /// # Errors
 ///
-/// [`SchedError::PatternCountMismatch`] if `base_costs` covers a different
-/// number of patterns than the kernel's dataset;
-/// [`SchedError::NoMeasurements`] if the run finished without the executor
-/// recording a single trace region (the measurement path is not enabled, so
-/// rescheduling could never have triggered).
+/// [`OptimizeError::Sched`] with [`SchedError::PatternCountMismatch`] if
+/// `base_costs` covers a different number of patterns than the kernel's
+/// dataset, or with [`SchedError::NoMeasurements`] if the run finished
+/// without the executor recording a single trace region (the measurement
+/// path is not enabled, so rescheduling could never have triggered);
+/// [`OptimizeError::Kernel`] when the engine fails beyond the recovery
+/// budget.
 pub fn optimize_model_parameters_adaptive<E>(
     kernel: &mut LikelihoodKernel<E>,
     config: &OptimizerConfig,
     rescheduler: &mut Rescheduler,
     base_costs: &PatternCosts,
-) -> Result<AdaptiveOptimizationReport, SchedError>
+) -> Result<AdaptiveOptimizationReport, OptimizeError>
 where
     E: Executor + Reassignable,
 {
     validate_base_costs(kernel, base_costs)?;
     let mut events = Vec::new();
-    let report = optimize_model_parameters_with_hook(kernel, config, |kernel, round| {
-        if let Some(event) = reschedule_if_needed(kernel, rescheduler, base_costs, round) {
-            events.push(event);
-        }
-    });
+    let mut recoveries = Vec::new();
+    let report = with_worker_recovery(
+        kernel,
+        config.max_worker_recoveries,
+        &mut recoveries,
+        |kernel| {
+            optimize_model_parameters_with_hook(kernel, config, |kernel, round| {
+                if let Some(event) = reschedule_if_needed(kernel, rescheduler, base_costs, round)? {
+                    events.push(event);
+                }
+                Ok(())
+            })
+        },
+    )?;
     ensure_measurements_happened(kernel, &events)?;
-    Ok(AdaptiveOptimizationReport { report, events })
+    Ok(AdaptiveOptimizationReport {
+        report,
+        events,
+        recoveries,
+    })
 }
 
 #[cfg(test)]
@@ -228,7 +380,7 @@ mod tests {
         let ds = mixed_dna_protein(6, 4, 2, 40, 71).generate();
         let (mut plain, _) = tracing_kernel(&ds, 3);
         let config = OptimizerConfig::new(ParallelScheme::New);
-        let expected = crate::driver::optimize_model_parameters(&mut plain, &config);
+        let expected = crate::driver::optimize_model_parameters(&mut plain, &config).unwrap();
 
         let (mut kernel, costs) = tracing_kernel(&ds, 3);
         // An unreachable threshold: the rescheduler must never act.
@@ -307,7 +459,7 @@ mod tests {
         assert_eq!(
             optimize_model_parameters_adaptive(&mut kernel, &config, &mut rescheduler, &costs)
                 .unwrap_err(),
-            SchedError::NoMeasurements
+            OptimizeError::Sched(SchedError::NoMeasurements)
         );
     }
 
@@ -325,7 +477,7 @@ mod tests {
                 &bad
             )
             .unwrap_err(),
-            SchedError::PatternCountMismatch { .. }
+            OptimizeError::Sched(SchedError::PatternCountMismatch { .. })
         ));
     }
 }

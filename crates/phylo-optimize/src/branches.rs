@@ -10,7 +10,7 @@
 //! regions cover every not-yet-converged partition (the convergence mask).
 
 use phylo_kernel::engine::BranchScope;
-use phylo_kernel::{Executor, LikelihoodKernel};
+use phylo_kernel::{Executor, KernelError, LikelihoodKernel};
 use phylo_math::newton::{NewtonState, NewtonStep};
 use phylo_models::BranchLengthMode;
 use phylo_tree::topology::{MAX_BRANCH_LENGTH, MIN_BRANCH_LENGTH};
@@ -40,23 +40,29 @@ impl BranchOptimizationStats {
 }
 
 /// Optimizes the length(s) of one branch.
+///
+/// # Errors
+///
+/// Propagates [`KernelError`] from the engine (e.g. a worker death in the
+/// parallel backend); the master-side state keeps whatever lengths had been
+/// committed before the failure.
 pub fn optimize_branch<E: Executor>(
     kernel: &mut LikelihoodKernel<E>,
     branch: BranchId,
     config: &OptimizerConfig,
-) -> BranchOptimizationStats {
+) -> Result<BranchOptimizationStats, KernelError> {
     let mut stats = BranchOptimizationStats {
         branches_optimized: 1,
         ..Default::default()
     };
     match kernel.models().branch_mode() {
-        BranchLengthMode::Joint => optimize_branch_joint(kernel, branch, config, &mut stats),
+        BranchLengthMode::Joint => optimize_branch_joint(kernel, branch, config, &mut stats)?,
         BranchLengthMode::PerPartition => match config.scheme {
-            ParallelScheme::Old => optimize_branch_old(kernel, branch, config, &mut stats),
-            ParallelScheme::New => optimize_branch_new(kernel, branch, config, &mut stats),
+            ParallelScheme::Old => optimize_branch_old(kernel, branch, config, &mut stats)?,
+            ParallelScheme::New => optimize_branch_new(kernel, branch, config, &mut stats)?,
         },
     }
-    stats
+    Ok(stats)
 }
 
 /// Joint branch lengths: one Newton–Raphson iteration stream whose derivative
@@ -67,9 +73,9 @@ fn optimize_branch_joint<E: Executor>(
     branch: BranchId,
     config: &OptimizerConfig,
     stats: &mut BranchOptimizationStats,
-) {
+) -> Result<(), KernelError> {
     let mask = kernel.full_mask();
-    kernel.prepare_branch(branch, &mask);
+    kernel.try_prepare_branch(branch, &mask)?;
     let partitions = kernel.partition_count();
     let mut state = NewtonState::new(
         kernel.branch_length(0, branch),
@@ -80,7 +86,7 @@ fn optimize_branch_joint<E: Executor>(
     );
     while let NewtonStep::Evaluate(t) = state.propose() {
         let lengths: Vec<Option<f64>> = vec![Some(t); partitions];
-        let ders = kernel.branch_derivatives(&lengths);
+        let ders = kernel.try_branch_derivatives(&lengths)?;
         stats.derivative_regions += 1;
         stats.newton_iterations += 1;
         let (mut d1, mut d2) = (0.0, 0.0);
@@ -91,6 +97,7 @@ fn optimize_branch_joint<E: Executor>(
         state.update(d1, d2);
     }
     kernel.set_branch_length(BranchScope::All, branch, state.current);
+    Ok(())
 }
 
 /// oldPAR with per-partition branch lengths: the whole Newton–Raphson
@@ -101,11 +108,11 @@ fn optimize_branch_old<E: Executor>(
     branch: BranchId,
     config: &OptimizerConfig,
     stats: &mut BranchOptimizationStats,
-) {
+) -> Result<(), KernelError> {
     let partitions = kernel.partition_count();
     for p in 0..partitions {
         let mask = kernel.single_mask(p);
-        kernel.prepare_branch(branch, &mask);
+        kernel.try_prepare_branch(branch, &mask)?;
         let mut state = NewtonState::new(
             kernel.branch_length(p, branch),
             MIN_BRANCH_LENGTH,
@@ -116,7 +123,7 @@ fn optimize_branch_old<E: Executor>(
         while let NewtonStep::Evaluate(t) = state.propose() {
             let mut lengths: Vec<Option<f64>> = vec![None; partitions];
             lengths[p] = Some(t);
-            let ders = kernel.branch_derivatives(&lengths);
+            let ders = kernel.try_branch_derivatives(&lengths)?;
             stats.derivative_regions += 1;
             stats.newton_iterations += 1;
             let d = ders[p].expect("active partition must report derivatives");
@@ -124,6 +131,7 @@ fn optimize_branch_old<E: Executor>(
         }
         kernel.set_branch_length(BranchScope::Partition(p), branch, state.current);
     }
+    Ok(())
 }
 
 /// newPAR with per-partition branch lengths: one iteration stream; every
@@ -134,10 +142,10 @@ fn optimize_branch_new<E: Executor>(
     branch: BranchId,
     config: &OptimizerConfig,
     stats: &mut BranchOptimizationStats,
-) {
+) -> Result<(), KernelError> {
     let partitions = kernel.partition_count();
     let mask = kernel.full_mask();
-    kernel.prepare_branch(branch, &mask);
+    kernel.try_prepare_branch(branch, &mask)?;
     let mut states: Vec<NewtonState> = (0..partitions)
         .map(|p| {
             NewtonState::new(
@@ -164,7 +172,7 @@ fn optimize_branch_new<E: Executor>(
         if active == 0 {
             break;
         }
-        let ders = kernel.branch_derivatives(&lengths);
+        let ders = kernel.try_branch_derivatives(&lengths)?;
         stats.derivative_regions += 1;
         stats.newton_iterations += active as u64;
         for (p, der) in ders.into_iter().enumerate() {
@@ -177,16 +185,21 @@ fn optimize_branch_new<E: Executor>(
     for (p, state) in states.iter().enumerate() {
         kernel.set_branch_length(BranchScope::Partition(p), branch, state.current);
     }
+    Ok(())
 }
 
 /// Optimizes every branch in `branches` (or all branches when `None`),
 /// repeating up to `config.branch_passes` smoothing passes, and returns the
 /// final log likelihood together with the accumulated statistics.
+///
+/// # Errors
+///
+/// Propagates [`KernelError`] from the engine.
 pub fn optimize_all_branches<E: Executor>(
     kernel: &mut LikelihoodKernel<E>,
     branches: Option<&[BranchId]>,
     config: &OptimizerConfig,
-) -> (f64, BranchOptimizationStats) {
+) -> Result<(f64, BranchOptimizationStats), KernelError> {
     let branch_list: Vec<BranchId> = match branches {
         Some(list) => list.to_vec(),
         None => kernel.tree().branches().collect(),
@@ -198,7 +211,7 @@ pub fn optimize_all_branches<E: Executor>(
             let before: Vec<f64> = (0..kernel.partition_count())
                 .map(|p| kernel.branch_length(p, b))
                 .collect();
-            stats.merge(optimize_branch(kernel, b, config));
+            stats.merge(optimize_branch(kernel, b, config)?);
             for (p, &old) in before.iter().enumerate() {
                 max_change = max_change.max((kernel.branch_length(p, b) - old).abs());
             }
@@ -207,7 +220,7 @@ pub fn optimize_all_branches<E: Executor>(
             break;
         }
     }
-    (kernel.log_likelihood(), stats)
+    Ok((kernel.try_log_likelihood()?, stats))
 }
 
 #[cfg(test)]
@@ -228,9 +241,9 @@ mod tests {
     fn optimizing_branches_improves_likelihood() {
         for mode in [BranchLengthMode::Joint, BranchLengthMode::PerPartition] {
             let mut k = kernel(mode, 1);
-            let before = k.log_likelihood();
+            let before = k.try_log_likelihood().unwrap();
             let config = OptimizerConfig::new(ParallelScheme::New);
-            let (after, stats) = optimize_all_branches(&mut k, None, &config);
+            let (after, stats) = optimize_all_branches(&mut k, None, &config).unwrap();
             assert!(
                 after > before + 1.0,
                 "{mode:?}: lnL must improve substantially ({before} -> {after})"
@@ -250,8 +263,8 @@ mod tests {
 
         let mut k_old = kernel(BranchLengthMode::PerPartition, 2);
         let mut k_new = kernel(BranchLengthMode::PerPartition, 2);
-        let (lnl_old, _) = optimize_all_branches(&mut k_old, None, &config_old);
-        let (lnl_new, _) = optimize_all_branches(&mut k_new, None, &config_new);
+        let (lnl_old, _) = optimize_all_branches(&mut k_old, None, &config_old).unwrap();
+        let (lnl_new, _) = optimize_all_branches(&mut k_new, None, &config_new).unwrap();
         assert!(
             (lnl_old - lnl_new).abs() < 0.05,
             "schemes must agree on the optimum: {lnl_old} vs {lnl_new}"
@@ -274,8 +287,8 @@ mod tests {
         let mut k_old = kernel(BranchLengthMode::PerPartition, 3);
         let mut k_new = kernel(BranchLengthMode::PerPartition, 3);
         let branch = k_old.tree().internal_branches()[0];
-        let stats_old = optimize_branch(&mut k_old, branch, &config_old);
-        let stats_new = optimize_branch(&mut k_new, branch, &config_new);
+        let stats_old = optimize_branch(&mut k_old, branch, &config_old).unwrap();
+        let stats_new = optimize_branch(&mut k_new, branch, &config_new).unwrap();
         let partitions = k_old.partition_count() as u64;
         assert!(partitions >= 4);
         assert!(
@@ -302,7 +315,7 @@ mod tests {
         // identical.
         let mut k = kernel(BranchLengthMode::PerPartition, 4);
         let config = OptimizerConfig::new(ParallelScheme::New);
-        let (_, _) = optimize_all_branches(&mut k, None, &config);
+        let (_, _) = optimize_all_branches(&mut k, None, &config).unwrap();
         let branch = k.tree().internal_branches()[0];
         let lengths: Vec<f64> = (0..k.partition_count())
             .map(|p| k.branch_length(p, branch))
@@ -320,14 +333,14 @@ mod tests {
         let mut k = kernel(BranchLengthMode::PerPartition, 5);
         let config = OptimizerConfig::new(ParallelScheme::New);
         let branch = k.tree().internal_branches()[0];
-        optimize_branch(&mut k, branch, &config);
+        optimize_branch(&mut k, branch, &config).unwrap();
         // Re-evaluate the derivative at the optimized lengths.
         let mask = k.full_mask();
-        k.prepare_branch(branch, &mask);
+        k.try_prepare_branch(branch, &mask).unwrap();
         let lengths: Vec<Option<f64>> = (0..k.partition_count())
             .map(|p| Some(k.branch_length(p, branch)))
             .collect();
-        let ders = k.branch_derivatives(&lengths);
+        let ders = k.try_branch_derivatives(&lengths).unwrap();
         for (p, d) in ders.iter().enumerate() {
             let d = d.unwrap();
             let t = lengths[p].unwrap();
@@ -349,7 +362,7 @@ mod tests {
         let all: Vec<f64> = k.tree().branches().map(|b| k.branch_length(0, b)).collect();
         let subset = [0usize, 1];
         let config = OptimizerConfig::search_phase(ParallelScheme::New);
-        let _ = optimize_all_branches(&mut k, Some(&subset), &config);
+        let _ = optimize_all_branches(&mut k, Some(&subset), &config).unwrap();
         for b in k.tree().branches() {
             if !subset.contains(&b) {
                 assert!(

@@ -6,7 +6,7 @@
 //! through α, the Q-matrix rates and a branch-length smoothing pass until the
 //! log likelihood stops improving.
 
-use phylo_kernel::{Executor, LikelihoodKernel};
+use phylo_kernel::{Executor, KernelError, LikelihoodKernel};
 
 use crate::branches::{optimize_all_branches, BranchOptimizationStats};
 use crate::config::OptimizerConfig;
@@ -32,11 +32,23 @@ pub struct OptimizationReport {
 /// Optimizes all model parameters (α, rates, branch lengths) on the fixed
 /// current topology, alternating until the improvement per round drops below
 /// `config.likelihood_epsilon` or `config.max_rounds` is reached.
+///
+/// # Errors
+///
+/// Propagates [`KernelError`] from the engine — most prominently a worker
+/// death in a parallel backend. The master-side state (tree, models, branch
+/// lengths) keeps every update committed before the failure, so a caller
+/// that rebuilds the workers (`phylo_sched::Reassignable::reassign` +
+/// `LikelihoodKernel::invalidate_all`) can call again and the optimization
+/// *resumes* from where it got to; [`optimize_model_parameters_adaptive`]
+/// does exactly that automatically.
+///
+/// [`optimize_model_parameters_adaptive`]: crate::adaptive::optimize_model_parameters_adaptive
 pub fn optimize_model_parameters<E: Executor>(
     kernel: &mut LikelihoodKernel<E>,
     config: &OptimizerConfig,
-) -> OptimizationReport {
-    optimize_model_parameters_with_hook(kernel, config, |_, _| {})
+) -> Result<OptimizationReport, KernelError> {
+    optimize_model_parameters_with_hook(kernel, config, |_, _| Ok(()))
 }
 
 /// The same outer loop with a caller-supplied hook invoked after every round
@@ -49,13 +61,13 @@ pub(crate) fn optimize_model_parameters_with_hook<E, F>(
     kernel: &mut LikelihoodKernel<E>,
     config: &OptimizerConfig,
     mut after_round: F,
-) -> OptimizationReport
+) -> Result<OptimizationReport, KernelError>
 where
     E: Executor,
-    F: FnMut(&mut LikelihoodKernel<E>, usize),
+    F: FnMut(&mut LikelihoodKernel<E>, usize) -> Result<(), KernelError>,
 {
     let sync_before = kernel.sync_events();
-    let initial = kernel.log_likelihood();
+    let initial = kernel.try_log_likelihood()?;
     let mut current = initial;
     let mut branch_stats = BranchOptimizationStats::default();
     let mut model_stats = ModelOptimizationStats::default();
@@ -63,29 +75,29 @@ where
 
     for _ in 0..config.max_rounds.max(1) {
         rounds += 1;
-        model_stats.merge(optimize_alphas(kernel, config));
+        model_stats.merge(optimize_alphas(kernel, config)?);
         if config.optimize_rates {
-            model_stats.merge(optimize_exchangeabilities(kernel, config));
+            model_stats.merge(optimize_exchangeabilities(kernel, config)?);
         }
-        let (lnl, bstats) = optimize_all_branches(kernel, None, config);
+        let (lnl, bstats) = optimize_all_branches(kernel, None, config)?;
         branch_stats.merge(bstats);
 
         let improvement = lnl - current;
         current = lnl;
-        after_round(kernel, rounds);
+        after_round(kernel, rounds)?;
         if improvement.abs() < config.likelihood_epsilon {
             break;
         }
     }
 
-    OptimizationReport {
+    Ok(OptimizationReport {
         initial_log_likelihood: initial,
         final_log_likelihood: current,
         rounds,
         branch_stats,
         model_stats,
         sync_events: kernel.sync_events() - sync_before,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -107,7 +119,7 @@ mod tests {
     fn full_optimization_improves_likelihood_monotonically() {
         let mut k = kernel(BranchLengthMode::PerPartition, 1);
         let config = OptimizerConfig::new(ParallelScheme::New);
-        let report = optimize_model_parameters(&mut k, &config);
+        let report = optimize_model_parameters(&mut k, &config).unwrap();
         assert!(report.final_log_likelihood > report.initial_log_likelihood + 5.0);
         assert!(report.rounds >= 1);
         assert!(report.sync_events > 0);
@@ -120,9 +132,11 @@ mod tests {
         let mut k_old = kernel(BranchLengthMode::PerPartition, 2);
         let mut k_new = kernel(BranchLengthMode::PerPartition, 2);
         let report_old =
-            optimize_model_parameters(&mut k_old, &OptimizerConfig::new(ParallelScheme::Old));
+            optimize_model_parameters(&mut k_old, &OptimizerConfig::new(ParallelScheme::Old))
+                .unwrap();
         let report_new =
-            optimize_model_parameters(&mut k_new, &OptimizerConfig::new(ParallelScheme::New));
+            optimize_model_parameters(&mut k_new, &OptimizerConfig::new(ParallelScheme::New))
+                .unwrap();
         let rel = (report_old.final_log_likelihood - report_new.final_log_likelihood).abs()
             / report_old.final_log_likelihood.abs();
         assert!(
@@ -143,7 +157,7 @@ mod tests {
     fn joint_mode_also_converges() {
         let mut k = kernel(BranchLengthMode::Joint, 3);
         let config = OptimizerConfig::new(ParallelScheme::New);
-        let report = optimize_model_parameters(&mut k, &config);
+        let report = optimize_model_parameters(&mut k, &config).unwrap();
         assert!(report.final_log_likelihood > report.initial_log_likelihood);
     }
 
@@ -155,7 +169,7 @@ mod tests {
             max_rounds: 1,
             ..OptimizerConfig::default()
         };
-        let report = optimize_model_parameters(&mut k, &config);
+        let report = optimize_model_parameters(&mut k, &config).unwrap();
         assert!(report.final_log_likelihood >= report.initial_log_likelihood);
     }
 }

@@ -1,0 +1,66 @@
+//! Error type of the driver layer.
+
+use phylo_kernel::KernelError;
+use phylo_sched::SchedError;
+
+/// Why a driver (model optimization, tree search) could not complete.
+///
+/// Drivers fail as a *value*: a worker death that exhausts the recovery
+/// budget, a shape mismatch between the supplied cost model and the kernel's
+/// dataset, or a missing measurement path all land here instead of aborting
+/// the analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizeError {
+    /// The likelihood engine failed (most prominently
+    /// `KernelError::Exec(ExecError::WorkerDied { .. })` after the worker
+    /// recovery budget ran out).
+    Kernel(KernelError),
+    /// The scheduling layer rejected an input (mismatched base costs, no
+    /// measurements to reschedule from, …).
+    Sched(SchedError),
+}
+
+impl From<KernelError> for OptimizeError {
+    fn from(e: KernelError) -> Self {
+        OptimizeError::Kernel(e)
+    }
+}
+
+impl From<SchedError> for OptimizeError {
+    fn from(e: SchedError) -> Self {
+        OptimizeError::Sched(e)
+    }
+}
+
+impl std::fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Kernel(e) => write!(f, "{e}"),
+            Self::Sched(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for OptimizeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Kernel(e) => Some(e),
+            Self::Sched(e) => Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: OptimizeError = SchedError::NoWorkers.into();
+        assert!(matches!(e, OptimizeError::Sched(_)));
+        assert!(!e.to_string().is_empty());
+        let e: OptimizeError = KernelError::TaxaMismatch.into();
+        assert!(matches!(e, OptimizeError::Kernel(_)));
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -27,13 +27,15 @@ pub mod adaptive;
 pub mod branches;
 pub mod config;
 pub mod driver;
+pub mod error;
 pub mod model;
 
 pub use adaptive::{
-    optimize_model_parameters_adaptive, reschedule_if_needed, AdaptiveOptimizationReport,
-    RescheduleEvent,
+    optimize_model_parameters_adaptive, optimize_model_parameters_resilient, recover_worker_death,
+    reschedule_if_needed, AdaptiveOptimizationReport, RescheduleEvent, WorkerRecovery,
 };
 pub use branches::{optimize_all_branches, optimize_branch, BranchOptimizationStats};
 pub use config::{OptimizerConfig, ParallelScheme};
 pub use driver::{optimize_model_parameters, OptimizationReport};
+pub use error::OptimizeError;
 pub use model::{optimize_alphas, optimize_exchangeabilities, ModelOptimizationStats};

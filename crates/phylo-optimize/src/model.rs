@@ -9,7 +9,7 @@
 //! not-yet-converged partitions together, so the same two regions per
 //! iteration span every active partition.
 
-use phylo_kernel::{Executor, LikelihoodKernel};
+use phylo_kernel::{Executor, KernelError, LikelihoodKernel};
 use phylo_math::brent::{BrentState, BrentStep};
 use phylo_math::gamma_rates::{MAX_ALPHA, MIN_ALPHA};
 use phylo_models::substitution::GTR_RATE_COUNT;
@@ -101,7 +101,7 @@ fn optimize_parameter<E: Executor>(
     kernel: &mut LikelihoodKernel<E>,
     param: ModelParameter,
     config: &OptimizerConfig,
-) -> ModelOptimizationStats {
+) -> Result<ModelOptimizationStats, KernelError> {
     match config.scheme {
         ParallelScheme::Old => optimize_parameter_old(kernel, param, config),
         ParallelScheme::New => optimize_parameter_new(kernel, param, config),
@@ -111,16 +111,19 @@ fn optimize_parameter<E: Executor>(
 /// Evaluates the masked partitions at the current parameter values and returns
 /// their (negated) log likelihoods. One call = one newview + one evaluate
 /// region.
-fn evaluate_masked<E: Executor>(kernel: &mut LikelihoodKernel<E>, mask: &[bool]) -> Vec<f64> {
+fn evaluate_masked<E: Executor>(
+    kernel: &mut LikelihoodKernel<E>,
+    mask: &[bool],
+) -> Result<Vec<f64>, KernelError> {
     let root = kernel.default_root_branch();
-    kernel.log_likelihood_partitions(root, &mask.to_vec())
+    kernel.try_log_likelihood_partitions(root, &mask.to_vec())
 }
 
 fn optimize_parameter_old<E: Executor>(
     kernel: &mut LikelihoodKernel<E>,
     param: ModelParameter,
     config: &OptimizerConfig,
-) -> ModelOptimizationStats {
+) -> Result<ModelOptimizationStats, KernelError> {
     let mut stats = ModelOptimizationStats::default();
     let partitions = kernel.partition_count();
     for p in 0..partitions {
@@ -133,7 +136,7 @@ fn optimize_parameter_old<E: Executor>(
         // Initial evaluation.
         set_parameter(kernel, p, param, state.initial_point().exp());
         let mask = kernel.single_mask(p);
-        let lnl = evaluate_masked(kernel, &mask)[p];
+        let lnl = evaluate_masked(kernel, &mask)?[p];
         stats.evaluation_rounds += 1;
         stats.brent_evaluations += 1;
         state.set_initial_value(-lnl);
@@ -143,7 +146,7 @@ fn optimize_parameter_old<E: Executor>(
                 BrentStep::Converged => break,
                 BrentStep::Evaluate(x) => {
                     set_parameter(kernel, p, param, x.exp());
-                    let lnl = evaluate_masked(kernel, &mask)[p];
+                    let lnl = evaluate_masked(kernel, &mask)?[p];
                     stats.evaluation_rounds += 1;
                     stats.brent_evaluations += 1;
                     state.update(x, -lnl);
@@ -152,14 +155,14 @@ fn optimize_parameter_old<E: Executor>(
         }
         set_parameter(kernel, p, param, state.best_point().exp());
     }
-    stats
+    Ok(stats)
 }
 
 fn optimize_parameter_new<E: Executor>(
     kernel: &mut LikelihoodKernel<E>,
     param: ModelParameter,
     config: &OptimizerConfig,
-) -> ModelOptimizationStats {
+) -> Result<ModelOptimizationStats, KernelError> {
     let mut stats = ModelOptimizationStats::default();
     let partitions = kernel.partition_count();
     let mut states: Vec<Option<BrentState>> = (0..partitions)
@@ -174,7 +177,7 @@ fn optimize_parameter_new<E: Executor>(
         })
         .collect();
     if states.iter().all(|s| s.is_none()) {
-        return stats;
+        return Ok(stats);
     }
 
     // Initial evaluation of every applicable partition, in one round.
@@ -186,7 +189,7 @@ fn optimize_parameter_new<E: Executor>(
             stats.brent_evaluations += 1;
         }
     }
-    let lnls = evaluate_masked(kernel, &mask);
+    let lnls = evaluate_masked(kernel, &mask)?;
     stats.evaluation_rounds += 1;
     for (p, state) in states.iter_mut().enumerate() {
         if let Some(state) = state {
@@ -218,7 +221,7 @@ fn optimize_parameter_new<E: Executor>(
                 stats.brent_evaluations += 1;
             }
         }
-        let lnls = evaluate_masked(kernel, &mask);
+        let lnls = evaluate_masked(kernel, &mask)?;
         stats.evaluation_rounds += 1;
         for (p, proposal) in proposals.iter().enumerate() {
             if let Some(x) = proposal {
@@ -236,32 +239,40 @@ fn optimize_parameter_new<E: Executor>(
             set_parameter(kernel, p, param, state.best_point().exp());
         }
     }
-    stats
+    Ok(stats)
 }
 
 /// Optimizes the Γ shape parameter α of every partition.
+///
+/// # Errors
+///
+/// Propagates [`KernelError`] from the engine.
 pub fn optimize_alphas<E: Executor>(
     kernel: &mut LikelihoodKernel<E>,
     config: &OptimizerConfig,
-) -> ModelOptimizationStats {
+) -> Result<ModelOptimizationStats, KernelError> {
     optimize_parameter(kernel, ModelParameter::Alpha, config)
 }
 
 /// Optimizes the free GTR exchangeabilities of every DNA partition (one Brent
 /// pass per rate, as in RAxML's round-robin rate optimization).
+///
+/// # Errors
+///
+/// Propagates [`KernelError`] from the engine.
 pub fn optimize_exchangeabilities<E: Executor>(
     kernel: &mut LikelihoodKernel<E>,
     config: &OptimizerConfig,
-) -> ModelOptimizationStats {
+) -> Result<ModelOptimizationStats, KernelError> {
     let mut stats = ModelOptimizationStats::default();
     for rate in 0..GTR_RATE_COUNT - 1 {
         stats.merge(optimize_parameter(
             kernel,
             ModelParameter::Exchangeability(rate),
             config,
-        ));
+        )?);
     }
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -281,10 +292,10 @@ mod tests {
     #[test]
     fn alpha_optimization_improves_likelihood() {
         let mut k = kernel(1);
-        let before = k.log_likelihood();
+        let before = k.try_log_likelihood().unwrap();
         let config = OptimizerConfig::new(ParallelScheme::New);
-        let stats = optimize_alphas(&mut k, &config);
-        let after = k.log_likelihood();
+        let stats = optimize_alphas(&mut k, &config).unwrap();
+        let after = k.try_log_likelihood().unwrap();
         assert!(
             after >= before - 1e-9,
             "lnL must not get worse: {before} -> {after}"
@@ -309,8 +320,10 @@ mod tests {
     fn old_and_new_schemes_agree_on_alpha_optima() {
         let mut k_old = kernel(2);
         let mut k_new = kernel(2);
-        let stats_old = optimize_alphas(&mut k_old, &OptimizerConfig::new(ParallelScheme::Old));
-        let stats_new = optimize_alphas(&mut k_new, &OptimizerConfig::new(ParallelScheme::New));
+        let stats_old =
+            optimize_alphas(&mut k_old, &OptimizerConfig::new(ParallelScheme::Old)).unwrap();
+        let stats_new =
+            optimize_alphas(&mut k_new, &OptimizerConfig::new(ParallelScheme::New)).unwrap();
         for p in 0..k_old.partition_count() {
             let a = k_old.alpha(p);
             let b = k_new.alpha(p);
@@ -334,9 +347,9 @@ mod tests {
     fn exchangeability_optimization_improves_likelihood() {
         let mut k = kernel(3);
         let config = OptimizerConfig::new(ParallelScheme::New);
-        let before = k.log_likelihood();
-        let stats = optimize_exchangeabilities(&mut k, &config);
-        let after = k.log_likelihood();
+        let before = k.try_log_likelihood().unwrap();
+        let stats = optimize_exchangeabilities(&mut k, &config).unwrap();
+        let after = k.try_log_likelihood().unwrap();
         assert!(
             after > before,
             "rate optimization must improve lnL: {before} -> {after}"
@@ -361,7 +374,7 @@ mod tests {
         let mut k = SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models);
         let before_exch: Vec<f64> = (0..2).map(|p| k.exchangeability(p, 0)).collect();
         let config = OptimizerConfig::new(ParallelScheme::New);
-        let stats = optimize_exchangeabilities(&mut k, &config);
+        let stats = optimize_exchangeabilities(&mut k, &config).unwrap();
         assert_eq!(
             stats.brent_evaluations, 0,
             "no free rates on protein partitions"
@@ -378,7 +391,7 @@ mod tests {
         // heterogeneity" limit.
         let mut k = kernel(5);
         let config = OptimizerConfig::new(ParallelScheme::New);
-        optimize_alphas(&mut k, &config);
+        optimize_alphas(&mut k, &config).unwrap();
         for p in 0..k.partition_count() {
             let alpha = k.alpha(p);
             assert!(

@@ -38,11 +38,10 @@
 //! [`Cyclic`] and [`Block`] (the paper's two fixed schemes), [`WeightedLpt`]
 //! (cost-weighted bin-packing, so a 20-state protein pattern counts ≈25× a
 //! DNA pattern) and [`TraceAdaptive`] (rebalancing from a measured
-//! [`WorkTrace`](phylo_kernel::cost::WorkTrace)) — live in `phylo-sched`.
-//! The legacy [`Distribution`] enum and the `*_with_distribution`
-//! constructors remain as thin deprecated shims over the cyclic and block
-//! strategies and reproduce the paper's original pattern placement
-//! bit-for-bit.
+//! [`WorkTrace`]) — live in `phylo-sched`.
+//! The [`Cyclic`] and [`Block`] strategies reproduce the paper's original
+//! pattern placement bit-for-bit (the legacy `Distribution` enum that once
+//! shimmed them was removed two PRs after its deprecation).
 
 pub mod rayon_exec;
 pub mod threaded;
@@ -112,31 +111,6 @@ impl Reassignable for TracingExecutor {
     }
 }
 
-/// How patterns are assigned to workers (legacy interface).
-#[deprecated(
-    since = "0.1.0",
-    note = "use a `phylo_sched::ScheduleStrategy` (e.g. `Cyclic`, `WeightedLpt`) and `build_workers`"
-)]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Distribution {
-    /// Pattern `g` goes to worker `g mod T` (the paper's scheme).
-    Cyclic,
-    /// The global pattern space is cut into `T` contiguous blocks.
-    Block,
-}
-
-#[allow(deprecated)]
-impl Distribution {
-    /// The equivalent pluggable strategy; its assignment reproduces this
-    /// distribution's pattern placement bit-for-bit.
-    pub fn strategy(self) -> Box<dyn ScheduleStrategy> {
-        match self {
-            Distribution::Cyclic => Box::new(Cyclic),
-            Distribution::Block => Box::new(Block),
-        }
-    }
-}
-
 /// Builds an [`Assignment`] for a dataset with the analytic cost model:
 /// derives [`PatternCosts`] from the partitions' state and category counts,
 /// then runs `strategy` over them.
@@ -186,33 +160,6 @@ pub fn build_workers(
             )
         })
         .collect())
-}
-
-/// Legacy entry point: builds the per-worker slices under a [`Distribution`].
-///
-/// # Panics
-///
-/// Panics if `worker_count == 0` (the historical behaviour); the replacement
-/// path ([`schedule`] + [`build_workers`]) reports [`SchedError::NoWorkers`]
-/// instead.
-#[deprecated(since = "0.1.0", note = "use `schedule` + `build_workers`")]
-#[allow(deprecated)]
-pub fn build_workers_with_distribution(
-    patterns: &PartitionedPatterns,
-    worker_count: usize,
-    node_capacity: usize,
-    categories: &[usize],
-    distribution: Distribution,
-) -> Vec<WorkerSlices> {
-    let assignment = schedule(
-        patterns,
-        categories,
-        worker_count,
-        distribution.strategy().as_ref(),
-    )
-    .expect("at least one worker required");
-    build_workers(patterns, node_capacity, categories, &assignment)
-        .expect("assignment was built for these patterns")
 }
 
 #[cfg(test)]
@@ -287,38 +234,38 @@ mod tests {
         ));
     }
 
-    /// The acceptance bar for the refactor: the legacy `Distribution` path
-    /// and the new strategy path place every pattern identically.
+    /// The acceptance bar for the scheduling refactor, kept alive after the
+    /// legacy `Distribution` shim's removal: the strategy path still places
+    /// every pattern exactly like the paper's original cyclic/block
+    /// constructors.
     #[test]
-    #[allow(deprecated)]
-    fn new_interface_reproduces_distribution_bit_for_bit() {
+    fn strategies_reproduce_original_placement_bit_for_bit() {
+        type Original = fn(&PartitionedPatterns, usize, usize, usize, &[usize]) -> WorkerSlices;
         let pp = patterns();
         let cats = vec![4; pp.partition_count()];
-        for (dist, strategy) in [
-            (Distribution::Cyclic, &Cyclic as &dyn ScheduleStrategy),
-            (Distribution::Block, &Block as &dyn ScheduleStrategy),
+        for (strategy, original_ctor) in [
+            (
+                &Cyclic as &dyn ScheduleStrategy,
+                WorkerSlices::cyclic as Original,
+            ),
+            (&Block, WorkerSlices::block as Original),
         ] {
             for worker_count in [1usize, 2, 3, 5, 16] {
-                let legacy = build_workers_with_distribution(&pp, worker_count, 8, &cats, dist);
                 let assignment = schedule(&pp, &cats, worker_count, strategy).unwrap();
                 let modern = build_workers(&pp, 8, &cats, &assignment).unwrap();
                 // The paper's original constructors are the ground truth.
                 let original: Vec<WorkerSlices> = (0..worker_count)
-                    .map(|w| match dist {
-                        Distribution::Cyclic => {
-                            WorkerSlices::cyclic(&pp, w, worker_count, 8, &cats)
-                        }
-                        Distribution::Block => WorkerSlices::block(&pp, w, worker_count, 8, &cats),
-                    })
+                    .map(|w| original_ctor(&pp, w, worker_count, 8, &cats))
                     .collect();
-                assert_eq!(legacy.len(), modern.len());
-                for ((a, b), c) in legacy.iter().zip(modern.iter()).zip(original.iter()) {
-                    assert_eq!(a.worker, b.worker);
-                    assert_eq!(a.worker_count, b.worker_count);
-                    assert_eq!(a.slices, b.slices, "{dist:?} × {worker_count} workers");
+                assert_eq!(modern.len(), original.len());
+                for (b, c) in modern.iter().zip(original.iter()) {
+                    assert_eq!(b.worker, c.worker);
+                    assert_eq!(b.worker_count, c.worker_count);
                     assert_eq!(
-                        b.slices, c.slices,
-                        "{dist:?} × {worker_count} workers vs original"
+                        b.slices,
+                        c.slices,
+                        "{} × {worker_count} workers vs original",
+                        strategy.name()
                     );
                 }
             }

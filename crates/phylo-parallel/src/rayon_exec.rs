@@ -9,7 +9,7 @@
 
 use phylo_data::PartitionedPatterns;
 use phylo_kernel::executor::{execute_on_worker, reduce_outputs};
-use phylo_kernel::{ExecContext, Executor, KernelOp, OpOutput, WorkerSlices};
+use phylo_kernel::{ExecContext, ExecError, Executor, KernelOp, OpOutput, WorkerSlices};
 use phylo_sched::{Assignment, SchedError};
 use rayon::prelude::*;
 
@@ -48,32 +48,6 @@ impl RayonExecutor {
         Ok(Self::with_workers(workers))
     }
 
-    /// Legacy constructor: builds the executor under a [`Distribution`].
-    ///
-    /// [`Distribution`]: crate::Distribution
-    ///
-    /// # Panics
-    ///
-    /// Panics if `worker_count == 0` (the historical behaviour).
-    #[deprecated(since = "0.1.0", note = "use `RayonExecutor::from_assignment`")]
-    #[allow(deprecated)]
-    pub fn new(
-        patterns: &PartitionedPatterns,
-        worker_count: usize,
-        node_capacity: usize,
-        categories: &[usize],
-        distribution: crate::Distribution,
-    ) -> Self {
-        let workers = crate::build_workers_with_distribution(
-            patterns,
-            worker_count,
-            node_capacity,
-            categories,
-            distribution,
-        );
-        Self::with_workers(workers)
-    }
-
     fn with_workers(workers: Vec<WorkerSlices>) -> Self {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(workers.len())
@@ -93,16 +67,16 @@ impl Executor for RayonExecutor {
         self.workers.len()
     }
 
-    fn execute(&mut self, op: &KernelOp, ctx: &ExecContext<'_>) -> OpOutput {
+    fn execute(&mut self, op: &KernelOp, ctx: &ExecContext<'_>) -> Result<OpOutput, ExecError> {
         self.sync_events += 1;
         let workers = &mut self.workers;
-        self.pool.install(|| {
+        Ok(self.pool.install(|| {
             workers
                 .par_iter_mut()
                 .map(|w| execute_on_worker(w, op, ctx))
                 .reduce_with(reduce_outputs)
                 .unwrap_or(OpOutput::None)
-        })
+        }))
     }
 
     fn sync_events(&self) -> u64 {
@@ -126,7 +100,7 @@ mod tests {
         let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
         let mut seq =
             SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
-        let reference = seq.log_likelihood();
+        let reference = seq.try_log_likelihood().unwrap();
 
         let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
         let assignment = schedule(&ds.patterns, &cats, 4, &Cyclic).unwrap();
@@ -138,7 +112,7 @@ mod tests {
         )
         .unwrap();
         let mut k = LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
-        let lnl = k.log_likelihood();
+        let lnl = k.try_log_likelihood().unwrap();
         assert!((lnl - reference).abs() < 1e-8, "{lnl} vs {reference}");
     }
 
@@ -148,7 +122,7 @@ mod tests {
         let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::Joint);
         let mut seq =
             SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
-        let reference = seq.log_likelihood();
+        let reference = seq.try_log_likelihood().unwrap();
 
         let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
         let assignment = schedule(&ds.patterns, &cats, 3, &Block).unwrap();
@@ -160,7 +134,7 @@ mod tests {
         )
         .unwrap();
         let mut k = LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
-        let lnl = k.log_likelihood();
+        let lnl = k.try_log_likelihood().unwrap();
         assert!((lnl - reference).abs() < 1e-8);
     }
 }

@@ -21,10 +21,11 @@
 //! the measured counterpart of the virtual FLOP traces, and the input to
 //! mid-run rescheduling. Worker panics are caught with
 //! `std::panic::catch_unwind` and surfaced as
-//! [`ExecError::WorkerDied`] through [`ThreadedExecutor::try_execute`]; the
+//! [`ExecError::WorkerDied`] from [`Executor::execute`]; the
 //! executor is then *poisoned* (every further command fails fast with
 //! [`ExecError::Poisoned`]) until [`ThreadedExecutor::reassign`] rebuilds the
-//! workers.
+//! workers. [`ThreadedExecutor::inject_worker_panic`] arms a one-shot fault
+//! on that exact machinery so the driver-level recovery path stays tested.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -48,6 +49,9 @@ struct Command {
     tree: Tree,
     models: ModelSet,
     branch_lengths: BranchLengths,
+    /// Test instrumentation: the worker that must panic while executing this
+    /// command (see [`ThreadedExecutor::inject_worker_panic`]).
+    panic_worker: Option<usize>,
 }
 
 /// What a worker sends back for one command.
@@ -135,6 +139,8 @@ pub struct ThreadedExecutor {
     trace: WorkTrace,
     poisoned: Option<usize>,
     last_panic: Option<String>,
+    /// One-shot armed fault injection: `(worker, fire_at_sync_event)`.
+    injected_panic: Option<(usize, u64)>,
 }
 
 impl std::fmt::Debug for ThreadedExecutor {
@@ -198,34 +204,8 @@ impl ThreadedExecutor {
             trace: WorkTrace::new(worker_count),
             poisoned: None,
             last_panic: None,
+            injected_panic: None,
         })
-    }
-
-    /// Legacy constructor: spawns workers under a [`Distribution`].
-    ///
-    /// [`Distribution`]: crate::Distribution
-    ///
-    /// # Panics
-    ///
-    /// Panics if `worker_count == 0` (the historical behaviour).
-    #[deprecated(since = "0.1.0", note = "use `ThreadedExecutor::from_assignment`")]
-    #[allow(deprecated)]
-    pub fn new(
-        patterns: &PartitionedPatterns,
-        worker_count: usize,
-        node_capacity: usize,
-        categories: &[usize],
-        distribution: crate::Distribution,
-    ) -> Self {
-        let assignment = crate::schedule(
-            patterns,
-            categories,
-            worker_count,
-            distribution.strategy().as_ref(),
-        )
-        .expect("at least one worker required");
-        Self::from_assignment(patterns, &assignment, node_capacity, categories)
-            .expect("assignment was built for these patterns")
     }
 
     fn check_skew(options: &ExecutorOptions, worker_count: usize) -> Result<(), SchedError> {
@@ -246,6 +226,7 @@ impl ThreadedExecutor {
                     .skew
                     .filter(|s| s.worker == slices.worker)
                     .map(|s| s.nanos_per_pattern);
+                let worker_index = slices.worker;
                 let (cmd_tx, cmd_rx) = channel::<Option<Arc<Command>>>();
                 let (res_tx, res_rx) = channel::<Reply>();
                 let join = std::thread::Builder::new()
@@ -254,6 +235,9 @@ impl ThreadedExecutor {
                         while let Ok(Some(cmd)) = cmd_rx.recv() {
                             let start = Instant::now();
                             let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                if cmd.panic_worker == Some(worker_index) {
+                                    panic!("injected worker panic (test instrumentation)");
+                                }
                                 let ctx = ExecContext {
                                     tree: &cmd.tree,
                                     models: &cmd.models,
@@ -334,30 +318,51 @@ impl ThreadedExecutor {
         self.last_panic.as_deref()
     }
 
-    /// Executes one command, surfacing worker failures as values instead of
-    /// killing the master thread.
+    /// Arms a one-shot injected panic: `worker` will panic while executing
+    /// the command issued `after_regions` synchronization events from now
+    /// (0 = the very next command). Test instrumentation for the
+    /// worker-death recovery path — the panic travels through the exact same
+    /// catch/report/poison machinery as a real worker fault.
+    pub fn inject_worker_panic(&mut self, worker: usize, after_regions: u64) {
+        self.injected_panic = Some((worker, self.sync_events + 1 + after_regions));
+    }
+
+    /// Deprecated alias of [`Executor::execute`], kept from the release in
+    /// which the fallible path was opt-in.
     ///
     /// # Errors
     ///
-    /// [`ExecError::WorkerDied`] when a worker panics (or its channel
-    /// disconnects) during this command; the executor is poisoned
-    /// afterwards. [`ExecError::Poisoned`] for every command issued to a
-    /// poisoned executor; [`ThreadedExecutor::reassign`] clears the state by
-    /// rebuilding the workers.
+    /// See [`Executor::execute`].
+    #[deprecated(since = "0.1.0", note = "`Executor::execute` itself is fallible now")]
     pub fn try_execute(
         &mut self,
         op: &KernelOp,
         ctx: &ExecContext<'_>,
     ) -> Result<OpOutput, ExecError> {
+        self.execute(op, ctx)
+    }
+
+    /// The broadcast/reduce round of one command — the body of
+    /// [`Executor::execute`].
+    fn broadcast(&mut self, op: &KernelOp, ctx: &ExecContext<'_>) -> Result<OpOutput, ExecError> {
         if let Some(worker) = self.poisoned {
             return Err(ExecError::Poisoned { worker });
         }
         self.sync_events += 1;
+        // A one-shot armed fault fires exactly once, on its scheduled region.
+        let panic_worker = match self.injected_panic {
+            Some((worker, at)) if self.sync_events >= at => {
+                self.injected_panic = None;
+                Some(worker)
+            }
+            _ => None,
+        };
         let command = Arc::new(Command {
             op: op.clone(),
             tree: ctx.tree.clone(),
             models: ctx.models.clone(),
             branch_lengths: ctx.branch_lengths.clone(),
+            panic_worker,
         });
         for (worker, handle) in self.handles.iter().enumerate() {
             if handle.sender.send(Some(Arc::clone(&command))).is_err() {
@@ -431,6 +436,7 @@ impl ThreadedExecutor {
         self.trace = WorkTrace::new(self.worker_count);
         self.poisoned = None;
         self.last_panic = None;
+        self.injected_panic = None;
         Ok(())
     }
 }
@@ -440,16 +446,18 @@ impl Executor for ThreadedExecutor {
         self.worker_count
     }
 
-    /// # Panics
+    /// Executes one command, surfacing worker failures as values instead of
+    /// killing the master thread.
     ///
-    /// Panics with the [`ExecError`] message if a worker dies; use
-    /// [`ThreadedExecutor::try_execute`] to handle worker failures as
-    /// values.
-    fn execute(&mut self, op: &KernelOp, ctx: &ExecContext<'_>) -> OpOutput {
-        match self.try_execute(op, ctx) {
-            Ok(out) => out,
-            Err(e) => panic!("{e}"),
-        }
+    /// # Errors
+    ///
+    /// [`ExecError::WorkerDied`] when a worker panics (or its channel
+    /// disconnects) during this command; the executor is poisoned
+    /// afterwards. [`ExecError::Poisoned`] for every command issued to a
+    /// poisoned executor; [`ThreadedExecutor::reassign`] clears the state by
+    /// rebuilding the workers.
+    fn execute(&mut self, op: &KernelOp, ctx: &ExecContext<'_>) -> Result<OpOutput, ExecError> {
+        self.broadcast(op, ctx)
     }
 
     fn sync_events(&self) -> u64 {
@@ -478,7 +486,7 @@ mod tests {
         let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
         let mut seq =
             SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
-        let reference = seq.log_likelihood();
+        let reference = seq.try_log_likelihood().unwrap();
 
         for workers in [2usize, 4] {
             let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
@@ -496,7 +504,7 @@ mod tests {
                 models.clone(),
                 exec,
             );
-            let lnl = k.log_likelihood();
+            let lnl = k.try_log_likelihood().unwrap();
             assert!(
                 (lnl - reference).abs() < 1e-8,
                 "{workers} threads: {lnl} vs sequential {reference}"
@@ -515,9 +523,9 @@ mod tests {
             SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
         let branch = seq.tree().internal_branches()[0];
         let mask = seq.full_mask();
-        seq.prepare_branch(branch, &mask);
+        seq.try_prepare_branch(branch, &mask).unwrap();
         let lengths: Vec<Option<f64>> = (0..seq.partition_count()).map(|_| Some(0.2)).collect();
-        let expected = seq.branch_derivatives(&lengths);
+        let expected = seq.try_branch_derivatives(&lengths).unwrap();
 
         // The cost-aware strategy must produce the same likelihood as any
         // other placement — results are placement-invariant by construction.
@@ -531,8 +539,8 @@ mod tests {
         .unwrap();
         let mut par =
             LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
-        par.prepare_branch(branch, &mask);
-        let got = par.branch_derivatives(&lengths);
+        par.try_prepare_branch(branch, &mask).unwrap();
+        let got = par.try_branch_derivatives(&lengths).unwrap();
         for (a, b) in expected.iter().zip(got.iter()) {
             let (a, b) = (a.unwrap(), b.unwrap());
             assert!((a.log_likelihood - b.log_likelihood).abs() < 1e-8);
@@ -558,19 +566,45 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_still_works() {
+    fn injected_panic_fires_once_on_the_scheduled_region() {
         let ds = paper_simulated(6, 64, 16, 29).generate();
         let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::Joint);
         let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
-        let exec = ThreadedExecutor::new(
+        let assignment = schedule(&ds.patterns, &cats, 3, &Cyclic).unwrap();
+        let mut exec = ThreadedExecutor::from_assignment(
             &ds.patterns,
-            2,
+            &assignment,
             ds.tree.node_capacity(),
             &cats,
-            crate::Distribution::Cyclic,
+        )
+        .unwrap();
+        let bl = BranchLengths::from_tree(
+            &ds.tree,
+            ds.patterns.partition_count(),
+            models.branch_mode(),
         );
-        assert_eq!(exec.worker_count(), 2);
+        let ctx = ExecContext {
+            tree: &ds.tree,
+            models: &models,
+            branch_lengths: &bl,
+        };
+        // A no-op newview: harmless on fresh (empty) CLV buffers, so the only
+        // possible failure is the injected one.
+        let op = KernelOp::Newview {
+            plans: vec![None; ds.patterns.partition_count()],
+        };
+        // Armed one region ahead: the next command succeeds, the one after
+        // dies on worker 1, and a reassign fully clears the fault.
+        exec.inject_worker_panic(1, 1);
+        assert!(exec.execute(&op, &ctx).is_ok());
+        let err = exec.execute(&op, &ctx).unwrap_err();
+        assert_eq!(err, ExecError::WorkerDied { worker: 1 });
+        assert!(exec
+            .last_panic_message()
+            .is_some_and(|m| m.contains("injected")));
+        exec.reassign(&ds.patterns, &assignment, ds.tree.node_capacity(), &cats)
+            .unwrap();
+        assert!(exec.execute(&op, &ctx).is_ok());
     }
 
     #[test]
@@ -591,7 +625,7 @@ mod tests {
         )
         .unwrap();
         let mut k = LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
-        let _ = k.log_likelihood();
+        let _ = k.try_log_likelihood().unwrap();
         let sync = k.sync_events();
         let trace = k.executor_mut().take_trace();
         assert_eq!(trace.sync_events() as u64, sync);
@@ -615,7 +649,7 @@ mod tests {
         )
         .unwrap();
         let mut k = LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
-        let _ = k.log_likelihood();
+        let _ = k.try_log_likelihood().unwrap();
         assert_eq!(k.executor_mut().trace().sync_events(), 0);
     }
 
@@ -648,7 +682,7 @@ mod tests {
             root_branch: 0,
             mask: vec![],
         };
-        let err = exec.try_execute(&bad, &ctx).unwrap_err();
+        let err = exec.execute(&bad, &ctx).unwrap_err();
         assert!(matches!(err, ExecError::WorkerDied { .. }), "{err:?}");
         assert!(exec.poisoned_by().is_some());
         assert!(
@@ -660,7 +694,7 @@ mod tests {
             root_branch: 0,
             mask: vec![true; ds.patterns.partition_count()],
         };
-        let err = exec.try_execute(&good, &ctx).unwrap_err();
+        let err = exec.execute(&good, &ctx).unwrap_err();
         assert!(matches!(err, ExecError::Poisoned { .. }), "{err:?}");
         assert!(!err.to_string().is_empty());
         // Dropping a poisoned executor must not hang or panic.
@@ -694,7 +728,7 @@ mod tests {
             root_branch: 0,
             mask: vec![],
         };
-        assert!(exec.try_execute(&bad, &ctx).is_err());
+        assert!(exec.execute(&bad, &ctx).is_err());
         assert!(exec.poisoned_by().is_some());
 
         let fresh = schedule(&ds.patterns, &cats, 2, &Block).unwrap();
@@ -706,7 +740,7 @@ mod tests {
         let good = KernelOp::Newview {
             plans: vec![None; ds.patterns.partition_count()],
         };
-        assert!(exec.try_execute(&good, &ctx).is_ok());
+        assert!(exec.execute(&good, &ctx).is_ok());
     }
 
     #[test]
@@ -723,7 +757,7 @@ mod tests {
         )
         .unwrap();
         let mut k = LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
-        let before = k.log_likelihood();
+        let before = k.try_log_likelihood().unwrap();
 
         let lpt = schedule(&ds.patterns, &cats, 3, &WeightedLpt).unwrap();
         let patterns = Arc::clone(k.patterns());
@@ -733,7 +767,7 @@ mod tests {
             .unwrap();
         // The migrated workers own fresh CLV buffers.
         k.invalidate_all();
-        let after = k.log_likelihood();
+        let after = k.try_log_likelihood().unwrap();
         assert!(
             (after - before).abs() < 1e-8,
             "migration must preserve the likelihood: {before} vs {after}"
@@ -750,7 +784,7 @@ mod tests {
         let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
         let mut seq =
             SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
-        let reference = seq.log_likelihood();
+        let reference = seq.try_log_likelihood().unwrap();
 
         let patterns = ds.patterns.total_patterns();
         let workers = patterns + 5;
@@ -774,7 +808,7 @@ mod tests {
                 models.clone(),
                 exec,
             );
-            let lnl = k.log_likelihood();
+            let lnl = k.try_log_likelihood().unwrap();
             assert!(
                 (lnl - reference).abs() < 1e-8,
                 "{} with empty workers: {lnl} vs {reference}",
@@ -783,9 +817,9 @@ mod tests {
             // Derivatives also cross the empty workers' uniform-shape path.
             let branch = k.tree().internal_branches()[0];
             let mask = k.full_mask();
-            k.prepare_branch(branch, &mask);
+            k.try_prepare_branch(branch, &mask).unwrap();
             let lengths: Vec<Option<f64>> = (0..k.partition_count()).map(|_| Some(0.15)).collect();
-            let ders = k.branch_derivatives(&lengths);
+            let ders = k.try_branch_derivatives(&lengths).unwrap();
             assert!(ders.iter().all(|d| d.is_some()));
         }
     }
@@ -811,7 +845,7 @@ mod tests {
         )
         .unwrap();
         let mut k = LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
-        let _ = k.log_likelihood();
+        let _ = k.try_log_likelihood().unwrap();
         let trace = k.executor_mut().take_trace();
         let totals = trace.per_worker_total_in(phylo_kernel::TraceUnit::Seconds);
         assert!(

@@ -18,7 +18,7 @@ use phylo_kernel::cost::{
 };
 use phylo_kernel::{
     executor::{execute_on_worker, reduce_outputs},
-    ExecContext, Executor, KernelOp, OpOutput, WorkerSlices,
+    ExecContext, ExecError, Executor, KernelOp, OpOutput, WorkerSlices,
 };
 use phylo_sched::{Assignment, SchedError};
 
@@ -55,33 +55,6 @@ impl TracingExecutor {
             trace: WorkTrace::new(assignment.worker_count()),
             sync_events: 0,
         })
-    }
-
-    /// Legacy constructor: builds the executor under a [`Distribution`].
-    ///
-    /// [`Distribution`]: crate::Distribution
-    ///
-    /// # Panics
-    ///
-    /// Panics if `worker_count == 0` (the historical behaviour).
-    #[deprecated(since = "0.1.0", note = "use `TracingExecutor::from_assignment`")]
-    #[allow(deprecated)]
-    pub fn new(
-        patterns: &PartitionedPatterns,
-        worker_count: usize,
-        node_capacity: usize,
-        categories: &[usize],
-        distribution: crate::Distribution,
-    ) -> Self {
-        let assignment = crate::schedule(
-            patterns,
-            categories,
-            worker_count,
-            distribution.strategy().as_ref(),
-        )
-        .expect("at least one worker required");
-        Self::from_assignment(patterns, &assignment, node_capacity, categories)
-            .expect("assignment was built for these patterns")
     }
 
     /// The assignment the virtual workers were built from.
@@ -194,7 +167,7 @@ impl Executor for TracingExecutor {
         self.workers.len()
     }
 
-    fn execute(&mut self, op: &KernelOp, ctx: &ExecContext<'_>) -> OpOutput {
+    fn execute(&mut self, op: &KernelOp, ctx: &ExecContext<'_>) -> Result<OpOutput, ExecError> {
         self.sync_events += 1;
         let mut record = self.region_record(op, ctx);
         let mut result: Option<OpOutput> = None;
@@ -211,7 +184,7 @@ impl Executor for TracingExecutor {
             });
         }
         self.trace.regions.push(record);
-        result.unwrap_or(OpOutput::None)
+        Ok(result.unwrap_or(OpOutput::None))
     }
 
     fn sync_events(&self) -> u64 {
@@ -268,11 +241,11 @@ mod tests {
         let ds = dataset();
         let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
         let mut seq = SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models);
-        let reference = seq.log_likelihood();
+        let reference = seq.try_log_likelihood().unwrap();
 
         for workers in [1usize, 4, 16] {
             let mut traced = build_tracing(&ds, workers);
-            let lnl = traced.log_likelihood();
+            let lnl = traced.try_log_likelihood().unwrap();
             assert!(
                 (lnl - reference).abs() < 1e-8,
                 "{workers} virtual workers: {lnl} vs {reference}"
@@ -284,12 +257,12 @@ mod tests {
     fn trace_records_one_region_per_command() {
         let ds = dataset();
         let mut k = build_tracing(&ds, 8);
-        let _ = k.log_likelihood();
+        let _ = k.try_log_likelihood().unwrap();
         let branch = k.tree().internal_branches()[0];
         let mask = k.full_mask();
-        k.prepare_branch(branch, &mask);
+        k.try_prepare_branch(branch, &mask).unwrap();
         let lengths: Vec<Option<f64>> = (0..k.partition_count()).map(|_| Some(0.1)).collect();
-        let _ = k.branch_derivatives(&lengths);
+        let _ = k.try_branch_derivatives(&lengths).unwrap();
         let sync = k.sync_events();
         let trace = k.executor_mut().take_trace();
         assert_eq!(trace.sync_events() as u64, sync);
@@ -304,7 +277,7 @@ mod tests {
     fn balanced_dataset_has_high_balance_for_full_mask_ops() {
         let ds = dataset();
         let mut k = build_tracing(&ds, 4);
-        let _ = k.log_likelihood();
+        let _ = k.try_log_likelihood().unwrap();
         let trace = k.executor_mut().take_trace();
         assert!(
             trace.overall_balance() > 0.9,
@@ -322,7 +295,7 @@ mod tests {
         // Evaluate only partition 0 repeatedly.
         let mask = k.single_mask(0);
         let root = k.default_root_branch();
-        let _ = k.log_likelihood_partitions(root, &mask);
+        let _ = k.try_log_likelihood_partitions(root, &mask).unwrap();
         let trace = k.executor_mut().take_trace();
         // Partition 0 has ~40 patterns over 16 workers; the balance of the
         // evaluate region is bounded by the pattern distribution, and the
@@ -340,7 +313,7 @@ mod tests {
         let mut k = build_tracing(&ds, 16);
         let mask = k.single_mask(0);
         let root = k.default_root_branch();
-        let _ = k.log_likelihood_partitions(root, &mask);
+        let _ = k.try_log_likelihood_partitions(root, &mask).unwrap();
         let trace = k.executor_mut().take_trace();
         let idle_workers = trace
             .regions

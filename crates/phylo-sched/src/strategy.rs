@@ -25,6 +25,19 @@ pub trait ScheduleStrategy {
     fn assign(&self, costs: &PatternCosts, worker_count: usize) -> Result<Assignment, SchedError>;
 }
 
+/// Boxed strategies schedule like their contents, so builder-style APIs can
+/// accept either a concrete strategy or a `Box<dyn ScheduleStrategy>` chosen
+/// at run time.
+impl ScheduleStrategy for Box<dyn ScheduleStrategy> {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+
+    fn assign(&self, costs: &PatternCosts, worker_count: usize) -> Result<Assignment, SchedError> {
+        self.as_ref().assign(costs, worker_count)
+    }
+}
+
 fn check_inputs(costs: &PatternCosts, worker_count: usize) -> Result<(), SchedError> {
     if worker_count == 0 {
         return Err(SchedError::NoWorkers);

@@ -9,13 +9,15 @@
 //! oldPAR/newPAR optimizers; which scheme is used is part of the
 //! [`SearchConfig`], so the same search can be timed under both schemes.
 
-use phylo_kernel::{Executor, LikelihoodKernel};
-use phylo_optimize::adaptive::{ensure_measurements_happened, validate_base_costs};
-use phylo_optimize::{
-    optimize_all_branches, optimize_model_parameters, reschedule_if_needed, OptimizerConfig,
-    ParallelScheme, RescheduleEvent,
+use phylo_kernel::{Executor, KernelError, LikelihoodKernel};
+use phylo_optimize::adaptive::{
+    ensure_measurements_happened, validate_base_costs, with_worker_recovery,
 };
-use phylo_sched::{PatternCosts, Reassignable, Rescheduler, SchedError};
+use phylo_optimize::{
+    optimize_all_branches, optimize_model_parameters, reschedule_if_needed, OptimizeError,
+    OptimizerConfig, ParallelScheme, RescheduleEvent, WorkerRecovery,
+};
+use phylo_sched::{PatternCosts, Reassignable, Rescheduler};
 use phylo_tree::spr::{candidate_moves, SprMove};
 
 /// Configuration of the SPR hill-climbing search.
@@ -82,11 +84,19 @@ pub struct SearchResult {
 }
 
 /// Runs the SPR hill-climbing search on the engine's current tree.
+///
+/// # Errors
+///
+/// Propagates [`KernelError`] from the engine — most prominently a worker
+/// death in a parallel backend. The tree, models and branch lengths keep
+/// every accepted move and committed update, so a caller that rebuilds the
+/// workers can call again and the search resumes from the current tree;
+/// [`tree_search_adaptive`] does that automatically.
 pub fn tree_search<E: Executor>(
     kernel: &mut LikelihoodKernel<E>,
     config: &SearchConfig,
-) -> SearchResult {
-    tree_search_with_hook(kernel, config, |_, _| {})
+) -> Result<SearchResult, KernelError> {
+    tree_search_with_hook(kernel, config, |_, _| Ok(()))
 }
 
 /// [`SearchResult`] plus the mid-search ownership migrations.
@@ -96,6 +106,13 @@ pub struct AdaptiveSearchResult {
     pub result: SearchResult,
     /// Migrations performed between search rounds, in execution order.
     pub events: Vec<RescheduleEvent>,
+    /// Worker deaths absorbed by rebuilding the workers mid-search (empty in
+    /// a healthy run). When non-empty, `result` describes the final resumed
+    /// attempt: the search continued on the current (partially improved)
+    /// tree, but the initial-lnL, move and sync-event counters restart at
+    /// the last recovery point, and the interrupted round's smoothing and
+    /// candidate evaluations are re-executed.
+    pub recoveries: Vec<WorkerRecovery>,
 }
 
 /// [`tree_search`] with mid-run rescheduling: after every search round the
@@ -106,32 +123,78 @@ pub struct AdaptiveSearchResult {
 ///
 /// The rescheduler is consulted after *every* round, including the last one
 /// (see `optimize_model_parameters_adaptive` for why that is deliberate).
+/// Worker deaths are recovered exactly as in the adaptive optimizer: up to
+/// `config.search_optimizer.max_worker_recoveries` deaths are absorbed by
+/// rebuilding the workers and resuming the search on the current tree.
 ///
 /// # Errors
 ///
-/// [`SchedError::PatternCountMismatch`] if `base_costs` covers a different
-/// number of patterns than the kernel's dataset;
-/// [`SchedError::NoMeasurements`] if the search finished without the
-/// executor recording a single trace region (the measurement path is not
-/// enabled, so rescheduling could never have triggered).
+/// [`OptimizeError::Sched`] with [`SchedError::PatternCountMismatch`](phylo_sched::SchedError::PatternCountMismatch) if
+/// `base_costs` covers a different number of patterns than the kernel's
+/// dataset, or with [`SchedError::NoMeasurements`](phylo_sched::SchedError::NoMeasurements) if the search finished
+/// without the executor recording a single trace region (the measurement
+/// path is not enabled, so rescheduling could never have triggered);
+/// [`OptimizeError::Kernel`] when the engine fails beyond the recovery
+/// budget.
 pub fn tree_search_adaptive<E>(
     kernel: &mut LikelihoodKernel<E>,
     config: &SearchConfig,
     rescheduler: &mut Rescheduler,
     base_costs: &PatternCosts,
-) -> Result<AdaptiveSearchResult, SchedError>
+) -> Result<AdaptiveSearchResult, OptimizeError>
 where
     E: Executor + Reassignable,
 {
     validate_base_costs(kernel, base_costs)?;
     let mut events = Vec::new();
-    let result = tree_search_with_hook(kernel, config, |kernel, round| {
-        if let Some(event) = reschedule_if_needed(kernel, rescheduler, base_costs, round) {
-            events.push(event);
-        }
-    });
+    let mut recoveries = Vec::new();
+    let result = with_worker_recovery(
+        kernel,
+        config.search_optimizer.max_worker_recoveries,
+        &mut recoveries,
+        |kernel| {
+            tree_search_with_hook(kernel, config, |kernel, round| {
+                if let Some(event) = reschedule_if_needed(kernel, rescheduler, base_costs, round)? {
+                    events.push(event);
+                }
+                Ok(())
+            })
+        },
+    )?;
     ensure_measurements_happened(kernel, &events)?;
-    Ok(AdaptiveSearchResult { result, events })
+    Ok(AdaptiveSearchResult {
+        result,
+        events,
+        recoveries,
+    })
+}
+
+/// [`tree_search`] with worker-death recovery but without mid-run
+/// rescheduling: up to `config.search_optimizer.max_worker_recoveries`
+/// worker deaths are absorbed by rebuilding the workers and resuming the
+/// search on the current tree. Unlike [`tree_search_adaptive`] this places
+/// no requirement on the executor's measurement path.
+///
+/// # Errors
+///
+/// [`OptimizeError::Kernel`] when the engine fails beyond the recovery
+/// budget (or for a non-recoverable error), [`OptimizeError::Sched`] if a
+/// recovery rebuild itself fails.
+pub fn tree_search_resilient<E>(
+    kernel: &mut LikelihoodKernel<E>,
+    config: &SearchConfig,
+) -> Result<(SearchResult, Vec<WorkerRecovery>), OptimizeError>
+where
+    E: Executor + Reassignable,
+{
+    let mut recoveries = Vec::new();
+    let result = with_worker_recovery(
+        kernel,
+        config.search_optimizer.max_worker_recoveries,
+        &mut recoveries,
+        |kernel| tree_search_with_hook(kernel, config, |_, _| Ok(())),
+    )?;
+    Ok((result, recoveries))
 }
 
 /// The search loop with a caller-supplied hook invoked after every round
@@ -141,15 +204,15 @@ fn tree_search_with_hook<E, F>(
     kernel: &mut LikelihoodKernel<E>,
     config: &SearchConfig,
     mut after_round: F,
-) -> SearchResult
+) -> Result<SearchResult, KernelError>
 where
     E: Executor,
-    F: FnMut(&mut LikelihoodKernel<E>, usize),
+    F: FnMut(&mut LikelihoodKernel<E>, usize) -> Result<(), KernelError>,
 {
     let sync_before = kernel.sync_events();
 
     // Initial smoothing of the starting tree, as RAxML does before searching.
-    let (mut best_lnl, _) = optimize_all_branches(kernel, None, &config.search_optimizer);
+    let (mut best_lnl, _) = optimize_all_branches(kernel, None, &config.search_optimizer)?;
     let initial = best_lnl;
 
     let mut evaluated = 0u64;
@@ -180,7 +243,7 @@ where
                     // point (3 branches), as in lazy SPR.
                     let local = LikelihoodKernel::<E>::inserted_branches(&application);
                     let (lnl, _) =
-                        optimize_all_branches(kernel, Some(&local), &config.search_optimizer);
+                        optimize_all_branches(kernel, Some(&local), &config.search_optimizer)?;
                     evaluated += 1;
                     if lnl > best_lnl + config.acceptance_epsilon {
                         best_lnl = lnl;
@@ -196,24 +259,24 @@ where
         }
 
         if config.optimize_model_between_rounds {
-            let report = optimize_model_parameters(kernel, &config.model_optimizer);
+            let report = optimize_model_parameters(kernel, &config.model_optimizer)?;
             best_lnl = report.final_log_likelihood;
         }
 
-        after_round(kernel, rounds);
+        after_round(kernel, rounds)?;
         if !improved_this_round {
             break;
         }
     }
 
-    SearchResult {
+    Ok(SearchResult {
         initial_log_likelihood: initial,
         final_log_likelihood: best_lnl,
         evaluated_moves: evaluated,
         accepted_moves: accepted,
         rounds,
         sync_events: kernel.sync_events() - sync_before,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -250,7 +313,7 @@ mod tests {
         config.max_rounds = 2;
         config.spr_radius = 3;
         config.optimize_model_between_rounds = false;
-        let result = tree_search(&mut k, &config);
+        let result = tree_search(&mut k, &config).unwrap();
         assert!(
             result.final_log_likelihood > result.initial_log_likelihood,
             "search must improve lnL: {} -> {}",
@@ -269,7 +332,7 @@ mod tests {
         config.max_rounds = 3;
         config.spr_radius = 6;
         config.optimize_model_between_rounds = false;
-        let result = tree_search(&mut k, &config);
+        let result = tree_search(&mut k, &config).unwrap();
         let end_shared = shared_bipartitions(k.tree(), &true_tree);
         assert!(
             end_shared >= start_shared,
@@ -351,8 +414,8 @@ mod tests {
             cfg.spr_radius = 3;
             cfg.optimize_model_between_rounds = false;
         }
-        let r_old = tree_search(&mut k_old, &cfg_old);
-        let r_new = tree_search(&mut k_new, &cfg_new);
+        let r_old = tree_search(&mut k_old, &cfg_old).unwrap();
+        let r_new = tree_search(&mut k_new, &cfg_new).unwrap();
         let rel = (r_old.final_log_likelihood - r_new.final_log_likelihood).abs()
             / r_old.final_log_likelihood.abs();
         assert!(

@@ -1,7 +1,7 @@
 //! Reproduces the paper's core observation on a laptop: the per-region load
 //! balance and synchronization counts of the oldPAR and newPAR schemes,
-//! measured with the instrumented executor and converted into run-time
-//! predictions for the paper's four evaluation platforms.
+//! measured with a *traced* `Analysis` session (virtual workers) and
+//! converted into run-time predictions for the paper's evaluation platforms.
 //!
 //! Run with `cargo run --release --example load_balance_analysis`.
 
@@ -12,29 +12,18 @@ fn run(
     dataset: &plf_loadbalance::seqgen::GeneratedDataset,
     workers: usize,
     scheme: ParallelScheme,
-) -> plf_loadbalance::kernel::cost::WorkTrace {
-    let models = ModelSet::default_for(&dataset.patterns, BranchLengthMode::PerPartition);
-    let categories: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
-    let assignment = schedule(&dataset.patterns, &categories, workers, &Cyclic)
-        .expect("worker counts in this example are positive");
-    let executor = TracingExecutor::from_assignment(
-        &dataset.patterns,
-        &assignment,
-        dataset.tree.node_capacity(),
-        &categories,
-    )
-    .expect("assignment was built for this dataset");
-    let mut kernel = LikelihoodKernel::new(
-        Arc::clone(&dataset.patterns),
-        dataset.tree.clone(),
-        models,
-        executor,
-    );
-    let _ = optimize_model_parameters(&mut kernel, &OptimizerConfig::new(scheme));
-    kernel.executor_mut().take_trace()
+) -> Result<WorkTrace, AnalysisError> {
+    // A traced session executes every command on `workers` virtual workers
+    // under the paper's cyclic placement, recording each region's work.
+    let mut analysis = Analysis::builder(Arc::clone(&dataset.patterns), dataset.tree.clone())
+        .threads(workers)
+        .strategy(Cyclic)
+        .build_traced()?;
+    let _ = analysis.optimize(&OptimizerConfig::new(scheme))?;
+    Ok(analysis.take_trace())
 }
 
-fn main() {
+fn main() -> Result<(), AnalysisError> {
     // 20 short partitions of 60 columns each — many short genes, the worst
     // case for the old per-partition scheme.
     let dataset = paper_simulated(24, 1200, 60, 4711).generate();
@@ -53,7 +42,7 @@ fn main() {
     let barcelona = Platform::barcelona();
     for workers in [8usize, 16] {
         for scheme in [ParallelScheme::Old, ParallelScheme::New] {
-            let trace = run(&dataset, workers, scheme);
+            let trace = run(&dataset, workers, scheme)?;
             let platform = if workers <= 8 { &nehalem } else { &barcelona };
             println!(
                 "{:<8} {:<8} {:>14} {:>12.3} {:>12.3}",
@@ -68,4 +57,5 @@ fn main() {
     println!();
     println!("newPAR issues far fewer synchronization events and keeps every worker busy,");
     println!("which is exactly the paper's explanation for its 2-8x speedup improvements.");
+    Ok(())
 }

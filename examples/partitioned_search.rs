@@ -9,7 +9,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
 
-fn main() {
+fn main() -> Result<(), AnalysisError> {
     // A gappy multi-gene DNA dataset in the style of the paper's real-world
     // mammalian alignment, scaled down so the example finishes in seconds.
     let spec = DatasetSpec {
@@ -34,45 +34,44 @@ fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(99);
     let start_tree = plf_loadbalance::tree::random::random_tree(&dataset.patterns.taxa, &mut rng);
 
-    // Real worker threads (the Pthreads-style pool) with the cyclic pattern
-    // distribution.
+    // Real worker threads (the Pthreads-style pool); timing on so the
+    // session reports the measured per-worker balance afterwards.
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(2)
         .min(4);
-    let models = ModelSet::default_for(&dataset.patterns, BranchLengthMode::PerPartition);
-    let categories: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
-    let assignment = schedule(&dataset.patterns, &categories, threads, &Cyclic)
-        .expect("available_parallelism is at least one");
-    let executor = ThreadedExecutor::from_assignment(
-        &dataset.patterns,
-        &assignment,
-        start_tree.node_capacity(),
-        &categories,
-    )
-    .expect("assignment was built for this dataset");
-    let mut kernel =
-        LikelihoodKernel::new(Arc::clone(&dataset.patterns), start_tree, models, executor);
+    let mut analysis = Analysis::builder(Arc::clone(&dataset.patterns), start_tree)
+        .threads(threads)
+        .strategy(Cyclic)
+        .timed(true)
+        .build()?;
 
     let mut config = SearchConfig::new(ParallelScheme::New);
     config.max_rounds = 2;
     config.spr_radius = 4;
-    let result = tree_search(&mut kernel, &config);
+    let outcome = analysis.run_search(&config)?;
     println!(
         "search on {threads} threads: lnL {:.3} -> {:.3} ({} moves evaluated, {} accepted)",
-        result.initial_log_likelihood,
-        result.final_log_likelihood,
-        result.evaluated_moves,
-        result.accepted_moves
+        outcome.result.initial_log_likelihood,
+        outcome.result.final_log_likelihood,
+        outcome.result.evaluated_moves,
+        outcome.result.accepted_moves
+    );
+    println!(
+        "measured wall-clock imbalance of the run: {:.3} (max/mean per worker)",
+        analysis
+            .imbalance_report_in(TraceUnit::Seconds)
+            .measured_imbalance
     );
 
     // How much of the generating topology was recovered?
     let truth = dataset.tree.bipartitions();
-    let found = kernel.tree().bipartitions();
+    let found = analysis.tree().bipartitions();
     let shared = truth.iter().filter(|s| found.contains(s)).count();
     println!(
         "recovered {shared}/{} bipartitions of the generating tree",
         truth.len()
     );
-    println!("final tree: {}", newick::to_newick(kernel.tree()));
+    println!("final tree: {}", newick::to_newick(analysis.tree()));
+    Ok(())
 }

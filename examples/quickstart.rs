@@ -1,12 +1,13 @@
 //! Quickstart: compute and optimize the likelihood of a small partitioned
-//! alignment on a fixed tree, under both parallelization schemes.
+//! alignment on a fixed tree, under both parallelization schemes, through
+//! the one-stop `Analysis` session API.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
 use plf_loadbalance::prelude::*;
 use std::sync::Arc;
 
-fn main() {
+fn main() -> Result<(), AnalysisError> {
     // 1. A multi-gene alignment: 12 taxa, 4 genes of 150 columns each,
     //    simulated with per-gene model parameters (the dataset generator is
     //    the workspace's Seq-Gen substitute).
@@ -19,34 +20,38 @@ fn main() {
         dataset.patterns.total_patterns()
     );
 
-    // 2. Build the likelihood engine: per-partition GTR+Γ models with
-    //    per-partition branch lengths (the model the paper argues for).
-    let models = ModelSet::default_for(&dataset.patterns, BranchLengthMode::PerPartition);
-    let mut kernel =
-        SequentialKernel::build(Arc::clone(&dataset.patterns), dataset.tree.clone(), models);
-    println!("initial log likelihood: {:.3}", kernel.log_likelihood());
+    // 2. One builder call replaces the old eight-step spec → patterns →
+    //    models → categories → schedule → executor → kernel → driver chain.
+    //    Per-partition GTR+Γ models with per-partition branch lengths (the
+    //    model the paper argues for) are the default.
+    let mut analysis = Analysis::builder(Arc::clone(&dataset.patterns), dataset.tree.clone())
+        .threads(2)
+        .strategy(WeightedLpt)
+        .build()?;
+    println!("initial log likelihood: {:.3}", analysis.log_likelihood()?);
 
     // 3. Optimize model parameters and branch lengths with the newPAR scheme.
-    let report = optimize_model_parameters(&mut kernel, &OptimizerConfig::new(ParallelScheme::New));
+    let outcome = analysis.optimize(&OptimizerConfig::new(ParallelScheme::New))?;
     println!(
         "optimized log likelihood: {:.3} ({} outer rounds, {} synchronization events)",
-        report.final_log_likelihood, report.rounds, report.sync_events
+        outcome.report.final_log_likelihood, outcome.report.rounds, outcome.report.sync_events
     );
 
     // 4. The same optimization under the old per-partition scheme issues far
     //    more synchronization events for the same result.
-    let models = ModelSet::default_for(&dataset.patterns, BranchLengthMode::PerPartition);
-    let mut old_kernel =
-        SequentialKernel::build(Arc::clone(&dataset.patterns), dataset.tree.clone(), models);
-    let old_report =
-        optimize_model_parameters(&mut old_kernel, &OptimizerConfig::new(ParallelScheme::Old));
+    let mut old_analysis = Analysis::builder(Arc::clone(&dataset.patterns), dataset.tree.clone())
+        .threads(2)
+        .strategy(WeightedLpt)
+        .build()?;
+    let old_outcome = old_analysis.optimize(&OptimizerConfig::new(ParallelScheme::Old))?;
     println!(
         "oldPAR reaches lnL {:.3} with {} synchronization events ({}x more)",
-        old_report.final_log_likelihood,
-        old_report.sync_events,
-        old_report.sync_events as f64 / report.sync_events as f64
+        old_outcome.report.final_log_likelihood,
+        old_outcome.report.sync_events,
+        old_outcome.report.sync_events as f64 / outcome.report.sync_events as f64
     );
 
     // 5. Export the optimized tree.
-    println!("optimized tree: {}", newick::to_newick(kernel.tree()));
+    println!("optimized tree: {}", newick::to_newick(analysis.tree()));
+    Ok(())
 }

@@ -1,39 +1,30 @@
 //! Tour of the pluggable scheduling subsystem: builds all four strategies'
-//! assignments for a mixed DNA/protein dataset, compares their predicted
-//! per-worker load, then verifies the prediction against the instrumented
-//! executor's measurement.
+//! assignments for a mixed DNA/protein dataset through traced `Analysis`
+//! sessions, compares their predicted per-worker load, then verifies the
+//! prediction against the instrumented executor's measurement.
 //!
 //! Run with `cargo run --release --example scheduling_strategies`.
 
 use plf_loadbalance::prelude::*;
 use std::sync::Arc;
 
-/// Runs one traced likelihood evaluation under `assignment` and returns the
-/// work trace.
+/// Runs one traced likelihood evaluation under `strategy` and returns the
+/// session's (assignment, trace) pair.
 fn trace_run(
     dataset: &plf_loadbalance::seqgen::GeneratedDataset,
-    assignment: &Assignment,
-    categories: &[usize],
-) -> plf_loadbalance::kernel::cost::WorkTrace {
-    let models = ModelSet::default_for(&dataset.patterns, BranchLengthMode::PerPartition);
-    let executor = TracingExecutor::from_assignment(
-        &dataset.patterns,
-        assignment,
-        dataset.tree.node_capacity(),
-        categories,
-    )
-    .expect("assignment was built for this dataset");
-    let mut kernel = LikelihoodKernel::new(
-        Arc::clone(&dataset.patterns),
-        dataset.tree.clone(),
-        models,
-        executor,
-    );
-    let _ = kernel.log_likelihood();
-    kernel.executor_mut().take_trace()
+    strategy: impl ScheduleStrategy + 'static,
+    workers: usize,
+) -> Result<(Assignment, WorkTrace), AnalysisError> {
+    let mut analysis = Analysis::builder(Arc::clone(&dataset.patterns), dataset.tree.clone())
+        .threads(workers)
+        .strategy(strategy)
+        .build_traced()?;
+    let _ = analysis.log_likelihood()?;
+    let assignment = analysis.assignment().clone();
+    Ok((assignment, analysis.take_trace()))
 }
 
-fn main() {
+fn main() -> Result<(), AnalysisError> {
     // 8 DNA genes plus 3 protein genes: the protein patterns weigh ~25x the
     // DNA ones, so pattern *counts* are a poor balance proxy.
     let workers = 8usize;
@@ -49,19 +40,14 @@ fn main() {
         workers,
     );
 
-    let costs = PatternCosts::analytic(&dataset.patterns, &categories);
     let strategies: Vec<Box<dyn ScheduleStrategy>> =
         vec![Box::new(Cyclic), Box::new(Block), Box::new(WeightedLpt)];
 
     println!("{} ", ImbalanceReport::header());
-    let mut warmup: Option<(Assignment, plf_loadbalance::kernel::cost::WorkTrace)> = None;
-    for strategy in &strategies {
-        let assignment = strategy
-            .assign(&costs, workers)
-            .expect("non-empty dataset and positive worker count");
-        let trace = trace_run(&dataset, &assignment, &categories);
-        let report = imbalance_report(&assignment, &trace);
-        println!("{}", report.format());
+    let mut warmup: Option<(Assignment, WorkTrace)> = None;
+    for strategy in strategies {
+        let (assignment, trace) = trace_run(&dataset, strategy, workers)?;
+        println!("{}", imbalance_report(&assignment, &trace).format());
         if assignment.strategy() == "cyclic" {
             warmup = Some((assignment, trace));
         }
@@ -69,14 +55,18 @@ fn main() {
 
     // Trace-adaptive: rebalance from the cyclic warm-up measurement.
     let (prior, trace) = warmup.expect("cyclic ran first");
-    let adaptive = TraceAdaptive::new(prior, &trace).expect("trace matches the warm-up run");
-    let assignment = adaptive
-        .assign(&costs, workers)
-        .expect("rebalancing succeeds");
-    let trace = trace_run(&dataset, &assignment, &categories);
+    let adaptive = TraceAdaptive::new(prior, &trace)?;
+    let (assignment, trace) = trace_run(&dataset, adaptive, workers)?;
     println!("{}", imbalance_report(&assignment, &trace).format());
 
-    println!();
+    // The analytic cost model the schedules packed against, for reference.
+    let costs = PatternCosts::analytic(&dataset.patterns, &categories);
+    println!(
+        "\ntotal analytic cost {:.0} over {} patterns",
+        costs.total(),
+        costs.pattern_count()
+    );
     println!("block lumps the expensive protein tail onto few workers; weighted-lpt");
     println!("and trace-adaptive pack by cost and keep every worker equally busy.");
+    Ok(())
 }

@@ -10,24 +10,33 @@
 //! paper's contribution).
 //!
 //! This crate is a facade that re-exports the workspace crates under one
-//! namespace; see the README for a tour and `DESIGN.md` for the
-//! paper-to-module mapping.
+//! namespace and adds the one-stop [`Analysis`] session API on top; see the
+//! README for a tour and `DESIGN.md` for the paper-to-module mapping.
+//!
+//! The whole execution surface is **fallible by default**: a worker death in
+//! a parallel backend is a value ([`prelude::KernelError`]), not a crash,
+//! and the drivers recover from it mid-run by rebuilding the workers.
 //!
 //! ```
 //! use plf_loadbalance::prelude::*;
 //! use std::sync::Arc;
 //!
+//! # fn main() -> Result<(), AnalysisError> {
 //! // A small partitioned dataset simulated on a random tree.
 //! let dataset = paper_simulated(8, 200, 50, 42).generate();
-//! let models = ModelSet::default_for(&dataset.patterns, BranchLengthMode::PerPartition);
-//! let mut kernel = SequentialKernel::build(
-//!     Arc::clone(&dataset.patterns),
-//!     dataset.tree.clone(),
-//!     models,
-//! );
-//! let report = optimize_model_parameters(&mut kernel, &OptimizerConfig::new(ParallelScheme::New));
-//! assert!(report.final_log_likelihood > report.initial_log_likelihood);
+//! let mut analysis = Analysis::builder(Arc::clone(&dataset.patterns), dataset.tree.clone())
+//!     .threads(2)
+//!     .strategy(WeightedLpt)
+//!     .build()?;
+//! let outcome = analysis.optimize(&OptimizerConfig::new(ParallelScheme::New))?;
+//! assert!(outcome.report.final_log_likelihood > outcome.report.initial_log_likelihood);
+//! # Ok(())
+//! # }
 //! ```
+
+pub mod analysis;
+
+pub use analysis::{Analysis, AnalysisBuilder, AnalysisError};
 
 pub use phylo_data as data;
 pub use phylo_kernel as kernel;
@@ -43,17 +52,18 @@ pub use phylo_tree as tree;
 
 /// The most commonly used types and functions in one import.
 pub mod prelude {
+    pub use crate::analysis::{Analysis, AnalysisBuilder, AnalysisError};
     pub use phylo_data::{Alignment, DataType, Partition, PartitionSet, PartitionedPatterns};
     pub use phylo_kernel::{
-        engine::BranchScope, ExecError, LikelihoodKernel, SequentialKernel, TraceUnit, WorkTrace,
+        engine::BranchScope, ExecError, KernelError, LikelihoodKernel, SequentialKernel, TraceUnit,
+        WorkTrace,
     };
     pub use phylo_models::{BranchLengthMode, ModelSet, PartitionModel, SubstitutionModel};
     pub use phylo_optimize::{
         optimize_all_branches, optimize_model_parameters, optimize_model_parameters_adaptive,
-        AdaptiveOptimizationReport, OptimizerConfig, ParallelScheme, RescheduleEvent,
+        optimize_model_parameters_resilient, AdaptiveOptimizationReport, OptimizeError,
+        OptimizerConfig, ParallelScheme, RescheduleEvent, WorkerRecovery,
     };
-    #[allow(deprecated)]
-    pub use phylo_parallel::Distribution;
     pub use phylo_parallel::{
         build_workers, schedule, ExecutorOptions, RayonExecutor, ThreadedExecutor, TracingExecutor,
         WorkerSkew,
@@ -63,7 +73,10 @@ pub mod prelude {
         worker_imbalance, Assignment, Block, Cyclic, PatternCosts, Reassignable, ReschedulePolicy,
         Rescheduler, SchedError, ScheduleStrategy, SpeedAwareLpt, TraceAdaptive, WeightedLpt,
     };
-    pub use phylo_search::{tree_search, tree_search_adaptive, SearchConfig};
+    pub use phylo_search::{
+        tree_search, tree_search_adaptive, tree_search_resilient, AdaptiveSearchResult,
+        SearchConfig, SearchResult,
+    };
     pub use phylo_seqgen::datasets::{
         mixed_dna_protein, paper_real_world, paper_simulated, DatasetSpec, RealWorldKind,
     };

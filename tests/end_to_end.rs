@@ -17,7 +17,7 @@ fn all_executors_agree_on_the_likelihood() {
 
     let mut sequential =
         SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
-    let reference = sequential.log_likelihood();
+    let reference = sequential.try_log_likelihood().unwrap();
 
     let threaded = ThreadedExecutor::from_assignment(
         &ds.patterns,
@@ -58,9 +58,9 @@ fn all_executors_agree_on_the_likelihood() {
         LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, tracing);
 
     for (name, lnl) in [
-        ("threaded", threaded_kernel.log_likelihood()),
-        ("rayon", rayon_kernel.log_likelihood()),
-        ("tracing-16", tracing_kernel.log_likelihood()),
+        ("threaded", threaded_kernel.try_log_likelihood().unwrap()),
+        ("rayon", rayon_kernel.try_log_likelihood().unwrap()),
+        ("tracing-16", tracing_kernel.try_log_likelihood().unwrap()),
     ] {
         assert!(
             (lnl - reference).abs() < 1e-8,
@@ -78,7 +78,7 @@ fn kernel_agrees_with_naive_reference_on_generated_data() {
     let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::Joint);
     let mut kernel =
         SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
-    let fast = kernel.log_likelihood();
+    let fast = kernel.try_log_likelihood().unwrap();
     let bl = BranchLengths::from_tree(
         &ds.tree,
         ds.patterns.partition_count(),
@@ -94,7 +94,7 @@ fn old_and_new_schemes_reach_the_same_model_estimate() {
     let run = |scheme| {
         let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
         let mut kernel = SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models);
-        let report = optimize_model_parameters(&mut kernel, &OptimizerConfig::new(scheme));
+        let report = optimize_model_parameters(&mut kernel, &OptimizerConfig::new(scheme)).unwrap();
         (report, kernel)
     };
     let (report_old, kernel_old) = run(ParallelScheme::Old);
@@ -142,7 +142,7 @@ fn search_with_threads_improves_and_stays_consistent() {
     config.max_rounds = 1;
     config.spr_radius = 3;
     config.optimize_model_between_rounds = false;
-    let result = tree_search(&mut kernel, &config);
+    let result = tree_search(&mut kernel, &config).unwrap();
     assert!(result.final_log_likelihood >= result.initial_log_likelihood);
     assert!(kernel.tree().validate().is_ok());
 }
@@ -188,7 +188,7 @@ fn mid_run_rescheduling_beats_static_cyclic_on_a_skewed_worker() {
 
     let mut sequential =
         SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
-    let reference = sequential.log_likelihood();
+    let reference = sequential.try_log_likelihood().unwrap();
 
     // Worker 0 sleeps 100 µs per active pattern in every region — an
     // emulated throttled core whose slowdown is proportional to its
@@ -257,11 +257,169 @@ fn mid_run_rescheduling_beats_static_cyclic_on_a_skewed_worker() {
     // above; `reference` is the unoptimized starting point).
     assert!(adaptive.report.final_log_likelihood > reference);
     kernel.invalidate_all();
-    let recomputed = kernel.log_likelihood();
+    let recomputed = kernel.try_log_likelihood().unwrap();
     assert!(
         (recomputed - adaptive.report.final_log_likelihood).abs() < 1e-8,
         "full recomputation on the migrated workers must reproduce the \
          optimizer's final likelihood: {recomputed} vs {}",
         adaptive.report.final_log_likelihood
     );
+}
+
+/// The fallible-API acceptance criterion: a worker panic injected mid-run
+/// through the real master/worker machinery is *recovered* by the driver via
+/// `Reassignable` — the run completes instead of aborting the process, the
+/// recovery is reported, and a full CLV recomputation on the rebuilt workers
+/// reproduces the final log likelihood to ≤ 1e-8.
+#[test]
+fn driver_recovers_from_an_injected_worker_death_mid_optimize() {
+    let ds = mixed_dna_protein(6, 4, 2, 40, 2026).generate();
+    let mut analysis = Analysis::builder(Arc::clone(&ds.patterns), ds.tree.clone())
+        .threads(4)
+        .strategy(Cyclic)
+        .timed(true)
+        .rescheduler(ReschedulePolicy {
+            imbalance_threshold: f64::MAX, // recovery only; no migration noise
+            min_regions: 1,
+            unit: TraceUnit::Seconds,
+            max_reschedules: 0,
+        })
+        .build()
+        .unwrap();
+
+    // Worker 2 dies ~40 regions into the run — deep inside the first
+    // optimizer round, after real work has been committed.
+    analysis
+        .kernel_mut()
+        .executor_mut()
+        .inject_worker_panic(2, 40);
+
+    let config = OptimizerConfig::new(ParallelScheme::New);
+    let outcome = analysis
+        .optimize(&config)
+        .expect("the driver must absorb the worker death and finish");
+
+    assert_eq!(
+        outcome.recoveries.len(),
+        1,
+        "exactly one recovery must be reported: {:?}",
+        outcome.recoveries
+    );
+    assert_eq!(outcome.recoveries[0].worker, 2);
+    assert!(
+        outcome.report.final_log_likelihood > outcome.report.initial_log_likelihood,
+        "the resumed run must still optimize: {} -> {}",
+        outcome.report.initial_log_likelihood,
+        outcome.report.final_log_likelihood
+    );
+
+    // The recovery (reassign + CLV invalidation) must not drift the
+    // likelihood: recomputing everything from scratch on the rebuilt
+    // workers reproduces the driver's final value.
+    analysis.kernel_mut().invalidate_all();
+    let recomputed = analysis.log_likelihood().unwrap();
+    assert!(
+        (recomputed - outcome.report.final_log_likelihood).abs() <= 1e-8,
+        "recovery drifted the lnL: {recomputed} vs {}",
+        outcome.report.final_log_likelihood
+    );
+}
+
+/// A second death past the budget is an error value, never a process abort.
+#[test]
+fn worker_deaths_past_the_recovery_budget_fail_as_values() {
+    let ds = paper_simulated(6, 80, 40, 2027).generate();
+    let mut analysis = Analysis::builder(Arc::clone(&ds.patterns), ds.tree.clone())
+        .threads(2)
+        .build()
+        .unwrap();
+    let mut config = OptimizerConfig::new(ParallelScheme::New);
+    config.max_worker_recoveries = 0;
+    analysis
+        .kernel_mut()
+        .executor_mut()
+        .inject_worker_panic(1, 5);
+    let err = analysis.optimize(&config).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            AnalysisError::Kernel(KernelError::Exec(ExecError::WorkerDied { worker: 1 }))
+        ),
+        "{err:?}"
+    );
+    // The session object survives: recovery is still possible by hand.
+    assert!(analysis.kernel().executor().poisoned_by().is_some());
+}
+
+/// Builder misuse surfaces as typed errors through the facade, not panics.
+#[test]
+fn analysis_builder_misuse_is_typed() {
+    let ds = paper_simulated(6, 80, 40, 2028).generate();
+    assert_eq!(
+        Analysis::builder(Arc::clone(&ds.patterns), ds.tree.clone())
+            .threads(0)
+            .build()
+            .unwrap_err(),
+        AnalysisError::Sched(SchedError::NoWorkers)
+    );
+
+    let single = paper_simulated(6, 40, 40, 2029).generate();
+    let wrong_models = ModelSet::default_for(&single.patterns, BranchLengthMode::PerPartition);
+    assert!(matches!(
+        Analysis::builder(Arc::clone(&ds.patterns), ds.tree.clone())
+            .models(wrong_models)
+            .threads(2)
+            .build()
+            .unwrap_err(),
+        AnalysisError::Kernel(KernelError::ModelCountMismatch { .. })
+    ));
+
+    let skewed = Analysis::builder(Arc::clone(&ds.patterns), ds.tree.clone())
+        .threads(2)
+        .skew(WorkerSkew {
+            worker: 7,
+            nanos_per_pattern: 1,
+        })
+        .build()
+        .unwrap_err();
+    assert!(matches!(
+        skewed,
+        AnalysisError::Sched(SchedError::SkewWorkerOutOfRange { worker: 7, .. })
+    ));
+}
+
+/// The traced facade session reproduces the figure pipeline: a search run
+/// under a rescheduling policy on virtual workers keeps the likelihood
+/// placement-invariant across migrations.
+#[test]
+fn facade_search_with_rescheduling_preserves_the_likelihood() {
+    let ds = mixed_dna_protein(6, 3, 2, 64, 2030).generate();
+    let mut analysis = Analysis::builder(Arc::clone(&ds.patterns), ds.tree.clone())
+        .threads(7)
+        .strategy(Cyclic)
+        .rescheduler(ReschedulePolicy {
+            imbalance_threshold: 1.0001,
+            min_regions: 8,
+            unit: TraceUnit::Flops,
+            max_reschedules: 1,
+        })
+        .build_traced()
+        .unwrap();
+    let mut config = SearchConfig::new(ParallelScheme::New);
+    config.max_rounds = 2;
+    config.spr_radius = 2;
+    config.optimize_model_between_rounds = false;
+    let outcome = analysis.run_search(&config).unwrap();
+    assert!(
+        !outcome.events.is_empty(),
+        "the low threshold must trigger a mid-search migration"
+    );
+    for event in &outcome.events {
+        assert!(
+            event.log_likelihood_drift() < 1e-8,
+            "migration drifted the likelihood by {}",
+            event.log_likelihood_drift()
+        );
+    }
+    assert_eq!(analysis.assignment().strategy(), "speed-lpt");
 }
