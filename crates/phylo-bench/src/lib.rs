@@ -16,6 +16,27 @@
 //! Set `PLF_SCALE=1.0` to regenerate the figures at the paper's full dataset
 //! sizes (slow), or leave the default small scale for a quick check of the
 //! qualitative result.
+//!
+//! ```
+//! use phylo_bench::{dataset_scale, run_traced, Workload};
+//! use phylo_models::BranchLengthMode;
+//! use phylo_optimize::ParallelScheme;
+//! use phylo_seqgen::datasets::paper_simulated;
+//!
+//! assert!(dataset_scale() > 0.0 && dataset_scale() <= 1.0);
+//! // One tiny traced run: the instrumented executor records a region per
+//! // synchronization event, which is what every figure is built from.
+//! let ds = paper_simulated(6, 40, 20, 5).generate();
+//! let (trace, lnl) = run_traced(
+//!     &ds,
+//!     4,
+//!     ParallelScheme::New,
+//!     BranchLengthMode::PerPartition,
+//!     Workload::ModelOptimization,
+//! );
+//! assert!(trace.sync_events() > 0);
+//! assert!(lnl.is_finite() && lnl < 0.0);
+//! ```
 
 pub mod scheduling;
 

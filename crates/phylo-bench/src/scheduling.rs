@@ -270,6 +270,7 @@ pub fn compare_adaptive_resched(
         min_regions: 16,
         unit: TraceUnit::Seconds,
         max_reschedules: 1,
+        mask_aware: false,
     });
     let config = OptimizerConfig::search_phase(ParallelScheme::New);
     let adaptive =
@@ -297,6 +298,278 @@ pub fn compare_adaptive_resched(
             .max_by(f64::total_cmp)
             .unwrap_or(0.0),
     })
+}
+
+/// One configuration's outcome in the mask-aware rescheduling experiment.
+#[derive(Debug, Clone)]
+pub struct MaskRunStats {
+    /// Configuration label (static cyclic / between-round / mask-aware).
+    pub label: String,
+    /// Mid-run ownership migrations that happened.
+    pub reschedules: usize,
+    /// How many of them fired *within* a round (mask-aware only).
+    pub within_round_reschedules: usize,
+    /// Measured FLOP imbalance over the *masked* regions of the whole run —
+    /// the regions where part of the dataset had converged, i.e. the oldPAR-
+    /// like phases whose balance the paper's analysis is about. 1.0 is
+    /// perfect; computed as workers × critical-path / total over the run's
+    /// accumulated trace epochs. Migrations fire mid-run, so this aggregate
+    /// still contains the pre-trigger (cyclic) phases of every run.
+    pub masked_imbalance: f64,
+    /// Measured FLOP imbalance over all regions of the run.
+    pub overall_imbalance: f64,
+    /// Measured masked-region FLOP imbalance of the run's *final placement*
+    /// under the standardized probe workload (a fresh pass of the same
+    /// staggered-convergence optimization) — the placement-vs-placement
+    /// comparison the gate uses, free of each run's pre-trigger history.
+    pub probe_masked_imbalance: f64,
+    /// Probe imbalance over all regions of the final placement.
+    pub probe_overall_imbalance: f64,
+    /// Largest |Δ log likelihood| across the migrations (0.0 for none).
+    pub max_lnl_drift: f64,
+    /// Final log likelihood of the run (placement-invariant across
+    /// configurations).
+    pub final_lnl: f64,
+}
+
+/// The mask-aware rescheduling experiment: static cyclic vs between-round-
+/// only rescheduling vs mask-aware within-round rescheduling, all on the
+/// same staggered-convergence dataset and virtual workers (FLOP unit, fully
+/// deterministic).
+#[derive(Debug, Clone)]
+pub struct MaskComparison {
+    /// Dataset name.
+    pub dataset: String,
+    /// Virtual worker count of every run.
+    pub workers: usize,
+    /// The three runs, in the order static / between-round / mask-aware.
+    pub runs: Vec<MaskRunStats>,
+}
+
+impl MaskComparison {
+    /// The run with the given label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is missing (a bug in the experiment driver).
+    pub fn run(&self, label: &str) -> &MaskRunStats {
+        self.runs
+            .iter()
+            .find(|r| r.label == label)
+            .unwrap_or_else(|| panic!("comparison is missing the {label} run"))
+    }
+}
+
+/// A DNA dataset whose partitions converge at staggered rates because their
+/// gene lengths differ 5×: long genes (lots of data, sharp likelihoods)
+/// converge their Newton streams quickly, the short genes' flat likelihoods
+/// keep iterating. Late in every branch's Newton stream only the slow
+/// partitions stay live, so the cyclic placement's balance over the *live*
+/// set — not over the totals — determines the measured imbalance.
+pub fn staggered_convergence_dataset(seed: u64) -> GeneratedDataset {
+    use phylo_data::DataType;
+    use phylo_seqgen::datasets::DatasetSpec;
+    // Twelve pairs of one 40-column and one 8-column DNA gene. With 16
+    // workers the cyclic arithmetic works out as follows: each pair is 48
+    // patterns ≡ 0 (mod 16), so every long gene starts at an offset ≡ 0 —
+    // its 8 surplus patterns (40 = 2·16 + 8) always land on workers 0–7 —
+    // and every short gene starts at an offset ≡ 8, landing *entirely* on
+    // workers 8–15. Under the full mask the two effects cancel exactly
+    // (every worker owns 3 patterns per pair), so the totals are balanced
+    // and a total-cost (between-round) rescheduler has nothing to fix. But
+    // the gene lengths differ 5×, so the partitions converge at staggered
+    // rates — the short genes' flat likelihoods keep their Newton streams
+    // alive longest — and the late, partial convergence masks are heavily
+    // skewed: short-gene phases run entirely on workers 8–15 (measured
+    // imbalance 2.0) while long-gene phases overload workers 0–7. Only a
+    // mask-aware, within-round repack can react to that shape.
+    let mut layout = Vec::new();
+    for _ in 0..12 {
+        layout.push(40usize);
+        layout.push(8);
+    }
+    DatasetSpec {
+        name: "staggered_pairs_40x8".to_string(),
+        taxa: 8,
+        partition_columns: layout,
+        data_type: DataType::Dna,
+        protein_partitions: Vec::new(),
+        missing_taxa_fraction: 0.0,
+        seed,
+    }
+    .generate()
+}
+
+fn mask_policy(mask_aware: bool) -> ReschedulePolicy {
+    ReschedulePolicy {
+        imbalance_threshold: 1.25,
+        min_regions: 12,
+        unit: TraceUnit::Flops,
+        max_reschedules: 4,
+        mask_aware,
+    }
+}
+
+/// Builds a virtual-worker kernel over `assignment` with the dataset's
+/// default per-partition models (the common setup of every mask-experiment
+/// run and probe).
+fn staggered_kernel(
+    dataset: &GeneratedDataset,
+    assignment: &Assignment,
+) -> LikelihoodKernel<phylo_parallel::TracingExecutor> {
+    use phylo_parallel::TracingExecutor;
+    let models = ModelSet::default_for(&dataset.patterns, BranchLengthMode::PerPartition);
+    let categories: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+    let executor = TracingExecutor::from_assignment(
+        &dataset.patterns,
+        assignment,
+        dataset.tree.node_capacity(),
+        &categories,
+    )
+    .expect("assignment was built for this dataset");
+    LikelihoodKernel::new(
+        Arc::clone(&dataset.patterns),
+        dataset.tree.clone(),
+        models,
+        executor,
+    )
+}
+
+/// Measures a placement: runs the full staggered-convergence workload on
+/// virtual workers under `assignment` and returns the masked-region and
+/// overall FLOP imbalance of the trace.
+fn probe_placement(dataset: &GeneratedDataset, assignment: &Assignment) -> (f64, f64) {
+    let mut kernel = staggered_kernel(dataset, assignment);
+    let config = OptimizerConfig::new(ParallelScheme::New);
+    phylo_optimize::optimize_model_parameters(&mut kernel, &config)
+        .expect("virtual executors cannot lose workers");
+    let trace = kernel.executor_mut().take_trace();
+    (
+        1.0 / trace.masked_overall_balance_in(TraceUnit::Flops),
+        1.0 / trace.overall_balance_in(TraceUnit::Flops),
+    )
+}
+
+/// Runs one configuration of the mask experiment on virtual workers
+/// (`policy: None` = static, no rescheduling) and measures both the run
+/// itself (event epochs + the final live epoch) and its final placement
+/// under the standardized probe.
+fn mask_run(
+    dataset: &GeneratedDataset,
+    workers: usize,
+    label: &str,
+    policy: Option<ReschedulePolicy>,
+) -> Result<MaskRunStats, OptimizeError> {
+    let categories = default_categories(dataset);
+    let costs = PatternCosts::analytic(&dataset.patterns, &categories);
+    let cyclic = Cyclic
+        .assign(&costs, workers)
+        .map_err(OptimizeError::Sched)?;
+    let mut kernel = staggered_kernel(dataset, &cyclic);
+    let config = OptimizerConfig::new(ParallelScheme::New);
+
+    let (events, final_lnl) = match policy {
+        Some(policy) => {
+            let mut rescheduler = Rescheduler::new(policy);
+            let report =
+                optimize_model_parameters_adaptive(&mut kernel, &config, &mut rescheduler, &costs)?;
+            (report.events, report.report.final_log_likelihood)
+        }
+        None => {
+            let report = phylo_optimize::optimize_model_parameters(&mut kernel, &config)?;
+            (Vec::new(), report.final_log_likelihood)
+        }
+    };
+
+    // The full run's measurements: the epoch traces captured at each
+    // migration plus whatever the executor accumulated since the last one.
+    let mut full = phylo_kernel::cost::WorkTrace::new(workers);
+    for event in &events {
+        full.extend(&event.epoch_trace)
+            .expect("all epochs ran on the same worker count");
+    }
+    full.extend(&kernel.executor_mut().take_trace())
+        .expect("all epochs ran on the same worker count");
+
+    // Placement-vs-placement comparison: re-run the identical workload on
+    // the run's final assignment, from scratch.
+    let final_assignment = kernel.executor_mut().assignment().clone();
+    let (probe_masked_imbalance, probe_overall_imbalance) =
+        probe_placement(dataset, &final_assignment);
+
+    Ok(MaskRunStats {
+        label: label.to_string(),
+        reschedules: events.len(),
+        within_round_reschedules: events.iter().filter(|e| e.within_round).count(),
+        masked_imbalance: 1.0 / full.masked_overall_balance_in(TraceUnit::Flops),
+        overall_imbalance: 1.0 / full.overall_balance_in(TraceUnit::Flops),
+        probe_masked_imbalance,
+        probe_overall_imbalance,
+        max_lnl_drift: events
+            .iter()
+            .map(|e| e.log_likelihood_drift())
+            .max_by(f64::total_cmp)
+            .unwrap_or(0.0),
+        final_lnl,
+    })
+}
+
+/// Runs the full mask-aware rescheduling comparison: the same newPAR model-
+/// optimization workload under (a) the static cyclic schedule, (b) cyclic
+/// with the plain between-round rescheduler, (c) cyclic with the mask-aware
+/// within-round rescheduler — all thresholds identical, all on virtual
+/// workers with deterministic FLOP measurements.
+///
+/// # Errors
+///
+/// Propagates [`OptimizeError`] from the adaptive drivers.
+pub fn compare_mask_resched(
+    dataset: &GeneratedDataset,
+    workers: usize,
+) -> Result<MaskComparison, OptimizeError> {
+    let runs = vec![
+        mask_run(dataset, workers, "static cyclic", None)?,
+        mask_run(dataset, workers, "between-round", Some(mask_policy(false)))?,
+        mask_run(dataset, workers, "mask-aware", Some(mask_policy(true)))?,
+    ];
+    Ok(MaskComparison {
+        dataset: dataset.spec.name.clone(),
+        workers,
+        runs,
+    })
+}
+
+/// Prints the mask experiment as a small table.
+pub fn print_mask_comparison(c: &MaskComparison) {
+    println!(
+        "=== convergence-mask rescheduling on {} ({} virtual workers, FLOP unit) ===",
+        c.dataset, c.workers
+    );
+    println!(
+        "{:<16} {:>8} {:>9} {:>13} {:>13} {:>13} {:>13} {:>11}",
+        "schedule",
+        "resched",
+        "in-round",
+        "run masked",
+        "run overall",
+        "probe masked",
+        "probe overall",
+        "lnL drift"
+    );
+    for run in &c.runs {
+        println!(
+            "{:<16} {:>8} {:>9} {:>13.3} {:>13.3} {:>13.3} {:>13.3} {:>11.2e}",
+            run.label,
+            run.reschedules,
+            run.within_round_reschedules,
+            run.masked_imbalance,
+            run.overall_imbalance,
+            run.probe_masked_imbalance,
+            run.probe_overall_imbalance,
+            run.max_lnl_drift
+        );
+    }
+    println!();
 }
 
 /// Prints the adaptive-rescheduling experiment as a small table.

@@ -18,6 +18,22 @@
 //! The central output type is [`patterns::PartitionedPatterns`], the compiled,
 //! pattern-compressed, partitioned view of an alignment that the kernel and
 //! the parallel runtime consume.
+//!
+//! ```
+//! use phylo_data::{Alignment, DataType, PartitionSet, PartitionedPatterns};
+//!
+//! let alignment = Alignment::new(vec![
+//!     ("t1".into(), "ACGTACGT".into()),
+//!     ("t2".into(), "ACGAACGA".into()),
+//!     ("t3".into(), "ACCTACGA".into()),
+//! ]).unwrap();
+//! let partitions = PartitionSet::equal_length(DataType::Dna, 8, 4);
+//! let patterns = PartitionedPatterns::compile(&alignment, &partitions).unwrap();
+//! assert_eq!(patterns.partition_count(), 2);
+//! // Identical columns collapse, so there are at most 8 distinct patterns.
+//! assert!(patterns.total_patterns() <= 8);
+//! assert_eq!(patterns.total_sites(), 8);
+//! ```
 
 pub mod alignment;
 pub mod alphabet;

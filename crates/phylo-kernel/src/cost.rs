@@ -117,6 +117,16 @@ pub struct RegionRecord {
     /// Measured wall-clock seconds each worker spent in the region (all
     /// zeros unless the region was recorded by a timed executor).
     pub seconds_per_worker: Vec<f64>,
+    /// The convergence-mask shape of the region: which partitions were
+    /// active in the command (empty when the recording executor does not
+    /// track masks). A *partial* mask — some partitions converged or
+    /// excluded — is the oldPAR-like situation whose load balance the
+    /// mask-aware rescheduler watches.
+    pub active_partitions: Vec<bool>,
+    /// Live pattern count each worker touched in the region (patterns of
+    /// inactive partitions are skipped and not counted; `newview` counts are
+    /// weighted by traversal length). All zeros unless recorded.
+    pub active_patterns_per_worker: Vec<f64>,
 }
 
 impl RegionRecord {
@@ -127,7 +137,16 @@ impl RegionRecord {
             flops_per_worker: vec![0.0; workers],
             bytes_per_worker: vec![0.0; workers],
             seconds_per_worker: vec![0.0; workers],
+            active_partitions: Vec::new(),
+            active_patterns_per_worker: vec![0.0; workers],
         }
+    }
+
+    /// Whether the region ran under a *partial* convergence mask: its
+    /// recorded mask excludes at least one partition. Regions without a
+    /// recorded mask report `false`.
+    pub fn is_masked(&self) -> bool {
+        !self.active_partitions.is_empty() && self.active_partitions.iter().any(|a| !a)
     }
 
     /// The per-worker measurements in the requested unit.
@@ -278,6 +297,99 @@ impl WorkTrace {
         self.per_worker_total_in(TraceUnit::Flops)
     }
 
+    /// Number of regions that ran under a partial convergence mask (see
+    /// [`RegionRecord::is_masked`]).
+    pub fn masked_region_count(&self) -> usize {
+        self.regions.iter().filter(|r| r.is_masked()).count()
+    }
+
+    /// Per-worker totals in the requested unit over the *masked* regions
+    /// only — the load each worker carried while part of the dataset was
+    /// converged. This is the measurement the paper's oldPAR analysis is
+    /// about: full-mask regions balance almost any schedule, partial-mask
+    /// regions are where placement shows.
+    pub fn masked_per_worker_total_in(&self, unit: TraceUnit) -> Vec<f64> {
+        let mut totals = vec![0.0; self.workers];
+        for region in self.regions.iter().filter(|r| r.is_masked()) {
+            for (w, &v) in region.per_worker(unit).iter().enumerate() {
+                totals[w] += v;
+            }
+        }
+        totals
+    }
+
+    /// Overall load balance in the requested unit over the masked regions
+    /// only (`1.0` when there are none).
+    pub fn masked_overall_balance_in(&self, unit: TraceUnit) -> f64 {
+        let masked: Vec<&RegionRecord> = self.regions.iter().filter(|r| r.is_masked()).collect();
+        let cp: f64 = masked.iter().map(|r| r.max_in(unit)).sum();
+        if cp == 0.0 {
+            return 1.0;
+        }
+        let total: f64 = masked.iter().map(|r| r.total_in(unit)).sum();
+        total / (self.workers as f64 * cp)
+    }
+
+    /// The last `window` *masked* regions (see [`RegionRecord::is_masked`]),
+    /// oldest first — the oldPAR-like phases a mask-aware rescheduler
+    /// measures over. Full-mask regions (which balance almost any schedule
+    /// and would dilute the live measurement) are skipped.
+    pub fn recent_masked_regions(&self, window: usize) -> Vec<&RegionRecord> {
+        let mut recent: Vec<&RegionRecord> = self
+            .regions
+            .iter()
+            .rev()
+            .filter(|r| r.is_masked())
+            .take(window)
+            .collect();
+        recent.reverse();
+        recent
+    }
+
+    /// Per-worker totals in the requested unit over the last `window`
+    /// masked regions.
+    pub fn masked_window_per_worker_total_in(&self, unit: TraceUnit, window: usize) -> Vec<f64> {
+        let mut totals = vec![0.0; self.workers];
+        for region in self.recent_masked_regions(window) {
+            for (w, &v) in region.per_worker(unit).iter().enumerate() {
+                totals[w] += v;
+            }
+        }
+        totals
+    }
+
+    /// Union of the recorded convergence masks over the last `window` masked
+    /// regions: which partitions were live in the recent partial-mask phase
+    /// of the run. `None` when there is no masked region.
+    pub fn masked_window_active_partitions(&self, window: usize) -> Option<Vec<bool>> {
+        let mut union: Option<Vec<bool>> = None;
+        for region in self.recent_masked_regions(window) {
+            match union.as_mut() {
+                None => union = Some(region.active_partitions.clone()),
+                Some(u) => {
+                    if u.len() == region.active_partitions.len() {
+                        for (a, &b) in u.iter_mut().zip(&region.active_partitions) {
+                            *a = *a || b;
+                        }
+                    }
+                }
+            }
+        }
+        union
+    }
+
+    /// Total live pattern count each worker touched, summed over all regions
+    /// (see [`RegionRecord::active_patterns_per_worker`]).
+    pub fn live_patterns_per_worker_total(&self) -> Vec<f64> {
+        let mut totals = vec![0.0; self.workers];
+        for region in &self.regions {
+            for (w, &v) in region.active_patterns_per_worker.iter().enumerate() {
+                totals[w] += v;
+            }
+        }
+        totals
+    }
+
     /// Appends another trace (e.g. from a later phase of the same run).
     ///
     /// # Errors
@@ -423,6 +535,73 @@ mod tests {
         // The flops view of the same trace is empty and therefore neutral.
         assert_eq!(t.total_flops(), 0.0);
         assert!((t.overall_balance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masked_region_metrics_ignore_full_mask_regions() {
+        let mut t = WorkTrace::new(2);
+        // Full-mask region: perfectly balanced, must not enter masked stats.
+        let mut full = RegionRecord::new(OpKind::Newview, 2);
+        full.flops_per_worker = vec![10.0, 10.0];
+        full.active_partitions = vec![true, true];
+        // Masked region: all work on worker 0.
+        let mut masked = RegionRecord::new(OpKind::Derivatives, 2);
+        masked.flops_per_worker = vec![8.0, 0.0];
+        masked.active_partitions = vec![true, false];
+        masked.active_patterns_per_worker = vec![4.0, 0.0];
+        // Unrecorded mask: counts as unmasked.
+        let mut unknown = RegionRecord::new(OpKind::Evaluate, 2);
+        unknown.flops_per_worker = vec![3.0, 3.0];
+
+        assert!(!full.is_masked());
+        assert!(masked.is_masked());
+        assert!(!unknown.is_masked());
+
+        t.regions.extend([full, masked, unknown]);
+        assert_eq!(t.masked_region_count(), 1);
+        assert_eq!(
+            t.masked_per_worker_total_in(TraceUnit::Flops),
+            vec![8.0, 0.0]
+        );
+        assert!((t.masked_overall_balance_in(TraceUnit::Flops) - 0.5).abs() < 1e-12);
+        assert_eq!(t.live_patterns_per_worker_total(), vec![4.0, 0.0]);
+        // A trace with no masked regions is neutral.
+        assert!(
+            (WorkTrace::new(2).masked_overall_balance_in(TraceUnit::Flops) - 1.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn window_helpers_see_only_the_recent_regions() {
+        let mut t = WorkTrace::new(2);
+        let mut early = RegionRecord::new(OpKind::Newview, 2);
+        early.flops_per_worker = vec![100.0, 100.0];
+        early.active_partitions = vec![true, true];
+        let mut late = RegionRecord::new(OpKind::Derivatives, 2);
+        late.flops_per_worker = vec![5.0, 1.0];
+        late.active_partitions = vec![false, true];
+        t.regions.push(early);
+        t.regions.push(late.clone());
+        t.regions.push(late);
+
+        // The masked window skips the balanced full-mask region entirely.
+        assert_eq!(
+            t.masked_window_per_worker_total_in(TraceUnit::Flops, 2),
+            vec![10.0, 2.0]
+        );
+        assert_eq!(
+            t.masked_window_per_worker_total_in(TraceUnit::Flops, 10),
+            vec![10.0, 2.0]
+        );
+        assert_eq!(
+            t.masked_window_active_partitions(2),
+            Some(vec![false, true])
+        );
+        assert_eq!(t.recent_masked_regions(10).len(), 2);
+        // No masked regions → None.
+        let mut bare = WorkTrace::new(2);
+        bare.regions.push(RegionRecord::new(OpKind::Newview, 2));
+        assert_eq!(bare.masked_window_active_partitions(5), None);
     }
 
     #[test]

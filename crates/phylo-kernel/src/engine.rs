@@ -9,23 +9,20 @@
 //! synchronization count that distinguishes oldPAR from newPAR — is visible in
 //! one place.
 //!
-//! # Fallible vs deprecated panicking API
+//! # Fallible API
 //!
-//! The engine's likelihood-facing methods come in two flavours:
-//!
-//! * the **`try_*` family** — [`LikelihoodKernel::try_update_clvs`],
-//!   [`LikelihoodKernel::try_log_likelihood`] (and `_at` /
-//!   `_partitions`), [`LikelihoodKernel::try_prepare_branch`],
-//!   [`LikelihoodKernel::try_branch_derivatives`], plus the fallible
-//!   constructor [`LikelihoodKernel::try_new`] — which return
-//!   [`KernelError`]. A worker death in a parallel backend surfaces as
-//!   `KernelError::Exec(ExecError::WorkerDied { .. })`, and drivers that hold
-//!   a `Reassignable` executor can *recover* by rebuilding the workers and
-//!   resuming. This is the API every driver and all internal code use.
-//! * the **deprecated panicking wrappers** — `update_clvs`,
-//!   `log_likelihood*`, `prepare_branch`, `branch_derivatives` — thin
-//!   `#[deprecated]` shims over the `try_*` methods that panic on error,
-//!   kept for one release so downstream code migrates at its own pace.
+//! The engine's likelihood-facing methods are the **`try_*` family** —
+//! [`LikelihoodKernel::try_update_clvs`],
+//! [`LikelihoodKernel::try_log_likelihood`] (and `_at` / `_partitions`),
+//! [`LikelihoodKernel::try_prepare_branch`],
+//! [`LikelihoodKernel::try_branch_derivatives`], plus the fallible
+//! constructor [`LikelihoodKernel::try_new`] — all returning
+//! [`KernelError`]. A worker death in a parallel backend surfaces as
+//! `KernelError::Exec(ExecError::WorkerDied { .. })`, and drivers that hold
+//! a `Reassignable` executor can *recover* by rebuilding the workers and
+//! resuming. (The panicking wrappers of the pre-fallible API —
+//! `log_likelihood` & co. — were deleted one release after their
+//! deprecation, as promised.)
 
 use std::sync::Arc;
 
@@ -339,66 +336,6 @@ impl<E: Executor> LikelihoodKernel<E> {
         self.try_log_likelihood_at(self.default_root_branch())
     }
 
-    /// Deprecated panicking wrapper over
-    /// [`LikelihoodKernel::try_update_clvs`].
-    ///
-    /// # Panics
-    ///
-    /// Panics when the execution backend fails.
-    #[deprecated(since = "0.1.0", note = "use `try_update_clvs`")]
-    pub fn update_clvs(&mut self, root_branch: BranchId, mask: &PartitionMask) -> u64 {
-        match self.try_update_clvs(root_branch, mask) {
-            Ok(updates) => updates,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Deprecated panicking wrapper over
-    /// [`LikelihoodKernel::try_log_likelihood_partitions`].
-    ///
-    /// # Panics
-    ///
-    /// Panics when the execution backend fails.
-    #[deprecated(since = "0.1.0", note = "use `try_log_likelihood_partitions`")]
-    pub fn log_likelihood_partitions(
-        &mut self,
-        root_branch: BranchId,
-        mask: &PartitionMask,
-    ) -> Vec<f64> {
-        match self.try_log_likelihood_partitions(root_branch, mask) {
-            Ok(lnls) => lnls,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Deprecated panicking wrapper over
-    /// [`LikelihoodKernel::try_log_likelihood_at`].
-    ///
-    /// # Panics
-    ///
-    /// Panics when the execution backend fails.
-    #[deprecated(since = "0.1.0", note = "use `try_log_likelihood_at`")]
-    pub fn log_likelihood_at(&mut self, root_branch: BranchId) -> f64 {
-        match self.try_log_likelihood_at(root_branch) {
-            Ok(lnl) => lnl,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Deprecated panicking wrapper over
-    /// [`LikelihoodKernel::try_log_likelihood`].
-    ///
-    /// # Panics
-    ///
-    /// Panics when the execution backend fails.
-    #[deprecated(since = "0.1.0", note = "use `try_log_likelihood`")]
-    pub fn log_likelihood(&mut self) -> f64 {
-        match self.try_log_likelihood() {
-            Ok(lnl) => lnl,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
     /// Sets a branch length and invalidates exactly the CLVs whose subtrees
     /// contain the branch.
     pub fn set_branch_length(&mut self, scope: BranchScope, branch: BranchId, value: f64) {
@@ -518,34 +455,6 @@ impl<E: Executor> LikelihoodKernel<E> {
         let out = self.executor.execute(&op, &ctx)?;
         self.stats.derivative_calls += 1;
         out.try_into_derivatives()
-    }
-
-    /// Deprecated panicking wrapper over
-    /// [`LikelihoodKernel::try_prepare_branch`].
-    ///
-    /// # Panics
-    ///
-    /// Panics when the execution backend fails.
-    #[deprecated(since = "0.1.0", note = "use `try_prepare_branch`")]
-    pub fn prepare_branch(&mut self, branch: BranchId, mask: &PartitionMask) {
-        if let Err(e) = self.try_prepare_branch(branch, mask) {
-            panic!("{e}");
-        }
-    }
-
-    /// Deprecated panicking wrapper over
-    /// [`LikelihoodKernel::try_branch_derivatives`].
-    ///
-    /// # Panics
-    ///
-    /// Panics when `lengths` has the wrong length or the execution backend
-    /// fails.
-    #[deprecated(since = "0.1.0", note = "use `try_branch_derivatives`")]
-    pub fn branch_derivatives(&mut self, lengths: &[Option<f64>]) -> Vec<Option<EdgeDerivatives>> {
-        match self.try_branch_derivatives(lengths) {
-            Ok(ders) => ders,
-            Err(e) => panic!("{e}"),
-        }
     }
 
     /// Applies an SPR move: topology, per-partition branch lengths and CLV

@@ -73,6 +73,50 @@ impl KernelOp {
             KernelOp::Derivatives { .. } => crate::cost::OpKind::Derivatives,
         }
     }
+
+    /// Which partitions this command touches — the *convergence mask* of the
+    /// region. For `Derivatives` this is the newPAR convergence vector
+    /// (converged partitions carry `None` and do no work); for `Newview` a
+    /// partition without a traversal plan is inactive; `Evaluate`/`Sumtable`
+    /// carry an explicit mask. Executors record this shape per region so the
+    /// mask-aware rescheduler can see how the live pattern set shrinks.
+    pub fn active_partitions(&self) -> PartitionMask {
+        match self {
+            KernelOp::Newview { plans } => plans.iter().map(Option::is_some).collect(),
+            KernelOp::Evaluate { mask, .. } | KernelOp::Sumtable { mask, .. } => mask.clone(),
+            KernelOp::Derivatives { lengths } => lengths.iter().map(Option::is_some).collect(),
+        }
+    }
+}
+
+/// Number of local patterns a worker actually touches in one region — the
+/// *live* pattern count under the command's convergence mask, weighted by
+/// traversal length for `newview` (the same proportionality the analytic cost
+/// model uses). Patterns of converged/inactive partitions are skipped by
+/// [`execute_on_worker`] and therefore not counted.
+pub fn active_local_patterns(worker: &WorkerSlices, op: &KernelOp) -> usize {
+    match op {
+        KernelOp::Newview { plans } => plans
+            .iter()
+            .enumerate()
+            .filter_map(|(pi, plan)| {
+                plan.as_ref()
+                    .map(|p| worker.slices[pi].pattern_count() * p.len())
+            })
+            .sum(),
+        KernelOp::Evaluate { mask, .. } | KernelOp::Sumtable { mask, .. } => mask
+            .iter()
+            .enumerate()
+            .filter(|&(_, active)| *active)
+            .map(|(pi, _)| worker.slices[pi].pattern_count())
+            .sum(),
+        KernelOp::Derivatives { lengths } => lengths
+            .iter()
+            .enumerate()
+            .filter(|&(_, l)| l.is_some())
+            .map(|(pi, _)| worker.slices[pi].pattern_count())
+            .sum(),
+    }
 }
 
 /// Read-only view of the master state a command is executed against.
@@ -136,32 +180,6 @@ impl OpOutput {
                 expected: "derivative",
                 got: other.kind_name(),
             }),
-        }
-    }
-
-    /// Unwraps per-partition log likelihoods.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the output is of a different kind.
-    #[deprecated(since = "0.1.0", note = "use `OpOutput::try_into_log_likelihoods`")]
-    pub fn into_log_likelihoods(self) -> Vec<f64> {
-        match self.try_into_log_likelihoods() {
-            Ok(v) => v,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Unwraps per-partition derivatives.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the output is of a different kind.
-    #[deprecated(since = "0.1.0", note = "use `OpOutput::try_into_derivatives`")]
-    pub fn into_derivatives(self) -> Vec<Option<EdgeDerivatives>> {
-        match self.try_into_derivatives() {
-            Ok(v) => v,
-            Err(e) => panic!("{e}"),
         }
     }
 }
@@ -473,28 +491,6 @@ mod tests {
                 .unwrap_err(),
             KernelError::OutputMismatch { .. }
         ));
-    }
-
-    /// The deprecated panicking shims stay behaviour-compatible for one
-    /// release.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_unwrap_shims_still_work() {
-        assert_eq!(
-            OpOutput::LogLikelihoods(vec![2.0]).into_log_likelihoods(),
-            vec![2.0]
-        );
-        assert_eq!(
-            OpOutput::Derivatives(vec![None]).into_derivatives(),
-            vec![None]
-        );
-    }
-
-    #[test]
-    #[should_panic]
-    #[allow(deprecated)]
-    fn deprecated_unwrap_shim_panics_on_mismatch() {
-        let _ = OpOutput::None.into_derivatives();
     }
 
     #[test]

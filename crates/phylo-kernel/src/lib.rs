@@ -25,14 +25,39 @@
 //!   of the Pthreads RAxML, plus the sequential reference implementation;
 //!   `execute` is fallible so a lost worker surfaces as a value,
 //! * [`error`] — [`KernelError`], the unified error the
-//!   engine's `try_*` methods return (the deprecated panicking wrappers are
-//!   documented in [`engine`]),
+//!   engine's `try_*` methods return,
 //! * [`engine`] — [`LikelihoodKernel`], the
 //!   high-level object that owns tree, models and branch lengths and exposes
 //!   likelihood evaluation, CLV management and derivative computation to the
 //!   optimizers and the tree search,
 //! * [`naive`] — an intentionally simple reference implementation used by the
 //!   test-suite to cross-validate the optimized kernel.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use phylo_data::{Alignment, DataType, PartitionSet, PartitionedPatterns};
+//! use phylo_kernel::SequentialKernel;
+//! use phylo_models::{BranchLengthMode, ModelSet};
+//! use phylo_tree::newick;
+//!
+//! let alignment = Alignment::new(vec![
+//!     ("t1".into(), "ACGTACGTAC".into()),
+//!     ("t2".into(), "ACGAACGAAC".into()),
+//!     ("t3".into(), "ACCTACGTAC".into()),
+//!     ("t4".into(), "ACGTACGAAT".into()),
+//! ]).unwrap();
+//! let partitions = PartitionSet::unpartitioned(DataType::Dna, 10);
+//! let patterns = Arc::new(PartitionedPatterns::compile(&alignment, &partitions).unwrap());
+//! let tree = newick::parse_newick("((t1,t2),(t3,t4));").unwrap();
+//! let models = ModelSet::default_for(&patterns, BranchLengthMode::Joint);
+//!
+//! let mut kernel = SequentialKernel::build(patterns, tree, models);
+//! let lnl = kernel.try_log_likelihood().unwrap();
+//! assert!(lnl.is_finite() && lnl < 0.0);
+//! // A second evaluation reuses every cached CLV: zero updates needed.
+//! let root = kernel.default_root_branch();
+//! assert_eq!(kernel.try_update_clvs(root, &kernel.full_mask()).unwrap(), 0);
+//! ```
 
 pub mod branch_lengths;
 pub mod cost;

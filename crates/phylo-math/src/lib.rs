@@ -18,6 +18,17 @@
 //!
 //! Everything here is deterministic, allocation-light and independent of the
 //! rest of the workspace so that it can be tested in isolation.
+//!
+//! ```
+//! use phylo_math::gamma_rates::discrete_gamma_rates;
+//!
+//! // Four discrete Γ rate categories: mean-one, ascending.
+//! let rates = discrete_gamma_rates(0.5, 4);
+//! assert_eq!(rates.len(), 4);
+//! let mean: f64 = rates.iter().sum::<f64>() / 4.0;
+//! assert!((mean - 1.0).abs() < 1e-8);
+//! assert!(rates.windows(2).all(|w| w[0] <= w[1]));
+//! ```
 
 pub mod brent;
 pub mod eigen;

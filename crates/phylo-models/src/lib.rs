@@ -13,6 +13,24 @@
 //! * [`partition_model`] — the per-partition parameter bundles
 //!   ([`PartitionModel`]) and the whole-dataset collection ([`ModelSet`])
 //!   that the kernel and the optimizers operate on.
+//!
+//! ```
+//! use phylo_data::{Alignment, DataType, PartitionSet, PartitionedPatterns};
+//! use phylo_models::{BranchLengthMode, ModelSet};
+//!
+//! let alignment = Alignment::new(vec![
+//!     ("t1".into(), "ACGTACGT".into()),
+//!     ("t2".into(), "ACGAACGA".into()),
+//! ]).unwrap();
+//! let partitions = PartitionSet::equal_length(DataType::Dna, 8, 4);
+//! let patterns = PartitionedPatterns::compile(&alignment, &partitions).unwrap();
+//!
+//! // One model per partition, each with its own Γ shape and Q matrix.
+//! let models = ModelSet::default_for(&patterns, BranchLengthMode::PerPartition);
+//! assert_eq!(models.len(), patterns.partition_count());
+//! assert_eq!(models.branch_mode(), BranchLengthMode::PerPartition);
+//! assert!(models.model(0).categories() >= 1);
+//! ```
 
 pub mod partition_model;
 pub mod qmatrix;

@@ -14,20 +14,26 @@
 
 use std::sync::Arc;
 
+use phylo_kernel::cost::WorkTrace;
 use phylo_kernel::{Executor, KernelError, LikelihoodKernel};
 use phylo_sched::{PatternCosts, Reassignable, Rescheduler, SchedError};
 
 use crate::config::OptimizerConfig;
-use crate::driver::{optimize_model_parameters_with_hook, OptimizationReport};
+use crate::driver::{optimize_model_parameters_with_hook, HookPoint, OptimizationReport};
 use crate::error::OptimizeError;
 
 /// One mid-run ownership migration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RescheduleEvent {
-    /// Outer optimization round after which the migration happened
-    /// (1-based).
+    /// Outer optimization round the migration happened in (1-based).
     pub round: usize,
-    /// Measured per-worker imbalance (max/mean) that triggered it.
+    /// Whether the migration fired *within* the round (a mask-aware
+    /// rescheduler reacting to the convergence-mask shape between branches)
+    /// rather than at the between-rounds point.
+    pub within_round: bool,
+    /// Measured per-worker imbalance (max/mean) that triggered it — the
+    /// whole-epoch total for the plain policy, the recent-window live
+    /// imbalance for a mask-aware one.
     pub measured_imbalance: f64,
     /// Predicted imbalance of the new assignment under the base cost model.
     pub predicted_imbalance: f64,
@@ -37,6 +43,11 @@ pub struct RescheduleEvent {
     pub log_likelihood_before: f64,
     /// Log likelihood evaluated immediately after (must agree to ≤ 1e-8).
     pub log_likelihood_after: f64,
+    /// The measured trace of the epoch that ended at this migration
+    /// (rebuilding the workers restarts the trace, so it is captured here —
+    /// a full run's measurements are the events' epoch traces plus the
+    /// executor's live trace at the end).
+    pub epoch_trace: WorkTrace,
 }
 
 impl RescheduleEvent {
@@ -143,26 +154,81 @@ pub fn reschedule_if_needed<E>(
 where
     E: Executor + Reassignable,
 {
+    reschedule_at_point(kernel, rescheduler, base_costs, round, false)
+}
+
+/// [`reschedule_if_needed`] for the *within-round* hook point: the decision
+/// additionally records that it fired mid-round. With a mask-aware policy
+/// this is where the convergence-mask shape of the branch just optimized is
+/// inspected; a plain policy behaves exactly as between rounds.
+///
+/// # Errors
+///
+/// Propagates [`KernelError`] from the boundary likelihood evaluations.
+///
+/// # Panics
+///
+/// As for [`reschedule_if_needed`].
+pub fn reschedule_mid_round<E>(
+    kernel: &mut LikelihoodKernel<E>,
+    rescheduler: &mut Rescheduler,
+    base_costs: &PatternCosts,
+    round: usize,
+) -> Result<Option<RescheduleEvent>, KernelError>
+where
+    E: Executor + Reassignable,
+{
+    reschedule_at_point(kernel, rescheduler, base_costs, round, true)
+}
+
+fn reschedule_at_point<E>(
+    kernel: &mut LikelihoodKernel<E>,
+    rescheduler: &mut Rescheduler,
+    base_costs: &PatternCosts,
+    round: usize,
+    within_round: bool,
+) -> Result<Option<RescheduleEvent>, KernelError>
+where
+    E: Executor + Reassignable,
+{
+    let masked = rescheduler.policy().mask_aware;
+    let ranges: Vec<std::ops::Range<usize>> = if masked {
+        let patterns = kernel.patterns();
+        (0..patterns.partition_count())
+            .map(|p| patterns.global_range(p))
+            .collect()
+    } else {
+        Vec::new()
+    };
     let exec = kernel.executor_mut();
-    let Some(decision) = rescheduler
-        .consider(exec.assignment(), exec.live_trace(), base_costs)
-        .expect("trace, assignment and base costs describe the same run")
+    let considered = if masked {
+        rescheduler.consider_masked(exec.assignment(), exec.live_trace(), base_costs, &ranges)
+    } else {
+        rescheduler.consider(exec.assignment(), exec.live_trace(), base_costs)
+    };
+    let Some(decision) =
+        considered.expect("trace, assignment and base costs describe the same run")
     else {
         return Ok(None);
     };
 
     let log_likelihood_before = kernel.try_log_likelihood()?;
+    // Rebuilding the workers restarts the trace epoch; keep the old epoch's
+    // measurements with the event so full-run statistics survive migrations.
+    let epoch_trace = kernel.executor_mut().take_trace();
     rebuild_workers(kernel, &decision.assignment)
         .expect("the new assignment covers the same dataset");
     let log_likelihood_after = kernel.try_log_likelihood()?;
 
     Ok(Some(RescheduleEvent {
         round,
+        within_round,
         measured_imbalance: decision.measured_imbalance,
         predicted_imbalance: decision.assignment.imbalance(),
         speeds: decision.speeds,
         log_likelihood_before,
         log_likelihood_after,
+        epoch_trace,
     }))
 }
 
@@ -278,7 +344,7 @@ where
         kernel,
         config.max_worker_recoveries,
         &mut recoveries,
-        |kernel| optimize_model_parameters_with_hook(kernel, config, |_, _| Ok(())),
+        |kernel| optimize_model_parameters_with_hook(kernel, config, |_, _, _| Ok(())),
     )?;
     Ok((report, recoveries))
 }
@@ -321,6 +387,7 @@ where
     E: Executor + Reassignable,
 {
     validate_base_costs(kernel, base_costs)?;
+    let mask_aware = rescheduler.policy().mask_aware;
     let mut events = Vec::new();
     let mut recoveries = Vec::new();
     let report = with_worker_recovery(
@@ -328,8 +395,19 @@ where
         config.max_worker_recoveries,
         &mut recoveries,
         |kernel| {
-            optimize_model_parameters_with_hook(kernel, config, |kernel, round| {
-                if let Some(event) = reschedule_if_needed(kernel, rescheduler, base_costs, round)? {
+            optimize_model_parameters_with_hook(kernel, config, |kernel, round, point| {
+                // The within-round point fires after every branch; only a
+                // mask-aware policy has anything to gain from it.
+                let event = match point {
+                    HookPoint::WithinRound if !mask_aware => None,
+                    HookPoint::WithinRound => {
+                        reschedule_mid_round(kernel, rescheduler, base_costs, round)?
+                    }
+                    HookPoint::RoundEnd => {
+                        reschedule_if_needed(kernel, rescheduler, base_costs, round)?
+                    }
+                };
+                if let Some(event) = event {
                     events.push(event);
                 }
                 Ok(())
@@ -389,6 +467,7 @@ mod tests {
             min_regions: 1,
             unit: TraceUnit::Flops,
             max_reschedules: 8,
+            mask_aware: false,
         });
         let adaptive =
             optimize_model_parameters_adaptive(&mut kernel, &config, &mut rescheduler, &costs)
@@ -417,6 +496,7 @@ mod tests {
             min_regions: 8,
             unit: TraceUnit::Flops,
             max_reschedules: 1,
+            mask_aware: false,
         });
         let adaptive =
             optimize_model_parameters_adaptive(&mut kernel, &config, &mut rescheduler, &costs)

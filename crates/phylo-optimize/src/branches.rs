@@ -200,6 +200,27 @@ pub fn optimize_all_branches<E: Executor>(
     branches: Option<&[BranchId]>,
     config: &OptimizerConfig,
 ) -> Result<(f64, BranchOptimizationStats), KernelError> {
+    optimize_all_branches_with_hook(kernel, branches, config, |_| Ok(()))
+}
+
+/// The same smoothing loop with a hook invoked after every branch — the
+/// *within-round* point where the mask-aware rescheduler looks at the
+/// convergence-mask shape the branch's Newton streams just recorded. The
+/// hook may mutate the kernel as long as it preserves the likelihood.
+///
+/// # Errors
+///
+/// Propagates [`KernelError`] from the engine or the hook.
+pub fn optimize_all_branches_with_hook<E, F>(
+    kernel: &mut LikelihoodKernel<E>,
+    branches: Option<&[BranchId]>,
+    config: &OptimizerConfig,
+    mut after_branch: F,
+) -> Result<(f64, BranchOptimizationStats), KernelError>
+where
+    E: Executor,
+    F: FnMut(&mut LikelihoodKernel<E>) -> Result<(), KernelError>,
+{
     let branch_list: Vec<BranchId> = match branches {
         Some(list) => list.to_vec(),
         None => kernel.tree().branches().collect(),
@@ -215,6 +236,7 @@ pub fn optimize_all_branches<E: Executor>(
             for (p, &old) in before.iter().enumerate() {
                 max_change = max_change.max((kernel.branch_length(p, b) - old).abs());
             }
+            after_branch(kernel)?;
         }
         if max_change < config.branch_epsilon {
             break;

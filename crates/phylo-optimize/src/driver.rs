@@ -8,9 +8,22 @@
 
 use phylo_kernel::{Executor, KernelError, LikelihoodKernel};
 
-use crate::branches::{optimize_all_branches, BranchOptimizationStats};
+use crate::branches::{optimize_all_branches_with_hook, BranchOptimizationStats};
 use crate::config::OptimizerConfig;
 use crate::model::{optimize_alphas, optimize_exchangeabilities, ModelOptimizationStats};
+
+/// Where in a driver loop a rescheduling hook fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HookPoint {
+    /// In the middle of a round — after one branch's Newton streams inside
+    /// the smoothing pass (model optimization), or after the SPR sweep
+    /// (tree search). This is where the mask-aware rescheduler reacts to the
+    /// convergence-mask shape *within* the round.
+    WithinRound,
+    /// After a full outer round — the between-rounds point the plain
+    /// (total-cost) rescheduler uses.
+    RoundEnd,
+}
 
 /// Summary of a full model-parameter optimization run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,11 +61,13 @@ pub fn optimize_model_parameters<E: Executor>(
     kernel: &mut LikelihoodKernel<E>,
     config: &OptimizerConfig,
 ) -> Result<OptimizationReport, KernelError> {
-    optimize_model_parameters_with_hook(kernel, config, |_, _| Ok(()))
+    optimize_model_parameters_with_hook(kernel, config, |_, _, _| Ok(()))
 }
 
-/// The same outer loop with a caller-supplied hook invoked after every round
-/// — deliberately *before* the convergence check, so the hook also runs
+/// The same outer loop with a caller-supplied hook invoked at the two
+/// rescheduling points: [`HookPoint::WithinRound`] after every branch of the
+/// smoothing pass, and [`HookPoint::RoundEnd`] after every round —
+/// deliberately *before* the convergence check, so the hook also runs
 /// after the final round (a migration triggered there still benefits
 /// whatever the caller runs next on the same kernel). The adaptive driver
 /// uses the hook to migrate pattern→worker ownership mid-run; the hook may
@@ -60,11 +75,11 @@ pub fn optimize_model_parameters<E: Executor>(
 pub(crate) fn optimize_model_parameters_with_hook<E, F>(
     kernel: &mut LikelihoodKernel<E>,
     config: &OptimizerConfig,
-    mut after_round: F,
+    mut hook: F,
 ) -> Result<OptimizationReport, KernelError>
 where
     E: Executor,
-    F: FnMut(&mut LikelihoodKernel<E>, usize) -> Result<(), KernelError>,
+    F: FnMut(&mut LikelihoodKernel<E>, usize, HookPoint) -> Result<(), KernelError>,
 {
     let sync_before = kernel.sync_events();
     let initial = kernel.try_log_likelihood()?;
@@ -79,12 +94,14 @@ where
         if config.optimize_rates {
             model_stats.merge(optimize_exchangeabilities(kernel, config)?);
         }
-        let (lnl, bstats) = optimize_all_branches(kernel, None, config)?;
+        let (lnl, bstats) = optimize_all_branches_with_hook(kernel, None, config, |kernel| {
+            hook(kernel, rounds, HookPoint::WithinRound)
+        })?;
         branch_stats.merge(bstats);
 
         let improvement = lnl - current;
         current = lnl;
-        after_round(kernel, rounds)?;
+        hook(kernel, rounds, HookPoint::RoundEnd)?;
         if improvement.abs() < config.likelihood_epsilon {
             break;
         }

@@ -22,6 +22,23 @@
 //! Both schemes produce the same optima (they evaluate the same sequence of
 //! candidate points per partition); only the batching differs — which is
 //! exactly why the paper's speedups are "free" accuracy-wise.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use phylo_kernel::SequentialKernel;
+//! use phylo_models::{BranchLengthMode, ModelSet};
+//! use phylo_optimize::{optimize_model_parameters, OptimizerConfig, ParallelScheme};
+//! use phylo_seqgen::datasets::paper_simulated;
+//!
+//! let ds = paper_simulated(6, 60, 30, 7).generate();
+//! let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+//! let mut kernel = SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models);
+//!
+//! let config = OptimizerConfig::search_phase(ParallelScheme::New);
+//! let report = optimize_model_parameters(&mut kernel, &config).unwrap();
+//! assert!(report.final_log_likelihood >= report.initial_log_likelihood);
+//! assert!(report.rounds >= 1);
+//! ```
 
 pub mod adaptive;
 pub mod branches;
@@ -32,10 +49,14 @@ pub mod model;
 
 pub use adaptive::{
     optimize_model_parameters_adaptive, optimize_model_parameters_resilient, recover_worker_death,
-    reschedule_if_needed, AdaptiveOptimizationReport, RescheduleEvent, WorkerRecovery,
+    reschedule_if_needed, reschedule_mid_round, AdaptiveOptimizationReport, RescheduleEvent,
+    WorkerRecovery,
 };
-pub use branches::{optimize_all_branches, optimize_branch, BranchOptimizationStats};
+pub use branches::{
+    optimize_all_branches, optimize_all_branches_with_hook, optimize_branch,
+    BranchOptimizationStats,
+};
 pub use config::{OptimizerConfig, ParallelScheme};
-pub use driver::{optimize_model_parameters, OptimizationReport};
+pub use driver::{optimize_model_parameters, HookPoint, OptimizationReport};
 pub use error::OptimizeError;
 pub use model::{optimize_alphas, optimize_exchangeabilities, ModelOptimizationStats};

@@ -37,11 +37,29 @@
 //! [`schedule`] bundles the first two arrows; the strategies themselves —
 //! [`Cyclic`] and [`Block`] (the paper's two fixed schemes), [`WeightedLpt`]
 //! (cost-weighted bin-packing, so a 20-state protein pattern counts ≈25× a
-//! DNA pattern) and [`TraceAdaptive`] (rebalancing from a measured
+//! DNA pattern), [`PartitionAwareLpt`] (cost-levelled *and* partition-
+//! contiguous per worker) and [`TraceAdaptive`] (rebalancing from a measured
 //! [`WorkTrace`]) — live in `phylo-sched`.
 //! The [`Cyclic`] and [`Block`] strategies reproduce the paper's original
 //! pattern placement bit-for-bit (the legacy `Distribution` enum that once
 //! shimmed them was removed two PRs after its deprecation).
+//!
+//! ```
+//! use phylo_data::{Alignment, DataType, PartitionSet, PartitionedPatterns};
+//! use phylo_parallel::{build_workers, schedule, WeightedLpt};
+//!
+//! let alignment = Alignment::new(vec![
+//!     ("t1".into(), "ACGTACGTACGT".into()),
+//!     ("t2".into(), "ACGAACGAACGA".into()),
+//! ]).unwrap();
+//! let partitions = PartitionSet::equal_length(DataType::Dna, 12, 6);
+//! let patterns = PartitionedPatterns::compile(&alignment, &partitions).unwrap();
+//!
+//! let assignment = schedule(&patterns, &[4, 4], 3, &WeightedLpt).unwrap();
+//! let workers = build_workers(&patterns, 4, &[4, 4], &assignment).unwrap();
+//! let total: usize = workers.iter().map(|w| w.total_patterns()).sum();
+//! assert_eq!(total, patterns.total_patterns());
+//! ```
 
 pub mod rayon_exec;
 pub mod threaded;
@@ -52,8 +70,9 @@ pub use threaded::{ExecutorOptions, ThreadedExecutor, WorkerSkew};
 pub use tracing::TracingExecutor;
 
 pub use phylo_sched::{
-    Assignment, Block, Cyclic, PatternCosts, Reassignable, RescheduleDecision, ReschedulePolicy,
-    Rescheduler, SchedError, ScheduleStrategy, SpeedAwareLpt, TraceAdaptive, WeightedLpt,
+    Assignment, Block, Cyclic, PartitionAwareLpt, PatternCosts, Reassignable, RescheduleDecision,
+    ReschedulePolicy, Rescheduler, SchedError, ScheduleStrategy, SpeedAwareLpt, TraceAdaptive,
+    WeightedLpt,
 };
 
 use phylo_data::PartitionedPatterns;
@@ -82,6 +101,33 @@ impl Reassignable for ThreadedExecutor {
         categories: &[usize],
     ) -> Result<(), SchedError> {
         ThreadedExecutor::reassign(self, patterns, assignment, node_capacity, categories)
+    }
+}
+
+/// The rayon backend carries the same recovery contract as the threaded one:
+/// a caught worker panic poisons it, and `reassign` rebuilds the slices (and
+/// the pool, when the worker count changes) to recover.
+impl Reassignable for RayonExecutor {
+    fn assignment(&self) -> &Assignment {
+        RayonExecutor::assignment(self)
+    }
+
+    fn live_trace(&self) -> &WorkTrace {
+        self.trace()
+    }
+
+    fn take_trace(&mut self) -> WorkTrace {
+        RayonExecutor::take_trace(self)
+    }
+
+    fn reassign(
+        &mut self,
+        patterns: &PartitionedPatterns,
+        assignment: &Assignment,
+        node_capacity: usize,
+        categories: &[usize],
+    ) -> Result<(), SchedError> {
+        RayonExecutor::reassign(self, patterns, assignment, node_capacity, categories)
     }
 }
 

@@ -6,9 +6,23 @@
 //! identical; only the scheduling machinery differs. The comparison bench uses
 //! it to show that the load-balance phenomenon is a property of the *work
 //! partitioning per synchronization event*, not of the thread runtime.
+//!
+//! Since the rayon backend graduated beyond a comparison baseline it carries
+//! the same hardening as the threaded one: a panic inside a worker's slice
+//! execution is caught (`catch_unwind` inside the parallel closure, so it
+//! never unwinds through the pool), surfaced as [`ExecError::WorkerDied`],
+//! and poisons the executor until [`RayonExecutor::reassign`] rebuilds the
+//! workers — the `Reassignable` capability the recovery drivers rely on.
+//! Built with `timed == true`, each worker's region execution is bracketed
+//! with [`Instant`] and accumulated into a [`WorkTrace`] together with the
+//! region's convergence-mask shape and live pattern counts.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 use phylo_data::PartitionedPatterns;
-use phylo_kernel::executor::{execute_on_worker, reduce_outputs};
+use phylo_kernel::cost::{RegionRecord, WorkTrace};
+use phylo_kernel::executor::{active_local_patterns, execute_on_worker, reduce_outputs};
 use phylo_kernel::{ExecContext, ExecError, Executor, KernelOp, OpOutput, WorkerSlices};
 use phylo_sched::{Assignment, SchedError};
 use rayon::prelude::*;
@@ -18,7 +32,13 @@ use rayon::prelude::*;
 pub struct RayonExecutor {
     workers: Vec<WorkerSlices>,
     pool: rayon::ThreadPool,
+    assignment: Assignment,
+    timed: bool,
+    trace: WorkTrace,
     sync_events: u64,
+    poisoned: Option<usize>,
+    /// One-shot armed fault injection: `(worker, fire_at_sync_event)`.
+    injected_panic: Option<(usize, u64)>,
 }
 
 impl std::fmt::Debug for RayonExecutor {
@@ -26,6 +46,8 @@ impl std::fmt::Debug for RayonExecutor {
         f.debug_struct("RayonExecutor")
             .field("worker_count", &self.workers.len())
             .field("sync_events", &self.sync_events)
+            .field("timed", &self.timed)
+            .field("poisoned", &self.poisoned)
             .finish()
     }
 }
@@ -44,21 +66,103 @@ impl RayonExecutor {
         node_capacity: usize,
         categories: &[usize],
     ) -> Result<Self, SchedError> {
-        let workers = crate::build_workers(patterns, node_capacity, categories, assignment)?;
-        Ok(Self::with_workers(workers))
+        Self::with_options(patterns, assignment, node_capacity, categories, false)
     }
 
-    fn with_workers(workers: Vec<WorkerSlices>) -> Self {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(workers.len())
+    /// Builds the executor with an explicit measurement switch: `timed`
+    /// accumulates per-region wall-clock measurements (and the region's
+    /// convergence-mask shape) into a [`WorkTrace`], the same contract as
+    /// `ThreadedExecutor` under `ExecutorOptions { timed: true, .. }`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::PatternCountMismatch`] if the assignment was built for a
+    /// different dataset.
+    pub fn with_options(
+        patterns: &PartitionedPatterns,
+        assignment: &Assignment,
+        node_capacity: usize,
+        categories: &[usize],
+        timed: bool,
+    ) -> Result<Self, SchedError> {
+        let workers = crate::build_workers(patterns, node_capacity, categories, assignment)?;
+        let worker_count = workers.len();
+        Ok(Self {
+            pool: Self::build_pool(worker_count),
+            workers,
+            assignment: assignment.clone(),
+            timed,
+            trace: WorkTrace::new(worker_count),
+            sync_events: 0,
+            poisoned: None,
+            injected_panic: None,
+        })
+    }
+
+    fn build_pool(threads: usize) -> rayon::ThreadPool {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
             .thread_name(|i| format!("plk-rayon-{i}"))
             .build()
-            .expect("failed to build rayon pool");
-        Self {
-            workers,
-            pool,
-            sync_events: 0,
+            .expect("failed to build rayon pool")
+    }
+
+    /// The assignment the current workers were built from.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// The wall-clock trace accumulated so far (empty unless built timed).
+    pub fn trace(&self) -> &WorkTrace {
+        &self.trace
+    }
+
+    /// Takes the accumulated trace, leaving an empty one behind.
+    pub fn take_trace(&mut self) -> WorkTrace {
+        std::mem::replace(&mut self.trace, WorkTrace::new(self.workers.len()))
+    }
+
+    /// The worker whose death poisoned the executor, if any.
+    pub fn poisoned_by(&self) -> Option<usize> {
+        self.poisoned
+    }
+
+    /// Arms a one-shot injected panic: `worker` will panic while executing
+    /// the command issued `after_regions` synchronization events from now
+    /// (0 = the very next command). Test instrumentation for the
+    /// worker-death recovery path — the panic travels through the same
+    /// catch/poison machinery as a real fault in a worker's slice execution.
+    pub fn inject_worker_panic(&mut self, worker: usize, after_regions: u64) {
+        self.injected_panic = Some((worker, self.sync_events + 1 + after_regions));
+    }
+
+    /// Migrates pattern→worker ownership to a new assignment: the worker
+    /// slices (and the pool, if the worker count changes) are rebuilt, the
+    /// trace epoch restarts, and any poisoned state is cleared. The new
+    /// workers own *empty* CLV buffers, so the caller must invalidate the
+    /// master-side CLV validity cache (`LikelihoodKernel::invalidate_all`).
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::PatternCountMismatch`] if the assignment was built for
+    /// a different dataset; the executor is left untouched in that case.
+    pub fn reassign(
+        &mut self,
+        patterns: &PartitionedPatterns,
+        assignment: &Assignment,
+        node_capacity: usize,
+        categories: &[usize],
+    ) -> Result<(), SchedError> {
+        let workers = crate::build_workers(patterns, node_capacity, categories, assignment)?;
+        if workers.len() != self.workers.len() {
+            self.pool = Self::build_pool(workers.len());
         }
+        self.trace = WorkTrace::new(workers.len());
+        self.workers = workers;
+        self.assignment = assignment.clone();
+        self.poisoned = None;
+        self.injected_panic = None;
+        Ok(())
     }
 }
 
@@ -67,16 +171,87 @@ impl Executor for RayonExecutor {
         self.workers.len()
     }
 
+    /// Executes one command, surfacing worker panics as values.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::WorkerDied`] when a worker's slice execution panics
+    /// during this command; the executor is poisoned afterwards.
+    /// [`ExecError::Poisoned`] for every command issued to a poisoned
+    /// executor; [`RayonExecutor::reassign`] clears the state by rebuilding
+    /// the workers.
     fn execute(&mut self, op: &KernelOp, ctx: &ExecContext<'_>) -> Result<OpOutput, ExecError> {
+        if let Some(worker) = self.poisoned {
+            return Err(ExecError::Poisoned { worker });
+        }
         self.sync_events += 1;
+        let panic_worker = match self.injected_panic {
+            Some((worker, at)) if self.sync_events >= at => {
+                self.injected_panic = None;
+                Some(worker)
+            }
+            _ => None,
+        };
         let workers = &mut self.workers;
-        Ok(self.pool.install(|| {
+        let timed = self.timed;
+        type WorkerResult = Result<(OpOutput, Duration, usize), usize>;
+        let results: Vec<WorkerResult> = self.pool.install(|| {
             workers
                 .par_iter_mut()
-                .map(|w| execute_on_worker(w, op, ctx))
-                .reduce_with(reduce_outputs)
-                .unwrap_or(OpOutput::None)
-        }))
+                .map(|w| {
+                    let index = w.worker;
+                    // The catch keeps the panic from unwinding through the
+                    // pool (which would kill the master); the worker index
+                    // is the error payload.
+                    catch_unwind(AssertUnwindSafe(|| {
+                        if panic_worker == Some(index) {
+                            panic!("injected worker panic (test instrumentation)");
+                        }
+                        if !timed {
+                            // The untimed hot path skips the clock reads and
+                            // the live-pattern count — nothing would keep
+                            // them.
+                            return (execute_on_worker(w, op, ctx), Duration::ZERO, 0);
+                        }
+                        let start = Instant::now();
+                        let out = execute_on_worker(w, op, ctx);
+                        let active = active_local_patterns(w, op);
+                        (out, start.elapsed(), active)
+                    }))
+                    .map_err(|_| index)
+                })
+                .collect()
+        });
+
+        let mut record = self
+            .timed
+            .then(|| RegionRecord::new(op.kind(), results.len()));
+        if let Some(record) = record.as_mut() {
+            record.active_partitions = op.active_partitions();
+        }
+        let mut reduced: Option<OpOutput> = None;
+        for (worker, result) in results.into_iter().enumerate() {
+            match result {
+                Ok((out, duration, active)) => {
+                    if let Some(record) = record.as_mut() {
+                        record.seconds_per_worker[worker] = duration.as_secs_f64();
+                        record.active_patterns_per_worker[worker] = active as f64;
+                    }
+                    reduced = Some(match reduced {
+                        None => out,
+                        Some(acc) => reduce_outputs(acc, out),
+                    });
+                }
+                Err(worker) => {
+                    self.poisoned = Some(worker);
+                    return Err(ExecError::WorkerDied { worker });
+                }
+            }
+        }
+        if let Some(record) = record {
+            self.trace.regions.push(record);
+        }
+        Ok(reduced.unwrap_or(OpOutput::None))
     }
 
     fn sync_events(&self) -> u64 {
@@ -88,7 +263,7 @@ impl Executor for RayonExecutor {
 mod tests {
     use super::*;
     use crate::schedule;
-    use phylo_kernel::{LikelihoodKernel, SequentialKernel};
+    use phylo_kernel::{BranchLengths, LikelihoodKernel, SequentialKernel};
     use phylo_models::{BranchLengthMode, ModelSet};
     use phylo_sched::{Block, Cyclic};
     use phylo_seqgen::datasets::paper_simulated;
@@ -136,5 +311,77 @@ mod tests {
         let mut k = LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
         let lnl = k.try_log_likelihood().unwrap();
         assert!((lnl - reference).abs() < 1e-8);
+    }
+
+    #[test]
+    fn timed_rayon_executor_records_masks_and_live_counts() {
+        let ds = paper_simulated(8, 160, 40, 41).generate();
+        let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+        let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+        let assignment = schedule(&ds.patterns, &cats, 3, &Cyclic).unwrap();
+        let exec = RayonExecutor::with_options(
+            &ds.patterns,
+            &assignment,
+            ds.tree.node_capacity(),
+            &cats,
+            true,
+        )
+        .unwrap();
+        let mut k = LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+        // A single-partition evaluation: the recorded masks must show the
+        // partial convergence mask and zero live patterns on full idle.
+        let mask = k.single_mask(0);
+        let root = k.default_root_branch();
+        let _ = k.try_log_likelihood_partitions(root, &mask).unwrap();
+        let trace = k.executor_mut().take_trace();
+        assert!(trace.sync_events() > 0);
+        assert!(trace.has_seconds());
+        assert!(trace.masked_region_count() > 0, "partial masks recorded");
+        assert!(trace
+            .live_patterns_per_worker_total()
+            .iter()
+            .any(|&c| c > 0.0));
+    }
+
+    #[test]
+    fn injected_panic_poisons_and_reassign_recovers() {
+        let ds = paper_simulated(6, 64, 16, 43).generate();
+        let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::Joint);
+        let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+        let assignment = schedule(&ds.patterns, &cats, 3, &Cyclic).unwrap();
+        let mut exec = RayonExecutor::from_assignment(
+            &ds.patterns,
+            &assignment,
+            ds.tree.node_capacity(),
+            &cats,
+        )
+        .unwrap();
+        let bl = BranchLengths::from_tree(
+            &ds.tree,
+            ds.patterns.partition_count(),
+            models.branch_mode(),
+        );
+        let ctx = ExecContext {
+            tree: &ds.tree,
+            models: &models,
+            branch_lengths: &bl,
+        };
+        let op = KernelOp::Newview {
+            plans: vec![None; ds.patterns.partition_count()],
+        };
+        exec.inject_worker_panic(1, 1);
+        assert!(exec.execute(&op, &ctx).is_ok());
+        let err = exec.execute(&op, &ctx).unwrap_err();
+        assert_eq!(err, ExecError::WorkerDied { worker: 1 });
+        assert_eq!(exec.poisoned_by(), Some(1));
+        // Poisoned: every further command fails fast.
+        assert_eq!(
+            exec.execute(&op, &ctx).unwrap_err(),
+            ExecError::Poisoned { worker: 1 }
+        );
+        exec.reassign(&ds.patterns, &assignment, ds.tree.node_capacity(), &cats)
+            .unwrap();
+        assert_eq!(exec.poisoned_by(), None);
+        assert!(exec.execute(&op, &ctx).is_ok());
     }
 }

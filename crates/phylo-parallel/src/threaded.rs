@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 
 use phylo_data::PartitionedPatterns;
 use phylo_kernel::cost::{RegionRecord, WorkTrace};
-use phylo_kernel::executor::{execute_on_worker, reduce_outputs};
+use phylo_kernel::executor::{active_local_patterns, execute_on_worker, reduce_outputs};
 use phylo_kernel::{
     BranchLengths, ExecContext, ExecError, Executor, KernelOp, OpOutput, WorkerSlices,
 };
@@ -57,8 +57,9 @@ struct Command {
 /// What a worker sends back for one command.
 enum Reply {
     /// The reduced-ready output plus the worker's wall-clock time for the
-    /// region (including any configured skew sleep).
-    Output(OpOutput, Duration),
+    /// region (including any configured skew sleep) and the number of *live*
+    /// local patterns it touched under the command's convergence mask.
+    Output(OpOutput, Duration, usize),
     /// The worker panicked; the payload is the panic message.
     Panicked(String),
 }
@@ -83,34 +84,6 @@ pub struct ExecutorOptions {
     pub timed: bool,
     /// Optional artificial slowdown of one worker (benchmarks and tests).
     pub skew: Option<WorkerSkew>,
-}
-
-/// Number of local patterns a worker actually touches in one region,
-/// weighted by traversal length for `newview` — the same proportionality the
-/// analytic cost model uses, so skew sleeps scale like real work.
-fn active_local_patterns(worker: &WorkerSlices, op: &KernelOp) -> usize {
-    match op {
-        KernelOp::Newview { plans } => plans
-            .iter()
-            .enumerate()
-            .filter_map(|(pi, plan)| {
-                plan.as_ref()
-                    .map(|p| worker.slices[pi].pattern_count() * p.len())
-            })
-            .sum(),
-        KernelOp::Evaluate { mask, .. } | KernelOp::Sumtable { mask, .. } => mask
-            .iter()
-            .enumerate()
-            .filter(|&(_, active)| *active)
-            .map(|(pi, _)| worker.slices[pi].pattern_count())
-            .sum(),
-        KernelOp::Derivatives { lengths } => lengths
-            .iter()
-            .enumerate()
-            .filter(|&(_, l)| l.is_some())
-            .map(|(pi, _)| worker.slices[pi].pattern_count())
-            .sum(),
-    }
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -219,6 +192,7 @@ impl ThreadedExecutor {
     }
 
     fn spawn_handles(workers: Vec<WorkerSlices>, options: &ExecutorOptions) -> Vec<WorkerHandle> {
+        let timed = options.timed;
         workers
             .into_iter()
             .map(|mut slices| {
@@ -244,15 +218,26 @@ impl ThreadedExecutor {
                                     branch_lengths: &cmd.branch_lengths,
                                 };
                                 let out = execute_on_worker(&mut slices, &cmd.op, &ctx);
+                                // The live-pattern count drives the skew
+                                // sleep and the timed trace; the untimed,
+                                // unskewed hot path skips it (the master
+                                // would discard it).
+                                let active = if timed || skew_ns.is_some() {
+                                    active_local_patterns(&slices, &cmd.op)
+                                } else {
+                                    0
+                                };
                                 if let Some(ns) = skew_ns {
-                                    let active = active_local_patterns(&slices, &cmd.op) as u64;
-                                    std::thread::sleep(Duration::from_nanos(ns * active));
+                                    std::thread::sleep(Duration::from_nanos(ns * active as u64));
                                 }
-                                out
+                                (out, active)
                             }));
                             match outcome {
-                                Ok(out) => {
-                                    if res_tx.send(Reply::Output(out, start.elapsed())).is_err() {
+                                Ok((out, active)) => {
+                                    if res_tx
+                                        .send(Reply::Output(out, start.elapsed(), active))
+                                        .is_err()
+                                    {
                                         break;
                                     }
                                 }
@@ -327,21 +312,6 @@ impl ThreadedExecutor {
         self.injected_panic = Some((worker, self.sync_events + 1 + after_regions));
     }
 
-    /// Deprecated alias of [`Executor::execute`], kept from the release in
-    /// which the fallible path was opt-in.
-    ///
-    /// # Errors
-    ///
-    /// See [`Executor::execute`].
-    #[deprecated(since = "0.1.0", note = "`Executor::execute` itself is fallible now")]
-    pub fn try_execute(
-        &mut self,
-        op: &KernelOp,
-        ctx: &ExecContext<'_>,
-    ) -> Result<OpOutput, ExecError> {
-        self.execute(op, ctx)
-    }
-
     /// The broadcast/reduce round of one command — the body of
     /// [`Executor::execute`].
     fn broadcast(&mut self, op: &KernelOp, ctx: &ExecContext<'_>) -> Result<OpOutput, ExecError> {
@@ -376,12 +346,16 @@ impl ThreadedExecutor {
             .options
             .timed
             .then(|| RegionRecord::new(op.kind(), self.worker_count));
+        if let Some(record) = record.as_mut() {
+            record.active_partitions = op.active_partitions();
+        }
         let mut result: Option<OpOutput> = None;
         for (worker, handle) in self.handles.iter().enumerate() {
             match handle.results.recv() {
-                Ok(Reply::Output(out, duration)) => {
+                Ok(Reply::Output(out, duration, active)) => {
                     if let Some(record) = record.as_mut() {
                         record.seconds_per_worker[worker] = duration.as_secs_f64();
+                        record.active_patterns_per_worker[worker] = active as f64;
                     }
                     result = Some(match result {
                         None => out,

@@ -17,7 +17,7 @@ use phylo_kernel::cost::{
     RegionRecord, WorkTrace,
 };
 use phylo_kernel::{
-    executor::{execute_on_worker, reduce_outputs},
+    executor::{active_local_patterns, execute_on_worker, reduce_outputs},
     ExecContext, ExecError, Executor, KernelOp, OpOutput, WorkerSlices,
 };
 use phylo_sched::{Assignment, SchedError};
@@ -105,7 +105,9 @@ impl TracingExecutor {
     fn region_record(&self, op: &KernelOp, ctx: &ExecContext<'_>) -> RegionRecord {
         let workers = self.workers.len();
         let mut record = RegionRecord::new(op.kind(), workers);
+        record.active_partitions = op.active_partitions();
         for (wi, worker) in self.workers.iter().enumerate() {
+            record.active_patterns_per_worker[wi] = active_local_patterns(worker, op) as f64;
             let mut flops = 0.0;
             let mut bytes = 0.0;
             match op {

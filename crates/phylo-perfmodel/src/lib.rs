@@ -22,6 +22,28 @@
 //! highest synchronization cost). Absolute seconds are therefore approximate,
 //! but *who wins, by what factor, and where the scaling collapses* — the shape
 //! of Figures 3–6 — comes from the measured trace, not from these constants.
+//!
+//! ```
+//! use phylo_kernel::cost::{OpKind, RegionRecord, WorkTrace};
+//! use phylo_perfmodel::Platform;
+//!
+//! // One perfectly balanced 8-worker region of 1 MFLOP + 1 MB per worker.
+//! let mut trace = WorkTrace::new(8);
+//! let mut region = RegionRecord::new(OpKind::Newview, 8);
+//! region.flops_per_worker = vec![1e6; 8];
+//! region.bytes_per_worker = vec![1e6; 8];
+//! trace.regions.push(region);
+//!
+//! let balanced = Platform::nehalem().predict_runtime(&trace);
+//! assert!(balanced > 0.0);
+//! // Piling the same work onto one worker can only slow the region down.
+//! let mut skewed = WorkTrace::new(8);
+//! let mut region = RegionRecord::new(OpKind::Newview, 8);
+//! region.flops_per_worker[0] = 8e6;
+//! region.bytes_per_worker[0] = 8e6;
+//! skewed.regions.push(region);
+//! assert!(Platform::nehalem().predict_runtime(&skewed) > balanced);
+//! ```
 
 use phylo_kernel::cost::{TraceUnit, WorkTrace};
 use phylo_sched::Assignment;

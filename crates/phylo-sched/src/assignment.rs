@@ -153,6 +153,55 @@ impl Assignment {
     pub fn balance(&self) -> f64 {
         1.0 / self.imbalance()
     }
+
+    /// Number of *maximal runs of consecutive global pattern indices* each
+    /// worker owns — the cache-locality metric of a schedule. A worker whose
+    /// patterns form one contiguous block scans memory linearly; `k` runs mean
+    /// `k` strided jumps per parallel region. `Block` yields one run per
+    /// worker, `Cyclic` roughly `patterns / workers` runs, and the
+    /// partition-aware strategies at most one run per partition per worker.
+    pub fn contiguous_runs_per_worker(&self) -> Vec<usize> {
+        let mut runs = vec![0usize; self.worker_count];
+        for (g, &w) in self.owner.iter().enumerate() {
+            if g == 0 || self.owner[g - 1] != w {
+                runs[w] += 1;
+            }
+        }
+        runs
+    }
+
+    /// Checks the partition-contiguity invariant: within every given
+    /// partition (a range of global pattern indices), each worker's share is
+    /// a single contiguous run (possibly empty). This is the invariant
+    /// [`PartitionAwareLpt`] guarantees and the property tests verify.
+    ///
+    /// [`PartitionAwareLpt`]: crate::strategy::PartitionAwareLpt
+    ///
+    /// # Panics
+    ///
+    /// Panics if a range reaches outside `0..pattern_count()` — the ranges
+    /// must describe the same dataset the assignment was built for.
+    pub fn partition_contiguity(&self, partitions: &[std::ops::Range<usize>]) -> bool {
+        for range in partitions {
+            // A worker may open one run; once its run closes (another worker
+            // takes over), seeing it again means a second run.
+            let mut closed = vec![false; self.worker_count];
+            let mut prev: Option<usize> = None;
+            for g in range.clone() {
+                let w = self.owner[g];
+                if prev != Some(w) {
+                    if closed[w] {
+                        return false;
+                    }
+                    if let Some(p) = prev {
+                        closed[p] = true;
+                    }
+                    prev = Some(w);
+                }
+            }
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -208,5 +257,35 @@ mod tests {
         let a = Assignment::new("skewed", vec![0, 0], 4, &costs).unwrap();
         assert_eq!(a.patterns_per_worker(), vec![2, 0, 0, 0]);
         assert_eq!(a.imbalance(), 4.0);
+    }
+
+    #[test]
+    fn contiguous_runs_count_maximal_runs() {
+        let costs = PatternCosts::uniform(6);
+        // Worker 0 owns {0, 1, 4}, worker 1 owns {2, 3, 5}.
+        let a = Assignment::new("x", vec![0, 0, 1, 1, 0, 1], 2, &costs).unwrap();
+        assert_eq!(a.contiguous_runs_per_worker(), vec![2, 2]);
+        let block = Assignment::new("x", vec![0, 0, 0, 1, 1, 1], 2, &costs).unwrap();
+        assert_eq!(block.contiguous_runs_per_worker(), vec![1, 1]);
+        let cyclic = Assignment::new("x", vec![0, 1, 0, 1, 0, 1], 2, &costs).unwrap();
+        assert_eq!(cyclic.contiguous_runs_per_worker(), vec![3, 3]);
+    }
+
+    #[test]
+    #[allow(clippy::single_range_in_vec_init)]
+    fn partition_contiguity_detects_split_runs() {
+        let costs = PatternCosts::uniform(6);
+        let ranges = [0..3, 3..6];
+        // Contiguous within each partition.
+        let good = Assignment::new("x", vec![0, 0, 1, 1, 1, 0], 2, &costs).unwrap();
+        assert!(good.partition_contiguity(&ranges));
+        // Worker 0's share of partition 0 is {0, 2}: split.
+        let bad = Assignment::new("x", vec![0, 1, 0, 1, 1, 1], 2, &costs).unwrap();
+        assert!(!bad.partition_contiguity(&ranges));
+        // Cyclic over one big partition: split for both workers.
+        let cyclic = Assignment::new("x", vec![0, 1, 0, 1, 0, 1], 2, &costs).unwrap();
+        assert!(!cyclic.partition_contiguity(&[(0..6)]));
+        // ...but trivially contiguous when every partition is one pattern.
+        assert!(cyclic.partition_contiguity(&[0..1, 1..2, 2..3, 3..4, 4..5, 5..6]));
     }
 }

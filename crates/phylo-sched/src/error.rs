@@ -23,6 +23,13 @@ pub enum SchedError {
         /// The offending value.
         value: f64,
     },
+    /// The partition ranges handed to a partition-aware strategy do not tile
+    /// the global pattern index space: they must start at 0, be consecutive
+    /// (each range starts where the previous one ended) and ascending.
+    InvalidPartitionRanges {
+        /// Index of the first offending range.
+        index: usize,
+    },
     /// A schedule for zero workers was requested.
     NoWorkers,
     /// The workload has no patterns to distribute.
@@ -76,6 +83,11 @@ impl std::fmt::Display for SchedError {
             Self::InvalidSpeed { worker, value } => write!(
                 f,
                 "worker {worker} has invalid speed {value}; speeds must be finite and positive"
+            ),
+            Self::InvalidPartitionRanges { index } => write!(
+                f,
+                "partition range {index} does not tile the global pattern index space \
+                 (ranges must start at 0 and be consecutive)"
             ),
             Self::NoWorkers => write!(f, "at least one worker is required"),
             Self::SkewWorkerOutOfRange {

@@ -62,7 +62,8 @@ pub struct ReschedulePolicy {
     pub imbalance_threshold: f64,
     /// Minimum number of recorded regions before the measurement is trusted
     /// (and between consecutive decisions, since a reschedule resets the
-    /// trace epoch).
+    /// trace epoch). The mask-aware path also uses it as the width of the
+    /// recent-region window it measures over.
     pub min_regions: usize,
     /// Which per-worker measurement drives the decision. Real runs use
     /// [`TraceUnit::Seconds`]; virtual (tracing) runs use
@@ -71,6 +72,14 @@ pub struct ReschedulePolicy {
     /// Upper bound on the number of reschedules per run (each one pays a
     /// full CLV recomputation).
     pub max_reschedules: usize,
+    /// React to the convergence-mask shape *within* a driver round: the
+    /// decision is driven by the **live-cost imbalance** of the recent
+    /// *masked* regions (not the whole epoch's total-cost imbalance), and a
+    /// triggered repack levels every partition individually across the
+    /// workers — live partitions first — so the live phase, later mask
+    /// shapes and the full mask all come out balanced. Drivers consult a
+    /// mask-aware rescheduler between branches, not only between rounds.
+    pub mask_aware: bool,
 }
 
 impl Default for ReschedulePolicy {
@@ -80,6 +89,7 @@ impl Default for ReschedulePolicy {
             min_regions: 32,
             unit: TraceUnit::Seconds,
             max_reschedules: 2,
+            mask_aware: false,
         }
     }
 }
@@ -167,6 +177,132 @@ impl Rescheduler {
             speeds: strategy.speeds().to_vec(),
         }))
     }
+
+    /// The mask-aware counterpart of [`Rescheduler::consider`], driven by
+    /// the *live-cost* imbalance: the measurement window is the last
+    /// [`ReschedulePolicy::min_regions`] **masked** regions (partial
+    /// convergence masks — full-mask regions balance almost any schedule
+    /// and would dilute the signal), whose recorded masks say which
+    /// partitions are still live. When the window's per-worker imbalance
+    /// crosses the threshold, every partition is re-levelled individually
+    /// across the workers — live partitions first, assuming uniform worker
+    /// speeds — which balances the live phase, later mask shapes and the
+    /// full mask at once.
+    ///
+    /// `ranges` gives each partition's global pattern range (the same tiling
+    /// [`PartitionAwareLpt`](crate::strategy::PartitionAwareLpt) consumes).
+    /// Returns `Ok(None)` when the policy says to stay put, exactly like
+    /// [`Rescheduler::consider`].
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::TraceWorkerMismatch`] if the trace and `current`
+    /// disagree on the worker count,
+    /// [`SchedError::PatternCountMismatch`] if `base` or `ranges` cover a
+    /// different number of patterns than `current`,
+    /// [`SchedError::InvalidPartitionRanges`] if the ranges do not tile the
+    /// index space.
+    pub fn consider_masked(
+        &mut self,
+        current: &Assignment,
+        trace: &WorkTrace,
+        base: &PatternCosts,
+        ranges: &[std::ops::Range<usize>],
+    ) -> Result<Option<RescheduleDecision>, SchedError> {
+        if trace.workers != current.worker_count() {
+            return Err(SchedError::TraceWorkerMismatch {
+                trace_workers: trace.workers,
+                assignment_workers: current.worker_count(),
+            });
+        }
+        if base.pattern_count() != current.pattern_count() {
+            return Err(SchedError::PatternCountMismatch {
+                expected: current.pattern_count(),
+                got: base.pattern_count(),
+            });
+        }
+        crate::strategy::check_partition_ranges(ranges)?;
+        let covered = ranges.last().map_or(0, |r| r.end);
+        if covered != current.pattern_count() {
+            return Err(SchedError::PatternCountMismatch {
+                expected: current.pattern_count(),
+                got: covered,
+            });
+        }
+        if self.decisions >= self.policy.max_reschedules {
+            return Ok(None);
+        }
+        // The live measurement is taken over *masked* regions only: full-
+        // mask regions balance almost any schedule and would dilute the
+        // phase imbalance the mask-aware policy is after.
+        let window = self.policy.min_regions;
+        if trace.masked_region_count() < window {
+            return Ok(None);
+        }
+        let measured = trace.masked_window_per_worker_total_in(self.policy.unit, window);
+        let measured_imbalance = worker_imbalance(&measured);
+        if measured_imbalance <= self.policy.imbalance_threshold {
+            return Ok(None);
+        }
+        let active = trace
+            .masked_window_active_partitions(window)
+            .filter(|a| a.len() == ranges.len())
+            .unwrap_or_else(|| vec![true; ranges.len()]);
+        let any_live = ranges
+            .iter()
+            .enumerate()
+            .any(|(p, r)| active[p] && !r.is_empty());
+        if !any_live {
+            return Ok(None);
+        }
+
+        // Re-pack *every* partition with the per-partition levelling of
+        // `PartitionAwareLpt` (the shared `level_partition` core), live
+        // partitions first. Levelling each partition individually onto the
+        // currently least-loaded workers rotates the per-partition surpluses
+        // across different workers, so every mask shape — the live window's,
+        // later phases', and the full mask — comes out balanced at once.
+        // (Moving only the live patterns cannot do that: whenever the full
+        // mask is balanced *because* the partitions' skews cancel, any live
+        // placement that fixes the live phase must un-balance the totals
+        // unless the dead patterns move too. The executor rebuilds every
+        // worker slice on migration anyway, so moving everything costs
+        // nothing extra.) The pack assumes uniform worker speeds: the masked
+        // window mixes different mask shapes, which makes per-worker speed
+        // ratios estimated from it unreliable (a worker whose live-union
+        // patterns were inactive in most window regions measures little and
+        // would be mistaken for a fast core). Worker-intrinsic slowness is
+        // the *plain* policy's business ([`Rescheduler::consider`] via
+        // `SpeedAwareLpt`).
+        let worker_count = current.worker_count();
+        let mut owner = current.owner().to_vec();
+        let mut loads = vec![0.0f64; worker_count];
+        let part_cost =
+            |r: &std::ops::Range<usize>| -> f64 { r.clone().map(|g| base.cost(g)).sum() };
+        let mut order: Vec<usize> = (0..ranges.len()).collect();
+        order.sort_by(|&a, &b| {
+            // Live before dead; within each class, heaviest first.
+            active[b]
+                .cmp(&active[a])
+                .then(part_cost(&ranges[b]).total_cmp(&part_cost(&ranges[a])))
+                .then(a.cmp(&b))
+        });
+        for p in order {
+            crate::strategy::level_partition(ranges[p].clone(), base, &mut loads, &mut owner);
+        }
+        if owner == current.owner() {
+            return Ok(None);
+        }
+        let assignment = Assignment::new("mask-aware-lpt", owner, worker_count, base)?;
+        self.decisions += 1;
+        Ok(Some(RescheduleDecision {
+            assignment,
+            measured,
+            measured_imbalance,
+            // The mask-aware pack is speed-oblivious by design (see above).
+            speeds: vec![1.0; worker_count],
+        }))
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +328,7 @@ mod tests {
             min_regions: 4,
             unit: TraceUnit::Seconds,
             max_reschedules: 1,
+            mask_aware: false,
         }
     }
 
@@ -248,6 +385,148 @@ mod tests {
                 .unwrap_err(),
             SchedError::PatternCountMismatch { .. }
         ));
+    }
+
+    /// A trace whose recent window shows all live work of one partition on
+    /// worker 0: the early (full-mask, balanced) regions must not dilute the
+    /// live measurement.
+    fn staggered_trace(workers: usize) -> WorkTrace {
+        let mut t = WorkTrace::new(workers);
+        for _ in 0..8 {
+            let mut r = RegionRecord::new(OpKind::Newview, workers);
+            r.seconds_per_worker = vec![1.0; workers];
+            r.active_partitions = vec![true, true];
+            t.regions.push(r);
+        }
+        for _ in 0..4 {
+            let mut r = RegionRecord::new(OpKind::Derivatives, workers);
+            // Only partition 1 is live, and all of its patterns sit on
+            // worker 0 under the prior placement.
+            r.seconds_per_worker = vec![1.0, 0.0, 0.0, 0.0];
+            r.active_partitions = vec![false, true];
+            t.regions.push(r);
+        }
+        t
+    }
+
+    #[test]
+    fn mask_aware_triggers_on_live_imbalance_invisible_to_totals() {
+        let costs = PatternCosts::uniform(40);
+        // Partition 1 = patterns 20..40, all owned by worker 0.
+        let owner: Vec<usize> = (0..40).map(|g| if g < 20 { g % 4 } else { 0 }).collect();
+        let prior = Assignment::new("manual", owner, 4, &costs).unwrap();
+        let trace = staggered_trace(4);
+        let ranges = [0..20, 20..40];
+
+        // The whole-epoch totals are mildly imbalanced (12s vs 8s = 1.33);
+        // the live window is maximally imbalanced (4.0).
+        let mut masked = Rescheduler::new(ReschedulePolicy {
+            imbalance_threshold: 2.0,
+            min_regions: 4,
+            unit: TraceUnit::Seconds,
+            max_reschedules: 1,
+            mask_aware: true,
+        });
+        let decision = masked
+            .consider_masked(&prior, &trace, &costs, &ranges)
+            .unwrap()
+            .expect("live imbalance 4.0 crosses the 2.0 threshold");
+        assert!(decision.measured_imbalance > 3.9);
+        // The repack spreads partition 1's patterns off worker 0...
+        let live_counts: Vec<usize> = (0..4)
+            .map(|w| {
+                (20..40)
+                    .filter(|&g| decision.assignment.worker_of(g) == w)
+                    .count()
+            })
+            .collect();
+        assert!(
+            live_counts[0] < 20,
+            "live patterns must leave worker 0: {live_counts:?}"
+        );
+        // The repack levels per partition, so each worker's share of each
+        // partition stays one contiguous run and the totals stay balanced.
+        assert!(decision.assignment.partition_contiguity(&ranges));
+        assert!(decision.assignment.imbalance() < 1.2);
+        assert_eq!(decision.assignment.strategy(), "mask-aware-lpt");
+
+        // The plain (total-cost) rescheduler with the same threshold sees
+        // only the diluted 1.33 and stays put.
+        let mut plain = Rescheduler::new(ReschedulePolicy {
+            imbalance_threshold: 2.0,
+            min_regions: 4,
+            unit: TraceUnit::Seconds,
+            max_reschedules: 1,
+            mask_aware: false,
+        });
+        assert_eq!(plain.consider(&prior, &trace, &costs).unwrap(), None);
+    }
+
+    #[test]
+    #[allow(clippy::single_range_in_vec_init)]
+    fn mask_aware_validates_ranges_and_shapes() {
+        let costs = PatternCosts::uniform(40);
+        let prior = Cyclic.assign(&costs, 4).unwrap();
+        let trace = staggered_trace(4);
+        let mut r = Rescheduler::new(ReschedulePolicy {
+            mask_aware: true,
+            ..policy()
+        });
+        assert!(matches!(
+            r.consider_masked(&prior, &trace, &costs, &[5..40])
+                .unwrap_err(),
+            SchedError::InvalidPartitionRanges { index: 0 }
+        ));
+        assert!(matches!(
+            r.consider_masked(&prior, &trace, &costs, &[0..20, 20..39])
+                .unwrap_err(),
+            SchedError::PatternCountMismatch { .. }
+        ));
+        let short_trace = staggered_trace(3);
+        assert!(matches!(
+            r.consider_masked(&prior, &short_trace, &costs, &[0..20, 20..40])
+                .unwrap_err(),
+            SchedError::TraceWorkerMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn mask_aware_respects_budget_and_thresholds() {
+        let costs = PatternCosts::uniform(40);
+        let owner: Vec<usize> = (0..40).map(|g| if g < 20 { g % 4 } else { 0 }).collect();
+        let prior = Assignment::new("manual", owner, 4, &costs).unwrap();
+        let ranges = [0..20, 20..40];
+        let trace = staggered_trace(4);
+        let mut r = Rescheduler::new(ReschedulePolicy {
+            imbalance_threshold: 2.0,
+            min_regions: 4,
+            unit: TraceUnit::Seconds,
+            max_reschedules: 1,
+            mask_aware: true,
+        });
+        assert!(r
+            .consider_masked(&prior, &trace, &costs, &ranges)
+            .unwrap()
+            .is_some());
+        // Budget exhausted.
+        assert_eq!(
+            r.consider_masked(&prior, &trace, &costs, &ranges).unwrap(),
+            None
+        );
+        // Too few regions.
+        let mut fresh = Rescheduler::new(ReschedulePolicy {
+            imbalance_threshold: 2.0,
+            min_regions: 64,
+            unit: TraceUnit::Seconds,
+            max_reschedules: 1,
+            mask_aware: true,
+        });
+        assert_eq!(
+            fresh
+                .consider_masked(&prior, &trace, &costs, &ranges)
+                .unwrap(),
+            None
+        );
     }
 
     #[test]

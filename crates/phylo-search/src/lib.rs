@@ -8,14 +8,35 @@
 //! crate implements that loop on top of the likelihood engine and the
 //! oldPAR/newPAR optimizers; which scheme is used is part of the
 //! [`SearchConfig`], so the same search can be timed under both schemes.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use phylo_kernel::SequentialKernel;
+//! use phylo_models::{BranchLengthMode, ModelSet};
+//! use phylo_optimize::ParallelScheme;
+//! use phylo_search::{tree_search, SearchConfig};
+//! use phylo_seqgen::datasets::paper_simulated;
+//!
+//! let ds = paper_simulated(6, 80, 40, 3).generate();
+//! let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+//! let mut kernel = SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models);
+//!
+//! let mut config = SearchConfig::new(ParallelScheme::New);
+//! config.max_rounds = 1;
+//! config.spr_radius = 2;
+//! config.optimize_model_between_rounds = false;
+//! let result = tree_search(&mut kernel, &config).unwrap();
+//! assert!(result.final_log_likelihood >= result.initial_log_likelihood);
+//! assert!(kernel.tree().validate().is_ok());
+//! ```
 
 use phylo_kernel::{Executor, KernelError, LikelihoodKernel};
 use phylo_optimize::adaptive::{
     ensure_measurements_happened, validate_base_costs, with_worker_recovery,
 };
 use phylo_optimize::{
-    optimize_all_branches, optimize_model_parameters, reschedule_if_needed, OptimizeError,
-    OptimizerConfig, ParallelScheme, RescheduleEvent, WorkerRecovery,
+    optimize_all_branches, optimize_model_parameters, reschedule_if_needed, reschedule_mid_round,
+    HookPoint, OptimizeError, OptimizerConfig, ParallelScheme, RescheduleEvent, WorkerRecovery,
 };
 use phylo_sched::{PatternCosts, Reassignable, Rescheduler};
 use phylo_tree::spr::{candidate_moves, SprMove};
@@ -96,7 +117,7 @@ pub fn tree_search<E: Executor>(
     kernel: &mut LikelihoodKernel<E>,
     config: &SearchConfig,
 ) -> Result<SearchResult, KernelError> {
-    tree_search_with_hook(kernel, config, |_, _| Ok(()))
+    tree_search_with_hook(kernel, config, |_, _, _| Ok(()))
 }
 
 /// [`SearchResult`] plus the mid-search ownership migrations.
@@ -146,6 +167,7 @@ where
     E: Executor + Reassignable,
 {
     validate_base_costs(kernel, base_costs)?;
+    let mask_aware = rescheduler.policy().mask_aware;
     let mut events = Vec::new();
     let mut recoveries = Vec::new();
     let result = with_worker_recovery(
@@ -153,8 +175,17 @@ where
         config.search_optimizer.max_worker_recoveries,
         &mut recoveries,
         |kernel| {
-            tree_search_with_hook(kernel, config, |kernel, round| {
-                if let Some(event) = reschedule_if_needed(kernel, rescheduler, base_costs, round)? {
+            tree_search_with_hook(kernel, config, |kernel, round, point| {
+                let event = match point {
+                    HookPoint::WithinRound if !mask_aware => None,
+                    HookPoint::WithinRound => {
+                        reschedule_mid_round(kernel, rescheduler, base_costs, round)?
+                    }
+                    HookPoint::RoundEnd => {
+                        reschedule_if_needed(kernel, rescheduler, base_costs, round)?
+                    }
+                };
+                if let Some(event) = event {
                     events.push(event);
                 }
                 Ok(())
@@ -192,22 +223,25 @@ where
         kernel,
         config.search_optimizer.max_worker_recoveries,
         &mut recoveries,
-        |kernel| tree_search_with_hook(kernel, config, |_, _| Ok(())),
+        |kernel| tree_search_with_hook(kernel, config, |_, _, _| Ok(())),
     )?;
     Ok((result, recoveries))
 }
 
-/// The search loop with a caller-supplied hook invoked after every round
-/// (before the no-improvement break). The hook may mutate the kernel as
-/// long as it preserves the likelihood.
+/// The search loop with a caller-supplied hook invoked at the two
+/// rescheduling points of each round: [`HookPoint::WithinRound`] after the
+/// SPR sweep (the local branch optimizations just recorded the round's
+/// convergence-mask shape) and [`HookPoint::RoundEnd`] at the end of the
+/// round, before the no-improvement break. The hook may mutate the kernel
+/// as long as it preserves the likelihood.
 fn tree_search_with_hook<E, F>(
     kernel: &mut LikelihoodKernel<E>,
     config: &SearchConfig,
-    mut after_round: F,
+    mut hook: F,
 ) -> Result<SearchResult, KernelError>
 where
     E: Executor,
-    F: FnMut(&mut LikelihoodKernel<E>, usize) -> Result<(), KernelError>,
+    F: FnMut(&mut LikelihoodKernel<E>, usize, HookPoint) -> Result<(), KernelError>,
 {
     let sync_before = kernel.sync_events();
 
@@ -258,12 +292,14 @@ where
             }
         }
 
+        hook(kernel, rounds, HookPoint::WithinRound)?;
+
         if config.optimize_model_between_rounds {
             let report = optimize_model_parameters(kernel, &config.model_optimizer)?;
             best_lnl = report.final_log_likelihood;
         }
 
-        after_round(kernel, rounds)?;
+        hook(kernel, rounds, HookPoint::RoundEnd)?;
         if !improved_this_round {
             break;
         }
@@ -385,6 +421,7 @@ mod tests {
             min_regions: 8,
             unit: TraceUnit::Flops,
             max_reschedules: 1,
+            mask_aware: false,
         });
         let adaptive =
             tree_search_adaptive(&mut kernel, &config, &mut rescheduler, &costs).unwrap();

@@ -17,6 +17,19 @@
 //!   the topological move used by the tree-search phase,
 //! * [`newick`] — Newick parsing and serialization,
 //! * [`random`] — deterministic random topologies and branch lengths.
+//!
+//! ```
+//! use phylo_tree::newick;
+//!
+//! let tree = newick::parse_newick("((t1,t2),(t3,t4));").unwrap();
+//! assert_eq!(tree.taxa(), &["t1", "t2", "t3", "t4"]);
+//! // An unrooted binary tree on n taxa has 2n − 3 branches.
+//! assert_eq!(tree.branch_count(), 5);
+//! assert!(tree.is_complete());
+//! // Serialization round-trips the topology.
+//! let text = newick::to_newick(&tree);
+//! assert_eq!(newick::parse_newick(&text).unwrap().bipartitions(), tree.bipartitions());
+//! ```
 
 pub mod newick;
 pub mod random;

@@ -191,6 +191,33 @@ impl AnalysisBuilder {
         self
     }
 
+    /// Toggle *mask-aware* rescheduling: the rescheduler reacts to the
+    /// convergence-mask shape **within** a driver round — it measures the
+    /// live-cost imbalance of the most recent partial-mask regions (where
+    /// converged partitions no longer contribute work) and, when triggered
+    /// between branches, re-levels every partition individually across the
+    /// workers (live partitions first), balancing the live phase and the
+    /// full mask at once. With no [`AnalysisBuilder::rescheduler`] policy
+    /// configured, enabling this installs [`ReschedulePolicy::default`]
+    /// with `mask_aware` set (which, like any policy, implies
+    /// [`AnalysisBuilder::timed`]).
+    #[must_use]
+    pub fn mask_aware(mut self, mask_aware: bool) -> Self {
+        match (self.policy.as_mut(), mask_aware) {
+            (Some(policy), _) => policy.mask_aware = mask_aware,
+            (None, true) => {
+                self.policy = Some(ReschedulePolicy {
+                    mask_aware: true,
+                    ..ReschedulePolicy::default()
+                });
+            }
+            // mask_aware(false) without a policy stays policy-free rather
+            // than installing a rescheduler as a side effect.
+            (None, false) => {}
+        }
+        self
+    }
+
     fn resolve_models(&mut self) -> Result<(ModelSet, Vec<usize>), AnalysisError> {
         let models = self
             .models
@@ -517,6 +544,56 @@ mod tests {
         assert_eq!(report.workers, 4);
         assert!(analysis.take_trace().sync_events() > 0);
         assert_eq!(analysis.trace().sync_events(), 0);
+    }
+
+    #[test]
+    fn mask_aware_knob_installs_and_toggles_the_policy() {
+        let ds = dataset();
+        // Enabling without an explicit policy installs a mask-aware default.
+        let builder = Analysis::builder(Arc::clone(&ds.patterns), ds.tree.clone()).mask_aware(true);
+        assert!(builder.policy.expect("policy installed").mask_aware);
+        // Disabling without a policy stays policy-free.
+        let builder =
+            Analysis::builder(Arc::clone(&ds.patterns), ds.tree.clone()).mask_aware(false);
+        assert!(builder.policy.is_none());
+        // Toggling an explicit policy flips only the flag.
+        let policy = ReschedulePolicy {
+            imbalance_threshold: 2.5,
+            ..ReschedulePolicy::default()
+        };
+        let builder = Analysis::builder(Arc::clone(&ds.patterns), ds.tree.clone())
+            .rescheduler(policy)
+            .mask_aware(true);
+        let installed = builder.policy.expect("explicit policy kept");
+        assert!(installed.mask_aware);
+        assert_eq!(installed.imbalance_threshold, 2.5);
+    }
+
+    #[test]
+    fn mask_aware_session_runs_and_preserves_the_likelihood() {
+        let ds = phylo_seqgen::datasets::mixed_dna_protein(6, 3, 2, 48, 17).generate();
+        let mut analysis = Analysis::builder(Arc::clone(&ds.patterns), ds.tree.clone())
+            .threads(7)
+            .strategy(Cyclic)
+            .rescheduler(ReschedulePolicy {
+                imbalance_threshold: 1.0001,
+                min_regions: 8,
+                unit: TraceUnit::Flops,
+                max_reschedules: 1,
+                mask_aware: true,
+            })
+            .build_traced()
+            .unwrap();
+        let report = analysis
+            .optimize(&OptimizerConfig::new(ParallelScheme::New))
+            .unwrap();
+        assert!(
+            !report.events.is_empty(),
+            "the near-zero threshold must trigger a mask-aware migration"
+        );
+        for event in &report.events {
+            assert!(event.log_likelihood_drift() < 1e-8);
+        }
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub mod prelude {
     pub use phylo_models::{BranchLengthMode, ModelSet, PartitionModel, SubstitutionModel};
     pub use phylo_optimize::{
         optimize_all_branches, optimize_model_parameters, optimize_model_parameters_adaptive,
-        optimize_model_parameters_resilient, AdaptiveOptimizationReport, OptimizeError,
+        optimize_model_parameters_resilient, AdaptiveOptimizationReport, HookPoint, OptimizeError,
         OptimizerConfig, ParallelScheme, RescheduleEvent, WorkerRecovery,
     };
     pub use phylo_parallel::{
@@ -70,8 +70,9 @@ pub mod prelude {
     };
     pub use phylo_perfmodel::{imbalance_report, imbalance_report_in, ImbalanceReport, Platform};
     pub use phylo_sched::{
-        worker_imbalance, Assignment, Block, Cyclic, PatternCosts, Reassignable, ReschedulePolicy,
-        Rescheduler, SchedError, ScheduleStrategy, SpeedAwareLpt, TraceAdaptive, WeightedLpt,
+        worker_imbalance, Assignment, Block, Cyclic, PartitionAwareLpt, PatternCosts, Reassignable,
+        RescheduleDecision, ReschedulePolicy, Rescheduler, SchedError, ScheduleStrategy,
+        SpeedAwareLpt, TraceAdaptive, WeightedLpt,
     };
     pub use phylo_search::{
         tree_search, tree_search_adaptive, tree_search_resilient, AdaptiveSearchResult,

@@ -227,6 +227,7 @@ fn mid_run_rescheduling_beats_static_cyclic_on_a_skewed_worker() {
         min_regions: 16,
         unit: TraceUnit::Seconds,
         max_reschedules: 1,
+        mask_aware: false,
     });
     let config = OptimizerConfig::search_phase(ParallelScheme::New);
     let adaptive =
@@ -283,6 +284,7 @@ fn driver_recovers_from_an_injected_worker_death_mid_optimize() {
             min_regions: 1,
             unit: TraceUnit::Seconds,
             max_reschedules: 0,
+            mask_aware: false,
         })
         .build()
         .unwrap();
@@ -388,6 +390,112 @@ fn analysis_builder_misuse_is_typed() {
     ));
 }
 
+/// The mask-aware acceptance criterion: within-round rescheduling driven by
+/// the convergence-mask shape fires on the staggered-convergence dataset and
+/// preserves the log likelihood to ≤ 1e-8 across every migration — both at
+/// the migration boundary (event check) and against a full recomputation on
+/// the migrated workers.
+#[test]
+fn mask_aware_rescheduling_preserves_the_likelihood() {
+    use phylo_bench::scheduling::staggered_convergence_dataset;
+
+    let ds = staggered_convergence_dataset(2026);
+    let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+    let categories: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+    let costs = PatternCosts::analytic(&ds.patterns, &categories);
+    let cyclic = schedule(&ds.patterns, &categories, 16, &Cyclic).unwrap();
+    let executor = TracingExecutor::from_assignment(
+        &ds.patterns,
+        &cyclic,
+        ds.tree.node_capacity(),
+        &categories,
+    )
+    .unwrap();
+    let mut kernel =
+        LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, executor);
+
+    let mut rescheduler = Rescheduler::new(ReschedulePolicy {
+        imbalance_threshold: 1.25,
+        min_regions: 12,
+        unit: TraceUnit::Flops,
+        max_reschedules: 4,
+        mask_aware: true,
+    });
+    let config = OptimizerConfig::new(ParallelScheme::New);
+    let adaptive =
+        optimize_model_parameters_adaptive(&mut kernel, &config, &mut rescheduler, &costs).unwrap();
+    assert!(
+        adaptive.events.iter().any(|e| e.within_round),
+        "the staggered dataset must trigger a within-round migration: {:?}",
+        adaptive
+            .events
+            .iter()
+            .map(|e| (e.round, e.within_round))
+            .collect::<Vec<_>>()
+    );
+    for event in &adaptive.events {
+        assert!(
+            event.log_likelihood_drift() <= 1e-8,
+            "migration drifted the log likelihood by {}",
+            event.log_likelihood_drift()
+        );
+        // The migrated placement keeps the partition-contiguity invariant.
+        let ranges: Vec<std::ops::Range<usize>> = (0..ds.patterns.partition_count())
+            .map(|p| ds.patterns.global_range(p))
+            .collect();
+        assert!(kernel
+            .executor_mut()
+            .assignment()
+            .partition_contiguity(&ranges));
+    }
+    // Full recomputation on the final (migrated) workers reproduces the
+    // optimizer's final likelihood.
+    kernel.invalidate_all();
+    let recomputed = kernel.try_log_likelihood().unwrap();
+    assert!(
+        (recomputed - adaptive.report.final_log_likelihood).abs() <= 1e-8,
+        "recomputation drifted: {recomputed} vs {}",
+        adaptive.report.final_log_likelihood
+    );
+}
+
+/// The rayon backend recovers from the same fault-injection as the threaded
+/// one: an injected worker panic mid-optimization is absorbed by the
+/// resilient driver via `Reassignable`, and the run completes with the
+/// recovery reported.
+#[test]
+fn rayon_driver_recovers_from_an_injected_worker_death() {
+    let ds = paper_simulated(6, 120, 40, 2031).generate();
+    let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+    let categories: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+    let assignment = schedule(&ds.patterns, &categories, 3, &Cyclic).unwrap();
+    let executor = RayonExecutor::from_assignment(
+        &ds.patterns,
+        &assignment,
+        ds.tree.node_capacity(),
+        &categories,
+    )
+    .unwrap();
+    let mut kernel =
+        LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, executor);
+    kernel.executor_mut().inject_worker_panic(2, 25);
+
+    let config = OptimizerConfig::new(ParallelScheme::New);
+    let (report, recoveries) = optimize_model_parameters_resilient(&mut kernel, &config)
+        .expect("the driver must absorb the rayon worker death and finish");
+    assert_eq!(recoveries.len(), 1, "{recoveries:?}");
+    assert_eq!(recoveries[0].worker, 2);
+    assert!(report.final_log_likelihood > report.initial_log_likelihood);
+
+    kernel.invalidate_all();
+    let recomputed = kernel.try_log_likelihood().unwrap();
+    assert!(
+        (recomputed - report.final_log_likelihood).abs() <= 1e-8,
+        "rayon recovery drifted the lnL: {recomputed} vs {}",
+        report.final_log_likelihood
+    );
+}
+
 /// The traced facade session reproduces the figure pipeline: a search run
 /// under a rescheduling policy on virtual workers keeps the likelihood
 /// placement-invariant across migrations.
@@ -402,6 +510,7 @@ fn facade_search_with_rescheduling_preserves_the_likelihood() {
             min_regions: 8,
             unit: TraceUnit::Flops,
             max_reschedules: 1,
+            mask_aware: false,
         })
         .build_traced()
         .unwrap();

@@ -105,4 +105,94 @@ proptest! {
             prop_assert!(w[0] <= w[1]);
         }
     }
+
+    /// `PartitionAwareLpt` on random mixed DNA/protein datasets: every
+    /// worker's share of every partition is a single contiguous run, and the
+    /// maximum predicted per-worker cost never exceeds `Block`'s.
+    #[test]
+    fn partition_aware_lpt_is_contiguous_and_beats_block(
+        seed in 0u64..300,
+        dna_partitions in 1usize..7,
+        protein_partitions in 1usize..4,
+        partition_len in 8usize..40,
+        workers in 2usize..17,
+    ) {
+        let ds = mixed_dna_protein(6, dna_partitions, protein_partitions, partition_len, seed)
+            .generate();
+        let categories = vec![4; ds.patterns.partition_count()];
+        let costs = PatternCosts::analytic(&ds.patterns, &categories);
+        let ranges: Vec<std::ops::Range<usize>> = (0..ds.patterns.partition_count())
+            .map(|p| ds.patterns.global_range(p))
+            .collect();
+        let strategy = PartitionAwareLpt::new(ranges.clone()).unwrap();
+        let a = strategy.assign(&costs, workers).unwrap();
+        prop_assert!(
+            a.partition_contiguity(&ranges),
+            "split per-partition run with {} workers on {}",
+            workers,
+            ds.spec.name
+        );
+        let runs = a.contiguous_runs_per_worker();
+        prop_assert!(runs.iter().all(|&r| r <= ranges.len()));
+        let block = Block.assign(&costs, workers).unwrap();
+        prop_assert!(
+            a.max_cost() <= block.max_cost() + 1e-9,
+            "partition-lpt max {} vs block max {} ({} workers)",
+            a.max_cost(),
+            block.max_cost(),
+            workers
+        );
+    }
+
+    /// The mask-aware repack likewise keeps every partition's per-worker
+    /// share contiguous and never worsens the predicted balance beyond the
+    /// levelling tolerance, for any live subset of partitions.
+    #[test]
+    fn mask_aware_repack_is_partition_contiguous(
+        seed in 0u64..200,
+        live_mask in 1usize..255,
+        workers in 2usize..13,
+    ) {
+        use plf_loadbalance::kernel::{TraceUnit, WorkTrace};
+        use plf_loadbalance::kernel::cost::{OpKind, RegionRecord};
+
+        let ds = mixed_dna_protein(6, 5, 3, 12, seed).generate();
+        let categories = vec![4; ds.patterns.partition_count()];
+        let costs = PatternCosts::analytic(&ds.patterns, &categories);
+        let ranges: Vec<std::ops::Range<usize>> = (0..ds.patterns.partition_count())
+            .map(|p| ds.patterns.global_range(p))
+            .collect();
+        let current = Cyclic.assign(&costs, workers).unwrap();
+        // A synthetic masked trace: all live work lands on worker 0, and
+        // the recorded masks carry the sampled live subset.
+        let active: Vec<bool> = (0..8).map(|p| live_mask & (1 << p) != 0).collect();
+        let mut trace = WorkTrace::new(workers);
+        for _ in 0..4 {
+            let mut r = RegionRecord::new(OpKind::Derivatives, workers);
+            r.flops_per_worker[0] = 100.0;
+            r.active_partitions = active.clone();
+            trace.regions.push(r);
+        }
+        let mut rescheduler = Rescheduler::new(ReschedulePolicy {
+            imbalance_threshold: 1.01,
+            min_regions: 4,
+            unit: TraceUnit::Flops,
+            max_reschedules: 1,
+            mask_aware: true,
+        });
+        if let Some(decision) = rescheduler
+            .consider_masked(&current, &trace, &costs, &ranges)
+            .unwrap()
+        {
+            prop_assert!(decision.assignment.partition_contiguity(&ranges));
+            prop_assert_eq!(decision.assignment.pattern_count(), costs.pattern_count());
+            // The full-mask balance of the repack stays healthy.
+            prop_assert!(
+                decision.assignment.imbalance() <= current.imbalance() + 0.25,
+                "repack imbalance {} vs cyclic {}",
+                decision.assignment.imbalance(),
+                current.imbalance()
+            );
+        }
+    }
 }

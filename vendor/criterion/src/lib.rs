@@ -7,6 +7,15 @@
 //! prints mean/min wall-clock times — no statistics, no HTML reports, but the
 //! same source-level API, so the real criterion can be dropped back in when
 //! the build environment regains network access.
+//!
+//! ```
+//! use criterion::{black_box, Criterion};
+//!
+//! let mut c = Criterion::default().sample_size(2);
+//! c.bench_function("sum", |b| {
+//!     b.iter(|| black_box((0u64..100).sum::<u64>()))
+//! });
+//! ```
 
 use std::time::{Duration, Instant};
 

@@ -6,6 +6,20 @@
 //! `prop_assert!`/`prop_assert_eq!` macros. Cases are sampled deterministically
 //! (seeded from the test name and case index); there is no shrinking — a
 //! failing case panics with its arguments so it can be reproduced directly.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+//!     fn addition_is_commutative(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! // The macro expands each property into an ordinary function (a test
+//! // carries `#[test]` on top); here we simply call it.
+//! addition_is_commutative();
+//! ```
 
 /// Configuration accepted by `#![proptest_config(..)]`.
 pub mod config {

@@ -4,6 +4,15 @@
 //! the workspace uses. The stream is *not* ChaCha8 — the build environment is
 //! offline, so this wraps the vendored xoshiro256** generator — but every
 //! consumer only relies on determinism (same seed → same stream), which holds.
+//!
+//! ```
+//! use rand::{Rng, SeedableRng};
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let mut a = ChaCha8Rng::seed_from_u64(42);
+//! let mut b = ChaCha8Rng::seed_from_u64(42);
+//! assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+//! ```
 
 use rand::{RngCore, SeedableRng, Xoshiro256StarStar};
 

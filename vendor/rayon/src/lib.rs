@@ -7,6 +7,17 @@
 //! likelihood executors fan out over at most a few dozen per-worker slices,
 //! each carrying substantial work; there is no work-stealing and no global
 //! pool, so this is not a general rayon replacement.
+//!
+//! ```
+//! use rayon::prelude::*;
+//!
+//! let pool = rayon::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+//! let mut items = vec![1u64, 2, 3];
+//! let sum = pool.install(|| {
+//!     items.par_iter_mut().map(|x| *x * 10).reduce_with(|a, b| a + b)
+//! });
+//! assert_eq!(sum, Some(60));
+//! ```
 
 use std::marker::PhantomData;
 
