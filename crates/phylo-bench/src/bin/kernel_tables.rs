@@ -1,0 +1,268 @@
+//! Self-gating report for the shared per-branch table layer
+//! (`phylo_kernel::tables`): per-region throughput of the table-based
+//! kernels against the per-call reference on the default mixed DNA/protein
+//! dataset, with the numerical-agreement and rescheduling-drift gates that
+//! make the speedup a regression gate instead of a claim.
+//!
+//! Four checks, any failure exits non-zero:
+//!
+//! 1. **Agreement** — per-partition log likelihoods of the shared-table and
+//!    per-call engines agree to ≤ 1e-12 (they are bit-for-bit identical by
+//!    construction).
+//! 2. **Throughput** — an identical likelihood + branch-optimization
+//!    workload on 16 virtual workers must run ≥ 1.3× faster per region with
+//!    shared tables (the per-call path makes all 16 workers redo the same
+//!    O(states³·categories) eigen work per branch; the master builds each
+//!    table once).
+//! 3. **Calibration** — measured per-pattern cost ratio protein/DNA under
+//!    the tabled kernel, reported against the recalibrated analytic ratio
+//!    (21; per-call was ≈23.8). Gated loosely (protein must measure
+//!    costlier than DNA) because container timers are noisy.
+//! 4. **Drift** — the staggered-convergence mask-aware rescheduling runs
+//!    (tables on, the engine default) preserve the log likelihood to ≤ 1e-8
+//!    across every mid-run migration.
+//!
+//! The measured numbers are also written to `BENCH_kernel_tables.json` in
+//! the working directory — the first entry of the perf trajectory.
+//!
+//! Run with `cargo run --release -p phylo-bench --bin kernel_tables`.
+//! Set `PLF_SCALE` (0, 1] to change the dataset size.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use phylo_bench::scheduling::{compare_mask_resched, default_mixed_dataset};
+use phylo_kernel::{LikelihoodKernel, SequentialKernel};
+use phylo_models::{BranchLengthMode, ModelSet};
+use phylo_optimize::{optimize_all_branches, OptimizerConfig, ParallelScheme};
+use phylo_parallel::{schedule, Cyclic, TracingExecutor};
+use phylo_perfmodel::CostCalibration;
+use phylo_seqgen::GeneratedDataset;
+
+const THROUGHPUT_GATE: f64 = 1.3;
+const AGREEMENT_GATE: f64 = 1e-12;
+const DRIFT_GATE: f64 = 1e-8;
+const VIRTUAL_WORKERS: usize = 16;
+
+/// One timed run of the standard workload (full likelihood + one
+/// branch-smoothing pass) on `VIRTUAL_WORKERS` virtual workers. The workload
+/// is deterministic and bit-for-bit identical for both kernel paths, so the
+/// wall-clock ratio is a clean per-region throughput ratio.
+struct WorkloadRun {
+    seconds: f64,
+    regions: u64,
+    log_likelihood: f64,
+}
+
+fn run_workload(ds: &GeneratedDataset, shared_tables: bool) -> WorkloadRun {
+    let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+    let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+    let assignment =
+        schedule(&ds.patterns, &cats, VIRTUAL_WORKERS, &Cyclic).expect("non-empty dataset");
+    let exec =
+        TracingExecutor::from_assignment(&ds.patterns, &assignment, ds.tree.node_capacity(), &cats)
+            .expect("assignment matches dataset");
+    let mut kernel =
+        LikelihoodKernel::try_new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec)
+            .expect("consistent engine parts");
+    kernel.set_shared_tables(shared_tables);
+    let config = OptimizerConfig::search_phase(ParallelScheme::New);
+    let start = Instant::now();
+    let _ = kernel
+        .try_log_likelihood()
+        .expect("virtual workers cannot die");
+    let (log_likelihood, _) =
+        optimize_all_branches(&mut kernel, None, &config).expect("optimization succeeds");
+    WorkloadRun {
+        seconds: start.elapsed().as_secs_f64(),
+        regions: kernel.sync_events(),
+        log_likelihood,
+    }
+}
+
+/// Best-of-`reps` wall clock for one configuration (minimum is the standard
+/// noise-robust estimator for deterministic workloads; the headroom between
+/// the measured ≈1.6x and the 1.3x gate absorbs the residual CI jitter).
+fn best_of(ds: &GeneratedDataset, shared_tables: bool, reps: usize) -> WorkloadRun {
+    (0..reps)
+        .map(|_| run_workload(ds, shared_tables))
+        .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
+        .expect("at least one rep")
+}
+
+/// Measured seconds of likelihood work per pattern for one partition:
+/// repeated single-partition evaluations from cold CLVs on the tabled
+/// sequential engine.
+fn seconds_per_pattern(kernel: &mut SequentialKernel, partition: usize, reps: usize) -> f64 {
+    let root = kernel.default_root_branch();
+    let mask = kernel.single_mask(partition);
+    let patterns = kernel.patterns().partitions[partition].pattern_count();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        kernel.invalidate_all();
+        let start = Instant::now();
+        let _ = kernel
+            .try_log_likelihood_partitions(root, &mask)
+            .expect("sequential evaluation succeeds");
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best / patterns as f64
+}
+
+fn main() {
+    let dataset = default_mixed_dataset();
+    println!(
+        "dataset: {} ({} taxa, {} partitions, {} patterns)\n",
+        dataset.spec.name,
+        dataset.spec.taxa,
+        dataset.spec.partition_count(),
+        dataset.total_patterns()
+    );
+    let mut violations = 0usize;
+
+    // 1. Agreement: shared tables vs per-call reference, per-partition lnL.
+    let models = ModelSet::default_for(&dataset.patterns, BranchLengthMode::PerPartition);
+    let mut tabled = SequentialKernel::build(
+        Arc::clone(&dataset.patterns),
+        dataset.tree.clone(),
+        models.clone(),
+    );
+    let mut reference =
+        SequentialKernel::build(Arc::clone(&dataset.patterns), dataset.tree.clone(), models);
+    reference.set_shared_tables(false);
+    let mask = tabled.full_mask();
+    let root = tabled.default_root_branch();
+    let a = tabled
+        .try_log_likelihood_partitions(root, &mask)
+        .expect("tabled evaluation");
+    let r = reference
+        .try_log_likelihood_partitions(root, &mask)
+        .expect("reference evaluation");
+    let agreement: f64 = a
+        .iter()
+        .zip(r.iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max);
+    println!(
+        "agreement: max per-partition |Δ lnL| = {agreement:.3e} (gate ≤ {AGREEMENT_GATE:.0e})"
+    );
+    if agreement.is_nan() || agreement > AGREEMENT_GATE {
+        eprintln!("REGRESSION: table kernels disagree with the per-call reference");
+        violations += 1;
+    }
+
+    // 2. Per-region throughput on 16 virtual workers.
+    let with_tables = best_of(&dataset, true, 5);
+    let per_call = best_of(&dataset, false, 5);
+    assert_eq!(
+        with_tables.regions, per_call.regions,
+        "identical workloads must issue identical region counts"
+    );
+    let lnl_gap = (with_tables.log_likelihood - per_call.log_likelihood).abs();
+    let ratio = per_call.seconds / with_tables.seconds;
+    println!(
+        "\nthroughput ({} virtual workers, {} regions):",
+        VIRTUAL_WORKERS, per_call.regions
+    );
+    println!(
+        "  per-call   {:>8.3} s  ({:.1} regions/s)",
+        per_call.seconds,
+        per_call.regions as f64 / per_call.seconds
+    );
+    println!(
+        "  shared     {:>8.3} s  ({:.1} regions/s)",
+        with_tables.seconds,
+        with_tables.regions as f64 / with_tables.seconds
+    );
+    println!("  ratio      {ratio:>8.2}x  (gate ≥ {THROUGHPUT_GATE}x)   |Δ lnL| = {lnl_gap:.2e}");
+    if ratio.is_nan() || ratio < THROUGHPUT_GATE {
+        eprintln!(
+            "REGRESSION: shared tables only {ratio:.2}x faster than per-call \
+             (gate {THROUGHPUT_GATE}x)"
+        );
+        violations += 1;
+    }
+    if lnl_gap.is_nan() || lnl_gap > 1e-8 {
+        eprintln!("REGRESSION: the two paths optimized to different likelihoods");
+        violations += 1;
+    }
+
+    // 3. Measured per-pattern cost calibration under the tabled kernel.
+    let (dna_partition, protein_partition) = (0usize, dataset.spec.partition_count() - 1);
+    let dna = seconds_per_pattern(&mut tabled, dna_partition, 3);
+    let protein = seconds_per_pattern(&mut tabled, protein_partition, 3);
+    let calibration = CostCalibration {
+        dna_seconds_per_pattern: dna,
+        protein_seconds_per_pattern: protein,
+    };
+    let categories = 4;
+    println!("\ncost calibration (measured, tabled kernel):");
+    println!("  DNA      {:.3e} s/pattern", dna);
+    println!("  protein  {:.3e} s/pattern", protein);
+    println!(
+        "  ratio    {:.1}  (analytic tabled {:.1}, per-call was {:.1}; model error {:.0}%)",
+        calibration.ratio(),
+        CostCalibration::analytic_ratio_tabled(categories),
+        CostCalibration::analytic_ratio_per_call(categories),
+        calibration.tabled_model_error(categories) * 100.0
+    );
+    let measured_ratio = calibration.ratio();
+    if measured_ratio.is_nan() || measured_ratio <= 1.0 {
+        eprintln!("REGRESSION: protein patterns must measure costlier than DNA");
+        violations += 1;
+    }
+
+    // 4. Zero drift through the mask-aware/adaptive rescheduling runs (the
+    // engines in there run with shared tables — the default).
+    let staggered = staggered_convergence_dataset_local();
+    let comparison =
+        compare_mask_resched(&staggered, 16).expect("virtual executors cannot lose workers");
+    let mut worst_drift = 0.0f64;
+    for run in &comparison.runs {
+        if run.max_lnl_drift.is_nan() || run.max_lnl_drift > DRIFT_GATE {
+            eprintln!(
+                "REGRESSION: {} drifted the log likelihood by {:.2e} across migrations",
+                run.label, run.max_lnl_drift
+            );
+            violations += 1;
+        }
+        worst_drift = worst_drift.max(run.max_lnl_drift);
+    }
+    println!("\nrescheduling drift (tables on): max |Δ lnL| = {worst_drift:.2e} (gate ≤ {DRIFT_GATE:.0e})");
+
+    // Emit the trajectory record.
+    let json = format!(
+        "{{\n  \"dataset\": \"{}\",\n  \"virtual_workers\": {},\n  \"regions\": {},\n  \
+         \"per_call_seconds\": {:.6},\n  \"shared_tables_seconds\": {:.6},\n  \
+         \"throughput_ratio\": {:.4},\n  \"agreement_max_abs_dlnl\": {:.3e},\n  \
+         \"measured_cost_ratio\": {:.4},\n  \"analytic_tabled_ratio\": {:.4},\n  \
+         \"analytic_per_call_ratio\": {:.4},\n  \"resched_max_drift\": {:.3e}\n}}\n",
+        dataset.spec.name,
+        VIRTUAL_WORKERS,
+        per_call.regions,
+        per_call.seconds,
+        with_tables.seconds,
+        ratio,
+        agreement,
+        calibration.ratio(),
+        CostCalibration::analytic_ratio_tabled(categories),
+        CostCalibration::analytic_ratio_per_call(categories),
+        worst_drift,
+    );
+    let path = "BENCH_kernel_tables.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// The staggered-convergence dataset of the `mask_resched` report, reused
+/// here so the drift gate covers the exact runs the rescheduling yardstick
+/// measures.
+fn staggered_convergence_dataset_local() -> GeneratedDataset {
+    phylo_bench::scheduling::staggered_convergence_dataset(2026)
+}

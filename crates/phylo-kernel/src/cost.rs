@@ -17,6 +17,24 @@ pub fn newview_flops(states: usize, categories: usize) -> f64 {
     (categories * states * (4 * states + 1)) as f64
 }
 
+/// Floating-point operations for one `newview` pattern under the
+/// **shared-table kernel** (see [`crate::tables`]): internal children still
+/// cost an inner product of length `states` per (category, state), but tip
+/// children collapse to a single precomputed lookup. In an unrooted binary
+/// tree with `n` taxa the traversal's `n − 2` steps have `2(n − 2)` child
+/// slots of which `n` are tips, so the expected child mix is ≈ half tips —
+/// per (category, state): `2·(2·states + 1)/2` for the two children plus one
+/// multiply, i.e. `2·states + 2`.
+///
+/// This is the *recalibrated* analytic cost the schedulers should pack
+/// against when the engine runs with shared tables: the protein/DNA ratio
+/// drops from `(4·20+1)/(4·4+1) · 5 ≈ 23.8` to `(2·20+2)/(2·4+2) · 5 = 21`
+/// because tip lookups flatten the per-state gap (`phylo-perfmodel`'s
+/// `CostCalibration` checks this against measured per-pattern costs).
+pub fn newview_flops_tabled(states: usize, categories: usize) -> f64 {
+    (categories * states * (2 * states + 2)) as f64
+}
+
 /// Floating-point operations for one `evaluate` pattern at the virtual root.
 pub fn evaluate_flops(states: usize, categories: usize) -> f64 {
     (categories * states * (2 * states + 3)) as f64

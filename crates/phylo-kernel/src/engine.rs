@@ -24,6 +24,7 @@
 //! `log_likelihood` & co. — were deleted one release after their
 //! deprecation, as promised.)
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use phylo_data::PartitionedPatterns;
@@ -35,6 +36,9 @@ use crate::branch_lengths::BranchLengths;
 use crate::error::KernelError;
 use crate::executor::{ExecContext, Executor, KernelOp, PartitionMask, SequentialExecutor};
 use crate::ops::EdgeDerivatives;
+use crate::tables::{
+    validate_branch_length, BranchTables, EdgeTables, MaskDictionary, NewviewTables, StepTables,
+};
 use crate::validity::ClvValidity;
 
 /// Counters describing how much work the engine has issued.
@@ -50,6 +54,57 @@ pub struct KernelStats {
     pub derivative_calls: u64,
     /// Number of SPR moves applied.
     pub spr_moves: u64,
+    /// Shared branch tables computed by the master (cache misses); lookups
+    /// served from the cache are free and not counted.
+    pub table_builds: u64,
+}
+
+/// The master-side store of shared per-branch tables: one
+/// [`MaskDictionary`] per partition (fixed for the dataset's lifetime) and a
+/// `(partition, branch) → Arc<BranchTables>` cache, invalidated whenever the
+/// branch's length or the partition's model changes (and wholesale on
+/// topology changes). See [`crate::tables`] for what the tables hold.
+#[derive(Debug, Clone)]
+struct TableStore {
+    enabled: bool,
+    dicts: Vec<Arc<MaskDictionary>>,
+    cache: HashMap<(usize, BranchId), Arc<BranchTables>>,
+}
+
+impl TableStore {
+    fn new(patterns: &PartitionedPatterns) -> Self {
+        let dicts = patterns
+            .partitions
+            .iter()
+            .map(|p| Arc::new(MaskDictionary::for_partition(p.data_type, &p.tip_states)))
+            .collect();
+        Self {
+            enabled: true,
+            dicts,
+            cache: HashMap::new(),
+        }
+    }
+
+    fn invalidate_branch(&mut self, partitions: usize, partition: Option<usize>, branch: BranchId) {
+        match partition {
+            Some(p) => {
+                self.cache.remove(&(p, branch));
+            }
+            None => {
+                for p in 0..partitions {
+                    self.cache.remove(&(p, branch));
+                }
+            }
+        }
+    }
+
+    fn invalidate_partition(&mut self, partition: usize) {
+        self.cache.retain(|&(p, _), _| p != partition);
+    }
+
+    fn clear(&mut self) {
+        self.cache.clear();
+    }
 }
 
 /// Scope of a branch-length update.
@@ -78,6 +133,7 @@ pub struct MasterData {
     models: ModelSet,
     branch_lengths: BranchLengths,
     validity: ClvValidity,
+    tables: TableStore,
 }
 
 /// The likelihood engine: master state plus an execution backend.
@@ -132,6 +188,7 @@ impl<E: Executor> LikelihoodKernel<E> {
         }
         let branch_lengths = BranchLengths::from_tree(&tree, models.len(), models.branch_mode());
         let validity = ClvValidity::new(models.len(), tree.node_capacity());
+        let tables = TableStore::new(&patterns);
         Ok(Self {
             data: MasterData {
                 patterns,
@@ -139,6 +196,7 @@ impl<E: Executor> LikelihoodKernel<E> {
                 models,
                 branch_lengths,
                 validity,
+                tables,
             },
             executor,
             stats: KernelStats::default(),
@@ -231,6 +289,100 @@ impl<E: Executor> LikelihoodKernel<E> {
         self.data.tree.neighbors(0)[0].1
     }
 
+    /// Whether commands carry shared per-branch tables (the default) or take
+    /// the per-call reference path.
+    pub fn shared_tables(&self) -> bool {
+        self.data.tables.enabled
+    }
+
+    /// Switches between the shared-table kernels and the per-call reference
+    /// path. Results are identical bit for bit; the reference path exists as
+    /// the property-tested ground truth and the baseline of the
+    /// `kernel_tables` benchmark gate.
+    pub fn set_shared_tables(&mut self, enabled: bool) {
+        self.data.tables.enabled = enabled;
+        if !enabled {
+            self.data.tables.clear();
+        }
+    }
+
+    /// Number of `(partition, branch)` table entries currently cached by the
+    /// master (diagnostics; exercised by the invalidation tests).
+    pub fn cached_branch_tables(&self) -> usize {
+        self.data.tables.cache.len()
+    }
+
+    /// The shared tables of one `(partition, branch)`: served from the cache
+    /// or computed (and cached) by the master. This is the "computed once,
+    /// shared read-only" half of the tentpole: workers never build tables.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::Op`] with
+    /// [`crate::error::OpError::InvalidBranchLength`] when the stored length
+    /// of the branch is outside the kernel's domain.
+    fn branch_tables(
+        &mut self,
+        partition: usize,
+        branch: BranchId,
+    ) -> Result<Arc<BranchTables>, KernelError> {
+        if let Some(t) = self.data.tables.cache.get(&(partition, branch)) {
+            return Ok(Arc::clone(t));
+        }
+        let length = self.data.branch_lengths.get(partition, branch);
+        let tables = Arc::new(BranchTables::build(
+            self.data.models.model(partition),
+            &self.data.tables.dicts[partition],
+            length,
+        )?);
+        self.stats.table_builds += 1;
+        self.data
+            .tables
+            .cache
+            .insert((partition, branch), Arc::clone(&tables));
+        Ok(tables)
+    }
+
+    /// Assembles the shared-table payload for a `Newview` command.
+    fn newview_tables(
+        &mut self,
+        plans: &[Option<TraversalPlan>],
+    ) -> Result<Arc<NewviewTables>, KernelError> {
+        let mut per_partition = Vec::with_capacity(plans.len());
+        for (pi, plan) in plans.iter().enumerate() {
+            let Some(plan) = plan else {
+                per_partition.push(None);
+                continue;
+            };
+            let mut steps = Vec::with_capacity(plan.steps.len());
+            for step in &plan.steps {
+                steps.push(StepTables {
+                    left: self.branch_tables(pi, step.left_branch)?,
+                    right: self.branch_tables(pi, step.right_branch)?,
+                });
+            }
+            per_partition.push(Some(steps));
+        }
+        Ok(Arc::new(NewviewTables { per_partition }))
+    }
+
+    /// Assembles the shared-table payload for an `Evaluate` command.
+    fn edge_tables(
+        &mut self,
+        root_branch: BranchId,
+        mask: &PartitionMask,
+    ) -> Result<Arc<EdgeTables>, KernelError> {
+        let mut per_partition = Vec::with_capacity(mask.len());
+        for (pi, active) in mask.iter().enumerate() {
+            if *active {
+                per_partition.push(Some(self.branch_tables(pi, root_branch)?));
+            } else {
+                per_partition.push(None);
+            }
+        }
+        Ok(Arc::new(EdgeTables { per_partition }))
+    }
+
     /// Brings the CLVs needed for an evaluation rooted on `root_branch` up to
     /// date for the masked partitions. Returns the number of CLV updates that
     /// were necessary (0 when everything was already valid — the partial
@@ -264,8 +416,14 @@ impl<E: Executor> LikelihoodKernel<E> {
         if updates == 0 {
             return Ok(0);
         }
+        let tables = if self.data.tables.enabled {
+            Some(self.newview_tables(&plans)?)
+        } else {
+            None
+        };
         let op = KernelOp::Newview {
             plans: plans.clone(),
+            tables,
         };
         let ctx = ExecContext {
             tree: &self.data.tree,
@@ -298,9 +456,15 @@ impl<E: Executor> LikelihoodKernel<E> {
         mask: &PartitionMask,
     ) -> Result<Vec<f64>, KernelError> {
         self.try_update_clvs(root_branch, mask)?;
+        let tables = if self.data.tables.enabled {
+            Some(self.edge_tables(root_branch, mask)?)
+        } else {
+            None
+        };
         let op = KernelOp::Evaluate {
             root_branch,
             mask: mask.clone(),
+            tables,
         };
         let ctx = ExecContext {
             tree: &self.data.tree,
@@ -337,22 +501,27 @@ impl<E: Executor> LikelihoodKernel<E> {
     }
 
     /// Sets a branch length and invalidates exactly the CLVs whose subtrees
-    /// contain the branch.
+    /// contain the branch (and the branch's cached shared tables).
     pub fn set_branch_length(&mut self, scope: BranchScope, branch: BranchId, value: f64) {
+        let partitions = self.partition_count();
         match (scope, self.data.models.branch_mode()) {
             (BranchScope::Partition(p), BranchLengthMode::PerPartition) => {
                 self.data.branch_lengths.set(p, branch, value);
                 self.data
                     .validity
                     .branch_length_changed(&self.data.tree, p, branch);
+                self.data
+                    .tables
+                    .invalidate_branch(partitions, Some(p), branch);
             }
             _ => {
                 self.data.branch_lengths.set_all(branch, value);
-                for p in 0..self.partition_count() {
+                for p in 0..partitions {
                     self.data
                         .validity
                         .branch_length_changed(&self.data.tree, p, branch);
                 }
+                self.data.tables.invalidate_branch(partitions, None, branch);
             }
         }
     }
@@ -367,6 +536,7 @@ impl<E: Executor> LikelihoodKernel<E> {
     pub fn set_alpha(&mut self, partition: usize, alpha: f64) {
         self.data.models.model_mut(partition).set_alpha(alpha);
         self.data.validity.invalidate_partition(partition);
+        self.data.tables.invalidate_partition(partition);
     }
 
     /// Current α of a partition.
@@ -388,6 +558,7 @@ impl<E: Executor> LikelihoodKernel<E> {
             .model_mut(partition)
             .set_substitution(updated);
         self.data.validity.invalidate_partition(partition);
+        self.data.tables.invalidate_partition(partition);
     }
 
     /// Current exchangeability `index` of a partition.
@@ -432,8 +603,10 @@ impl<E: Executor> LikelihoodKernel<E> {
     /// # Errors
     ///
     /// [`KernelError::PartitionCountMismatch`] when `lengths` does not cover
-    /// every partition, [`KernelError::Exec`] when the execution backend
-    /// fails.
+    /// every partition, [`KernelError::Op`] with
+    /// [`crate::error::OpError::InvalidBranchLength`] for a negative or
+    /// non-finite candidate length, [`KernelError::Exec`] when the execution
+    /// backend fails.
     pub fn try_branch_derivatives(
         &mut self,
         lengths: &[Option<f64>],
@@ -443,6 +616,11 @@ impl<E: Executor> LikelihoodKernel<E> {
                 expected: self.partition_count(),
                 got: lengths.len(),
             });
+        }
+        // The kernel-boundary domain check: a Brent/Newton probe must never
+        // smuggle a negative or non-finite candidate into the exponentials.
+        for t in lengths.iter().flatten() {
+            validate_branch_length(*t)?;
         }
         let op = KernelOp::Derivatives {
             lengths: lengths.to_vec(),
@@ -490,6 +668,10 @@ impl<E: Executor> LikelihoodKernel<E> {
             &undo.affected_nodes,
             mv.target_branch,
         );
+        // The move merged, halved and re-used branch lengths; dropping the
+        // whole table cache is cheap next to the CLV recomputation the move
+        // forces anyway.
+        self.data.tables.clear();
         self.stats.spr_moves += 1;
         Ok(SprApplication {
             undo,
@@ -511,6 +693,7 @@ impl<E: Executor> LikelihoodKernel<E> {
             &application.undo.affected_nodes,
             application.undo.merged_branch(),
         );
+        self.data.tables.clear();
     }
 
     /// The three branches incident to the insertion point of an applied SPR
@@ -519,10 +702,12 @@ impl<E: Executor> LikelihoodKernel<E> {
         application.undo.inserted_branches
     }
 
-    /// Invalidates every cached CLV (used by tests and after wholesale model
-    /// replacement).
+    /// Invalidates every cached CLV and every cached shared branch table
+    /// (used by tests, after wholesale model replacement, and after a
+    /// reassignment rebuilt the workers).
     pub fn invalidate_all(&mut self) {
         self.data.validity.invalidate_all();
+        self.data.tables.clear();
     }
 
     /// Number of currently valid CLVs of a partition (diagnostics).
@@ -765,6 +950,133 @@ mod tests {
             any_changed,
             "at least one SPR move must change the likelihood"
         );
+    }
+
+    #[test]
+    fn shared_tables_match_the_per_call_reference_bit_for_bit() {
+        let (pp, tree) = small_dataset(8, 80, 20, 21);
+        let models = ModelSet::default_for(&pp, BranchLengthMode::PerPartition);
+        let mut tabled = SequentialKernel::build(Arc::clone(&pp), tree.clone(), models.clone());
+        let mut reference = SequentialKernel::build(pp, tree, models);
+        assert!(tabled.shared_tables(), "tables are the default");
+        reference.set_shared_tables(false);
+
+        for b in tabled.tree().branches().collect::<Vec<_>>() {
+            let mask = tabled.full_mask();
+            let a = tabled.try_log_likelihood_partitions(b, &mask).unwrap();
+            let r = reference.try_log_likelihood_partitions(b, &mask).unwrap();
+            // Identical arithmetic in identical order: exactly equal, not
+            // just within tolerance.
+            assert_eq!(a, r, "branch {b}");
+        }
+        assert!(tabled.stats().table_builds > 0);
+        assert_eq!(reference.stats().table_builds, 0);
+    }
+
+    #[test]
+    fn table_cache_reuses_and_invalidates() {
+        let mut k = engine(8, 60, 20, BranchLengthMode::Joint, 22);
+        let _ = k.try_log_likelihood().unwrap();
+        let after_first = k.stats().table_builds;
+        assert!(after_first > 0);
+        assert!(k.cached_branch_tables() > 0);
+
+        // A second evaluation at the same state is served from the cache.
+        let _ = k.try_log_likelihood().unwrap();
+        assert_eq!(k.stats().table_builds, after_first);
+
+        // Changing one branch length drops exactly that branch's entries.
+        let cached = k.cached_branch_tables();
+        let victim = k.tree().internal_branches()[0];
+        k.set_branch_length(BranchScope::All, victim, 0.42);
+        assert!(k.cached_branch_tables() < cached);
+        let _ = k.try_log_likelihood().unwrap();
+        assert!(k.stats().table_builds > after_first);
+
+        // Disabling the tables clears the cache and stops building.
+        let builds = k.stats().table_builds;
+        k.set_shared_tables(false);
+        assert_eq!(k.cached_branch_tables(), 0);
+        k.invalidate_all();
+        let _ = k.try_log_likelihood().unwrap();
+        assert_eq!(k.stats().table_builds, builds);
+    }
+
+    #[test]
+    fn alpha_change_invalidates_only_its_partitions_tables() {
+        let mut k = engine(6, 40, 20, BranchLengthMode::Joint, 23);
+        let _ = k.try_log_likelihood().unwrap();
+        let total = k.cached_branch_tables();
+        assert!(total > 0);
+        k.set_alpha(0, 0.5);
+        // Partition 0's entries are gone, the other partition's remain.
+        let remaining = k.cached_branch_tables();
+        assert!(remaining > 0 && remaining < total, "{remaining} of {total}");
+    }
+
+    #[test]
+    fn spr_clears_the_table_cache() {
+        let mut k = engine(10, 60, 30, BranchLengthMode::PerPartition, 24);
+        let _ = k.try_log_likelihood().unwrap();
+        assert!(k.cached_branch_tables() > 0);
+        let tree = k.tree().clone();
+        let mut chosen = None;
+        'outer: for p in tree.internal_nodes() {
+            for &(s, _) in tree.neighbors(p) {
+                if let Some(&mv) = spr::candidate_moves(&tree, p, s, 5).first() {
+                    chosen = Some(mv);
+                    break 'outer;
+                }
+            }
+        }
+        let app = k.apply_spr(chosen.unwrap()).unwrap();
+        assert_eq!(k.cached_branch_tables(), 0);
+        let _ = k.try_log_likelihood().unwrap();
+        assert!(k.cached_branch_tables() > 0);
+        k.undo_spr(&app);
+        assert_eq!(k.cached_branch_tables(), 0);
+    }
+
+    #[test]
+    fn candidate_branch_lengths_are_validated_at_the_kernel_boundary() {
+        use crate::error::OpError;
+        let mut k = engine(6, 40, 20, BranchLengthMode::PerPartition, 25);
+        let branch = k.tree().internal_branches()[0];
+        let mask = k.full_mask();
+        k.try_prepare_branch(branch, &mask).unwrap();
+        for bad in [-0.25, f64::NAN, f64::INFINITY] {
+            let mut lengths: Vec<Option<f64>> = vec![Some(0.1); k.partition_count()];
+            lengths[1] = Some(bad);
+            let err = k.try_branch_derivatives(&lengths).unwrap_err();
+            assert!(
+                matches!(err, KernelError::Op(OpError::InvalidBranchLength { .. })),
+                "{bad}: {err:?}"
+            );
+        }
+        // The engine is not poisoned by the rejection: valid probes still work.
+        let lengths: Vec<Option<f64>> = vec![Some(0.1); k.partition_count()];
+        assert!(k.try_branch_derivatives(&lengths).is_ok());
+    }
+
+    #[test]
+    fn derivatives_without_a_sumtable_fail_as_typed_stale_errors() {
+        use crate::error::OpError;
+        let mut k = engine(6, 40, 20, BranchLengthMode::Joint, 26);
+        // CLVs exist, but no sum table was ever built: the release-mode
+        // soundness hole used to be a debug_assert (silent in release).
+        let _ = k.try_log_likelihood().unwrap();
+        let lengths: Vec<Option<f64>> = vec![Some(0.1); k.partition_count()];
+        let err = k.try_branch_derivatives(&lengths).unwrap_err();
+        assert!(
+            matches!(err, KernelError::Op(OpError::SumtableStale { .. })),
+            "{err:?}"
+        );
+        assert_eq!(err.failed_worker(), None, "not a worker fault");
+        // Building the table recovers without any executor surgery.
+        let branch = k.tree().internal_branches()[0];
+        let mask = k.full_mask();
+        k.try_prepare_branch(branch, &mask).unwrap();
+        assert!(k.try_branch_derivatives(&lengths).is_ok());
     }
 
     #[test]

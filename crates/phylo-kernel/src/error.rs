@@ -11,12 +11,162 @@ use phylo_tree::TreeError;
 
 use crate::executor::ExecError;
 
+/// Why a slice-level kernel primitive refused to run.
+///
+/// These are the *release-mode* guards of the numerical core: buffer shapes
+/// and branch-length domains used to be checked with `debug_assert!` only, so
+/// a release build would silently index mismatched CLV/scale/sumtable buffers
+/// (e.g. a sum table left over from before a mid-round pattern migration
+/// changed the local pattern count) or exponentiate a non-finite branch
+/// length into NaN likelihoods. They now fail as typed values on every build
+/// profile. An [`OpError`] is deterministic master-state misuse, not a worker
+/// fault: executors surface it without poisoning themselves, and
+/// [`KernelError::failed_worker`] reports `None` so drivers do not try to
+/// "recover" by rebuilding healthy workers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OpError {
+    /// A slice and its buffers disagree about the local pattern count (the
+    /// mid-run migration hazard: stale buffers paired with migrated slices).
+    SliceShape {
+        /// Partition the slice belongs to.
+        partition: usize,
+        /// Local patterns the buffers were allocated for.
+        buffer_patterns: usize,
+        /// Local patterns the slice actually owns.
+        slice_patterns: usize,
+    },
+    /// A CLV handed back to the buffer store has the wrong length.
+    ClvShape {
+        /// Node the CLV belongs to.
+        node: usize,
+        /// Expected length (`patterns × categories × states`).
+        expected: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// A scale-counter vector handed back to the buffer store has the wrong
+    /// length.
+    ScaleShape {
+        /// Node the counters belong to.
+        node: usize,
+        /// Expected length (local pattern count).
+        expected: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// The branch sum table does not match the slice shape — it is missing,
+    /// or stale from before a reassignment changed the local pattern count.
+    /// Rebuild it with `build_sumtable` before asking for derivatives.
+    SumtableStale {
+        /// Expected length (`patterns × categories × states`).
+        expected: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// A branch length outside the kernel's domain (negative, NaN or
+    /// infinite) reached a transition-matrix computation.
+    InvalidBranchLength {
+        /// The offending length.
+        value: f64,
+    },
+    /// A shared-table payload does not cover the op it was attached to (e.g.
+    /// a table list shorter than the traversal plan it should serve).
+    TableShape {
+        /// Partition whose tables are malformed.
+        partition: usize,
+        /// Entries the op needs.
+        expected: usize,
+        /// Entries the payload carries.
+        got: usize,
+    },
+    /// A shared table's dimensions do not match the slice it was applied to
+    /// (e.g. tables built from another partition's model).
+    TableDims {
+        /// Partition the table was applied to.
+        partition: usize,
+        /// States × categories of the table.
+        table: (usize, usize),
+        /// States × categories of the slice's buffers.
+        buffers: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for OpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::SliceShape {
+                partition,
+                buffer_patterns,
+                slice_patterns,
+            } => write!(
+                f,
+                "partition {partition}: buffers sized for {buffer_patterns} local patterns \
+                 but the slice owns {slice_patterns} (stale buffers after a migration?)"
+            ),
+            Self::ClvShape {
+                node,
+                expected,
+                got,
+            } => write!(
+                f,
+                "CLV of node {node} has length {got}, expected {expected}"
+            ),
+            Self::ScaleShape {
+                node,
+                expected,
+                got,
+            } => write!(
+                f,
+                "scale counters of node {node} have length {got}, expected {expected}"
+            ),
+            Self::SumtableStale { expected, got } => write!(
+                f,
+                "branch sum table has length {got}, expected {expected}; \
+                 it is missing or stale (rebuild it with build_sumtable)"
+            ),
+            Self::InvalidBranchLength { value } => write!(
+                f,
+                "branch length {value} is outside the kernel's domain \
+                 (must be finite and non-negative)"
+            ),
+            Self::TableShape {
+                partition,
+                expected,
+                got,
+            } => write!(
+                f,
+                "shared branch tables of partition {partition} carry {got} entries \
+                 but the command needs {expected}"
+            ),
+            Self::TableDims {
+                partition,
+                table,
+                buffers,
+            } => write!(
+                f,
+                "shared branch tables applied to partition {partition} have \
+                 {}×{} states×categories but the buffers expect {}×{} \
+                 (tables built from another partition's model?)",
+                table.0, table.1, buffers.0, buffers.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OpError {}
+
 /// Why a likelihood-engine operation could not complete.
 #[derive(Debug, Clone, PartialEq)]
 pub enum KernelError {
     /// The execution backend failed (a worker died, or the executor is
     /// poisoned by an earlier death).
     Exec(ExecError),
+    /// A slice-level kernel primitive rejected its inputs (mismatched buffer
+    /// shapes, a stale sum table, an out-of-domain branch length) — the
+    /// release-mode soundness guards of the numerical core, surfaced as
+    /// values whether they trip on the master (while building shared tables
+    /// or validating candidate lengths) or inside a worker.
+    Op(OpError),
     /// A tree operation failed (invalid SPR move, malformed topology).
     Tree(TreeError),
     /// A command's reduced output was not of the kind the caller expected —
@@ -65,7 +215,20 @@ impl KernelError {
 
 impl From<ExecError> for KernelError {
     fn from(e: ExecError) -> Self {
-        KernelError::Exec(e)
+        match e {
+            // A kernel-primitive rejection is deterministic master-state
+            // misuse, not a backend failure: flatten it so drivers see one
+            // `KernelError::Op` regardless of which side of the channel the
+            // guard tripped on.
+            ExecError::Op(op) => KernelError::Op(op),
+            other => KernelError::Exec(other),
+        }
+    }
+}
+
+impl From<OpError> for KernelError {
+    fn from(e: OpError) -> Self {
+        KernelError::Op(e)
     }
 }
 
@@ -79,6 +242,7 @@ impl std::fmt::Display for KernelError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::Exec(e) => write!(f, "execution backend failed: {e}"),
+            Self::Op(e) => write!(f, "kernel primitive rejected its inputs: {e}"),
             Self::Tree(e) => write!(f, "tree operation failed: {e}"),
             Self::OutputMismatch { expected, got } => {
                 write!(f, "expected a {expected} output, got {got}")
@@ -103,6 +267,7 @@ impl std::error::Error for KernelError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Exec(e) => Some(e),
+            Self::Op(e) => Some(e),
             Self::Tree(e) => Some(e),
             _ => None,
         }
@@ -145,5 +310,64 @@ mod tests {
         let e = KernelError::from(TreeError::Invalid("bad".into()));
         assert!(matches!(e, KernelError::Tree(_)));
         assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn op_errors_flatten_and_are_not_worker_failures() {
+        let op = OpError::SumtableStale {
+            expected: 96,
+            got: 0,
+        };
+        // Worker-side (through ExecError) and master-side (direct) paths
+        // converge on the same flattened variant.
+        let via_exec = KernelError::from(ExecError::Op(op));
+        let direct = KernelError::from(op);
+        assert_eq!(via_exec, direct);
+        assert!(matches!(via_exec, KernelError::Op(_)));
+        // Deterministic misuse: never recoverable by rebuilding workers.
+        assert_eq!(via_exec.failed_worker(), None);
+        assert!(via_exec.to_string().contains("sum table"));
+    }
+
+    #[test]
+    fn op_errors_render_their_parameters() {
+        let cases: Vec<(OpError, &str)> = vec![
+            (
+                OpError::SliceShape {
+                    partition: 2,
+                    buffer_patterns: 10,
+                    slice_patterns: 7,
+                },
+                "partition 2",
+            ),
+            (
+                OpError::ClvShape {
+                    node: 5,
+                    expected: 48,
+                    got: 12,
+                },
+                "node 5",
+            ),
+            (
+                OpError::ScaleShape {
+                    node: 9,
+                    expected: 3,
+                    got: 4,
+                },
+                "node 9",
+            ),
+            (OpError::InvalidBranchLength { value: -0.5 }, "-0.5"),
+            (
+                OpError::TableShape {
+                    partition: 1,
+                    expected: 4,
+                    got: 2,
+                },
+                "partition 1",
+            ),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
     }
 }

@@ -18,13 +18,16 @@
 //!   the commands sequentially while recording the per-worker work of every
 //!   region, which feeds the platform performance model.
 
+use std::sync::Arc;
+
 use phylo_models::ModelSet;
 use phylo_tree::{BranchId, TraversalPlan, Tree};
 
 use crate::branch_lengths::BranchLengths;
-use crate::error::KernelError;
+use crate::error::{KernelError, OpError};
 use crate::ops::{self, EdgeDerivatives};
 use crate::slice::WorkerSlices;
+use crate::tables::{EdgeTables, NewviewTables};
 
 /// Which partitions participate in a command. `mask[p] == true` means
 /// partition `p` is active. The `newPAR` scheme keeps many partitions active
@@ -32,6 +35,13 @@ use crate::slice::WorkerSlices;
 pub type PartitionMask = Vec<bool>;
 
 /// A command broadcast by the master to all workers.
+///
+/// The CLV-touching commands optionally carry **shared branch tables**
+/// (master-precomputed transition matrices + tip lookup rows, see
+/// [`crate::tables`]) inside an `Arc`: every worker then reads the same
+/// read-only tables instead of redoing the O(states³·categories) eigen work
+/// per call. `None` selects the per-call reference path; results are
+/// identical bit for bit either way.
 #[derive(Debug, Clone)]
 pub enum KernelOp {
     /// Recompute CLVs following a per-partition traversal plan (`None` means
@@ -39,6 +49,9 @@ pub enum KernelOp {
     Newview {
         /// One optional plan per partition.
         plans: Vec<Option<TraversalPlan>>,
+        /// Shared per-step branch tables (aligned with the plans), or `None`
+        /// for the per-call reference path.
+        tables: Option<Arc<NewviewTables>>,
     },
     /// Evaluate the per-partition log likelihood at a virtual root branch.
     Evaluate {
@@ -46,6 +59,9 @@ pub enum KernelOp {
         root_branch: BranchId,
         /// Active partitions.
         mask: PartitionMask,
+        /// Shared virtual-root branch tables per partition, or `None` for
+        /// the per-call reference path.
+        tables: Option<Arc<EdgeTables>>,
     },
     /// Build the branch sum tables used by Newton–Raphson.
     Sumtable {
@@ -82,7 +98,7 @@ impl KernelOp {
     /// mask-aware rescheduler can see how the live pattern set shrinks.
     pub fn active_partitions(&self) -> PartitionMask {
         match self {
-            KernelOp::Newview { plans } => plans.iter().map(Option::is_some).collect(),
+            KernelOp::Newview { plans, .. } => plans.iter().map(Option::is_some).collect(),
             KernelOp::Evaluate { mask, .. } | KernelOp::Sumtable { mask, .. } => mask.clone(),
             KernelOp::Derivatives { lengths } => lengths.iter().map(Option::is_some).collect(),
         }
@@ -96,7 +112,7 @@ impl KernelOp {
 /// [`execute_on_worker`] and therefore not counted.
 pub fn active_local_patterns(worker: &WorkerSlices, op: &KernelOp) -> usize {
     match op {
-        KernelOp::Newview { plans } => plans
+        KernelOp::Newview { plans, .. } => plans
             .iter()
             .enumerate()
             .filter_map(|(pi, plan)| {
@@ -190,7 +206,7 @@ impl OpOutput {
 /// `expect("worker thread terminated unexpectedly")` that killed the master
 /// thread; backends now surface the failure as a value so callers can tear
 /// down cleanly (or rebuild the workers via reassignment).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ExecError {
     /// A worker thread panicked (or its channel disconnected) while executing
     /// the current command.
@@ -204,6 +220,12 @@ pub enum ExecError {
         /// Index of the worker whose death poisoned the executor.
         worker: usize,
     },
+    /// A kernel primitive rejected the command's inputs (mismatched buffer
+    /// shapes, a stale sum table, an out-of-domain branch length). Unlike a
+    /// worker death this is deterministic master-state misuse: the workers
+    /// stay healthy, the executor is **not** poisoned, and
+    /// `KernelError::from` flattens it to `KernelError::Op`.
+    Op(OpError),
 }
 
 impl std::fmt::Display for ExecError {
@@ -216,11 +238,18 @@ impl std::fmt::Display for ExecError {
                 f,
                 "executor is poisoned by the earlier death of worker {worker}"
             ),
+            Self::Op(e) => write!(f, "kernel primitive rejected the command: {e}"),
         }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+impl From<OpError> for ExecError {
+    fn from(e: OpError) -> Self {
+        ExecError::Op(e)
+    }
+}
 
 /// The master/worker execution backend.
 ///
@@ -250,37 +279,85 @@ pub trait Executor {
 /// Executes one command against a single worker's slices. This is the shared
 /// building block: the sequential executor calls it once, the threaded and
 /// tracing executors call it per worker.
+///
+/// Commands carrying shared [`crate::tables::BranchTables`] take the
+/// table-based kernel path; commands without take the per-call reference
+/// path. Results are identical.
+///
+/// # Errors
+///
+/// [`OpError`] when a kernel primitive rejects its inputs (mismatched buffer
+/// shapes, a stale sum table, an out-of-domain branch length, a table
+/// payload that does not cover the command).
 pub fn execute_on_worker(
     worker: &mut WorkerSlices,
     op: &KernelOp,
     ctx: &ExecContext<'_>,
-) -> OpOutput {
+) -> Result<OpOutput, OpError> {
     let partitions = worker.slices.len();
     match op {
-        KernelOp::Newview { plans } => {
+        KernelOp::Newview { plans, tables } => {
             for (pi, plan) in plans.iter().enumerate() {
                 let Some(plan) = plan else { continue };
                 let slice = &worker.slices[pi];
                 if slice.pattern_count() == 0 {
                     continue;
                 }
+                let step_tables = match tables.as_deref() {
+                    Some(t) => {
+                        // `.get` guards payloads shorter than the partition
+                        // count: a malformed payload must be a typed error,
+                        // not an index panic that kills (and poisons) a
+                        // healthy worker.
+                        let steps = t
+                            .per_partition
+                            .get(pi)
+                            .and_then(|s| s.as_deref())
+                            .unwrap_or(&[]);
+                        if steps.len() != plan.steps.len() {
+                            return Err(OpError::TableShape {
+                                partition: pi,
+                                expected: plan.steps.len(),
+                                got: steps.len(),
+                            });
+                        }
+                        Some(steps)
+                    }
+                    None => None,
+                };
                 let model = ctx.models.model(pi);
-                for step in &plan.steps {
-                    let left_len = ctx.branch_lengths.get(pi, step.left_branch);
-                    let right_len = ctx.branch_lengths.get(pi, step.right_branch);
-                    ops::newview_step(
-                        slice,
-                        &mut worker.buffers[pi],
-                        model,
-                        step,
-                        left_len,
-                        right_len,
-                    );
+                for (si, step) in plan.steps.iter().enumerate() {
+                    match step_tables {
+                        Some(steps) => {
+                            ops::newview_step_tabled(
+                                slice,
+                                &mut worker.buffers[pi],
+                                step,
+                                &steps[si],
+                            )?;
+                        }
+                        None => {
+                            let left_len = ctx.branch_lengths.get(pi, step.left_branch);
+                            let right_len = ctx.branch_lengths.get(pi, step.right_branch);
+                            ops::newview_step(
+                                slice,
+                                &mut worker.buffers[pi],
+                                model,
+                                step,
+                                left_len,
+                                right_len,
+                            )?;
+                        }
+                    }
                 }
             }
-            OpOutput::None
+            Ok(OpOutput::None)
         }
-        KernelOp::Evaluate { root_branch, mask } => {
+        KernelOp::Evaluate {
+            root_branch,
+            mask,
+            tables,
+        } => {
             let (left, right) = ctx.tree.branch_endpoints(*root_branch);
             let mut out = vec![0.0; partitions];
             for pi in 0..partitions {
@@ -288,17 +365,42 @@ pub fn execute_on_worker(
                     continue;
                 }
                 let model = ctx.models.model(pi);
-                let len = ctx.branch_lengths.get(pi, *root_branch);
-                out[pi] = ops::evaluate_edge(
-                    &worker.slices[pi],
-                    &worker.buffers[pi],
-                    model,
-                    left,
-                    right,
-                    len,
-                );
+                out[pi] = match tables.as_deref() {
+                    Some(t) => {
+                        // A table payload must cover every active partition;
+                        // a hole is a typed error (matching the Newview
+                        // contract), never an index panic or a silent
+                        // fall-back that would skew the analytic traces.
+                        let Some(edge) = t.per_partition.get(pi).and_then(|e| e.as_deref()) else {
+                            return Err(OpError::TableShape {
+                                partition: pi,
+                                expected: 1,
+                                got: 0,
+                            });
+                        };
+                        ops::evaluate_edge_tabled(
+                            &worker.slices[pi],
+                            &worker.buffers[pi],
+                            model,
+                            left,
+                            right,
+                            edge,
+                        )?
+                    }
+                    None => {
+                        let len = ctx.branch_lengths.get(pi, *root_branch);
+                        ops::evaluate_edge(
+                            &worker.slices[pi],
+                            &worker.buffers[pi],
+                            model,
+                            left,
+                            right,
+                            len,
+                        )?
+                    }
+                };
             }
-            OpOutput::LogLikelihoods(out)
+            Ok(OpOutput::LogLikelihoods(out))
         }
         KernelOp::Sumtable { branch, mask } => {
             let (left, right) = ctx.tree.branch_endpoints(*branch);
@@ -313,9 +415,9 @@ pub fn execute_on_worker(
                     model,
                     left,
                     right,
-                );
+                )?;
             }
-            OpOutput::None
+            Ok(OpOutput::None)
         }
         KernelOp::Derivatives { lengths } => {
             let mut out = vec![None; partitions];
@@ -333,9 +435,9 @@ pub fn execute_on_worker(
                     &worker.buffers[pi],
                     model,
                     t,
-                ));
+                )?);
             }
-            OpOutput::Derivatives(out)
+            Ok(OpOutput::Derivatives(out))
         }
     }
 }
@@ -401,7 +503,7 @@ impl Executor for SequentialExecutor {
 
     fn execute(&mut self, op: &KernelOp, ctx: &ExecContext<'_>) -> Result<OpOutput, ExecError> {
         self.sync_events += 1;
-        Ok(execute_on_worker(&mut self.worker, op, ctx))
+        execute_on_worker(&mut self.worker, op, ctx).map_err(ExecError::from)
     }
 
     fn sync_events(&self) -> u64 {
@@ -494,11 +596,80 @@ mod tests {
     }
 
     #[test]
+    fn malformed_table_payloads_are_typed_errors_not_panics() {
+        use crate::branch_lengths::BranchLengths;
+        use crate::tables::{EdgeTables, NewviewTables};
+        use crate::OpError;
+        use phylo_data::{Alignment, DataType, PartitionSet, PartitionedPatterns};
+        use phylo_models::{BranchLengthMode, ModelSet};
+        use phylo_tree::{TraversalPlan, Tree};
+
+        let aln = Alignment::new(vec![
+            ("t0".into(), "ACGTACGT".into()),
+            ("t1".into(), "ACGAACGA".into()),
+            ("t2".into(), "ACCTACGT".into()),
+        ])
+        .unwrap();
+        let ps = PartitionSet::equal_length(DataType::Dna, 8, 4);
+        let pp = PartitionedPatterns::compile(&aln, &ps).unwrap();
+        let tree = Tree::initial_triplet(pp.taxa.clone(), [0, 1, 2]);
+        let models = ModelSet::default_for(&pp, BranchLengthMode::Joint);
+        let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+        let mut worker = WorkerSlices::cyclic(&pp, 0, 1, tree.node_capacity(), &cats);
+        let bl = BranchLengths::from_tree(&tree, pp.partition_count(), models.branch_mode());
+        let ctx = ExecContext {
+            tree: &tree,
+            models: &models,
+            branch_lengths: &bl,
+        };
+
+        // A table payload shorter than the partition count (a custom driver
+        // could build one — the fields are public): typed error, not an
+        // index panic that a parallel backend would report as WorkerDied.
+        let plan = TraversalPlan::full(&tree, tree.neighbors(0)[0].1);
+        let plans: Vec<Option<TraversalPlan>> = vec![Some(plan.clone()), Some(plan)];
+        let short = Arc::new(NewviewTables {
+            per_partition: vec![None],
+        });
+        let op = KernelOp::Newview {
+            plans,
+            tables: Some(short),
+        };
+        let err = execute_on_worker(&mut worker, &op, &ctx).unwrap_err();
+        assert!(
+            matches!(err, OpError::TableShape { partition: 0, .. }),
+            "{err:?}"
+        );
+
+        // Same contract for Evaluate: an active partition without its table
+        // entry is a hole in the payload, not a silent per-call fall-back.
+        let op = KernelOp::Newview {
+            plans: vec![Some(TraversalPlan::full(&tree, 0)), None],
+            tables: None,
+        };
+        execute_on_worker(&mut worker, &op, &ctx).unwrap();
+        let holey = Arc::new(EdgeTables {
+            per_partition: vec![None; 2],
+        });
+        let op = KernelOp::Evaluate {
+            root_branch: 0,
+            mask: vec![true, false],
+            tables: Some(holey),
+        };
+        let err = execute_on_worker(&mut worker, &op, &ctx).unwrap_err();
+        assert!(
+            matches!(err, OpError::TableShape { partition: 0, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
     fn kernel_op_kind_labels() {
         use crate::cost::OpKind;
         let op = KernelOp::Evaluate {
             root_branch: 0,
             mask: vec![true],
+            tables: None,
         };
         assert_eq!(op.kind(), OpKind::Evaluate);
         let op = KernelOp::Derivatives {

@@ -18,6 +18,11 @@
 //! * [`branch_lengths`] — joint vs per-partition branch-length storage,
 //! * [`validity`] — the master-side cache that tracks which CLVs are still
 //!   valid (and in which orientation) so that partial traversals can be used,
+//! * [`tables`] — shared per-branch transition and tip-lookup tables
+//!   ([`tables::BranchTables`]): computed once by the master, shared
+//!   read-only (`Arc`) across workers inside the command payload, replacing
+//!   the per-call recomputation of the transition matrices and the
+//!   per-pattern tip bit loops,
 //! * [`cost`] — an analytic floating-point cost model of the kernel
 //!   primitives, used by the instrumented executor and the platform model,
 //! * [`executor`] — the [`Executor`] abstraction: a
@@ -67,16 +72,18 @@ pub mod executor;
 pub mod naive;
 pub mod ops;
 pub mod slice;
+pub mod tables;
 pub mod validity;
 
 pub use branch_lengths::BranchLengths;
 pub use cost::{TraceError, TraceUnit, WorkTrace};
 pub use engine::{KernelStats, LikelihoodKernel, SequentialKernel};
-pub use error::KernelError;
+pub use error::{KernelError, OpError};
 pub use executor::{
     ExecContext, ExecError, Executor, KernelOp, OpOutput, PartitionMask, SequentialExecutor,
 };
 pub use slice::{PartitionSlice, SliceBuffers, WorkerSlices};
+pub use tables::{BranchTables, EdgeTables, MaskDictionary, NewviewTables, StepTables};
 pub use validity::ClvValidity;
 
 /// Numerical scaling threshold: when every CLV entry of a pattern drops below

@@ -14,12 +14,26 @@
 //!   `makenewz` decomposition: a branch-specific sum table that makes every
 //!   Newton–Raphson iteration on that branch a cheap per-pattern loop with
 //!   analytic first and second derivatives.
+//!
+//! Each of `newview`/`evaluate` exists in two forms: the *per-call reference*
+//! ([`newview_step`], [`evaluate_edge`]) that recomputes the per-category
+//! transition matrices on every invocation, and the *table-based* form
+//! ([`newview_step_tabled`], [`evaluate_edge_tabled`]) that reads shared
+//! precomputed [`BranchTables`] (master-built transition matrices plus tip
+//! lookup rows). The two agree bit for bit; the reference form stays as the
+//! property-tested ground truth.
+//!
+//! All primitives are fallible: mismatched buffer shapes, stale sum tables
+//! and out-of-domain branch lengths fail as typed [`OpError`]s on every build
+//! profile (they used to be `debug_assert!`-only and silent in release).
 
 use phylo_data::EncodedState;
 use phylo_models::PartitionModel;
 use phylo_tree::{NodeId, TraversalStep};
 
+use crate::error::OpError;
 use crate::slice::{PartitionSlice, SliceBuffers};
+use crate::tables::{validate_branch_length, BranchTables, StepTables};
 use crate::{LOG_SCALE_FACTOR, SCALE_FACTOR, SCALE_THRESHOLD};
 
 /// Floor applied to per-site likelihoods before taking logarithms, so that a
@@ -54,23 +68,30 @@ fn child_data<'a>(
 }
 
 /// Sum of transition probabilities from state `s` into the states compatible
-/// with the tip bitmask: `Σ_{a ∈ mask} P[s][a]`.
+/// with the tip bitmask: `Σ_{a ∈ mask} P[s][a]`. One shared implementation
+/// with the table builder ([`crate::tables`]) — the tabled kernels' exact
+/// (bit-for-bit) agreement with this reference path rests on both summing in
+/// the same ascending-bit order.
 #[inline]
 fn tip_sum(pmat_row: &[f64], mask: EncodedState) -> f64 {
-    let mut sum = 0.0;
-    let mut m = mask;
-    while m != 0 {
-        let a = m.trailing_zeros() as usize;
-        sum += pmat_row[a];
-        m &= m - 1;
-    }
-    sum
+    crate::tables::mask_sum(pmat_row, mask)
 }
 
-/// Per-category transition matrices for one branch.
-fn category_pmats(model: &PartitionModel, branch_length: f64) -> Vec<Vec<f64>> {
+/// Per-category transition matrices for one branch — the per-call reference
+/// path (the table-based kernels read shared [`BranchTables`] instead).
+///
+/// # Errors
+///
+/// [`OpError::InvalidBranchLength`] for a negative, NaN or infinite
+/// `branch_length` (the kernel-boundary domain check; such values used to be
+/// exponentiated without complaint).
+pub(crate) fn category_pmats(
+    model: &PartitionModel,
+    branch_length: f64,
+) -> Result<Vec<Vec<f64>>, OpError> {
+    validate_branch_length(branch_length)?;
     let states = model.states();
-    model
+    Ok(model
         .gamma_rates()
         .iter()
         .map(|&rate| {
@@ -81,7 +102,40 @@ fn category_pmats(model: &PartitionModel, branch_length: f64) -> Vec<Vec<f64>> {
                 .transition_matrix_into(branch_length * rate, &mut buf);
             buf
         })
-        .collect()
+        .collect())
+}
+
+/// Release-mode guard: a shared table must have been built for this slice's
+/// alphabet and category count. Tables from another partition's model would
+/// index out of bounds (a worker-killing panic in a parallel backend) or,
+/// worse, silently read the wrong sub-matrix rows.
+fn check_table_dims(
+    slice: &PartitionSlice,
+    buffers: &SliceBuffers,
+    tables: &BranchTables,
+) -> Result<(), OpError> {
+    if tables.states() != buffers.states() || tables.categories() != buffers.categories() {
+        return Err(OpError::TableDims {
+            partition: slice.partition,
+            table: (tables.states(), tables.categories()),
+            buffers: (buffers.states(), buffers.categories()),
+        });
+    }
+    Ok(())
+}
+
+/// The release-mode guard against stale buffers: a slice and its buffers must
+/// agree on the local pattern count (they can drift apart when a mid-run
+/// migration rebuilds one but not the other).
+fn check_slice_shape(slice: &PartitionSlice, buffers: &SliceBuffers) -> Result<(), OpError> {
+    if buffers.patterns() != slice.pattern_count() {
+        return Err(OpError::SliceShape {
+            partition: slice.partition,
+            buffer_patterns: buffers.patterns(),
+            slice_patterns: slice.pattern_count(),
+        });
+    }
+    Ok(())
 }
 
 /// Recomputes the CLV of `step.node` for every local pattern of the slice.
@@ -89,6 +143,11 @@ fn category_pmats(model: &PartitionModel, branch_length: f64) -> Vec<Vec<f64>> {
 /// `left_length` / `right_length` are the branch lengths towards the two
 /// children *as seen by this partition* (per-partition branch lengths differ
 /// between partitions).
+///
+/// # Errors
+///
+/// [`OpError::InvalidBranchLength`] for out-of-domain branch lengths,
+/// [`OpError::SliceShape`] when the buffers do not match the slice.
 pub fn newview_step(
     slice: &PartitionSlice,
     buffers: &mut SliceBuffers,
@@ -96,15 +155,16 @@ pub fn newview_step(
     step: &TraversalStep,
     left_length: f64,
     right_length: f64,
-) {
+) -> Result<(), OpError> {
     let states = slice.states();
     let categories = model.categories();
     let patterns = slice.pattern_count();
+    check_slice_shape(slice, buffers)?;
     debug_assert_eq!(buffers.states(), states);
     debug_assert_eq!(buffers.categories(), categories);
 
-    let left_pmats = category_pmats(model, left_length);
-    let right_pmats = category_pmats(model, right_length);
+    let left_pmats = category_pmats(model, left_length)?;
+    let right_pmats = category_pmats(model, right_length)?;
 
     let (mut clv, mut scale) = buffers.take_node(step.node);
     clv.resize(patterns * categories * states, 0.0);
@@ -176,7 +236,132 @@ pub fn newview_step(
         }
     }
 
-    buffers.put_back(step.node, clv, scale);
+    buffers.put_back(step.node, clv, scale)
+}
+
+/// The table-based counterpart of [`newview_step`]: reads the two children's
+/// shared [`BranchTables`] (master-precomputed transition matrices and tip
+/// lookup rows) instead of recomputing per call. Agrees with the reference
+/// bit for bit.
+///
+/// # Errors
+///
+/// [`OpError::SliceShape`] when the buffers do not match the slice.
+pub fn newview_step_tabled(
+    slice: &PartitionSlice,
+    buffers: &mut SliceBuffers,
+    step: &TraversalStep,
+    tables: &StepTables,
+) -> Result<(), OpError> {
+    let states = slice.states();
+    let left_tables = &*tables.left;
+    let right_tables = &*tables.right;
+    let patterns = slice.pattern_count();
+    check_slice_shape(slice, buffers)?;
+    check_table_dims(slice, buffers, left_tables)?;
+    check_table_dims(slice, buffers, right_tables)?;
+    let categories = left_tables.categories();
+    debug_assert_eq!(buffers.states(), states);
+
+    let (mut clv, mut scale) = buffers.take_node(step.node);
+    clv.resize(patterns * categories * states, 0.0);
+    scale.resize(patterns, 0);
+
+    {
+        let left = child_data(slice, buffers, step.left);
+        let right = child_data(slice, buffers, step.right);
+
+        for p in 0..patterns {
+            // One dictionary lookup per (pattern, tip child), hoisted out of
+            // the category/state loops; `None` (a mask outside the
+            // dictionary, or an internal child) falls back below.
+            let left_mask = match &left {
+                ChildData::Tip(t) => {
+                    let mask = slice.tip_state(p, *t);
+                    Some((mask, left_tables.dict().index_of(mask)))
+                }
+                ChildData::Internal { .. } => None,
+            };
+            let right_mask = match &right {
+                ChildData::Tip(t) => {
+                    let mask = slice.tip_state(p, *t);
+                    Some((mask, right_tables.dict().index_of(mask)))
+                }
+                ChildData::Internal { .. } => None,
+            };
+
+            let mut max_entry = 0.0f64;
+            for c in 0..categories {
+                let lp = left_tables.pmat(c);
+                let rp = right_tables.pmat(c);
+                let left_row = match left_mask {
+                    Some((_, Some(mi))) => Some(left_tables.tip_row(c, mi)),
+                    _ => None,
+                };
+                let right_row = match right_mask {
+                    Some((_, Some(mi))) => Some(right_tables.tip_row(c, mi)),
+                    _ => None,
+                };
+                let base = (p * categories + c) * states;
+                for s in 0..states {
+                    let row = s * states;
+                    let left_sum = match (&left, left_row) {
+                        (ChildData::Tip(_), Some(tip_row)) => tip_row[s],
+                        (ChildData::Tip(_), None) => {
+                            let (mask, _) = left_mask.expect("tip child has a mask");
+                            tip_sum(&lp[row..row + states], mask)
+                        }
+                        (ChildData::Internal { clv: child, .. }, _) => {
+                            let cbase = (p * categories + c) * states;
+                            let mut acc = 0.0;
+                            for a in 0..states {
+                                acc += lp[row + a] * child[cbase + a];
+                            }
+                            acc
+                        }
+                    };
+                    let right_sum = match (&right, right_row) {
+                        (ChildData::Tip(_), Some(tip_row)) => tip_row[s],
+                        (ChildData::Tip(_), None) => {
+                            let (mask, _) = right_mask.expect("tip child has a mask");
+                            tip_sum(&rp[row..row + states], mask)
+                        }
+                        (ChildData::Internal { clv: child, .. }, _) => {
+                            let cbase = (p * categories + c) * states;
+                            let mut acc = 0.0;
+                            for a in 0..states {
+                                acc += rp[row + a] * child[cbase + a];
+                            }
+                            acc
+                        }
+                    };
+                    let value = left_sum * right_sum;
+                    clv[base + s] = value;
+                    if value > max_entry {
+                        max_entry = value;
+                    }
+                }
+            }
+
+            let mut events = 0;
+            if let ChildData::Internal { scale: s, .. } = &left {
+                events += s[p];
+            }
+            if let ChildData::Internal { scale: s, .. } = &right {
+                events += s[p];
+            }
+            if max_entry < SCALE_THRESHOLD && max_entry > 0.0 {
+                let base = p * categories * states;
+                for v in &mut clv[base..base + categories * states] {
+                    *v *= SCALE_FACTOR;
+                }
+                events += 1;
+            }
+            scale[p] = events;
+        }
+    }
+
+    buffers.put_back(step.node, clv, scale)
 }
 
 /// Evaluates the weighted log likelihood of the slice for a virtual root
@@ -184,6 +369,11 @@ pub fn newview_step(
 /// `branch_length`, using the partition's stationary frequencies.
 ///
 /// Returns the sum over the local patterns of `weight × ln L(pattern)`.
+///
+/// # Errors
+///
+/// [`OpError::InvalidBranchLength`] for out-of-domain branch lengths,
+/// [`OpError::SliceShape`] when the buffers do not match the slice.
 pub fn evaluate_edge(
     slice: &PartitionSlice,
     buffers: &SliceBuffers,
@@ -191,12 +381,13 @@ pub fn evaluate_edge(
     left: NodeId,
     right: NodeId,
     branch_length: f64,
-) -> f64 {
+) -> Result<f64, OpError> {
     let states = slice.states();
     let categories = model.categories();
     let patterns = slice.pattern_count();
+    check_slice_shape(slice, buffers)?;
     let freqs = model.substitution().frequencies();
-    let pmats = category_pmats(model, branch_length);
+    let pmats = category_pmats(model, branch_length)?;
     let inv_categories = 1.0 / categories as f64;
 
     let left_data = child_data(slice, buffers, left);
@@ -247,7 +438,99 @@ pub fn evaluate_edge(
         let ln_site = site.max(SITE_LIKELIHOOD_FLOOR).ln() - events as f64 * LOG_SCALE_FACTOR;
         total += slice.weights[p] * ln_site;
     }
-    total
+    Ok(total)
+}
+
+/// The table-based counterpart of [`evaluate_edge`]: the virtual-root
+/// transition matrices and the tip sums of the right child come from the
+/// branch's shared [`BranchTables`]. Agrees with the reference bit for bit.
+///
+/// # Errors
+///
+/// [`OpError::SliceShape`] when the buffers do not match the slice.
+pub fn evaluate_edge_tabled(
+    slice: &PartitionSlice,
+    buffers: &SliceBuffers,
+    model: &PartitionModel,
+    left: NodeId,
+    right: NodeId,
+    tables: &BranchTables,
+) -> Result<f64, OpError> {
+    let states = slice.states();
+    let patterns = slice.pattern_count();
+    check_slice_shape(slice, buffers)?;
+    check_table_dims(slice, buffers, tables)?;
+    let categories = tables.categories();
+    let freqs = model.substitution().frequencies();
+    let inv_categories = 1.0 / categories as f64;
+
+    let left_data = child_data(slice, buffers, left);
+    let right_data = child_data(slice, buffers, right);
+
+    let mut total = 0.0;
+    for p in 0..patterns {
+        // Hoisted dictionary lookup for a right tip child (the side whose
+        // inner products the tables replace).
+        let right_mask = match &right_data {
+            ChildData::Tip(t) => {
+                let mask = slice.tip_state(p, *t);
+                Some((mask, tables.dict().index_of(mask)))
+            }
+            ChildData::Internal { .. } => None,
+        };
+        let mut site = 0.0;
+        for c in 0..categories {
+            let pm = tables.pmat(c);
+            let right_row = match right_mask {
+                Some((_, Some(mi))) => Some(tables.tip_row(c, mi)),
+                _ => None,
+            };
+            let base = (p * categories + c) * states;
+            let mut cat_sum = 0.0;
+            for s in 0..states {
+                let l_val = match &left_data {
+                    ChildData::Tip(t) => {
+                        if slice.tip_state(p, *t) & (1 << s) != 0 {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    ChildData::Internal { clv, .. } => clv[base + s],
+                };
+                if l_val == 0.0 {
+                    continue;
+                }
+                let row = s * states;
+                let inner = match (&right_data, right_row) {
+                    (ChildData::Tip(_), Some(tip_row)) => tip_row[s],
+                    (ChildData::Tip(_), None) => {
+                        let (mask, _) = right_mask.expect("tip child has a mask");
+                        tip_sum(&pm[row..row + states], mask)
+                    }
+                    (ChildData::Internal { clv, .. }, _) => {
+                        let mut acc = 0.0;
+                        for a in 0..states {
+                            acc += pm[row + a] * clv[base + a];
+                        }
+                        acc
+                    }
+                };
+                cat_sum += freqs[s] * l_val * inner;
+            }
+            site += cat_sum * inv_categories;
+        }
+        let mut events = 0;
+        if let ChildData::Internal { scale, .. } = &left_data {
+            events += scale[p];
+        }
+        if let ChildData::Internal { scale, .. } = &right_data {
+            events += scale[p];
+        }
+        let ln_site = site.max(SITE_LIKELIHOOD_FLOOR).ln() - events as f64 * LOG_SCALE_FACTOR;
+        total += slice.weights[p] * ln_site;
+    }
+    Ok(total)
 }
 
 /// Builds the branch sum table for the branch between `left` and `right`.
@@ -264,10 +547,11 @@ pub fn build_sumtable(
     model: &PartitionModel,
     left: NodeId,
     right: NodeId,
-) {
+) -> Result<(), OpError> {
     let states = slice.states();
     let categories = model.categories();
     let patterns = slice.pattern_count();
+    check_slice_shape(slice, buffers)?;
     let w = &model.substitution().eigen().w;
 
     let (mut table, mut table_scale) = {
@@ -335,6 +619,7 @@ pub fn build_sumtable(
     let (t, s) = buffers.sumtable_mut();
     *t = table;
     *s = table_scale;
+    Ok(())
 }
 
 /// Result of one derivative evaluation over a slice.
@@ -351,18 +636,43 @@ pub struct EdgeDerivatives {
 /// Evaluates the log likelihood and its first two derivatives with respect to
 /// the branch length `t`, using the sum table previously built for this branch
 /// by [`build_sumtable`].
+///
+/// Sites whose likelihood underflowed to the floor contribute the floored
+/// log likelihood but **zero** derivatives: dividing the raw `f'`/`f''` by
+/// the floor would explode the ratios by hundreds of orders of magnitude and
+/// drive Newton–Raphson to NaN or divergent steps on long branches.
+///
+/// # Errors
+///
+/// [`OpError::SumtableStale`] when the sum table does not match the slice
+/// shape — it is missing, or left over from before a reassignment changed the
+/// local pattern count (this was a release-mode `debug_assert!` hole);
+/// [`OpError::InvalidBranchLength`] for an out-of-domain `t`.
 pub fn derivatives_from_sumtable(
     slice: &PartitionSlice,
     buffers: &SliceBuffers,
     model: &PartitionModel,
     t: f64,
-) -> EdgeDerivatives {
+) -> Result<EdgeDerivatives, OpError> {
+    validate_branch_length(t)?;
     let states = slice.states();
     let categories = model.categories();
     let patterns = slice.pattern_count();
+    check_slice_shape(slice, buffers)?;
     let table = buffers.sumtable();
     let table_scale = buffers.sumtable_scale();
-    debug_assert_eq!(table.len(), patterns * categories * states);
+    if table.len() != patterns * categories * states {
+        return Err(OpError::SumtableStale {
+            expected: patterns * categories * states,
+            got: table.len(),
+        });
+    }
+    if table_scale.len() != patterns {
+        return Err(OpError::SumtableStale {
+            expected: patterns,
+            got: table_scale.len(),
+        });
+    }
     let eigenvalues = &model.substitution().eigen().values;
     let rates = model.gamma_rates();
     let inv_categories = 1.0 / categories as f64;
@@ -378,11 +688,6 @@ pub fn derivatives_from_sumtable(
         }
     }
 
-    assert_eq!(
-        table_scale.len(),
-        patterns,
-        "sum table must be built (build_sumtable) before computing derivatives"
-    );
     let mut out = EdgeDerivatives::default();
     for (p, &scale_events) in table_scale.iter().enumerate().take(patterns) {
         let mut f = 0.0;
@@ -405,13 +710,19 @@ pub fn derivatives_from_sumtable(
 
         let w = slice.weights[p];
         let site = f.max(SITE_LIKELIHOOD_FLOOR);
-        let ratio1 = f1 / site;
-        let ratio2 = f2 / site;
+        // A floored site sits on a numerically flat stretch of the likelihood
+        // surface: its true per-site derivatives are below the floating-point
+        // horizon, while `f1 / floor` would be astronomically large.
+        let (ratio1, ratio2) = if f > SITE_LIKELIHOOD_FLOOR {
+            (f1 / site, f2 / site)
+        } else {
+            (0.0, 0.0)
+        };
         out.log_likelihood += w * (site.ln() - scale_events as f64 * LOG_SCALE_FACTOR);
         out.first += w * ratio1;
         out.second += w * (ratio2 - ratio1 * ratio1);
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -500,7 +811,8 @@ mod tests {
                 step,
                 tree.branch_length(step.left_branch),
                 tree.branch_length(step.right_branch),
-            );
+            )
+            .unwrap();
         }
     }
 
@@ -524,7 +836,8 @@ mod tests {
             0,
             3,
             tree.branch_length(root_branch),
-        );
+        )
+        .unwrap();
         let reference = brute_force_three_taxon(&pp, &tree, &models);
         assert!(
             (lnl - reference).abs() < 1e-9,
@@ -546,7 +859,8 @@ mod tests {
             1,
             3,
             tree.branch_length(root_branch),
-        );
+        )
+        .unwrap();
         let reference = brute_force_three_taxon(&pp, &tree, &models);
         assert!(
             (lnl - reference).abs() < 1e-9,
@@ -569,7 +883,8 @@ mod tests {
                 a,
                 b,
                 tree.branch_length(root_branch),
-            );
+            )
+            .unwrap();
             values.push(lnl);
         }
         for v in &values[1..] {
@@ -586,11 +901,14 @@ mod tests {
         let (mut ws, models) = setup(&pp, &tree, 4);
         let root_branch = tree.branch_between(2, 3).unwrap();
         full_newview(&mut ws, &tree, &models, root_branch);
-        build_sumtable(&ws.slices[0], &mut ws.buffers[0], models.model(0), 2, 3);
+        build_sumtable(&ws.slices[0], &mut ws.buffers[0], models.model(0), 2, 3).unwrap();
 
-        let f = |t: f64| evaluate_edge(&ws.slices[0], &ws.buffers[0], models.model(0), 2, 3, t);
+        let f = |t: f64| {
+            evaluate_edge(&ws.slices[0], &ws.buffers[0], models.model(0), 2, 3, t).unwrap()
+        };
         for &t in &[0.02, 0.1, 0.3, 0.8] {
-            let d = derivatives_from_sumtable(&ws.slices[0], &ws.buffers[0], models.model(0), t);
+            let d = derivatives_from_sumtable(&ws.slices[0], &ws.buffers[0], models.model(0), t)
+                .unwrap();
             // The sum-table log likelihood must agree with evaluate_edge.
             assert!(
                 (d.log_likelihood - f(t)).abs() < 1e-8,
@@ -610,6 +928,211 @@ mod tests {
                 d.second
             );
         }
+    }
+
+    #[test]
+    fn tabled_kernels_agree_with_the_per_call_reference_bit_for_bit() {
+        use crate::tables::{BranchTables, MaskDictionary, StepTables};
+        use std::sync::Arc;
+
+        let (pp, tree) = three_taxon();
+        let (mut ws_ref, models) = setup(&pp, &tree, 4);
+        let (mut ws_tab, _) = setup(&pp, &tree, 4);
+        let model = models.model(0);
+        let dict = Arc::new(MaskDictionary::for_partition(
+            pp.partitions[0].data_type,
+            &pp.partitions[0].tip_states,
+        ));
+
+        let root_branch = tree.branch_between(0, 3).unwrap();
+        let plan = TraversalPlan::full(&tree, root_branch);
+        for step in &plan.steps {
+            newview_step(
+                &ws_ref.slices[0],
+                &mut ws_ref.buffers[0],
+                model,
+                step,
+                tree.branch_length(step.left_branch),
+                tree.branch_length(step.right_branch),
+            )
+            .unwrap();
+            let tables = StepTables {
+                left: Arc::new(
+                    BranchTables::build(model, &dict, tree.branch_length(step.left_branch))
+                        .unwrap(),
+                ),
+                right: Arc::new(
+                    BranchTables::build(model, &dict, tree.branch_length(step.right_branch))
+                        .unwrap(),
+                ),
+            };
+            newview_step_tabled(&ws_tab.slices[0], &mut ws_tab.buffers[0], step, &tables).unwrap();
+            // The CLVs agree exactly, not just to tolerance.
+            assert_eq!(
+                ws_ref.buffers[0].clv(step.node),
+                ws_tab.buffers[0].clv(step.node)
+            );
+        }
+
+        let t = tree.branch_length(root_branch);
+        let reference =
+            evaluate_edge(&ws_ref.slices[0], &ws_ref.buffers[0], model, 0, 3, t).unwrap();
+        let edge_tables = BranchTables::build(model, &dict, t).unwrap();
+        let tabled = evaluate_edge_tabled(
+            &ws_tab.slices[0],
+            &ws_tab.buffers[0],
+            model,
+            0,
+            3,
+            &edge_tables,
+        )
+        .unwrap();
+        assert_eq!(reference, tabled);
+    }
+
+    #[test]
+    fn mismatched_table_dimensions_are_typed_errors() {
+        use crate::tables::{BranchTables, MaskDictionary, StepTables};
+        use phylo_models::PartitionModel;
+        use std::sync::Arc;
+
+        let (pp, tree) = three_taxon();
+        let (mut ws, models) = setup(&pp, &tree, 4);
+        let root_branch = tree.branch_between(0, 3).unwrap();
+        full_newview(&mut ws, &tree, &models, root_branch);
+
+        // Tables built from a protein model applied to a DNA slice: a typed
+        // error on every build profile, not an out-of-bounds worker panic
+        // (or silently wrong sub-matrix reads).
+        let protein = PartitionModel::default_for(DataType::Protein);
+        let dict = Arc::new(MaskDictionary::for_partition(DataType::Protein, &[]));
+        let tables = Arc::new(BranchTables::build(&protein, &dict, 0.1).unwrap());
+        let err = evaluate_edge_tabled(
+            &ws.slices[0],
+            &ws.buffers[0],
+            models.model(0),
+            0,
+            3,
+            &tables,
+        )
+        .unwrap_err();
+        assert!(matches!(err, OpError::TableDims { .. }), "{err}");
+
+        let step = TraversalPlan::full(&tree, root_branch).steps[0];
+        let st = StepTables {
+            left: Arc::clone(&tables),
+            right: tables,
+        };
+        let err = newview_step_tabled(&ws.slices[0], &mut ws.buffers[0], &step, &st).unwrap_err();
+        assert!(matches!(err, OpError::TableDims { .. }), "{err}");
+    }
+
+    #[test]
+    fn floored_sites_contribute_clamped_derivatives() {
+        // Zero the sum table by hand: every site's f underflows to the
+        // floor, which used to blow ratio1/ratio2 up by ~300 orders of
+        // magnitude (f1 / 1e-300) and drive Newton to NaN.
+        let (pp, tree) = three_taxon();
+        let (mut ws, models) = setup(&pp, &tree, 4);
+        let root_branch = tree.branch_between(2, 3).unwrap();
+        full_newview(&mut ws, &tree, &models, root_branch);
+        build_sumtable(&ws.slices[0], &mut ws.buffers[0], models.model(0), 2, 3).unwrap();
+        {
+            let (table, _) = ws.buffers[0].sumtable_mut();
+            for v in table.iter_mut() {
+                *v = 0.0;
+            }
+        }
+        let d =
+            derivatives_from_sumtable(&ws.slices[0], &ws.buffers[0], models.model(0), 0.3).unwrap();
+        assert!(d.log_likelihood.is_finite());
+        assert!(d.log_likelihood < -100.0, "floored sites are very bad");
+        assert_eq!(d.first, 0.0, "floored sites must not push Newton");
+        assert_eq!(d.second, 0.0);
+    }
+
+    #[test]
+    fn long_branch_derivatives_stay_finite_for_newton() {
+        // The long-branch regression: a saturated deep caterpillar with
+        // every branch at the maximum length underflows many sites; the
+        // derivatives across a whole probe grid must stay finite so a
+        // Newton iteration can never be fed NaN.
+        let n = 260usize;
+        let names: Vec<String> = (0..n).map(|i| format!("t{i}")).collect();
+        let rows: Vec<(String, String)> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                (
+                    n.clone(),
+                    if i % 2 == 0 {
+                        "ACGT".to_string()
+                    } else {
+                        "TGCA".to_string()
+                    },
+                )
+            })
+            .collect();
+        let aln = Alignment::new(rows).unwrap();
+        let ps = PartitionSet::unpartitioned(DataType::Dna, 4);
+        let pp = PartitionedPatterns::compile(&aln, &ps).unwrap();
+        let order: Vec<usize> = (0..n).collect();
+        let mut tree = Tree::stepwise(names, &order, |b| b - 1);
+        for b in tree.branches().collect::<Vec<_>>() {
+            tree.set_branch_length(b, 10.0);
+        }
+        let (mut ws, models) = setup(&pp, &tree, 4);
+        let root_branch = 0;
+        full_newview(&mut ws, &tree, &models, root_branch);
+        let (a, b) = tree.branch_endpoints(root_branch);
+        build_sumtable(&ws.slices[0], &mut ws.buffers[0], models.model(0), a, b).unwrap();
+        for &t in &[1e-8, 1e-3, 0.1, 1.0, 5.0, 10.0] {
+            let d = derivatives_from_sumtable(&ws.slices[0], &ws.buffers[0], models.model(0), t)
+                .unwrap();
+            assert!(
+                d.log_likelihood.is_finite() && d.first.is_finite() && d.second.is_finite(),
+                "t={t}: {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_domain_probe_lengths_are_rejected() {
+        let (pp, tree) = three_taxon();
+        let (mut ws, models) = setup(&pp, &tree, 4);
+        let root_branch = tree.branch_between(0, 3).unwrap();
+        full_newview(&mut ws, &tree, &models, root_branch);
+        build_sumtable(&ws.slices[0], &mut ws.buffers[0], models.model(0), 0, 3).unwrap();
+        for bad in [-1.0, f64::NAN, f64::NEG_INFINITY] {
+            let err =
+                derivatives_from_sumtable(&ws.slices[0], &ws.buffers[0], models.model(0), bad)
+                    .unwrap_err();
+            assert!(matches!(err, OpError::InvalidBranchLength { .. }), "{bad}");
+            let err = evaluate_edge(&ws.slices[0], &ws.buffers[0], models.model(0), 0, 3, bad)
+                .unwrap_err();
+            assert!(matches!(err, OpError::InvalidBranchLength { .. }), "{bad}");
+        }
+    }
+
+    #[test]
+    fn stale_sumtable_is_a_typed_error_not_ub() {
+        let (pp, tree) = three_taxon();
+        let (mut ws, models) = setup(&pp, &tree, 4);
+        let root_branch = tree.branch_between(0, 3).unwrap();
+        full_newview(&mut ws, &tree, &models, root_branch);
+        // No sumtable built at all.
+        let err = derivatives_from_sumtable(&ws.slices[0], &ws.buffers[0], models.model(0), 0.1)
+            .unwrap_err();
+        assert!(
+            matches!(err, OpError::SumtableStale { got: 0, .. }),
+            "{err}"
+        );
+        // An explicitly invalidated table behaves the same.
+        build_sumtable(&ws.slices[0], &mut ws.buffers[0], models.model(0), 0, 3).unwrap();
+        ws.buffers[0].invalidate_sumtable();
+        let err = derivatives_from_sumtable(&ws.slices[0], &ws.buffers[0], models.model(0), 0.1)
+            .unwrap_err();
+        assert!(matches!(err, OpError::SumtableStale { .. }), "{err}");
     }
 
     #[test]
@@ -647,7 +1170,8 @@ mod tests {
             0,
             3,
             tree.branch_length(root_branch),
-        );
+        )
+        .unwrap();
         assert!(
             lnl.abs() < 1e-9,
             "all-gap pattern must contribute ln 1 = 0, got {lnl}"
@@ -697,7 +1221,8 @@ mod tests {
             a,
             b,
             tree.branch_length(root_branch),
-        );
+        )
+        .unwrap();
         assert!(lnl.is_finite());
         assert!(
             lnl < -100.0,

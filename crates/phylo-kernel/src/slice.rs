@@ -19,6 +19,8 @@
 
 use phylo_data::{DataType, EncodedState, PartitionedPatterns};
 
+use crate::error::OpError;
+
 /// One worker's view of one partition: the locally owned patterns.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PartitionSlice {
@@ -146,11 +148,44 @@ impl SliceBuffers {
     }
 
     /// Returns buffers previously removed with [`SliceBuffers::take_node`].
-    pub fn put_back(&mut self, node: usize, clv: Vec<f64>, scale: Vec<i32>) {
-        debug_assert_eq!(clv.len(), self.clv_len());
-        debug_assert_eq!(scale.len(), self.patterns);
+    ///
+    /// # Errors
+    ///
+    /// [`OpError::ClvShape`] / [`OpError::ScaleShape`] when the returned
+    /// buffers do not match the slice shape. This used to be a
+    /// `debug_assert_eq!` — release builds silently stored mismatched CLVs
+    /// (e.g. ones computed for a different local pattern count after a
+    /// mid-round migration), corrupting every later read. The buffers are
+    /// *not* stored on error.
+    pub fn put_back(&mut self, node: usize, clv: Vec<f64>, scale: Vec<i32>) -> Result<(), OpError> {
+        if clv.len() != self.clv_len() {
+            return Err(OpError::ClvShape {
+                node,
+                expected: self.clv_len(),
+                got: clv.len(),
+            });
+        }
+        if scale.len() != self.patterns {
+            return Err(OpError::ScaleShape {
+                node,
+                expected: self.patterns,
+                got: scale.len(),
+            });
+        }
         self.clvs[node] = Some(clv);
         self.scales[node] = Some(scale);
+        Ok(())
+    }
+
+    /// Drops the branch sum table (and its scale counters), so that a later
+    /// derivative evaluation fails with a typed
+    /// [`OpError::SumtableStale`] instead of silently reading
+    /// stale values. Reassignment paths rebuild the buffers from scratch
+    /// (fresh, empty sum tables); this is the explicit form for callers that
+    /// reuse buffers across a change that invalidates the table.
+    pub fn invalidate_sumtable(&mut self) {
+        self.sumtable.clear();
+        self.sumtable_scale.clear();
     }
 
     /// The branch sum table (empty until
@@ -471,9 +506,54 @@ mod tests {
         let (mut clv, mut scale) = buf.take_node(5);
         clv[1] = 2.5;
         scale[0] = 3;
-        buf.put_back(5, clv, scale);
+        buf.put_back(5, clv, scale).unwrap();
         assert_eq!(buf.clv(5).unwrap()[1], 2.5);
         assert_eq!(buf.scale(5).unwrap()[0], 3);
+    }
+
+    #[test]
+    fn put_back_rejects_mismatched_shapes_in_release_builds() {
+        let pp = patterns();
+        let categories = vec![4; pp.partition_count()];
+        let mut w = WorkerSlices::cyclic(&pp, 0, 2, 8, &categories);
+        let buf = &mut w.buffers[0];
+        let (clv, scale) = buf.take_node(5);
+
+        // A CLV computed for a different pattern count (the post-migration
+        // staleness hazard) must fail as a typed value, not a debug_assert.
+        let short_clv = vec![0.0; clv.len().saturating_sub(1)];
+        let err = buf.put_back(5, short_clv, scale.clone()).unwrap_err();
+        assert!(matches!(err, OpError::ClvShape { node: 5, .. }), "{err:?}");
+
+        let short_scale = vec![0; scale.len() + 2];
+        let err = buf.put_back(5, clv.clone(), short_scale).unwrap_err();
+        assert!(
+            matches!(err, OpError::ScaleShape { node: 5, .. }),
+            "{err:?}"
+        );
+
+        // Nothing was stored by the failed calls.
+        assert!(buf.clv(5).is_none());
+        buf.put_back(5, clv, scale).unwrap();
+        assert!(buf.clv(5).is_some());
+    }
+
+    #[test]
+    fn invalidate_sumtable_empties_both_buffers() {
+        let pp = patterns();
+        let categories = vec![4; pp.partition_count()];
+        let mut w = WorkerSlices::cyclic(&pp, 0, 1, 8, &categories);
+        let buf = &mut w.buffers[0];
+        let len = buf.clv_len();
+        {
+            let (t, s) = buf.sumtable_mut();
+            t.resize(len, 1.0);
+            s.resize(3, 1);
+        }
+        assert!(!buf.sumtable().is_empty());
+        buf.invalidate_sumtable();
+        assert!(buf.sumtable().is_empty());
+        assert!(buf.sumtable_scale().is_empty());
     }
 
     #[test]

@@ -1,0 +1,404 @@
+//! Shared per-branch transition and tip-lookup tables.
+//!
+//! The paper's Pthreads layout broadcasts one command per parallel region and
+//! lets every worker execute it on its own patterns. In the per-call kernel
+//! that means every worker recomputes the same per-category transition
+//! matrices for every node update — `T` workers redoing identical
+//! O(states³ · categories) eigen work per branch, with fresh heap allocations
+//! each time — and the tip inner loops re-derive the same ambiguity-mask sums
+//! per pattern. This module moves that work to the *master*: a
+//! [`BranchTables`] is computed once per (partition, branch) and shared
+//! read-only (`Arc`) with every worker inside the [`KernelOp`] payload.
+//!
+//! Two tables per (branch, category):
+//!
+//! * the transition matrix `P(t·r_c)` itself (what `category_pmats` used to
+//!   recompute per call), and
+//! * RAxML-style *tip lookup rows*: for every ambiguity mask `m` in the
+//!   partition's [`MaskDictionary`], the vector over target states `s` of
+//!   `Σ_{a ∈ m} P[s][a]`. A tip child in `newview`/`evaluate` then costs one
+//!   dictionary lookup per pattern plus contiguous row reads, instead of a
+//!   per-(category, state) bit loop.
+//!
+//! For DNA the dictionary is the full direct-indexed 2⁴ = 16 mask space; for
+//! protein it is the 20 canonical single-state masks, the common ambiguity
+//! codes (`B`, `Z`, `J`, `X`/gap) and every further mask actually observed in
+//! the partition, looked up by binary search. Masks outside the dictionary
+//! (impossible for dictionaries built from the data) fall back to the
+//! reference bit loop, so table lookups can never change a result.
+//!
+//! Summation order inside a tip row is the ascending-bit order of the
+//! reference `tip_sum` loop, so the table-based kernels agree with the
+//! per-call path **bit for bit**, not just to tolerance.
+//!
+//! [`KernelOp`]: crate::executor::KernelOp
+
+use std::sync::Arc;
+
+use phylo_data::{DataType, EncodedState};
+use phylo_models::PartitionModel;
+
+use crate::error::OpError;
+
+/// The tip-state masks of one partition, indexable in O(1) (DNA) or
+/// O(log n) (protein).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskDictionary {
+    states: usize,
+    /// Sorted distinct masks. For the direct (DNA) dictionary this is the
+    /// full `0..2^states` space and the mask *is* the index.
+    masks: Vec<EncodedState>,
+    direct: bool,
+}
+
+impl MaskDictionary {
+    /// Builds the dictionary for a partition: the full 16-entry mask space
+    /// for DNA; for protein the 20 canonical masks, the common ambiguity
+    /// codes and every distinct mask observed in `tip_states`.
+    pub fn for_partition(data_type: DataType, tip_states: &[EncodedState]) -> Self {
+        let states = data_type.states();
+        match data_type {
+            DataType::Dna => Self {
+                states,
+                masks: (0..(1u32 << states)).collect(),
+                direct: true,
+            },
+            DataType::Protein => {
+                let mut masks: Vec<EncodedState> = (0..states as u32).map(|i| 1 << i).collect();
+                // The common multi-state codes: B = N|D, Z = Q|E, J = I|L and
+                // the fully ambiguous X/gap state.
+                for c in ['B', 'Z', 'J'] {
+                    masks.push(
+                        data_type
+                            .encode(c)
+                            .expect("standard protein ambiguity code"),
+                    );
+                }
+                masks.push(data_type.gap_state());
+                masks.extend_from_slice(tip_states);
+                masks.sort_unstable();
+                masks.dedup();
+                Self {
+                    states,
+                    masks,
+                    direct: false,
+                }
+            }
+        }
+    }
+
+    /// Number of masks in the dictionary.
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Whether the dictionary is empty (never true for a built dictionary).
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// Number of base states of the alphabet.
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// Dictionary index of a mask, or `None` for a mask the dictionary does
+    /// not cover (the kernels then fall back to the reference bit loop).
+    #[inline]
+    pub fn index_of(&self, mask: EncodedState) -> Option<usize> {
+        if self.direct {
+            let i = mask as usize;
+            (i < self.masks.len()).then_some(i)
+        } else {
+            self.masks.binary_search(&mask).ok()
+        }
+    }
+
+    /// The mask stored at a dictionary index.
+    pub fn mask_at(&self, index: usize) -> EncodedState {
+        self.masks[index]
+    }
+}
+
+/// Sum of `row[a]` over the set bits of `mask`, in ascending bit order — the
+/// exact summation order of the reference kernel's tip loop.
+#[inline]
+pub(crate) fn mask_sum(row: &[f64], mask: EncodedState) -> f64 {
+    let mut sum = 0.0;
+    let mut m = mask;
+    while m != 0 {
+        let a = m.trailing_zeros() as usize;
+        sum += row[a];
+        m &= m - 1;
+    }
+    sum
+}
+
+/// Shared read-only tables for one (partition, branch): the per-category
+/// transition matrices and the tip lookup rows over the partition's mask
+/// dictionary. Built once by the master, cloned as an `Arc` into every
+/// worker's command payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BranchTables {
+    states: usize,
+    categories: usize,
+    /// `categories × states × states`, row-major per category:
+    /// `pmats[(c·states + s)·states + a] = P_c[s][a]`.
+    pmats: Vec<f64>,
+    /// `categories × n_masks × states`:
+    /// `tip_sums[(c·n_masks + m)·states + s] = Σ_{a ∈ mask_m} P_c[s][a]`.
+    /// The row over `s` is contiguous, matching the kernels' inner loops.
+    tip_sums: Vec<f64>,
+    dict: Arc<MaskDictionary>,
+}
+
+impl BranchTables {
+    /// Computes the tables for one branch of one partition.
+    ///
+    /// # Errors
+    ///
+    /// [`OpError::InvalidBranchLength`] if `branch_length` is negative, NaN
+    /// or infinite — the kernel-boundary domain check (a Brent/Newton probe
+    /// must never smuggle such a value into an exponential).
+    pub fn build(
+        model: &PartitionModel,
+        dict: &Arc<MaskDictionary>,
+        branch_length: f64,
+    ) -> Result<Self, OpError> {
+        validate_branch_length(branch_length)?;
+        let states = model.states();
+        let categories = model.categories();
+        debug_assert_eq!(states, dict.states());
+        let n_masks = dict.len();
+
+        let mut pmats = vec![0.0; categories * states * states];
+        for (c, &rate) in model.gamma_rates().iter().enumerate() {
+            let start = c * states * states;
+            model.substitution().eigen().transition_matrix_into(
+                branch_length * rate,
+                &mut pmats[start..][..states * states],
+            );
+        }
+
+        let mut tip_sums = vec![0.0; categories * n_masks * states];
+        for c in 0..categories {
+            let pmat = &pmats[c * states * states..][..states * states];
+            for m in 0..n_masks {
+                let mask = dict.mask_at(m);
+                let row = &mut tip_sums[(c * n_masks + m) * states..][..states];
+                for (s, out) in row.iter_mut().enumerate() {
+                    *out = mask_sum(&pmat[s * states..s * states + states], mask);
+                }
+            }
+        }
+
+        Ok(Self {
+            states,
+            categories,
+            pmats,
+            tip_sums,
+            dict: Arc::clone(dict),
+        })
+    }
+
+    /// Number of base states.
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// Number of rate categories.
+    pub fn categories(&self) -> usize {
+        self.categories
+    }
+
+    /// The transition matrix of one category (`states × states`, row-major).
+    #[inline]
+    pub fn pmat(&self, category: usize) -> &[f64] {
+        &self.pmats[category * self.states * self.states..][..self.states * self.states]
+    }
+
+    /// The tip-sum row of one (category, dictionary index): the vector over
+    /// target states `s` of `Σ_{a ∈ mask} P_c[s][a]`.
+    #[inline]
+    pub fn tip_row(&self, category: usize, mask_index: usize) -> &[f64] {
+        &self.tip_sums[(category * self.dict.len() + mask_index) * self.states..][..self.states]
+    }
+
+    /// The mask dictionary the tip rows are indexed by.
+    pub fn dict(&self) -> &MaskDictionary {
+        &self.dict
+    }
+
+    /// Bytes held by the tables (diagnostics).
+    pub fn allocated_bytes(&self) -> usize {
+        (self.pmats.len() + self.tip_sums.len()) * std::mem::size_of::<f64>()
+    }
+}
+
+/// The shared-table payload of one `Newview` command: for every partition
+/// with a traversal plan, the (left, right) branch tables of each step,
+/// aligned index-for-index with the plan's steps.
+#[derive(Debug, Clone)]
+pub struct NewviewTables {
+    /// One optional table list per partition (`None` where the plan is
+    /// `None`).
+    pub per_partition: Vec<Option<Vec<StepTables>>>,
+}
+
+/// The branch tables a single traversal step needs: one per child branch.
+#[derive(Debug, Clone)]
+pub struct StepTables {
+    /// Tables of the branch towards the left child.
+    pub left: Arc<BranchTables>,
+    /// Tables of the branch towards the right child.
+    pub right: Arc<BranchTables>,
+}
+
+/// The shared-table payload of one `Evaluate` command: the virtual-root
+/// branch tables of every active partition.
+#[derive(Debug, Clone)]
+pub struct EdgeTables {
+    /// One optional table per partition (`None` for masked-out partitions).
+    pub per_partition: Vec<Option<Arc<BranchTables>>>,
+}
+
+/// The kernel-boundary domain check for branch lengths.
+///
+/// # Errors
+///
+/// [`OpError::InvalidBranchLength`] for negative, NaN or infinite lengths.
+#[inline]
+pub fn validate_branch_length(t: f64) -> Result<(), OpError> {
+    if !t.is_finite() || t < 0.0 {
+        return Err(OpError::InvalidBranchLength { value: t });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_models::{ModelSet, PartitionModel};
+
+    fn dna_model() -> PartitionModel {
+        PartitionModel::default_for(DataType::Dna)
+    }
+
+    fn protein_model() -> PartitionModel {
+        PartitionModel::default_for(DataType::Protein)
+    }
+
+    #[test]
+    fn dna_dictionary_is_direct_and_complete() {
+        let dict = MaskDictionary::for_partition(DataType::Dna, &[0b0101, 0b1111]);
+        assert_eq!(dict.len(), 16);
+        for mask in 0u32..16 {
+            assert_eq!(dict.index_of(mask), Some(mask as usize));
+            assert_eq!(dict.mask_at(mask as usize), mask);
+        }
+        assert_eq!(dict.index_of(16), None);
+    }
+
+    #[test]
+    fn protein_dictionary_covers_canonical_common_and_observed() {
+        let odd_mask: EncodedState = 0b1010_1010_1010_1010_1010; // not a real code
+        let dict = MaskDictionary::for_partition(DataType::Protein, &[1 << 3, odd_mask]);
+        // All 20 canonical masks.
+        for i in 0..20u32 {
+            assert!(dict.index_of(1 << i).is_some(), "canonical state {i}");
+        }
+        // The common ambiguity codes and the gap state.
+        for c in ['B', 'Z', 'J'] {
+            let mask = DataType::Protein.encode(c).unwrap();
+            assert!(dict.index_of(mask).is_some(), "ambiguity code {c}");
+        }
+        assert!(dict.index_of(DataType::Protein.gap_state()).is_some());
+        // The observed exotic mask is covered; an unobserved one is not.
+        assert!(dict.index_of(odd_mask).is_some());
+        assert_eq!(dict.index_of(0b11), None);
+        assert!(!dict.is_empty());
+        assert_eq!(dict.states(), 20);
+    }
+
+    #[test]
+    fn tip_rows_match_the_reference_bit_loop_exactly() {
+        for model in [dna_model(), protein_model()] {
+            let states = model.states();
+            let data_type = model.data_type();
+            let dict = Arc::new(MaskDictionary::for_partition(data_type, &[]));
+            let tables = BranchTables::build(&model, &dict, 0.37).unwrap();
+            assert_eq!(tables.states(), states);
+            assert_eq!(tables.categories(), model.categories());
+            for c in 0..model.categories() {
+                let pmat = tables.pmat(c);
+                for m in 0..dict.len() {
+                    let mask = dict.mask_at(m);
+                    let row = tables.tip_row(c, m);
+                    for s in 0..states {
+                        let reference = mask_sum(&pmat[s * states..s * states + states], mask);
+                        // Bit-for-bit: same additions in the same order.
+                        assert!(
+                            row[s] == reference,
+                            "c={c} mask={mask:#b} s={s}: {} vs {reference}",
+                            row[s]
+                        );
+                    }
+                }
+            }
+            assert!(tables.allocated_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn pmats_match_the_per_call_computation() {
+        let model = dna_model();
+        let dict = Arc::new(MaskDictionary::for_partition(DataType::Dna, &[]));
+        let t = 0.21;
+        let tables = BranchTables::build(&model, &dict, t).unwrap();
+        for (c, &rate) in model.gamma_rates().iter().enumerate() {
+            let mut reference = vec![0.0; 16];
+            model
+                .substitution()
+                .eigen()
+                .transition_matrix_into(t * rate, &mut reference);
+            assert_eq!(tables.pmat(c), &reference[..], "category {c}");
+        }
+    }
+
+    #[test]
+    fn out_of_domain_branch_lengths_are_typed_errors() {
+        let model = dna_model();
+        let dict = Arc::new(MaskDictionary::for_partition(DataType::Dna, &[]));
+        for bad in [-1.0, -1e-30, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = BranchTables::build(&model, &dict, bad).unwrap_err();
+            assert!(
+                matches!(err, OpError::InvalidBranchLength { .. }),
+                "{bad}: {err:?}"
+            );
+        }
+        // Zero and positive lengths are in-domain.
+        assert!(BranchTables::build(&model, &dict, 0.0).is_ok());
+        assert!(validate_branch_length(1.5).is_ok());
+    }
+
+    #[test]
+    fn model_set_round_trip_builds_per_partition_tables() {
+        use phylo_data::{Alignment, PartitionSet, PartitionedPatterns};
+        let aln = Alignment::new(vec![
+            ("t1".into(), "ACGTACGT".into()),
+            ("t2".into(), "ACGAACGA".into()),
+        ])
+        .unwrap();
+        let ps = PartitionSet::equal_length(DataType::Dna, 8, 4);
+        let pp = PartitionedPatterns::compile(&aln, &ps).unwrap();
+        let models = ModelSet::default_for(&pp, phylo_models::BranchLengthMode::Joint);
+        for (pi, part) in pp.partitions.iter().enumerate() {
+            let dict = Arc::new(MaskDictionary::for_partition(
+                part.data_type,
+                &part.tip_states,
+            ));
+            let tables = BranchTables::build(models.model(pi), &dict, 0.1).unwrap();
+            assert_eq!(tables.dict().len(), 16);
+        }
+    }
+}

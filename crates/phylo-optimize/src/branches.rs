@@ -85,6 +85,12 @@ fn optimize_branch_joint<E: Executor>(
         config.branch_max_iter,
     );
     while let NewtonStep::Evaluate(t) = state.propose() {
+        // `NewtonState` already confines its iterates to the state's
+        // [lower, upper] interval; the clamp (here and in the oldPAR/newPAR
+        // loops below) re-asserts that invariant at the exact point a probe
+        // crosses the kernel boundary, which now *rejects* out-of-domain
+        // lengths as typed errors rather than exponentiating them.
+        let t = t.clamp(MIN_BRANCH_LENGTH, MAX_BRANCH_LENGTH);
         let lengths: Vec<Option<f64>> = vec![Some(t); partitions];
         let ders = kernel.try_branch_derivatives(&lengths)?;
         stats.derivative_regions += 1;
@@ -122,7 +128,7 @@ fn optimize_branch_old<E: Executor>(
         );
         while let NewtonStep::Evaluate(t) = state.propose() {
             let mut lengths: Vec<Option<f64>> = vec![None; partitions];
-            lengths[p] = Some(t);
+            lengths[p] = Some(t.clamp(MIN_BRANCH_LENGTH, MAX_BRANCH_LENGTH));
             let ders = kernel.try_branch_derivatives(&lengths)?;
             stats.derivative_regions += 1;
             stats.newton_iterations += 1;
@@ -164,7 +170,7 @@ fn optimize_branch_new<E: Executor>(
         let lengths: Vec<Option<f64>> = states
             .iter()
             .map(|s| match s.propose() {
-                NewtonStep::Evaluate(t) => Some(t),
+                NewtonStep::Evaluate(t) => Some(t.clamp(MIN_BRANCH_LENGTH, MAX_BRANCH_LENGTH)),
                 NewtonStep::Converged => None,
             })
             .collect();

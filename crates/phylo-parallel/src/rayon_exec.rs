@@ -23,7 +23,7 @@ use std::time::{Duration, Instant};
 use phylo_data::PartitionedPatterns;
 use phylo_kernel::cost::{RegionRecord, WorkTrace};
 use phylo_kernel::executor::{active_local_patterns, execute_on_worker, reduce_outputs};
-use phylo_kernel::{ExecContext, ExecError, Executor, KernelOp, OpOutput, WorkerSlices};
+use phylo_kernel::{ExecContext, ExecError, Executor, KernelOp, OpError, OpOutput, WorkerSlices};
 use phylo_sched::{Assignment, SchedError};
 use rayon::prelude::*;
 
@@ -194,7 +194,8 @@ impl Executor for RayonExecutor {
         };
         let workers = &mut self.workers;
         let timed = self.timed;
-        type WorkerResult = Result<(OpOutput, Duration, usize), usize>;
+        type WorkerOutput = Result<(OpOutput, Duration, usize), OpError>;
+        type WorkerResult = Result<WorkerOutput, usize>;
         let results: Vec<WorkerResult> = self.pool.install(|| {
             workers
                 .par_iter_mut()
@@ -202,8 +203,9 @@ impl Executor for RayonExecutor {
                     let index = w.worker;
                     // The catch keeps the panic from unwinding through the
                     // pool (which would kill the master); the worker index
-                    // is the error payload.
-                    catch_unwind(AssertUnwindSafe(|| {
+                    // is the error payload. A typed kernel rejection travels
+                    // inside the Ok arm — the worker stays healthy.
+                    catch_unwind(AssertUnwindSafe(|| -> WorkerOutput {
                         if panic_worker == Some(index) {
                             panic!("injected worker panic (test instrumentation)");
                         }
@@ -211,12 +213,12 @@ impl Executor for RayonExecutor {
                             // The untimed hot path skips the clock reads and
                             // the live-pattern count — nothing would keep
                             // them.
-                            return (execute_on_worker(w, op, ctx), Duration::ZERO, 0);
+                            return Ok((execute_on_worker(w, op, ctx)?, Duration::ZERO, 0));
                         }
                         let start = Instant::now();
-                        let out = execute_on_worker(w, op, ctx);
+                        let out = execute_on_worker(w, op, ctx)?;
                         let active = active_local_patterns(w, op);
-                        (out, start.elapsed(), active)
+                        Ok((out, start.elapsed(), active))
                     }))
                     .map_err(|_| index)
                 })
@@ -230,9 +232,13 @@ impl Executor for RayonExecutor {
             record.active_partitions = op.active_partitions();
         }
         let mut reduced: Option<OpOutput> = None;
+        // The parallel region is already fully joined here, so a typed
+        // kernel rejection can surface immediately — unlike a panic it does
+        // not poison the executor (the workers are healthy).
+        let mut rejected: Option<OpError> = None;
         for (worker, result) in results.into_iter().enumerate() {
             match result {
-                Ok((out, duration, active)) => {
+                Ok(Ok((out, duration, active))) => {
                     if let Some(record) = record.as_mut() {
                         record.seconds_per_worker[worker] = duration.as_secs_f64();
                         record.active_patterns_per_worker[worker] = active as f64;
@@ -242,11 +248,17 @@ impl Executor for RayonExecutor {
                         Some(acc) => reduce_outputs(acc, out),
                     });
                 }
+                Ok(Err(op_error)) => {
+                    rejected.get_or_insert(op_error);
+                }
                 Err(worker) => {
                     self.poisoned = Some(worker);
                     return Err(ExecError::WorkerDied { worker });
                 }
             }
+        }
+        if let Some(op_error) = rejected {
+            return Err(ExecError::Op(op_error));
         }
         if let Some(record) = record {
             self.trace.regions.push(record);
@@ -368,6 +380,7 @@ mod tests {
         };
         let op = KernelOp::Newview {
             plans: vec![None; ds.patterns.partition_count()],
+            tables: None,
         };
         exec.inject_worker_panic(1, 1);
         assert!(exec.execute(&op, &ctx).is_ok());

@@ -60,6 +60,10 @@ enum Reply {
     /// region (including any configured skew sleep) and the number of *live*
     /// local patterns it touched under the command's convergence mask.
     Output(OpOutput, Duration, usize),
+    /// A kernel primitive rejected the command (typed, deterministic master
+    /// misuse — e.g. a stale sum table). The worker stays alive and in
+    /// lockstep; the master surfaces [`ExecError::Op`] without poisoning.
+    OpRejected(phylo_kernel::OpError),
     /// The worker panicked; the payload is the panic message.
     Panicked(String),
 }
@@ -208,7 +212,7 @@ impl ThreadedExecutor {
                     .spawn(move || {
                         while let Ok(Some(cmd)) = cmd_rx.recv() {
                             let start = Instant::now();
-                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            let body = || -> Result<(OpOutput, usize), phylo_kernel::OpError> {
                                 if cmd.panic_worker == Some(worker_index) {
                                     panic!("injected worker panic (test instrumentation)");
                                 }
@@ -217,7 +221,7 @@ impl ThreadedExecutor {
                                     models: &cmd.models,
                                     branch_lengths: &cmd.branch_lengths,
                                 };
-                                let out = execute_on_worker(&mut slices, &cmd.op, &ctx);
+                                let out = execute_on_worker(&mut slices, &cmd.op, &ctx)?;
                                 // The live-pattern count drives the skew
                                 // sleep and the timed trace; the untimed,
                                 // unskewed hot path skips it (the master
@@ -230,14 +234,22 @@ impl ThreadedExecutor {
                                 if let Some(ns) = skew_ns {
                                     std::thread::sleep(Duration::from_nanos(ns * active as u64));
                                 }
-                                (out, active)
-                            }));
+                                Ok((out, active))
+                            };
+                            let outcome = catch_unwind(AssertUnwindSafe(body));
                             match outcome {
-                                Ok((out, active)) => {
+                                Ok(Ok((out, active))) => {
                                     if res_tx
                                         .send(Reply::Output(out, start.elapsed(), active))
                                         .is_err()
                                     {
+                                        break;
+                                    }
+                                }
+                                Ok(Err(op_error)) => {
+                                    // Typed rejection: the worker stays alive
+                                    // and keeps serving commands in lockstep.
+                                    if res_tx.send(Reply::OpRejected(op_error)).is_err() {
                                         break;
                                     }
                                 }
@@ -350,6 +362,11 @@ impl ThreadedExecutor {
             record.active_partitions = op.active_partitions();
         }
         let mut result: Option<OpOutput> = None;
+        // A typed kernel rejection must not break the broadcast lockstep:
+        // every worker still sends exactly one reply for this region, so the
+        // master drains them all before surfacing the first rejection. The
+        // workers stay healthy and unpoisoned.
+        let mut rejected: Option<phylo_kernel::OpError> = None;
         for (worker, handle) in self.handles.iter().enumerate() {
             match handle.results.recv() {
                 Ok(Reply::Output(out, duration, active)) => {
@@ -362,6 +379,9 @@ impl ThreadedExecutor {
                         Some(acc) => reduce_outputs(acc, out),
                     });
                 }
+                Ok(Reply::OpRejected(op_error)) => {
+                    rejected.get_or_insert(op_error);
+                }
                 Ok(Reply::Panicked(message)) => {
                     self.poisoned = Some(worker);
                     self.last_panic = Some(message);
@@ -372,6 +392,9 @@ impl ThreadedExecutor {
                     return Err(ExecError::WorkerDied { worker });
                 }
             }
+        }
+        if let Some(op_error) = rejected {
+            return Err(ExecError::Op(op_error));
         }
         if let Some(record) = record {
             self.trace.regions.push(record);
@@ -566,6 +589,7 @@ mod tests {
         // possible failure is the injected one.
         let op = KernelOp::Newview {
             plans: vec![None; ds.patterns.partition_count()],
+            tables: None,
         };
         // Armed one region ahead: the next command succeeds, the one after
         // dies on worker 1, and a reassign fully clears the fault.
@@ -579,6 +603,60 @@ mod tests {
         exec.reassign(&ds.patterns, &assignment, ds.tree.node_capacity(), &cats)
             .unwrap();
         assert!(exec.execute(&op, &ctx).is_ok());
+    }
+
+    #[test]
+    fn typed_kernel_rejection_does_not_poison_the_workers() {
+        use phylo_kernel::OpError;
+        let ds = paper_simulated(6, 64, 16, 61).generate();
+        let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::Joint);
+        let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+        let assignment = schedule(&ds.patterns, &cats, 3, &Cyclic).unwrap();
+        let mut exec = ThreadedExecutor::from_assignment(
+            &ds.patterns,
+            &assignment,
+            ds.tree.node_capacity(),
+            &cats,
+        )
+        .unwrap();
+        let bl = BranchLengths::from_tree(
+            &ds.tree,
+            ds.patterns.partition_count(),
+            models.branch_mode(),
+        );
+        let ctx = ExecContext {
+            tree: &ds.tree,
+            models: &models,
+            branch_lengths: &bl,
+        };
+        // Derivatives without a sum table: every worker with patterns hits
+        // the release-mode staleness guard. The rejection must cross the
+        // channel as a typed value, keep the broadcast lockstep intact and
+        // leave the workers unpoisoned (this used to be an assert! that
+        // killed the worker thread and poisoned the executor).
+        let premature = KernelOp::Derivatives {
+            lengths: vec![Some(0.1); ds.patterns.partition_count()],
+        };
+        let err = exec.execute(&premature, &ctx).unwrap_err();
+        assert!(
+            matches!(err, ExecError::Op(OpError::SumtableStale { .. })),
+            "{err:?}"
+        );
+        assert_eq!(exec.poisoned_by(), None, "workers stay healthy");
+        // The very next command runs on the same workers.
+        let nop = KernelOp::Newview {
+            plans: vec![None; ds.patterns.partition_count()],
+            tables: None,
+        };
+        assert!(exec.execute(&nop, &ctx).is_ok());
+        // And the lockstep survived: a full likelihood round-trip agrees
+        // with the sequential reference.
+        let mut seq =
+            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
+        let reference = seq.try_log_likelihood().unwrap();
+        let mut k = LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+        let lnl = k.try_log_likelihood().unwrap();
+        assert!((lnl - reference).abs() < 1e-8);
     }
 
     #[test]
@@ -655,6 +733,7 @@ mod tests {
         let bad = KernelOp::Evaluate {
             root_branch: 0,
             mask: vec![],
+            tables: None,
         };
         let err = exec.execute(&bad, &ctx).unwrap_err();
         assert!(matches!(err, ExecError::WorkerDied { .. }), "{err:?}");
@@ -667,6 +746,7 @@ mod tests {
         let good = KernelOp::Evaluate {
             root_branch: 0,
             mask: vec![true; ds.patterns.partition_count()],
+            tables: None,
         };
         let err = exec.execute(&good, &ctx).unwrap_err();
         assert!(matches!(err, ExecError::Poisoned { .. }), "{err:?}");
@@ -701,6 +781,7 @@ mod tests {
         let bad = KernelOp::Evaluate {
             root_branch: 0,
             mask: vec![],
+            tables: None,
         };
         assert!(exec.execute(&bad, &ctx).is_err());
         assert!(exec.poisoned_by().is_some());
@@ -713,6 +794,7 @@ mod tests {
         // a no-op newview (what the engine would issue after invalidation).
         let good = KernelOp::Newview {
             plans: vec![None; ds.patterns.partition_count()],
+            tables: None,
         };
         assert!(exec.execute(&good, &ctx).is_ok());
     }

@@ -13,8 +13,8 @@
 
 use phylo_data::PartitionedPatterns;
 use phylo_kernel::cost::{
-    derivative_flops, evaluate_flops, newview_bytes, newview_flops, sumtable_flops, OpKind,
-    RegionRecord, WorkTrace,
+    derivative_flops, evaluate_flops, newview_bytes, newview_flops, newview_flops_tabled,
+    sumtable_flops, OpKind, RegionRecord, WorkTrace,
 };
 use phylo_kernel::{
     executor::{active_local_patterns, execute_on_worker, reduce_outputs},
@@ -111,12 +111,19 @@ impl TracingExecutor {
             let mut flops = 0.0;
             let mut bytes = 0.0;
             match op {
-                KernelOp::Newview { plans } => {
+                KernelOp::Newview { plans, tables } => {
                     for (pi, plan) in plans.iter().enumerate() {
                         let Some(plan) = plan else { continue };
                         let slice = &worker.slices[pi];
                         let model = ctx.models.model(pi);
-                        let per_pattern = newview_flops(slice.states(), model.categories());
+                        // The recorded flops must describe the kernel that
+                        // actually ran: tabled newview replaces the tip
+                        // inner products with lookups.
+                        let per_pattern = if tables.is_some() {
+                            newview_flops_tabled(slice.states(), model.categories())
+                        } else {
+                            newview_flops(slice.states(), model.categories())
+                        };
                         let per_pattern_bytes = newview_bytes(slice.states(), model.categories());
                         let n = slice.pattern_count() as f64 * plan.len() as f64;
                         flops += n * per_pattern;
@@ -176,9 +183,10 @@ impl Executor for TracingExecutor {
         for (wi, worker) in self.workers.iter_mut().enumerate() {
             // The virtual workers run sequentially, so each bracket measures
             // one worker's work free of contention — wall-clock seconds on
-            // top of the analytic FLOP counts.
+            // top of the analytic FLOP counts. A typed kernel rejection
+            // surfaces directly (no channel lockstep to preserve here).
             let start = std::time::Instant::now();
-            let out = execute_on_worker(worker, op, ctx);
+            let out = execute_on_worker(worker, op, ctx).map_err(ExecError::Op)?;
             record.seconds_per_worker[wi] = start.elapsed().as_secs_f64();
             result = Some(match result {
                 None => out,

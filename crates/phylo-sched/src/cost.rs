@@ -10,8 +10,8 @@
 //! 20-state protein pattern weighs ≈25× a 4-state DNA pattern.
 
 use crate::error::SchedError;
-use phylo_data::PartitionedPatterns;
-use phylo_kernel::cost::newview_flops;
+use phylo_data::{CompressedPartition, PartitionedPatterns};
+use phylo_kernel::cost::{newview_flops, newview_flops_tabled};
 
 /// The scheduler's view of a workload: one relative cost per global pattern.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,12 +35,64 @@ impl PatternCosts {
             patterns.partition_count(),
             "one category count per partition required"
         );
+        Self::per_partition(patterns, |pi, part| {
+            newview_flops(part.states(), categories[pi])
+        })
+        .expect("analytic flops are finite and non-negative")
+    }
+
+    /// Costs that are uniform within each partition: `per_pattern(pi, part)`
+    /// is the weight of every pattern of partition `pi`, concatenated in the
+    /// dataset's compile order — the one place that encodes the
+    /// "global pattern index = partitions concatenated" invariant every
+    /// [`crate::Assignment`] relies on.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::InvalidCost`] if a produced weight is NaN, negative or
+    /// infinite.
+    pub fn per_partition<F>(
+        patterns: &PartitionedPatterns,
+        per_pattern: F,
+    ) -> Result<Self, SchedError>
+    where
+        F: Fn(usize, &CompressedPartition) -> f64,
+    {
         let mut costs = Vec::with_capacity(patterns.total_patterns());
         for (pi, part) in patterns.partitions.iter().enumerate() {
-            let per_pattern = newview_flops(part.states(), categories[pi]);
-            costs.extend(std::iter::repeat_n(per_pattern, part.pattern_count()));
+            let value = per_pattern(pi, part);
+            if !value.is_finite() || value < 0.0 {
+                return Err(SchedError::InvalidCost {
+                    pattern: costs.len(),
+                    value,
+                });
+            }
+            costs.extend(std::iter::repeat_n(value, part.pattern_count()));
         }
-        Self { costs }
+        Ok(Self { costs })
+    }
+
+    /// Analytic costs under the **shared-table kernel**
+    /// (`phylo_kernel::tables`): tip children are table lookups instead of
+    /// inner products, so the per-pattern weight is
+    /// `newview_flops_tabled(s, c)` and the protein/DNA ratio drops from
+    /// ≈23.8 to 21. Use this when the engine runs with shared tables enabled
+    /// (the default) — packing against the per-call ratio would
+    /// systematically over-weigh protein patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `categories.len()` differs from the partition count.
+    pub fn analytic_tabled(patterns: &PartitionedPatterns, categories: &[usize]) -> Self {
+        assert_eq!(
+            categories.len(),
+            patterns.partition_count(),
+            "one category count per partition required"
+        );
+        Self::per_partition(patterns, |pi, part| {
+            newview_flops_tabled(part.states(), categories[pi])
+        })
+        .expect("analytic flops are finite and non-negative")
     }
 
     /// Uniform costs (every pattern weighs 1): what the paper's original
@@ -126,6 +178,27 @@ mod tests {
             (20.0..30.0).contains(&ratio),
             "protein/DNA ratio {ratio} should be ≈25"
         );
+    }
+
+    #[test]
+    fn tabled_costs_recalibrate_the_protein_dna_ratio() {
+        let pp = mixed_patterns();
+        let costs = PatternCosts::analytic_tabled(&pp, &[4, 4]);
+        assert_eq!(costs.pattern_count(), pp.total_patterns());
+        let dna = costs.cost(0);
+        let protein = costs.cost(pp.global_offset(1));
+        let ratio = protein / dna;
+        // Tip lookups flatten the per-state gap: exactly
+        // (2·20+2)/(2·4+2) · 5 = 21 under the tabled model.
+        assert!(
+            (ratio - 21.0).abs() < 1e-12,
+            "tabled protein/DNA ratio {ratio} should be 21"
+        );
+        // And the tabled weights are strictly below the per-call weights.
+        let per_call = PatternCosts::analytic(&pp, &[4, 4]);
+        assert!(costs.cost(0) < per_call.cost(0));
+        let g = pp.global_offset(1);
+        assert!(costs.cost(g) < per_call.cost(g));
     }
 
     #[test]

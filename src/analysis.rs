@@ -114,6 +114,7 @@ pub struct AnalysisBuilder {
     timed: bool,
     skew: Option<WorkerSkew>,
     policy: Option<ReschedulePolicy>,
+    shared_tables: bool,
 }
 
 impl std::fmt::Debug for AnalysisBuilder {
@@ -123,6 +124,7 @@ impl std::fmt::Debug for AnalysisBuilder {
             .field("strategy", &self.strategy.name())
             .field("timed", &self.timed)
             .field("rescheduler", &self.policy.is_some())
+            .field("shared_tables", &self.shared_tables)
             .finish()
     }
 }
@@ -234,9 +236,27 @@ impl AnalysisBuilder {
     }
 
     fn schedule(&self, categories: &[usize]) -> Result<(PatternCosts, Assignment), AnalysisError> {
-        let costs = PatternCosts::analytic(&self.patterns, categories);
+        // The cost model must describe the kernel that will actually run:
+        // under shared tables the protein/DNA per-pattern ratio is 21, not
+        // the per-call ≈23.8 (see `PatternCosts::analytic_tabled`).
+        let costs = if self.shared_tables {
+            PatternCosts::analytic_tabled(&self.patterns, categories)
+        } else {
+            PatternCosts::analytic(&self.patterns, categories)
+        };
         let assignment = self.strategy.assign(&costs, self.threads)?;
         Ok((costs, assignment))
+    }
+
+    /// Whether the engine precomputes shared per-branch tables (transition
+    /// matrices + tip lookups, built once by the master and shared read-only
+    /// across the workers) — on by default. `false` selects the per-call
+    /// reference kernels; results are identical bit for bit, which is what
+    /// the `kernel_tables` benchmark gate verifies.
+    #[must_use]
+    pub fn shared_tables(mut self, enabled: bool) -> Self {
+        self.shared_tables = enabled;
+        self
     }
 
     /// Builds the session on real worker threads ([`ThreadedExecutor`]).
@@ -260,7 +280,8 @@ impl AnalysisBuilder {
             &categories,
             options,
         )?;
-        let kernel = LikelihoodKernel::try_new(self.patterns, self.tree, models, executor)?;
+        let mut kernel = LikelihoodKernel::try_new(self.patterns, self.tree, models, executor)?;
+        kernel.set_shared_tables(self.shared_tables);
         Ok(Analysis {
             kernel,
             base_costs: costs,
@@ -286,7 +307,8 @@ impl AnalysisBuilder {
             self.tree.node_capacity(),
             &categories,
         )?;
-        let kernel = LikelihoodKernel::try_new(self.patterns, self.tree, models, executor)?;
+        let mut kernel = LikelihoodKernel::try_new(self.patterns, self.tree, models, executor)?;
+        kernel.set_shared_tables(self.shared_tables);
         Ok(Analysis {
             kernel,
             base_costs: costs,
@@ -325,6 +347,7 @@ impl Analysis<ThreadedExecutor> {
             timed: false,
             skew: None,
             policy: None,
+            shared_tables: true,
         }
     }
 }

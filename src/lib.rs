@@ -55,8 +55,8 @@ pub mod prelude {
     pub use crate::analysis::{Analysis, AnalysisBuilder, AnalysisError};
     pub use phylo_data::{Alignment, DataType, Partition, PartitionSet, PartitionedPatterns};
     pub use phylo_kernel::{
-        engine::BranchScope, ExecError, KernelError, LikelihoodKernel, SequentialKernel, TraceUnit,
-        WorkTrace,
+        engine::BranchScope, BranchTables, ExecError, KernelError, LikelihoodKernel,
+        MaskDictionary, OpError, SequentialKernel, TraceUnit, WorkTrace,
     };
     pub use phylo_models::{BranchLengthMode, ModelSet, PartitionModel, SubstitutionModel};
     pub use phylo_optimize::{
@@ -68,7 +68,9 @@ pub mod prelude {
         build_workers, schedule, ExecutorOptions, RayonExecutor, ThreadedExecutor, TracingExecutor,
         WorkerSkew,
     };
-    pub use phylo_perfmodel::{imbalance_report, imbalance_report_in, ImbalanceReport, Platform};
+    pub use phylo_perfmodel::{
+        imbalance_report, imbalance_report_in, CostCalibration, ImbalanceReport, Platform,
+    };
     pub use phylo_sched::{
         worker_imbalance, Assignment, Block, Cyclic, PartitionAwareLpt, PatternCosts, Reassignable,
         RescheduleDecision, ReschedulePolicy, Rescheduler, SchedError, ScheduleStrategy,
