@@ -12,6 +12,7 @@
 use phylo_bench::scheduling::{compare_adaptive_resched, print_adaptive_comparison};
 use phylo_parallel::WorkerSkew;
 use phylo_seqgen::datasets::mixed_dna_protein;
+use phylo_telemetry::BenchEnvelope;
 
 fn main() {
     let scale = phylo_bench::dataset_scale();
@@ -32,23 +33,50 @@ fn main() {
         .expect("strategies succeed on a non-empty dataset");
     print_adaptive_comparison(&comparison);
 
+    let mut envelope = BenchEnvelope::new("adaptive_resched", &dataset.spec.name)
+        .run_num("taxa", dataset.spec.taxa as f64)
+        .run_num("partitions", dataset.spec.partition_count() as f64)
+        .run_num("patterns", dataset.total_patterns() as f64)
+        .run_num("workers", comparison.workers as f64)
+        .run_num("skew_worker", skew.worker as f64)
+        .run_num("skew_nanos_per_pattern", skew.nanos_per_pattern as f64)
+        .gate("min_reschedules", 1.0)
+        .gate("drift_max", 1e-8);
+    envelope.measure("reschedules", comparison.reschedules as f64);
+    envelope.measure("cyclic_imbalance", comparison.cyclic_imbalance);
+    envelope.measure("lpt_imbalance", comparison.lpt_imbalance);
+    envelope.measure("adaptive_imbalance", comparison.adaptive_imbalance);
+    envelope.measure("trigger_imbalance", comparison.trigger_imbalance);
+    envelope.measure("max_lnl_drift", comparison.max_lnl_drift);
+
     if comparison.reschedules == 0 {
-        eprintln!("REGRESSION: the rescheduler never fired on a 20x-skewed worker");
-        std::process::exit(1);
+        let msg = "the rescheduler never fired on a 20x-skewed worker".to_string();
+        eprintln!("REGRESSION: {msg}");
+        envelope.violation(msg);
     }
     if comparison.adaptive_imbalance >= comparison.cyclic_imbalance {
-        eprintln!(
-            "REGRESSION: adaptive-resched imbalance {:.3} is not below static cyclic {:.3}",
+        let msg = format!(
+            "adaptive-resched imbalance {:.3} is not below static cyclic {:.3}",
             comparison.adaptive_imbalance, comparison.cyclic_imbalance
         );
-        std::process::exit(1);
+        eprintln!("REGRESSION: {msg}");
+        envelope.violation(msg);
     }
     // The NaN check makes a broken (non-finite) likelihood fail the gate too.
     if comparison.max_lnl_drift.is_nan() || comparison.max_lnl_drift > 1e-8 {
-        eprintln!(
-            "REGRESSION: migration drifted the log likelihood by {:.2e}",
+        let msg = format!(
+            "migration drifted the log likelihood by {:.2e}",
             comparison.max_lnl_drift
         );
+        eprintln!("REGRESSION: {msg}");
+        envelope.violation(msg);
+    }
+    let path = "BENCH_adaptive_resched.json";
+    match std::fs::write(path, envelope.to_json()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+    if !envelope.passed() {
         std::process::exit(1);
     }
     println!("adaptive-resched beats the static cyclic baseline on measured wall clock.");

@@ -38,6 +38,7 @@ use phylo_optimize::{optimize_all_branches, OptimizerConfig, ParallelScheme};
 use phylo_parallel::{schedule, Cyclic, TracingExecutor};
 use phylo_perfmodel::CostCalibration;
 use phylo_seqgen::GeneratedDataset;
+use phylo_telemetry::BenchEnvelope;
 
 const THROUGHPUT_GATE: f64 = 1.3;
 const AGREEMENT_GATE: f64 = 1e-12;
@@ -118,6 +119,15 @@ fn main() {
         dataset.spec.partition_count(),
         dataset.total_patterns()
     );
+    let mut envelope = BenchEnvelope::new("kernel_tables", &dataset.spec.name)
+        .run_num("taxa", dataset.spec.taxa as f64)
+        .run_num("partitions", dataset.spec.partition_count() as f64)
+        .run_num("patterns", dataset.total_patterns() as f64)
+        .run_num("virtual_workers", VIRTUAL_WORKERS as f64)
+        .run_str("mode", "best-of-5")
+        .gate("throughput_min", THROUGHPUT_GATE)
+        .gate("agreement_max", AGREEMENT_GATE)
+        .gate("drift_max", DRIFT_GATE);
     let mut violations = 0usize;
 
     // 1. Agreement: shared tables vs per-call reference, per-partition lnL.
@@ -147,7 +157,9 @@ fn main() {
         "agreement: max per-partition |Δ lnL| = {agreement:.3e} (gate ≤ {AGREEMENT_GATE:.0e})"
     );
     if agreement.is_nan() || agreement > AGREEMENT_GATE {
-        eprintln!("REGRESSION: table kernels disagree with the per-call reference");
+        let msg = "table kernels disagree with the per-call reference".to_string();
+        eprintln!("REGRESSION: {msg}");
+        envelope.violation(msg);
         violations += 1;
     }
 
@@ -176,14 +188,17 @@ fn main() {
     );
     println!("  ratio      {ratio:>8.2}x  (gate ≥ {THROUGHPUT_GATE}x)   |Δ lnL| = {lnl_gap:.2e}");
     if ratio.is_nan() || ratio < THROUGHPUT_GATE {
-        eprintln!(
-            "REGRESSION: shared tables only {ratio:.2}x faster than per-call \
-             (gate {THROUGHPUT_GATE}x)"
+        let msg = format!(
+            "shared tables only {ratio:.2}x faster than per-call (gate {THROUGHPUT_GATE}x)"
         );
+        eprintln!("REGRESSION: {msg}");
+        envelope.violation(msg);
         violations += 1;
     }
     if lnl_gap.is_nan() || lnl_gap > 1e-8 {
-        eprintln!("REGRESSION: the two paths optimized to different likelihoods");
+        let msg = "the two paths optimized to different likelihoods".to_string();
+        eprintln!("REGRESSION: {msg}");
+        envelope.violation(msg);
         violations += 1;
     }
 
@@ -208,7 +223,9 @@ fn main() {
     );
     let measured_ratio = calibration.ratio();
     if measured_ratio.is_nan() || measured_ratio <= 1.0 {
-        eprintln!("REGRESSION: protein patterns must measure costlier than DNA");
+        let msg = "protein patterns must measure costlier than DNA".to_string();
+        eprintln!("REGRESSION: {msg}");
+        envelope.violation(msg);
         violations += 1;
     }
 
@@ -220,37 +237,36 @@ fn main() {
     let mut worst_drift = 0.0f64;
     for run in &comparison.runs {
         if run.max_lnl_drift.is_nan() || run.max_lnl_drift > DRIFT_GATE {
-            eprintln!(
-                "REGRESSION: {} drifted the log likelihood by {:.2e} across migrations",
+            let msg = format!(
+                "{} drifted the log likelihood by {:.2e} across migrations",
                 run.label, run.max_lnl_drift
             );
+            eprintln!("REGRESSION: {msg}");
+            envelope.violation(msg);
             violations += 1;
         }
         worst_drift = worst_drift.max(run.max_lnl_drift);
     }
     println!("\nrescheduling drift (tables on): max |Δ lnL| = {worst_drift:.2e} (gate ≤ {DRIFT_GATE:.0e})");
 
-    // Emit the trajectory record.
-    let json = format!(
-        "{{\n  \"dataset\": \"{}\",\n  \"virtual_workers\": {},\n  \"regions\": {},\n  \
-         \"per_call_seconds\": {:.6},\n  \"shared_tables_seconds\": {:.6},\n  \
-         \"throughput_ratio\": {:.4},\n  \"agreement_max_abs_dlnl\": {:.3e},\n  \
-         \"measured_cost_ratio\": {:.4},\n  \"analytic_tabled_ratio\": {:.4},\n  \
-         \"analytic_per_call_ratio\": {:.4},\n  \"resched_max_drift\": {:.3e}\n}}\n",
-        dataset.spec.name,
-        VIRTUAL_WORKERS,
-        per_call.regions,
-        per_call.seconds,
-        with_tables.seconds,
-        ratio,
-        agreement,
-        calibration.ratio(),
+    // Emit the trajectory record in the shared envelope schema.
+    envelope.measure("regions", per_call.regions as f64);
+    envelope.measure("per_call_seconds", per_call.seconds);
+    envelope.measure("shared_tables_seconds", with_tables.seconds);
+    envelope.measure("throughput_ratio", ratio);
+    envelope.measure("agreement_max_abs_dlnl", agreement);
+    envelope.measure("measured_cost_ratio", calibration.ratio());
+    envelope.measure(
+        "analytic_tabled_ratio",
         CostCalibration::analytic_ratio_tabled(categories),
-        CostCalibration::analytic_ratio_per_call(categories),
-        worst_drift,
     );
+    envelope.measure(
+        "analytic_per_call_ratio",
+        CostCalibration::analytic_ratio_per_call(categories),
+    );
+    envelope.measure("resched_max_drift", worst_drift);
     let path = "BENCH_kernel_tables.json";
-    match std::fs::write(path, &json) {
+    match std::fs::write(path, envelope.to_json()) {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => eprintln!("warning: could not write {path}: {e}"),
     }

@@ -23,6 +23,7 @@
 use phylo_bench::scheduling::{
     compare_mask_resched, print_mask_comparison, staggered_convergence_dataset,
 };
+use phylo_telemetry::BenchEnvelope;
 
 fn main() {
     let dataset = staggered_convergence_dataset(2026);
@@ -42,46 +43,80 @@ fn main() {
     let between = comparison.run("between-round");
     let masked = comparison.run("mask-aware");
 
-    let mut violations = 0usize;
+    let mut envelope = BenchEnvelope::new("mask_resched", &dataset.spec.name)
+        .run_num("taxa", dataset.spec.taxa as f64)
+        .run_num("partitions", dataset.spec.partition_count() as f64)
+        .run_num("patterns", dataset.total_patterns() as f64)
+        .run_num("workers", workers as f64)
+        .gate("min_within_round_reschedules", 1.0)
+        .gate("drift_max", 1e-8)
+        .gate("final_lnl_rel_max", 1e-6);
+    for run in &comparison.runs {
+        let key = run.label.replace([' ', '-'], "_");
+        envelope.measure(&format!("{key}_reschedules"), run.reschedules as f64);
+        envelope.measure(
+            &format!("{key}_within_round_reschedules"),
+            run.within_round_reschedules as f64,
+        );
+        envelope.measure(
+            &format!("{key}_probe_masked_imbalance"),
+            run.probe_masked_imbalance,
+        );
+        envelope.measure(
+            &format!("{key}_probe_overall_imbalance"),
+            run.probe_overall_imbalance,
+        );
+        envelope.measure(&format!("{key}_max_lnl_drift"), run.max_lnl_drift);
+    }
+
     if masked.within_round_reschedules == 0 {
-        eprintln!("REGRESSION: the mask-aware policy never fired within a round");
-        violations += 1;
+        let msg = "the mask-aware policy never fired within a round".to_string();
+        eprintln!("REGRESSION: {msg}");
+        envelope.violation(msg);
     }
     if masked.probe_masked_imbalance >= static_run.probe_masked_imbalance {
-        eprintln!(
-            "REGRESSION: mask-aware placement's masked imbalance {:.3} is not below \
-             static cyclic {:.3}",
+        let msg = format!(
+            "mask-aware placement's masked imbalance {:.3} is not below static cyclic {:.3}",
             masked.probe_masked_imbalance, static_run.probe_masked_imbalance
         );
-        violations += 1;
+        eprintln!("REGRESSION: {msg}");
+        envelope.violation(msg);
     }
     if masked.probe_masked_imbalance >= between.probe_masked_imbalance {
-        eprintln!(
-            "REGRESSION: mask-aware placement's masked imbalance {:.3} is not below \
+        let msg = format!(
+            "mask-aware placement's masked imbalance {:.3} is not below \
              between-round-only {:.3}",
             masked.probe_masked_imbalance, between.probe_masked_imbalance
         );
-        violations += 1;
+        eprintln!("REGRESSION: {msg}");
+        envelope.violation(msg);
     }
     for run in &comparison.runs {
         // NaN drift must fail the gate rather than slip past a < comparison.
         if run.max_lnl_drift.is_nan() || run.max_lnl_drift > 1e-8 {
-            eprintln!(
-                "REGRESSION: {} drifted the log likelihood by {:.2e} across migrations",
+            let msg = format!(
+                "{} drifted the log likelihood by {:.2e} across migrations",
                 run.label, run.max_lnl_drift
             );
-            violations += 1;
+            eprintln!("REGRESSION: {msg}");
+            envelope.violation(msg);
         }
         let rel = ((run.final_lnl - static_run.final_lnl) / static_run.final_lnl).abs();
         if rel.is_nan() || rel > 1e-6 {
-            eprintln!(
-                "REGRESSION: {} final lnL {:.6} deviates from static {:.6}",
+            let msg = format!(
+                "{} final lnL {:.6} deviates from static {:.6}",
                 run.label, run.final_lnl, static_run.final_lnl
             );
-            violations += 1;
+            eprintln!("REGRESSION: {msg}");
+            envelope.violation(msg);
         }
     }
-    if violations > 0 {
+    let path = "BENCH_mask_resched.json";
+    match std::fs::write(path, envelope.to_json()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+    if !envelope.passed() {
         std::process::exit(1);
     }
     println!(

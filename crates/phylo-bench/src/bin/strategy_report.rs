@@ -12,6 +12,7 @@
 use phylo_bench::scheduling::{compare_strategies, default_mixed_dataset, print_comparison};
 use phylo_bench::Workload;
 use phylo_perfmodel::Platform;
+use phylo_telemetry::BenchEnvelope;
 
 fn main() {
     let dataset = default_mixed_dataset();
@@ -22,6 +23,12 @@ fn main() {
         dataset.spec.partition_count(),
         dataset.total_patterns()
     );
+    let mut envelope = BenchEnvelope::new("strategy_report", &dataset.spec.name)
+        .run_num("taxa", dataset.spec.taxa as f64)
+        .run_num("partitions", dataset.spec.partition_count() as f64)
+        .run_num("patterns", dataset.total_patterns() as f64)
+        .gate("lpt_vs_cyclic_tolerance", 1e-9)
+        .gate("lpt_must_beat_block", 0.0);
     // Platform must have at least as many cores as virtual workers: the
     // 8-thread rows use the paper's 8-core Nehalem, the 16-thread rows its
     // 16-core Barcelona.
@@ -46,23 +53,35 @@ fn main() {
         let cyclic = predicted_max("cyclic");
         let block = predicted_max("block");
         let lpt = predicted_max("weighted-lpt");
+        envelope.measure(&format!("cyclic_predicted_max_w{workers}"), cyclic);
+        envelope.measure(&format!("block_predicted_max_w{workers}"), block);
+        envelope.measure(&format!("weighted_lpt_predicted_max_w{workers}"), lpt);
         if lpt > cyclic + 1e-9 {
-            eprintln!(
-                "REGRESSION ({workers} workers): weighted-lpt max predicted cost {lpt:.3} \
+            let msg = format!(
+                "{workers} workers: weighted-lpt max predicted cost {lpt:.3} \
                  exceeds cyclic {cyclic:.3}"
             );
+            eprintln!("REGRESSION ({msg})");
+            envelope.violation(msg);
             violations += 1;
         }
         if lpt >= block {
-            eprintln!(
-                "REGRESSION ({workers} workers): weighted-lpt max predicted cost {lpt:.3} \
+            let msg = format!(
+                "{workers} workers: weighted-lpt max predicted cost {lpt:.3} \
                  does not beat block {block:.3}"
             );
+            eprintln!("REGRESSION ({msg})");
+            envelope.violation(msg);
             violations += 1;
         }
     }
     println!("weighted-lpt packs by predicted cost (protein ≈25x DNA); trace-adaptive");
     println!("additionally corrects the cost model with a measured warm-up trace.");
+    let path = "BENCH_strategy_report.json";
+    match std::fs::write(path, envelope.to_json()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
     if violations > 0 {
         std::process::exit(1);
     }

@@ -122,6 +122,18 @@ pub enum OpKind {
     Derivatives,
 }
 
+impl OpKind {
+    /// Lower-case label of the op kind (the telemetry event `kind` field).
+    pub fn label(&self) -> &'static str {
+        match self {
+            OpKind::Newview => "newview",
+            OpKind::Evaluate => "evaluate",
+            OpKind::Sumtable => "sumtable",
+            OpKind::Derivatives => "derivatives",
+        }
+    }
+}
+
 /// Work performed by every (virtual) worker inside one parallel region,
 /// bracketed by one synchronization event.
 #[derive(Debug, Clone, PartialEq)]

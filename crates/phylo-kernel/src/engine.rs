@@ -142,6 +142,7 @@ pub struct LikelihoodKernel<E: Executor> {
     data: MasterData,
     executor: E,
     stats: KernelStats,
+    telemetry: phylo_telemetry::Telemetry,
 }
 
 /// The sequential engine used for correctness tests and the single-threaded
@@ -200,6 +201,7 @@ impl<E: Executor> LikelihoodKernel<E> {
             },
             executor,
             stats: KernelStats::default(),
+            telemetry: phylo_telemetry::Telemetry::disabled(),
         })
     }
 
@@ -272,6 +274,19 @@ impl<E: Executor> LikelihoodKernel<E> {
         self.executor
     }
 
+    /// Attaches a telemetry recorder to the engine **and** its executor: the
+    /// engine records `BranchTables` cache hits/builds, the executor brackets
+    /// regions. Attaching a disabled handle turns recording back off.
+    pub fn set_telemetry(&mut self, telemetry: &phylo_telemetry::Telemetry) {
+        self.telemetry = telemetry.clone();
+        self.executor.attach_telemetry(telemetry);
+    }
+
+    /// The telemetry handle currently attached (disabled by default).
+    pub fn telemetry(&self) -> &phylo_telemetry::Telemetry {
+        &self.telemetry
+    }
+
     /// A mask with every partition active.
     pub fn full_mask(&self) -> PartitionMask {
         vec![true; self.partition_count()]
@@ -327,6 +342,7 @@ impl<E: Executor> LikelihoodKernel<E> {
         branch: BranchId,
     ) -> Result<Arc<BranchTables>, KernelError> {
         if let Some(t) = self.data.tables.cache.get(&(partition, branch)) {
+            self.telemetry.table_cache_hit();
             return Ok(Arc::clone(t));
         }
         let length = self.data.branch_lengths.get(partition, branch);
@@ -336,6 +352,7 @@ impl<E: Executor> LikelihoodKernel<E> {
             length,
         )?);
         self.stats.table_builds += 1;
+        self.telemetry.table_build(partition, branch);
         self.data
             .tables
             .cache

@@ -274,6 +274,13 @@ pub trait Executor {
 
     /// Number of synchronization events executed so far.
     fn sync_events(&self) -> u64;
+
+    /// Attaches a telemetry recorder: the executor keeps a clone of the
+    /// (cheap, shared) handle and brackets every region with
+    /// start/end events plus per-worker timings. The default is a no-op so
+    /// backends without instrumentation stay telemetry-free; attaching a
+    /// disabled handle is equivalent to never calling this.
+    fn attach_telemetry(&mut self, _telemetry: &phylo_telemetry::Telemetry) {}
 }
 
 /// Executes one command against a single worker's slices. This is the shared
@@ -380,7 +387,7 @@ pub fn execute_on_worker(
                         };
                         ops::evaluate_edge_tabled(
                             &worker.slices[pi],
-                            &worker.buffers[pi],
+                            &mut worker.buffers[pi],
                             model,
                             left,
                             right,
@@ -475,6 +482,7 @@ pub fn reduce_outputs(a: OpOutput, b: OpOutput) -> OpOutput {
 pub struct SequentialExecutor {
     worker: WorkerSlices,
     sync_events: u64,
+    telemetry: phylo_telemetry::Telemetry,
 }
 
 impl SequentialExecutor {
@@ -487,6 +495,7 @@ impl SequentialExecutor {
         Self {
             worker: WorkerSlices::cyclic(patterns, 0, 1, node_capacity, categories),
             sync_events: 0,
+            telemetry: phylo_telemetry::Telemetry::disabled(),
         }
     }
 
@@ -503,11 +512,29 @@ impl Executor for SequentialExecutor {
 
     fn execute(&mut self, op: &KernelOp, ctx: &ExecContext<'_>) -> Result<OpOutput, ExecError> {
         self.sync_events += 1;
-        execute_on_worker(&mut self.worker, op, ctx).map_err(ExecError::from)
+        if !self.telemetry.enabled() {
+            return execute_on_worker(&mut self.worker, op, ctx).map_err(ExecError::from);
+        }
+        let token = self
+            .telemetry
+            .region_start(op.kind().label(), &op.active_partitions());
+        let started = std::time::Instant::now();
+        let result = execute_on_worker(&mut self.worker, op, ctx).map_err(ExecError::from);
+        let seconds = started.elapsed().as_secs_f64();
+        let (hits, misses, builds) = self.worker.take_tip_cache_counters();
+        self.telemetry.add_tip_cache(hits, misses, builds);
+        // The single worker never queues; a rejected op still completes the
+        // region (aborted regions are reserved for worker deaths).
+        self.telemetry.region_end(token, &[seconds], &[0.0]);
+        result
     }
 
     fn sync_events(&self) -> u64 {
         self.sync_events
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &phylo_telemetry::Telemetry) {
+        self.telemetry = telemetry.clone();
     }
 }
 

@@ -27,12 +27,14 @@
 //! and out-of-domain branch lengths fail as typed [`OpError`]s on every build
 //! profile (they used to be `debug_assert!`-only and silent in release).
 
+use std::sync::Arc;
+
 use phylo_data::EncodedState;
 use phylo_models::PartitionModel;
 use phylo_tree::{NodeId, TraversalStep};
 
 use crate::error::OpError;
-use crate::slice::{PartitionSlice, SliceBuffers};
+use crate::slice::{PartitionSlice, SliceBuffers, TIP_INDEX_NONE};
 use crate::tables::{validate_branch_length, BranchTables, StepTables};
 use crate::{LOG_SCALE_FACTOR, SCALE_FACTOR, SCALE_THRESHOLD};
 
@@ -263,29 +265,50 @@ pub fn newview_step_tabled(
     let categories = left_tables.categories();
     debug_assert_eq!(buffers.states(), states);
 
+    // Per-slice tip-index cache: every `(pattern, taxon)` mask is translated
+    // to its dictionary index once per slice lifetime, not once per call —
+    // the per-pattern binary search was the protein-partition hot spot. Both
+    // children share the partition's dictionary in practice; a right child
+    // with a different dictionary falls back to searching per pattern.
+    let left_is_tip = step.left < slice.n_taxa;
+    let right_is_tip = step.right < slice.n_taxa;
+    let right_cached = Arc::ptr_eq(left_tables.dict_arc(), right_tables.dict_arc());
+    if left_is_tip || (right_is_tip && right_cached) {
+        buffers.tip_indices(slice, left_tables.dict_arc());
+    }
+
     let (mut clv, mut scale) = buffers.take_node(step.node);
     clv.resize(patterns * categories * states, 0.0);
     scale.resize(patterns, 0);
 
     {
+        let tip_idx = buffers.cached_tip_indices();
+        let n_taxa = slice.n_taxa;
         let left = child_data(slice, buffers, step.left);
         let right = child_data(slice, buffers, step.right);
 
         for p in 0..patterns {
-            // One dictionary lookup per (pattern, tip child), hoisted out of
-            // the category/state loops; `None` (a mask outside the
-            // dictionary, or an internal child) falls back below.
+            // One cache read per (pattern, tip child), hoisted out of the
+            // category/state loops; `None` (a mask outside the dictionary,
+            // or an internal child) falls back below.
             let left_mask = match &left {
                 ChildData::Tip(t) => {
                     let mask = slice.tip_state(p, *t);
-                    Some((mask, left_tables.dict().index_of(mask)))
+                    let mi = tip_idx[p * n_taxa + *t];
+                    Some((mask, (mi != TIP_INDEX_NONE).then_some(mi as usize)))
                 }
                 ChildData::Internal { .. } => None,
             };
             let right_mask = match &right {
                 ChildData::Tip(t) => {
                     let mask = slice.tip_state(p, *t);
-                    Some((mask, right_tables.dict().index_of(mask)))
+                    let index = if right_cached {
+                        let mi = tip_idx[p * n_taxa + *t];
+                        (mi != TIP_INDEX_NONE).then_some(mi as usize)
+                    } else {
+                        right_tables.dict().index_of(mask)
+                    };
+                    Some((mask, index))
                 }
                 ChildData::Internal { .. } => None,
             };
@@ -359,6 +382,17 @@ pub fn newview_step_tabled(
             }
             scale[p] = events;
         }
+    }
+
+    let mut cached_lookups = 0u64;
+    if left_is_tip {
+        cached_lookups += patterns as u64;
+    }
+    if right_is_tip && right_cached {
+        cached_lookups += patterns as u64;
+    }
+    if cached_lookups > 0 {
+        buffers.count_tip_hits(cached_lookups);
     }
 
     buffers.put_back(step.node, clv, scale)
@@ -450,7 +484,7 @@ pub fn evaluate_edge(
 /// [`OpError::SliceShape`] when the buffers do not match the slice.
 pub fn evaluate_edge_tabled(
     slice: &PartitionSlice,
-    buffers: &SliceBuffers,
+    buffers: &mut SliceBuffers,
     model: &PartitionModel,
     left: NodeId,
     right: NodeId,
@@ -464,17 +498,28 @@ pub fn evaluate_edge_tabled(
     let freqs = model.substitution().frequencies();
     let inv_categories = 1.0 / categories as f64;
 
+    // Same per-slice tip-index cache as `newview_step_tabled`; only the
+    // right child's inner products are table-backed here.
+    let right_is_tip = right < slice.n_taxa;
+    if right_is_tip {
+        buffers.tip_indices(slice, tables.dict_arc());
+    }
+    let buffers = &*buffers;
+    let tip_idx = buffers.cached_tip_indices();
+    let n_taxa = slice.n_taxa;
+
     let left_data = child_data(slice, buffers, left);
     let right_data = child_data(slice, buffers, right);
 
     let mut total = 0.0;
     for p in 0..patterns {
-        // Hoisted dictionary lookup for a right tip child (the side whose
-        // inner products the tables replace).
+        // Hoisted cache read for a right tip child (the side whose inner
+        // products the tables replace).
         let right_mask = match &right_data {
             ChildData::Tip(t) => {
                 let mask = slice.tip_state(p, *t);
-                Some((mask, tables.dict().index_of(mask)))
+                let mi = tip_idx[p * n_taxa + *t];
+                Some((mask, (mi != TIP_INDEX_NONE).then_some(mi as usize)))
             }
             ChildData::Internal { .. } => None,
         };
@@ -529,6 +574,9 @@ pub fn evaluate_edge_tabled(
         }
         let ln_site = site.max(SITE_LIKELIHOOD_FLOOR).ln() - events as f64 * LOG_SCALE_FACTOR;
         total += slice.weights[p] * ln_site;
+    }
+    if right_is_tip {
+        buffers.count_tip_hits(patterns as u64);
     }
     Ok(total)
 }
@@ -980,7 +1028,7 @@ mod tests {
         let edge_tables = BranchTables::build(model, &dict, t).unwrap();
         let tabled = evaluate_edge_tabled(
             &ws_tab.slices[0],
-            &ws_tab.buffers[0],
+            &mut ws_tab.buffers[0],
             model,
             0,
             3,
@@ -1009,7 +1057,7 @@ mod tests {
         let tables = Arc::new(BranchTables::build(&protein, &dict, 0.1).unwrap());
         let err = evaluate_edge_tabled(
             &ws.slices[0],
-            &ws.buffers[0],
+            &mut ws.buffers[0],
             models.model(0),
             0,
             3,

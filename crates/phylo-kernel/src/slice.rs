@@ -17,9 +17,17 @@
 //! implementations the scheduler's strategies are tested against); arbitrary
 //! assignment functions go through [`WorkerSlices::with_assignment`].
 
+use std::cell::Cell;
+use std::sync::Arc;
+
 use phylo_data::{DataType, EncodedState, PartitionedPatterns};
 
 use crate::error::OpError;
+use crate::tables::MaskDictionary;
+
+/// Sentinel in the tip-index cache for a mask outside the dictionary (the
+/// kernels then fall back to the reference bit loop for that pattern).
+pub const TIP_INDEX_NONE: u32 = u32::MAX;
 
 /// One worker's view of one partition: the locally owned patterns.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +82,19 @@ pub struct SliceBuffers {
     sumtable: Vec<f64>,
     /// Scaling counter total for the branch the sum table was built for.
     sumtable_scale: Vec<i32>,
+    /// Tip-state → dictionary-index cache, pattern-major
+    /// (`tip_indices[p * n_taxa + t]`, [`TIP_INDEX_NONE`] = not in the
+    /// dictionary). Built lazily by [`SliceBuffers::tip_indices`].
+    tip_indices: Vec<u32>,
+    /// Arc identity of the dictionary the cache was built for (0 = unbuilt).
+    tip_dict_key: usize,
+    /// Lookups served from the cache (each one an avoided dictionary
+    /// search). `Cell`: counted while the CLVs are borrowed immutably.
+    tip_hits: Cell<u64>,
+    /// Dictionary searches performed while (re)building the cache.
+    tip_misses: Cell<u64>,
+    /// Number of cache (re)builds.
+    tip_builds: Cell<u64>,
 }
 
 impl SliceBuffers {
@@ -90,6 +111,11 @@ impl SliceBuffers {
             scales: vec![None; node_capacity],
             sumtable: Vec::new(),
             sumtable_scale: Vec::new(),
+            tip_indices: Vec::new(),
+            tip_dict_key: 0,
+            tip_hits: Cell::new(0),
+            tip_misses: Cell::new(0),
+            tip_builds: Cell::new(0),
         }
     }
 
@@ -202,6 +228,69 @@ impl SliceBuffers {
     /// Mutable access for the sum-table builder.
     pub fn sumtable_mut(&mut self) -> (&mut Vec<f64>, &mut Vec<i32>) {
         (&mut self.sumtable, &mut self.sumtable_scale)
+    }
+
+    /// Ensures the tip-index cache is built for `dict` and returns it.
+    ///
+    /// The cache translates every `(pattern, taxon)` tip-state mask of the
+    /// slice to its [`MaskDictionary`] index **once per slice**, so the
+    /// tabled kernels read an array entry per pattern instead of redoing the
+    /// binary search per `newview`/`evaluate` call (the protein-partition hot
+    /// spot). Entries are [`TIP_INDEX_NONE`] for masks outside the
+    /// dictionary. The cache is keyed on the dictionary's `Arc` identity:
+    /// passing a different dictionary (or a rebuilt slice after migration)
+    /// rebuilds it.
+    pub fn tip_indices(&mut self, slice: &PartitionSlice, dict: &Arc<MaskDictionary>) -> &[u32] {
+        let key = Arc::as_ptr(dict) as usize;
+        if self.tip_dict_key != key {
+            self.tip_indices.clear();
+            self.tip_indices.reserve(slice.tip_states.len());
+            for &mask in &slice.tip_states {
+                let index = dict.index_of(mask).map_or(TIP_INDEX_NONE, |i| i as u32);
+                self.tip_indices.push(index);
+            }
+            self.tip_dict_key = key;
+            self.tip_builds.set(self.tip_builds.get() + 1);
+            self.tip_misses
+                .set(self.tip_misses.get() + slice.tip_states.len() as u64);
+        }
+        &self.tip_indices
+    }
+
+    /// The current cache contents without (re)building. Valid only after a
+    /// [`SliceBuffers::tip_indices`] call with the live dictionary — the
+    /// kernels ensure first, then read through this while the CLVs hold
+    /// immutable borrows of the buffers.
+    #[inline]
+    pub fn cached_tip_indices(&self) -> &[u32] {
+        &self.tip_indices
+    }
+
+    /// Counts `n` tip lookups served from the cache (each one an avoided
+    /// dictionary search). Interior mutability so the kernels can count while
+    /// the CLV buffers are borrowed.
+    #[inline]
+    pub fn count_tip_hits(&self, n: u64) {
+        self.tip_hits.set(self.tip_hits.get() + n);
+    }
+
+    /// Current tip-index cache counters: `(hits, misses, builds)`.
+    pub fn tip_cache_counters(&self) -> (u64, u64, u64) {
+        (
+            self.tip_hits.get(),
+            self.tip_misses.get(),
+            self.tip_builds.get(),
+        )
+    }
+
+    /// Drains the tip-index cache counters: `(hits, misses, builds)` since
+    /// the last drain. Executors ship these per-region deltas to telemetry.
+    pub fn take_tip_cache_counters(&self) -> (u64, u64, u64) {
+        (
+            self.tip_hits.take(),
+            self.tip_misses.take(),
+            self.tip_builds.take(),
+        )
     }
 
     /// Total number of bytes currently allocated for CLVs (diagnostics).
@@ -376,6 +465,19 @@ impl WorkerSlices {
     /// Local pattern count of one partition.
     pub fn partition_patterns(&self, partition: usize) -> usize {
         self.slices[partition].pattern_count()
+    }
+
+    /// Drains the tip-index cache counters of every partition buffer, summed:
+    /// `(hits, misses, builds)` since the last drain.
+    pub fn take_tip_cache_counters(&self) -> (u64, u64, u64) {
+        let mut total = (0, 0, 0);
+        for buffer in &self.buffers {
+            let (h, m, b) = buffer.take_tip_cache_counters();
+            total.0 += h;
+            total.1 += m;
+            total.2 += b;
+        }
+        total
     }
 }
 
@@ -554,6 +656,51 @@ mod tests {
         buf.invalidate_sumtable();
         assert!(buf.sumtable().is_empty());
         assert!(buf.sumtable_scale().is_empty());
+    }
+
+    #[test]
+    fn tip_index_cache_builds_once_per_dictionary_and_counts() {
+        let pp = patterns();
+        let categories = vec![4; pp.partition_count()];
+        let mut w = WorkerSlices::cyclic(&pp, 0, 2, 8, &categories);
+        let part = &pp.partitions[0];
+        let dict = Arc::new(MaskDictionary::for_partition(
+            part.data_type,
+            &part.tip_states,
+        ));
+        let slice = w.slices[0].clone();
+        let buf = &mut w.buffers[0];
+        let n = slice.tip_states.len();
+
+        // First call builds: every entry matches a direct dictionary lookup.
+        let cached: Vec<u32> = buf.tip_indices(&slice, &dict).to_vec();
+        assert_eq!(cached.len(), n);
+        for p in 0..slice.pattern_count() {
+            for t in 0..slice.n_taxa {
+                let mask = slice.tip_state(p, t);
+                let expected = dict.index_of(mask).map_or(TIP_INDEX_NONE, |i| i as u32);
+                assert_eq!(cached[p * slice.n_taxa + t], expected);
+            }
+        }
+        assert_eq!(buf.tip_cache_counters(), (0, n as u64, 1));
+
+        // Same dictionary: no rebuild. Hits are counted by the caller.
+        let _ = buf.tip_indices(&slice, &dict);
+        buf.count_tip_hits(7);
+        assert_eq!(buf.tip_cache_counters(), (7, n as u64, 1));
+
+        // A different dictionary Arc rebuilds.
+        let other = Arc::new(MaskDictionary::for_partition(
+            part.data_type,
+            &part.tip_states,
+        ));
+        let _ = buf.tip_indices(&slice, &other);
+        assert_eq!(buf.tip_cache_counters(), (7, 2 * n as u64, 2));
+
+        // Draining resets and sums across a worker's buffers.
+        let (h, m, b) = w.take_tip_cache_counters();
+        assert_eq!((h, m, b), (7, 2 * n as u64, 2));
+        assert_eq!(w.take_tip_cache_counters(), (0, 0, 0));
     }
 
     #[test]

@@ -229,6 +229,12 @@ impl BranchTables {
         &self.dict
     }
 
+    /// The shared dictionary handle — its `Arc` identity keys the per-slice
+    /// tip-index cache ([`crate::slice::SliceBuffers::tip_indices`]).
+    pub fn dict_arc(&self) -> &Arc<MaskDictionary> {
+        &self.dict
+    }
+
     /// Bytes held by the tables (diagnostics).
     pub fn allocated_bytes(&self) -> usize {
         (self.pmats.len() + self.tip_sums.len()) * std::mem::size_of::<f64>()

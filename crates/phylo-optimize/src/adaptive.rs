@@ -213,6 +213,12 @@ where
     };
 
     let log_likelihood_before = kernel.try_log_likelihood()?;
+    kernel.telemetry().reschedule(
+        round,
+        within_round,
+        decision.measured_imbalance,
+        decision.assignment.imbalance(),
+    );
     // Rebuilding the workers restarts the trace epoch; keep the old epoch's
     // measurements with the event so full-run statistics survive migrations.
     let epoch_trace = kernel.executor_mut().take_trace();
@@ -311,10 +317,9 @@ where
                     return Err(error.into());
                 }
                 recover_worker_death(kernel)?;
-                recoveries.push(WorkerRecovery {
-                    worker,
-                    attempt: recoveries.len() + 1,
-                });
+                let attempt = recoveries.len() + 1;
+                kernel.telemetry().worker_recovery(worker, attempt);
+                recoveries.push(WorkerRecovery { worker, attempt });
             }
         }
     }

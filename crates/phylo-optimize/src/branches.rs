@@ -77,6 +77,7 @@ fn optimize_branch_joint<E: Executor>(
     let mask = kernel.full_mask();
     kernel.try_prepare_branch(branch, &mask)?;
     let partitions = kernel.partition_count();
+    let telemetry = kernel.telemetry().clone();
     let mut state = NewtonState::new(
         kernel.branch_length(0, branch),
         MIN_BRANCH_LENGTH,
@@ -95,11 +96,14 @@ fn optimize_branch_joint<E: Executor>(
         let ders = kernel.try_branch_derivatives(&lengths)?;
         stats.derivative_regions += 1;
         stats.newton_iterations += 1;
-        let (mut d1, mut d2) = (0.0, 0.0);
+        let (mut lnl, mut d1, mut d2) = (0.0, 0.0, 0.0);
         for d in ders.into_iter().flatten() {
+            lnl += d.log_likelihood;
             d1 += d.first;
             d2 += d.second;
         }
+        // A joint probe sums over all partitions — recorded without one.
+        telemetry.newton_probe(branch, None, t, lnl, d1, d2);
         state.update(d1, d2);
     }
     kernel.set_branch_length(BranchScope::All, branch, state.current);
@@ -116,6 +120,7 @@ fn optimize_branch_old<E: Executor>(
     stats: &mut BranchOptimizationStats,
 ) -> Result<(), KernelError> {
     let partitions = kernel.partition_count();
+    let telemetry = kernel.telemetry().clone();
     for p in 0..partitions {
         let mask = kernel.single_mask(p);
         kernel.try_prepare_branch(branch, &mask)?;
@@ -127,12 +132,14 @@ fn optimize_branch_old<E: Executor>(
             config.branch_max_iter,
         );
         while let NewtonStep::Evaluate(t) = state.propose() {
+            let t = t.clamp(MIN_BRANCH_LENGTH, MAX_BRANCH_LENGTH);
             let mut lengths: Vec<Option<f64>> = vec![None; partitions];
-            lengths[p] = Some(t.clamp(MIN_BRANCH_LENGTH, MAX_BRANCH_LENGTH));
+            lengths[p] = Some(t);
             let ders = kernel.try_branch_derivatives(&lengths)?;
             stats.derivative_regions += 1;
             stats.newton_iterations += 1;
             let d = ders[p].expect("active partition must report derivatives");
+            telemetry.newton_probe(branch, Some(p), t, d.log_likelihood, d.first, d.second);
             state.update(d.first, d.second);
         }
         kernel.set_branch_length(BranchScope::Partition(p), branch, state.current);
@@ -150,6 +157,7 @@ fn optimize_branch_new<E: Executor>(
     stats: &mut BranchOptimizationStats,
 ) -> Result<(), KernelError> {
     let partitions = kernel.partition_count();
+    let telemetry = kernel.telemetry().clone();
     let mask = kernel.full_mask();
     kernel.try_prepare_branch(branch, &mask)?;
     let mut states: Vec<NewtonState> = (0..partitions)
@@ -182,8 +190,9 @@ fn optimize_branch_new<E: Executor>(
         stats.derivative_regions += 1;
         stats.newton_iterations += active as u64;
         for (p, der) in ders.into_iter().enumerate() {
-            if lengths[p].is_some() {
+            if let Some(t) = lengths[p] {
                 let d = der.expect("active partition must report derivatives");
+                telemetry.newton_probe(branch, Some(p), t, d.log_likelihood, d.first, d.second);
                 states[p].update(d.first, d.second);
             }
         }

@@ -101,6 +101,7 @@ where
 
         let improvement = lnl - current;
         current = lnl;
+        kernel.telemetry().optimizer_round(rounds, current);
         hook(kernel, rounds, HookPoint::RoundEnd)?;
         if improvement.abs() < config.likelihood_epsilon {
             break;

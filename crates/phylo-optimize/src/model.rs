@@ -43,6 +43,16 @@ enum ModelParameter {
     Exchangeability(usize),
 }
 
+impl ModelParameter {
+    /// Stable label used in telemetry probe events.
+    fn label(&self) -> &'static str {
+        match self {
+            ModelParameter::Alpha => "alpha",
+            ModelParameter::Exchangeability(_) => "exchangeability",
+        }
+    }
+}
+
 fn parameter_value<E: Executor>(
     kernel: &LikelihoodKernel<E>,
     partition: usize,
@@ -126,6 +136,7 @@ fn optimize_parameter_old<E: Executor>(
 ) -> Result<ModelOptimizationStats, KernelError> {
     let mut stats = ModelOptimizationStats::default();
     let partitions = kernel.partition_count();
+    let telemetry = kernel.telemetry().clone();
     for p in 0..partitions {
         if !applicable(kernel, p, param) {
             continue;
@@ -139,6 +150,7 @@ fn optimize_parameter_old<E: Executor>(
         let lnl = evaluate_masked(kernel, &mask)?[p];
         stats.evaluation_rounds += 1;
         stats.brent_evaluations += 1;
+        telemetry.brent_probe(param.label(), p, state.initial_point().exp(), lnl);
         state.set_initial_value(-lnl);
 
         for _ in 0..config.brent_max_iter {
@@ -149,6 +161,7 @@ fn optimize_parameter_old<E: Executor>(
                     let lnl = evaluate_masked(kernel, &mask)?[p];
                     stats.evaluation_rounds += 1;
                     stats.brent_evaluations += 1;
+                    telemetry.brent_probe(param.label(), p, x.exp(), lnl);
                     state.update(x, -lnl);
                 }
             }
@@ -165,6 +178,7 @@ fn optimize_parameter_new<E: Executor>(
 ) -> Result<ModelOptimizationStats, KernelError> {
     let mut stats = ModelOptimizationStats::default();
     let partitions = kernel.partition_count();
+    let telemetry = kernel.telemetry().clone();
     let mut states: Vec<Option<BrentState>> = (0..partitions)
         .map(|p| {
             if applicable(kernel, p, param) {
@@ -193,6 +207,7 @@ fn optimize_parameter_new<E: Executor>(
     stats.evaluation_rounds += 1;
     for (p, state) in states.iter_mut().enumerate() {
         if let Some(state) = state {
+            telemetry.brent_probe(param.label(), p, state.initial_point().exp(), lnls[p]);
             state.set_initial_value(-lnls[p]);
         }
     }
@@ -225,6 +240,7 @@ fn optimize_parameter_new<E: Executor>(
         stats.evaluation_rounds += 1;
         for (p, proposal) in proposals.iter().enumerate() {
             if let Some(x) = proposal {
+                telemetry.brent_probe(param.label(), p, x.exp(), lnls[p]);
                 states[p]
                     .as_mut()
                     .expect("proposal implies an active state")

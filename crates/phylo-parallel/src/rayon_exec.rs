@@ -39,6 +39,7 @@ pub struct RayonExecutor {
     poisoned: Option<usize>,
     /// One-shot armed fault injection: `(worker, fire_at_sync_event)`.
     injected_panic: Option<(usize, u64)>,
+    telemetry: phylo_telemetry::Telemetry,
 }
 
 impl std::fmt::Debug for RayonExecutor {
@@ -96,6 +97,7 @@ impl RayonExecutor {
             sync_events: 0,
             poisoned: None,
             injected_panic: None,
+            telemetry: phylo_telemetry::Telemetry::disabled(),
         })
     }
 
@@ -192,8 +194,14 @@ impl Executor for RayonExecutor {
             }
             _ => None,
         };
+        // Telemetry shares the per-worker duration plumbing with the timed
+        // trace: an enabled recorder forces the clock reads even untimed.
+        let token = self.telemetry.enabled().then(|| {
+            self.telemetry
+                .region_start(op.kind().label(), &op.active_partitions())
+        });
         let workers = &mut self.workers;
-        let timed = self.timed;
+        let timed = self.timed || token.is_some();
         type WorkerOutput = Result<(OpOutput, Duration, usize), OpError>;
         type WorkerResult = Result<WorkerOutput, usize>;
         let results: Vec<WorkerResult> = self.pool.install(|| {
@@ -232,6 +240,7 @@ impl Executor for RayonExecutor {
             record.active_partitions = op.active_partitions();
         }
         let mut reduced: Option<OpOutput> = None;
+        let mut worker_seconds = vec![0.0; self.workers.len()];
         // The parallel region is already fully joined here, so a typed
         // kernel rejection can surface immediately — unlike a panic it does
         // not poison the executor (the workers are healthy).
@@ -239,6 +248,7 @@ impl Executor for RayonExecutor {
         for (worker, result) in results.into_iter().enumerate() {
             match result {
                 Ok(Ok((out, duration, active))) => {
+                    worker_seconds[worker] = duration.as_secs_f64();
                     if let Some(record) = record.as_mut() {
                         record.seconds_per_worker[worker] = duration.as_secs_f64();
                         record.active_patterns_per_worker[worker] = active as f64;
@@ -253,9 +263,27 @@ impl Executor for RayonExecutor {
                 }
                 Err(worker) => {
                     self.poisoned = Some(worker);
+                    self.telemetry
+                        .worker_death(worker, token.as_ref().and_then(|t| t.region()));
                     return Err(ExecError::WorkerDied { worker });
                 }
             }
+        }
+        // The region is joined and no worker died, so it completed (a typed
+        // rejection still closes the bracket). Work-stealing has no per-worker
+        // command queue, so the queue-wait lanes are zero.
+        if let Some(token) = token {
+            let (mut hits, mut misses, mut builds) = (0u64, 0u64, 0u64);
+            for w in &self.workers {
+                let (h, m, b) = w.take_tip_cache_counters();
+                hits += h;
+                misses += m;
+                builds += b;
+            }
+            self.telemetry.add_tip_cache(hits, misses, builds);
+            let queue_wait = vec![0.0; worker_seconds.len()];
+            self.telemetry
+                .region_end(token, &worker_seconds, &queue_wait);
         }
         if let Some(op_error) = rejected {
             return Err(ExecError::Op(op_error));
@@ -268,6 +296,10 @@ impl Executor for RayonExecutor {
 
     fn sync_events(&self) -> u64 {
         self.sync_events
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &phylo_telemetry::Telemetry) {
+        self.telemetry = telemetry.clone();
     }
 }
 

@@ -41,7 +41,13 @@ use phylo_kernel::{
 };
 use phylo_models::ModelSet;
 use phylo_sched::{Assignment, SchedError};
+use phylo_telemetry::{ring, Telemetry, WorkerSample};
 use phylo_tree::Tree;
+
+/// Capacity of each worker's sample ring. One sample is pushed per recorded
+/// region and the master drains at every region barrier, so the ring is
+/// effectively depth-1; the slack absorbs drains skipped by error paths.
+const SAMPLE_RING_CAPACITY: usize = 64;
 
 /// One broadcast command: the op plus a snapshot of the master state.
 struct Command {
@@ -49,6 +55,10 @@ struct Command {
     tree: Tree,
     models: ModelSet,
     branch_lengths: BranchLengths,
+    /// Telemetry: whether workers should push a [`WorkerSample`] for this
+    /// region, and the region's sequence number to stamp it with.
+    record: bool,
+    region: u64,
     /// Test instrumentation: the worker that must panic while executing this
     /// command (see [`ThreadedExecutor::inject_worker_panic`]).
     panic_worker: Option<usize>,
@@ -103,6 +113,9 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 struct WorkerHandle {
     sender: Sender<Option<Arc<Command>>>,
     results: Receiver<Reply>,
+    /// Consumer half of the worker's lock-free sample ring; drained by the
+    /// master at the region barrier when telemetry is recording.
+    samples: ring::Consumer<WorkerSample>,
     join: Option<JoinHandle<()>>,
 }
 
@@ -118,6 +131,7 @@ pub struct ThreadedExecutor {
     last_panic: Option<String>,
     /// One-shot armed fault injection: `(worker, fire_at_sync_event)`.
     injected_panic: Option<(usize, u64)>,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for ThreadedExecutor {
@@ -182,6 +196,7 @@ impl ThreadedExecutor {
             poisoned: None,
             last_panic: None,
             injected_panic: None,
+            telemetry: Telemetry::disabled(),
         })
     }
 
@@ -207,10 +222,15 @@ impl ThreadedExecutor {
                 let worker_index = slices.worker;
                 let (cmd_tx, cmd_rx) = channel::<Option<Arc<Command>>>();
                 let (res_tx, res_rx) = channel::<Reply>();
+                let (mut sample_tx, sample_rx) = ring::spsc::<WorkerSample>(SAMPLE_RING_CAPACITY);
                 let join = std::thread::Builder::new()
                     .name(format!("plk-worker-{}", slices.worker))
                     .spawn(move || {
+                        let mut idle_since = Instant::now();
                         while let Ok(Some(cmd)) = cmd_rx.recv() {
+                            // Time spent blocked on the command channel: the
+                            // telemetry queue-wait lane of this worker.
+                            let queue_wait = idle_since.elapsed();
                             let start = Instant::now();
                             let body = || -> Result<(OpOutput, usize), phylo_kernel::OpError> {
                                 if cmd.panic_worker == Some(worker_index) {
@@ -237,6 +257,23 @@ impl ThreadedExecutor {
                                 Ok((out, active))
                             };
                             let outcome = catch_unwind(AssertUnwindSafe(body));
+                            // The sample is pushed *before* the reply, so by
+                            // the time the master holds this worker's reply
+                            // the ring slot is visible. A panicked worker
+                            // pushes nothing: its region never completes.
+                            if cmd.record && outcome.is_ok() {
+                                let (tip_hits, tip_misses, tip_builds) =
+                                    slices.take_tip_cache_counters();
+                                let _ = sample_tx.push(WorkerSample {
+                                    worker: worker_index,
+                                    region: cmd.region,
+                                    op_seconds: start.elapsed().as_secs_f64(),
+                                    queue_wait_seconds: queue_wait.as_secs_f64(),
+                                    tip_hits,
+                                    tip_misses,
+                                    tip_builds,
+                                });
+                            }
                             match outcome {
                                 Ok(Ok((out, active))) => {
                                     if res_tx
@@ -260,12 +297,14 @@ impl ThreadedExecutor {
                                     break;
                                 }
                             }
+                            idle_since = Instant::now();
                         }
                     })
                     .expect("failed to spawn worker thread");
                 WorkerHandle {
                     sender: cmd_tx,
                     results: res_rx,
+                    samples: sample_rx,
                     join: Some(join),
                 }
             })
@@ -339,16 +378,28 @@ impl ThreadedExecutor {
             }
             _ => None,
         };
+        // Bracket the region for telemetry. The token is dropped without a
+        // `region_end` on the worker-death paths, which is exactly the
+        // "started but never completed" marker the event stream needs.
+        let token = self.telemetry.enabled().then(|| {
+            self.telemetry
+                .region_start(op.kind().label(), &op.active_partitions())
+        });
+        let region = token.as_ref().and_then(|t| t.region()).unwrap_or(0);
         let command = Arc::new(Command {
             op: op.clone(),
             tree: ctx.tree.clone(),
             models: ctx.models.clone(),
             branch_lengths: ctx.branch_lengths.clone(),
+            record: token.is_some(),
+            region,
             panic_worker,
         });
         for (worker, handle) in self.handles.iter().enumerate() {
             if handle.sender.send(Some(Arc::clone(&command))).is_err() {
                 self.poisoned = Some(worker);
+                self.telemetry
+                    .worker_death(worker, token.as_ref().and_then(|t| t.region()));
                 return Err(ExecError::WorkerDied { worker });
             }
         }
@@ -385,13 +436,40 @@ impl ThreadedExecutor {
                 Ok(Reply::Panicked(message)) => {
                     self.poisoned = Some(worker);
                     self.last_panic = Some(message);
+                    self.telemetry
+                        .worker_death(worker, token.as_ref().and_then(|t| t.region()));
                     return Err(ExecError::WorkerDied { worker });
                 }
                 Err(_) => {
                     self.poisoned = Some(worker);
+                    self.telemetry
+                        .worker_death(worker, token.as_ref().and_then(|t| t.region()));
                     return Err(ExecError::WorkerDied { worker });
                 }
             }
+        }
+        // Every worker replied (possibly with a typed rejection), so the
+        // region completed: drain the sample rings and close the bracket —
+        // the sample of worker `w` was pushed before its reply was sent.
+        if let Some(token) = token {
+            let mut worker_seconds = vec![0.0; self.worker_count];
+            let mut queue_wait = vec![0.0; self.worker_count];
+            let (mut hits, mut misses, mut builds) = (0u64, 0u64, 0u64);
+            for handle in &mut self.handles {
+                for sample in handle.samples.drain() {
+                    if sample.region != region {
+                        continue;
+                    }
+                    worker_seconds[sample.worker] = sample.op_seconds;
+                    queue_wait[sample.worker] = sample.queue_wait_seconds;
+                    hits += sample.tip_hits;
+                    misses += sample.tip_misses;
+                    builds += sample.tip_builds;
+                }
+            }
+            self.telemetry.add_tip_cache(hits, misses, builds);
+            self.telemetry
+                .region_end(token, &worker_seconds, &queue_wait);
         }
         if let Some(op_error) = rejected {
             return Err(ExecError::Op(op_error));
@@ -459,6 +537,10 @@ impl Executor for ThreadedExecutor {
 
     fn sync_events(&self) -> u64 {
         self.sync_events
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
     }
 }
 

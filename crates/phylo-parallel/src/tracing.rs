@@ -29,6 +29,7 @@ pub struct TracingExecutor {
     assignment: Assignment,
     trace: WorkTrace,
     sync_events: u64,
+    telemetry: phylo_telemetry::Telemetry,
 }
 
 impl TracingExecutor {
@@ -54,6 +55,7 @@ impl TracingExecutor {
             assignment: assignment.clone(),
             trace: WorkTrace::new(assignment.worker_count()),
             sync_events: 0,
+            telemetry: phylo_telemetry::Telemetry::disabled(),
         })
     }
 
@@ -178,20 +180,51 @@ impl Executor for TracingExecutor {
 
     fn execute(&mut self, op: &KernelOp, ctx: &ExecContext<'_>) -> Result<OpOutput, ExecError> {
         self.sync_events += 1;
+        let token = self.telemetry.enabled().then(|| {
+            self.telemetry
+                .region_start(op.kind().label(), &op.active_partitions())
+        });
         let mut record = self.region_record(op, ctx);
         let mut result: Option<OpOutput> = None;
+        let mut rejected: Option<phylo_kernel::OpError> = None;
         for (wi, worker) in self.workers.iter_mut().enumerate() {
             // The virtual workers run sequentially, so each bracket measures
             // one worker's work free of contention — wall-clock seconds on
             // top of the analytic FLOP counts. A typed kernel rejection
-            // surfaces directly (no channel lockstep to preserve here).
+            // surfaces after the telemetry bracket is closed (the virtual
+            // workers cannot die, so every region completes).
             let start = std::time::Instant::now();
-            let out = execute_on_worker(worker, op, ctx).map_err(ExecError::Op)?;
-            record.seconds_per_worker[wi] = start.elapsed().as_secs_f64();
-            result = Some(match result {
-                None => out,
-                Some(acc) => reduce_outputs(acc, out),
-            });
+            match execute_on_worker(worker, op, ctx) {
+                Ok(out) => {
+                    record.seconds_per_worker[wi] = start.elapsed().as_secs_f64();
+                    result = Some(match result {
+                        None => out,
+                        Some(acc) => reduce_outputs(acc, out),
+                    });
+                }
+                Err(e) => {
+                    rejected = Some(e);
+                    break;
+                }
+            }
+        }
+        // Virtual workers run on the master thread: no queues, so the
+        // queue-wait lanes are zero; the tip-cache deltas drain directly.
+        if let Some(token) = token {
+            let (mut hits, mut misses, mut builds) = (0u64, 0u64, 0u64);
+            for w in &self.workers {
+                let (h, m, b) = w.take_tip_cache_counters();
+                hits += h;
+                misses += m;
+                builds += b;
+            }
+            self.telemetry.add_tip_cache(hits, misses, builds);
+            let queue_wait = vec![0.0; record.seconds_per_worker.len()];
+            self.telemetry
+                .region_end(token, &record.seconds_per_worker, &queue_wait);
+        }
+        if let Some(e) = rejected {
+            return Err(ExecError::Op(e));
         }
         self.trace.regions.push(record);
         Ok(result.unwrap_or(OpOutput::None))
@@ -199,6 +232,10 @@ impl Executor for TracingExecutor {
 
     fn sync_events(&self) -> u64 {
         self.sync_events
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &phylo_telemetry::Telemetry) {
+        self.telemetry = telemetry.clone();
     }
 }
 

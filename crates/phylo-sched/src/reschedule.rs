@@ -111,10 +111,11 @@ pub struct RescheduleDecision {
 
 /// Decides, from a live trace, whether to migrate pattern ownership — and to
 /// what.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Rescheduler {
     policy: ReschedulePolicy,
     decisions: usize,
+    telemetry: phylo_telemetry::Telemetry,
 }
 
 impl Rescheduler {
@@ -123,6 +124,22 @@ impl Rescheduler {
         Self {
             policy,
             decisions: 0,
+            telemetry: phylo_telemetry::Telemetry::disabled(),
+        }
+    }
+
+    /// A rescheduler that counts every [`Rescheduler::consider`] /
+    /// [`Rescheduler::consider_masked`] call on the given recorder
+    /// (`reschedules_considered`); the positive decisions themselves are
+    /// recorded by the driver, which knows the optimizer round they fall in.
+    pub fn with_telemetry(
+        policy: ReschedulePolicy,
+        telemetry: &phylo_telemetry::Telemetry,
+    ) -> Self {
+        Self {
+            policy,
+            decisions: 0,
+            telemetry: telemetry.clone(),
         }
     }
 
@@ -153,6 +170,7 @@ impl Rescheduler {
         trace: &WorkTrace,
         base: &PatternCosts,
     ) -> Result<Option<RescheduleDecision>, SchedError> {
+        self.telemetry.reschedule_considered();
         if self.decisions >= self.policy.max_reschedules {
             return Ok(None);
         }
@@ -209,6 +227,7 @@ impl Rescheduler {
         base: &PatternCosts,
         ranges: &[std::ops::Range<usize>],
     ) -> Result<Option<RescheduleDecision>, SchedError> {
+        self.telemetry.reschedule_considered();
         if trace.workers != current.worker_count() {
             return Err(SchedError::TraceWorkerMismatch {
                 trace_workers: trace.workers,

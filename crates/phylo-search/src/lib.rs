@@ -299,6 +299,10 @@ where
             best_lnl = report.final_log_likelihood;
         }
 
+        // Search rounds share the optimizer-round event: the timeline shows
+        // the likelihood staircase of the whole run, inner model rounds and
+        // outer SPR rounds alike (timestamps keep them apart).
+        kernel.telemetry().optimizer_round(rounds, best_lnl);
         hook(kernel, rounds, HookPoint::RoundEnd)?;
         if !improved_this_round {
             break;

@@ -1,0 +1,151 @@
+//! Fixed-bucket histograms for region latency and measured imbalance.
+
+/// A fixed-bucket histogram with min/max/mean tracking.
+///
+/// `bounds` are ascending upper bounds; a value lands in the first bucket
+/// whose bound is `>= value`, or in the implicit `+Inf` overflow bucket, so
+/// there are `bounds.len() + 1` counts. The layout matches the Prometheus
+/// cumulative-bucket convention when exported.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over ascending `bounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not strictly ascending and finite.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be strictly ascending and finite"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The default latency buckets for parallel-region wall time, in seconds
+    /// (1 µs up to 10 s, decades).
+    pub fn region_seconds() -> Self {
+        Self::new(&[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0])
+    }
+
+    /// The default buckets for per-region measured imbalance
+    /// (`max / mean` over per-worker seconds, so 1.0 is perfect balance).
+    pub fn imbalance() -> Self {
+        Self::new(&[1.02, 1.05, 1.1, 1.2, 1.5, 2.0, 4.0, 8.0])
+    }
+
+    /// Records one observation. Non-finite values are ignored.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let bucket = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[bucket] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// The ascending bucket upper bounds (the overflow bucket is implicit).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket observation counts (`bounds().len() + 1` entries, the last
+    /// one the `+Inf` overflow bucket).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_value_range() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 1.0, 3.0, 10.0, 11.0, 1e6] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[2, 2, 1, 1]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(1e6));
+        assert!((h.mean() - (0.5 + 1.0 + 3.0 + 10.0 + 11.0 + 1e6) / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_reports_no_extrema() {
+        let h = Histogram::region_seconds();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn non_finite_observations_are_ignored() {
+        let mut h = Histogram::imbalance();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+        h.record(1.3);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_bounds_are_rejected() {
+        let _ = Histogram::new(&[2.0, 1.0]);
+    }
+}

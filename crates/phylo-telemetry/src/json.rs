@@ -1,0 +1,414 @@
+//! A minimal, dependency-free JSON value with an emitter and a parser.
+//!
+//! The workspace deliberately carries no serialization dependency; everything
+//! that leaves the process as JSON (the JSONL event log, the shared
+//! `BENCH_*.json` envelope) goes through this module. Objects preserve
+//! insertion order so emitted files are stable across runs, and numbers are
+//! formatted with Rust's shortest round-tripping `f64` display, so
+//! `parse(emit(v)) == v` for every finite value.
+
+/// A JSON value. Objects are ordered key/value lists (insertion order is the
+/// emission order); numbers are `f64` (non-finite values emit as `null`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number. Non-finite values are emitted as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, as an ordered list of `(key, value)` pairs.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for an object.
+    pub fn obj(fields: Vec<(&str, JsonValue)>) -> Self {
+        JsonValue::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Looks a key up in an object (first match).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Emits the value as compact JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Emits the value as indented JSON (two spaces per level).
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => write_num(out, *n),
+            JsonValue::Str(s) => write_str(out, s),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, level + 1);
+                    item.write(out, indent, level + 1);
+                }
+                if !items.is_empty() {
+                    newline_indent(out, indent, level);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, level + 1);
+                    write_str(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, level + 1);
+                }
+                if !fields.is_empty() {
+                    newline_indent(out, indent, level);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document. Returns `None` on malformed input or trailing
+    /// garbage.
+    pub fn parse(input: &str) -> Option<JsonValue> {
+        let bytes = input.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        (pos == bytes.len()).then_some(value)
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_num(out: &mut String, n: f64) {
+    if n.is_finite() {
+        // Rust's f64 Display is the shortest representation that parses back
+        // to the same bits, so the emit/parse round trip is exact.
+        out.push_str(&format!("{n}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Option<JsonValue> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos)? {
+        b'n' => parse_literal(bytes, pos, "null", JsonValue::Null),
+        b't' => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        b'f' => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        b'"' => parse_string(bytes, pos).map(JsonValue::Str),
+        b'[' => parse_array(bytes, pos),
+        b'{' => parse_object(bytes, pos),
+        _ => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: JsonValue) -> Option<JsonValue> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Some(value)
+    } else {
+        None
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Option<String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return None;
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let c = *bytes.get(*pos)?;
+        *pos += 1;
+        match c {
+            b'"' => return Some(out),
+            b'\\' => {
+                let esc = *bytes.get(*pos)?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{0008}'),
+                    b'f' => out.push('\u{000c}'),
+                    b'u' => {
+                        let hex = bytes.get(*pos..*pos + 4)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        *pos += 4;
+                        out.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                }
+            }
+            c => {
+                // Re-assemble multi-byte UTF-8 sequences from the raw bytes.
+                let start = *pos - 1;
+                let len = utf8_len(c)?;
+                let slice = bytes.get(start..start + len)?;
+                out.push_str(std::str::from_utf8(slice).ok()?);
+                *pos = start + len;
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> Option<usize> {
+    match first {
+        0x00..=0x7f => Some(1),
+        0xc0..=0xdf => Some(2),
+        0xe0..=0xef => Some(3),
+        0xf0..=0xf7 => Some(4),
+        _ => None,
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Option<JsonValue> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while matches!(
+        bytes.get(*pos),
+        Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    ) {
+        *pos += 1;
+    }
+    if *pos == start {
+        return None;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()?
+        .parse::<f64>()
+        .ok()
+        .map(JsonValue::Num)
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Option<JsonValue> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Some(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            b']' => {
+                *pos += 1;
+                return Some(JsonValue::Arr(items));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Option<JsonValue> {
+    *pos += 1; // '{'
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Some(JsonValue::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return None;
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            b'}' => {
+                *pos += 1;
+                return Some(JsonValue::Obj(fields));
+            }
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_value_kind() {
+        let value = JsonValue::obj(vec![
+            ("null", JsonValue::Null),
+            ("yes", JsonValue::Bool(true)),
+            ("no", JsonValue::Bool(false)),
+            ("int", JsonValue::Num(42.0)),
+            ("neg", JsonValue::Num(-17.25)),
+            ("tiny", JsonValue::Num(1.2345678901234567e-300)),
+            (
+                "text",
+                JsonValue::Str("a \"quoted\" line\nwith\ttabs \\ α".into()),
+            ),
+            (
+                "arr",
+                JsonValue::Arr(vec![
+                    JsonValue::Num(1.0),
+                    JsonValue::Str("two".into()),
+                    JsonValue::Arr(vec![]),
+                    JsonValue::Obj(vec![]),
+                ]),
+            ),
+        ]);
+        for text in [value.to_json(), value.to_json_pretty()] {
+            assert_eq!(JsonValue::parse(&text), Some(value.clone()), "{text}");
+        }
+    }
+
+    #[test]
+    fn f64_display_round_trips_exactly() {
+        for n in [
+            0.1,
+            1.0 / 3.0,
+            std::f64::consts::PI,
+            -1234.5678e-9,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+        ] {
+            let text = JsonValue::Num(n).to_json();
+            let back = JsonValue::parse(&text).unwrap().as_num().unwrap();
+            assert_eq!(back.to_bits(), n.to_bits(), "{n}");
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_emit_null() {
+        assert_eq!(JsonValue::Num(f64::NAN).to_json(), "null");
+        assert_eq!(JsonValue::Num(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "\"open", "{\"k\" 1}", "1 2", "truth", "nul"] {
+            assert_eq!(JsonValue::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn object_lookup_helpers() {
+        let v = JsonValue::parse(r#"{"a": 1, "b": "x", "c": [true]}"#).unwrap();
+        assert_eq!(v.get("a").and_then(JsonValue::as_num), Some(1.0));
+        assert_eq!(v.get("b").and_then(JsonValue::as_str), Some("x"));
+        assert_eq!(
+            v.get("c").and_then(JsonValue::as_arr).map(|a| a.len()),
+            Some(1)
+        );
+        assert_eq!(
+            v.get("c")
+                .and_then(JsonValue::as_arr)
+                .and_then(|a| a[0].as_bool()),
+            Some(true)
+        );
+        assert!(v.get("d").is_none());
+    }
+}

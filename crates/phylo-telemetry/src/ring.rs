@@ -1,0 +1,215 @@
+//! A bounded lock-free single-producer/single-consumer ring buffer.
+//!
+//! This is the worker-side half of the telemetry contract: each worker thread
+//! owns a [`Producer`] it pushes one [`crate::WorkerSample`] into per parallel
+//! region, and the master owns the matching [`Consumer`] it drains at the
+//! region barrier. Neither side ever blocks: a push into a full ring fails
+//! (the sample is dropped — telemetry must never stall the likelihood
+//! kernel), and a pop from an empty ring returns `None`.
+//!
+//! The implementation is the classic Lamport queue: a fixed slot array with
+//! monotonically chasing head/tail indices, one `Release` store per
+//! operation, and one-slot-empty to distinguish full from empty. Exclusive
+//! `&mut self` on both endpoints (and no `Clone`) enforces the
+//! single-producer/single-consumer discipline at compile time.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Shared<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot to pop (owned by the consumer, read by the producer).
+    head: AtomicUsize,
+    /// Next slot to push (owned by the producer, read by the consumer).
+    tail: AtomicUsize,
+}
+
+// SAFETY: the producer writes only slots in `tail..head-1` (mod n) and the
+// consumer reads only slots in `head..tail`; the Release/Acquire pair on the
+// index stores orders the slot contents with the index updates.
+unsafe impl<T: Send> Sync for Shared<T> {}
+unsafe impl<T: Send> Send for Shared<T> {}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Both endpoints are gone; drop any samples still in flight.
+        let mut head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        while head != tail {
+            // SAFETY: slots in head..tail hold initialized values.
+            unsafe { (*self.slots[head].get()).assume_init_drop() };
+            head = (head + 1) % self.slots.len();
+        }
+    }
+}
+
+/// The push endpoint of an SPSC ring. Not cloneable: exactly one producer.
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The pop endpoint of an SPSC ring. Not cloneable: exactly one consumer.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> std::fmt::Debug for Producer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Producer").finish_non_exhaustive()
+    }
+}
+
+impl<T> std::fmt::Debug for Consumer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Consumer").finish_non_exhaustive()
+    }
+}
+
+/// Creates a ring holding up to `capacity` in-flight values.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn spsc<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity > 0, "ring capacity must be positive");
+    // One extra slot so that head == tail unambiguously means empty.
+    let slots: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..capacity + 1)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
+    let shared = Arc::new(Shared {
+        slots,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+    });
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+        },
+        Consumer { shared },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Pushes a value, or returns it if the ring is full. Never blocks.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let shared = &*self.shared;
+        let n = shared.slots.len();
+        let tail = shared.tail.load(Ordering::Relaxed);
+        let next = (tail + 1) % n;
+        if next == shared.head.load(Ordering::Acquire) {
+            return Err(value);
+        }
+        // SAFETY: the slot at `tail` is outside head..tail, so the consumer
+        // does not touch it until the Release store below publishes it.
+        unsafe { (*shared.slots[tail].get()).write(value) };
+        shared.tail.store(next, Ordering::Release);
+        Ok(())
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Pops the oldest value, or `None` if the ring is empty. Never blocks.
+    pub fn pop(&mut self) -> Option<T> {
+        let shared = &*self.shared;
+        let n = shared.slots.len();
+        let head = shared.head.load(Ordering::Relaxed);
+        if head == shared.tail.load(Ordering::Acquire) {
+            return None;
+        }
+        // SAFETY: the Acquire load above observed the producer's Release
+        // store, so the slot at `head` is initialized and no longer written.
+        let value = unsafe { (*shared.slots[head].get()).assume_init_read() };
+        shared.head.store((head + 1) % n, Ordering::Release);
+        Some(value)
+    }
+
+    /// Drains every currently visible value into a vector.
+    pub fn drain(&mut self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(v) = self.pop() {
+            out.push(v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let (mut tx, mut rx) = spsc::<u64>(3);
+        assert_eq!(rx.pop(), None);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        tx.push(3).unwrap();
+        // Full: the fourth push hands the value back.
+        assert_eq!(tx.push(4), Err(4));
+        assert_eq!(rx.pop(), Some(1));
+        tx.push(4).unwrap();
+        assert_eq!(rx.drain(), vec![2, 3, 4]);
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn wraps_around_many_times() {
+        let (mut tx, mut rx) = spsc::<usize>(2);
+        for i in 0..1000 {
+            tx.push(i).unwrap();
+            assert_eq!(rx.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn cross_thread_stress_preserves_every_value() {
+        let (mut tx, mut rx) = spsc::<u64>(16);
+        const N: u64 = 100_000;
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expected = 0;
+        while expected < N {
+            if let Some(v) = rx.pop() {
+                assert_eq!(v, expected, "values must arrive in order");
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn dropping_the_ring_drops_in_flight_values() {
+        let marker = Arc::new(());
+        {
+            let (mut tx, rx) = spsc::<Arc<()>>(8);
+            tx.push(Arc::clone(&marker)).unwrap();
+            tx.push(Arc::clone(&marker)).unwrap();
+            drop(tx);
+            drop(rx);
+        }
+        assert_eq!(Arc::strong_count(&marker), 1, "in-flight values leaked");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = spsc::<u8>(0);
+    }
+}

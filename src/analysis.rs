@@ -51,6 +51,7 @@ use phylo_sched::{
 use phylo_search::{
     tree_search_adaptive, tree_search_resilient, AdaptiveSearchResult, SearchConfig,
 };
+use phylo_telemetry::{Telemetry, TelemetryConfig, TelemetrySnapshot};
 use phylo_tree::Tree;
 
 /// Why an analysis session could not be built or run.
@@ -115,6 +116,7 @@ pub struct AnalysisBuilder {
     skew: Option<WorkerSkew>,
     policy: Option<ReschedulePolicy>,
     shared_tables: bool,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl std::fmt::Debug for AnalysisBuilder {
@@ -125,6 +127,7 @@ impl std::fmt::Debug for AnalysisBuilder {
             .field("timed", &self.timed)
             .field("rescheduler", &self.policy.is_some())
             .field("shared_tables", &self.shared_tables)
+            .field("telemetry", &self.telemetry.is_some())
             .finish()
     }
 }
@@ -248,6 +251,18 @@ impl AnalysisBuilder {
         Ok((costs, assignment))
     }
 
+    /// Enable telemetry recording under `config`: the kernel, the executors
+    /// and the drivers emit typed events (region timings, cache counters,
+    /// reschedules, worker deaths/recoveries, optimizer probes) into a
+    /// low-overhead recorder, and [`Analysis::telemetry_snapshot`] exposes
+    /// the derived counters, histograms and event log. Default: off, with
+    /// zero cost on the hot paths (a disabled handle is one `Option` check).
+    #[must_use]
+    pub fn telemetry(mut self, config: TelemetryConfig) -> Self {
+        self.telemetry = Some(config);
+        self
+    }
+
     /// Whether the engine precomputes shared per-branch tables (transition
     /// matrices + tip lookups, built once by the master and shared read-only
     /// across the workers) — on by default. `false` selects the per-call
@@ -282,10 +297,12 @@ impl AnalysisBuilder {
         )?;
         let mut kernel = LikelihoodKernel::try_new(self.patterns, self.tree, models, executor)?;
         kernel.set_shared_tables(self.shared_tables);
+        let telemetry = Self::arm_telemetry(&mut kernel, self.telemetry);
         Ok(Analysis {
             kernel,
             base_costs: costs,
             policy: self.policy,
+            telemetry,
         })
     }
 
@@ -309,11 +326,25 @@ impl AnalysisBuilder {
         )?;
         let mut kernel = LikelihoodKernel::try_new(self.patterns, self.tree, models, executor)?;
         kernel.set_shared_tables(self.shared_tables);
+        let telemetry = Self::arm_telemetry(&mut kernel, self.telemetry);
         Ok(Analysis {
             kernel,
             base_costs: costs,
             policy: self.policy,
+            telemetry,
         })
+    }
+
+    fn arm_telemetry<E: Executor>(
+        kernel: &mut LikelihoodKernel<E>,
+        config: Option<TelemetryConfig>,
+    ) -> Telemetry {
+        let telemetry = match config {
+            Some(config) => Telemetry::new(config),
+            None => Telemetry::disabled(),
+        };
+        kernel.set_telemetry(&telemetry);
+        telemetry
     }
 }
 
@@ -330,6 +361,7 @@ pub struct Analysis<E: Executor + Reassignable> {
     kernel: LikelihoodKernel<E>,
     base_costs: PatternCosts,
     policy: Option<ReschedulePolicy>,
+    telemetry: Telemetry,
 }
 
 impl Analysis<ThreadedExecutor> {
@@ -348,6 +380,7 @@ impl Analysis<ThreadedExecutor> {
             skew: None,
             policy: None,
             shared_tables: true,
+            telemetry: None,
         }
     }
 }
@@ -380,7 +413,7 @@ impl<E: Executor + Reassignable> Analysis<E> {
     ) -> Result<AdaptiveOptimizationReport, AnalysisError> {
         match self.policy {
             Some(policy) => {
-                let mut rescheduler = Rescheduler::new(policy);
+                let mut rescheduler = Rescheduler::with_telemetry(policy, &self.telemetry);
                 Ok(optimize_model_parameters_adaptive(
                     &mut self.kernel,
                     config,
@@ -413,7 +446,7 @@ impl<E: Executor + Reassignable> Analysis<E> {
     ) -> Result<AdaptiveSearchResult, AnalysisError> {
         match self.policy {
             Some(policy) => {
-                let mut rescheduler = Rescheduler::new(policy);
+                let mut rescheduler = Rescheduler::with_telemetry(policy, &self.telemetry);
                 Ok(tree_search_adaptive(
                     &mut self.kernel,
                     config,
@@ -430,6 +463,19 @@ impl<E: Executor + Reassignable> Analysis<E> {
                 })
             }
         }
+    }
+
+    /// The session's telemetry handle (disabled unless the builder armed it
+    /// via [`AnalysisBuilder::telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// A consistent point-in-time snapshot of the session's telemetry —
+    /// counters, latency/imbalance histograms and the typed event log.
+    /// `None` unless the builder armed telemetry.
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.telemetry.enabled().then(|| self.telemetry.snapshot())
     }
 
     /// The live work trace accumulated since construction or the last

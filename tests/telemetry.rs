@@ -1,0 +1,205 @@
+//! Telemetry integration tests: the event stream stays coherent under
+//! injected worker deaths, the derived counters agree with the engine's own
+//! statistics, and recording does not perturb the likelihood at all.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use plf_loadbalance::prelude::*;
+
+fn dataset(seed: u64) -> plf_loadbalance::seqgen::GeneratedDataset {
+    mixed_dna_protein(6, 3, 2, 48, seed).generate()
+}
+
+/// An injected worker death mid-optimize leaves a coherent event stream:
+/// exactly one death and one recovery, every region sequence number unique,
+/// and `started - completed == deaths` (the death's region is the only one
+/// that never completes). The engine's own `KernelStats::table_builds`
+/// agrees with the telemetry counter by construction.
+#[test]
+fn injected_death_yields_a_coherent_event_stream() {
+    let ds = dataset(21);
+    let mut analysis = Analysis::builder(Arc::clone(&ds.patterns), ds.tree.clone())
+        .threads(3)
+        .telemetry(TelemetryConfig::default())
+        .build()
+        .unwrap();
+    analysis
+        .kernel_mut()
+        .executor_mut()
+        .inject_worker_panic(1, 40);
+    let config = OptimizerConfig {
+        max_rounds: 1,
+        ..OptimizerConfig::new(ParallelScheme::New)
+    };
+    let report = analysis.optimize(&config).unwrap();
+    assert_eq!(report.recoveries.len(), 1, "the injected death is absorbed");
+
+    let snap = analysis.telemetry_snapshot().expect("telemetry is armed");
+    let c = &snap.counters;
+    assert_eq!(c.worker_deaths, 1);
+    assert_eq!(c.worker_recoveries, 1);
+    assert_eq!(
+        c.regions_started - c.regions_completed,
+        c.worker_deaths,
+        "only the dead region may be missing its end"
+    );
+    assert_eq!(
+        c.table_builds,
+        analysis.kernel().stats().table_builds,
+        "telemetry and KernelStats count the same table builds"
+    );
+
+    // Event-level coherence needs the full log.
+    assert_eq!(
+        c.events_dropped, 0,
+        "log capacity must suffice for this run"
+    );
+    let mut starts = HashSet::new();
+    let mut ends = HashSet::new();
+    let mut death_at = None;
+    let mut recovery_at = None;
+    let mut regions_after_recovery = 0u64;
+    for (i, event) in snap.events.iter().enumerate() {
+        match event {
+            TelemetryEvent::RegionStart { region, .. } => {
+                assert!(starts.insert(*region), "duplicated region start {region}");
+                if recovery_at.is_some() {
+                    regions_after_recovery += 1;
+                }
+            }
+            TelemetryEvent::RegionEnd { region, .. } => {
+                assert!(ends.insert(*region), "duplicated region end {region}");
+                assert!(starts.contains(region), "end without start {region}");
+            }
+            TelemetryEvent::WorkerDeath { worker, .. } => {
+                assert_eq!(*worker, 1);
+                death_at = Some(i);
+            }
+            TelemetryEvent::WorkerRecovery {
+                worker, attempt, ..
+            } => {
+                assert_eq!(*worker, 1);
+                assert_eq!(*attempt, 1);
+                recovery_at = Some(i);
+            }
+            _ => {}
+        }
+    }
+    let death_at = death_at.expect("death event recorded");
+    let recovery_at = recovery_at.expect("recovery event recorded");
+    assert!(death_at < recovery_at, "death precedes its recovery");
+    assert!(
+        regions_after_recovery > 0,
+        "the optimizer resumed issuing regions after the recovery"
+    );
+    assert_eq!(starts.len() - ends.len(), 1, "exactly one region lost");
+}
+
+/// On a traced session with an aggressive rescheduling policy the telemetry
+/// counters agree with every other observable: the `RescheduleEvent` list,
+/// the per-epoch `WorkTrace` region counts, the optimizer-round count, and
+/// the engine's table-build statistic.
+#[test]
+fn snapshot_counters_agree_with_kernel_trace_and_reschedule_events() {
+    let ds = dataset(17);
+    let mut analysis = Analysis::builder(Arc::clone(&ds.patterns), ds.tree.clone())
+        .threads(7)
+        .strategy(Cyclic)
+        .rescheduler(ReschedulePolicy {
+            imbalance_threshold: 1.0001,
+            min_regions: 8,
+            unit: TraceUnit::Flops,
+            max_reschedules: 1,
+            mask_aware: false,
+        })
+        .telemetry(TelemetryConfig::default())
+        .build_traced()
+        .unwrap();
+    let report = analysis
+        .optimize(&OptimizerConfig::new(ParallelScheme::New))
+        .unwrap();
+    assert!(!report.events.is_empty(), "the policy must trigger");
+
+    let snap = analysis.telemetry_snapshot().expect("telemetry is armed");
+    let c = &snap.counters;
+    assert_eq!(c.reschedules, report.events.len() as u64);
+    assert!(c.reschedules_considered >= c.reschedules);
+    assert_eq!(c.optimizer_rounds, report.report.rounds as u64);
+    assert_eq!(c.table_builds, analysis.kernel().stats().table_builds);
+    assert_eq!(c.worker_deaths, 0);
+    assert_eq!(c.regions_started, c.regions_completed);
+
+    // Regions seen by telemetry == regions in the epoch traces captured at
+    // each migration plus the live trace since the last one. (The boundary
+    // likelihood evaluations around a migration land in one epoch or the
+    // next, but never vanish.)
+    let traced: usize = report
+        .events
+        .iter()
+        .map(|e| e.epoch_trace.sync_events())
+        .sum::<usize>()
+        + analysis.trace().sync_events();
+    assert_eq!(c.regions_completed as usize, traced);
+
+    // The probe streams and the tip-index cache were exercised: the mixed
+    // dataset has protein partitions, so tip lookups hit the cache.
+    assert!(c.newton_probes > 0);
+    assert!(c.brent_probes > 0);
+    assert!(c.tip_hits > 0);
+    assert!(snap.tip_cache_hit_rate() > 0.5);
+}
+
+/// Recording telemetry must not change a single bit of the result: the same
+/// session with telemetry on and off lands on the exact same likelihood.
+#[test]
+fn telemetry_does_not_perturb_the_likelihood_at_all() {
+    let ds = dataset(29);
+    let config = OptimizerConfig::new(ParallelScheme::New);
+    let mut quiet = Analysis::builder(Arc::clone(&ds.patterns), ds.tree.clone())
+        .threads(2)
+        .build()
+        .unwrap();
+    let mut loud = Analysis::builder(Arc::clone(&ds.patterns), ds.tree.clone())
+        .threads(2)
+        .telemetry(TelemetryConfig::default())
+        .build()
+        .unwrap();
+    let a = quiet.optimize(&config).unwrap().report.final_log_likelihood;
+    let b = loud.optimize(&config).unwrap().report.final_log_likelihood;
+    assert_eq!(a.to_bits(), b.to_bits(), "telemetry changed the result");
+    assert!(quiet.telemetry_snapshot().is_none());
+    assert!(loud.telemetry_snapshot().is_some());
+}
+
+/// The two export formats round-trip a real run's snapshot: JSONL → events,
+/// Prometheus text → every counter.
+#[test]
+fn exports_round_trip_a_real_run() {
+    let ds = dataset(33);
+    let mut analysis = Analysis::builder(Arc::clone(&ds.patterns), ds.tree.clone())
+        .threads(2)
+        .telemetry(TelemetryConfig::default())
+        .build()
+        .unwrap();
+    let _ = analysis
+        .optimize(&OptimizerConfig {
+            max_rounds: 1,
+            ..OptimizerConfig::new(ParallelScheme::New)
+        })
+        .unwrap();
+    let snap = analysis.telemetry_snapshot().unwrap();
+    assert!(!snap.events.is_empty());
+
+    let back = TelemetrySnapshot::events_from_jsonl(&snap.to_jsonl());
+    assert_eq!(back, snap.events, "JSONL must round-trip the event log");
+
+    let parsed = TelemetrySnapshot::parse_prometheus(&snap.to_prometheus());
+    for (name, value) in snap.counters.named() {
+        assert_eq!(
+            parsed.get(&format!("plf_{name}_total")).copied(),
+            Some(value as f64),
+            "counter {name} must round-trip"
+        );
+    }
+}
