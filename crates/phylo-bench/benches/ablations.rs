@@ -58,12 +58,13 @@ fn bench_scheduling_strategies(c: &mut Criterion) {
                 &categories,
             )
             .unwrap();
-            let mut kernel = LikelihoodKernel::new(
+            let mut kernel = LikelihoodKernel::try_new(
                 Arc::clone(&ds.patterns),
                 ds.tree.clone(),
                 models.clone(),
                 exec,
-            );
+            )
+            .unwrap();
             group.bench_function(label, |b| {
                 b.iter(|| {
                     kernel.invalidate_all();
@@ -97,7 +98,8 @@ fn bench_distribution(c: &mut Criterion) {
         )
         .unwrap();
         let mut kernel =
-            LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+            LikelihoodKernel::try_new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec)
+                .unwrap();
         group.bench_function(label, |b| {
             b.iter(|| {
                 kernel.invalidate_all();
@@ -115,7 +117,8 @@ fn bench_convergence_mask(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_convergence_mask");
     let ds = dataset();
     let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
-    let mut kernel = SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models);
+    let mut kernel =
+        SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models).unwrap();
     let branch = kernel.tree().internal_branches()[0];
     let mask = kernel.full_mask();
     kernel.try_prepare_branch(branch, &mask).unwrap();
@@ -138,7 +141,8 @@ fn bench_gamma_categories(c: &mut Criterion) {
     let ds = dataset();
     for categories in [1usize, 4] {
         let models = ModelSet::with_categories(&ds.patterns, BranchLengthMode::Joint, categories);
-        let mut kernel = SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models);
+        let mut kernel =
+            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models).unwrap();
         group.bench_function(format!("categories_{categories}"), |b| {
             b.iter(|| {
                 kernel.invalidate_all();

@@ -22,7 +22,7 @@ fn build(data_type: DataType, columns: usize) -> SequentialKernel {
     };
     let ds = spec.generate();
     let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::Joint);
-    SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models)
+    SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models).unwrap()
 }
 
 fn bench_full_traversal(c: &mut Criterion) {

@@ -14,7 +14,7 @@ use std::sync::Arc;
 fn build() -> SequentialKernel {
     let ds = paper_simulated(12, 1200, 100, 77).generate();
     let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
-    SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models)
+    SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models).unwrap()
 }
 
 fn bench_branch_optimization(c: &mut Criterion) {

@@ -136,9 +136,11 @@ fn main() {
         Arc::clone(&dataset.patterns),
         dataset.tree.clone(),
         models.clone(),
-    );
+    )
+    .unwrap();
     let mut reference =
-        SequentialKernel::build(Arc::clone(&dataset.patterns), dataset.tree.clone(), models);
+        SequentialKernel::build(Arc::clone(&dataset.patterns), dataset.tree.clone(), models)
+            .unwrap();
     reference.set_shared_tables(false);
     let mask = tabled.full_mask();
     let root = tabled.default_root_branch();

@@ -45,12 +45,13 @@ fn main() {
                 &categories,
             )
             .expect("assignment was built for this dataset");
-            let mut kernel = LikelihoodKernel::new(
+            let mut kernel = LikelihoodKernel::try_new(
                 Arc::clone(&dataset.patterns),
                 dataset.tree.clone(),
                 models,
                 executor,
-            );
+            )
+            .unwrap();
             let config = OptimizerConfig::new(scheme);
             let start = Instant::now();
             let report = optimize_model_parameters(&mut kernel, &config)

@@ -77,12 +77,13 @@ fn threaded_run(
         &categories,
     )
     .expect("assignment was built for this dataset");
-    let mut kernel = LikelihoodKernel::new(
+    let mut kernel = LikelihoodKernel::try_new(
         std::sync::Arc::clone(&dataset.patterns),
         dataset.tree.clone(),
         models,
         executor,
-    );
+    )
+    .unwrap();
     if let Some(t) = telemetry {
         kernel.set_telemetry(t);
     }
@@ -108,12 +109,13 @@ fn timeline_run(dataset: &GeneratedDataset) -> (TelemetrySnapshot, usize) {
         &categories,
     )
     .expect("assignment was built for this dataset");
-    let mut kernel = LikelihoodKernel::new(
+    let mut kernel = LikelihoodKernel::try_new(
         std::sync::Arc::clone(&dataset.patterns),
         dataset.tree.clone(),
         models,
         executor,
-    );
+    )
+    .unwrap();
     let telemetry = Telemetry::new(
         TelemetryConfig::default()
             .probes(false)

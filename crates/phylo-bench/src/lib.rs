@@ -38,6 +38,8 @@
 //! assert!(lnl.is_finite() && lnl < 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod scheduling;
 
 use std::sync::Arc;
@@ -100,12 +102,13 @@ pub fn run_traced_assignment(
         &categories,
     )
     .expect("assignment was built for this dataset");
-    let mut kernel = LikelihoodKernel::new(
+    let mut kernel = LikelihoodKernel::try_new(
         Arc::clone(&dataset.patterns),
         dataset.tree.clone(),
         models,
         executor,
-    );
+    )
+    .unwrap();
 
     let final_lnl = match workload {
         Workload::ModelOptimization => {

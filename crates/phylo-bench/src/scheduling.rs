@@ -202,12 +202,13 @@ fn timed_skewed_kernel(
         },
     )
     .expect("assignment was built for this dataset");
-    LikelihoodKernel::new(
+    LikelihoodKernel::try_new(
         Arc::clone(&dataset.patterns),
         dataset.tree.clone(),
         models,
         executor,
     )
+    .unwrap()
 }
 
 /// Measures the wall-clock imbalance of the kernel's *current* ownership
@@ -427,12 +428,13 @@ fn staggered_kernel(
         &categories,
     )
     .expect("assignment was built for this dataset");
-    LikelihoodKernel::new(
+    LikelihoodKernel::try_new(
         Arc::clone(&dataset.patterns),
         dataset.tree.clone(),
         models,
         executor,
     )
+    .unwrap()
 }
 
 /// Measures a placement: runs the full staggered-convergence workload on

@@ -35,6 +35,8 @@
 //! assert_eq!(patterns.total_sites(), 8);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod alignment;
 pub mod alphabet;
 pub mod error;

@@ -151,10 +151,21 @@ pub type SequentialKernel = LikelihoodKernel<SequentialExecutor>;
 
 impl SequentialKernel {
     /// Builds a sequential engine for the dataset.
-    pub fn build(patterns: Arc<PartitionedPatterns>, tree: Tree, models: ModelSet) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// The same validation as [`LikelihoodKernel::try_new`]:
+    /// [`KernelError::TaxaMismatch`], [`KernelError::ModelCountMismatch`] or
+    /// [`KernelError::IncompleteTree`] for parts that do not describe the
+    /// same dataset.
+    pub fn build(
+        patterns: Arc<PartitionedPatterns>,
+        tree: Tree,
+        models: ModelSet,
+    ) -> Result<Self, KernelError> {
         let categories: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
         let executor = SequentialExecutor::new(&patterns, tree.node_capacity(), &categories);
-        LikelihoodKernel::new(patterns, tree, models, executor)
+        LikelihoodKernel::try_new(patterns, tree, models, executor)
     }
 }
 
@@ -203,25 +214,6 @@ impl<E: Executor> LikelihoodKernel<E> {
             stats: KernelStats::default(),
             telemetry: phylo_telemetry::Telemetry::disabled(),
         })
-    }
-
-    /// Creates an engine from its parts, panicking on mismatched parts; see
-    /// [`LikelihoodKernel::try_new`] for the fallible constructor.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the tree's taxa do not match the dataset's taxa, the model
-    /// count does not match the partition count, or the tree is incomplete.
-    pub fn new(
-        patterns: Arc<PartitionedPatterns>,
-        tree: Tree,
-        models: ModelSet,
-        executor: E,
-    ) -> Self {
-        match Self::try_new(patterns, tree, models, executor) {
-            Ok(engine) => engine,
-            Err(e) => panic!("{e}"),
-        }
     }
 
     /// The compiled pattern data.
@@ -784,7 +776,7 @@ mod tests {
     ) -> SequentialKernel {
         let (pp, tree) = small_dataset(taxa, columns, partition_len, seed);
         let models = ModelSet::default_for(&pp, mode);
-        SequentialKernel::build(pp, tree, models)
+        SequentialKernel::build(pp, tree, models).unwrap()
     }
 
     #[test]
@@ -973,8 +965,9 @@ mod tests {
     fn shared_tables_match_the_per_call_reference_bit_for_bit() {
         let (pp, tree) = small_dataset(8, 80, 20, 21);
         let models = ModelSet::default_for(&pp, BranchLengthMode::PerPartition);
-        let mut tabled = SequentialKernel::build(Arc::clone(&pp), tree.clone(), models.clone());
-        let mut reference = SequentialKernel::build(pp, tree, models);
+        let mut tabled =
+            SequentialKernel::build(Arc::clone(&pp), tree.clone(), models.clone()).unwrap();
+        let mut reference = SequentialKernel::build(pp, tree, models).unwrap();
         assert!(tabled.shared_tables(), "tables are the default");
         reference.set_shared_tables(false);
 

@@ -89,6 +89,47 @@ pub enum OpError {
         /// States × categories of the slice's buffers.
         buffers: (usize, usize),
     },
+    /// A kernel step asked for the CLV of an internal node that has not been
+    /// computed yet — the traversal plan visited a parent before its child
+    /// (or the buffers were cleared between the two visits).
+    ClvMissing {
+        /// The internal node whose CLV is absent.
+        node: usize,
+    },
+    /// A kernel step asked for the scale counters of an internal node that
+    /// has no CLV entry; same traversal-order hazard as [`OpError::ClvMissing`].
+    ScaleMissing {
+        /// The internal node whose scale counters are absent.
+        node: usize,
+    },
+    /// A slice's buffers were allocated for a different alphabet or category
+    /// count than the model the op runs under (buffers recycled across
+    /// partitions without reallocation).
+    BufferDims {
+        /// Partition the op ran on.
+        partition: usize,
+        /// States × categories the op's model expects.
+        expected: (usize, usize),
+        /// States × categories the buffers were allocated for.
+        got: (usize, usize),
+    },
+    /// A tip-lookup dictionary built for a different alphabet was handed to a
+    /// table builder (dictionary states ≠ model states).
+    DictStates {
+        /// States of the model the tables are being built for.
+        model: usize,
+        /// States the dictionary was compiled for.
+        dict: usize,
+    },
+    /// Two per-worker outputs of *different kinds* reached a reduction — an
+    /// executor-implementation bug (e.g. one worker answered a Newview with
+    /// log likelihoods), surfaced as a value instead of a master panic.
+    ReduceMismatch {
+        /// Output kind of the left (accumulated) operand.
+        left: &'static str,
+        /// Output kind of the right (incoming) operand.
+        right: &'static str,
+    },
 }
 
 impl std::fmt::Display for OpError {
@@ -148,6 +189,36 @@ impl std::fmt::Display for OpError {
                  {}×{} states×categories but the buffers expect {}×{} \
                  (tables built from another partition's model?)",
                 table.0, table.1, buffers.0, buffers.1
+            ),
+            Self::ClvMissing { node } => write!(
+                f,
+                "CLV of internal node {node} has not been computed \
+                 (traversal order violated, or buffers cleared mid-plan)"
+            ),
+            Self::ScaleMissing { node } => write!(
+                f,
+                "scale counters of internal node {node} are missing \
+                 (traversal order violated, or buffers cleared mid-plan)"
+            ),
+            Self::BufferDims {
+                partition,
+                expected,
+                got,
+            } => write!(
+                f,
+                "partition {partition}: buffers allocated for {}×{} \
+                 states×categories but the op's model expects {}×{}",
+                got.0, got.1, expected.0, expected.1
+            ),
+            Self::DictStates { model, dict } => write!(
+                f,
+                "tip-lookup dictionary compiled for {dict} states handed to a \
+                 table builder for a {model}-state model"
+            ),
+            Self::ReduceMismatch { left, right } => write!(
+                f,
+                "cannot reduce outputs of different kinds: {left} vs {right} \
+                 (executor-implementation bug)"
             ),
         }
     }
@@ -357,6 +428,24 @@ mod tests {
                 "node 9",
             ),
             (OpError::InvalidBranchLength { value: -0.5 }, "-0.5"),
+            (OpError::ClvMissing { node: 11 }, "node 11"),
+            (OpError::ScaleMissing { node: 12 }, "node 12"),
+            (
+                OpError::BufferDims {
+                    partition: 3,
+                    expected: (20, 4),
+                    got: (4, 4),
+                },
+                "partition 3",
+            ),
+            (OpError::DictStates { model: 20, dict: 4 }, "20"),
+            (
+                OpError::ReduceMismatch {
+                    left: "none",
+                    right: "log-likelihoods",
+                },
+                "log-likelihoods",
+            ),
             (
                 OpError::TableShape {
                     partition: 1,

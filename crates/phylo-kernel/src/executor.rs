@@ -450,14 +450,21 @@ pub fn execute_on_worker(
 }
 
 /// Sums two per-partition outputs of the same shape (the reduction step).
-pub fn reduce_outputs(a: OpOutput, b: OpOutput) -> OpOutput {
+///
+/// # Errors
+///
+/// [`OpError::ReduceMismatch`] when the two outputs are of different kinds —
+/// an executor-implementation bug (e.g. one worker answered a Newview command
+/// with log likelihoods), surfaced as a value so a buggy backend cannot take
+/// the master down with it.
+pub fn reduce_outputs(a: OpOutput, b: OpOutput) -> Result<OpOutput, OpError> {
     match (a, b) {
-        (OpOutput::None, OpOutput::None) => OpOutput::None,
+        (OpOutput::None, OpOutput::None) => Ok(OpOutput::None),
         (OpOutput::LogLikelihoods(mut x), OpOutput::LogLikelihoods(y)) => {
             for (xi, yi) in x.iter_mut().zip(y) {
                 *xi += yi;
             }
-            OpOutput::LogLikelihoods(x)
+            Ok(OpOutput::LogLikelihoods(x))
         }
         (OpOutput::Derivatives(mut x), OpOutput::Derivatives(y)) => {
             for (xi, yi) in x.iter_mut().zip(y) {
@@ -471,9 +478,12 @@ pub fn reduce_outputs(a: OpOutput, b: OpOutput) -> OpOutput {
                     _ => {}
                 }
             }
-            OpOutput::Derivatives(x)
+            Ok(OpOutput::Derivatives(x))
         }
-        (a, b) => panic!("cannot reduce outputs of different kinds: {a:?} vs {b:?}"),
+        (a, b) => Err(OpError::ReduceMismatch {
+            left: a.kind_name(),
+            right: b.kind_name(),
+        }),
     }
 }
 
@@ -547,7 +557,7 @@ mod tests {
     fn reduce_log_likelihoods_sums_per_partition() {
         let a = OpOutput::LogLikelihoods(vec![-1.0, -2.0]);
         let b = OpOutput::LogLikelihoods(vec![-3.0, -4.0]);
-        match reduce_outputs(a, b) {
+        match reduce_outputs(a, b).unwrap() {
             OpOutput::LogLikelihoods(v) => assert_eq!(v, vec![-4.0, -6.0]),
             other => panic!("unexpected {other:?}"),
         }
@@ -575,7 +585,7 @@ mod tests {
                 second: -0.5,
             }),
         ]);
-        match reduce_outputs(a, b) {
+        match reduce_outputs(a, b).unwrap() {
             OpOutput::Derivatives(v) => {
                 let first = v[0].unwrap();
                 assert!((first.log_likelihood + 2.5).abs() < 1e-12);
@@ -588,9 +598,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn reduce_mismatched_outputs_panics() {
-        reduce_outputs(OpOutput::None, OpOutput::LogLikelihoods(vec![0.0]));
+    fn reduce_mismatched_outputs_is_a_typed_error() {
+        let err = reduce_outputs(OpOutput::None, OpOutput::LogLikelihoods(vec![0.0])).unwrap_err();
+        assert!(matches!(err, OpError::ReduceMismatch { .. }), "{err}");
+        assert!(err.to_string().contains("log-likelihood"), "{err}");
     }
 
     #[test]

@@ -56,13 +56,15 @@
 //! let tree = newick::parse_newick("((t1,t2),(t3,t4));").unwrap();
 //! let models = ModelSet::default_for(&patterns, BranchLengthMode::Joint);
 //!
-//! let mut kernel = SequentialKernel::build(patterns, tree, models);
+//! let mut kernel = SequentialKernel::build(patterns, tree, models).unwrap();
 //! let lnl = kernel.try_log_likelihood().unwrap();
 //! assert!(lnl.is_finite() && lnl < 0.0);
 //! // A second evaluation reuses every cached CLV: zero updates needed.
 //! let root = kernel.default_root_branch();
 //! assert_eq!(kernel.try_update_clvs(root, &kernel.full_mask()).unwrap(), 0);
 //! ```
+
+#![forbid(unsafe_code)]
 
 pub mod branch_lengths;
 pub mod cost;

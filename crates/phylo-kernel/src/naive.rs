@@ -193,7 +193,8 @@ mod tests {
         for seed in 0..3u64 {
             let (pp, tree) = random_dataset(7, 36, 12, DataType::Dna, seed);
             let models = ModelSet::default_for(&pp, BranchLengthMode::PerPartition);
-            let mut kernel = SequentialKernel::build(pp.clone(), tree.clone(), models.clone());
+            let mut kernel =
+                SequentialKernel::build(pp.clone(), tree.clone(), models.clone()).unwrap();
             let kernel_lnls = {
                 let mask = kernel.full_mask();
                 let root = kernel.default_root_branch();
@@ -215,7 +216,7 @@ mod tests {
     fn kernel_matches_naive_reference_protein() {
         let (pp, tree) = random_dataset(5, 12, 6, DataType::Protein, 7);
         let models = ModelSet::default_for(&pp, BranchLengthMode::Joint);
-        let mut kernel = SequentialKernel::build(pp.clone(), tree.clone(), models.clone());
+        let mut kernel = SequentialKernel::build(pp.clone(), tree.clone(), models.clone()).unwrap();
         let kernel_total = kernel.try_log_likelihood().unwrap();
         let bl = BranchLengths::from_tree(&tree, pp.partition_count(), BranchLengthMode::Joint);
         let naive_total = naive_log_likelihood(&pp, &tree, &models, &bl);
@@ -229,7 +230,7 @@ mod tests {
     fn kernel_matches_naive_after_branch_change() {
         let (pp, tree) = random_dataset(6, 24, 8, DataType::Dna, 11);
         let models = ModelSet::default_for(&pp, BranchLengthMode::PerPartition);
-        let mut kernel = SequentialKernel::build(pp.clone(), tree.clone(), models.clone());
+        let mut kernel = SequentialKernel::build(pp.clone(), tree.clone(), models.clone()).unwrap();
         let _ = kernel.try_log_likelihood().unwrap();
         let victim = kernel.tree().internal_branches()[0];
         kernel.set_branch_length(crate::engine::BranchScope::Partition(1), victim, 0.73);

@@ -55,17 +55,51 @@ fn child_data<'a>(
     slice: &PartitionSlice,
     buffers: &'a SliceBuffers,
     node: NodeId,
-) -> ChildData<'a> {
+) -> Result<ChildData<'a>, OpError> {
     if node < slice.n_taxa {
-        ChildData::Tip(node)
+        Ok(ChildData::Tip(node))
     } else {
-        let clv = buffers
-            .clv(node)
-            .unwrap_or_else(|| panic!("CLV of internal node {node} has not been computed"));
-        let scale = buffers
-            .scale(node)
-            .unwrap_or_else(|| panic!("scale counters of node {node} missing"));
-        ChildData::Internal { clv, scale }
+        let clv = buffers.clv(node).ok_or(OpError::ClvMissing { node })?;
+        let scale = buffers.scale(node).ok_or(OpError::ScaleMissing { node })?;
+        Ok(ChildData::Internal { clv, scale })
+    }
+}
+
+/// Per-(pattern, category) resolution of one child for the tabled kernels:
+/// either a precomputed tip-lookup row, the raw tip mask (dictionary miss),
+/// or the internal child's CLV for a dense inner product. Resolving once per
+/// pattern keeps the inner state loop branch-free of `Option` plumbing — and
+/// free of the "tip child must have a mask" invariant the old pair-matching
+/// needed an `expect` for.
+enum ResolvedChild<'a> {
+    /// Tip whose mask is in the dictionary: direct per-category row lookup.
+    Indexed(usize),
+    /// Tip whose mask is outside the dictionary: per-call mask fallback.
+    Mask(EncodedState),
+    /// Internal child: dense inner product against its CLV.
+    Clv(&'a [f64]),
+}
+
+/// [`ResolvedChild`] with the dictionary index swapped for the concrete tip
+/// row of one rate category, so the innermost state loop is a total match.
+enum CatChild<'a> {
+    /// Precomputed tip-lookup row for this category.
+    Row(&'a [f64]),
+    /// Dictionary miss: sum transition probabilities over the mask per call.
+    Mask(EncodedState),
+    /// Internal child CLV.
+    Clv(&'a [f64]),
+}
+
+impl<'a> ResolvedChild<'a> {
+    /// Resolve the per-category form by looking the dictionary index up in
+    /// this branch's tables.
+    fn at_category(&self, tables: &'a BranchTables, c: usize) -> CatChild<'a> {
+        match self {
+            ResolvedChild::Indexed(mi) => CatChild::Row(tables.tip_row(c, *mi)),
+            ResolvedChild::Mask(mask) => CatChild::Mask(*mask),
+            ResolvedChild::Clv(clv) => CatChild::Clv(clv),
+        }
     }
 }
 
@@ -126,6 +160,26 @@ fn check_table_dims(
     Ok(())
 }
 
+/// Release-mode guard: the buffers must have been allocated for the same
+/// alphabet and category count as the model the op runs under. A mismatch
+/// means buffers were recycled across partitions without reallocation — the
+/// indexing below would read the wrong strides silently.
+fn check_buffer_dims(
+    slice: &PartitionSlice,
+    buffers: &SliceBuffers,
+    states: usize,
+    categories: usize,
+) -> Result<(), OpError> {
+    if buffers.states() != states || buffers.categories() != categories {
+        return Err(OpError::BufferDims {
+            partition: slice.partition,
+            expected: (states, categories),
+            got: (buffers.states(), buffers.categories()),
+        });
+    }
+    Ok(())
+}
+
 /// The release-mode guard against stale buffers: a slice and its buffers must
 /// agree on the local pattern count (they can drift apart when a mid-run
 /// migration rebuilds one but not the other).
@@ -162,19 +216,23 @@ pub fn newview_step(
     let categories = model.categories();
     let patterns = slice.pattern_count();
     check_slice_shape(slice, buffers)?;
-    debug_assert_eq!(buffers.states(), states);
-    debug_assert_eq!(buffers.categories(), categories);
+    check_buffer_dims(slice, buffers, states, categories)?;
 
     let left_pmats = category_pmats(model, left_length)?;
     let right_pmats = category_pmats(model, right_length)?;
+
+    // Validate child presence before detaching the target node's buffers, so
+    // a rejected step leaves the buffer store untouched.
+    child_data(slice, buffers, step.left)?;
+    child_data(slice, buffers, step.right)?;
 
     let (mut clv, mut scale) = buffers.take_node(step.node);
     clv.resize(patterns * categories * states, 0.0);
     scale.resize(patterns, 0);
 
     {
-        let left = child_data(slice, buffers, step.left);
-        let right = child_data(slice, buffers, step.right);
+        let left = child_data(slice, buffers, step.left)?;
+        let right = child_data(slice, buffers, step.right)?;
 
         for p in 0..patterns {
             let mut max_entry = 0.0f64;
@@ -263,7 +321,7 @@ pub fn newview_step_tabled(
     check_table_dims(slice, buffers, left_tables)?;
     check_table_dims(slice, buffers, right_tables)?;
     let categories = left_tables.categories();
-    debug_assert_eq!(buffers.states(), states);
+    check_buffer_dims(slice, buffers, states, categories)?;
 
     // Per-slice tip-index cache: every `(pattern, taxon)` mask is translated
     // to its dictionary index once per slice lifetime, not once per call —
@@ -277,6 +335,11 @@ pub fn newview_step_tabled(
         buffers.tip_indices(slice, left_tables.dict_arc());
     }
 
+    // Validate child presence before detaching the target node's buffers, so
+    // a rejected step leaves the buffer store untouched.
+    child_data(slice, buffers, step.left)?;
+    child_data(slice, buffers, step.right)?;
+
     let (mut clv, mut scale) = buffers.take_node(step.node);
     clv.resize(patterns * categories * states, 0.0);
     scale.resize(patterns, 0);
@@ -284,22 +347,26 @@ pub fn newview_step_tabled(
     {
         let tip_idx = buffers.cached_tip_indices();
         let n_taxa = slice.n_taxa;
-        let left = child_data(slice, buffers, step.left);
-        let right = child_data(slice, buffers, step.right);
+        let left = child_data(slice, buffers, step.left)?;
+        let right = child_data(slice, buffers, step.right)?;
 
         for p in 0..patterns {
             // One cache read per (pattern, tip child), hoisted out of the
-            // category/state loops; `None` (a mask outside the dictionary,
-            // or an internal child) falls back below.
-            let left_mask = match &left {
+            // category/state loops; a mask outside the dictionary resolves
+            // to the per-call fallback.
+            let left_res = match &left {
                 ChildData::Tip(t) => {
                     let mask = slice.tip_state(p, *t);
                     let mi = tip_idx[p * n_taxa + *t];
-                    Some((mask, (mi != TIP_INDEX_NONE).then_some(mi as usize)))
+                    if mi != TIP_INDEX_NONE {
+                        ResolvedChild::Indexed(mi as usize)
+                    } else {
+                        ResolvedChild::Mask(mask)
+                    }
                 }
-                ChildData::Internal { .. } => None,
+                ChildData::Internal { clv: child, .. } => ResolvedChild::Clv(child),
             };
-            let right_mask = match &right {
+            let right_res = match &right {
                 ChildData::Tip(t) => {
                     let mask = slice.tip_state(p, *t);
                     let index = if right_cached {
@@ -308,33 +375,27 @@ pub fn newview_step_tabled(
                     } else {
                         right_tables.dict().index_of(mask)
                     };
-                    Some((mask, index))
+                    match index {
+                        Some(mi) => ResolvedChild::Indexed(mi),
+                        None => ResolvedChild::Mask(mask),
+                    }
                 }
-                ChildData::Internal { .. } => None,
+                ChildData::Internal { clv: child, .. } => ResolvedChild::Clv(child),
             };
 
             let mut max_entry = 0.0f64;
             for c in 0..categories {
                 let lp = left_tables.pmat(c);
                 let rp = right_tables.pmat(c);
-                let left_row = match left_mask {
-                    Some((_, Some(mi))) => Some(left_tables.tip_row(c, mi)),
-                    _ => None,
-                };
-                let right_row = match right_mask {
-                    Some((_, Some(mi))) => Some(right_tables.tip_row(c, mi)),
-                    _ => None,
-                };
+                let left_cat = left_res.at_category(left_tables, c);
+                let right_cat = right_res.at_category(right_tables, c);
                 let base = (p * categories + c) * states;
                 for s in 0..states {
                     let row = s * states;
-                    let left_sum = match (&left, left_row) {
-                        (ChildData::Tip(_), Some(tip_row)) => tip_row[s],
-                        (ChildData::Tip(_), None) => {
-                            let (mask, _) = left_mask.expect("tip child has a mask");
-                            tip_sum(&lp[row..row + states], mask)
-                        }
-                        (ChildData::Internal { clv: child, .. }, _) => {
+                    let left_sum = match &left_cat {
+                        CatChild::Row(tip_row) => tip_row[s],
+                        CatChild::Mask(mask) => tip_sum(&lp[row..row + states], *mask),
+                        CatChild::Clv(child) => {
                             let cbase = (p * categories + c) * states;
                             let mut acc = 0.0;
                             for a in 0..states {
@@ -343,13 +404,10 @@ pub fn newview_step_tabled(
                             acc
                         }
                     };
-                    let right_sum = match (&right, right_row) {
-                        (ChildData::Tip(_), Some(tip_row)) => tip_row[s],
-                        (ChildData::Tip(_), None) => {
-                            let (mask, _) = right_mask.expect("tip child has a mask");
-                            tip_sum(&rp[row..row + states], mask)
-                        }
-                        (ChildData::Internal { clv: child, .. }, _) => {
+                    let right_sum = match &right_cat {
+                        CatChild::Row(tip_row) => tip_row[s],
+                        CatChild::Mask(mask) => tip_sum(&rp[row..row + states], *mask),
+                        CatChild::Clv(child) => {
                             let cbase = (p * categories + c) * states;
                             let mut acc = 0.0;
                             for a in 0..states {
@@ -424,8 +482,8 @@ pub fn evaluate_edge(
     let pmats = category_pmats(model, branch_length)?;
     let inv_categories = 1.0 / categories as f64;
 
-    let left_data = child_data(slice, buffers, left);
-    let right_data = child_data(slice, buffers, right);
+    let left_data = child_data(slice, buffers, left)?;
+    let right_data = child_data(slice, buffers, right)?;
 
     let mut total = 0.0;
     for p in 0..patterns {
@@ -508,28 +566,29 @@ pub fn evaluate_edge_tabled(
     let tip_idx = buffers.cached_tip_indices();
     let n_taxa = slice.n_taxa;
 
-    let left_data = child_data(slice, buffers, left);
-    let right_data = child_data(slice, buffers, right);
+    let left_data = child_data(slice, buffers, left)?;
+    let right_data = child_data(slice, buffers, right)?;
 
     let mut total = 0.0;
     for p in 0..patterns {
         // Hoisted cache read for a right tip child (the side whose inner
         // products the tables replace).
-        let right_mask = match &right_data {
+        let right_res = match &right_data {
             ChildData::Tip(t) => {
                 let mask = slice.tip_state(p, *t);
                 let mi = tip_idx[p * n_taxa + *t];
-                Some((mask, (mi != TIP_INDEX_NONE).then_some(mi as usize)))
+                if mi != TIP_INDEX_NONE {
+                    ResolvedChild::Indexed(mi as usize)
+                } else {
+                    ResolvedChild::Mask(mask)
+                }
             }
-            ChildData::Internal { .. } => None,
+            ChildData::Internal { clv, .. } => ResolvedChild::Clv(clv),
         };
         let mut site = 0.0;
         for c in 0..categories {
             let pm = tables.pmat(c);
-            let right_row = match right_mask {
-                Some((_, Some(mi))) => Some(tables.tip_row(c, mi)),
-                _ => None,
-            };
+            let right_cat = right_res.at_category(tables, c);
             let base = (p * categories + c) * states;
             let mut cat_sum = 0.0;
             for s in 0..states {
@@ -547,13 +606,10 @@ pub fn evaluate_edge_tabled(
                     continue;
                 }
                 let row = s * states;
-                let inner = match (&right_data, right_row) {
-                    (ChildData::Tip(_), Some(tip_row)) => tip_row[s],
-                    (ChildData::Tip(_), None) => {
-                        let (mask, _) = right_mask.expect("tip child has a mask");
-                        tip_sum(&pm[row..row + states], mask)
-                    }
-                    (ChildData::Internal { clv, .. }, _) => {
+                let inner = match &right_cat {
+                    CatChild::Row(tip_row) => tip_row[s],
+                    CatChild::Mask(mask) => tip_sum(&pm[row..row + states], *mask),
+                    CatChild::Clv(clv) => {
                         let mut acc = 0.0;
                         for a in 0..states {
                             acc += pm[row + a] * clv[base + a];
@@ -602,6 +658,11 @@ pub fn build_sumtable(
     check_slice_shape(slice, buffers)?;
     let w = &model.substitution().eigen().w;
 
+    // Validate child presence before clearing the sum table, so a rejected
+    // build leaves any previously valid table untouched.
+    child_data(slice, buffers, left)?;
+    child_data(slice, buffers, right)?;
+
     let (mut table, mut table_scale) = {
         let (t, s) = buffers.sumtable_mut();
         (std::mem::take(t), std::mem::take(s))
@@ -612,8 +673,8 @@ pub fn build_sumtable(
     table_scale.resize(patterns, 0);
 
     {
-        let left_data = child_data(slice, buffers, left);
-        let right_data = child_data(slice, buffers, right);
+        let left_data = child_data(slice, buffers, left)?;
+        let right_data = child_data(slice, buffers, right)?;
         let mut l_vec = vec![0.0; states];
         let mut r_vec = vec![0.0; states];
 

@@ -66,14 +66,11 @@ impl MaskDictionary {
             DataType::Protein => {
                 let mut masks: Vec<EncodedState> = (0..states as u32).map(|i| 1 << i).collect();
                 // The common multi-state codes: B = N|D, Z = Q|E, J = I|L and
-                // the fully ambiguous X/gap state.
-                for c in ['B', 'Z', 'J'] {
-                    masks.push(
-                        data_type
-                            .encode(c)
-                            .expect("standard protein ambiguity code"),
-                    );
-                }
+                // the fully ambiguous X/gap state. `encode` covers all three
+                // for the protein alphabet; should an alphabet revision ever
+                // drop one, the dictionary simply omits it and tip lookups
+                // for that code fall back to the reference bit loop.
+                masks.extend(['B', 'Z', 'J'].iter().filter_map(|&c| data_type.encode(c)));
                 masks.push(data_type.gap_state());
                 masks.extend_from_slice(tip_states);
                 masks.sort_unstable();
@@ -159,7 +156,10 @@ impl BranchTables {
     ///
     /// [`OpError::InvalidBranchLength`] if `branch_length` is negative, NaN
     /// or infinite — the kernel-boundary domain check (a Brent/Newton probe
-    /// must never smuggle such a value into an exponential).
+    /// must never smuggle such a value into an exponential);
+    /// [`OpError::DictStates`] if the dictionary was compiled for a different
+    /// alphabet than the model (mixing partitions' dictionaries would build
+    /// tip rows with the wrong stride).
     pub fn build(
         model: &PartitionModel,
         dict: &Arc<MaskDictionary>,
@@ -168,7 +168,12 @@ impl BranchTables {
         validate_branch_length(branch_length)?;
         let states = model.states();
         let categories = model.categories();
-        debug_assert_eq!(states, dict.states());
+        if states != dict.states() {
+            return Err(OpError::DictStates {
+                model: states,
+                dict: dict.states(),
+            });
+        }
         let n_masks = dict.len();
 
         let mut pmats = vec![0.0; categories * states * states];

@@ -1,0 +1,341 @@
+//! A comment/string-aware view of Rust source, built without a real parser.
+//!
+//! The linter's rules are token-level (`panic!`, `unsafe {`,
+//! `std::sync::atomic`, ...), so the only parsing it needs is the part that
+//! prevents false positives: knowing what is a comment and what is a string
+//! literal. [`SourceView::new`] walks the source once with a small state
+//! machine and produces a *code view* — the same text with every comment and
+//! every string/char-literal body blanked to spaces, newlines preserved so
+//! line numbers still line up — plus the comment text per line, which is
+//! where `SAFETY:` justifications and `lint:allow` waivers live.
+
+/// The blanked code view plus extracted comments of one source file.
+#[derive(Debug)]
+pub struct SourceView {
+    /// Source text with comments and literal bodies replaced by spaces.
+    /// Exactly as many lines as the input.
+    pub code: String,
+    /// Concatenated comment text per 1-based line number (both `//` and
+    /// `/* */` forms; block comments contribute to every line they span).
+    pub comments: Vec<(usize, String)>,
+}
+
+#[derive(PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+impl SourceView {
+    /// Builds the view. Never fails: malformed source degrades to a view
+    /// that is blanked conservatively (an unterminated string blanks to the
+    /// end of file), which can only hide findings in code that would not
+    /// compile anyway.
+    pub fn new(source: &str) -> Self {
+        let bytes: Vec<char> = source.chars().collect();
+        let mut code = String::with_capacity(source.len());
+        let mut comments: Vec<(usize, String)> = Vec::new();
+        let mut comment_buf = String::new();
+        let mut line = 1usize;
+        let mut mode = Mode::Code;
+        let mut i = 0usize;
+
+        let flush_comment = |comments: &mut Vec<(usize, String)>, buf: &mut String, line: usize| {
+            if !buf.is_empty() {
+                comments.push((line, std::mem::take(buf)));
+            }
+        };
+
+        while i < bytes.len() {
+            let c = bytes[i];
+            let next = bytes.get(i + 1).copied();
+            match mode {
+                Mode::Code => match c {
+                    '/' if next == Some('/') => {
+                        mode = Mode::LineComment;
+                        code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        mode = Mode::BlockComment(1);
+                        code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        mode = Mode::Str;
+                        code.push(' ');
+                    }
+                    'r' | 'b' => {
+                        // Possible raw/byte string: r"", r#""#, br#""#, b"".
+                        let mut j = i + 1;
+                        if c == 'b' && bytes.get(j) == Some(&'r') {
+                            j += 1;
+                        }
+                        let mut hashes = 0u32;
+                        while bytes.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        let prev_ident =
+                            i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_');
+                        if !prev_ident && bytes.get(j) == Some(&'"') {
+                            // Confirmed literal prefix: blank it through the
+                            // opening quote and enter raw-string mode.
+                            for _ in i..=j {
+                                code.push(' ');
+                            }
+                            i = j + 1;
+                            mode = Mode::RawStr(hashes);
+                            continue;
+                        }
+                        code.push(c);
+                    }
+                    '\'' => {
+                        // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                        let is_lifetime = matches!(next, Some(n) if n.is_alphabetic() || n == '_')
+                            && bytes.get(i + 2) != Some(&'\'');
+                        if is_lifetime {
+                            code.push(c);
+                        } else {
+                            mode = Mode::Char;
+                            code.push(' ');
+                        }
+                    }
+                    '\n' => {
+                        code.push('\n');
+                        line += 1;
+                    }
+                    _ => code.push(c),
+                },
+                Mode::LineComment => {
+                    if c == '\n' {
+                        flush_comment(&mut comments, &mut comment_buf, line);
+                        code.push('\n');
+                        line += 1;
+                        mode = Mode::Code;
+                    } else {
+                        comment_buf.push(c);
+                        code.push(' ');
+                    }
+                }
+                Mode::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        code.push_str("  ");
+                        i += 2;
+                        if depth == 1 {
+                            flush_comment(&mut comments, &mut comment_buf, line);
+                            mode = Mode::Code;
+                        } else {
+                            mode = Mode::BlockComment(depth - 1);
+                        }
+                        continue;
+                    }
+                    if c == '/' && next == Some('*') {
+                        code.push_str("  ");
+                        i += 2;
+                        mode = Mode::BlockComment(depth + 1);
+                        continue;
+                    }
+                    if c == '\n' {
+                        flush_comment(&mut comments, &mut comment_buf, line);
+                        code.push('\n');
+                        line += 1;
+                    } else {
+                        comment_buf.push(c);
+                        code.push(' ');
+                    }
+                }
+                Mode::Str => match c {
+                    '\\' => {
+                        // Keep an escaped (line-continuation) newline so
+                        // line numbers stay aligned.
+                        if next == Some('\n') {
+                            code.push_str(" \n");
+                            line += 1;
+                        } else {
+                            code.push_str("  ");
+                        }
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        code.push(' ');
+                        mode = Mode::Code;
+                    }
+                    '\n' => {
+                        code.push('\n');
+                        line += 1;
+                    }
+                    _ => code.push(' '),
+                },
+                Mode::RawStr(hashes) => {
+                    if c == '"' {
+                        let mut ok = true;
+                        for k in 0..hashes {
+                            if bytes.get(i + 1 + k as usize) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            for _ in 0..=hashes {
+                                code.push(' ');
+                            }
+                            i += 1 + hashes as usize;
+                            mode = Mode::Code;
+                            continue;
+                        }
+                    }
+                    if c == '\n' {
+                        code.push('\n');
+                        line += 1;
+                    } else {
+                        code.push(' ');
+                    }
+                }
+                Mode::Char => match c {
+                    '\\' => {
+                        code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    '\'' => {
+                        code.push(' ');
+                        mode = Mode::Code;
+                    }
+                    '\n' => {
+                        // Not actually a char literal (e.g. `'a` pattern
+                        // binding edge case); bail back to code mode.
+                        code.push('\n');
+                        line += 1;
+                        mode = Mode::Code;
+                    }
+                    _ => code.push(' '),
+                },
+            }
+            i += 1;
+        }
+        flush_comment(&mut comments, &mut comment_buf, line);
+        Self { code, comments }
+    }
+
+    /// All comment text attached to `line` (1-based).
+    pub fn comments_on(&self, line: usize) -> impl Iterator<Item = &str> {
+        self.comments
+            .iter()
+            .filter(move |(l, _)| *l == line)
+            .map(|(_, t)| t.as_str())
+    }
+
+    /// Whether `line` consists only of comments and whitespace in the code
+    /// view (used to walk upward through a `// SAFETY:` justification).
+    pub fn line_is_comment_only(&self, line: usize) -> bool {
+        let has_comment = self.comments.iter().any(|(l, _)| *l == line);
+        let code_blank = self
+            .code
+            .lines()
+            .nth(line.saturating_sub(1))
+            .is_none_or(|l| l.trim().is_empty());
+        has_comment && code_blank
+    }
+}
+
+/// Finds `needle` in `haystack` at token boundaries: the char before a match
+/// must not be part of an identifier (so `panic!` does not match inside
+/// `worker_panic!`). Returns 0-based column offsets of every match.
+pub fn token_matches(haystack: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    // A needle that starts (ends) with an identifier char must not be the
+    // suffix (prefix) of a longer identifier: `panic!` can be, `.unwrap()`
+    // can't; `unsafe` must not match inside `unsafe_sites`.
+    let ident = |c: char| c.is_alphanumeric() || c == '_';
+    let guard_start = needle.chars().next().is_some_and(ident);
+    let guard_end = needle.chars().next_back().is_some_and(ident);
+    while let Some(pos) = haystack[from..].find(needle) {
+        let at = from + pos;
+        let start_ok =
+            !guard_start || at == 0 || haystack[..at].chars().next_back().is_none_or(|c| !ident(c));
+        let end_ok = !guard_end
+            || haystack[at + needle.len()..]
+                .chars()
+                .next()
+                .is_none_or(|c| !ident(c));
+        if start_ok && end_ok {
+            out.push(at);
+        }
+        from = at + needle.len();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_blanked_and_collected() {
+        let v = SourceView::new("let x = 1; // panic!(\"no\")\n/* unwrap() */ let y = 2;\n");
+        assert!(!v.code.contains("panic!"));
+        assert!(!v.code.contains("unwrap"));
+        assert!(v.code.contains("let x = 1;"));
+        assert!(v.code.contains("let y = 2;"));
+        assert_eq!(v.comments.len(), 2);
+        assert!(v.comments[0].1.contains("panic!"));
+        assert_eq!(v.comments[0].0, 1);
+        assert_eq!(v.comments[1].0, 2);
+    }
+
+    #[test]
+    fn strings_are_blanked_but_lines_survive() {
+        let v = SourceView::new("let s = \"panic! and\nunwrap()\";\nlet t = 3;\n");
+        assert!(!v.code.contains("panic!"));
+        assert!(!v.code.contains("unwrap"));
+        assert_eq!(v.code.lines().count(), 3);
+        assert!(v.code.lines().nth(2).unwrap().contains("let t = 3;"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let v = SourceView::new("let s = r#\"todo!() \"quoted\" still\"#; let u = 9;\n");
+        assert!(!v.code.contains("todo!"));
+        assert!(v.code.contains("let u = 9;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let v = SourceView::new("fn f<'a>(x: &'a str) -> char { '\\'' }\nlet c = 'u';\n");
+        assert!(v.code.contains("fn f<'a>(x: &'a str)"));
+        assert!(!v.code.lines().nth(1).unwrap().contains('u'));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let v = SourceView::new("/* outer /* inner unwrap() */ still */ let z = 1;\n");
+        assert!(!v.code.contains("unwrap"));
+        assert!(v.code.contains("let z = 1;"));
+    }
+
+    #[test]
+    fn token_boundaries_respected() {
+        assert_eq!(
+            token_matches("worker_panic!(x)", "panic!"),
+            Vec::<usize>::new()
+        );
+        assert_eq!(token_matches("panic!(x)", "panic!"), vec![0]);
+        assert_eq!(token_matches("  panic!(panic!)", "panic!"), vec![2, 9]);
+    }
+
+    #[test]
+    fn comment_only_lines() {
+        let v = SourceView::new("// SAFETY: fine\nlet x = 1; // trailing\n");
+        assert!(v.line_is_comment_only(1));
+        assert!(!v.line_is_comment_only(2));
+    }
+}

@@ -1,0 +1,103 @@
+//! Workspace invariant linter for the phylogenetic-likelihood workspace.
+//!
+//! `phylo-lint` is a dependency-free static-analysis tool (its own
+//! comment/string-aware lexer, no `syn`, no `rustc` internals) that enforces
+//! the invariants the likelihood kernel's error-handling and concurrency
+//! design rest on. It runs in CI as `cargo run -p phylo-lint -- --check` and
+//! emits its result as a `plf-bench/v1` [`BenchEnvelope`] JSON document like
+//! every other gate in the workspace.
+//!
+//! # Rules (stable IDs — public API, never renumbered)
+//!
+//! | ID | Invariant |
+//! |----|-----------|
+//! | **L001** | No `panic!` / `.unwrap()` / `.expect(` / `unreachable!` / `todo!` in the kernel op-execution path (`phylo-kernel::{ops,slice,tables,executor,engine}`, worker loops in `phylo-parallel`) outside `#[cfg(test)]`. Misuse surfaces as typed `OpError` / `KernelError`. |
+//! | **L002** | No `debug_assert!` family guarding shape/soundness invariants in non-test kernel/parallel code — release builds must check too. |
+//! | **L003** | Every `unsafe` block / `unsafe impl` is immediately preceded by a `// SAFETY:` comment; all sites are listed in the committed `UNSAFE_INVENTORY.md`. |
+//! | **L004** | `std::sync::atomic` is confined to each crate's designated `sync` module. |
+//! | **L005** | No `Mutex` / `RwLock` acquisition in per-op kernel paths. |
+//!
+//! Findings can be waived inline with `// lint:allow(L001): reason` (the
+//! reason is mandatory) on the offending line or the line above. A committed
+//! `lint-baseline.txt` can grandfather findings — the repo keeps it empty.
+//!
+//! [`BenchEnvelope`]: phylo_telemetry::BenchEnvelope
+
+#![forbid(unsafe_code)]
+
+pub mod inventory;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+pub mod workspace;
+
+pub use rules::{Finding, RuleId, ALL_RULES};
+pub use scan::{scan_source, FileScan, UnsafeSite};
+pub use workspace::{find_root, scan_workspace, Baseline};
+
+use phylo_telemetry::BenchEnvelope;
+
+/// Builds the `plf-bench/v1` envelope for one lint run over `files` files.
+/// `new_findings` are post-baseline; each becomes a violation, as do
+/// baseline/inventory drift notes passed in `extra_violations`.
+pub fn envelope(
+    files: usize,
+    scan: &FileScan,
+    new_findings: &[Finding],
+    baseline_len: usize,
+    extra_violations: &[String],
+) -> BenchEnvelope {
+    let mut env = BenchEnvelope::new("phylo_lint", "workspace first-party sources")
+        .run_num("files_scanned", files as f64)
+        .run_num("rules", ALL_RULES.len() as f64);
+    for rule in ALL_RULES {
+        let count = new_findings.iter().filter(|f| f.rule == *rule).count();
+        env.measure(
+            &format!("findings_{}", rule.as_str().to_lowercase()),
+            count as f64,
+        );
+    }
+    env.measure("unsafe_sites", scan.unsafe_sites.len() as f64);
+    env.measure("baseline_entries", baseline_len as f64);
+    for f in new_findings {
+        env.violation(format!("{} ({})", f.render(), f.rule.summary()));
+    }
+    for v in extra_violations {
+        env.violation(v.clone());
+    }
+    env
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_telemetry::BENCH_SCHEMA;
+
+    #[test]
+    fn envelope_counts_findings_per_rule() {
+        let scan = FileScan::default();
+        let findings = vec![Finding {
+            rule: RuleId::L004,
+            file: "crates/x/src/a.rs".into(),
+            line: 1,
+            excerpt: "use std::sync::atomic::AtomicU64;".into(),
+        }];
+        let env = envelope(10, &scan, &findings, 0, &[]);
+        assert_eq!(env.schema, BENCH_SCHEMA);
+        assert!(!env.passed());
+        assert_eq!(env.measured_num("findings_l004"), Some(1.0));
+        assert_eq!(env.measured_num("findings_l001"), Some(0.0));
+        let parsed = BenchEnvelope::parse(&env.to_json()).unwrap();
+        assert_eq!(parsed, env);
+    }
+
+    #[test]
+    fn rule_ids_round_trip_and_stay_stable() {
+        for rule in ALL_RULES {
+            assert_eq!(RuleId::parse(rule.as_str()), Some(*rule));
+        }
+        // The textual IDs are stable public API; this test is the tripwire.
+        let ids: Vec<&str> = ALL_RULES.iter().map(|r| r.as_str()).collect();
+        assert_eq!(ids, vec!["L001", "L002", "L003", "L004", "L005"]);
+    }
+}

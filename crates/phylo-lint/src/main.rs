@@ -1,0 +1,140 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! cargo run -p phylo-lint -- --check [--json PATH]   # gate mode (CI)
+//! cargo run -p phylo-lint -- --write-inventory       # refresh UNSAFE_INVENTORY.md
+//! ```
+//!
+//! `--check` exits nonzero if any rule fires beyond the committed baseline,
+//! or if `UNSAFE_INVENTORY.md` has drifted from the source tree.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use phylo_lint::{envelope, find_root, inventory, scan_workspace, Baseline};
+
+struct Args {
+    root: Option<PathBuf>,
+    json: Option<PathBuf>,
+    check: bool,
+    write_inventory: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        json: None,
+        check: false,
+        write_inventory: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => args.check = true,
+            "--write-inventory" => args.write_inventory = true,
+            "--root" => args.root = Some(PathBuf::from(it.next().ok_or("--root needs a path")?)),
+            "--json" => args.json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?)),
+            "--help" | "-h" => {
+                println!(
+                    "phylo-lint: workspace invariant linter\n\n\
+                     USAGE: phylo-lint [--check] [--write-inventory] [--root DIR] [--json PATH]\n\n\
+                     --check            fail on findings beyond the baseline or inventory drift\n\
+                     --write-inventory  regenerate UNSAFE_INVENTORY.md\n\
+                     --root DIR         workspace root (default: discovered from cwd)\n\
+                     --json PATH        write the plf-bench/v1 envelope to PATH"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if !args.check && !args.write_inventory {
+        args.check = true;
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("phylo-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cwd = std::env::current_dir().expect("cannot read current directory");
+    let Some(root) = args.root.clone().or_else(|| find_root(&cwd)) else {
+        eprintln!(
+            "phylo-lint: no workspace root found above {}",
+            cwd.display()
+        );
+        return ExitCode::from(2);
+    };
+
+    let (scan, files) = scan_workspace(&root);
+    let inventory_doc = inventory::render(&scan.unsafe_sites);
+    let inventory_path = root.join("UNSAFE_INVENTORY.md");
+
+    if args.write_inventory {
+        if let Err(e) = std::fs::write(&inventory_path, &inventory_doc) {
+            eprintln!("phylo-lint: cannot write {}: {e}", inventory_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "phylo-lint: wrote {} ({} unsafe sites)",
+            inventory_path.display(),
+            scan.unsafe_sites.len()
+        );
+        if !args.check {
+            return ExitCode::SUCCESS;
+        }
+    }
+
+    let baseline = Baseline::load(&root);
+    let (new_findings, grandfathered) = baseline.partition(scan.findings.clone());
+
+    let mut extra = Vec::new();
+    match std::fs::read_to_string(&inventory_path) {
+        Ok(committed) if committed == inventory_doc => {}
+        Ok(_) => extra.push(
+            "UNSAFE_INVENTORY.md drifted from the source tree; run `cargo run -p phylo-lint -- --write-inventory`"
+                .to_string(),
+        ),
+        Err(_) => extra.push(
+            "UNSAFE_INVENTORY.md missing; run `cargo run -p phylo-lint -- --write-inventory`"
+                .to_string(),
+        ),
+    }
+
+    let env = envelope(files, &scan, &new_findings, baseline.len(), &extra);
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, env.to_json()) {
+            eprintln!("phylo-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    println!(
+        "phylo-lint: {} files, {} unsafe sites, {} finding(s), {} grandfathered, baseline {}",
+        files,
+        scan.unsafe_sites.len(),
+        new_findings.len(),
+        grandfathered.len(),
+        if baseline.is_empty() {
+            "empty"
+        } else {
+            "NON-EMPTY"
+        }
+    );
+    for f in &new_findings {
+        println!("  {}", f.render());
+    }
+    for v in &extra {
+        println!("  {v}");
+    }
+    if env.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

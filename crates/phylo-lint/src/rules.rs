@@ -1,0 +1,104 @@
+//! The workspace invariants, with **stable** rule identifiers.
+//!
+//! Rule IDs are public API: they appear in waiver comments
+//! (`// lint:allow(L001): reason`), in the committed baseline file, in CI
+//! logs and in the JSON envelope. They are never renumbered or reused; a
+//! retired rule's ID is retired with it.
+
+use std::fmt;
+
+/// A lint rule identifier. The numbering is append-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RuleId {
+    /// No `panic!` / `.unwrap()` / `.expect(` / `unreachable!` / `todo!` in
+    /// the kernel op-execution path or the `phylo-parallel` worker loops
+    /// (outside `#[cfg(test)]`). Misuse must surface as a typed
+    /// `OpError`/`KernelError`, not a worker-poisoning panic.
+    L001,
+    /// No `debug_assert!` family guarding shape/soundness invariants in
+    /// non-test kernel/parallel code: an invariant strong enough to justify
+    /// an assert in a debug build is strong enough to need a typed error
+    /// (or a plain `assert!` at construction time) in a release build.
+    L002,
+    /// Every `unsafe` block and `unsafe impl` is immediately preceded by a
+    /// `// SAFETY:` comment stating the obligation being discharged.
+    L003,
+    /// `std::sync::atomic` is confined to each crate's designated `sync`
+    /// module, so memory-ordering-sensitive code has one auditable home
+    /// (and one seam the model checker can instrument).
+    L004,
+    /// No `Mutex`/`RwLock` types or `.lock()` acquisitions in the per-op
+    /// kernel paths: blocking a worker inside an op turns load imbalance
+    /// into a convoy.
+    L005,
+}
+
+/// Every rule, in ID order.
+pub const ALL_RULES: &[RuleId] = &[
+    RuleId::L001,
+    RuleId::L002,
+    RuleId::L003,
+    RuleId::L004,
+    RuleId::L005,
+];
+
+impl RuleId {
+    /// The stable textual ID (`"L001"`...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::L001 => "L001",
+            RuleId::L002 => "L002",
+            RuleId::L003 => "L003",
+            RuleId::L004 => "L004",
+            RuleId::L005 => "L005",
+        }
+    }
+
+    /// Parses a textual ID back (used by waivers and the baseline file).
+    pub fn parse(s: &str) -> Option<Self> {
+        ALL_RULES.iter().copied().find(|r| r.as_str() == s)
+    }
+
+    /// One-line description, shown in reports.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::L001 => "no panic/unwrap/expect/unreachable/todo in kernel op-execution paths",
+            RuleId::L002 => "no debug_assert guarding invariants in non-test kernel/parallel code",
+            RuleId::L003 => {
+                "every unsafe block/impl carries an immediately-preceding SAFETY comment"
+            }
+            RuleId::L004 => "std::sync::atomic confined to the designated sync module",
+            RuleId::L005 => "no Mutex/RwLock acquisition in per-op kernel paths",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: RuleId,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl Finding {
+    /// The canonical single-line form, also used by the baseline file.
+    pub fn render(&self) -> String {
+        format!("{} {}:{} {}", self.rule, self.file, self.line, self.excerpt)
+    }
+
+    /// The location key the baseline file matches on.
+    pub fn baseline_key(&self) -> String {
+        format!("{} {}:{}", self.rule, self.file, self.line)
+    }
+}

@@ -1,0 +1,359 @@
+//! The scanner: applies the rules of [`crate::rules`] to source files,
+//! honoring `#[cfg(test)]` exclusions and inline waivers.
+
+use crate::lexer::{token_matches, SourceView};
+use crate::rules::{Finding, RuleId};
+
+/// Files making up the kernel *op-execution path*: the code that runs once
+/// per op dispatch on the master or inside a worker loop. Rules L001, L002
+/// and L005 apply here (L003/L004 apply workspace-wide).
+pub const OP_PATH_FILES: &[&str] = &[
+    "crates/phylo-kernel/src/ops.rs",
+    "crates/phylo-kernel/src/slice.rs",
+    "crates/phylo-kernel/src/tables.rs",
+    "crates/phylo-kernel/src/executor.rs",
+    "crates/phylo-kernel/src/engine.rs",
+    "crates/phylo-parallel/src/threaded.rs",
+    "crates/phylo-parallel/src/rayon_exec.rs",
+    "crates/phylo-parallel/src/tracing.rs",
+];
+
+const L001_NEEDLES: &[&str] = &["panic!", ".unwrap()", ".expect(", "unreachable!", "todo!"];
+const L002_NEEDLES: &[&str] = &["debug_assert!", "debug_assert_eq!", "debug_assert_ne!"];
+const L004_NEEDLES: &[&str] = &["std::sync::atomic", "core::sync::atomic"];
+const L005_NEEDLES: &[&str] = &["Mutex<", "RwLock<", ".lock()"];
+
+/// Whether `file` (workspace-relative, forward slashes) is in the per-op
+/// scope of L001/L002/L005.
+pub fn in_op_path(file: &str) -> bool {
+    OP_PATH_FILES.contains(&file)
+}
+
+/// Whether `file` may mention `std::sync::atomic` (L004): anything under a
+/// `sync` module of its crate.
+pub fn in_sync_module(file: &str) -> bool {
+    file.contains("/src/sync/") || file.ends_with("/src/sync.rs")
+}
+
+/// An active waiver: `// lint:allow(L001): reason` on the finding's line or
+/// the line directly above. A waiver with an empty reason is ignored — the
+/// justification is the point.
+fn waived(view: &SourceView, rule: RuleId, line: usize) -> bool {
+    let lines = [line.saturating_sub(1), line];
+    let tag = format!("lint:allow({})", rule.as_str());
+    for l in lines {
+        if l == 0 {
+            continue;
+        }
+        for comment in view.comments_on(l) {
+            if let Some(pos) = comment.find(&tag) {
+                let rest = &comment[pos + tag.len()..];
+                if let Some(reason) = rest.trim_start().strip_prefix(':') {
+                    if !reason.trim().is_empty() {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Line ranges (1-based, inclusive) covered by `#[cfg(test)]` items.
+fn cfg_test_ranges(code: &str) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut from = 0usize;
+    let flat = code;
+    while let Some(pos) = flat[from..].find("#[cfg(test)]") {
+        let start = from + pos;
+        let start_line = flat[..start].matches('\n').count() + 1;
+        // Find the item body: the first `{` after the attribute (brace-match
+        // to its close), or a `;` if it comes first (attribute on a
+        // braceless item).
+        let mut j = start + "#[cfg(test)]".len();
+        let mut end = flat.len();
+        let body = flat[j..].find(['{', ';']).map(|o| j + o);
+        if let Some(open) = body {
+            if flat[open..].starts_with(';') {
+                end = open;
+            } else {
+                let mut depth = 0usize;
+                j = open;
+                while j < flat.len() {
+                    match flat.as_bytes()[j] {
+                        b'{' => depth += 1,
+                        b'}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                end = j;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+        }
+        let end_line = flat[..end].matches('\n').count() + 1;
+        ranges.push((start_line, end_line));
+        from = start + 1;
+    }
+    ranges
+}
+
+fn in_ranges(ranges: &[(usize, usize)], line: usize) -> bool {
+    ranges.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// Checks whether line `line` of `view` is justified by a `SAFETY:` comment:
+/// on the same line, or in the run of comment-only lines directly above.
+fn has_safety_comment(view: &SourceView, line: usize) -> bool {
+    if view.comments_on(line).any(|c| c.contains("SAFETY:")) {
+        return true;
+    }
+    let mut l = line.saturating_sub(1);
+    while l >= 1 && view.line_is_comment_only(l) {
+        if view.comments_on(l).any(|c| c.contains("SAFETY:")) {
+            return true;
+        }
+        l -= 1;
+    }
+    false
+}
+
+/// One `unsafe` site, for the inventory report.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    pub file: String,
+    pub line: usize,
+    /// `"block"`, `"impl"`, `"fn"` or `"trait"`.
+    pub kind: &'static str,
+    /// Whether a `SAFETY:` justification was found next to it.
+    pub justified: bool,
+    /// The source line, trimmed.
+    pub excerpt: String,
+}
+
+/// The result of scanning one file.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    pub findings: Vec<Finding>,
+    pub unsafe_sites: Vec<UnsafeSite>,
+}
+
+/// Scans one file's source. `file` is the workspace-relative path with
+/// forward slashes; it selects which rules apply.
+pub fn scan_source(file: &str, source: &str) -> FileScan {
+    let view = SourceView::new(source);
+    let test_ranges = cfg_test_ranges(&view.code);
+    let src_lines: Vec<&str> = source.lines().collect();
+    let excerpt = |line: usize| -> String {
+        src_lines
+            .get(line.saturating_sub(1))
+            .map_or(String::new(), |l| l.trim().to_string())
+    };
+    let mut out = FileScan::default();
+    let op_path = in_op_path(file);
+    let sync_module = in_sync_module(file);
+
+    for (idx, code_line) in view.code.lines().enumerate() {
+        let line = idx + 1;
+        let tested = in_ranges(&test_ranges, line);
+        let hit = |rule: RuleId, needles: &[&str], out: &mut FileScan| {
+            if needles
+                .iter()
+                .any(|n| !token_matches(code_line, n).is_empty())
+                && !waived(&view, rule, line)
+            {
+                out.findings.push(Finding {
+                    rule,
+                    file: file.to_string(),
+                    line,
+                    excerpt: excerpt(line),
+                });
+            }
+        };
+        if op_path && !tested {
+            hit(RuleId::L001, L001_NEEDLES, &mut out);
+            hit(RuleId::L002, L002_NEEDLES, &mut out);
+            hit(RuleId::L005, L005_NEEDLES, &mut out);
+        }
+        if !sync_module {
+            hit(RuleId::L004, L004_NEEDLES, &mut out);
+        }
+
+        // L003 + inventory: classify each `unsafe` keyword.
+        for col in token_matches(code_line, "unsafe") {
+            let rest = code_line[col + "unsafe".len()..].trim_start();
+            let kind = if rest.starts_with("impl") {
+                "impl"
+            } else if rest.starts_with("fn") {
+                "fn"
+            } else if rest.starts_with("trait") {
+                "trait"
+            } else if rest.starts_with('{') || rest.is_empty() {
+                // `unsafe {` — possibly with the brace on the next line.
+                "block"
+            } else {
+                // `unsafe extern`, attribute position, etc.; inventory as a
+                // block-like site.
+                "block"
+            };
+            let justified = has_safety_comment(&view, line);
+            out.unsafe_sites.push(UnsafeSite {
+                file: file.to_string(),
+                line,
+                kind,
+                justified,
+                excerpt: excerpt(line),
+            });
+            // Blocks and impls require the SAFETY comment (L003); `unsafe
+            // fn` declares an obligation for *callers* and documents it in
+            // its `# Safety` rustdoc section instead.
+            let requires = matches!(kind, "block" | "impl" | "trait");
+            if requires && !justified && !waived(&view, RuleId::L003, line) {
+                out.findings.push(Finding {
+                    rule: RuleId::L003,
+                    file: file.to_string(),
+                    line,
+                    excerpt: excerpt(line),
+                });
+            }
+        }
+    }
+    out.findings.sort_by_key(|f| (f.line, f.rule));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OP_FILE: &str = "crates/phylo-kernel/src/ops.rs";
+    const OTHER_FILE: &str = "crates/phylo-tree/src/lib.rs";
+
+    fn rules_fired(file: &str, src: &str) -> Vec<RuleId> {
+        scan_source(file, src)
+            .findings
+            .iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn l001_fires_on_each_banned_construct() {
+        for src in [
+            "fn f() { panic!(\"x\"); }\n",
+            "fn f() { x.unwrap(); }\n",
+            "fn f() { x.expect(\"y\"); }\n",
+            "fn f() { unreachable!(); }\n",
+            "fn f() { todo!(); }\n",
+        ] {
+            assert_eq!(rules_fired(OP_FILE, src), vec![RuleId::L001], "src: {src}");
+        }
+    }
+
+    #[test]
+    fn l001_is_scoped_to_op_path_files() {
+        assert!(rules_fired(OTHER_FILE, "fn f() { x.unwrap(); }\n").is_empty());
+    }
+
+    #[test]
+    fn l001_ignores_cfg_test_and_comments_and_strings() {
+        let src = "\
+// a comment mentioning panic!(\"x\")
+fn ok() { let s = \"unwrap()\"; }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { x.unwrap(); assert!(matches!(y, Err(_))); panic!(\"boom\"); }
+}
+";
+        assert!(rules_fired(OP_FILE, src).is_empty());
+    }
+
+    #[test]
+    fn l002_fires_on_debug_assert_family() {
+        let src = "fn f() { debug_assert!(a); debug_assert_eq!(b, c); }\n";
+        let fired = rules_fired(OP_FILE, src);
+        assert_eq!(fired, vec![RuleId::L002]);
+        // Plain assert! is allowed (construction-time invariants).
+        assert!(rules_fired(OP_FILE, "fn f() { assert!(a); }\n").is_empty());
+    }
+
+    #[test]
+    fn l003_requires_safety_comment() {
+        let bad = "fn f() { unsafe { do_it() } }\n";
+        assert_eq!(rules_fired(OTHER_FILE, bad), vec![RuleId::L003]);
+        let good =
+            "fn f() {\n    // SAFETY: exclusive access proven above.\n    unsafe { do_it() }\n}\n";
+        assert!(rules_fired(OTHER_FILE, good).is_empty());
+        let bad_impl = "unsafe impl Send for X {}\n";
+        assert_eq!(rules_fired(OTHER_FILE, bad_impl), vec![RuleId::L003]);
+        // `unsafe fn` documents its contract in rustdoc, not a SAFETY line.
+        assert!(rules_fired(OTHER_FILE, "unsafe fn g() {}\n").is_empty());
+    }
+
+    #[test]
+    fn l003_multi_line_safety_justification() {
+        let src = "\
+fn f() {
+    // SAFETY: a long argument that
+    // spans several comment lines.
+    unsafe { do_it() }
+}
+";
+        assert!(rules_fired(OTHER_FILE, src).is_empty());
+    }
+
+    #[test]
+    fn l004_confines_atomics_to_sync_module() {
+        let src = "use std::sync::atomic::AtomicU64;\n";
+        assert_eq!(rules_fired(OTHER_FILE, src), vec![RuleId::L004]);
+        assert!(rules_fired("crates/phylo-telemetry/src/sync/atomic.rs", src).is_empty());
+        // The facade path is fine anywhere.
+        assert!(rules_fired(OTHER_FILE, "use crate::sync::atomic::AtomicU64;\n").is_empty());
+    }
+
+    #[test]
+    fn l005_blocks_locks_in_op_path() {
+        for src in [
+            "struct S { m: Mutex<u32> }\n",
+            "struct S { m: RwLock<u32> }\n",
+            "fn f(m: &std::sync::Mutex<u32>) { let _g = m.lock(); }\n",
+        ] {
+            assert!(
+                rules_fired(OP_FILE, src).contains(&RuleId::L005),
+                "src: {src}"
+            );
+        }
+        assert!(rules_fired(OTHER_FILE, "struct S { m: Mutex<u32> }\n").is_empty());
+    }
+
+    #[test]
+    fn waiver_with_reason_suppresses_waiver_without_does_not() {
+        let with = "fn f() {\n    // lint:allow(L001): test-only fault injection hook\n    panic!(\"x\");\n}\n";
+        assert!(rules_fired(OP_FILE, with).is_empty());
+        let without = "fn f() {\n    // lint:allow(L001):\n    panic!(\"x\");\n}\n";
+        assert_eq!(rules_fired(OP_FILE, without), vec![RuleId::L001]);
+        let wrong_rule =
+            "fn f() {\n    // lint:allow(L002): mismatched rule\n    panic!(\"x\");\n}\n";
+        assert_eq!(rules_fired(OP_FILE, wrong_rule), vec![RuleId::L001]);
+    }
+
+    #[test]
+    fn unsafe_inventory_collects_all_sites() {
+        let src = "\
+// SAFETY: fine.
+unsafe impl Send for X {}
+unsafe fn g() {}
+fn f() { unsafe { h() } }
+";
+        let scan = scan_source(OTHER_FILE, src);
+        let kinds: Vec<&str> = scan.unsafe_sites.iter().map(|s| s.kind).collect();
+        assert_eq!(kinds, vec!["impl", "fn", "block"]);
+        assert!(scan.unsafe_sites[0].justified);
+        assert!(!scan.unsafe_sites[2].justified);
+    }
+}

@@ -1,0 +1,166 @@
+//! Workspace discovery and the whole-tree scan, plus the baseline file.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::rules::Finding;
+use crate::scan::{scan_source, FileScan};
+
+/// Locates the workspace root: ascends from `start` to the first directory
+/// whose `Cargo.toml` declares `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// First-party source files: `src/**/*.rs` of the root package and of every
+/// `crates/*` member. `vendor/` (third-party stand-ins) and `target/` are
+/// never visited; `tests/`, `benches/` and `examples/` are intentionally out
+/// of scope — the rules guard shipped code paths.
+pub fn source_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut dirs = vec![root.join("src")];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            dirs.push(entry.path().join("src"));
+        }
+    }
+    while let Some(dir) = dirs.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                dirs.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// The workspace-relative, forward-slash form of `path` used in findings,
+/// waiver scopes and the baseline file.
+pub fn relative_name(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Scans the whole workspace. Returns the merged scan and the number of
+/// files visited.
+pub fn scan_workspace(root: &Path) -> (FileScan, usize) {
+    let files = source_files(root);
+    let mut merged = FileScan::default();
+    for path in &files {
+        let Ok(source) = fs::read_to_string(path) else {
+            continue;
+        };
+        let name = relative_name(root, path);
+        let scan = scan_source(&name, &source);
+        merged.findings.extend(scan.findings);
+        merged.unsafe_sites.extend(scan.unsafe_sites);
+    }
+    merged
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    (merged, files.len())
+}
+
+/// The committed baseline: grandfathered findings, one `RULE file:line` per
+/// line, `#` comments and blank lines ignored. The repo's baseline ships —
+/// and must stay — empty; the file exists so a future emergency has an
+/// explicit, reviewable escape hatch.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: Vec<String>,
+}
+
+impl Baseline {
+    /// Parses the baseline file's text.
+    pub fn parse(text: &str) -> Self {
+        Self {
+            entries: text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(String::from)
+                .collect(),
+        }
+    }
+
+    /// Loads `lint-baseline.txt` from the workspace root (absent = empty).
+    pub fn load(root: &Path) -> Self {
+        fs::read_to_string(root.join("lint-baseline.txt"))
+            .map(|t| Self::parse(&t))
+            .unwrap_or_default()
+    }
+
+    /// Number of grandfathered entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the baseline is empty (the healthy state).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Splits findings into (new, suppressed-by-baseline).
+    pub fn partition(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>) {
+        findings
+            .into_iter()
+            .partition(|f| !self.entries.contains(&f.baseline_key()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleId;
+
+    #[test]
+    fn baseline_parses_and_partitions() {
+        let b = Baseline::parse("# comment\n\nL001 crates/x/src/a.rs:10\n");
+        assert_eq!(b.len(), 1);
+        let findings = vec![
+            Finding {
+                rule: RuleId::L001,
+                file: "crates/x/src/a.rs".into(),
+                line: 10,
+                excerpt: "x.unwrap()".into(),
+            },
+            Finding {
+                rule: RuleId::L001,
+                file: "crates/x/src/a.rs".into(),
+                line: 11,
+                excerpt: "y.unwrap()".into(),
+            },
+        ];
+        let (new, old) = b.partition(findings);
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].line, 11);
+        assert_eq!(old.len(), 1);
+    }
+
+    #[test]
+    fn empty_baseline_is_empty() {
+        assert!(Baseline::parse("# nothing\n").is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! The linter's own gate, as a plain test: the real workspace must be clean.
+//!
+//! This is the same check CI runs via `cargo run -p phylo-lint -- --check`,
+//! wired into `cargo test` so a violation fails the ordinary suite too.
+
+use std::path::Path;
+
+use phylo_lint::{inventory, scan_workspace, Baseline};
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn workspace_has_no_lint_findings_beyond_the_baseline() {
+    let root = workspace_root();
+    let (scan, files) = scan_workspace(root);
+    assert!(files > 50, "suspiciously few files scanned: {files}");
+    let baseline = Baseline::load(root);
+    assert!(
+        baseline.is_empty(),
+        "lint-baseline.txt must stay empty; fix the findings instead"
+    );
+    let (new, _) = baseline.partition(scan.findings);
+    assert!(
+        new.is_empty(),
+        "lint findings in the workspace:\n{}",
+        new.iter()
+            .map(|f| format!("  {}", f.render()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn committed_unsafe_inventory_is_current() {
+    let root = workspace_root();
+    let (scan, _) = scan_workspace(root);
+    let expected = inventory::render(&scan.unsafe_sites);
+    let committed = std::fs::read_to_string(root.join("UNSAFE_INVENTORY.md"))
+        .expect("UNSAFE_INVENTORY.md missing; run `cargo run -p phylo-lint -- --write-inventory`");
+    assert_eq!(
+        committed, expected,
+        "UNSAFE_INVENTORY.md drifted; run `cargo run -p phylo-lint -- --write-inventory`"
+    );
+}
+
+#[test]
+fn all_unsafe_is_confined_to_phylo_telemetry() {
+    let root = workspace_root();
+    let (scan, _) = scan_workspace(root);
+    for site in &scan.unsafe_sites {
+        assert!(
+            site.file.starts_with("crates/phylo-telemetry/"),
+            "unexpected unsafe outside phylo-telemetry: {}:{}",
+            site.file,
+            site.line
+        );
+    }
+}

@@ -30,6 +30,8 @@
 //! assert!(rates.windows(2).all(|w| w[0] <= w[1]));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod brent;
 pub mod eigen;
 pub mod gamma_rates;

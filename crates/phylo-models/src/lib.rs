@@ -32,6 +32,8 @@
 //! assert!(models.model(0).categories() >= 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod partition_model;
 pub mod qmatrix;
 pub mod substitution;

@@ -453,7 +453,8 @@ mod tests {
         )
         .unwrap();
         (
-            LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec),
+            LikelihoodKernel::try_new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec)
+                .unwrap(),
             costs,
         )
     }
@@ -535,7 +536,8 @@ mod tests {
         )
         .unwrap();
         let mut kernel =
-            LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+            LikelihoodKernel::try_new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec)
+                .unwrap();
         let mut rescheduler = Rescheduler::new(ReschedulePolicy::default());
         let config = OptimizerConfig {
             max_rounds: 1,

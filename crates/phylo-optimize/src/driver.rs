@@ -130,7 +130,7 @@ mod tests {
     fn kernel(mode: BranchLengthMode, seed: u64) -> SequentialKernel {
         let ds = paper_simulated(8, 240, 60, seed).generate();
         let models = ModelSet::default_for(&ds.patterns, mode);
-        SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models)
+        SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models).unwrap()
     }
 
     #[test]

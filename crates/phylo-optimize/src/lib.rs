@@ -32,13 +32,15 @@
 //!
 //! let ds = paper_simulated(6, 60, 30, 7).generate();
 //! let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
-//! let mut kernel = SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models);
+//! let mut kernel = SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models).unwrap();
 //!
 //! let config = OptimizerConfig::search_phase(ParallelScheme::New);
 //! let report = optimize_model_parameters(&mut kernel, &config).unwrap();
 //! assert!(report.final_log_likelihood >= report.initial_log_likelihood);
 //! assert!(report.rounds >= 1);
 //! ```
+
+#![forbid(unsafe_code)]
 
 pub mod adaptive;
 pub mod branches;

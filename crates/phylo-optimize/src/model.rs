@@ -302,7 +302,7 @@ mod tests {
     fn kernel(seed: u64) -> SequentialKernel {
         let ds = paper_simulated(8, 320, 80, seed).generate();
         let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
-        SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models)
+        SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models).unwrap()
     }
 
     #[test]
@@ -387,7 +387,8 @@ mod tests {
         };
         let ds = spec.generate();
         let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
-        let mut k = SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models);
+        let mut k =
+            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models).unwrap();
         let before_exch: Vec<f64> = (0..2).map(|p| k.exchangeability(p, 0)).collect();
         let config = OptimizerConfig::new(ParallelScheme::New);
         let stats = optimize_exchangeabilities(&mut k, &config).unwrap();

@@ -61,6 +61,8 @@
 //! assert_eq!(total, patterns.total_patterns());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod rayon_exec;
 pub mod threaded;
 pub mod tracing;

@@ -106,6 +106,7 @@ impl RayonExecutor {
             .num_threads(threads)
             .thread_name(|i| format!("plk-rayon-{i}"))
             .build()
+            // lint:allow(L001): pool construction happens once at executor build, outside the per-op path
             .expect("failed to build rayon pool")
     }
 
@@ -215,6 +216,7 @@ impl Executor for RayonExecutor {
                     // inside the Ok arm — the worker stays healthy.
                     catch_unwind(AssertUnwindSafe(|| -> WorkerOutput {
                         if panic_worker == Some(index) {
+                            // lint:allow(L001): fault-injection hook, armed only by recovery tests
                             panic!("injected worker panic (test instrumentation)");
                         }
                         if !timed {
@@ -253,10 +255,19 @@ impl Executor for RayonExecutor {
                         record.seconds_per_worker[worker] = duration.as_secs_f64();
                         record.active_patterns_per_worker[worker] = active as f64;
                     }
-                    reduced = Some(match reduced {
-                        None => out,
-                        Some(acc) => reduce_outputs(acc, out),
-                    });
+                    // A reduce mismatch surfaces like any other typed op
+                    // rejection: finish folding the joined results, then
+                    // report it without poisoning the pool.
+                    reduced = match reduced.take() {
+                        None => Some(out),
+                        Some(acc) => match reduce_outputs(acc, out) {
+                            Ok(merged) => Some(merged),
+                            Err(e) => {
+                                rejected.get_or_insert(e);
+                                None
+                            }
+                        },
+                    };
                 }
                 Ok(Err(op_error)) => {
                     rejected.get_or_insert(op_error);
@@ -318,7 +329,8 @@ mod tests {
         let ds = paper_simulated(9, 200, 50, 31).generate();
         let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
         let mut seq =
-            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
+            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone())
+                .unwrap();
         let reference = seq.try_log_likelihood().unwrap();
 
         let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
@@ -330,7 +342,9 @@ mod tests {
             &cats,
         )
         .unwrap();
-        let mut k = LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+        let mut k =
+            LikelihoodKernel::try_new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec)
+                .unwrap();
         let lnl = k.try_log_likelihood().unwrap();
         assert!((lnl - reference).abs() < 1e-8, "{lnl} vs {reference}");
     }
@@ -340,7 +354,8 @@ mod tests {
         let ds = paper_simulated(7, 120, 30, 37).generate();
         let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::Joint);
         let mut seq =
-            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
+            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone())
+                .unwrap();
         let reference = seq.try_log_likelihood().unwrap();
 
         let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
@@ -352,7 +367,9 @@ mod tests {
             &cats,
         )
         .unwrap();
-        let mut k = LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+        let mut k =
+            LikelihoodKernel::try_new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec)
+                .unwrap();
         let lnl = k.try_log_likelihood().unwrap();
         assert!((lnl - reference).abs() < 1e-8);
     }
@@ -371,7 +388,9 @@ mod tests {
             true,
         )
         .unwrap();
-        let mut k = LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+        let mut k =
+            LikelihoodKernel::try_new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec)
+                .unwrap();
         // A single-partition evaluation: the recorded masks must show the
         // partial convergence mask and zero live patterns on full idle.
         let mask = k.single_mask(0);

@@ -132,6 +132,9 @@ pub struct ThreadedExecutor {
     /// One-shot armed fault injection: `(worker, fire_at_sync_event)`.
     injected_panic: Option<(usize, u64)>,
     telemetry: Telemetry,
+    /// Reused scratch for the barrier drain: one allocation for the whole
+    /// run instead of one `Vec` per region barrier.
+    sample_buf: Vec<WorkerSample>,
 }
 
 impl std::fmt::Debug for ThreadedExecutor {
@@ -197,6 +200,7 @@ impl ThreadedExecutor {
             last_panic: None,
             injected_panic: None,
             telemetry: Telemetry::disabled(),
+            sample_buf: Vec::new(),
         })
     }
 
@@ -234,6 +238,7 @@ impl ThreadedExecutor {
                             let start = Instant::now();
                             let body = || -> Result<(OpOutput, usize), phylo_kernel::OpError> {
                                 if cmd.panic_worker == Some(worker_index) {
+                                    // lint:allow(L001): fault-injection hook, armed only by recovery tests
                                     panic!("injected worker panic (test instrumentation)");
                                 }
                                 let ctx = ExecContext {
@@ -300,6 +305,7 @@ impl ThreadedExecutor {
                             idle_since = Instant::now();
                         }
                     })
+                    // lint:allow(L001): spawn failure at executor construction, outside the per-op path
                     .expect("failed to spawn worker thread");
                 WorkerHandle {
                     sender: cmd_tx,
@@ -425,10 +431,19 @@ impl ThreadedExecutor {
                         record.seconds_per_worker[worker] = duration.as_secs_f64();
                         record.active_patterns_per_worker[worker] = active as f64;
                     }
-                    result = Some(match result {
-                        None => out,
-                        Some(acc) => reduce_outputs(acc, out),
-                    });
+                    // A reduce mismatch is deterministic misuse like any
+                    // other op rejection: keep draining the lockstep replies
+                    // and surface it once every worker has answered.
+                    result = match result.take() {
+                        None => Some(out),
+                        Some(acc) => match reduce_outputs(acc, out) {
+                            Ok(merged) => Some(merged),
+                            Err(e) => {
+                                rejected.get_or_insert(e);
+                                None
+                            }
+                        },
+                    };
                 }
                 Ok(Reply::OpRejected(op_error)) => {
                     rejected.get_or_insert(op_error);
@@ -455,8 +470,12 @@ impl ThreadedExecutor {
             let mut worker_seconds = vec![0.0; self.worker_count];
             let mut queue_wait = vec![0.0; self.worker_count];
             let (mut hits, mut misses, mut builds) = (0u64, 0u64, 0u64);
+            let mut ring_dropped = 0u64;
             for handle in &mut self.handles {
-                for sample in handle.samples.drain() {
+                ring_dropped += handle.samples.take_dropped();
+                self.sample_buf.clear();
+                handle.samples.drain_into(&mut self.sample_buf);
+                for sample in &self.sample_buf {
                     if sample.region != region {
                         continue;
                     }
@@ -468,6 +487,9 @@ impl ThreadedExecutor {
                 }
             }
             self.telemetry.add_tip_cache(hits, misses, builds);
+            // Samples a full ring refused are gone, but never silently:
+            // they surface as `events_dropped` in the snapshot.
+            self.telemetry.add_dropped(ring_dropped);
             self.telemetry
                 .region_end(token, &worker_seconds, &queue_wait);
         }
@@ -564,7 +586,8 @@ mod tests {
         let ds = paper_simulated(10, 300, 50, 17).generate();
         let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
         let mut seq =
-            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
+            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone())
+                .unwrap();
         let reference = seq.try_log_likelihood().unwrap();
 
         for workers in [2usize, 4] {
@@ -577,12 +600,13 @@ mod tests {
                 &cats,
             )
             .unwrap();
-            let mut k = LikelihoodKernel::new(
+            let mut k = LikelihoodKernel::try_new(
                 Arc::clone(&ds.patterns),
                 ds.tree.clone(),
                 models.clone(),
                 exec,
-            );
+            )
+            .unwrap();
             let lnl = k.try_log_likelihood().unwrap();
             assert!(
                 (lnl - reference).abs() < 1e-8,
@@ -599,7 +623,8 @@ mod tests {
         let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
 
         let mut seq =
-            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
+            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone())
+                .unwrap();
         let branch = seq.tree().internal_branches()[0];
         let mask = seq.full_mask();
         seq.try_prepare_branch(branch, &mask).unwrap();
@@ -617,7 +642,8 @@ mod tests {
         )
         .unwrap();
         let mut par =
-            LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+            LikelihoodKernel::try_new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec)
+                .unwrap();
         par.try_prepare_branch(branch, &mask).unwrap();
         let got = par.try_branch_derivatives(&lengths).unwrap();
         for (a, b) in expected.iter().zip(got.iter()) {
@@ -734,9 +760,12 @@ mod tests {
         // And the lockstep survived: a full likelihood round-trip agrees
         // with the sequential reference.
         let mut seq =
-            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
+            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone())
+                .unwrap();
         let reference = seq.try_log_likelihood().unwrap();
-        let mut k = LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+        let mut k =
+            LikelihoodKernel::try_new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec)
+                .unwrap();
         let lnl = k.try_log_likelihood().unwrap();
         assert!((lnl - reference).abs() < 1e-8);
     }
@@ -758,7 +787,9 @@ mod tests {
             },
         )
         .unwrap();
-        let mut k = LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+        let mut k =
+            LikelihoodKernel::try_new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec)
+                .unwrap();
         let _ = k.try_log_likelihood().unwrap();
         let sync = k.sync_events();
         let trace = k.executor_mut().take_trace();
@@ -782,7 +813,9 @@ mod tests {
             &cats,
         )
         .unwrap();
-        let mut k = LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+        let mut k =
+            LikelihoodKernel::try_new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec)
+                .unwrap();
         let _ = k.try_log_likelihood().unwrap();
         assert_eq!(k.executor_mut().trace().sync_events(), 0);
     }
@@ -894,7 +927,9 @@ mod tests {
             &cats,
         )
         .unwrap();
-        let mut k = LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+        let mut k =
+            LikelihoodKernel::try_new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec)
+                .unwrap();
         let before = k.try_log_likelihood().unwrap();
 
         let lpt = schedule(&ds.patterns, &cats, 3, &WeightedLpt).unwrap();
@@ -921,7 +956,8 @@ mod tests {
         let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
         let cats: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
         let mut seq =
-            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
+            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone())
+                .unwrap();
         let reference = seq.try_log_likelihood().unwrap();
 
         let patterns = ds.patterns.total_patterns();
@@ -940,12 +976,13 @@ mod tests {
                 &cats,
             )
             .unwrap();
-            let mut k = LikelihoodKernel::new(
+            let mut k = LikelihoodKernel::try_new(
                 Arc::clone(&ds.patterns),
                 ds.tree.clone(),
                 models.clone(),
                 exec,
-            );
+            )
+            .unwrap();
             let lnl = k.try_log_likelihood().unwrap();
             assert!(
                 (lnl - reference).abs() < 1e-8,
@@ -982,7 +1019,9 @@ mod tests {
             },
         )
         .unwrap();
-        let mut k = LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+        let mut k =
+            LikelihoodKernel::try_new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec)
+                .unwrap();
         let _ = k.try_log_likelihood().unwrap();
         let trace = k.executor_mut().take_trace();
         let totals = trace.per_worker_total_in(phylo_kernel::TraceUnit::Seconds);

@@ -197,10 +197,16 @@ impl Executor for TracingExecutor {
             match execute_on_worker(worker, op, ctx) {
                 Ok(out) => {
                     record.seconds_per_worker[wi] = start.elapsed().as_secs_f64();
-                    result = Some(match result {
-                        None => out,
-                        Some(acc) => reduce_outputs(acc, out),
-                    });
+                    result = match result.take() {
+                        None => Some(out),
+                        Some(acc) => match reduce_outputs(acc, out) {
+                            Ok(merged) => Some(merged),
+                            Err(e) => {
+                                rejected = Some(e);
+                                break;
+                            }
+                        },
+                    };
                 }
                 Err(e) => {
                     rejected = Some(e);
@@ -280,14 +286,15 @@ mod tests {
             &cats,
         )
         .unwrap();
-        LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec)
+        LikelihoodKernel::try_new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec).unwrap()
     }
 
     #[test]
     fn tracing_matches_sequential_likelihood() {
         let ds = dataset();
         let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
-        let mut seq = SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models);
+        let mut seq =
+            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models).unwrap();
         let reference = seq.try_log_likelihood().unwrap();
 
         for workers in [1usize, 4, 16] {

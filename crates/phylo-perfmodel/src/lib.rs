@@ -45,6 +45,8 @@
 //! assert!(Platform::nehalem().predict_runtime(&skewed) > balanced);
 //! ```
 
+#![forbid(unsafe_code)]
+
 use phylo_data::{DataType, PartitionedPatterns};
 use phylo_kernel::cost::{newview_flops, newview_flops_tabled, TraceUnit, WorkTrace};
 use phylo_sched::{Assignment, PatternCosts, SchedError};

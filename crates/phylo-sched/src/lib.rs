@@ -53,6 +53,8 @@
 //! assert!(lpt.max_cost() <= cyclic.max_cost() + 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod assignment;
 pub mod cost;
 pub mod error;

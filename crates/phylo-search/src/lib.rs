@@ -19,7 +19,7 @@
 //!
 //! let ds = paper_simulated(6, 80, 40, 3).generate();
 //! let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
-//! let mut kernel = SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models);
+//! let mut kernel = SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models).unwrap();
 //!
 //! let mut config = SearchConfig::new(ParallelScheme::New);
 //! config.max_rounds = 1;
@@ -29,6 +29,8 @@
 //! assert!(result.final_log_likelihood >= result.initial_log_likelihood);
 //! assert!(kernel.tree().validate().is_ok());
 //! ```
+
+#![forbid(unsafe_code)]
 
 use phylo_kernel::{Executor, KernelError, LikelihoodKernel};
 use phylo_optimize::adaptive::{
@@ -337,7 +339,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(1000));
         let start = random_tree(&ds.patterns.taxa.clone(), &mut rng);
         let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
-        let k = SequentialKernel::build(Arc::clone(&ds.patterns), start, models);
+        let k = SequentialKernel::build(Arc::clone(&ds.patterns), start, models).unwrap();
         (k, ds.tree)
     }
 
@@ -414,7 +416,8 @@ mod tests {
         )
         .unwrap();
         let mut kernel =
-            LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec);
+            LikelihoodKernel::try_new(Arc::clone(&ds.patterns), ds.tree.clone(), models, exec)
+                .unwrap();
 
         let mut config = SearchConfig::new(ParallelScheme::New);
         config.max_rounds = 2;

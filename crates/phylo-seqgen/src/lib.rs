@@ -29,6 +29,8 @@
 //! assert_eq!(again.patterns.total_patterns(), dataset.patterns.total_patterns());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod datasets;
 pub mod simulate;
 

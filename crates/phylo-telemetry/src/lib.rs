@@ -24,6 +24,11 @@
 //!   barrier and folds the samples into the recorder.
 //! * This crate depends on nothing, so every workspace crate can depend on
 //!   it without cycles.
+//! * All `unsafe` and all atomics live behind the [`sync`] facade (plus the
+//!   ring's two slot accesses) — this is the only workspace crate not under
+//!   `#![forbid(unsafe_code)]`, and in exchange it compiles under
+//!   `--cfg phylo_modelcheck` into a deterministically model-checked build
+//!   (see `sync::modelcheck` and `tests/modelcheck.rs`).
 //!
 //! ```
 //! use phylo_telemetry::{Telemetry, TelemetryConfig, TelemetrySnapshot};
@@ -46,6 +51,8 @@
 //! assert!(snapshot.to_prometheus().contains("plf_regions_completed_total 1"));
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod config;
 pub mod envelope;
 pub mod event;
@@ -54,6 +61,7 @@ pub mod json;
 pub mod recorder;
 pub mod ring;
 pub mod snapshot;
+pub mod sync;
 
 pub use config::TelemetryConfig;
 pub use envelope::{BenchEnvelope, BENCH_SCHEMA};

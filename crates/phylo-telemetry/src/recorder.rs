@@ -1,8 +1,9 @@
 //! The `Telemetry` recorder handle.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 use crate::config::TelemetryConfig;
 use crate::event::TelemetryEvent;
@@ -234,6 +235,19 @@ impl Telemetry {
                     branch,
                 },
             );
+        }
+    }
+
+    /// Folds ring-rejected worker samples into the `events_dropped` counter.
+    /// Called by the master at the region barrier with
+    /// [`crate::ring::Consumer::take_dropped`]'s harvest, so every sample a
+    /// full ring refused is accounted for in the snapshot.
+    pub fn add_dropped(&self, n: u64) {
+        if n != 0 {
+            if let Some(inner) = &self.inner {
+                let mut log = inner.events.lock().expect("telemetry event log poisoned");
+                log.dropped += n;
+            }
         }
     }
 

@@ -12,35 +12,38 @@
 //! operation, and one-slot-empty to distinguish full from empty. Exclusive
 //! `&mut self` on both endpoints (and no `Clone`) enforces the
 //! single-producer/single-consumer discipline at compile time.
+//!
+//! All shared state goes through the [`crate::sync`] facade, so the exact
+//! push/pop protocol below is what the deterministic model checker explores
+//! under `--cfg phylo_modelcheck` (see `tests/modelcheck.rs`).
 
-use std::cell::UnsafeCell;
-use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::cell::SlotCell;
+
 struct Shared<T> {
-    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    slots: Box<[SlotCell<T>]>,
     /// Next slot to pop (owned by the consumer, read by the producer).
     head: AtomicUsize,
     /// Next slot to push (owned by the producer, read by the consumer).
     tail: AtomicUsize,
+    /// Pushes rejected because the ring was full (written by the producer,
+    /// harvested by the consumer via [`Consumer::take_dropped`]).
+    dropped: AtomicU64,
 }
-
-// SAFETY: the producer writes only slots in `tail..head-1` (mod n) and the
-// consumer reads only slots in `head..tail`; the Release/Acquire pair on the
-// index stores orders the slot contents with the index updates.
-unsafe impl<T: Send> Sync for Shared<T> {}
-unsafe impl<T: Send> Send for Shared<T> {}
 
 impl<T> Drop for Shared<T> {
     fn drop(&mut self) {
         // Both endpoints are gone; drop any samples still in flight.
         let mut head = *self.head.get_mut();
         let tail = *self.tail.get_mut();
+        let n = self.slots.len();
         while head != tail {
-            // SAFETY: slots in head..tail hold initialized values.
-            unsafe { (*self.slots[head].get()).assume_init_drop() };
-            head = (head + 1) % self.slots.len();
+            // SAFETY: slots in head..tail hold initialized values, each
+            // dropped exactly once as `head` advances.
+            unsafe { self.slots[head].drop_in_place() };
+            head = (head + 1) % n;
         }
     }
 }
@@ -75,13 +78,12 @@ impl<T> std::fmt::Debug for Consumer<T> {
 pub fn spsc<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
     assert!(capacity > 0, "ring capacity must be positive");
     // One extra slot so that head == tail unambiguously means empty.
-    let slots: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..capacity + 1)
-        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
-        .collect();
+    let slots: Box<[SlotCell<T>]> = (0..capacity + 1).map(|_| SlotCell::new()).collect();
     let shared = Arc::new(Shared {
         slots,
         head: AtomicUsize::new(0),
         tail: AtomicUsize::new(0),
+        dropped: AtomicU64::new(0),
     });
     (
         Producer {
@@ -92,18 +94,21 @@ pub fn spsc<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
 }
 
 impl<T> Producer<T> {
-    /// Pushes a value, or returns it if the ring is full. Never blocks.
+    /// Pushes a value, or returns it if the ring is full (counting the
+    /// rejection — see [`Consumer::take_dropped`]). Never blocks.
     pub fn push(&mut self, value: T) -> Result<(), T> {
         let shared = &*self.shared;
         let n = shared.slots.len();
         let tail = shared.tail.load(Ordering::Relaxed);
         let next = (tail + 1) % n;
         if next == shared.head.load(Ordering::Acquire) {
+            shared.dropped.fetch_add(1, Ordering::Relaxed);
             return Err(value);
         }
         // SAFETY: the slot at `tail` is outside head..tail, so the consumer
-        // does not touch it until the Release store below publishes it.
-        unsafe { (*shared.slots[tail].get()).write(value) };
+        // does not touch it until the Release store below publishes it; it
+        // is logically empty (any previous occupant was moved out by `pop`).
+        unsafe { shared.slots[tail].write(value) };
         shared.tail.store(next, Ordering::Release);
         Ok(())
     }
@@ -120,18 +125,36 @@ impl<T> Consumer<T> {
         }
         // SAFETY: the Acquire load above observed the producer's Release
         // store, so the slot at `head` is initialized and no longer written.
-        let value = unsafe { (*shared.slots[head].get()).assume_init_read() };
+        let value = unsafe { shared.slots[head].read() };
         shared.head.store((head + 1) % n, Ordering::Release);
         Some(value)
     }
 
-    /// Drains every currently visible value into a vector.
+    /// Drains every currently visible value into a fresh vector. Prefer
+    /// [`drain_into`](Self::drain_into) on hot paths — it reuses a buffer
+    /// instead of allocating per drain.
     pub fn drain(&mut self) -> Vec<T> {
         let mut out = Vec::new();
+        self.drain_into(&mut out);
+        out
+    }
+
+    /// Appends every currently visible value to `out` without allocating
+    /// (beyond `out`'s own growth, amortized away by reuse). This is what
+    /// the region-barrier drain in `phylo-parallel` uses: one buffer, reused
+    /// across every barrier of the run.
+    pub fn drain_into(&mut self, out: &mut Vec<T>) {
         while let Some(v) = self.pop() {
             out.push(v);
         }
-        out
+    }
+
+    /// Harvests and resets the count of pushes rejected because the ring
+    /// was full since the last call. The producer never blocks, so this is
+    /// the only evidence a sample was lost; `phylo-parallel` folds it into
+    /// the recorder's `events_dropped` counter at the region barrier.
+    pub fn take_dropped(&mut self) -> u64 {
+        self.shared.dropped.swap(0, Ordering::Relaxed)
     }
 }
 
@@ -164,8 +187,48 @@ mod tests {
     }
 
     #[test]
+    fn rejected_pushes_are_counted_exactly() {
+        let (mut tx, mut rx) = spsc::<u32>(2);
+        assert_eq!(rx.take_dropped(), 0);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(tx.push(3), Err(3));
+        assert_eq!(tx.push(4), Err(4));
+        assert_eq!(rx.take_dropped(), 2);
+        // take_dropped resets the counter.
+        assert_eq!(rx.take_dropped(), 0);
+        assert_eq!(rx.pop(), Some(1));
+        tx.push(5).unwrap();
+        assert_eq!(tx.push(6), Err(6));
+        assert_eq!(rx.take_dropped(), 1);
+    }
+
+    #[test]
+    fn drain_into_reuses_the_buffer() {
+        let (mut tx, mut rx) = spsc::<u64>(4);
+        let mut buf = Vec::new();
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        rx.drain_into(&mut buf);
+        assert_eq!(buf, vec![1, 2]);
+        let cap = buf.capacity();
+        buf.clear();
+        tx.push(3).unwrap();
+        rx.drain_into(&mut buf);
+        assert_eq!(buf, vec![3]);
+        assert_eq!(buf.capacity(), cap, "drain_into must not reallocate");
+    }
+
+    #[test]
     fn cross_thread_stress_preserves_every_value() {
         let (mut tx, mut rx) = spsc::<u64>(16);
+        // The facade hooks make every op check for a checking session; keep
+        // the spin-heavy stress affordable in that (debug, instrumented)
+        // configuration — the exhaustive interleaving proof lives in
+        // tests/modelcheck.rs, not here.
+        #[cfg(phylo_modelcheck)]
+        const N: u64 = 5_000;
+        #[cfg(not(phylo_modelcheck))]
         const N: u64 = 100_000;
         let producer = std::thread::spawn(move || {
             for i in 0..N {

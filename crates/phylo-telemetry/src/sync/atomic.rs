@@ -1,0 +1,86 @@
+//! Facade over `std::sync::atomic` — the designated atomic module of this
+//! crate (lint rule **L004**).
+//!
+//! On a normal build these are literal re-exports. Under
+//! `--cfg phylo_modelcheck` they are thin wrappers that consult the
+//! thread-local model-checking scheduler: inside a checking session every
+//! load/store/RMW becomes a scheduling point and feeds the happens-before
+//! vector clocks; outside a session the wrappers pass straight through to
+//! the inner `std` atomic.
+
+pub use std::sync::atomic::Ordering;
+
+#[cfg(not(phylo_modelcheck))]
+pub use std::sync::atomic::{AtomicU64, AtomicUsize};
+
+#[cfg(phylo_modelcheck)]
+pub use self::checked::{AtomicU64, AtomicUsize};
+
+#[cfg(phylo_modelcheck)]
+mod checked {
+    use super::Ordering;
+    use crate::sync::modelcheck;
+
+    macro_rules! checked_atomic {
+        ($name:ident, $inner:ty, $value:ty) => {
+            /// Model-checkable stand-in for the `std` atomic of the same
+            /// name. Identical API subset; every operation is a scheduling
+            /// point when a checking session is active on this thread.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $inner,
+            }
+
+            impl $name {
+                /// Creates the atomic with an initial value.
+                pub const fn new(value: $value) -> Self {
+                    Self {
+                        inner: <$inner>::new(value),
+                    }
+                }
+
+                /// Loads the value; a scheduling point under an active
+                /// checking session (Acquire joins the variable's published
+                /// clock into the thread's clock).
+                pub fn load(&self, order: Ordering) -> $value {
+                    modelcheck::with_atomic_load(self as *const _ as usize, order, || {
+                        self.inner.load(order)
+                    })
+                }
+
+                /// Stores a value; a scheduling point under an active
+                /// checking session (Release publishes the thread's clock to
+                /// the variable).
+                pub fn store(&self, value: $value, order: Ordering) {
+                    modelcheck::with_atomic_store(self as *const _ as usize, order, || {
+                        self.inner.store(value, order)
+                    })
+                }
+
+                /// Adds to the value, returning the previous value; a single
+                /// scheduling point (the RMW is indivisible).
+                pub fn fetch_add(&self, value: $value, order: Ordering) -> $value {
+                    modelcheck::with_atomic_rmw(self as *const _ as usize, order, || {
+                        self.inner.fetch_add(value, order)
+                    })
+                }
+
+                /// Swaps the value, returning the previous value; a single
+                /// scheduling point (the RMW is indivisible).
+                pub fn swap(&self, value: $value, order: Ordering) -> $value {
+                    modelcheck::with_atomic_rmw(self as *const _ as usize, order, || {
+                        self.inner.swap(value, order)
+                    })
+                }
+
+                /// Mutable access — no concurrency, no scheduling point.
+                pub fn get_mut(&mut self) -> &mut $value {
+                    self.inner.get_mut()
+                }
+            }
+        };
+    }
+
+    checked_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    checked_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+}

@@ -1,0 +1,110 @@
+//! [`SlotCell`] — the single point where the telemetry ring touches
+//! uninitialized shared memory.
+//!
+//! On a normal build this is a transparent wrapper over
+//! `UnsafeCell<MaybeUninit<T>>`. Under `--cfg phylo_modelcheck` every shared
+//! read and write additionally reports to the model-checking scheduler,
+//! which treats them as *non-atomic* accesses and checks them against the
+//! happens-before clocks — exactly how a slot data race is detected.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+
+#[cfg(phylo_modelcheck)]
+use crate::sync::modelcheck;
+
+/// A shared, possibly-uninitialized slot.
+///
+/// The cell itself imposes no synchronization; callers must establish a
+/// happens-before edge between a [`write`](Self::write) and any subsequent
+/// [`read`](Self::read) (in the ring: the Release store of the producer index
+/// paired with the consumer's Acquire load).
+#[derive(Debug)]
+pub struct SlotCell<T> {
+    inner: UnsafeCell<MaybeUninit<T>>,
+}
+
+// SAFETY: `SlotCell` is a raw storage slot with no interior invariants of
+// its own; the SPSC ring protocol built on top guarantees that a slot is
+// never accessed concurrently from two threads (each slot is owned either by
+// the producer or the consumer at any point of the index protocol), which is
+// what `Send`/`Sync` require here. The model-checked build verifies this
+// claim mechanically.
+unsafe impl<T: Send> Send for SlotCell<T> {}
+// SAFETY: see the `Send` impl above — shared references only ever reach one
+// thread at a time under the ring's index protocol.
+unsafe impl<T: Send> Sync for SlotCell<T> {}
+
+impl<T> SlotCell<T> {
+    /// Creates an uninitialized slot.
+    pub fn new() -> Self {
+        Self {
+            inner: UnsafeCell::new(MaybeUninit::uninit()),
+        }
+    }
+
+    /// Writes a value into the slot through a shared reference.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have exclusive logical ownership of the slot (no
+    /// concurrent access), and the slot must be logically empty — a previous
+    /// value, if any, is overwritten without being dropped.
+    pub unsafe fn write(&self, value: T) {
+        #[cfg(phylo_modelcheck)]
+        modelcheck::with_cell_write(self as *const _ as usize, || {
+            // SAFETY: exclusivity and emptiness are the caller's contract.
+            unsafe { (*self.inner.get()).write(value) };
+        });
+        #[cfg(not(phylo_modelcheck))]
+        // SAFETY: exclusivity and emptiness are the caller's contract.
+        unsafe {
+            (*self.inner.get()).write(value);
+        };
+    }
+
+    /// Moves the value out of the slot through a shared reference, leaving
+    /// it logically empty.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have exclusive logical ownership of the slot, the
+    /// slot must hold an initialized value, and the value must not be read
+    /// again afterwards (it has been moved out).
+    pub unsafe fn read(&self) -> T {
+        #[cfg(phylo_modelcheck)]
+        {
+            modelcheck::with_cell_read(self as *const _ as usize, || {
+                // SAFETY: exclusivity and initialization are the caller's
+                // contract.
+                unsafe { (*self.inner.get()).assume_init_read() }
+            })
+        }
+        #[cfg(not(phylo_modelcheck))]
+        {
+            // SAFETY: exclusivity and initialization are the caller's
+            // contract.
+            unsafe { (*self.inner.get()).assume_init_read() }
+        }
+    }
+
+    /// Drops the value in place through a mutable reference (used by the
+    /// ring's `Drop` to free in-flight values — `&mut` proves no
+    /// concurrency, so there is no scheduling point here).
+    ///
+    /// # Safety
+    ///
+    /// The slot must hold an initialized value, which must not be used
+    /// again afterwards.
+    pub unsafe fn drop_in_place(&mut self) {
+        // SAFETY: initialization is the caller's contract; `&mut self`
+        // rules out concurrent access.
+        unsafe { self.inner.get_mut().assume_init_drop() };
+    }
+}
+
+impl<T> Default for SlotCell<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,26 @@
+//! The crate's synchronization facade — and the seam the model checker
+//! plugs into.
+//!
+//! Every atomic operation and every raw slot access the telemetry subsystem
+//! performs goes through this module instead of `std::sync` directly (the
+//! `phylo-lint` rule **L004** enforces that mechanically). On a normal build
+//! the facade is zero-cost: [`atomic`] re-exports the real
+//! `std::sync::atomic` types and [`cell::SlotCell`] is a plain
+//! `UnsafeCell<MaybeUninit<T>>` wrapper.
+//!
+//! Compiled with `--cfg phylo_modelcheck`, the same facade routes every
+//! shared access through a deterministic scheduler (the `modelcheck`
+//! module, only compiled under that cfg) that
+//! serializes the participating threads, enumerates their interleavings by
+//! DFS over schedule prefixes (with a preemption bound), and maintains an
+//! Acquire/Release happens-before graph as vector clocks so *unsynchronized*
+//! slot accesses are reported as races even when the sequentially consistent
+//! replay happens to produce the right values. Code outside an active
+//! checking session (including every ordinary test that happens to be built
+//! with the cfg) takes a passthrough to the real atomics, so the whole test
+//! suite still runs under `RUSTFLAGS='--cfg phylo_modelcheck'`.
+
+pub mod atomic;
+pub mod cell;
+#[cfg(phylo_modelcheck)]
+pub mod modelcheck;

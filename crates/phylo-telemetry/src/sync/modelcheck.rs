@@ -1,0 +1,581 @@
+//! A deterministic concurrency model checker (compiled only under
+//! `--cfg phylo_modelcheck`).
+//!
+//! The checker runs a *scenario* — a closure that spawns threads via
+//! [`spawn`] and exercises shared state through the [`crate::sync`] facade —
+//! many times, each time under a different thread interleaving, until the
+//! bounded schedule space is exhausted. Real OS threads execute the scenario,
+//! but they are serialized through a turnstile: exactly one thread holds the
+//! floor at any time, and every shared access (facade atomic op, facade
+//! [`SlotCell`] access, spawn, join, thread exit) is a *scheduling point*
+//! where the scheduler decides who performs the next access.
+//!
+//! # Exploration
+//!
+//! Schedules are explored by iterative DFS over decision prefixes (the
+//! CHESS-style systematic testing discipline): each run follows a *forced*
+//! prefix of thread choices and then a deterministic default policy (keep
+//! running the current thread until it retires or blocks). After a run, every
+//! decision point past the forced prefix spawns one new prefix per untried
+//! enabled alternative, pruned by a **preemption bound** — a switch away from
+//! a still-enabled thread counts as one preemption, and prefixes exceeding
+//! the bound are skipped. With the default policy contributing zero
+//! preemptions, this enumerates exactly the schedules with at most
+//! `preemption_bound` preemptions, each once.
+//!
+//! # Happens-before
+//!
+//! Because runs are serialized, every interleaving executes sequentially
+//! consistently — a weak-memory bug cannot corrupt *values* here. Instead the
+//! checker maintains vector clocks: a `Release` store publishes the writing
+//! thread's clock to the atomic variable, an `Acquire` load joins the
+//! variable's published clock into the reading thread, and spawn/join edges
+//! transfer clocks between threads. Every non-atomic [`SlotCell`] access is
+//! checked against the cell's last reader/writer clocks; an access without a
+//! happens-before edge is reported as a **data race** even though the
+//! serialized replay read the right bytes. This is what catches the classic
+//! SPSC bug of publishing a slot with a `Relaxed` index store — the
+//! [`Config::weaken_release`] mutation hook demonstrates exactly that.
+//!
+//! [`SlotCell`]: crate::sync::cell::SlotCell
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread;
+
+thread_local! {
+    /// The checking session this thread participates in, if any. `None`
+    /// makes every facade hook a passthrough, so ordinary tests still run
+    /// under `--cfg phylo_modelcheck`.
+    static SESSION: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+}
+
+#[derive(Clone)]
+struct ThreadCtx {
+    sched: Arc<Scheduler>,
+    tid: usize,
+}
+
+fn current_ctx() -> Option<ThreadCtx> {
+    SESSION.with(|s| s.borrow().clone())
+}
+
+/// Exploration parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum number of preemptive context switches per schedule. Two or
+    /// three covers the practically relevant interleavings of an SPSC ring;
+    /// the space grows combinatorially with the bound.
+    pub preemption_bound: usize,
+    /// Hard ceiling on explored schedules — a state-space-regression alarm,
+    /// not a sampling knob: hitting it panics.
+    pub max_schedules: u64,
+    /// Mutation hook for the checker's own self-test: treat every `Release`
+    /// store as `Relaxed` in the happens-before bookkeeping, simulating a
+    /// ring whose publish store was weakened. The checker must then report
+    /// races on the slot cells.
+    pub weaken_release: bool,
+    /// Stop exploring after the first racy schedule (default true — one
+    /// counterexample is enough).
+    pub stop_on_race: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            preemption_bound: 2,
+            max_schedules: 100_000,
+            weaken_release: false,
+            stop_on_race: true,
+        }
+    }
+}
+
+/// Outcome of an exploration.
+#[derive(Debug)]
+pub struct Report {
+    /// Schedules executed; the bounded space was exhausted unless a race
+    /// stopped the search early.
+    pub schedules: u64,
+    /// Distinct data-race descriptions found (empty for a correct scenario).
+    pub races: Vec<String>,
+}
+
+impl Report {
+    /// Panics if any schedule exhibited a data race.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.races.is_empty(),
+            "model checker found {} race(s) over {} schedule(s):\n{}",
+            self.races.len(),
+            self.schedules,
+            self.races.join("\n")
+        );
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Status {
+    Runnable,
+    BlockedOn(usize),
+    Finished,
+}
+
+#[derive(Debug, Clone)]
+struct ChoiceRec {
+    enabled: Vec<usize>,
+    picked: usize,
+}
+
+#[derive(Debug, Default)]
+struct CellState {
+    write_vc: Vec<u32>,
+    read_vc: Vec<u32>,
+    last_writer: Option<usize>,
+}
+
+#[derive(Debug)]
+struct State {
+    threads: Vec<Status>,
+    clocks: Vec<Vec<u32>>,
+    final_clocks: Vec<Option<Vec<u32>>>,
+    current: usize,
+    step: usize,
+    forced: Vec<usize>,
+    choices: Vec<ChoiceRec>,
+    races: Vec<String>,
+    vars: HashMap<usize, Vec<u32>>,
+    cells: HashMap<usize, CellState>,
+    live: usize,
+    done: bool,
+}
+
+struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+    weaken_release: bool,
+}
+
+fn vc_le(a: &[u32], b: &[u32]) -> bool {
+    a.iter()
+        .enumerate()
+        .all(|(i, &v)| v <= b.get(i).copied().unwrap_or(0))
+}
+
+fn vc_join(a: &mut Vec<u32>, b: &[u32]) {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
+    for (i, &v) in b.iter().enumerate() {
+        if a[i] < v {
+            a[i] = v;
+        }
+    }
+}
+
+impl Scheduler {
+    fn new(forced: Vec<usize>, weaken_release: bool) -> Self {
+        Self {
+            state: Mutex::new(State {
+                threads: vec![Status::Runnable],
+                clocks: vec![vec![1]],
+                final_clocks: vec![None],
+                current: 0,
+                step: 0,
+                forced,
+                choices: Vec::new(),
+                races: Vec::new(),
+                vars: HashMap::new(),
+                cells: HashMap::new(),
+                live: 1,
+                done: false,
+            }),
+            cv: Condvar::new(),
+            weaken_release,
+        }
+    }
+
+    /// Blocks until `tid` holds the floor.
+    fn acquire<'a>(&'a self, tid: usize) -> MutexGuard<'a, State> {
+        let mut st = self.state.lock().unwrap();
+        while st.current != tid {
+            st = self.cv.wait(st).unwrap();
+        }
+        st
+    }
+
+    /// Chooses the performer of the next access. Called by whoever holds the
+    /// floor, immediately after completing a scheduling point.
+    fn decide(&self, st: &mut State) {
+        let enabled: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if enabled.is_empty() {
+            if st.live == 0 {
+                st.done = true;
+                self.cv.notify_all();
+                return;
+            }
+            panic!("model-check deadlock: all live threads are blocked");
+        }
+        let picked = if st.step < st.forced.len() {
+            let p = st.forced[st.step];
+            assert!(
+                enabled.contains(&p),
+                "non-deterministic scenario: forced thread {p} not enabled at step {} \
+                 (enabled: {enabled:?})",
+                st.step
+            );
+            p
+        } else if enabled.contains(&st.current) {
+            // Default policy: no preemption — keep running the floor holder.
+            st.current
+        } else {
+            enabled[0]
+        };
+        st.choices.push(ChoiceRec { enabled, picked });
+        st.step += 1;
+        st.current = picked;
+        self.cv.notify_all();
+    }
+
+    fn race(&self, st: &mut State, msg: String) {
+        if !st.races.contains(&msg) {
+            st.races.push(msg);
+        }
+    }
+}
+
+fn is_acquire(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn is_release(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+/// Runs `f` as one scheduling point of kind "atomic load".
+pub(crate) fn with_atomic_load<R>(addr: usize, order: Ordering, f: impl FnOnce() -> R) -> R {
+    let Some(ctx) = current_ctx() else { return f() };
+    let mut st = ctx.sched.acquire(ctx.tid);
+    if is_acquire(order) {
+        if let Some(var_vc) = st.vars.get(&addr).cloned() {
+            vc_join(&mut st.clocks[ctx.tid], &var_vc);
+        }
+    }
+    let r = f();
+    ctx.sched.decide(&mut st);
+    r
+}
+
+/// Runs `f` as one scheduling point of kind "atomic store".
+pub(crate) fn with_atomic_store<R>(addr: usize, order: Ordering, f: impl FnOnce() -> R) -> R {
+    let Some(ctx) = current_ctx() else { return f() };
+    let mut st = ctx.sched.acquire(ctx.tid);
+    st.clocks[ctx.tid][ctx.tid] += 1;
+    if is_release(order) && !ctx.sched.weaken_release {
+        let vc = st.clocks[ctx.tid].clone();
+        st.vars.insert(addr, vc);
+    }
+    let r = f();
+    ctx.sched.decide(&mut st);
+    r
+}
+
+/// Runs `f` as one *indivisible* scheduling point of kind "atomic RMW".
+pub(crate) fn with_atomic_rmw<R>(addr: usize, order: Ordering, f: impl FnOnce() -> R) -> R {
+    let Some(ctx) = current_ctx() else { return f() };
+    let mut st = ctx.sched.acquire(ctx.tid);
+    if is_acquire(order) {
+        if let Some(var_vc) = st.vars.get(&addr).cloned() {
+            vc_join(&mut st.clocks[ctx.tid], &var_vc);
+        }
+    }
+    st.clocks[ctx.tid][ctx.tid] += 1;
+    if is_release(order) && !ctx.sched.weaken_release {
+        let vc = st.clocks[ctx.tid].clone();
+        st.vars.insert(addr, vc);
+    }
+    let r = f();
+    ctx.sched.decide(&mut st);
+    r
+}
+
+/// Runs `f` as one scheduling point of kind "non-atomic cell write", racing
+/// against any reader or writer not ordered before it.
+pub(crate) fn with_cell_write<R>(addr: usize, f: impl FnOnce() -> R) -> R {
+    let Some(ctx) = current_ctx() else { return f() };
+    let mut st = ctx.sched.acquire(ctx.tid);
+    let my_vc = st.clocks[ctx.tid].clone();
+    let cell = st.cells.entry(addr).or_default();
+    let mut racy = None;
+    if !vc_le(&cell.write_vc, &my_vc) {
+        racy = Some(format!(
+            "data race: thread {} overwrites a slot written by thread {:?} \
+             with no happens-before edge (write-write)",
+            ctx.tid, cell.last_writer
+        ));
+    } else if !vc_le(&cell.read_vc, &my_vc) {
+        racy = Some(format!(
+            "data race: thread {} overwrites a slot while an unordered read \
+             may still be in progress (read-write)",
+            ctx.tid
+        ));
+    }
+    cell.write_vc = my_vc;
+    cell.read_vc = Vec::new();
+    cell.last_writer = Some(ctx.tid);
+    if let Some(msg) = racy {
+        ctx.sched.race(&mut st, msg);
+    }
+    st.clocks[ctx.tid][ctx.tid] += 1;
+    let r = f();
+    ctx.sched.decide(&mut st);
+    r
+}
+
+/// Runs `f` as one scheduling point of kind "non-atomic cell read", racing
+/// against any writer not ordered before it.
+pub(crate) fn with_cell_read<R>(addr: usize, f: impl FnOnce() -> R) -> R {
+    let Some(ctx) = current_ctx() else { return f() };
+    let mut st = ctx.sched.acquire(ctx.tid);
+    let my_vc = st.clocks[ctx.tid].clone();
+    let cell = st.cells.entry(addr).or_default();
+    let mut racy = None;
+    if !vc_le(&cell.write_vc, &my_vc) {
+        racy = Some(format!(
+            "data race: thread {} reads a slot written by thread {:?} with \
+             no happens-before edge (write-read) — the publish store does \
+             not release the slot write",
+            ctx.tid, cell.last_writer
+        ));
+    }
+    vc_join(&mut cell.read_vc, &my_vc);
+    if let Some(msg) = racy {
+        ctx.sched.race(&mut st, msg);
+    }
+    let r = f();
+    ctx.sched.decide(&mut st);
+    r
+}
+
+/// Handle to a thread spawned inside a checking session.
+pub struct JoinHandle<T> {
+    inner: thread::JoinHandle<T>,
+    tid: usize,
+}
+
+impl<T> JoinHandle<T> {
+    /// Joins the thread: a blocking scheduling point, plus the usual
+    /// happens-before edge from the joined thread's final clock.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from the joined thread.
+    pub fn join(self) -> T {
+        let ctx = current_ctx().expect("JoinHandle::join outside a model-check session");
+        let target = self.tid;
+        let mut st = ctx.sched.acquire(ctx.tid);
+        loop {
+            if st.threads[target] == Status::Finished {
+                if let Some(final_vc) = st.final_clocks[target].clone() {
+                    vc_join(&mut st.clocks[ctx.tid], &final_vc);
+                }
+                ctx.sched.decide(&mut st);
+                break;
+            }
+            st.threads[ctx.tid] = Status::BlockedOn(target);
+            ctx.sched.decide(&mut st);
+            while st.current != ctx.tid {
+                st = ctx.sched.cv.wait(st).unwrap();
+            }
+        }
+        drop(st);
+        match self.inner.join() {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+/// Retires the calling controlled thread: its last scheduling point.
+/// Implemented as a guard so a panicking scenario thread still hands the
+/// floor on instead of deadlocking the turnstile.
+struct RetireOnDrop(ThreadCtx);
+
+impl Drop for RetireOnDrop {
+    fn drop(&mut self) {
+        let ctx = &self.0;
+        let mut st = ctx.sched.acquire(ctx.tid);
+        st.threads[ctx.tid] = Status::Finished;
+        st.final_clocks[ctx.tid] = Some(st.clocks[ctx.tid].clone());
+        st.live -= 1;
+        // Wake joiners blocked on this thread.
+        for s in st.threads.iter_mut() {
+            if *s == Status::BlockedOn(ctx.tid) {
+                *s = Status::Runnable;
+            }
+        }
+        ctx.sched.decide(&mut st);
+        SESSION.with(|s| *s.borrow_mut() = None);
+    }
+}
+
+/// Spawns a controlled thread inside the current checking session. Must be
+/// called from a controlled thread (the scenario closure or one of its
+/// descendants); the spawn itself is a scheduling point, and the child
+/// inherits the parent's clock (the spawn happens-before edge).
+///
+/// # Panics
+///
+/// Panics when called outside a checking session.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let ctx = current_ctx().expect("modelcheck::spawn outside a model-check session");
+    let mut st = ctx.sched.acquire(ctx.tid);
+    let tid = st.threads.len();
+    st.threads.push(Status::Runnable);
+    let mut child_vc = st.clocks[ctx.tid].clone();
+    child_vc.resize(tid + 1, 0);
+    child_vc[tid] = 1;
+    st.clocks.push(child_vc);
+    st.final_clocks.push(None);
+    st.live += 1;
+    st.clocks[ctx.tid][ctx.tid] += 1;
+    let child_ctx = ThreadCtx {
+        sched: Arc::clone(&ctx.sched),
+        tid,
+    };
+    let inner = thread::Builder::new()
+        .name(format!("modelcheck-{tid}"))
+        .spawn(move || {
+            SESSION.with(|s| *s.borrow_mut() = Some(child_ctx.clone()));
+            let _retire = RetireOnDrop(child_ctx);
+            f()
+        })
+        .expect("failed to spawn model-check thread");
+    ctx.sched.decide(&mut st);
+    drop(st);
+    JoinHandle { inner, tid }
+}
+
+/// Runs one schedule: executes the scenario under the forced prefix and
+/// returns the full choice log plus any races.
+fn run_once<F>(
+    config: &Config,
+    forced: Vec<usize>,
+    scenario: Arc<F>,
+) -> (Vec<ChoiceRec>, Vec<String>)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let sched = Arc::new(Scheduler::new(forced, config.weaken_release));
+    let root_ctx = ThreadCtx {
+        sched: Arc::clone(&sched),
+        tid: 0,
+    };
+    let root = thread::Builder::new()
+        .name("modelcheck-0".into())
+        .spawn(move || {
+            SESSION.with(|s| *s.borrow_mut() = Some(root_ctx.clone()));
+            let _retire = RetireOnDrop(root_ctx);
+            scenario();
+        })
+        .expect("failed to spawn model-check root thread");
+    {
+        let mut st = sched.state.lock().unwrap();
+        while !st.done {
+            st = sched.cv.wait(st).unwrap();
+        }
+    }
+    if let Err(payload) = root.join() {
+        std::panic::resume_unwind(payload);
+    }
+    let st = sched.state.lock().unwrap();
+    (st.choices.clone(), st.races.clone())
+}
+
+/// Preemption count of the prefix `choices[..i] + [alt]`: switches away from
+/// a thread that was still enabled.
+fn preemptions(choices: &[ChoiceRec], i: usize, alt: usize) -> usize {
+    let mut count = 0;
+    let mut prev: Option<usize> = None;
+    for (j, c) in choices.iter().take(i + 1).enumerate() {
+        let picked = if j == i { alt } else { c.picked };
+        if let Some(p) = prev {
+            if picked != p && c.enabled.contains(&p) {
+                count += 1;
+            }
+        }
+        prev = Some(picked);
+    }
+    count
+}
+
+/// Explores the bounded schedule space of `scenario` and returns the
+/// [`Report`]. The scenario must be deterministic apart from thread
+/// interleaving (no wall clock, no OS randomness).
+///
+/// # Panics
+///
+/// Panics if the schedule space exceeds [`Config::max_schedules`] (a
+/// state-space regression), or if a scenario thread panics (a scenario
+/// assertion failure surfaces directly as the test failure).
+pub fn explore<F>(config: Config, scenario: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let scenario = Arc::new(scenario);
+    let mut pending: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut report = Report {
+        schedules: 0,
+        races: Vec::new(),
+    };
+    while let Some(prefix) = pending.pop() {
+        assert!(
+            report.schedules < config.max_schedules,
+            "model-check state space exceeded {} schedules — did the \
+             scenario or the preemption bound grow?",
+            config.max_schedules
+        );
+        let (choices, races) = run_once(&config, prefix.clone(), Arc::clone(&scenario));
+        report.schedules += 1;
+        for r in races {
+            if !report.races.contains(&r) {
+                report.races.push(r);
+            }
+        }
+        if !report.races.is_empty() && config.stop_on_race {
+            break;
+        }
+        for i in prefix.len()..choices.len() {
+            for &alt in &choices[i].enabled {
+                if alt == choices[i].picked {
+                    continue;
+                }
+                if preemptions(&choices, i, alt) > config.preemption_bound {
+                    continue;
+                }
+                let mut p: Vec<usize> = choices[..i].iter().map(|c| c.picked).collect();
+                p.push(alt);
+                pending.push(p);
+            }
+        }
+    }
+    report
+}

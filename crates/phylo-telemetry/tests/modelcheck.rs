@@ -1,0 +1,217 @@
+//! Deterministic model-checking of the telemetry SPSC ring.
+//!
+//! Build with `RUSTFLAGS='--cfg phylo_modelcheck' cargo test -p
+//! phylo-telemetry` — without the cfg this file compiles to nothing. Each
+//! test hands a scenario closure to [`modelcheck::explore`], which reruns it
+//! under every thread interleaving with at most `preemption_bound`
+//! preemptions, checking an Acquire/Release happens-before graph as it goes.
+//! Scenario-internal `assert!`s validate functional properties (no lost,
+//! duplicated, or reordered sample; `Drop` frees exactly the in-flight
+//! values) on *every* explored schedule; the returned report captures data
+//! races the sequentially consistent replay alone could never surface.
+#![cfg(phylo_modelcheck)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use phylo_telemetry::ring::spsc;
+use phylo_telemetry::sync::modelcheck::{self, Config};
+
+/// Explores a scenario where the producer pushes `0..n` without retrying
+/// and the consumer makes `attempts` pops; every schedule asserts that each
+/// value the ring ever saw is recovered exactly once, in order.
+fn run_ring_scenario(capacity: usize, n: u64, attempts: usize) -> modelcheck::Report {
+    modelcheck::explore(Config::default(), move || {
+        let (mut tx, mut rx) = spsc::<u64>(capacity);
+        let producer = modelcheck::spawn(move || {
+            let mut accepted = Vec::new();
+            let mut rejected = Vec::new();
+            for i in 0..n {
+                match tx.push(i) {
+                    Ok(()) => accepted.push(i),
+                    Err(v) => rejected.push(v),
+                }
+            }
+            (accepted, rejected)
+        });
+        let consumer = modelcheck::spawn(move || {
+            let mut popped = Vec::new();
+            for _ in 0..attempts {
+                if let Some(v) = rx.pop() {
+                    popped.push(v);
+                }
+            }
+            (popped, rx)
+        });
+        let (accepted, rejected) = producer.join();
+        let (popped, mut rx) = consumer.join();
+        let leftover = rx.drain();
+
+        // No loss, no duplication, no reordering: what was accepted comes
+        // back out — first to the concurrent consumer, the rest to the
+        // post-join drain — in exactly push order; what was rejected came
+        // straight back to the producer.
+        let mut recovered = popped.clone();
+        recovered.extend_from_slice(&leftover);
+        assert_eq!(
+            recovered, accepted,
+            "accepted values must be recovered exactly once, in order"
+        );
+        let mut seen: Vec<u64> = accepted.iter().chain(rejected.iter()).copied().collect();
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            (0..n).collect::<Vec<_>>(),
+            "every pushed value is either accepted or handed back"
+        );
+    })
+}
+
+#[test]
+fn push_pop_never_loses_duplicates_or_reorders() {
+    let report = run_ring_scenario(2, 3, 4);
+    report.assert_clean();
+    // The bounded space is explored exhaustively, not sampled: a scenario
+    // of this size has many distinct schedules under a 2-preemption bound.
+    assert!(
+        report.schedules > 50,
+        "suspiciously few schedules explored: {}",
+        report.schedules
+    );
+}
+
+#[test]
+fn wraparound_under_full_interleaving_stays_fifo() {
+    // Capacity 1 maximizes full/empty transitions: every second push
+    // must observe the consumer's Release of `head` to succeed.
+    let report = run_ring_scenario(1, 3, 5);
+    report.assert_clean();
+}
+
+/// A value whose drop is observable, for counting exactly how many times
+/// the ring frees in-flight samples. The counter is plain test
+/// instrumentation (outside the facade), so it adds no scheduling points.
+struct DropCounted {
+    drops: Arc<AtomicU64>,
+}
+
+impl Drop for DropCounted {
+    fn drop(&mut self) {
+        self.drops.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[test]
+fn drop_frees_exactly_the_in_flight_values() {
+    let report = modelcheck::explore(Config::default(), || {
+        let drops = Arc::new(AtomicU64::new(0));
+        let created = 3u64;
+        let (mut tx, mut rx) = spsc::<DropCounted>(4);
+        let tx_drops = Arc::clone(&drops);
+        let producer = modelcheck::spawn(move || {
+            let mut ok = 0u64;
+            for _ in 0..created {
+                if tx
+                    .push(DropCounted {
+                        drops: Arc::clone(&tx_drops),
+                    })
+                    .is_ok()
+                {
+                    ok += 1;
+                }
+            }
+            ok
+        });
+        let consumer = modelcheck::spawn(move || {
+            let mut popped = 0u64;
+            for _ in 0..2 {
+                if rx.pop().is_some() {
+                    popped += 1;
+                }
+            }
+            (popped, rx)
+        });
+        let pushed_ok = producer.join();
+        let (popped, rx) = consumer.join();
+        let in_flight = pushed_ok - popped;
+        // Everything except the in-flight values has been dropped by now:
+        // rejected pushes by the producer, popped values by the consumer.
+        assert_eq!(drops.load(Ordering::SeqCst), created - in_flight);
+        drop(rx);
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            created,
+            "ring Drop must free exactly the in-flight values, once each"
+        );
+    });
+    report.assert_clean();
+}
+
+#[test]
+fn rejected_push_counter_is_exact_on_every_schedule() {
+    let report = modelcheck::explore(Config::default(), || {
+        let (mut tx, mut rx) = spsc::<u64>(1);
+        let producer = modelcheck::spawn(move || {
+            let mut rejected = 0u64;
+            for i in 0..3 {
+                if tx.push(i).is_err() {
+                    rejected += 1;
+                }
+            }
+            rejected
+        });
+        let consumer = modelcheck::spawn(move || {
+            for _ in 0..2 {
+                let _ = rx.pop();
+            }
+            rx
+        });
+        let rejected = producer.join();
+        let mut rx = consumer.join();
+        let _ = rx.drain();
+        assert_eq!(
+            rx.take_dropped(),
+            rejected,
+            "dropped-push counter must match the producer's rejections"
+        );
+    });
+    report.assert_clean();
+}
+
+/// The checker's own self-test: weaken the producer's Release publish to
+/// Relaxed (via the mutation hook in the happens-before bookkeeping) and the
+/// slot handoff must be reported as a write-read race. If this test fails,
+/// the checker has lost the ability to see the one bug the ring's memory
+/// orderings exist to prevent.
+#[test]
+fn weakened_release_publish_is_caught_as_a_race() {
+    let config = Config {
+        weaken_release: true,
+        ..Config::default()
+    };
+    let report = modelcheck::explore(config, || {
+        let (mut tx, mut rx) = spsc::<u64>(2);
+        let producer = modelcheck::spawn(move || {
+            let _ = tx.push(1);
+            let _ = tx.push(2);
+        });
+        let consumer = modelcheck::spawn(move || {
+            for _ in 0..2 {
+                let _ = rx.pop();
+            }
+        });
+        producer.join();
+        consumer.join();
+    });
+    assert!(
+        !report.races.is_empty(),
+        "a Relaxed publish store must be detected as a data race \
+         (explored {} schedules)",
+        report.schedules
+    );
+    assert!(
+        report.races.iter().any(|r| r.contains("write-read")),
+        "expected a write-read race on the slot, got: {:?}",
+        report.races
+    );
+}

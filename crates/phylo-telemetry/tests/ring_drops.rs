@@ -1,0 +1,75 @@
+//! Property test: a full ring's rejected pushes are counted *exactly*.
+//!
+//! The producer never blocks and never retries here, so under a slow
+//! consumer many pushes bounce off a full ring. The ring's `dropped` counter
+//! (harvested by [`Consumer::take_dropped`]) must equal the producer's own
+//! tally of rejections — and once folded into the recorder via
+//! [`Telemetry::add_dropped`], the snapshot's `events_dropped` must account
+//! for every lost sample.
+
+use std::thread;
+
+use phylo_telemetry::ring::spsc;
+use phylo_telemetry::{Telemetry, TelemetryConfig};
+use proptest::{prop_assert, prop_assert_eq, proptest};
+
+proptest! {
+    #[test]
+    fn rejected_pushes_are_counted_exactly(
+        capacity in 1usize..16,
+        n in 0u64..512,
+        pop_batch in 1usize..8,
+    ) {
+        let (mut tx, mut rx) = spsc::<u64>(capacity);
+        let producer = thread::spawn(move || {
+            let mut rejected = 0u64;
+            for i in 0..n {
+                if tx.push(i).is_err() {
+                    rejected += 1;
+                }
+            }
+            rejected
+        });
+        // Pop in small batches with yields in between so schedules vary:
+        // sometimes the ring runs full (drops), sometimes it drains dry.
+        let mut received = 0u64;
+        let mut last: Option<u64> = None;
+        let mut track = |v: u64, last: &mut Option<u64>| -> Result<(), String> {
+            // FIFO with gaps: dropped values vanish, survivors keep their
+            // relative order.
+            if let Some(prev) = *last {
+                prop_assert!(v > prev, "out-of-order value {} after {}", v, prev);
+            }
+            *last = Some(v);
+            received += 1;
+            Ok(())
+        };
+        loop {
+            for _ in 0..pop_batch {
+                if let Some(v) = rx.pop() {
+                    track(v, &mut last)?;
+                }
+            }
+            if producer.is_finished() {
+                // No more pushes can arrive; drain to empty and stop.
+                while let Some(v) = rx.pop() {
+                    track(v, &mut last)?;
+                }
+                break;
+            }
+            thread::yield_now();
+        }
+        let rejected = producer.join().expect("producer panicked");
+
+        // Exactness: every push either arrived or was counted as dropped.
+        let dropped = rx.take_dropped();
+        prop_assert_eq!(dropped, rejected);
+        prop_assert_eq!(received + dropped, n);
+        prop_assert_eq!(rx.take_dropped(), 0, "take_dropped must reset");
+
+        // Folding into the recorder surfaces the loss in the snapshot.
+        let telemetry = Telemetry::new(TelemetryConfig::default());
+        telemetry.add_dropped(dropped);
+        prop_assert_eq!(telemetry.snapshot().counters.events_dropped, dropped);
+    }
+}

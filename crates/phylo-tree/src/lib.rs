@@ -31,6 +31,8 @@
 //! assert_eq!(newick::parse_newick(&text).unwrap().bipartitions(), tree.bipartitions());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod newick;
 pub mod random;
 pub mod spr;

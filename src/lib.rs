@@ -34,6 +34,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 
 pub use analysis::{Analysis, AnalysisBuilder, AnalysisError};

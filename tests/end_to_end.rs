@@ -16,7 +16,7 @@ fn all_executors_agree_on_the_likelihood() {
     let categories: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
 
     let mut sequential =
-        SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
+        SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone()).unwrap();
     let reference = sequential.try_log_likelihood().unwrap();
 
     let threaded = ThreadedExecutor::from_assignment(
@@ -26,12 +26,13 @@ fn all_executors_agree_on_the_likelihood() {
         &categories,
     )
     .unwrap();
-    let mut threaded_kernel = LikelihoodKernel::new(
+    let mut threaded_kernel = LikelihoodKernel::try_new(
         Arc::clone(&ds.patterns),
         ds.tree.clone(),
         models.clone(),
         threaded,
-    );
+    )
+    .unwrap();
 
     let rayon = RayonExecutor::from_assignment(
         &ds.patterns,
@@ -40,12 +41,13 @@ fn all_executors_agree_on_the_likelihood() {
         &categories,
     )
     .unwrap();
-    let mut rayon_kernel = LikelihoodKernel::new(
+    let mut rayon_kernel = LikelihoodKernel::try_new(
         Arc::clone(&ds.patterns),
         ds.tree.clone(),
         models.clone(),
         rayon,
-    );
+    )
+    .unwrap();
 
     let tracing = TracingExecutor::from_assignment(
         &ds.patterns,
@@ -55,7 +57,8 @@ fn all_executors_agree_on_the_likelihood() {
     )
     .unwrap();
     let mut tracing_kernel =
-        LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, tracing);
+        LikelihoodKernel::try_new(Arc::clone(&ds.patterns), ds.tree.clone(), models, tracing)
+            .unwrap();
 
     for (name, lnl) in [
         ("threaded", threaded_kernel.try_log_likelihood().unwrap()),
@@ -77,7 +80,7 @@ fn kernel_agrees_with_naive_reference_on_generated_data() {
     let ds = dataset(2);
     let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::Joint);
     let mut kernel =
-        SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
+        SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone()).unwrap();
     let fast = kernel.try_log_likelihood().unwrap();
     let bl = BranchLengths::from_tree(
         &ds.tree,
@@ -93,7 +96,8 @@ fn old_and_new_schemes_reach_the_same_model_estimate() {
     let ds = dataset(3);
     let run = |scheme| {
         let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
-        let mut kernel = SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models);
+        let mut kernel =
+            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models).unwrap();
         let report = optimize_model_parameters(&mut kernel, &OptimizerConfig::new(scheme)).unwrap();
         (report, kernel)
     };
@@ -136,7 +140,8 @@ fn search_with_threads_improves_and_stays_consistent() {
     use rand::SeedableRng;
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
     let start = plf_loadbalance::tree::random::random_tree(&ds.patterns.taxa, &mut rng);
-    let mut kernel = LikelihoodKernel::new(Arc::clone(&ds.patterns), start, models, executor);
+    let mut kernel =
+        LikelihoodKernel::try_new(Arc::clone(&ds.patterns), start, models, executor).unwrap();
 
     let mut config = SearchConfig::new(ParallelScheme::New);
     config.max_rounds = 1;
@@ -187,7 +192,7 @@ fn mid_run_rescheduling_beats_static_cyclic_on_a_skewed_worker() {
     let cyclic = schedule(&ds.patterns, &categories, 4, &Cyclic).unwrap();
 
     let mut sequential =
-        SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
+        SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone()).unwrap();
     let reference = sequential.try_log_likelihood().unwrap();
 
     // Worker 0 sleeps 100 µs per active pattern in every region — an
@@ -209,12 +214,13 @@ fn mid_run_rescheduling_beats_static_cyclic_on_a_skewed_worker() {
             },
         )
         .unwrap();
-        LikelihoodKernel::new(
+        LikelihoodKernel::try_new(
             Arc::clone(&ds.patterns),
             ds.tree.clone(),
             models.clone(),
             executor,
         )
+        .unwrap()
     };
 
     let mut static_kernel = timed_kernel(&cyclic);
@@ -412,7 +418,8 @@ fn mask_aware_rescheduling_preserves_the_likelihood() {
     )
     .unwrap();
     let mut kernel =
-        LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, executor);
+        LikelihoodKernel::try_new(Arc::clone(&ds.patterns), ds.tree.clone(), models, executor)
+            .unwrap();
 
     let mut rescheduler = Rescheduler::new(ReschedulePolicy {
         imbalance_threshold: 1.25,
@@ -477,7 +484,8 @@ fn rayon_driver_recovers_from_an_injected_worker_death() {
     )
     .unwrap();
     let mut kernel =
-        LikelihoodKernel::new(Arc::clone(&ds.patterns), ds.tree.clone(), models, executor);
+        LikelihoodKernel::try_new(Arc::clone(&ds.patterns), ds.tree.clone(), models, executor)
+            .unwrap();
     kernel.executor_mut().inject_worker_panic(2, 25);
 
     let config = OptimizerConfig::new(ParallelScheme::New);

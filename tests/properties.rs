@@ -15,7 +15,7 @@ fn build_kernel(
 ) -> (SequentialKernel, plf_loadbalance::seqgen::GeneratedDataset) {
     let ds = paper_simulated(taxa, columns, partition_len, seed).generate();
     let models = ModelSet::default_for(&ds.patterns, mode);
-    let k = SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models);
+    let k = SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models).unwrap();
     (k, ds)
 }
 
@@ -213,9 +213,9 @@ proptest! {
             .generate();
         let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
         let mut tabled =
-            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone());
+            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone()).unwrap();
         let mut reference =
-            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models);
+            SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models).unwrap();
         reference.set_shared_tables(false);
 
         // Random branch lengths, applied identically to both engines.
