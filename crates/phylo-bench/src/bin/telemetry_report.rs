@@ -128,6 +128,7 @@ fn timeline_run(dataset: &GeneratedDataset) -> (TelemetrySnapshot, usize) {
         unit: TraceUnit::Flops,
         max_reschedules: 4,
         mask_aware: true,
+        mask_decay: 0.85,
     };
     let mut rescheduler = Rescheduler::with_telemetry(policy, &telemetry);
     let config = OptimizerConfig::new(ParallelScheme::New);
@@ -224,6 +225,7 @@ fn render_timeline(events: &[TelemetryEvent], max_region_lines: usize) -> String
                 t,
                 round,
                 log_likelihood,
+                ..
             } => {
                 let _ = writeln!(
                     out,

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 
 pub mod scheduling;
+pub mod serving;
 
 use std::sync::Arc;
 

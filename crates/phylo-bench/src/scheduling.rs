@@ -272,6 +272,7 @@ pub fn compare_adaptive_resched(
         unit: TraceUnit::Seconds,
         max_reschedules: 1,
         mask_aware: false,
+        mask_decay: 0.85,
     });
     let config = OptimizerConfig::search_phase(ParallelScheme::New);
     let adaptive =
@@ -343,7 +344,9 @@ pub struct MaskComparison {
     pub dataset: String,
     /// Virtual worker count of every run.
     pub workers: usize,
-    /// The three runs, in the order static / between-round / mask-aware.
+    /// The four runs, in the order static / between-round / mask-union
+    /// (legacy equal-weight window, `mask_decay = 1.0`) / mask-aware
+    /// (decay-weighted window).
     pub runs: Vec<MaskRunStats>,
 }
 
@@ -408,6 +411,7 @@ fn mask_policy(mask_aware: bool) -> ReschedulePolicy {
         unit: TraceUnit::Flops,
         max_reschedules: 4,
         mask_aware,
+        mask_decay: 0.85,
     }
 }
 
@@ -519,8 +523,11 @@ fn mask_run(
 /// Runs the full mask-aware rescheduling comparison: the same newPAR model-
 /// optimization workload under (a) the static cyclic schedule, (b) cyclic
 /// with the plain between-round rescheduler, (c) cyclic with the mask-aware
-/// within-round rescheduler — all thresholds identical, all on virtual
-/// workers with deterministic FLOP measurements.
+/// rescheduler on the *legacy* equal-weight trailing-window union
+/// (`mask_decay = 1.0`), (d) cyclic with the mask-aware rescheduler on the
+/// decay-weighted window — all thresholds identical, all on virtual workers
+/// with deterministic FLOP measurements. Runs (c) and (d) are the gate's
+/// union-vs-decayed before/after pair.
 ///
 /// # Errors
 ///
@@ -532,6 +539,15 @@ pub fn compare_mask_resched(
     let runs = vec![
         mask_run(dataset, workers, "static cyclic", None)?,
         mask_run(dataset, workers, "between-round", Some(mask_policy(false)))?,
+        mask_run(
+            dataset,
+            workers,
+            "mask-union",
+            Some(ReschedulePolicy {
+                mask_decay: 1.0,
+                ..mask_policy(true)
+            }),
+        )?,
         mask_run(dataset, workers, "mask-aware", Some(mask_policy(true)))?,
     ];
     Ok(MaskComparison {
@@ -571,6 +587,18 @@ pub fn print_mask_comparison(c: &MaskComparison) {
             run.max_lnl_drift
         );
     }
+    // The satellite's before/after line: the legacy trailing-window union vs
+    // the decay-weighted window, same thresholds, same workload.
+    let union = c.run("mask-union");
+    let decayed = c.run("mask-aware");
+    println!(
+        "mask window before/after: union (decay 1.00) probe masked {:.3} → \
+         decayed probe masked {:.3} ({} vs {} reschedules)",
+        union.probe_masked_imbalance,
+        decayed.probe_masked_imbalance,
+        union.reschedules,
+        decayed.reschedules
+    );
     println!();
 }
 

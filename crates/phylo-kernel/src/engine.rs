@@ -57,6 +57,12 @@ pub struct KernelStats {
     /// Shared branch tables computed by the master (cache misses); lookups
     /// served from the cache are free and not counted.
     pub table_builds: u64,
+    /// Branch-table requests served by *cross-branch* sharing: the branch had
+    /// no cached entry, but another branch of the same partition with the
+    /// same stored length (hence identical per-category `t·r` products and
+    /// identical transition/tip-lookup tables) already built one. Common once
+    /// smoothing converges and many branches settle on equal lengths.
+    pub table_dedup_hits: u64,
 }
 
 /// The master-side store of shared per-branch tables: one
@@ -69,7 +75,23 @@ struct TableStore {
     enabled: bool,
     dicts: Vec<Arc<MaskDictionary>>,
     cache: HashMap<(usize, BranchId), Arc<BranchTables>>,
+    /// Cross-branch sharing index: `(partition, length bits) →` the tables of
+    /// *some* branch of that partition with that exact stored length.
+    /// [`BranchTables::build`] is a pure function of (model, dictionary,
+    /// length), and within a partition the model and dictionary are fixed, so
+    /// an equal length means identical per-category `t·r` products and
+    /// therefore identical tables — the entry can be handed to any branch.
+    /// Length changes leave this map untouched (the entries are keyed by the
+    /// value, not the branch); model changes purge the partition; topology
+    /// changes clear it with the rest of the store.
+    by_length: HashMap<(usize, u64), Arc<BranchTables>>,
 }
+
+/// Upper bound on the cross-branch sharing index. Newton/Brent probing
+/// generates many short-lived distinct lengths; once the index outgrows this
+/// bound it is dropped wholesale (the primary cache is untouched) rather than
+/// let probe debris accumulate for the lifetime of the dataset.
+const LENGTH_INDEX_CAP: usize = 4096;
 
 impl TableStore {
     fn new(patterns: &PartitionedPatterns) -> Self {
@@ -82,6 +104,7 @@ impl TableStore {
             enabled: true,
             dicts,
             cache: HashMap::new(),
+            by_length: HashMap::new(),
         }
     }
 
@@ -100,10 +123,20 @@ impl TableStore {
 
     fn invalidate_partition(&mut self, partition: usize) {
         self.cache.retain(|&(p, _), _| p != partition);
+        self.by_length.retain(|&(p, _), _| p != partition);
     }
 
     fn clear(&mut self) {
         self.cache.clear();
+        self.by_length.clear();
+    }
+
+    fn remember_length(&mut self, partition: usize, length: f64, tables: &Arc<BranchTables>) {
+        if self.by_length.len() >= LENGTH_INDEX_CAP {
+            self.by_length.clear();
+        }
+        self.by_length
+            .insert((partition, length.to_bits()), Arc::clone(tables));
     }
 }
 
@@ -319,6 +352,14 @@ impl<E: Executor> LikelihoodKernel<E> {
         self.data.tables.cache.len()
     }
 
+    /// Number of entries in the cross-branch sharing index — distinct
+    /// `(partition, length)` pairs whose tables are available to *any* branch
+    /// of the partition at that length (diagnostics; see
+    /// [`KernelStats::table_dedup_hits`]).
+    pub fn cached_length_tables(&self) -> usize {
+        self.data.tables.by_length.len()
+    }
+
     /// The shared tables of one `(partition, branch)`: served from the cache
     /// or computed (and cached) by the master. This is the "computed once,
     /// shared read-only" half of the tentpole: workers never build tables.
@@ -338,6 +379,25 @@ impl<E: Executor> LikelihoodKernel<E> {
             return Ok(Arc::clone(t));
         }
         let length = self.data.branch_lengths.get(partition, branch);
+        // Cross-branch sharing: another branch of this partition with the
+        // same stored length already built identical tables (same model, same
+        // dictionary, same per-category t·r products). Adopt them instead of
+        // redoing the O(states³·categories) eigen work.
+        if let Some(t) = self
+            .data
+            .tables
+            .by_length
+            .get(&(partition, length.to_bits()))
+        {
+            let tables = Arc::clone(t);
+            self.stats.table_dedup_hits += 1;
+            self.telemetry.table_cache_hit();
+            self.data
+                .tables
+                .cache
+                .insert((partition, branch), Arc::clone(&tables));
+            return Ok(tables);
+        }
         let tables = Arc::new(BranchTables::build(
             self.data.models.model(partition),
             &self.data.tables.dicts[partition],
@@ -349,6 +409,7 @@ impl<E: Executor> LikelihoodKernel<E> {
             .tables
             .cache
             .insert((partition, branch), Arc::clone(&tables));
+        self.data.tables.remember_length(partition, length, &tables);
         Ok(tables)
     }
 
@@ -1087,6 +1148,76 @@ mod tests {
         let mask = k.full_mask();
         k.try_prepare_branch(branch, &mask).unwrap();
         assert!(k.try_branch_derivatives(&lengths).is_ok());
+    }
+
+    #[test]
+    fn equal_branch_lengths_share_tables_across_branches() {
+        let (pp, tree) = small_dataset(8, 80, 20, 27);
+        let models = ModelSet::default_for(&pp, BranchLengthMode::Joint);
+        let mut k = SequentialKernel::build(Arc::clone(&pp), tree.clone(), models.clone()).unwrap();
+        let mut reference = SequentialKernel::build(pp, tree, models).unwrap();
+        reference.set_shared_tables(false);
+
+        // Force the post-smoothing shape: every branch at the same length.
+        let branches: Vec<BranchId> = k.tree().branches().collect();
+        for &b in &branches {
+            k.set_branch_length(BranchScope::All, b, 0.137);
+            reference.set_branch_length(BranchScope::All, b, 0.137);
+        }
+        k.invalidate_all();
+        let before = k.stats();
+        let mask = k.full_mask();
+        let root = k.default_root_branch();
+        let a = k.try_log_likelihood_partitions(root, &mask).unwrap();
+        let r = reference
+            .try_log_likelihood_partitions(root, &mask)
+            .unwrap();
+        assert_eq!(a, r, "shared tables must stay bit-identical");
+
+        let stats = k.stats();
+        // One eigen build per (partition, distinct length) — everything else
+        // is served by cross-branch sharing.
+        assert_eq!(
+            stats.table_builds - before.table_builds,
+            k.partition_count() as u64,
+            "equal lengths must collapse to one build per partition"
+        );
+        assert!(
+            stats.table_dedup_hits > before.table_dedup_hits,
+            "sharing across branches must be counted"
+        );
+        assert_eq!(k.cached_length_tables(), k.partition_count());
+    }
+
+    #[test]
+    fn table_dedup_never_serves_stale_tables_after_a_model_change() {
+        let (pp, tree) = small_dataset(7, 60, 30, 28);
+        let models = ModelSet::default_for(&pp, BranchLengthMode::Joint);
+        let mut k = SequentialKernel::build(Arc::clone(&pp), tree.clone(), models.clone()).unwrap();
+        let mut reference = SequentialKernel::build(pp, tree, models).unwrap();
+        reference.set_shared_tables(false);
+        for b in k.tree().branches().collect::<Vec<_>>() {
+            k.set_branch_length(BranchScope::All, b, 0.2);
+            reference.set_branch_length(BranchScope::All, b, 0.2);
+        }
+        let _ = k.try_log_likelihood().unwrap();
+        assert!(k.cached_length_tables() > 0);
+
+        // A model change must purge the partition's length-keyed entries too:
+        // the old tables were built under the old α.
+        k.set_alpha(0, 0.55);
+        reference.set_alpha(0, 0.55);
+        let mask = k.full_mask();
+        let root = k.default_root_branch();
+        let a = k.try_log_likelihood_partitions(root, &mask).unwrap();
+        let r = reference
+            .try_log_likelihood_partitions(root, &mask)
+            .unwrap();
+        assert_eq!(a, r, "dedup after a model change must rebuild, not reuse");
+
+        // Disabling shared tables drops the sharing index with the rest.
+        k.set_shared_tables(false);
+        assert_eq!(k.cached_length_tables(), 0);
     }
 
     #[test]

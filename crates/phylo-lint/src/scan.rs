@@ -16,6 +16,9 @@ pub const OP_PATH_FILES: &[&str] = &[
     "crates/phylo-parallel/src/threaded.rs",
     "crates/phylo-parallel/src/rayon_exec.rs",
     "crates/phylo-parallel/src/tracing.rs",
+    "crates/phylo-serve/src/pool.rs",
+    "crates/phylo-serve/src/dispatch.rs",
+    "crates/phylo-serve/src/session.rs",
 ];
 
 const L001_NEEDLES: &[&str] = &["panic!", ".unwrap()", ".expect(", "unreachable!", "todo!"];

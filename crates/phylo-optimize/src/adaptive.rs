@@ -474,6 +474,7 @@ mod tests {
             unit: TraceUnit::Flops,
             max_reschedules: 8,
             mask_aware: false,
+            mask_decay: 0.85,
         });
         let adaptive =
             optimize_model_parameters_adaptive(&mut kernel, &config, &mut rescheduler, &costs)
@@ -503,6 +504,7 @@ mod tests {
             unit: TraceUnit::Flops,
             max_reschedules: 1,
             mask_aware: false,
+            mask_decay: 0.85,
         });
         let adaptive =
             optimize_model_parameters_adaptive(&mut kernel, &config, &mut rescheduler, &costs)

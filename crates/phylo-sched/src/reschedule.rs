@@ -80,7 +80,21 @@ pub struct ReschedulePolicy {
     /// shapes and the full mask all come out balanced. Drivers consult a
     /// mask-aware rescheduler between branches, not only between rounds.
     pub mask_aware: bool,
+    /// Per-region decay of the mask-aware measurement window: the most
+    /// recent masked region weighs `1`, the one before it `mask_decay`, then
+    /// `mask_decay²`, … Both the per-worker live-cost totals and the
+    /// partition-liveness vote use these weights, so the rescheduler tracks
+    /// the *current* convergence-mask shape instead of the trailing-window
+    /// union (where one stale region kept a long-dead partition "live" for a
+    /// whole window). `1.0` reproduces the legacy equal-weight union.
+    pub mask_decay: f64,
 }
+
+/// A partition stays in the mask-aware live set while the decayed weight of
+/// the window regions whose mask included it is at least this fraction of
+/// the window's total decayed weight (see
+/// [`WorkTrace::masked_window_decayed_active_partitions`]).
+pub const MASK_LIVENESS_CUTOFF: f64 = 0.05;
 
 impl Default for ReschedulePolicy {
     fn default() -> Self {
@@ -90,6 +104,7 @@ impl Default for ReschedulePolicy {
             unit: TraceUnit::Seconds,
             max_reschedules: 2,
             mask_aware: false,
+            mask_decay: 0.85,
         }
     }
 }
@@ -200,8 +215,10 @@ impl Rescheduler {
     /// the *live-cost* imbalance: the measurement window is the last
     /// [`ReschedulePolicy::min_regions`] **masked** regions (partial
     /// convergence masks — full-mask regions balance almost any schedule
-    /// and would dilute the signal), whose recorded masks say which
-    /// partitions are still live. When the window's per-worker imbalance
+    /// and would dilute the signal), decay-weighted by recency
+    /// ([`ReschedulePolicy::mask_decay`]) so the current mask shape
+    /// dominates; the same decayed weights vote on which partitions are
+    /// still live (cutoff [`MASK_LIVENESS_CUTOFF`]). When the window's per-worker imbalance
     /// crosses the threshold, every partition is re-levelled individually
     /// across the workers — live partitions first, assuming uniform worker
     /// speeds — which balances the live phase, later mask shapes and the
@@ -258,13 +275,15 @@ impl Rescheduler {
         if trace.masked_region_count() < window {
             return Ok(None);
         }
-        let measured = trace.masked_window_per_worker_total_in(self.policy.unit, window);
+        let decay = self.policy.mask_decay;
+        let measured =
+            trace.masked_window_decayed_per_worker_total_in(self.policy.unit, window, decay);
         let measured_imbalance = worker_imbalance(&measured);
         if measured_imbalance <= self.policy.imbalance_threshold {
             return Ok(None);
         }
         let active = trace
-            .masked_window_active_partitions(window)
+            .masked_window_decayed_active_partitions(window, decay, MASK_LIVENESS_CUTOFF)
             .filter(|a| a.len() == ranges.len())
             .unwrap_or_else(|| vec![true; ranges.len()]);
         let any_live = ranges
@@ -348,6 +367,7 @@ mod tests {
             unit: TraceUnit::Seconds,
             max_reschedules: 1,
             mask_aware: false,
+            mask_decay: 0.85,
         }
     }
 
@@ -445,6 +465,7 @@ mod tests {
             unit: TraceUnit::Seconds,
             max_reschedules: 1,
             mask_aware: true,
+            mask_decay: 0.85,
         });
         let decision = masked
             .consider_masked(&prior, &trace, &costs, &ranges)
@@ -477,6 +498,7 @@ mod tests {
             unit: TraceUnit::Seconds,
             max_reschedules: 1,
             mask_aware: false,
+            mask_decay: 0.85,
         });
         assert_eq!(plain.consider(&prior, &trace, &costs).unwrap(), None);
     }
@@ -522,6 +544,7 @@ mod tests {
             unit: TraceUnit::Seconds,
             max_reschedules: 1,
             mask_aware: true,
+            mask_decay: 0.85,
         });
         assert!(r
             .consider_masked(&prior, &trace, &costs, &ranges)
@@ -539,12 +562,64 @@ mod tests {
             unit: TraceUnit::Seconds,
             max_reschedules: 1,
             mask_aware: true,
+            mask_decay: 0.85,
         });
         assert_eq!(
             fresh
                 .consider_masked(&prior, &trace, &costs, &ranges)
                 .unwrap(),
             None
+        );
+    }
+
+    /// Two old masked regions hammer worker 0, two recent ones are balanced:
+    /// the skew is stale. The equal-weight window (`mask_decay = 1.0`) still
+    /// sees imbalance 2.5 and migrates; a strongly decayed window knows the
+    /// current shape is fine and stays put.
+    #[test]
+    fn decay_discounts_stale_skew_the_union_window_acts_on() {
+        let costs = PatternCosts::uniform(40);
+        let prior = Cyclic.assign(&costs, 4).unwrap();
+        let ranges = [0..20, 20..40];
+        let mut trace = WorkTrace::new(4);
+        for _ in 0..2 {
+            let mut r = RegionRecord::new(OpKind::Derivatives, 4);
+            r.seconds_per_worker = vec![4.0, 0.0, 0.0, 0.0];
+            r.active_partitions = vec![true, false];
+            trace.regions.push(r);
+        }
+        for _ in 0..2 {
+            let mut r = RegionRecord::new(OpKind::Derivatives, 4);
+            r.seconds_per_worker = vec![1.0, 1.0, 1.0, 1.0];
+            r.active_partitions = vec![false, true];
+            trace.regions.push(r);
+        }
+        let base = ReschedulePolicy {
+            imbalance_threshold: 2.0,
+            min_regions: 4,
+            unit: TraceUnit::Seconds,
+            max_reschedules: 1,
+            mask_aware: true,
+            mask_decay: 1.0,
+        };
+        let mut legacy = Rescheduler::new(base);
+        assert!(
+            legacy
+                .consider_masked(&prior, &trace, &costs, &ranges)
+                .unwrap()
+                .is_some(),
+            "equal weights see the stale 2.5 imbalance"
+        );
+        let mut decayed = Rescheduler::new(ReschedulePolicy {
+            mask_decay: 0.1,
+            ..base
+        });
+        assert_eq!(
+            decayed
+                .consider_masked(&prior, &trace, &costs, &ranges)
+                .unwrap(),
+            None,
+            "decay discounts the stale skew; the current shape is balanced"
         );
     }
 

@@ -429,6 +429,7 @@ mod tests {
             unit: TraceUnit::Flops,
             max_reschedules: 1,
             mask_aware: false,
+            mask_decay: 0.85,
         });
         let adaptive =
             tree_search_adaptive(&mut kernel, &config, &mut rescheduler, &costs).unwrap();

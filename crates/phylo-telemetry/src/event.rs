@@ -16,6 +16,9 @@ pub enum TelemetryEvent {
         kind: String,
         /// Convergence mask: which partitions are active in this region.
         mask: Vec<bool>,
+        /// Serving session the region belongs to (`None` outside
+        /// multi-tenant serving).
+        session: Option<u64>,
     },
     /// A parallel region completed (dead regions get a
     /// [`TelemetryEvent::WorkerDeath`] instead).
@@ -34,6 +37,9 @@ pub enum TelemetryEvent {
         /// Per-worker queue wait: time spent idle at the barrier waiting for
         /// the command (empty for backends without a command queue).
         queue_wait: Vec<f64>,
+        /// Serving session the region belongs to (`None` outside
+        /// multi-tenant serving).
+        session: Option<u64>,
     },
     /// The master built a `BranchTables` (a table-cache miss); cache hits are
     /// counted, not evented.
@@ -84,6 +90,9 @@ pub enum TelemetryEvent {
         round: usize,
         /// Log likelihood at the end of the round.
         log_likelihood: f64,
+        /// Serving session the round belongs to (`None` outside
+        /// multi-tenant serving).
+        session: Option<u64>,
     },
     /// One Newton–Raphson probe on a branch length.
     NewtonProbe {
@@ -164,6 +173,19 @@ impl TelemetryEvent {
         }
     }
 
+    /// The serving session the event is scoped to, when the recording
+    /// handle was session-scoped (see [`crate::Telemetry::for_session`]).
+    /// `None` for unscoped events and for event kinds that carry no
+    /// session tag.
+    pub fn session(&self) -> Option<u64> {
+        match self {
+            TelemetryEvent::RegionStart { session, .. }
+            | TelemetryEvent::RegionEnd { session, .. }
+            | TelemetryEvent::OptimizerRound { session, .. } => *session,
+            _ => None,
+        }
+    }
+
     /// The event as a JSON object (one JSONL line when emitted compactly).
     pub fn to_json(&self) -> JsonValue {
         let mut fields = vec![
@@ -173,6 +195,11 @@ impl TelemetryEvent {
             ),
             ("t".to_string(), JsonValue::Num(self.time())),
         ];
+        // The session tag is optional on the wire: unscoped events (the
+        // common, single-analysis case) omit the field entirely.
+        if let Some(session) = self.session() {
+            fields.push(("session".into(), JsonValue::Num(session as f64)));
+        }
         match self {
             TelemetryEvent::RegionStart {
                 region, kind, mask, ..
@@ -274,12 +301,15 @@ impl TelemetryEvent {
         let num = |key: &str| value.get(key).and_then(JsonValue::as_num);
         let idx = |key: &str| num(key).map(|n| n as usize);
         let text = |key: &str| value.get(key).and_then(JsonValue::as_str).map(String::from);
+        // Absent on unscoped events; symmetric with `to_json`.
+        let session = num("session").map(|n| n as u64);
         Some(match label {
             "region_start" => TelemetryEvent::RegionStart {
                 t,
                 region: num("region")? as u64,
                 kind: text("kind")?,
                 mask: mask_from_string(&text("mask")?),
+                session,
             },
             "region_end" => TelemetryEvent::RegionEnd {
                 t,
@@ -288,6 +318,7 @@ impl TelemetryEvent {
                 seconds: num("seconds")?,
                 worker_seconds: nums_back(value.get("worker_seconds"))?,
                 queue_wait: nums_back(value.get("queue_wait"))?,
+                session,
             },
             "table_build" => TelemetryEvent::TableBuild {
                 t,
@@ -315,6 +346,7 @@ impl TelemetryEvent {
                 t,
                 round: idx("round")?,
                 log_likelihood: num("lnl")?,
+                session,
             },
             "newton_probe" => TelemetryEvent::NewtonProbe {
                 t,
@@ -351,6 +383,14 @@ mod tests {
                 region: 7,
                 kind: "newview".into(),
                 mask: vec![true, false, true],
+                session: None,
+            },
+            TelemetryEvent::RegionStart {
+                t: 0.26,
+                region: 8,
+                kind: "evaluate".into(),
+                mask: vec![true, true],
+                session: Some(3),
             },
             TelemetryEvent::RegionEnd {
                 t: 0.5,
@@ -359,6 +399,16 @@ mod tests {
                 seconds: 0.25,
                 worker_seconds: vec![0.2, 0.24],
                 queue_wait: vec![0.05, 0.01],
+                session: None,
+            },
+            TelemetryEvent::RegionEnd {
+                t: 0.55,
+                region: 8,
+                kind: "evaluate".into(),
+                seconds: 0.29,
+                worker_seconds: vec![0.2, 0.24],
+                queue_wait: vec![0.05, 0.01],
+                session: Some(3),
             },
             TelemetryEvent::TableBuild {
                 t: 0.1,
@@ -386,6 +436,13 @@ mod tests {
                 t: 3.0,
                 round: 1,
                 log_likelihood: -1234.5,
+                session: None,
+            },
+            TelemetryEvent::OptimizerRound {
+                t: 3.1,
+                round: 1,
+                log_likelihood: -987.25,
+                session: Some(12),
             },
             TelemetryEvent::NewtonProbe {
                 t: 3.5,

@@ -95,6 +95,9 @@ impl RegionToken {
 #[derive(Debug, Clone, Default)]
 pub struct Telemetry {
     inner: Option<Arc<Inner>>,
+    /// Session tag stamped onto region/round events recorded through this
+    /// handle (multi-tenant serving); `None` on unscoped handles.
+    session: Option<u64>,
 }
 
 impl Telemetry {
@@ -114,7 +117,27 @@ impl Telemetry {
                 }),
                 config,
             })),
+            session: None,
         }
+    }
+
+    /// A clone of this handle scoped to serving session `session`: region
+    /// and optimizer-round events it records carry the session id, so one
+    /// shared recorder can serve N concurrent sessions and still be sliced
+    /// per tenant afterwards (see
+    /// [`crate::TelemetrySnapshot::session_events`]). Counters and
+    /// histograms stay pool-global. Scoping a disabled handle is a no-op.
+    #[must_use]
+    pub fn for_session(&self, session: u64) -> Telemetry {
+        Telemetry {
+            inner: self.inner.clone(),
+            session: Some(session),
+        }
+    }
+
+    /// The session this handle is scoped to, if any.
+    pub fn session(&self) -> Option<u64> {
+        self.session
     }
 
     /// The disabled (no-op) handle; identical to `Telemetry::default()`.
@@ -163,6 +186,7 @@ impl Telemetry {
                     region: seq,
                     kind: kind.to_string(),
                     mask: mask.to_vec(),
+                    session: self.session,
                 },
             );
         }
@@ -209,6 +233,7 @@ impl Telemetry {
                     seconds,
                     worker_seconds: worker_seconds.to_vec(),
                     queue_wait: queue_wait.to_vec(),
+                    session: self.session,
                 },
             );
         }
@@ -345,6 +370,7 @@ impl Telemetry {
                     t,
                     round,
                     log_likelihood,
+                    session: self.session,
                 },
             );
         }
@@ -524,6 +550,47 @@ mod tests {
         assert_eq!(snap.counters.newton_probes, 1);
         assert_eq!(snap.counters.brent_probes, 1);
         assert_eq!(snap.counters.events_recorded, snap.events.len() as u64);
+    }
+
+    #[test]
+    fn session_scoped_handles_tag_events_and_share_counters() {
+        let pool = Telemetry::new(TelemetryConfig::default());
+        assert_eq!(pool.session(), None);
+        let a = pool.for_session(1);
+        let b = pool.for_session(2);
+        assert_eq!(a.session(), Some(1));
+
+        let token = a.region_start("newview", &[true]);
+        a.region_end(token, &[0.5], &[0.0]);
+        a.optimizer_round(1, -100.0);
+        let token = b.region_start("evaluate", &[true]);
+        b.region_end(token, &[0.5], &[0.0]);
+        let token = pool.region_start("evaluate", &[true]);
+        pool.region_end(token, &[0.5], &[0.0]);
+
+        // Counters aggregate across all sessions on the shared recorder.
+        let snap = pool.snapshot();
+        assert_eq!(snap.counters.regions_started, 3);
+        assert_eq!(snap.counters.regions_completed, 3);
+        assert_eq!(snap.counters.optimizer_rounds, 1);
+
+        // The event log slices cleanly per session.
+        let for_a = snap.session_events(1);
+        assert_eq!(for_a.len(), 3);
+        assert!(for_a.iter().all(|e| e.session() == Some(1)));
+        assert_eq!(snap.session_events(2).len(), 2);
+        // The unscoped region's events carry no tag.
+        assert_eq!(
+            snap.events.iter().filter(|e| e.session().is_none()).count(),
+            2
+        );
+
+        // Scoping a disabled handle stays inert.
+        let off = Telemetry::disabled().for_session(9);
+        assert!(!off.enabled());
+        assert_eq!(off.session(), Some(9));
+        off.optimizer_round(1, -1.0);
+        assert_eq!(off.snapshot().counters.optimizer_rounds, 0);
     }
 
     #[test]

@@ -120,6 +120,17 @@ impl TelemetrySnapshot {
         }
     }
 
+    /// The retained events scoped to serving session `session`, in
+    /// recording order — the per-tenant slice of a shared pool recorder
+    /// (events recorded through [`crate::Telemetry::for_session`] carry the
+    /// tag; see [`TelemetryEvent::session`]).
+    pub fn session_events(&self, session: u64) -> Vec<&TelemetryEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.session() == Some(session))
+            .collect()
+    }
+
     /// The event log as JSONL: one compact JSON object per line.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();

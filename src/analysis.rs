@@ -650,6 +650,7 @@ mod tests {
                 unit: TraceUnit::Flops,
                 max_reschedules: 1,
                 mask_aware: true,
+                mask_decay: 0.85,
             })
             .build_traced()
             .unwrap();

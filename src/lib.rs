@@ -50,6 +50,7 @@ pub use phylo_perfmodel as perfmodel;
 pub use phylo_sched as sched;
 pub use phylo_search as search;
 pub use phylo_seqgen as seqgen;
+pub use phylo_serve as serve;
 pub use phylo_telemetry as telemetry;
 pub use phylo_tree as tree;
 
@@ -85,6 +86,10 @@ pub mod prelude {
     };
     pub use phylo_seqgen::datasets::{
         mixed_dna_protein, paper_real_world, paper_simulated, DatasetSpec, RealWorldKind,
+    };
+    pub use phylo_serve::{
+        AdmissionError, PoolStats, ServeError, SessionManager, SessionOutcome, SessionSpec,
+        TenantStrategy,
     };
     pub use phylo_telemetry::{
         BenchEnvelope, Telemetry, TelemetryConfig, TelemetryEvent, TelemetrySnapshot,

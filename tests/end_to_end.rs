@@ -234,6 +234,7 @@ fn mid_run_rescheduling_beats_static_cyclic_on_a_skewed_worker() {
         unit: TraceUnit::Seconds,
         max_reschedules: 1,
         mask_aware: false,
+        mask_decay: 0.85,
     });
     let config = OptimizerConfig::search_phase(ParallelScheme::New);
     let adaptive =
@@ -291,6 +292,7 @@ fn driver_recovers_from_an_injected_worker_death_mid_optimize() {
             unit: TraceUnit::Seconds,
             max_reschedules: 0,
             mask_aware: false,
+            mask_decay: 0.85,
         })
         .build()
         .unwrap();
@@ -427,6 +429,7 @@ fn mask_aware_rescheduling_preserves_the_likelihood() {
         unit: TraceUnit::Flops,
         max_reschedules: 4,
         mask_aware: true,
+        mask_decay: 0.85,
     });
     let config = OptimizerConfig::new(ParallelScheme::New);
     let adaptive =
@@ -519,6 +522,7 @@ fn facade_search_with_rescheduling_preserves_the_likelihood() {
             unit: TraceUnit::Flops,
             max_reschedules: 1,
             mask_aware: false,
+            mask_decay: 0.85,
         })
         .build_traced()
         .unwrap();

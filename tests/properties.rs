@@ -179,6 +179,7 @@ proptest! {
             unit: TraceUnit::Flops,
             max_reschedules: 1,
             mask_aware: true,
+            mask_decay: 0.85,
         });
         if let Some(decision) = rescheduler
             .consider_masked(&current, &trace, &costs, &ranges)

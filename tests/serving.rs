@@ -1,0 +1,207 @@
+//! Multi-tenant serving: cross-session isolation, typed admission and
+//! per-session telemetry on the shared pool.
+
+use std::sync::Arc;
+
+use plf_loadbalance::prelude::*;
+use plf_loadbalance::serve::TenantStrategy;
+
+use plf_loadbalance::seqgen::GeneratedDataset;
+
+/// The dedicated-run baseline: the same dataset, strategy and optimizer on
+/// a private executor of the pool's width.
+fn solo_final_lnl(ds: &GeneratedDataset, threads: usize) -> f64 {
+    let mut analysis = Analysis::builder(Arc::clone(&ds.patterns), ds.tree.clone())
+        .threads(threads)
+        .build()
+        .expect("solo build");
+    analysis
+        .optimize(&OptimizerConfig::new(ParallelScheme::New))
+        .expect("solo optimize")
+        .report
+        .final_log_likelihood
+}
+
+fn mixed_fleet(count: usize) -> Vec<GeneratedDataset> {
+    (0..count)
+        .map(|i| {
+            if i % 2 == 0 {
+                paper_simulated(6, 160, 40, 100 + i as u64).generate()
+            } else {
+                mixed_dna_protein(6, 2, 1, 16, 200 + i as u64).generate()
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn injected_worker_death_stays_tenant_local_and_lnl_stays_bit_identical() {
+    let workers = 2;
+    let fleet = mixed_fleet(4);
+    let solo: Vec<f64> = fleet.iter().map(|ds| solo_final_lnl(ds, workers)).collect();
+
+    let mut pool = SessionManager::new(workers);
+    let mut handles = Vec::new();
+    for (i, ds) in fleet.iter().enumerate() {
+        let mut spec = SessionSpec::new(Arc::clone(&ds.patterns), ds.tree.clone())
+            .label(format!("tenant-{i}"));
+        if i == 0 {
+            // Worker 1 dies on this session's 2nd dispatched op — the
+            // evaluate of the initial likelihood, before any parameter
+            // commit, so the recovered rerun retraces the solo trajectory.
+            spec = spec.inject_worker_fault(1, 1);
+        }
+        handles.push(pool.submit(spec).expect("admission"));
+    }
+    let outcomes: Vec<SessionOutcome> = handles
+        .into_iter()
+        .map(|h| h.join().expect("session outcome"))
+        .collect();
+
+    for (i, outcome) in outcomes.iter().enumerate() {
+        assert_eq!(
+            outcome.final_log_likelihood.to_bits(),
+            solo[i].to_bits(),
+            "session {i} drifted from its dedicated run"
+        );
+        let expected = usize::from(i == 0);
+        assert_eq!(
+            outcome.recoveries.len(),
+            expected,
+            "session {i} saw {} recoveries, expected {expected}",
+            outcome.recoveries.len()
+        );
+    }
+
+    // The panic was observed, quarantined one tenant on one worker, and the
+    // pool still admits and serves new sessions on the same threads.
+    let stats = pool.stats().expect("stats");
+    assert_eq!(stats.worker_panics, 1);
+    assert!(stats
+        .last_panic
+        .as_deref()
+        .is_some_and(|m| m.contains("injected")));
+    assert_eq!(stats.active_sessions, 0, "finished sessions are retired");
+
+    let late = mixed_fleet(1).remove(0);
+    let late_solo = solo_final_lnl(&late, workers);
+    let handle = pool
+        .submit(SessionSpec::new(Arc::clone(&late.patterns), late.tree.clone()).label("late"))
+        .expect("post-fault admission");
+    let outcome = handle.join().expect("post-fault session");
+    assert_eq!(outcome.final_log_likelihood.to_bits(), late_solo.to_bits());
+    assert!(outcome.recoveries.is_empty());
+}
+
+#[test]
+fn admission_overload_and_zero_weight_are_typed_errors() {
+    let strategy = TenantStrategy {
+        max_sessions: 0,
+        ..TenantStrategy::default()
+    };
+    let mut pool = SessionManager::with_strategy(2, strategy, None);
+    let ds = paper_simulated(6, 120, 30, 7).generate();
+
+    let err = pool
+        .submit(SessionSpec::new(Arc::clone(&ds.patterns), ds.tree.clone()))
+        .expect_err("a zero-capacity pool must reject");
+    assert_eq!(
+        err,
+        ServeError::Admission(AdmissionError::PoolFull {
+            active: 0,
+            capacity: 0
+        })
+    );
+
+    let err = pool
+        .submit(SessionSpec::new(Arc::clone(&ds.patterns), ds.tree.clone()).weight(0))
+        .expect_err("a zero weight must be rejected");
+    assert_eq!(err, ServeError::Admission(AdmissionError::ZeroWeight));
+}
+
+#[test]
+fn session_build_errors_are_typed_and_do_not_leak_admission_slots() {
+    let mut pool = SessionManager::new(2);
+    let ds = paper_simulated(6, 120, 30, 8).generate();
+    let other = paper_simulated(6, 40, 40, 9).generate();
+    // Models built for a different (single-partition) dataset.
+    let wrong = ModelSet::default_for(&other.patterns, BranchLengthMode::Joint);
+    let err = pool
+        .submit(SessionSpec::new(Arc::clone(&ds.patterns), ds.tree.clone()).models(wrong))
+        .expect_err("mismatched models must be typed");
+    assert!(matches!(
+        err,
+        ServeError::Kernel(KernelError::ModelCountMismatch { .. })
+    ));
+    // The failed submit left no half-admitted tenant behind.
+    let stats = pool.stats().expect("stats");
+    assert_eq!(stats.active_sessions, 0);
+}
+
+#[test]
+fn pool_telemetry_is_scoped_per_session() {
+    let mut pool = SessionManager::with_strategy(
+        2,
+        TenantStrategy::default(),
+        Some(TelemetryConfig::default()),
+    );
+    let fleet = mixed_fleet(2);
+    let handles: Vec<_> = fleet
+        .iter()
+        .map(|ds| {
+            pool.submit(SessionSpec::new(Arc::clone(&ds.patterns), ds.tree.clone()))
+                .expect("admission")
+        })
+        .collect();
+    let ids: Vec<u64> = handles.iter().map(|h| h.session()).collect();
+    for handle in handles {
+        handle.join().expect("session outcome");
+    }
+
+    let snapshot = pool.telemetry_snapshot().expect("telemetry configured");
+    assert!(snapshot.counters.regions_started > 0);
+    for &id in &ids {
+        let events = snapshot.session_events(id);
+        assert!(
+            !events.is_empty(),
+            "session {id} left no tagged events in the pool log"
+        );
+        assert!(events.iter().all(|e| e.session() == Some(id)));
+    }
+    // The two sessions' slices are disjoint and cover every tagged event.
+    let tagged = snapshot
+        .events
+        .iter()
+        .filter(|e| e.session().is_some())
+        .count();
+    let per_session: usize = ids
+        .iter()
+        .map(|&id| snapshot.session_events(id).len())
+        .sum();
+    assert_eq!(tagged, per_session);
+}
+
+#[test]
+fn fused_batches_actually_share_barriers_across_tenants() {
+    let mut pool = SessionManager::new(2);
+    let fleet = mixed_fleet(6);
+    let handles: Vec<_> = fleet
+        .iter()
+        .map(|ds| {
+            pool.submit(SessionSpec::new(Arc::clone(&ds.patterns), ds.tree.clone()))
+                .expect("admission")
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("session outcome");
+    }
+    let stats = pool.stats().expect("stats");
+    assert!(stats.ops_dispatched > 0);
+    assert!(
+        stats.max_batch_fused > 1,
+        "6 concurrent tenants never shared a barrier (max fused {})",
+        stats.max_batch_fused
+    );
+    // Fusion means strictly fewer barriers than ops.
+    assert!(stats.batches < stats.ops_dispatched);
+}
