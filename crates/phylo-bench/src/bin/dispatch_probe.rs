@@ -1,0 +1,64 @@
+//! Profiling isolation harness for the kernel dispatches: runs ONLY the
+//! cold-CLV dispatch sweeps from `kernel_tables` (scalar-tabled vs blocked),
+//! so an external profiler (`perf`, `gprofng`) sees nothing but the inner
+//! loops under comparison — no dataset generation, no gate plumbing, no
+//! other yardsticks diluting the samples. This is how the blocked kernels
+//! were tuned (it localized the horizontal-reduction cost that motivated the
+//! transposed column-broadcast protein GEMV) and how a future regression in
+//! the 2.5x dispatch gate should be triaged.
+//!
+//! `PLF_PROBE=scalar|blocked|both` selects which side runs (default both);
+//! `PLF_PROBE_REPS` sets the rep count (default 20). Reports the best-of-reps
+//! sweep time per side; it is a diagnostic, not a gate — the gate lives in
+//! `kernel_tables`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use phylo_bench::scheduling::default_mixed_dataset;
+use phylo_kernel::{KernelDispatch, SequentialKernel};
+use phylo_models::{BranchLengthMode, ModelSet};
+
+fn sweep(kernel: &mut SequentialKernel, reps: usize) -> f64 {
+    let root = kernel.default_root_branch();
+    let mask = kernel.full_mask();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        kernel.invalidate_all();
+        let start = Instant::now();
+        let _ = kernel
+            .try_log_likelihood_partitions(root, &mask)
+            .expect("sequential evaluation succeeds");
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let which = std::env::var("PLF_PROBE").unwrap_or_else(|_| "both".into());
+    let reps: usize = std::env::var("PLF_PROBE_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    let dataset = default_mixed_dataset();
+    let models = ModelSet::default_for(&dataset.patterns, BranchLengthMode::PerPartition);
+
+    if which == "both" || which == "blocked" {
+        let mut blocked = SequentialKernel::build(
+            Arc::clone(&dataset.patterns),
+            dataset.tree.clone(),
+            models.clone(),
+        )
+        .unwrap();
+        let t = sweep(&mut blocked, reps);
+        println!("blocked: best-of-{reps} sweep = {t:.6}s");
+    }
+    if which == "both" || which == "scalar" {
+        let mut scalar =
+            SequentialKernel::build(Arc::clone(&dataset.patterns), dataset.tree.clone(), models)
+                .unwrap();
+        scalar.set_dispatch(KernelDispatch::Scalar);
+        let t = sweep(&mut scalar, reps);
+        println!("scalar:  best-of-{reps} sweep = {t:.6}s");
+    }
+}

@@ -35,6 +35,39 @@ pub fn newview_flops_tabled(states: usize, categories: usize) -> f64 {
     (categories * states * (2 * states + 2)) as f64
 }
 
+/// Effective per-pattern cost of one `newview` pattern under the
+/// **cache-blocked, width-specialized kernel** (see [`crate::blocked`]), in
+/// scalar-tabled-FLOP-equivalent units.
+///
+/// The blocked loops perform the same arithmetic as
+/// [`newview_flops_tabled`] — blocking re-orders, it does not re-count — but
+/// their *effective throughput* differs per state width, and the scheduler
+/// packs against effective cost, not instruction counts. Two effects set the
+/// shape, both calibrated against the `kernel_tables` yardstick:
+///
+/// * the arithmetic itself runs packed: the 20-state column-broadcast GEMV
+///   and the unrolled 4×4 product both retire ≈ 4 packed multiply–adds per
+///   issue, so the flop term shrinks by that factor for *both* widths;
+/// * every (pattern, category) block pays a fixed overhead — child
+///   resolution, the `at_category` dispatch, the scaling epilogue and loop
+///   bookkeeping — that does not scale with `states²`. For DNA the 4×4
+///   product is so small that this overhead is most of the cost; for protein
+///   it is noise.
+///
+/// The net effect is that the measured protein/DNA per-pattern cost ratio
+/// *collapses* from the tabled model's 21 to ≈ 5.8; the
+/// `flops / lanes + overhead` form below reproduces it at 6.0, inside the
+/// factor-2 drift gate the `kernel_tables` report enforces.
+pub fn newview_flops_blocked(states: usize, categories: usize) -> f64 {
+    /// Packed f64 lanes the blocked inner loops retire per issue (256-bit
+    /// SIMD: 4 × f64).
+    const SIMD_LANES: f64 = 4.0;
+    /// Fixed per-(pattern, category) cost in scalar-FLOP equivalents, fitted
+    /// to the measured blocked DNA/protein split.
+    const BLOCK_OVERHEAD: f64 = 30.0;
+    categories as f64 * ((states * (2 * states + 2)) as f64 / SIMD_LANES + BLOCK_OVERHEAD)
+}
+
 /// Floating-point operations for one `evaluate` pattern at the virtual root.
 pub fn evaluate_flops(states: usize, categories: usize) -> f64 {
     (categories * states * (2 * states + 3)) as f64

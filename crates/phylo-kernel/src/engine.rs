@@ -37,7 +37,8 @@ use crate::error::KernelError;
 use crate::executor::{ExecContext, Executor, KernelOp, PartitionMask, SequentialExecutor};
 use crate::ops::EdgeDerivatives;
 use crate::tables::{
-    validate_branch_length, BranchTables, EdgeTables, MaskDictionary, NewviewTables, StepTables,
+    validate_branch_length, BranchTables, EdgeTables, KernelDispatch, MaskDictionary,
+    NewviewTables, StepTables,
 };
 use crate::validity::ClvValidity;
 
@@ -73,6 +74,8 @@ pub struct KernelStats {
 #[derive(Debug, Clone)]
 struct TableStore {
     enabled: bool,
+    /// Inner-loop implementation stamped into every table payload.
+    dispatch: KernelDispatch,
     dicts: Vec<Arc<MaskDictionary>>,
     cache: HashMap<(usize, BranchId), Arc<BranchTables>>,
     /// Cross-branch sharing index: `(partition, length bits) →` the tables of
@@ -102,6 +105,7 @@ impl TableStore {
             .collect();
         Self {
             enabled: true,
+            dispatch: KernelDispatch::default(),
             dicts,
             cache: HashMap::new(),
             by_length: HashMap::new(),
@@ -346,6 +350,24 @@ impl<E: Executor> LikelihoodKernel<E> {
         }
     }
 
+    /// Which inner-loop implementation the shared-table kernels run
+    /// ([`KernelDispatch::Blocked`] by default).
+    pub fn dispatch(&self) -> KernelDispatch {
+        self.data.tables.dispatch
+    }
+
+    /// Selects the inner-loop implementation of the shared-table kernels.
+    /// The tables themselves are dispatch-independent, so switching never
+    /// invalidates the cache. [`KernelDispatch::Scalar`] is the bit-for-bit
+    /// reference the differential harness compares against;
+    /// [`KernelDispatch::Blocked`] is the fast default (DNA bit-identical,
+    /// protein within the documented ≤1e-12 lnL tolerance — see
+    /// [`crate::blocked`]). Irrelevant while shared tables are disabled (the
+    /// per-call reference path has a single implementation).
+    pub fn set_dispatch(&mut self, dispatch: KernelDispatch) {
+        self.data.tables.dispatch = dispatch;
+    }
+
     /// Number of `(partition, branch)` table entries currently cached by the
     /// master (diagnostics; exercised by the invalidation tests).
     pub fn cached_branch_tables(&self) -> usize {
@@ -433,7 +455,10 @@ impl<E: Executor> LikelihoodKernel<E> {
             }
             per_partition.push(Some(steps));
         }
-        Ok(Arc::new(NewviewTables { per_partition }))
+        Ok(Arc::new(NewviewTables {
+            per_partition,
+            dispatch: self.data.tables.dispatch,
+        }))
     }
 
     /// Assembles the shared-table payload for an `Evaluate` command.
@@ -450,7 +475,10 @@ impl<E: Executor> LikelihoodKernel<E> {
                 per_partition.push(None);
             }
         }
-        Ok(Arc::new(EdgeTables { per_partition }))
+        Ok(Arc::new(EdgeTables {
+            per_partition,
+            dispatch: self.data.tables.dispatch,
+        }))
     }
 
     /// Brings the CLVs needed for an evaluation rooted on `root_branch` up to

@@ -23,11 +23,12 @@ use std::sync::Arc;
 use phylo_models::ModelSet;
 use phylo_tree::{BranchId, TraversalPlan, Tree};
 
+use crate::blocked;
 use crate::branch_lengths::BranchLengths;
 use crate::error::{KernelError, OpError};
 use crate::ops::{self, EdgeDerivatives};
 use crate::slice::WorkerSlices;
-use crate::tables::{EdgeTables, NewviewTables};
+use crate::tables::{EdgeTables, KernelDispatch, NewviewTables};
 
 /// Which partitions participate in a command. `mask[p] == true` means
 /// partition `p` is active. The `newPAR` scheme keeps many partitions active
@@ -40,8 +41,11 @@ pub type PartitionMask = Vec<bool>;
 /// (master-precomputed transition matrices + tip lookup rows, see
 /// [`crate::tables`]) inside an `Arc`: every worker then reads the same
 /// read-only tables instead of redoing the O(states³·categories) eigen work
-/// per call. `None` selects the per-call reference path; results are
-/// identical bit for bit either way.
+/// per call. `None` selects the per-call reference path. The payload also
+/// carries a [`KernelDispatch`] selecting between the scalar tabled loops
+/// (bit-for-bit with the per-call reference) and the cache-blocked
+/// width-specialized loops (see [`crate::blocked`] for the tolerance
+/// contract).
 #[derive(Debug, Clone)]
 pub enum KernelOp {
     /// Recompute CLVs following a per-partition traversal plan (`None` means
@@ -328,14 +332,22 @@ pub fn execute_on_worker(
                                 got: steps.len(),
                             });
                         }
-                        Some(steps)
+                        Some((steps, t.dispatch))
                     }
                     None => None,
                 };
                 let model = ctx.models.model(pi);
                 for (si, step) in plan.steps.iter().enumerate() {
                     match step_tables {
-                        Some(steps) => {
+                        Some((steps, KernelDispatch::Blocked)) => {
+                            blocked::newview_step_blocked(
+                                slice,
+                                &mut worker.buffers[pi],
+                                step,
+                                &steps[si],
+                            )?;
+                        }
+                        Some((steps, KernelDispatch::Scalar)) => {
                             ops::newview_step_tabled(
                                 slice,
                                 &mut worker.buffers[pi],
@@ -356,6 +368,12 @@ pub fn execute_on_worker(
                             )?;
                         }
                     }
+                }
+                if let Some((_, dispatch)) = step_tables {
+                    worker.buffers[pi].count_dispatch_patterns(
+                        dispatch,
+                        (slice.pattern_count() * plan.steps.len()) as u64,
+                    );
                 }
             }
             Ok(OpOutput::None)
@@ -385,14 +403,29 @@ pub fn execute_on_worker(
                                 got: 0,
                             });
                         };
-                        ops::evaluate_edge_tabled(
-                            &worker.slices[pi],
-                            &mut worker.buffers[pi],
-                            model,
-                            left,
-                            right,
-                            edge,
-                        )?
+                        let lnl = match t.dispatch {
+                            KernelDispatch::Blocked => blocked::evaluate_edge_blocked(
+                                &worker.slices[pi],
+                                &mut worker.buffers[pi],
+                                model,
+                                left,
+                                right,
+                                edge,
+                            )?,
+                            KernelDispatch::Scalar => ops::evaluate_edge_tabled(
+                                &worker.slices[pi],
+                                &mut worker.buffers[pi],
+                                model,
+                                left,
+                                right,
+                                edge,
+                            )?,
+                        };
+                        worker.buffers[pi].count_dispatch_patterns(
+                            t.dispatch,
+                            worker.slices[pi].pattern_count() as u64,
+                        );
+                        lnl
                     }
                     None => {
                         let len = ctx.branch_lengths.get(pi, *root_branch);
@@ -533,6 +566,8 @@ impl Executor for SequentialExecutor {
         let seconds = started.elapsed().as_secs_f64();
         let (hits, misses, builds) = self.worker.take_tip_cache_counters();
         self.telemetry.add_tip_cache(hits, misses, builds);
+        let (blocked, scalar) = self.worker.take_dispatch_counters();
+        self.telemetry.add_dispatch_patterns(blocked, scalar);
         // The single worker never queues; a rejected op still completes the
         // region (aborted regions are reserved for worker deaths).
         self.telemetry.region_end(token, &[seconds], &[0.0]);
@@ -668,6 +703,7 @@ mod tests {
         let plans: Vec<Option<TraversalPlan>> = vec![Some(plan.clone()), Some(plan)];
         let short = Arc::new(NewviewTables {
             per_partition: vec![None],
+            dispatch: crate::tables::KernelDispatch::default(),
         });
         let op = KernelOp::Newview {
             plans,
@@ -688,6 +724,7 @@ mod tests {
         execute_on_worker(&mut worker, &op, &ctx).unwrap();
         let holey = Arc::new(EdgeTables {
             per_partition: vec![None; 2],
+            dispatch: crate::tables::KernelDispatch::default(),
         });
         let op = KernelOp::Evaluate {
             root_branch: 0,

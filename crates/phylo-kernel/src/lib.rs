@@ -23,6 +23,10 @@
 //!   read-only (`Arc`) across workers inside the command payload, replacing
 //!   the per-call recomputation of the transition matrices and the
 //!   per-pattern tip bit loops,
+//! * [`blocked`] — the cache-blocked, width-specialized tabled inner loops
+//!   selected by [`tables::KernelDispatch::Blocked`] (the fast default; the
+//!   scalar tabled loops in [`ops`] stay as the bit-for-bit-comparable
+//!   reference dispatch),
 //! * [`cost`] — an analytic floating-point cost model of the kernel
 //!   primitives, used by the instrumented executor and the platform model,
 //! * [`executor`] — the [`Executor`] abstraction: a
@@ -66,6 +70,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod blocked;
 pub mod branch_lengths;
 pub mod cost;
 pub mod engine;
@@ -85,7 +90,9 @@ pub use executor::{
     ExecContext, ExecError, Executor, KernelOp, OpOutput, PartitionMask, SequentialExecutor,
 };
 pub use slice::{PartitionSlice, SliceBuffers, WorkerSlices};
-pub use tables::{BranchTables, EdgeTables, MaskDictionary, NewviewTables, StepTables};
+pub use tables::{
+    BranchTables, EdgeTables, KernelDispatch, MaskDictionary, NewviewTables, StepTables,
+};
 pub use validity::ClvValidity;
 
 /// Numerical scaling threshold: when every CLV entry of a pattern drops below

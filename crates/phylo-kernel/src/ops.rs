@@ -41,17 +41,17 @@ use crate::{LOG_SCALE_FACTOR, SCALE_FACTOR, SCALE_THRESHOLD};
 /// Floor applied to per-site likelihoods before taking logarithms, so that a
 /// fully impossible site (numerically zero) produces a very bad but finite
 /// log likelihood instead of `-inf`.
-const SITE_LIKELIHOOD_FLOOR: f64 = 1.0e-300;
+pub(crate) const SITE_LIKELIHOOD_FLOOR: f64 = 1.0e-300;
 
 /// Resolved child data used inside the inner loops.
-enum ChildData<'a> {
+pub(crate) enum ChildData<'a> {
     /// The child is a leaf; per-pattern tip states come from the slice.
     Tip(NodeId),
     /// The child is an internal node with a computed CLV and scale counters.
     Internal { clv: &'a [f64], scale: &'a [i32] },
 }
 
-fn child_data<'a>(
+pub(crate) fn child_data<'a>(
     slice: &PartitionSlice,
     buffers: &'a SliceBuffers,
     node: NodeId,
@@ -71,7 +71,7 @@ fn child_data<'a>(
 /// pattern keeps the inner state loop branch-free of `Option` plumbing — and
 /// free of the "tip child must have a mask" invariant the old pair-matching
 /// needed an `expect` for.
-enum ResolvedChild<'a> {
+pub(crate) enum ResolvedChild<'a> {
     /// Tip whose mask is in the dictionary: direct per-category row lookup.
     Indexed(usize),
     /// Tip whose mask is outside the dictionary: per-call mask fallback.
@@ -82,7 +82,7 @@ enum ResolvedChild<'a> {
 
 /// [`ResolvedChild`] with the dictionary index swapped for the concrete tip
 /// row of one rate category, so the innermost state loop is a total match.
-enum CatChild<'a> {
+pub(crate) enum CatChild<'a> {
     /// Precomputed tip-lookup row for this category.
     Row(&'a [f64]),
     /// Dictionary miss: sum transition probabilities over the mask per call.
@@ -94,7 +94,7 @@ enum CatChild<'a> {
 impl<'a> ResolvedChild<'a> {
     /// Resolve the per-category form by looking the dictionary index up in
     /// this branch's tables.
-    fn at_category(&self, tables: &'a BranchTables, c: usize) -> CatChild<'a> {
+    pub(crate) fn at_category(&self, tables: &'a BranchTables, c: usize) -> CatChild<'a> {
         match self {
             ResolvedChild::Indexed(mi) => CatChild::Row(tables.tip_row(c, *mi)),
             ResolvedChild::Mask(mask) => CatChild::Mask(*mask),
@@ -109,7 +109,7 @@ impl<'a> ResolvedChild<'a> {
 /// (bit-for-bit) agreement with this reference path rests on both summing in
 /// the same ascending-bit order.
 #[inline]
-fn tip_sum(pmat_row: &[f64], mask: EncodedState) -> f64 {
+pub(crate) fn tip_sum(pmat_row: &[f64], mask: EncodedState) -> f64 {
     crate::tables::mask_sum(pmat_row, mask)
 }
 
@@ -145,7 +145,7 @@ pub(crate) fn category_pmats(
 /// alphabet and category count. Tables from another partition's model would
 /// index out of bounds (a worker-killing panic in a parallel backend) or,
 /// worse, silently read the wrong sub-matrix rows.
-fn check_table_dims(
+pub(crate) fn check_table_dims(
     slice: &PartitionSlice,
     buffers: &SliceBuffers,
     tables: &BranchTables,
@@ -164,7 +164,7 @@ fn check_table_dims(
 /// alphabet and category count as the model the op runs under. A mismatch
 /// means buffers were recycled across partitions without reallocation — the
 /// indexing below would read the wrong strides silently.
-fn check_buffer_dims(
+pub(crate) fn check_buffer_dims(
     slice: &PartitionSlice,
     buffers: &SliceBuffers,
     states: usize,
@@ -183,7 +183,10 @@ fn check_buffer_dims(
 /// The release-mode guard against stale buffers: a slice and its buffers must
 /// agree on the local pattern count (they can drift apart when a mid-run
 /// migration rebuilds one but not the other).
-fn check_slice_shape(slice: &PartitionSlice, buffers: &SliceBuffers) -> Result<(), OpError> {
+pub(crate) fn check_slice_shape(
+    slice: &PartitionSlice,
+    buffers: &SliceBuffers,
+) -> Result<(), OpError> {
     if buffers.patterns() != slice.pattern_count() {
         return Err(OpError::SliceShape {
             partition: slice.partition,

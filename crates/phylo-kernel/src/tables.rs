@@ -40,6 +40,46 @@ use phylo_models::PartitionModel;
 
 use crate::error::OpError;
 
+/// Which inner-loop implementation the table-based kernels run.
+///
+/// The tables themselves are identical under both dispatches; the enum only
+/// selects how the per-pattern loops consume them. It travels inside the
+/// [`NewviewTables`]/[`EdgeTables`] command payloads (stamped by the engine
+/// when the payload is assembled), so every backend — including the threaded
+/// workers that receive ops over a channel — routes without any protocol
+/// change.
+///
+/// * [`Scalar`](KernelDispatch::Scalar) — the original tabled loops in
+///   [`crate::ops`]: one running accumulator per (pattern, category, state),
+///   every child kind matched per state. This is the bit-for-bit-comparable
+///   reference the differential test harness trusts.
+/// * [`Blocked`](KernelDispatch::Blocked) (default) — the cache-blocked,
+///   width-specialized loops in [`crate::blocked`]: fully unrolled 4×4
+///   matrix–vector products for DNA, 4-lane blocked accumulation over
+///   L1-sized pattern tiles for protein. DNA preserves the scalar
+///   accumulation order exactly (bit for bit); the protein lanes re-associate
+///   the 20-term inner products, so protein agreement is ≤1e-12 in lnL by
+///   contract (see `tests/kernel_differential.rs`). State widths other than
+///   4 and 20 fall back to the scalar loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelDispatch {
+    /// Scalar tabled loops: the bit-for-bit reference path.
+    Scalar,
+    /// Cache-blocked, width-specialized loops (the fast default).
+    #[default]
+    Blocked,
+}
+
+impl KernelDispatch {
+    /// Short label (telemetry, bench envelopes, diagnostics).
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelDispatch::Scalar => "scalar",
+            KernelDispatch::Blocked => "blocked",
+        }
+    }
+}
+
 /// The tip-state masks of one partition, indexable in O(1) (DNA) or
 /// O(log n) (protein).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -142,6 +182,14 @@ pub struct BranchTables {
     /// `categories × states × states`, row-major per category:
     /// `pmats[(c·states + s)·states + a] = P_c[s][a]`.
     pmats: Vec<f64>,
+    /// Column-major mirror of `pmats` for wide alphabets:
+    /// `pmats_t[(c·states + a)·states + s] = P_c[s][a]`. The blocked
+    /// 20-state kernel consumes matrix *columns* (broadcast-`x[a]` GEMV with
+    /// one accumulator lane per output state — no horizontal reductions), so
+    /// the columns must be contiguous. Empty for narrow alphabets: the
+    /// 4-state kernel keeps the row-major fully unrolled form, where a
+    /// single-accumulator column walk would serialize the FMA chain.
+    pmats_t: Vec<f64>,
     /// `categories × n_masks × states`:
     /// `tip_sums[(c·n_masks + m)·states + s] = Σ_{a ∈ mask_m} P_c[s][a]`.
     /// The row over `s` is contiguous, matching the kernels' inner loops.
@@ -185,6 +233,22 @@ impl BranchTables {
             );
         }
 
+        let pmats_t = if states == crate::blocked::BLOCKED_PROTEIN_STATES {
+            let mut t = vec![0.0; pmats.len()];
+            for c in 0..categories {
+                let src = &pmats[c * states * states..][..states * states];
+                let dst = &mut t[c * states * states..][..states * states];
+                for s in 0..states {
+                    for a in 0..states {
+                        dst[a * states + s] = src[s * states + a];
+                    }
+                }
+            }
+            t
+        } else {
+            Vec::new()
+        };
+
         let mut tip_sums = vec![0.0; categories * n_masks * states];
         for c in 0..categories {
             let pmat = &pmats[c * states * states..][..states * states];
@@ -201,6 +265,7 @@ impl BranchTables {
             states,
             categories,
             pmats,
+            pmats_t,
             tip_sums,
             dict: Arc::clone(dict),
         })
@@ -220,6 +285,17 @@ impl BranchTables {
     #[inline]
     pub fn pmat(&self, category: usize) -> &[f64] {
         &self.pmats[category * self.states * self.states..][..self.states * self.states]
+    }
+
+    /// The column-major transition matrix of one category
+    /// (`pmat_t[a·states + s] = P_c[s][a]`), or `None` for alphabets the
+    /// blocked kernel handles row-major. See the `pmats_t` field doc.
+    #[inline]
+    pub fn pmat_t(&self, category: usize) -> Option<&[f64]> {
+        if self.pmats_t.is_empty() {
+            return None;
+        }
+        Some(&self.pmats_t[category * self.states * self.states..][..self.states * self.states])
     }
 
     /// The tip-sum row of one (category, dictionary index): the vector over
@@ -242,7 +318,7 @@ impl BranchTables {
 
     /// Bytes held by the tables (diagnostics).
     pub fn allocated_bytes(&self) -> usize {
-        (self.pmats.len() + self.tip_sums.len()) * std::mem::size_of::<f64>()
+        (self.pmats.len() + self.pmats_t.len() + self.tip_sums.len()) * std::mem::size_of::<f64>()
     }
 }
 
@@ -254,6 +330,8 @@ pub struct NewviewTables {
     /// One optional table list per partition (`None` where the plan is
     /// `None`).
     pub per_partition: Vec<Option<Vec<StepTables>>>,
+    /// Which inner-loop implementation consumes these tables.
+    pub dispatch: KernelDispatch,
 }
 
 /// The branch tables a single traversal step needs: one per child branch.
@@ -271,6 +349,8 @@ pub struct StepTables {
 pub struct EdgeTables {
     /// One optional table per partition (`None` for masked-out partitions).
     pub per_partition: Vec<Option<Arc<BranchTables>>>,
+    /// Which inner-loop implementation consumes these tables.
+    pub dispatch: KernelDispatch,
 }
 
 /// The kernel-boundary domain check for branch lengths.

@@ -9,6 +9,7 @@ use crate::rules::{Finding, RuleId};
 /// and L005 apply here (L003/L004 apply workspace-wide).
 pub const OP_PATH_FILES: &[&str] = &[
     "crates/phylo-kernel/src/ops.rs",
+    "crates/phylo-kernel/src/blocked.rs",
     "crates/phylo-kernel/src/slice.rs",
     "crates/phylo-kernel/src/tables.rs",
     "crates/phylo-kernel/src/executor.rs",

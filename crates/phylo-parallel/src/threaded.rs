@@ -269,6 +269,8 @@ impl ThreadedExecutor {
                             if cmd.record && outcome.is_ok() {
                                 let (tip_hits, tip_misses, tip_builds) =
                                     slices.take_tip_cache_counters();
+                                let (dispatch_blocked, dispatch_scalar) =
+                                    slices.take_dispatch_counters();
                                 let _ = sample_tx.push(WorkerSample {
                                     worker: worker_index,
                                     region: cmd.region,
@@ -277,6 +279,8 @@ impl ThreadedExecutor {
                                     tip_hits,
                                     tip_misses,
                                     tip_builds,
+                                    dispatch_blocked,
+                                    dispatch_scalar,
                                 });
                             }
                             match outcome {
@@ -470,6 +474,7 @@ impl ThreadedExecutor {
             let mut worker_seconds = vec![0.0; self.worker_count];
             let mut queue_wait = vec![0.0; self.worker_count];
             let (mut hits, mut misses, mut builds) = (0u64, 0u64, 0u64);
+            let (mut blocked, mut scalar) = (0u64, 0u64);
             let mut ring_dropped = 0u64;
             for handle in &mut self.handles {
                 ring_dropped += handle.samples.take_dropped();
@@ -484,9 +489,12 @@ impl ThreadedExecutor {
                     hits += sample.tip_hits;
                     misses += sample.tip_misses;
                     builds += sample.tip_builds;
+                    blocked += sample.dispatch_blocked;
+                    scalar += sample.dispatch_scalar;
                 }
             }
             self.telemetry.add_tip_cache(hits, misses, builds);
+            self.telemetry.add_dispatch_patterns(blocked, scalar);
             // Samples a full ring refused are gone, but never silently:
             // they surface as `events_dropped` in the snapshot.
             self.telemetry.add_dropped(ring_dropped);

@@ -11,7 +11,7 @@
 
 use crate::error::SchedError;
 use phylo_data::{CompressedPartition, PartitionedPatterns};
-use phylo_kernel::cost::{newview_flops, newview_flops_tabled};
+use phylo_kernel::cost::{newview_flops, newview_flops_blocked, newview_flops_tabled};
 
 /// The scheduler's view of a workload: one relative cost per global pattern.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,6 +91,32 @@ impl PatternCosts {
         );
         Self::per_partition(patterns, |pi, part| {
             newview_flops_tabled(part.states(), categories[pi])
+        })
+        .expect("analytic flops are finite and non-negative")
+    }
+
+    /// Analytic costs under the **cache-blocked kernel**
+    /// (`phylo_kernel::blocked`, the engine's default dispatch): the packed
+    /// inner loops shrink the arithmetic term of both state widths by the
+    /// SIMD lane count while the fixed per-(pattern, category) overhead
+    /// stays scalar, so the per-pattern weight is
+    /// `newview_flops_blocked(s, c)` and the protein/DNA ratio collapses
+    /// from the tabled 21 to 6 (`kernel_tables` gates this model against
+    /// the measured ratio). Use this when the engine runs shared tables with
+    /// the blocked dispatch — packing a blocked run against the tabled ratio
+    /// would over-weigh protein partitions by ≈3.5×.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `categories.len()` differs from the partition count.
+    pub fn analytic_blocked(patterns: &PartitionedPatterns, categories: &[usize]) -> Self {
+        assert_eq!(
+            categories.len(),
+            patterns.partition_count(),
+            "one category count per partition required"
+        );
+        Self::per_partition(patterns, |pi, part| {
+            newview_flops_blocked(part.states(), categories[pi])
         })
         .expect("analytic flops are finite and non-negative")
     }

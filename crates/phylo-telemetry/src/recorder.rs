@@ -28,6 +28,10 @@ pub struct WorkerSample {
     pub tip_misses: u64,
     /// Tip-index cache rebuilds since the last sample.
     pub tip_builds: u64,
+    /// Patterns processed by the blocked dispatch since the last sample.
+    pub dispatch_blocked: u64,
+    /// Patterns processed by the scalar dispatch since the last sample.
+    pub dispatch_scalar: u64,
 }
 
 #[derive(Debug, Default)]
@@ -39,6 +43,8 @@ struct Counters {
     tip_hits: AtomicU64,
     tip_misses: AtomicU64,
     tip_builds: AtomicU64,
+    dispatch_blocked_patterns: AtomicU64,
+    dispatch_scalar_patterns: AtomicU64,
     reschedules: AtomicU64,
     reschedules_considered: AtomicU64,
     worker_deaths: AtomicU64,
@@ -293,6 +299,27 @@ impl Telemetry {
         }
     }
 
+    /// Accumulates per-dispatch pattern-step counts drained from workers:
+    /// how many (pattern × traversal-step) units the blocked and the scalar
+    /// tabled kernels each processed. Together with the per-region wall
+    /// times this yields per-dispatch region throughput.
+    pub fn add_dispatch_patterns(&self, blocked: u64, scalar: u64) {
+        if let Some(inner) = &self.inner {
+            if blocked != 0 {
+                inner
+                    .counters
+                    .dispatch_blocked_patterns
+                    .fetch_add(blocked, Ordering::Relaxed);
+            }
+            if scalar != 0 {
+                inner
+                    .counters
+                    .dispatch_scalar_patterns
+                    .fetch_add(scalar, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Counts a rescheduler consultation (regardless of outcome).
     #[inline]
     pub fn reschedule_considered(&self) {
@@ -452,6 +479,8 @@ impl Telemetry {
                 tip_hits: load(&c.tip_hits),
                 tip_misses: load(&c.tip_misses),
                 tip_builds: load(&c.tip_builds),
+                dispatch_blocked_patterns: load(&c.dispatch_blocked_patterns),
+                dispatch_scalar_patterns: load(&c.dispatch_scalar_patterns),
                 reschedules: load(&c.reschedules),
                 reschedules_considered: load(&c.reschedules_considered),
                 worker_deaths: load(&c.worker_deaths),

@@ -36,7 +36,7 @@ use std::sync::Arc;
 
 use phylo_data::PartitionedPatterns;
 use phylo_kernel::cost::TraceUnit;
-use phylo_kernel::{Executor, KernelError, LikelihoodKernel, WorkTrace};
+use phylo_kernel::{Executor, KernelDispatch, KernelError, LikelihoodKernel, WorkTrace};
 use phylo_models::{BranchLengthMode, ModelSet};
 use phylo_optimize::{
     optimize_model_parameters_adaptive, optimize_model_parameters_resilient,
@@ -116,6 +116,7 @@ pub struct AnalysisBuilder {
     skew: Option<WorkerSkew>,
     policy: Option<ReschedulePolicy>,
     shared_tables: bool,
+    dispatch: KernelDispatch,
     telemetry: Option<TelemetryConfig>,
 }
 
@@ -127,6 +128,7 @@ impl std::fmt::Debug for AnalysisBuilder {
             .field("timed", &self.timed)
             .field("rescheduler", &self.policy.is_some())
             .field("shared_tables", &self.shared_tables)
+            .field("dispatch", &self.dispatch)
             .field("telemetry", &self.telemetry.is_some())
             .finish()
     }
@@ -240,12 +242,18 @@ impl AnalysisBuilder {
 
     fn schedule(&self, categories: &[usize]) -> Result<(PatternCosts, Assignment), AnalysisError> {
         // The cost model must describe the kernel that will actually run:
-        // under shared tables the protein/DNA per-pattern ratio is 21, not
-        // the per-call ≈23.8 (see `PatternCosts::analytic_tabled`).
-        let costs = if self.shared_tables {
-            PatternCosts::analytic_tabled(&self.patterns, categories)
-        } else {
-            PatternCosts::analytic(&self.patterns, categories)
+        // under shared tables with the blocked dispatch (the default) the
+        // protein/DNA per-pattern ratio is 6, under the scalar tabled
+        // kernels 21, and for the per-call reference ≈23.8 (see
+        // `PatternCosts::analytic_blocked` / `analytic_tabled`).
+        let costs = match (self.shared_tables, self.dispatch) {
+            (true, KernelDispatch::Blocked) => {
+                PatternCosts::analytic_blocked(&self.patterns, categories)
+            }
+            (true, KernelDispatch::Scalar) => {
+                PatternCosts::analytic_tabled(&self.patterns, categories)
+            }
+            (false, _) => PatternCosts::analytic(&self.patterns, categories),
         };
         let assignment = self.strategy.assign(&costs, self.threads)?;
         Ok((costs, assignment))
@@ -274,6 +282,21 @@ impl AnalysisBuilder {
         self
     }
 
+    /// Which inner-loop implementation the shared-table kernels run
+    /// (default [`KernelDispatch::Blocked`], the cache-blocked
+    /// width-specialized fast path). [`KernelDispatch::Scalar`] selects the
+    /// straight-loop reference kernels — DNA partitions agree bit for bit
+    /// under both dispatches, protein partitions within the documented
+    /// `1e-12` lnL tolerance (the `kernel_tables` gate enforces both). The
+    /// schedule's analytic cost model follows the selected dispatch.
+    /// Ignored when [`AnalysisBuilder::shared_tables`] is off (the per-call
+    /// reference has no dispatch choice).
+    #[must_use]
+    pub fn kernel(mut self, dispatch: KernelDispatch) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
     /// Builds the session on real worker threads ([`ThreadedExecutor`]).
     ///
     /// # Errors
@@ -297,6 +320,7 @@ impl AnalysisBuilder {
         )?;
         let mut kernel = LikelihoodKernel::try_new(self.patterns, self.tree, models, executor)?;
         kernel.set_shared_tables(self.shared_tables);
+        kernel.set_dispatch(self.dispatch);
         let telemetry = Self::arm_telemetry(&mut kernel, self.telemetry);
         Ok(Analysis {
             kernel,
@@ -326,6 +350,7 @@ impl AnalysisBuilder {
         )?;
         let mut kernel = LikelihoodKernel::try_new(self.patterns, self.tree, models, executor)?;
         kernel.set_shared_tables(self.shared_tables);
+        kernel.set_dispatch(self.dispatch);
         let telemetry = Self::arm_telemetry(&mut kernel, self.telemetry);
         Ok(Analysis {
             kernel,
@@ -380,6 +405,7 @@ impl Analysis<ThreadedExecutor> {
             skew: None,
             policy: None,
             shared_tables: true,
+            dispatch: KernelDispatch::default(),
             telemetry: None,
         }
     }

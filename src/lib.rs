@@ -59,8 +59,8 @@ pub mod prelude {
     pub use crate::analysis::{Analysis, AnalysisBuilder, AnalysisError};
     pub use phylo_data::{Alignment, DataType, Partition, PartitionSet, PartitionedPatterns};
     pub use phylo_kernel::{
-        engine::BranchScope, BranchTables, ExecError, KernelError, LikelihoodKernel,
-        MaskDictionary, OpError, SequentialKernel, TraceUnit, WorkTrace,
+        engine::BranchScope, BranchTables, ExecError, KernelDispatch, KernelError,
+        LikelihoodKernel, MaskDictionary, OpError, SequentialKernel, TraceUnit, WorkTrace,
     };
     pub use phylo_models::{BranchLengthMode, ModelSet, PartitionModel, SubstitutionModel};
     pub use phylo_optimize::{

@@ -1,0 +1,399 @@
+//! Differential harness for the kernel dispatches: the cache-blocked
+//! width-specialized kernels ([`KernelDispatch::Blocked`], the default) must
+//! reproduce the scalar reference ([`KernelDispatch::Scalar`]) on *random*
+//! inputs, not just on the curated benchmark dataset.
+//!
+//! Every property drives both dispatches over randomly generated mixed
+//! DNA/protein datasets with random branch lengths (including values at the
+//! clamp bounds `MIN_BRANCH_LENGTH` / `MAX_BRANCH_LENGTH`), randomly
+//! injected ambiguity codes and gaps in the tip rows, and datasets deep
+//! enough to cross the CLV scaling threshold.
+//!
+//! Agreement contract (see `phylo_kernel::blocked`):
+//! * **DNA partitions are bit-for-bit**: the blocked 4-wide kernel performs
+//!   the same multiply–adds in the same order as the scalar loop, so
+//!   per-partition log likelihoods and derivatives compare with `to_bits`.
+//! * **Protein partitions carry a documented `1e-12` relative tolerance**:
+//!   the 20-wide column-broadcast kernel fuses multiply–adds (skipping the
+//!   intermediate rounding of `mul` + `add`), which perturbs CLV entries by
+//!   O(1 ulp); everything downstream is shared code.
+//!
+//! The default profile samples a handful of fixed-seed cases so the suite
+//! stays fast in the normal test job; the deep CI job raises the case count
+//! via `PLF_DIFFERENTIAL_CASES`.
+
+use plf_loadbalance::prelude::*;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+use plf_loadbalance::seqgen::GeneratedDataset;
+use plf_loadbalance::tree::topology::MIN_BRANCH_LENGTH;
+use plf_loadbalance::tree::BranchId;
+
+/// Relative lnL tolerance for protein partitions (DNA is exact).
+const PROTEIN_REL_TOL: f64 = 1e-12;
+
+/// Relative tolerance for protein *derivatives*: the first/second
+/// derivatives divide by per-site likelihoods, and at candidate lengths near
+/// the clamp bounds those are tiny — the division amplifies the blocked
+/// kernel's O(1 ulp) CLV perturbation by the conditioning of the ratio
+/// (measured ≈ 2e-11 relative at `MIN_BRANCH_LENGTH`). The lnL itself stays
+/// within [`PROTEIN_REL_TOL`].
+const PROTEIN_DERIV_REL_TOL: f64 = 1e-9;
+
+/// Maximum branch length accepted by the engine's clamp.
+const MAX_BRANCH_LENGTH: f64 = 10.0;
+
+fn differential_cases() -> u32 {
+    std::env::var("PLF_DIFFERENTIAL_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6)
+}
+
+/// Injects ambiguity codes and gaps into a generated dataset's alignment
+/// (per-column alphabet-appropriate: DNA partial ambiguities and `N`/`-`,
+/// protein `B`/`X`/`-`), then recompiles the patterns over the unchanged
+/// partition set. Exercises the blocked kernels' tip-row paths on masks with
+/// more than one set bit.
+fn inject_ambiguity(
+    ds: &GeneratedDataset,
+    fraction: f64,
+    rng: &mut ChaCha8Rng,
+) -> GeneratedDataset {
+    let mut is_protein = vec![false; ds.alignment.columns()];
+    for part in ds.partition_set.partitions() {
+        for col in part.columns() {
+            is_protein[col] = part.data_type == DataType::Protein;
+        }
+    }
+    const DNA_CODES: [char; 5] = ['N', '-', 'R', 'Y', 'W'];
+    const PROTEIN_CODES: [char; 3] = ['X', '-', 'B'];
+    let rows: Vec<(String, String)> = ds
+        .alignment
+        .taxa()
+        .iter()
+        .enumerate()
+        .map(|(taxon, name)| {
+            let row: String = ds
+                .alignment
+                .row(taxon)
+                .iter()
+                .enumerate()
+                .map(|(col, &c)| {
+                    if rng.gen_bool(fraction) {
+                        if is_protein[col] {
+                            PROTEIN_CODES[rng.gen_range(0..PROTEIN_CODES.len())]
+                        } else {
+                            DNA_CODES[rng.gen_range(0..DNA_CODES.len())]
+                        }
+                    } else {
+                        c as char
+                    }
+                })
+                .collect();
+            (name.clone(), row)
+        })
+        .collect();
+    let alignment = Alignment::new(rows).expect("mutated alignment stays rectangular");
+    let patterns = Arc::new(
+        PartitionedPatterns::compile(&alignment, &ds.partition_set)
+            .expect("partition set still covers the alignment"),
+    );
+    GeneratedDataset {
+        spec: ds.spec.clone(),
+        tree: ds.tree.clone(),
+        alignment,
+        partition_set: ds.partition_set.clone(),
+        patterns,
+    }
+}
+
+/// Draws one branch length: clamp-bound extremes with positive probability,
+/// log-uniform in between — short branches drive CLV entries toward the
+/// scaling threshold, long ones toward the stationary distribution.
+fn random_branch_length(rng: &mut ChaCha8Rng) -> f64 {
+    match rng.gen_range(0..10u32) {
+        0 => MIN_BRANCH_LENGTH,
+        1 => MAX_BRANCH_LENGTH,
+        _ => (rng.gen_range(f64::ln(1e-6)..f64::ln(3.0))).exp(),
+    }
+}
+
+/// Builds the scalar/blocked kernel pair over the same patterns, tree and
+/// models, with identical randomized branch lengths on both.
+fn kernel_pair(
+    ds: &GeneratedDataset,
+    rng: &mut ChaCha8Rng,
+) -> (SequentialKernel, SequentialKernel) {
+    let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+    let mut scalar =
+        SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone())
+            .expect("scalar kernel builds");
+    scalar.set_dispatch(KernelDispatch::Scalar);
+    let mut blocked = SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models)
+        .expect("blocked kernel builds");
+    assert_eq!(blocked.dispatch(), KernelDispatch::Blocked, "fast default");
+
+    let branches: Vec<BranchId> = scalar.tree().branches().collect();
+    for branch in branches {
+        let value = random_branch_length(rng);
+        scalar.set_branch_length(BranchScope::All, branch, value);
+        blocked.set_branch_length(BranchScope::All, branch, value);
+    }
+    (scalar, blocked)
+}
+
+/// Asserts the per-partition agreement contract: DNA bit-for-bit, protein
+/// within the documented relative tolerance.
+fn assert_partition_agreement(
+    patterns: &PartitionedPatterns,
+    scalar: &[f64],
+    blocked: &[f64],
+    what: &str,
+) {
+    assert_partition_agreement_tol(patterns, scalar, blocked, what, PROTEIN_REL_TOL)
+}
+
+fn assert_partition_agreement_tol(
+    patterns: &PartitionedPatterns,
+    scalar: &[f64],
+    blocked: &[f64],
+    what: &str,
+    rel_tol: f64,
+) {
+    assert_eq!(scalar.len(), blocked.len());
+    for (pi, (s, b)) in scalar.iter().zip(blocked.iter()).enumerate() {
+        let dtype = patterns.partitions[pi].data_type;
+        match dtype {
+            DataType::Dna => assert_eq!(
+                s.to_bits(),
+                b.to_bits(),
+                "partition {pi} (DNA) {what} not bit-for-bit: {s:?} vs {b:?}"
+            ),
+            DataType::Protein => {
+                let tol = rel_tol * s.abs().max(1.0);
+                assert!(
+                    (s - b).abs() <= tol,
+                    "partition {pi} (protein) {what} drifted: {s} vs {b} (|Δ|={:.3e}, tol={tol:.3e})",
+                    (s - b).abs()
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: differential_cases(), ..ProptestConfig::default() })]
+
+    /// Per-partition log likelihoods agree between the dispatches on random
+    /// mixed datasets with random branch lengths and injected ambiguity.
+    #[test]
+    fn dispatches_agree_on_random_mixed_datasets(
+        seed in 0u64..10_000,
+        taxa in 4usize..10,
+        dna_parts in 1usize..4,
+        prot_parts in 1usize..3,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let base = mixed_dna_protein(taxa, dna_parts, prot_parts, 60, seed).generate();
+        let ds = inject_ambiguity(&base, 0.08, &mut rng);
+        let (mut scalar, mut blocked) = kernel_pair(&ds, &mut rng);
+
+        let root = scalar.default_root_branch();
+        let mask = scalar.full_mask();
+        let s = scalar.try_log_likelihood_partitions(root, &mask).expect("scalar evaluates");
+        let b = blocked.try_log_likelihood_partitions(root, &mask).expect("blocked evaluates");
+        prop_assert!(s.iter().all(|v| v.is_finite()), "scalar lnL not finite: {s:?}");
+        assert_partition_agreement(&ds.patterns, &s, &b, "lnL");
+    }
+
+    /// Newton–Raphson derivatives (sum table + derivative evaluation off the
+    /// dispatch-specific CLVs) agree: bit-for-bit on DNA, within tolerance
+    /// on protein — including candidate lengths at the clamp bounds.
+    #[test]
+    fn dispatches_agree_on_derivatives(
+        seed in 0u64..10_000,
+        taxa in 4usize..9,
+        probe_extreme in proptest::bool::ANY,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xD1F);
+        let base = mixed_dna_protein(taxa, 2, 1, 50, seed).generate();
+        let ds = inject_ambiguity(&base, 0.05, &mut rng);
+        let (mut scalar, mut blocked) = kernel_pair(&ds, &mut rng);
+
+        let branch = scalar.default_root_branch();
+        let mask = scalar.full_mask();
+        scalar.try_prepare_branch(branch, &mask).expect("scalar prepares");
+        blocked.try_prepare_branch(branch, &mask).expect("blocked prepares");
+
+        let candidate = if probe_extreme { MIN_BRANCH_LENGTH } else { rng.gen_range(0.01..1.0) };
+        let lengths: Vec<Option<f64>> = (0..ds.patterns.partition_count())
+            .map(|_| Some(candidate))
+            .collect();
+        let s = scalar.try_branch_derivatives(&lengths).expect("scalar derivatives");
+        let b = blocked.try_branch_derivatives(&lengths).expect("blocked derivatives");
+        let unpack = |d: Vec<Option<plf_loadbalance::kernel::ops::EdgeDerivatives>>| {
+            let mut lnl = Vec::new();
+            let mut first = Vec::new();
+            let mut second = Vec::new();
+            for e in d.into_iter().flatten() {
+                lnl.push(e.log_likelihood);
+                first.push(e.first);
+                second.push(e.second);
+            }
+            (lnl, first, second)
+        };
+        let (s_lnl, s_d1, s_d2) = unpack(s);
+        let (b_lnl, b_d1, b_d2) = unpack(b);
+        assert_partition_agreement(&ds.patterns, &s_lnl, &b_lnl, "derivative lnL");
+        assert_partition_agreement_tol(
+            &ds.patterns, &s_d1, &b_d1, "first derivative", PROTEIN_DERIV_REL_TOL,
+        );
+        assert_partition_agreement_tol(
+            &ds.patterns, &s_d2, &b_d2, "second derivative", PROTEIN_DERIV_REL_TOL,
+        );
+    }
+
+    /// Deep trees with extreme branch lengths cross the CLV scaling
+    /// threshold; scaling events and the rescaled likelihoods must be
+    /// identical under both dispatches (the blocked kernels compare against
+    /// the same `SCALE_THRESHOLD` and multiply by the same `SCALE_FACTOR`).
+    #[test]
+    fn dispatches_agree_across_scaling_thresholds(seed in 0u64..10_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5CA1E);
+        let base = mixed_dna_protein(24, 1, 1, 40, seed).generate();
+        let ds = inject_ambiguity(&base, 0.03, &mut rng);
+        let (mut scalar, mut blocked) = kernel_pair(&ds, &mut rng);
+        // Push every branch long: 24 taxa × near-stationary transition
+        // probabilities drive protein CLV entries under the threshold.
+        let branches: Vec<BranchId> = scalar.tree().branches().collect();
+        for branch in branches {
+            let value = rng.gen_range(3.0..MAX_BRANCH_LENGTH);
+            scalar.set_branch_length(BranchScope::All, branch, value);
+            blocked.set_branch_length(BranchScope::All, branch, value);
+        }
+        let root = scalar.default_root_branch();
+        let mask = scalar.full_mask();
+        let s = scalar.try_log_likelihood_partitions(root, &mask).expect("scalar evaluates");
+        let b = blocked.try_log_likelihood_partitions(root, &mask).expect("blocked evaluates");
+        prop_assert!(s.iter().all(|v| v.is_finite()), "scalar lnL not finite: {s:?}");
+        assert_partition_agreement(&ds.patterns, &s, &b, "lnL under scaling");
+    }
+}
+
+/// The blocked dispatch agrees across all four executors: the sequential
+/// engine, real threads, the rayon pool and the 16-worker tracing executor
+/// partition the patterns differently (so their partial sums associate
+/// differently), but every one of them must land within summation-order
+/// noise of the scalar sequential reference.
+#[test]
+fn blocked_dispatch_agrees_under_all_executors() {
+    let ds = mixed_dna_protein(10, 3, 2, 60, 77).generate();
+    let models = ModelSet::default_for(&ds.patterns, BranchLengthMode::PerPartition);
+    let categories: Vec<usize> = models.models().iter().map(|m| m.categories()).collect();
+
+    let mut scalar =
+        SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone()).unwrap();
+    scalar.set_dispatch(KernelDispatch::Scalar);
+    let reference = scalar.try_log_likelihood().unwrap();
+
+    let mut sequential =
+        SequentialKernel::build(Arc::clone(&ds.patterns), ds.tree.clone(), models.clone()).unwrap();
+    let sequential_lnl = sequential.try_log_likelihood().unwrap();
+
+    let threaded = ThreadedExecutor::from_assignment(
+        &ds.patterns,
+        &schedule(&ds.patterns, &categories, 4, &WeightedLpt).unwrap(),
+        ds.tree.node_capacity(),
+        &categories,
+    )
+    .unwrap();
+    let mut threaded_kernel = LikelihoodKernel::try_new(
+        Arc::clone(&ds.patterns),
+        ds.tree.clone(),
+        models.clone(),
+        threaded,
+    )
+    .unwrap();
+
+    let rayon = RayonExecutor::from_assignment(
+        &ds.patterns,
+        &schedule(&ds.patterns, &categories, 4, &Cyclic).unwrap(),
+        ds.tree.node_capacity(),
+        &categories,
+    )
+    .unwrap();
+    let mut rayon_kernel = LikelihoodKernel::try_new(
+        Arc::clone(&ds.patterns),
+        ds.tree.clone(),
+        models.clone(),
+        rayon,
+    )
+    .unwrap();
+
+    let tracing = TracingExecutor::from_assignment(
+        &ds.patterns,
+        &schedule(&ds.patterns, &categories, 16, &WeightedLpt).unwrap(),
+        ds.tree.node_capacity(),
+        &categories,
+    )
+    .unwrap();
+    let mut tracing_kernel =
+        LikelihoodKernel::try_new(Arc::clone(&ds.patterns), ds.tree.clone(), models, tracing)
+            .unwrap();
+
+    for (name, lnl) in [
+        ("sequential", sequential_lnl),
+        ("threaded-4", threaded_kernel.try_log_likelihood().unwrap()),
+        ("rayon-4", rayon_kernel.try_log_likelihood().unwrap()),
+        ("tracing-16", tracing_kernel.try_log_likelihood().unwrap()),
+    ] {
+        assert!(
+            (lnl - reference).abs() < 1e-8,
+            "{name} blocked dispatch disagrees with the scalar reference: {lnl} vs {reference}"
+        );
+    }
+}
+
+/// Mid-run rescheduling under the blocked dispatch must not drift the
+/// result: a mask-aware rescheduled optimization run lands within 1e-8 of
+/// the same run without any rescheduling (pattern ownership moves between
+/// workers mid-run, the likelihood must not notice).
+#[test]
+fn blocked_dispatch_survives_midrun_rescheduling() {
+    let ds = mixed_dna_protein(10, 2, 2, 50, 91).generate();
+    let config = OptimizerConfig::new(ParallelScheme::New);
+
+    let run = |policy: Option<ReschedulePolicy>| {
+        let mut builder = Analysis::builder(Arc::clone(&ds.patterns), ds.tree.clone())
+            .threads(8)
+            .strategy(WeightedLpt)
+            .timed(true);
+        if let Some(policy) = policy {
+            builder = builder.rescheduler(policy).mask_aware(true);
+        }
+        let mut analysis = builder.build_traced().expect("analysis builds");
+        analysis
+            .optimize(&config)
+            .expect("optimization completes")
+            .report
+            .final_log_likelihood
+    };
+
+    let steady = run(None);
+    let rescheduled = run(Some(ReschedulePolicy {
+        imbalance_threshold: 1.01,
+        min_regions: 8,
+        unit: TraceUnit::Flops,
+        max_reschedules: 4,
+        mask_aware: true,
+        mask_decay: 0.85,
+    }));
+    assert!(
+        (steady - rescheduled).abs() <= 1e-8,
+        "mid-run rescheduling drifted the blocked result: {steady} vs {rescheduled}"
+    );
+}

@@ -205,3 +205,69 @@ fn fused_batches_actually_share_barriers_across_tenants() {
     // Fusion means strictly fewer barriers than ops.
     assert!(stats.batches < stats.ops_dispatched);
 }
+
+/// The pool's sessions run the blocked dispatch (the engine default); each
+/// of 8 mixed-alphabet tenants must reproduce its *scalar-dispatch* solo
+/// optimum. The two dispatches take microscopically different FP paths on
+/// protein partitions (documented ≤1e-12 per evaluation), so the converged
+/// optima compare within the optimizer's own convergence tolerance (1e-6),
+/// not bitwise. A worker death injected into one tenant stays quarantined
+/// exactly as in the bit-identical default-dispatch case.
+#[test]
+fn blocked_sessions_reproduce_scalar_solo_optima_with_fault_quarantine() {
+    let workers = 2;
+    let fleet = mixed_fleet(8);
+    // Scalar-dispatch solo baselines: same dataset, same strategy, same
+    // optimizer, reference kernels.
+    let solo_scalar: Vec<f64> = fleet
+        .iter()
+        .map(|ds| {
+            let mut analysis = Analysis::builder(Arc::clone(&ds.patterns), ds.tree.clone())
+                .threads(workers)
+                .kernel(KernelDispatch::Scalar)
+                .build()
+                .expect("scalar solo build");
+            analysis
+                .optimize(&OptimizerConfig::new(ParallelScheme::New))
+                .expect("scalar solo optimize")
+                .report
+                .final_log_likelihood
+        })
+        .collect();
+
+    let mut pool = SessionManager::new(workers);
+    let mut handles = Vec::new();
+    for (i, ds) in fleet.iter().enumerate() {
+        let mut spec = SessionSpec::new(Arc::clone(&ds.patterns), ds.tree.clone())
+            .label(format!("blocked-tenant-{i}"));
+        if i == 3 {
+            spec = spec.inject_worker_fault(1, 1);
+        }
+        handles.push(pool.submit(spec).expect("admission"));
+    }
+    let outcomes: Vec<SessionOutcome> = handles
+        .into_iter()
+        .map(|h| h.join().expect("session outcome"))
+        .collect();
+
+    for (i, outcome) in outcomes.iter().enumerate() {
+        let delta = (outcome.final_log_likelihood - solo_scalar[i]).abs();
+        assert!(
+            delta <= 1e-6,
+            "blocked session {i} drifted {delta:.3e} from its scalar solo optimum \
+             ({} vs {})",
+            outcome.final_log_likelihood,
+            solo_scalar[i]
+        );
+        let expected = usize::from(i == 3);
+        assert_eq!(
+            outcome.recoveries.len(),
+            expected,
+            "session {i} saw {} recoveries, expected {expected}",
+            outcome.recoveries.len()
+        );
+    }
+    let stats = pool.stats().expect("stats");
+    assert_eq!(stats.worker_panics, 1, "exactly the injected death");
+    assert_eq!(stats.active_sessions, 0, "finished sessions are retired");
+}
