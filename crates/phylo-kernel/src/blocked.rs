@@ -368,6 +368,8 @@ pub fn newview_step_blocked(
                 let tile_len = PROTEIN_TILE.min(patterns - tile_start);
                 resolved.clear();
                 for p in tile_start..tile_start + tile_len {
+                    // lint:allow(L007): push into the tile buffer preallocated with
+                    // PROTEIN_TILE capacity above; tile_len <= PROTEIN_TILE, never reallocates.
                     resolved.push(resolve(p));
                 }
                 for (ti, (left_res, right_res)) in resolved.iter().enumerate() {
@@ -548,6 +550,8 @@ pub fn evaluate_edge_blocked(
             let tile_len = PROTEIN_TILE.min(patterns - tile_start);
             resolved.clear();
             for p in tile_start..tile_start + tile_len {
+                // lint:allow(L007): push into the tile buffer preallocated with
+                // PROTEIN_TILE capacity above; tile_len <= PROTEIN_TILE, never reallocates.
                 resolved.push(resolve(p));
             }
             let mut sites = [0.0f64; PROTEIN_TILE];

@@ -561,6 +561,8 @@ impl Executor for SequentialExecutor {
         let token = self
             .telemetry
             .region_start(op.kind().label(), &op.active_partitions());
+        // lint:allow(L008): region timing on the telemetry-enabled path only;
+        // feeds the measured-trace feedback, never the reduction order.
         let started = std::time::Instant::now();
         let result = execute_on_worker(&mut self.worker, op, ctx).map_err(ExecError::from);
         let seconds = started.elapsed().as_secs_f64();

@@ -255,6 +255,8 @@ impl SliceBuffers {
             self.tip_indices.reserve(slice.tip_states.len());
             for &mask in &slice.tip_states {
                 let index = dict.index_of(mask).map_or(TIP_INDEX_NONE, |i| i as u32);
+                // lint:allow(L007): once-per-(slice, dictionary) cache rebuild, sized by
+                // the reserve() above; amortized across ops, not a per-pattern allocation.
                 self.tip_indices.push(index);
             }
             self.tip_dict_key = key;

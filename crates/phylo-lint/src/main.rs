@@ -11,7 +11,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use phylo_lint::{envelope, find_root, inventory, scan_workspace, Baseline};
+use phylo_lint::{analyze_workspace, envelope, find_root, inventory, Baseline};
 
 struct Args {
     root: Option<PathBuf>,
@@ -71,8 +71,8 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let (scan, files) = scan_workspace(&root);
-    let inventory_doc = inventory::render(&scan.unsafe_sites);
+    let ws = analyze_workspace(&root);
+    let inventory_doc = inventory::render(&ws.scan.unsafe_sites);
     let inventory_path = root.join("UNSAFE_INVENTORY.md");
 
     if args.write_inventory {
@@ -83,7 +83,7 @@ fn main() -> ExitCode {
         println!(
             "phylo-lint: wrote {} ({} unsafe sites)",
             inventory_path.display(),
-            scan.unsafe_sites.len()
+            ws.scan.unsafe_sites.len()
         );
         if !args.check {
             return ExitCode::SUCCESS;
@@ -91,7 +91,7 @@ fn main() -> ExitCode {
     }
 
     let baseline = Baseline::load(&root);
-    let (new_findings, grandfathered) = baseline.partition(scan.findings.clone());
+    let (new_findings, grandfathered) = baseline.partition(ws.scan.findings.clone());
 
     let mut extra = Vec::new();
     match std::fs::read_to_string(&inventory_path) {
@@ -106,7 +106,7 @@ fn main() -> ExitCode {
         ),
     }
 
-    let env = envelope(files, &scan, &new_findings, baseline.len(), &extra);
+    let env = envelope(&ws, &new_findings, baseline.len(), &extra);
     if let Some(path) = &args.json {
         if let Err(e) = std::fs::write(path, env.to_json()) {
             eprintln!("phylo-lint: cannot write {}: {e}", path.display());
@@ -114,11 +114,23 @@ fn main() -> ExitCode {
         }
     }
 
+    let m = &ws.metrics;
     println!(
-        "phylo-lint: {} files, {} unsafe sites, {} finding(s), {} grandfathered, baseline {}",
-        files,
-        scan.unsafe_sites.len(),
+        "phylo-lint: {} files, {} entry points ({} missing), {}/{} fns reachable, \
+         {}/{} call sites resolved",
+        ws.files,
+        m.entry_points,
+        m.missing_entry_points.len(),
+        m.fns_reachable,
+        m.fns_total,
+        m.callsites_resolved,
+        m.callsites_total,
+    );
+    println!(
+        "phylo-lint: {} unsafe sites, {} finding(s), {} stale waiver(s), {} grandfathered, baseline {}",
+        ws.scan.unsafe_sites.len(),
         new_findings.len(),
+        ws.scan.stale_waivers.len(),
         grandfathered.len(),
         if baseline.is_empty() {
             "empty"
@@ -126,10 +138,7 @@ fn main() -> ExitCode {
             "NON-EMPTY"
         }
     );
-    for f in &new_findings {
-        println!("  {}", f.render());
-    }
-    for v in &extra {
+    for v in &env.violations {
         println!("  {v}");
     }
     if env.passed() {

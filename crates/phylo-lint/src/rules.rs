@@ -31,6 +31,23 @@ pub enum RuleId {
     /// kernel paths: blocking a worker inside an op turns load imbalance
     /// into a convoy.
     L005,
+    /// No `HashMap`/`HashSet` iteration (`for`, `.iter()`, `.keys()`,
+    /// `.values()`, `.drain()`) in reachable op-path code: hash iteration
+    /// order is nondeterministic across processes, so any reduction,
+    /// scheduling or dispatch decision derived from it silently breaks the
+    /// bit-identical-lnL guarantee. Iterate a `BTreeMap`/sorted worker index
+    /// instead; point lookups (`get`/`insert`/`remove`) are fine.
+    L006,
+    /// No heap allocation (`Vec::new`, `vec![]`, `.collect`, `.to_vec`,
+    /// `format!`, `Box::new`, buffer `.clone()`, `.push`, ...) inside loop
+    /// bodies of reachable kernel functions: the per-pattern inner loops run
+    /// millions of times per op and must work in preallocated buffers.
+    L007,
+    /// No wall-clock or RNG (`Instant::now`, `SystemTime`, `thread_rng`) in
+    /// reachable op-path code outside the telemetry timing facade: time and
+    /// randomness on the op path either feed results (breaking determinism)
+    /// or are unaccounted overhead the telemetry budget can't see.
+    L008,
 }
 
 /// Every rule, in ID order.
@@ -40,6 +57,9 @@ pub const ALL_RULES: &[RuleId] = &[
     RuleId::L003,
     RuleId::L004,
     RuleId::L005,
+    RuleId::L006,
+    RuleId::L007,
+    RuleId::L008,
 ];
 
 impl RuleId {
@@ -51,6 +71,9 @@ impl RuleId {
             RuleId::L003 => "L003",
             RuleId::L004 => "L004",
             RuleId::L005 => "L005",
+            RuleId::L006 => "L006",
+            RuleId::L007 => "L007",
+            RuleId::L008 => "L008",
         }
     }
 
@@ -69,6 +92,13 @@ impl RuleId {
             }
             RuleId::L004 => "std::sync::atomic confined to the designated sync module",
             RuleId::L005 => "no Mutex/RwLock acquisition in per-op kernel paths",
+            RuleId::L006 => {
+                "no HashMap/HashSet iteration in order-sensitive reachable op-path code"
+            }
+            RuleId::L007 => "no heap allocation in loop bodies of reachable kernel functions",
+            RuleId::L008 => {
+                "no wall-clock/RNG in reachable op-path code outside the telemetry facade"
+            }
         }
     }
 }

@@ -1,10 +1,13 @@
-//! Workspace discovery and the whole-tree scan, plus the baseline file.
+//! Workspace discovery and the whole-tree analysis, plus the baseline file.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use crate::callgraph::{self, ReachMetrics, ENTRY_POINTS};
+use crate::items;
+use crate::lexer::SourceView;
 use crate::rules::Finding;
-use crate::scan::{scan_source, FileScan};
+use crate::scan::{cfg_test_ranges, scan_source, FileScan, FileScope};
 
 /// Locates the workspace root: ascends from `start` to the first directory
 /// whose `Cargo.toml` declares `[workspace]`.
@@ -63,24 +66,59 @@ pub fn relative_name(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
-/// Scans the whole workspace. Returns the merged scan and the number of
-/// files visited.
-pub fn scan_workspace(root: &Path) -> (FileScan, usize) {
+/// The whole-workspace analysis result: the merged scan, the reachability
+/// metrics, and the files the reachable set touches (for the
+/// `OP_PATH_FILES` subset sanity check).
+pub struct WorkspaceAnalysis {
+    pub scan: FileScan,
+    /// Number of source files visited.
+    pub files: usize,
+    pub metrics: ReachMetrics,
+    /// Workspace-relative files containing at least one reachable function.
+    pub reachable_files: Vec<String>,
+}
+
+/// Runs the full pipeline over the workspace: read every first-party
+/// source, extract fn/impl/trait items, build the call graph, compute
+/// reachability from [`ENTRY_POINTS`], derive per-file scopes, and scan
+/// each file under its scope.
+pub fn analyze_workspace(root: &Path) -> WorkspaceAnalysis {
     let files = source_files(root);
-    let mut merged = FileScan::default();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for path in &files {
-        let Ok(source) = fs::read_to_string(path) else {
-            continue;
-        };
-        let name = relative_name(root, path);
-        let scan = scan_source(&name, &source);
+        if let Ok(source) = fs::read_to_string(path) {
+            sources.push((relative_name(root, path), source));
+        }
+    }
+
+    let mut all_items = Vec::new();
+    for (name, source) in &sources {
+        let view = SourceView::new(source);
+        let test_ranges = cfg_test_ranges(&view.code);
+        all_items.extend(items::extract(name, &view, &test_ranges));
+    }
+    let analysis = callgraph::analyze(all_items, ENTRY_POINTS);
+    let scopes = analysis.file_scopes();
+
+    let mut merged = FileScan::default();
+    let empty = FileScope::default();
+    for (name, source) in &sources {
+        let scope = scopes.get(name).unwrap_or(&empty);
+        let scan = scan_source(name, source, scope);
         merged.findings.extend(scan.findings);
         merged.unsafe_sites.extend(scan.unsafe_sites);
+        merged.stale_waivers.extend(scan.stale_waivers);
     }
     merged
         .findings
         .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    (merged, files.len())
+    let reachable_files = analysis.reachable_files();
+    WorkspaceAnalysis {
+        scan: merged,
+        files: sources.len(),
+        metrics: analysis.metrics,
+        reachable_files,
+    }
 }
 
 /// The committed baseline: grandfathered findings, one `RULE file:line` per

@@ -106,7 +106,6 @@ impl RayonExecutor {
             .num_threads(threads)
             .thread_name(|i| format!("plk-rayon-{i}"))
             .build()
-            // lint:allow(L001): pool construction happens once at executor build, outside the per-op path
             .expect("failed to build rayon pool")
     }
 
@@ -225,6 +224,8 @@ impl Executor for RayonExecutor {
                             // them.
                             return Ok((execute_on_worker(w, op, ctx)?, Duration::ZERO, 0));
                         }
+                        // lint:allow(L008): per-worker timing for the measured trace that
+                        // drives rebalancing; never feeds the reduction order.
                         let start = Instant::now();
                         let out = execute_on_worker(w, op, ctx)?;
                         let active = active_local_patterns(w, op);

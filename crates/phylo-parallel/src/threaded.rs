@@ -230,11 +230,15 @@ impl ThreadedExecutor {
                 let join = std::thread::Builder::new()
                     .name(format!("plk-worker-{}", slices.worker))
                     .spawn(move || {
+                        // lint:allow(L008): queue-wait baseline for the telemetry sample
+                        // ring; observability only, never feeds the reduction order.
                         let mut idle_since = Instant::now();
                         while let Ok(Some(cmd)) = cmd_rx.recv() {
                             // Time spent blocked on the command channel: the
                             // telemetry queue-wait lane of this worker.
                             let queue_wait = idle_since.elapsed();
+                            // lint:allow(L008): per-op timing for the measured trace that
+                            // drives rebalancing; never feeds the reduction order.
                             let start = Instant::now();
                             let body = || -> Result<(OpOutput, usize), phylo_kernel::OpError> {
                                 if cmd.panic_worker == Some(worker_index) {
@@ -306,6 +310,7 @@ impl ThreadedExecutor {
                                     break;
                                 }
                             }
+                            // lint:allow(L008): resets the queue-wait baseline above.
                             idle_since = Instant::now();
                         }
                     })

@@ -17,7 +17,7 @@
 //! reduces normally, because the pool thread survives and A's slices were
 //! dropped only on the panicking worker.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -110,7 +110,9 @@ struct Dispatcher {
     strategy: TenantStrategy,
     workers: Vec<Sender<WorkerMsg>>,
     replies: Receiver<WorkerReply>,
-    tenants: HashMap<u64, TenantState>,
+    // BTreeMap, not HashMap: `pending_ops` and the round builder iterate the
+    // tenant table, and dispatch order must not depend on hash order (L006).
+    tenants: BTreeMap<u64, TenantState>,
     queue: FairQueue,
     ops_dispatched: u64,
     batches: u64,
@@ -134,7 +136,7 @@ pub(crate) fn spawn_dispatcher(
                 strategy,
                 workers: senders,
                 replies,
-                tenants: HashMap::new(),
+                tenants: BTreeMap::new(),
                 queue: FairQueue::new(),
                 ops_dispatched: 0,
                 batches: 0,
@@ -144,7 +146,6 @@ pub(crate) fn spawn_dispatcher(
             }
             .run(&commands);
         })
-        // lint:allow(L001): spawn failure at pool construction, outside the per-op path
         .expect("failed to spawn dispatcher thread")
 }
 
@@ -205,8 +206,11 @@ impl Dispatcher {
             // it trades every round's latency for wider fusion, which only
             // pays off when drivers are slow to resubmit).
             if !self.strategy.batch_window.is_zero() {
+                // lint:allow(L008): batch-window linger deadline — bounds how long the round
+                // waits for stragglers; never feeds op ordering or the reduction.
                 let deadline = Instant::now() + self.strategy.batch_window;
                 while self.pending_ops() < self.strategy.max_batch {
+                    // lint:allow(L008): remaining-linger clock check, same bounded wait.
                     let now = Instant::now();
                     let Some(left) = deadline
                         .checked_duration_since(now)

@@ -113,7 +113,6 @@ pub(crate) fn spawn_pool(count: usize, reply_tx: &Sender<WorkerReply>) -> Vec<Po
             let join = std::thread::Builder::new()
                 .name(format!("plf-pool-{worker_index}"))
                 .spawn(move || worker_loop(worker_index, &cmd_rx, &replies))
-                // lint:allow(L001): spawn failure at pool construction, outside the per-op path
                 .expect("failed to spawn pool worker thread");
             PoolWorker {
                 sender: cmd_tx,

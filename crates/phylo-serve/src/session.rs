@@ -77,6 +77,8 @@ impl Executor for PooledExecutor {
             self.telemetry
                 .region_start(op.kind().label(), &op.active_partitions())
         });
+        // lint:allow(L008): op latency for the session outcome report;
+        // observability only, never feeds the reduction order.
         let started = Instant::now();
         let request = OpRequest {
             session: self.session,
@@ -430,7 +432,6 @@ impl SessionManager {
                     .map_err(ServeError::from);
                 let _ = outcome_tx.send(outcome);
             })
-            // lint:allow(L001): spawn failure at session admission, outside the per-op path
             .expect("failed to spawn session driver thread");
 
         Ok(SessionHandle {

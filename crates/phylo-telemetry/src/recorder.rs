@@ -165,6 +165,8 @@ impl Telemetry {
     }
 
     fn push_event(inner: &Inner, event: TelemetryEvent) {
+        // lint:allow(L005): event-log mutex, taken only on the telemetry-enabled
+        // path. lint:allow(L001): a poisoned telemetry log is fatal by design.
         let mut log = inner.events.lock().expect("telemetry event log poisoned");
         if log.events.len() < inner.config.event_capacity {
             log.events.push(event);
@@ -213,6 +215,8 @@ impl Telemetry {
             .regions_completed
             .fetch_add(1, Ordering::Relaxed);
         {
+            // lint:allow(L005): histogram mutex, taken only on the telemetry-enabled
+            // path. lint:allow(L001): a poisoned telemetry histogram is fatal by design.
             let mut hists = inner.hists.lock().expect("telemetry histograms poisoned");
             hists.region_seconds.record(seconds);
             let busy: Vec<f64> = worker_seconds
@@ -276,6 +280,8 @@ impl Telemetry {
     pub fn add_dropped(&self, n: u64) {
         if n != 0 {
             if let Some(inner) = &self.inner {
+                // lint:allow(L005): event-log mutex, taken only on the telemetry-enabled
+                // path. lint:allow(L001): a poisoned telemetry log is fatal by design.
                 let mut log = inner.events.lock().expect("telemetry event log poisoned");
                 log.dropped += n;
             }

@@ -93,6 +93,28 @@ impl Default for Config {
     }
 }
 
+impl Config {
+    /// The default configuration with environment overrides applied:
+    /// `PHYLO_MODELCHECK_PREEMPTIONS` raises (or lowers) the preemption
+    /// bound and `PHYLO_MODELCHECK_MAX_SCHEDULES` the schedule ceiling.
+    /// The scheduled CI deep run uses this to explore at bound 3 without a
+    /// separate test binary; unset or unparseable variables keep defaults.
+    pub fn from_env() -> Self {
+        let mut config = Self::default();
+        if let Some(bound) = env_usize("PHYLO_MODELCHECK_PREEMPTIONS") {
+            config.preemption_bound = bound;
+        }
+        if let Some(cap) = env_usize("PHYLO_MODELCHECK_MAX_SCHEDULES") {
+            config.max_schedules = cap as u64;
+        }
+        config
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
 /// Outcome of an exploration.
 #[derive(Debug)]
 pub struct Report {
@@ -199,8 +221,12 @@ impl Scheduler {
 
     /// Blocks until `tid` holds the floor.
     fn acquire<'a>(&'a self, tid: usize) -> MutexGuard<'a, State> {
+        // lint:allow(L005): scheduler floor mutex of the model-check shim, compiled
+        // only under --cfg phylo_modelcheck. lint:allow(L001): a broken shim must abort
+        // the exploration.
         let mut st = self.state.lock().unwrap();
         while st.current != tid {
+            // lint:allow(L001): same model-check shim; poisoning aborts the exploration.
             st = self.cv.wait(st).unwrap();
         }
         st
@@ -222,6 +248,8 @@ impl Scheduler {
                 self.cv.notify_all();
                 return;
             }
+            // lint:allow(L001): deadlock detection is the model checker's verdict;
+            // compiled only under --cfg phylo_modelcheck.
             panic!("model-check deadlock: all live threads are blocked");
         }
         let picked = if st.step < st.forced.len() {

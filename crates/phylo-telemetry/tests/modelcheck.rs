@@ -21,7 +21,7 @@ use phylo_telemetry::sync::modelcheck::{self, Config};
 /// and the consumer makes `attempts` pops; every schedule asserts that each
 /// value the ring ever saw is recovered exactly once, in order.
 fn run_ring_scenario(capacity: usize, n: u64, attempts: usize) -> modelcheck::Report {
-    modelcheck::explore(Config::default(), move || {
+    modelcheck::explore(Config::from_env(), move || {
         let (mut tx, mut rx) = spsc::<u64>(capacity);
         let producer = modelcheck::spawn(move || {
             let mut accepted = Vec::new();
@@ -103,7 +103,7 @@ impl Drop for DropCounted {
 
 #[test]
 fn drop_frees_exactly_the_in_flight_values() {
-    let report = modelcheck::explore(Config::default(), || {
+    let report = modelcheck::explore(Config::from_env(), || {
         let drops = Arc::new(AtomicU64::new(0));
         let created = 3u64;
         let (mut tx, mut rx) = spsc::<DropCounted>(4);
@@ -149,7 +149,7 @@ fn drop_frees_exactly_the_in_flight_values() {
 
 #[test]
 fn rejected_push_counter_is_exact_on_every_schedule() {
-    let report = modelcheck::explore(Config::default(), || {
+    let report = modelcheck::explore(Config::from_env(), || {
         let (mut tx, mut rx) = spsc::<u64>(1);
         let producer = modelcheck::spawn(move || {
             let mut rejected = 0u64;
@@ -187,7 +187,7 @@ fn rejected_push_counter_is_exact_on_every_schedule() {
 fn weakened_release_publish_is_caught_as_a_race() {
     let config = Config {
         weaken_release: true,
-        ..Config::default()
+        ..Config::from_env()
     };
     let report = modelcheck::explore(config, || {
         let (mut tx, mut rx) = spsc::<u64>(2);
